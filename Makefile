@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test bench vet fmt cover replicate artifacts clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w cmd internal examples bench_test.go
+
+cover:
+	$(GO) test -cover ./...
+
+# Claim-by-claim replication certificate (non-zero exit on any failure).
+replicate:
+	$(GO) run ./cmd/hetero replicate
+
+# Regenerate every paper table/figure into artifacts.txt.
+artifacts:
+	$(GO) run ./cmd/hetero all > artifacts.txt
+
+clean:
+	rm -f artifacts.txt test_output.txt bench_output.txt

@@ -1,0 +1,633 @@
+// Package repro_test holds the benchmark harness that regenerates every
+// table and figure of the paper (see DESIGN.md §3 for the experiment
+// index). Each benchmark computes one published artifact per iteration and
+// attaches the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's rows/series alongside the usual cost figures.
+// The hetero CLI prints the same artifacts as formatted tables.
+package repro_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"hetero/internal/adaptive"
+	"hetero/internal/api"
+	"hetero/internal/catalog"
+	"hetero/internal/core"
+	"hetero/internal/experiments"
+	"hetero/internal/harness"
+	"hetero/internal/hier"
+	"hetero/internal/model"
+	"hetero/internal/parallel"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+	"hetero/internal/sim"
+	"hetero/internal/stats"
+	"hetero/internal/workload"
+)
+
+// BenchmarkTable1Params regenerates Table 1's derived constants.
+func BenchmarkTable1Params(b *testing.B) {
+	var a float64
+	for i := 0; i < b.N; i++ {
+		m := model.Table1()
+		a = m.A() + m.B() + m.TauDelta() + m.Theorem4Threshold()
+	}
+	b.ReportMetric(model.Table1().A()*1e6, "A_µs")
+	b.ReportMetric(model.Table1().B(), "B_sec")
+	_ = a
+}
+
+// BenchmarkTable2 regenerates Table 2.
+func BenchmarkTable2(b *testing.B) {
+	var r experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table2()
+	}
+	b.ReportMetric(r.BCoarse, "B_coarse_sec")
+	b.ReportMetric(r.BFine, "B_fine_sec")
+}
+
+// BenchmarkTable3HECR regenerates Table 3 (HECRs at n = 8, 16, 32).
+func BenchmarkTable3HECR(b *testing.B) {
+	var r experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3()
+	}
+	b.ReportMetric(r.Rows[0].HECRC1, "hecr_c1_n8")
+	b.ReportMetric(r.Rows[0].HECRC2, "hecr_c2_n8")
+	b.ReportMetric(r.Rows[2].HECRC1, "hecr_c1_n32")
+	b.ReportMetric(r.Rows[2].HECRC2, "hecr_c2_n32")
+	b.ReportMetric(r.Rows[2].Ratio, "advantage_n32")
+}
+
+// BenchmarkTable4WorkRatios regenerates Table 4 (additive speedups of
+// ⟨1, 1/2, 1/3, 1/4⟩ by φ = 1/16).
+func BenchmarkTable4WorkRatios(b *testing.B) {
+	var r experiments.Table4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, row := range r.Rows {
+		names := []string{"ratio_c1", "ratio_c2", "ratio_c3", "ratio_c4"}
+		b.ReportMetric(row.WorkRatio, names[i])
+	}
+}
+
+// BenchmarkFig1Timeline regenerates Figure 1's seven-phase breakdown.
+func BenchmarkFig1Timeline(b *testing.B) {
+	m := model.Table1()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, ph := range schedule.SingleTimeline(m.Pi, m.Tau, m.Pi, m.Delta, 0.5, 100) {
+			total += ph.Duration
+		}
+	}
+	b.ReportMetric(total, "end_to_end_time")
+}
+
+// BenchmarkFig2Schedule regenerates Figure 2: building and verifying the
+// 3-computer FIFO schedule.
+func BenchmarkFig2Schedule(b *testing.B) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	var w float64
+	for i := 0; i < b.N; i++ {
+		s, err := schedule.BuildFIFO(m, p, 3600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		w = s.TotalWork
+	}
+	b.ReportMetric(w, "work_units")
+}
+
+// BenchmarkFig3SpeedupPhase1 regenerates Figure 3: 16 greedy multiplicative
+// speedup rounds from ⟨1,1,1,1⟩.
+func BenchmarkFig3SpeedupPhase1(b *testing.B) {
+	var r experiments.FigSpeedupResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	seq := r.SelectionSequence()
+	b.ReportMetric(float64(seq[0]), "round1_pick")
+	b.ReportMetric(float64(seq[4]), "round5_pick")
+	b.ReportMetric(r.Steps[15].After[0], "final_rho")
+}
+
+// BenchmarkFig4SpeedupPhase2 regenerates Figure 4: the phase-2 rounds where
+// condition (2) of Theorem 4 takes over.
+func BenchmarkFig4SpeedupPhase2(b *testing.B) {
+	var r experiments.FigSpeedupResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.SelectionSequence()[0]), "round1_pick")
+	b.ReportMetric(r.Steps[3].After[0], "final_rho")
+}
+
+// BenchmarkMeanCounterexample regenerates §4's intro example.
+func BenchmarkMeanCounterexample(b *testing.B) {
+	var r experiments.MeanCounterexampleResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.MeanCounterexample()
+	}
+	b.ReportMetric(r.XHetero, "x_hetero")
+	b.ReportMetric(r.XHomo, "x_homo")
+}
+
+// BenchmarkVariancePredictor regenerates (a scaled-down slice of) the §4.3
+// study: equal-mean pairs, variance prediction vs HECR ground truth.
+func BenchmarkVariancePredictor(b *testing.B) {
+	cfg := experiments.VarianceConfig{
+		Params:        model.Table1(),
+		Sizes:         []int{4, 16, 64, 128},
+		TrialsPerSize: 100,
+		Seed:          20100419,
+	}
+	var r experiments.VariancePredictorResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.VariancePredictor(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.Rows[len(r.Rows)-1].BadFraction, "bad_pct_n128")
+	b.ReportMetric(r.Theta, "empirical_theta")
+}
+
+// BenchmarkVarianceThreshold regenerates the §4.3 θ-threshold Fact at the
+// paper's θ = 0.167.
+func BenchmarkVarianceThreshold(b *testing.B) {
+	cfg := experiments.VarianceConfig{
+		Params:        model.Table1(),
+		Sizes:         []int{4, 64, 1024},
+		TrialsPerSize: 50,
+		Seed:          20100419,
+	}
+	var r experiments.ThresholdResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.VarianceThreshold(cfg, experiments.PaperTheta)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	wrong := 0
+	for _, row := range r.Rows {
+		wrong += row.WrongAbove
+	}
+	b.ReportMetric(float64(wrong), "mispredictions")
+}
+
+// BenchmarkOrderInvariance measures Theorem 1.2 in schedule form: FIFO
+// schedules for random startup orders of one cluster (the total work is
+// asserted identical).
+func BenchmarkOrderInvariance(b *testing.B) {
+	m := model.Table1()
+	p := profile.Linear(16)
+	base, err := schedule.BuildFIFO(m, p, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := schedule.BuildFIFO(m, p.Permuted(rng.Perm(len(p))), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diff := s.TotalWork - base.TotalWork; diff > 1e-6 || diff < -1e-6 {
+			b.Fatalf("order changed work: %v vs %v", s.TotalWork, base.TotalWork)
+		}
+	}
+}
+
+// BenchmarkSimVsAnalytic measures the discrete-event simulator replaying
+// the optimal protocol (Theorem 2 validation) on a 64-computer cluster.
+func BenchmarkSimVsAnalytic(b *testing.B) {
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(5), 64)
+	proto, err := sim.OptimalFIFO(m, p, 3600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	analytic := core.W(m, p, 3600)
+	var res sim.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = sim.RunCEP(m, p, proto, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Completed/analytic, "sim_over_analytic")
+	b.ReportMetric(float64(res.Events), "events")
+}
+
+// BenchmarkBaselineComparison measures the FIFO-vs-naive extension study.
+func BenchmarkBaselineComparison(b *testing.B) {
+	m := model.Table1()
+	clusters := experiments.DefaultBaselineClusters(8)
+	var r experiments.BaselineResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.BaselineComparison(m, 2000, clusters)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range r.Rows {
+		if row.Name == "harmonic" {
+			b.ReportMetric(100*row.EqualPenalty(), "harmonic_equal_loss_pct")
+		}
+	}
+}
+
+// BenchmarkMomentPredictors measures the moment-ablation extension study.
+func BenchmarkMomentPredictors(b *testing.B) {
+	var r experiments.MomentPredictorResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.MomentPredictors(model.Table1(), 8, 300, 99)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.Accuracy["geo-mean"], "geomean_acc_pct")
+	b.ReportMetric(100*r.Accuracy["arith-mean"], "arithmean_acc_pct")
+}
+
+// BenchmarkXForms is the numerical ablation: the three X implementations
+// at growing cluster sizes.
+func BenchmarkXForms(b *testing.B) {
+	m := model.Table1()
+	for _, n := range []int{8, 64, 1024, 1 << 16} {
+		p := profile.RandomNormalized(stats.NewRNG(uint64(n)), n)
+		b.Run(formName("telescoped", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.X(m, p)
+			}
+		})
+		b.Run(formName("direct", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.XDirect(m, p)
+			}
+		})
+		if n <= 32 {
+			b.Run(formName("rational", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.XRational(m, p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkHECR measures the headline measure across cluster scales,
+// including the §4.3 extreme n = 2^16.
+func BenchmarkHECR(b *testing.B) {
+	m := model.Table1()
+	for _, n := range []int{8, 1024, 1 << 16} {
+		p := profile.RandomNormalized(stats.NewRNG(uint64(n)), n)
+		b.Run(formName("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = core.HECR(m, p)
+			}
+		})
+	}
+}
+
+// BenchmarkSimThroughput measures raw simulator event throughput on a
+// large cluster.
+func BenchmarkSimThroughput(b *testing.B) {
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(9), 1024)
+	proto, err := sim.OptimalFIFO(m, p, 1e5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events int
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunCEP(m, p, proto, sim.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func formName(prefix string, n int) string {
+	switch {
+	case n >= 1<<16:
+		return prefix + "_65536"
+	default:
+		return prefix + "_" + itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkProtocolStudy measures the exhaustive (Σ,Φ) enumeration — the
+// empirical verification of Adler–Gong–Rosenberg's Theorem 1 that the paper
+// builds on.
+func BenchmarkProtocolStudy(b *testing.B) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.6, 0.35, 0.2)
+	var r experiments.ProtocolStudyResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.ProtocolStudy(m, p, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(r.Rows)), "orders")
+	worst := r.Rows[len(r.Rows)-1]
+	if worst.Feasible {
+		b.ReportMetric(100*worst.LossVsFIFO, "worst_loss_pct")
+	}
+}
+
+// BenchmarkGeneralSchedule measures one (Σ,Φ) linear-system solve+assemble.
+func BenchmarkGeneralSchedule(b *testing.B) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.8, 0.6, 0.45, 0.3, 0.25, 0.2, 0.15)
+	phi := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.BuildGeneral(m, p, phi, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictorRace measures the statistical-predictor study
+// (companion-paper direction), including logistic training.
+func BenchmarkPredictorRace(b *testing.B) {
+	m := model.Table1()
+	var r experiments.PredictorRaceResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.PredictorRace(m, 8, 150, 150, 77)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.General.Accuracy["neg-total-speed"], "totalspeed_acc_pct")
+	b.ReportMetric(100*r.EqualMean.Accuracy["neg-variance"], "eqmean_var_acc_pct")
+}
+
+// BenchmarkCostEffectiveness measures the equal-budget cost study.
+func BenchmarkCostEffectiveness(b *testing.B) {
+	m := model.Table1()
+	cost := experiments.CostModel{Alpha: 1.5}
+	clusters, err := experiments.EqualBudgetClusters(cost, 8, 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var r experiments.CostResult
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.CostEffectiveness(m, cost, clusters)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 0.0
+	for _, row := range r.Rows {
+		if row.WorkPerDollar > best {
+			best = row.WorkPerDollar
+		}
+	}
+	b.ReportMetric(best, "best_work_per_price")
+}
+
+// BenchmarkLinkOrderStudy measures the heterogeneous-link startup-order
+// enumeration (the regime where Theorem 1.2 fails).
+func BenchmarkLinkOrderStudy(b *testing.B) {
+	m := model.Table1()
+	p := profile.MustNew(0.5, 0.4, 0.3, 0.2)
+	taus := []float64{1e-6, 1e-3, 5e-3, 2e-2}
+	var r experiments.LinkOrderStudyResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.LinkOrderStudy(m, p, taus, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*r.Spread(), "order_spread_pct")
+}
+
+// BenchmarkXExact measures the big.Float reference evaluation.
+func BenchmarkXExact(b *testing.B) {
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(8), 64)
+	for i := 0; i < b.N; i++ {
+		_ = core.XExactFloat64(m, p)
+	}
+}
+
+// BenchmarkParallelMap measures the worker-pool substrate's scaling on a
+// CPU-bound microtask.
+func BenchmarkParallelMap(b *testing.B) {
+	work := func(i int) float64 {
+		s := 0.0
+		for k := 0; k < 1000; k++ {
+			s += float64(i*k) * 1e-9
+		}
+		return s
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(formName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = parallel.Map(workers, 4096, work)
+			}
+		})
+	}
+}
+
+// BenchmarkAdaptive measures the online speed-estimation loop (8 rounds on
+// a 16-computer cluster with fluctuating speeds).
+func BenchmarkAdaptive(b *testing.B) {
+	cfg := adaptive.Config{
+		Params:        model.Table1(),
+		True:          profile.Linear(16),
+		Rounds:        8,
+		RoundLifespan: 500,
+		Alpha:         0.5,
+		Jitter:        0.1,
+		Seed:          1,
+	}
+	var res adaptive.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = adaptive.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	b.ReportMetric(100*last.Efficiency, "late_efficiency_pct")
+}
+
+// BenchmarkCatalogOptimize measures the exact cluster-design knapsack at a
+// realistic budget.
+func BenchmarkCatalogOptimize(b *testing.B) {
+	m := model.Table1()
+	cat := catalog.Catalog{
+		{Name: "econo", Rho: 1, Price: 7},
+		{Name: "mid", Rho: 0.5, Price: 18},
+		{Name: "fast", Rho: 0.25, Price: 41},
+		{Name: "turbo", Rho: 0.1, Price: 120},
+	}
+	var d catalog.Design
+	var err error
+	for i := 0; i < b.N; i++ {
+		d, err = catalog.Optimize(m, cat, 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.X, "optimal_x")
+	b.ReportMetric(float64(len(d.Profile)), "machines")
+}
+
+// BenchmarkHarnessMonteCarlo measures real end-to-end execution (actual
+// Monte-Carlo computation under virtual model time).
+func BenchmarkHarnessMonteCarlo(b *testing.B) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25, 0.125)
+	task := workload.NewMonteCarlo(1, 2000)
+	var rep *harness.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = harness.RunFIFO(m, p, task, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.UnitsDone), "units")
+}
+
+// BenchmarkHierarchyFold measures the recursive subtree folding on a
+// 3-level, 64-leaf tree.
+func BenchmarkHierarchyFold(b *testing.B) {
+	m := model.Table1()
+	leaves := profile.Linear(64)
+	var quads []*hier.Node
+	for g := 0; g < 16; g++ {
+		quads = append(quads, hier.Cluster(
+			hier.Leaf(leaves[4*g]), hier.Leaf(leaves[4*g+1]),
+			hier.Leaf(leaves[4*g+2]), hier.Leaf(leaves[4*g+3])))
+	}
+	var groups []*hier.Node
+	for g := 0; g < 4; g++ {
+		groups = append(groups, hier.Cluster(quads[4*g:4*g+4]...))
+	}
+	tree := hier.Cluster(groups...)
+	var x float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		x, err = tree.X(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(x, "tree_x")
+}
+
+// BenchmarkMultiInstallment measures the k-installment simulation sweep at
+// an expensive link (the regime where installments pay).
+func BenchmarkMultiInstallment(b *testing.B) {
+	m := model.Params{Tau: 0.05, Pi: 1e-4, Delta: 1}
+	p := profile.MustNew(1, 0.8, 0.6, 0.4)
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		_, k1, err := sim.MultiInstallment(m, p, 100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, k8, err := sim.MultiInstallment(m, p, 100, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = k8.Completed/k1.Completed - 1
+	}
+	b.ReportMetric(100*gain, "k8_gain_pct")
+}
+
+// BenchmarkReplicate measures the full replication certificate.
+func BenchmarkReplicate(b *testing.B) {
+	cfg := experiments.ReplicationConfig{VarianceTrials: 100, Seed: 20100419}
+	var rep experiments.ReplicationReport
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = experiments.Replicate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Passed), "checks_passed")
+	b.ReportMetric(float64(rep.Failed), "checks_failed")
+}
+
+// BenchmarkAPIMeasure measures the HTTP service's hot endpoint end to end
+// (in-process handler, no network).
+func BenchmarkAPIMeasure(b *testing.B) {
+	h := api.NewServer().Handler()
+	req := httptest.NewRequest("GET", "/v1/measure?profile=1,0.5,0.25,0.125", nil)
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkDecompose measures the eq. (3) proof-identity evaluation.
+func BenchmarkDecompose(b *testing.B) {
+	m := model.Table1()
+	p := profile.Linear(16)
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decompose(m, p, 0, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestCepsimStrategies(t *testing.T) {
+	for _, strategy := range []string{"optimal", "equal", "proportional"} {
+		var b strings.Builder
+		if err := run([]string{"-profile", "1,0.5,0.25", "-L", "500", "-strategy", strategy}, &b); err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		out := b.String()
+		for _, frag := range []string{"makespan", "work completed by L", "Theorem 2", "mean utilization"} {
+			if !strings.Contains(out, frag) {
+				t.Fatalf("%s output missing %q:\n%s", strategy, frag, out)
+			}
+		}
+	}
+}
+
+func TestCepsimJitter(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-profile", "1,0.5", "-L", "100", "-jitter", "0.1", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "jitter=0.1") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestCepsimErrors(t *testing.T) {
+	cases := [][]string{
+		{"-profile", "1,bad"},
+		{"-profile", "1,0.5", "-strategy", "nope"},
+		{"-profile", "1,0.5", "-tau", "-1"},
+		{"-profile", "1,0.5", "-jitter", "2"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestCepsimTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/run.json"
+	var b strings.Builder
+	if err := run([]string{"-profile", "1,0.5", "-L", "100", "-trace", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "traceEvents") {
+		t.Fatalf("trace file missing traceEvents: %s", data)
+	}
+	if !strings.Contains(b.String(), "trace written") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}

@@ -1,0 +1,1034 @@
+// Command hetero regenerates every table and figure of "Toward
+// Understanding Heterogeneity in Computing" (Rosenberg & Chiang, IPDPS
+// 2010), plus the extension studies described in DESIGN.md.
+//
+// Usage:
+//
+//	hetero <subcommand> [flags]
+//
+// Paper artifacts:
+//
+//	params         Table 1 parameters and derived constants
+//	table2         Table 2 (A, B for coarse/fine tasks)
+//	table3         Table 3 (HECRs of the sample clusters)
+//	table4         Table 4 (additive speedup work ratios)
+//	fig1           Figure 1 (single-computer action/time diagram)
+//	fig2           Figure 2 (3-computer FIFO schedule, ASCII Gantt)
+//	fig3           Figure 3 (iterated speedups, phase 1)
+//	fig4           Figure 4 (iterated speedups, phase 2)
+//	counterexample §4's mean-speed counterexample
+//	variance       §4.3 variance-predictor study
+//	threshold      §4.3 θ-threshold verification
+//
+// Analysis tools and extensions:
+//
+//	hecr           X, HECR, work rate of a profile
+//	compare        compare two clusters (X, HECR, moments, Prop. 3)
+//	speedup        best single speedup for a profile (Theorems 3–4)
+//	schedule       build + verify + render a FIFO schedule
+//	protocols      every gap-free (Σ,Φ) protocol vs FIFO ([1]'s Theorem 1)
+//	sensitivity    marginal value −∂X/∂ρᵢ of speeding up each computer
+//	baselines      optimal FIFO vs equal/proportional allocations
+//	moments        moment-predictor ablation
+//	predictors     full predictor race incl. a trained linear scorer
+//	cost           cost-effectiveness of cluster shapes at equal budgets
+//	links          startup-order optimization under heterogeneous links
+//	execute        run a REAL workload (montecarlo/patternmatch/smoothing/raytrace)
+//	               end to end under the optimal protocol, with verification
+//	hierarchy      flat vs federated vs chained cluster organizations
+//	adaptive       learn unknown speeds online over repeated CEP rounds
+//	design         budget-optimal cluster composition from a machine catalog
+//	replicate      claim-by-claim replication certificate (text or -json)
+//	installments   multi-installment worksharing vs link cost
+//	jitter         robustness to speed misestimation
+//	agreement      simulation vs Theorem 2 validation
+//	all            run every paper artifact with defaults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hetero/internal/adaptive"
+	"hetero/internal/catalog"
+	"hetero/internal/core"
+	"hetero/internal/experiments"
+	"hetero/internal/harness"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/schedule"
+	"hetero/internal/trace"
+	"hetero/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hetero:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand; run with one of: params table2 table3 table4 fig1 fig2 fig3 fig4 counterexample variance threshold hecr compare speedup schedule protocols sensitivity baselines moments jitter agreement all")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "params":
+		return cmdParams(rest, out)
+	case "table2":
+		fmt.Fprint(out, experiments.Table2().Render())
+		return nil
+	case "table3":
+		return cmdTable3(rest, out)
+	case "table4":
+		return cmdTable4(rest, out)
+	case "fig1":
+		return cmdFig1(rest, out)
+	case "fig2":
+		return cmdFig2(rest, out)
+	case "fig3":
+		return cmdFigSpeedup(out, true)
+	case "fig4":
+		return cmdFigSpeedup(out, false)
+	case "counterexample":
+		fmt.Fprint(out, experiments.MeanCounterexample().Render())
+		return nil
+	case "variance":
+		return cmdVariance(rest, out)
+	case "threshold":
+		return cmdThreshold(rest, out)
+	case "hecr":
+		return cmdHECR(rest, out)
+	case "compare":
+		return cmdCompare(rest, out)
+	case "speedup":
+		return cmdSpeedup(rest, out)
+	case "schedule":
+		return cmdSchedule(rest, out)
+	case "protocols":
+		return cmdProtocols(rest, out)
+	case "sensitivity":
+		return cmdSensitivity(rest, out)
+	case "baselines":
+		return cmdBaselines(rest, out)
+	case "moments":
+		return cmdMoments(rest, out)
+	case "predictors":
+		return cmdPredictors(rest, out)
+	case "cost":
+		return cmdCost(rest, out)
+	case "links":
+		return cmdLinks(rest, out)
+	case "execute":
+		return cmdExecute(rest, out)
+	case "hierarchy":
+		return cmdHierarchy(rest, out)
+	case "adaptive":
+		return cmdAdaptive(rest, out)
+	case "design":
+		return cmdDesign(rest, out)
+	case "replicate":
+		return cmdReplicate(rest, out)
+	case "installments":
+		return cmdInstallments(rest, out)
+	case "jitter":
+		return cmdJitter(rest, out)
+	case "agreement":
+		return cmdAgreement(rest, out)
+	case "all":
+		return cmdAll(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// modelFlags installs -tau/-pi/-delta on fs, defaulting to Table 1.
+func modelFlags(fs *flag.FlagSet) *model.Params {
+	p := model.Table1()
+	fs.Float64Var(&p.Tau, "tau", p.Tau, "network transit rate τ (time units per work unit)")
+	fs.Float64Var(&p.Pi, "pi", p.Pi, "packaging rate π of a speed-1 computer")
+	fs.Float64Var(&p.Delta, "delta", p.Delta, "output-to-input ratio δ")
+	return &p
+}
+
+// parseProfile parses "1,0.5,0.25" into a validated profile.
+func parseProfile(s string) (profile.Profile, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty profile; pass -profile \"1,0.5,0.25\"")
+	}
+	parts := strings.Split(s, ",")
+	rhos := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ρ-value %q: %v", part, err)
+		}
+		rhos = append(rhos, v)
+	}
+	return profile.New(rhos...)
+}
+
+func cmdParams(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("params", flag.ContinueOnError)
+	m := modelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	t := render.NewTable("Table 1: model parameters", "parameter", "value")
+	t.Add("transit rate τ", fmt.Sprintf("%g per work unit", m.Tau))
+	t.Add("packaging rate π", fmt.Sprintf("%g per work unit", m.Pi))
+	t.Add("result-size ratio δ", fmt.Sprintf("%g", m.Delta))
+	t.Add("A = π + τ", fmt.Sprintf("%g", m.A()))
+	t.Add("B = 1 + (1+δ)π", fmt.Sprintf("%g", m.B()))
+	t.Add("Theorem 4 threshold Aτδ/B²", fmt.Sprintf("%g", m.Theorem4Threshold()))
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+func cmdTable3(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
+	m := modelFlags(fs)
+	sizes := fs.String("sizes", "8,16,32", "comma-separated cluster sizes")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*sizes)
+	if err != nil {
+		return err
+	}
+	res := experiments.Table3For(*m, ns)
+	if *csv {
+		t := render.NewTable("", "n", "hecr_c1", "hecr_c2", "ratio")
+		for _, row := range res.Rows {
+			t.Addf(row.N, row.HECRC1, row.HECRC2, row.Ratio)
+		}
+		fmt.Fprint(out, t.CSV())
+		return nil
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdTable4(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("table4", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "1,0.5,0.333333333333333,0.25", "base heterogeneity profile")
+	phi := fs.Float64("phi", 1.0/16, "additive speedup term φ")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.Table4For(*m, p, *phi)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdFig1(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fig1", flag.ContinueOnError)
+	m := modelFlags(fs)
+	rho := fs.Float64("rho", 0.5, "remote computer speed ρ")
+	w := fs.Float64("w", 100, "work units shared")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Fprint(out, experiments.Fig1(*m, *rho, *w))
+	return nil
+}
+
+func cmdFig2(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fig2", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "1,0.5,0.25", "heterogeneity profile")
+	lifespan := fs.Float64("L", 3600, "lifespan")
+	width := fs.Int("width", 96, "Gantt chart width")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	s, err := experiments.Fig2(*m, p, *lifespan, *width)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, s)
+	return nil
+}
+
+func cmdFigSpeedup(out io.Writer, phase1 bool) error {
+	var (
+		res experiments.FigSpeedupResult
+		err error
+	)
+	if phase1 {
+		res, err = experiments.Fig3()
+	} else {
+		res, err = experiments.Fig4()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdVariance(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("variance", flag.ContinueOnError)
+	m := modelFlags(fs)
+	sizes := fs.String("sizes", "4,8,16,32,64,128,256,512,1024", "comma-separated cluster sizes")
+	trials := fs.Int("trials", 400, "trials per size")
+	seed := fs.Uint64("seed", 20100419, "RNG seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*sizes)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.VarianceConfig{Params: *m, Sizes: ns, TrialsPerSize: *trials, Seed: *seed, Workers: *workers}
+	res, err := experiments.VariancePredictor(cfg)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Fprint(out, res.Table().CSV())
+		return nil
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdThreshold(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("threshold", flag.ContinueOnError)
+	m := modelFlags(fs)
+	sizes := fs.String("sizes", "4,16,64,256,1024", "comma-separated cluster sizes")
+	trials := fs.Int("trials", 200, "trials per size")
+	theta := fs.Float64("theta", experiments.PaperTheta, "variance-gap threshold θ")
+	seed := fs.Uint64("seed", 20100419, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := parseInts(*sizes)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.VarianceConfig{Params: *m, Sizes: ns, TrialsPerSize: *trials, Seed: *seed}
+	res, err := experiments.VarianceThreshold(cfg, *theta)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdHECR(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hecr", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "", "heterogeneity profile, e.g. \"1,0.5,0.25\"")
+	lifespan := fs.Float64("L", 3600, "lifespan for the work figure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	t := render.NewTable(fmt.Sprintf("Cluster %v under %v", p, *m), "measure", "value")
+	t.Add("X(P)", fmt.Sprintf("%.6f", core.X(*m, p)))
+	t.Add("HECR", fmt.Sprintf("%.6f", core.HECR(*m, p)))
+	t.Add("work rate W(L;P)/L", fmt.Sprintf("%.6f", core.WorkRate(*m, p)))
+	t.Add(fmt.Sprintf("W(L=%g;P)", *lifespan), fmt.Sprintf("%.6g", core.W(*m, p, *lifespan)))
+	t.Add("mean ρ", fmt.Sprintf("%.6f", p.Mean()))
+	t.Add("VAR(P)", fmt.Sprintf("%.6f", p.Variance()))
+	t.Add("GEO-MEAN(P)", fmt.Sprintf("%.6f", p.GeoMean()))
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+func cmdCompare(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	m := modelFlags(fs)
+	p1s := fs.String("p1", "", "first profile")
+	p2s := fs.String("p2", "", "second profile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p1, err := parseProfile(*p1s)
+	if err != nil {
+		return fmt.Errorf("-p1: %w", err)
+	}
+	p2, err := parseProfile(*p2s)
+	if err != nil {
+		return fmt.Errorf("-p2: %w", err)
+	}
+	t := render.NewTable("Cluster comparison", "measure", "P1", "P2")
+	t.Add("profile", p1.String(), p2.String())
+	t.Addf("X(P)", core.X(*m, p1), core.X(*m, p2))
+	t.Addf("HECR", core.HECR(*m, p1), core.HECR(*m, p2))
+	t.Addf("mean ρ", p1.Mean(), p2.Mean())
+	t.Addf("VAR", p1.Variance(), p2.Variance())
+	fmt.Fprint(out, t.String())
+	switch core.Compare(*m, p1, p2) {
+	case 1:
+		fmt.Fprintln(out, "P1 outperforms P2")
+	case -1:
+		fmt.Fprintln(out, "P2 outperforms P1")
+	default:
+		fmt.Fprintln(out, "exact tie")
+	}
+	if len(p1) == len(p2) {
+		if ok, err := core.Prop3Predicts(p1, p2); err == nil && ok {
+			fmt.Fprintln(out, "Proposition 3 certifies P1 > P2 from symmetric functions alone")
+		} else if ok, err := core.Prop3Predicts(p2, p1); err == nil && ok {
+			fmt.Fprintln(out, "Proposition 3 certifies P2 > P1 from symmetric functions alone")
+		} else {
+			fmt.Fprintln(out, "Proposition 3 inconclusive for this pair")
+		}
+		if profile.Minorizes(p1, p2) {
+			fmt.Fprintln(out, "P1 minorizes P2 (Proposition 2 applies)")
+		} else if profile.Minorizes(p2, p1) {
+			fmt.Fprintln(out, "P2 minorizes P1 (Proposition 2 applies)")
+		}
+	}
+	return nil
+}
+
+func cmdSpeedup(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("speedup", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "", "heterogeneity profile")
+	phi := fs.Float64("phi", 0, "additive speedup term (exclusive with -psi)")
+	psi := fs.Float64("psi", 0, "multiplicative speedup factor in (0,1)")
+	rounds := fs.Int("rounds", 1, "iterated rounds for multiplicative speedups")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *phi > 0 && *psi > 0:
+		return fmt.Errorf("pass exactly one of -phi, -psi")
+	case *phi > 0:
+		choice, err := core.BestAdditive(*m, p, *phi)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "best additive speedup by φ=%g: C%d (the fastest computer, per Theorem 3)\n", *phi, choice.Index+1)
+		fmt.Fprintf(out, "new profile: %v\nwork ratio: %.6f\n", choice.After, choice.WorkRatio)
+	case *psi > 0:
+		steps, err := core.GreedyMultiplicativePlan(*m, p, *psi, *rounds)
+		if err != nil {
+			return err
+		}
+		res := experiments.FigSpeedupResult{Params: *m, Psi: *psi, Steps: steps}
+		fmt.Fprint(out, res.Render())
+	default:
+		return fmt.Errorf("pass one of -phi, -psi")
+	}
+	return nil
+}
+
+func cmdSchedule(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "1,0.5,0.25", "heterogeneity profile (startup order)")
+	lifespan := fs.Float64("L", 3600, "lifespan")
+	width := fs.Int("width", 96, "Gantt chart width")
+	traceFile := fs.String("trace", "", "also write a Chrome trace-event JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	s, err := experiments.Fig2(*m, p, *lifespan, *width)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, s)
+	if *traceFile != "" {
+		sched, err := schedule.BuildFIFO(*m, p, *lifespan)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := (trace.Exporter{}).WriteSchedule(f, sched); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace written: %s\n", *traceFile)
+	}
+	return nil
+}
+
+func cmdProtocols(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("protocols", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "1,0.6,0.35,0.2", "heterogeneity profile (startup order)")
+	lifespan := fs.Float64("L", 1000, "lifespan")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.ProtocolStudy(*m, p, *lifespan)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdSensitivity(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "", "heterogeneity profile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	values := core.MarginalSpeedupValue(*m, p)
+	t := render.NewTable(fmt.Sprintf("Marginal speedup value −∂X/∂ρᵢ for %v", p),
+		"computer", "ρ", "marginal value")
+	for i, v := range values {
+		t.Add(fmt.Sprintf("C%d", i+1), fmt.Sprintf("%.4g", p[i]), fmt.Sprintf("%.6g", v))
+	}
+	fmt.Fprint(out, t.String())
+	fmt.Fprintf(out, "most valuable single upgrade: C%d (Theorem 3: the fastest computer)\n",
+		core.MostSensitiveIndex(*m, p)+1)
+	return nil
+}
+
+func cmdBaselines(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("baselines", flag.ContinueOnError)
+	m := modelFlags(fs)
+	n := fs.Int("n", 8, "cluster size")
+	lifespan := fs.Float64("L", 2000, "lifespan")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.BaselineComparison(*m, *lifespan, experiments.DefaultBaselineClusters(*n))
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Fprint(out, res.Table().CSV())
+		return nil
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdMoments(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("moments", flag.ContinueOnError)
+	m := modelFlags(fs)
+	n := fs.Int("n", 8, "cluster size")
+	trials := fs.Int("trials", 2000, "random pairs")
+	seed := fs.Uint64("seed", 99, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.MomentPredictors(*m, *n, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdPredictors(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("predictors", flag.ContinueOnError)
+	m := modelFlags(fs)
+	n := fs.Int("n", 8, "cluster size")
+	train := fs.Int("train", 600, "training pairs for the linear scorer")
+	eval := fs.Int("eval", 600, "evaluation pairs per regime")
+	seed := fs.Uint64("seed", 77, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.PredictorRace(*m, *n, *train, *eval, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdCost(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cost", flag.ContinueOnError)
+	m := modelFlags(fs)
+	n := fs.Int("n", 8, "cluster size")
+	alpha := fs.Float64("alpha", 1.5, "price-of-speed exponent (price = speed^α)")
+	budget := fs.Float64("budget", 150, "common cluster budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	clusters, err := experiments.EqualBudgetClusters(experiments.CostModel{Alpha: *alpha}, *n, *budget)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.CostEffectiveness(*m, experiments.CostModel{Alpha: *alpha}, clusters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdLinks(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("links", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "0.5,0.4,0.3,0.2", "heterogeneity profile")
+	links := fs.String("taus", "0.000001,0.001,0.005,0.02", "per-computer link transit rates")
+	lifespan := fs.Float64("L", 1000, "lifespan")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	taus, err := parseFloats(*links)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.LinkOrderStudy(*m, p, taus, *lifespan)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdExecute(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("execute", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "1,0.5,0.25", "heterogeneity profile")
+	taskName := fs.String("task", "montecarlo", "workload: montecarlo | patternmatch | smoothing | raytrace")
+	lifespan := fs.Float64("L", 200, "lifespan (virtual time units)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	verify := fs.Bool("verify", true, "recompute sequentially and check digests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	task, err := workload.ByName(*taskName, *seed)
+	if err != nil {
+		return err
+	}
+	rep, err := harness.RunFIFO(*m, p, task, *lifespan)
+	if err != nil {
+		return err
+	}
+	t := render.NewTable(
+		fmt.Sprintf("End-to-end %s run: n=%d, L=%g (virtual)", rep.Task, len(p), *lifespan),
+		"computer", "ρ", "units", "results at", "digest")
+	for _, c := range rep.Computers {
+		t.Add(fmt.Sprintf("C%d", c.Index+1),
+			fmt.Sprintf("%.4g", c.Rho),
+			fmt.Sprintf("%d", c.Units),
+			fmt.Sprintf("%.6g", c.ResultsAt),
+			fmt.Sprintf("%016x", c.Digest))
+	}
+	fmt.Fprint(out, t.String())
+	fmt.Fprintf(out, "units computed:   %d (model predicts %.2f; rounding loss %.2f)\n",
+		rep.UnitsDone, rep.ModelWork, rep.RoundingLoss())
+	fmt.Fprintf(out, "virtual makespan: %.6g\n", rep.Makespan)
+	fmt.Fprintf(out, "run digest:       %016x\n", rep.Digest)
+	if *verify {
+		if err := rep.VerifySequential(task); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "verification:     sequential recomputation matches — work really done")
+	}
+	return nil
+}
+
+func cmdHierarchy(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hierarchy", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "", "machine speeds (default: linear profile of size -n)")
+	n := fs.Int("n", 8, "cluster size when -profile is not given")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		p   profile.Profile
+		err error
+	)
+	if *prof != "" {
+		p, err = parseProfile(*prof)
+		if err != nil {
+			return err
+		}
+	} else {
+		p = profile.Linear(*n)
+	}
+	res, err := experiments.HierarchyStudy(*m, p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdAdaptive(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("adaptive", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "1,0.5,0.25,0.125", "TRUE heterogeneity profile (unknown to the server)")
+	rounds := fs.Int("rounds", 8, "CEP rounds")
+	lifespan := fs.Float64("L", 500, "round lifespan")
+	alpha := fs.Float64("alpha", 1, "smoothing factor in (0,1]")
+	jitter := fs.Float64("jitter", 0, "per-round speed fluctuation ±jitter")
+	seed := fs.Uint64("seed", 42, "fluctuation seed")
+	sweep := fs.Bool("sweep", false, "sweep α × jitter instead of a single run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	if *sweep {
+		sw, err := experiments.AdaptiveSweep(*m, p, *rounds,
+			[]float64{0.1, 0.3, 0.7, 1}, []float64{0, 0.05, 0.15, 0.3}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, sw.Render())
+		return nil
+	}
+	res, err := adaptive.Run(adaptive.Config{
+		Params: *m, True: p, Rounds: *rounds, RoundLifespan: *lifespan,
+		Alpha: *alpha, Jitter: *jitter, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	t := render.NewTable(
+		fmt.Sprintf("Adaptive worksharing: learning %v online (α=%g, jitter=%g)", p, *alpha, *jitter),
+		"round", "max est. error", "mean est. error", "efficiency", "makespan overrun")
+	for _, r := range res.Rounds {
+		t.Add(fmt.Sprintf("%d", r.Round),
+			fmt.Sprintf("%.4f", r.MaxRelErr),
+			fmt.Sprintf("%.4f", r.MeanRelErr),
+			fmt.Sprintf("%.4f", r.Efficiency),
+			fmt.Sprintf("%+.4f", r.MakespanOverrun))
+	}
+	fmt.Fprint(out, t.String())
+	effs := make([]float64, len(res.Rounds))
+	for i, r := range res.Rounds {
+		effs[i] = r.Efficiency
+	}
+	fmt.Fprintf(out, "efficiency per round: %s\n", render.Sparkline(effs))
+	fmt.Fprintf(out, "final estimates: %v\n", res.Estimates)
+	return nil
+}
+
+func cmdDesign(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("design", flag.ContinueOnError)
+	m := modelFlags(fs)
+	spec := fs.String("catalog", "econo:1:1,mid:0.5:3,fast:0.25:5,turbo:0.1:14",
+		"machine catalog as name:rho:price entries")
+	budget := fs.Int("budget", 50, "total budget (integer price units)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cat, err := parseCatalog(*spec)
+	if err != nil {
+		return err
+	}
+	opt, err := catalog.Optimize(*m, cat, *budget)
+	if err != nil {
+		return err
+	}
+	t := render.NewTable(
+		fmt.Sprintf("Budget-optimal cluster for budget %d (exact knapsack on −log r)", *budget),
+		"strategy", "composition", "n", "cost", "X", "HECR")
+	describe := func(name string, d catalog.Design, err error) {
+		if err != nil {
+			t.Add(name, err.Error(), "-", "-", "-", "-")
+			return
+		}
+		parts := make([]string, 0, len(cat))
+		for i, n := range d.Counts {
+			if n > 0 {
+				parts = append(parts, fmt.Sprintf("%d×%s", n, cat[i].Name))
+			}
+		}
+		t.Add(name, strings.Join(parts, " + "),
+			fmt.Sprintf("%d", len(d.Profile)),
+			fmt.Sprintf("%d", d.Cost),
+			fmt.Sprintf("%.4f", d.X),
+			fmt.Sprintf("%.4f", core.HECR(*m, d.Profile)))
+	}
+	describe("knapsack optimum", opt, nil)
+	fastest, ferr := catalog.BuyFastest(*m, cat, *budget)
+	describe("buy-fastest heuristic", fastest, ferr)
+	most, merr := catalog.BuyMost(*m, cat, *budget)
+	describe("buy-most heuristic", most, merr)
+	fmt.Fprint(out, t.String())
+	return nil
+}
+
+func cmdInstallments(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("installments", flag.ContinueOnError)
+	m := modelFlags(fs)
+	prof := fs.String("profile", "1,0.8,0.6,0.4", "heterogeneity profile")
+	lifespan := fs.Float64("L", 100, "lifespan")
+	tausFlag := fs.String("taus", "0.000001,0.01,0.05", "link costs to sweep")
+	ksFlag := fs.String("k", "1,2,4,8", "installment counts to sweep")
+	csv := fs.Bool("csv", false, "emit CSV instead of a text table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := parseProfile(*prof)
+	if err != nil {
+		return err
+	}
+	taus, err := parseFloats(*tausFlag)
+	if err != nil {
+		return err
+	}
+	ks, err := parseInts(*ksFlag)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.InstallmentStudy(*m, p, *lifespan, taus, ks)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Fprint(out, res.Table().CSV())
+		return nil
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdReplicate(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("replicate", flag.ContinueOnError)
+	trials := fs.Int("trials", 300, "trials per size for the randomized checks")
+	seed := fs.Uint64("seed", 20100419, "RNG seed")
+	asJSON := fs.Bool("json", false, "emit the certificate as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := experiments.Replicate(experiments.ReplicationConfig{VarianceTrials: *trials, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		s, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, s)
+	} else {
+		fmt.Fprint(out, rep.Render())
+	}
+	if rep.Failed > 0 {
+		return fmt.Errorf("replication certificate has %d failed checks", rep.Failed)
+	}
+	return nil
+}
+
+// parseCatalog parses "name:rho:price,name:rho:price,…".
+func parseCatalog(s string) (catalog.Catalog, error) {
+	var cat catalog.Catalog
+	for _, entry := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(entry), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad catalog entry %q, want name:rho:price", entry)
+		}
+		rho, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ρ in %q: %v", entry, err)
+		}
+		price, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad price in %q: %v", entry, err)
+		}
+		cat = append(cat, catalog.Tier{Name: fields[0], Rho: rho, Price: price})
+	}
+	return cat, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	vals := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %v", part, err)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+func cmdJitter(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("jitter", flag.ContinueOnError)
+	m := modelFlags(fs)
+	n := fs.Int("n", 8, "cluster size (linear profile)")
+	lifespan := fs.Float64("L", 1000, "lifespan")
+	seeds := fs.Int("seeds", 50, "perturbation seeds per level")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.JitterRobustness(*m, profile.Linear(*n), *lifespan,
+		[]float64{0, 0.01, 0.05, 0.1, 0.2}, *seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdAgreement(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("agreement", flag.ContinueOnError)
+	m := modelFlags(fs)
+	seed := fs.Uint64("seed", 5, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.SimAgreement(*m, []int{1, 4, 16, 64}, []float64{100, 3600, 1e6}, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdAll(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("all", flag.ContinueOnError)
+	trials := fs.Int("trials", 400, "trials per size for the §4.3 study")
+	maxSizeLog := fs.Int("max-size-log", 10, "largest §4.3 cluster size as log2(n)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	steps := []struct {
+		title string
+		run   func() error
+	}{
+		{"Table 1", func() error { return cmdParams(nil, out) }},
+		{"Table 2", func() error { fmt.Fprint(out, experiments.Table2().Render()); return nil }},
+		{"Table 3", func() error { fmt.Fprint(out, experiments.Table3().Render()); return nil }},
+		{"Table 4", func() error {
+			res, err := experiments.Table4()
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, res.Render())
+			return nil
+		}},
+		{"Figure 1", func() error { return cmdFig1(nil, out) }},
+		{"Figure 2", func() error { return cmdFig2(nil, out) }},
+		{"Figure 3", func() error { return cmdFigSpeedup(out, true) }},
+		{"Figure 4", func() error { return cmdFigSpeedup(out, false) }},
+		{"§4 counterexample", func() error { fmt.Fprint(out, experiments.MeanCounterexample().Render()); return nil }},
+		{"§4.3 variance study", func() error {
+			sizes := make([]int, 0, *maxSizeLog-1)
+			for k := 2; k <= *maxSizeLog; k++ {
+				sizes = append(sizes, 1<<k)
+			}
+			cfg := experiments.VarianceConfig{Params: model.Table1(), Sizes: sizes, TrialsPerSize: *trials, Seed: 20100419}
+			res, err := experiments.VariancePredictor(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, res.Render())
+			return nil
+		}},
+		{"§4.3 threshold", func() error {
+			cfg := experiments.VarianceConfig{Params: model.Table1(), Sizes: []int{4, 16, 64, 256, 1024}, TrialsPerSize: 200, Seed: 20100419}
+			res, err := experiments.VarianceThreshold(cfg, experiments.PaperTheta)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, res.Render())
+			return nil
+		}},
+		{"Protocol study ([1] Theorem 1)", func() error { return cmdProtocols(nil, out) }},
+		{"HECR growth (Table 3 trend extended)", func() error {
+			res, err := experiments.HECRGrowth(model.Table1(), 1024)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, res.Render())
+			return nil
+		}},
+		{"Baselines (extension)", func() error { return cmdBaselines(nil, out) }},
+		{"Predictor race (extension)", func() error {
+			return cmdPredictors([]string{"-train", "300", "-eval", "300"}, out)
+		}},
+		{"Cost effectiveness (extension)", func() error { return cmdCost(nil, out) }},
+		{"Hierarchy (extension)", func() error { return cmdHierarchy(nil, out) }},
+		{"Heterogeneous links (extension)", func() error { return cmdLinks(nil, out) }},
+		{"Multi-installment protocols (extension)", func() error { return cmdInstallments(nil, out) }},
+		{"Adaptive worksharing (extension)", func() error {
+			return cmdAdaptive([]string{"-rounds", "12", "-sweep"}, out)
+		}},
+		{"Real-workload execution", func() error {
+			return cmdExecute([]string{"-task", "montecarlo", "-L", "100"}, out)
+		}},
+		{"Moment predictors (extension)", func() error { return cmdMoments(nil, out) }},
+		{"Jitter robustness (extension)", func() error { return cmdJitter(nil, out) }},
+		{"Theorem 2 validation", func() error { return cmdAgreement(nil, out) }},
+		{"Replication certificate", func() error { return cmdReplicate([]string{"-trials", "200"}, out) }},
+	}
+	for _, s := range steps {
+		fmt.Fprintf(out, "\n==================== %s ====================\n", s.title)
+		if err := s.run(); err != nil {
+			return fmt.Errorf("%s: %w", s.title, err)
+		}
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	ns := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %v", part, err)
+		}
+		ns = append(ns, v)
+	}
+	return ns, nil
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestSubcommandsSmoke(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"params"}, "Theorem 4 threshold"},
+		{[]string{"table2"}, "coarse"},
+		{[]string{"table3"}, "0.366"},
+		{[]string{"table3", "-csv"}, "hecr_c1"},
+		{[]string{"table4"}, "Theorem 3"},
+		{[]string{"fig1"}, "end-to-end"},
+		{[]string{"fig2", "-width", "60"}, "channel"},
+		{[]string{"fig3"}, "round 16"},
+		{[]string{"fig4"}, "round 4"},
+		{[]string{"counterexample"}, "0.99"},
+		{[]string{"variance", "-sizes", "4,8", "-trials", "40"}, "bad %"},
+		{[]string{"variance", "-sizes", "4", "-trials", "30", "-csv"}, "bad pairs"},
+		{[]string{"baselines", "-n", "4", "-L", "500", "-csv"}, "equal loss"},
+		{[]string{"installments", "-L", "50", "-taus", "0.01", "-k", "1,2", "-csv"}, "installments k"},
+		{[]string{"threshold", "-sizes", "4,8", "-trials", "20"}, "100% correct"},
+		{[]string{"hecr", "-profile", "1,0.5,0.25"}, "HECR"},
+		{[]string{"compare", "-p1", "0.99,0.02", "-p2", "0.5,0.5"}, "P1 outperforms P2"},
+		{[]string{"speedup", "-profile", "1,0.5,0.25", "-phi", "0.05"}, "Theorem 3"},
+		{[]string{"speedup", "-profile", "1,1", "-psi", "0.5", "-rounds", "2"}, "round 2"},
+		{[]string{"schedule", "-profile", "1,0.5", "-L", "100", "-width", "50"}, "total work"},
+		{[]string{"protocols", "-profile", "1,0.6,0.3", "-L", "500"}, "loss vs FIFO"},
+		{[]string{"sensitivity", "-profile", "1,0.5,0.25"}, "most valuable single upgrade: C3"},
+		{[]string{"baselines", "-n", "4", "-L", "500"}, "equal loss"},
+		{[]string{"moments", "-n", "4", "-trials", "200"}, "geo-mean"},
+		{[]string{"predictors", "-n", "4", "-train", "150", "-eval", "150"}, "learned linear weights"},
+		{[]string{"cost", "-n", "4", "-alpha", "1.2", "-budget", "50"}, "work per price unit"},
+		{[]string{"links", "-profile", "0.5,0.4,0.3", "-taus", "0.000001,0.001,0.01", "-L", "500"}, "order spread"},
+		{[]string{"execute", "-task", "smoothing", "-profile", "1,0.5", "-L", "30"}, "work really done"},
+		{[]string{"hierarchy", "-n", "8"}, "loss vs flat"},
+		{[]string{"adaptive", "-rounds", "3", "-L", "100"}, "final estimates"},
+		{[]string{"adaptive", "-rounds", "3", "-jitter", "0.1"}, "efficiency"},
+		{[]string{"adaptive", "-rounds", "8", "-sweep"}, "tradeoff surface"},
+		{[]string{"design", "-budget", "30"}, "knapsack optimum"},
+		{[]string{"replicate", "-trials", "100"}, "documented deviations"},
+		{[]string{"installments", "-L", "50", "-taus", "0.01", "-k", "1,2"}, "gain vs single round"},
+		{[]string{"replicate", "-trials", "100", "-json"}, `"paper"`},
+		{[]string{"hierarchy", "-profile", "1,0.8,0.6,0.4", "-tau", "0.01"}, "chain"},
+		{[]string{"jitter", "-n", "4", "-seeds", "5", "-L", "200"}, "makespan/L"},
+		{[]string{"agreement"}, "max relative error"},
+	}
+	for _, tc := range cases {
+		t.Run(strings.Join(tc.args, "_"), func(t *testing.T) {
+			out := runCLI(t, tc.args...)
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output of %v missing %q:\n%s", tc.args, tc.want, out)
+			}
+		})
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"hecr"},                         // missing profile
+		{"hecr", "-profile", "1,abc"},    // unparseable
+		{"hecr", "-profile", "1,-0.5"},   // invalid
+		{"compare", "-p1", "1"},          // missing p2
+		{"speedup", "-profile", "1,0.5"}, // neither phi nor psi
+		{"speedup", "-profile", "1,0.5", "-phi", "0.1", "-psi", "0.5"}, // both
+		{"table3", "-sizes", "8,x"},
+		{"variance", "-trials", "0", "-sizes", "4"},
+		{"execute", "-task", "mandelbrot"},
+		{"links", "-profile", "1,0.5", "-taus", "bad"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestCompareReportsMinorization(t *testing.T) {
+	out := runCLI(t, "compare", "-p1", "0.5,0.25", "-p2", "1,0.5")
+	if !strings.Contains(out, "P1 minorizes P2") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "Proposition 3 certifies P1 > P2") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	p, err := parseProfile(" 1 , 0.5 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || p[1] != 0.5 {
+		t.Fatalf("parsed %v", p)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	ns, err := parseInts("4, 8,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 3 || ns[2] != 16 {
+		t.Fatalf("parsed %v", ns)
+	}
+}
+
+func TestAllRunsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact regeneration is slow")
+	}
+	out := runCLI(t, "all", "-trials", "60", "-max-size-log", "6")
+	for _, frag := range []string{"Table 3", "Figure 4", "§4.3 variance study", "Theorem 2 validation"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("all output missing %q", frag)
+		}
+	}
+}
+
+func TestScheduleTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/sched.json"
+	out := runCLI(t, "schedule", "-profile", "1,0.5", "-L", "100", "-trace", path)
+	if !strings.Contains(out, "trace written") {
+		t.Fatalf("output:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "traceEvents") {
+		t.Fatal("trace file malformed")
+	}
+}

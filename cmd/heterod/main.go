@@ -1,0 +1,39 @@
+// Command heterod serves the library over HTTP (see internal/api for the
+// endpoint reference):
+//
+//	heterod -addr :8080
+//	curl 'localhost:8080/v1/measure?profile=1,0.5,0.25'
+//	curl -X POST localhost:8080/v1/schedule -d '{"profile":[1,0.5],"lifespan":3600}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"hetero/internal/api"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "heterod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("heterod", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("heterod listening on %s", ln.Addr())
+	return http.Serve(ln, api.NewServer().Handler())
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"hetero/internal/api"
+)
+
+func TestServeEndToEnd(t *testing.T) {
+	// Bind an ephemeral port and exercise the real TCP path once.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: api.NewServer().Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + ln.Addr().String() + "/v1/measure?profile=1,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out api.MeasureResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.X <= 0 {
+		t.Fatalf("X = %v", out.X)
+	}
+}
+
+func TestRunRejectsBadAddr(t *testing.T) {
+	if err := run([]string{"-addr", "256.256.256.256:99999"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

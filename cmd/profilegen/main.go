@@ -1,0 +1,89 @@
+// Command profilegen generates heterogeneity profiles from the families
+// used across the paper and this repository's experiments, emitting either
+// a comma-separated list (for piping into hetero/cepsim) or JSON.
+//
+// Example:
+//
+//	profilegen -kind harmonic -n 8
+//	profilegen -kind twopoint -n 16 -mean 0.5 -offset 0.42 -json
+//	hetero hecr -profile "$(profilegen -kind linear -n 8)"
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "profilegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("profilegen", flag.ContinueOnError)
+	kind := fs.String("kind", "linear", "family: linear | harmonic | zipf | homogeneous | geometric | random | spread | twopoint")
+	n := fs.Int("n", 8, "cluster size")
+	rho := fs.Float64("rho", 0.5, "speed for -kind homogeneous")
+	ratio := fs.Float64("ratio", 0.7, "ratio for -kind geometric")
+	zipfS := fs.Float64("s", 1.5, "exponent for -kind zipf")
+	mean := fs.Float64("mean", 0.5, "mean for -kind spread/twopoint")
+	frac := fs.Float64("frac", 0.8, "spread fraction for -kind spread")
+	offset := fs.Float64("offset", 0.3, "offset d for -kind twopoint")
+	seed := fs.Uint64("seed", 1, "RNG seed for random families")
+	asJSON := fs.Bool("json", false, "emit JSON instead of a comma list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		p   profile.Profile
+		err error
+	)
+	switch *kind {
+	case "linear":
+		p = profile.Linear(*n)
+	case "harmonic":
+		p = profile.Harmonic(*n)
+	case "zipf":
+		p = profile.Zipf(*n, *zipfS)
+	case "homogeneous":
+		p = profile.Homogeneous(*n, *rho)
+	case "geometric":
+		p = profile.Geometric(*n, *ratio)
+	case "random":
+		p = profile.RandomNormalized(stats.NewRNG(*seed), *n)
+	case "spread":
+		p, err = profile.SpreadAround(stats.NewRNG(*seed), *n, *mean, *frac)
+	case "twopoint":
+		p, err = profile.TwoPoint(*n, *mean, *offset)
+	default:
+		return fmt.Errorf("unknown profile kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		data, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+	parts := make([]string, len(p))
+	for i, r := range p {
+		parts[i] = fmt.Sprintf("%g", r)
+	}
+	fmt.Fprintln(out, strings.Join(parts, ","))
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func gen(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		args   []string
+		values int
+	}{
+		{[]string{"-kind", "linear", "-n", "8"}, 8},
+		{[]string{"-kind", "harmonic", "-n", "4"}, 4},
+		{[]string{"-kind", "homogeneous", "-n", "3", "-rho", "0.5"}, 3},
+		{[]string{"-kind", "geometric", "-n", "5", "-ratio", "0.5"}, 5},
+		{[]string{"-kind", "random", "-n", "6", "-seed", "9"}, 6},
+		{[]string{"-kind", "spread", "-n", "7", "-mean", "0.4"}, 7},
+		{[]string{"-kind", "twopoint", "-n", "4", "-mean", "0.5", "-offset", "0.3"}, 4},
+	}
+	for _, tc := range cases {
+		out := gen(t, tc.args...)
+		if got := len(strings.Split(out, ",")); got != tc.values {
+			t.Fatalf("%v -> %d values (%q)", tc.args, got, out)
+		}
+	}
+}
+
+func TestLinearMatchesPaper(t *testing.T) {
+	out := gen(t, "-kind", "linear", "-n", "4")
+	if out != "1,0.75,0.5,0.25" {
+		t.Fatalf("linear(4) = %q", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := gen(t, "-kind", "harmonic", "-n", "2", "-json")
+	if out != "[1,0.5]" {
+		t.Fatalf("json = %q", out)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := gen(t, "-kind", "random", "-n", "5", "-seed", "11")
+	b := gen(t, "-kind", "random", "-n", "5", "-seed", "11")
+	c := gen(t, "-kind", "random", "-n", "5", "-seed", "12")
+	if a != b {
+		t.Fatal("same seed differed")
+	}
+	if a == c {
+		t.Fatal("different seeds collided")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "nope"},
+		{"-kind", "twopoint", "-mean", "0.5", "-offset", "0.6"},
+		{"-kind", "spread", "-mean", "0", "-n", "3"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestZipfKind(t *testing.T) {
+	out := gen(t, "-kind", "zipf", "-n", "4", "-s", "1")
+	if out != "1,0.5,0.3333333333333333,0.25" {
+		t.Fatalf("zipf(4, s=1) = %q", out)
+	}
+}

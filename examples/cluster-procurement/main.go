@@ -1,0 +1,85 @@
+// Cluster procurement: one superfast machine plus average ones, or all
+// moderately fast?
+//
+// This is the question from the paper's abstract. Three candidate clusters
+// share the same mean speed (i.e. roughly the same "total GHz" a purchasing
+// spreadsheet would show); the X-measure and HECR reveal they are far from
+// equally powerful, and the §4 variance heuristic explains the ranking.
+//
+// Run with:
+//
+//	go run ./examples/cluster-procurement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+)
+
+func main() {
+	env := model.Table1()
+
+	// Three bids, one budget: mean ρ = 0.5 for all (remember: ρ is time per
+	// work unit, so equal-mean ρ ≈ equal sticker aggregate).
+	candidates := []struct {
+		name string
+		p    profile.Profile
+	}{
+		{"flagship: one superfast + average", profile.MustNew(0.55, 0.55, 0.55, 0.55, 0.55, 0.55, 0.55, 0.15)},
+		{"balanced: all moderately fast", profile.Homogeneous(8, 0.5)},
+		{"barbell: half fast, half slow", profile.MustNew(0.9, 0.9, 0.9, 0.9, 0.1, 0.1, 0.1, 0.1)},
+	}
+
+	const day = 24 * 3600.0
+	t := render.NewTable("Procurement comparison (equal mean speeds)",
+		"cluster", "mean ρ", "VAR", "HECR", "W(1 day)")
+	for _, c := range candidates {
+		t.Add(c.name,
+			fmt.Sprintf("%.3f", c.p.Mean()),
+			fmt.Sprintf("%.4f", c.p.Variance()),
+			fmt.Sprintf("%.4f", core.HECR(env, c.p)),
+			fmt.Sprintf("%.0f", core.W(env, c.p, day)))
+	}
+	fmt.Print(t.String())
+
+	// Rank by X (ground truth).
+	bestIdx := 0
+	for i := 1; i < len(candidates); i++ {
+		if core.Compare(env, candidates[i].p, candidates[bestIdx].p) > 0 {
+			bestIdx = i
+		}
+	}
+	fmt.Printf("\n→ buy the %q cluster\n\n", candidates[bestIdx].name)
+
+	// The §4 lens: among equal-mean clusters, larger speed variance usually
+	// wins (Theorem 5 makes this exact for n = 2; §4.3 measures ≈76%
+	// accuracy in general, perfect above a gap of 0.167).
+	fmt.Println("variance heuristic (§4): among equal-mean clusters, prefer the larger variance")
+	for i, a := range candidates {
+		for _, b := range candidates[i+1:] {
+			winner, err := core.VarPredictsPower(a.p, b.p, 1e-9)
+			if err != nil {
+				log.Fatal(err)
+			}
+			actual := core.Compare(env, a.p, b.p)
+			verdict := "✓ heuristic agrees with X"
+			if (winner == 1) != (actual > 0) {
+				verdict = "✗ heuristic misfires here (a §4.3 'bad pair')"
+			}
+			names := [2]string{a.name, b.name}
+			pick := names[winner-1]
+			fmt.Printf("  %s vs %s → heuristic picks %q  %s\n", a.name, b.name, pick, verdict)
+		}
+	}
+
+	// Proposition 3, when it applies, certifies a winner from the
+	// symmetric functions alone — no X computation needed.
+	if ok, err := core.Prop3Predicts(candidates[2].p, candidates[1].p); err == nil && ok {
+		fmt.Println("\nProposition 3 certifies the barbell over the balanced cluster symbolically")
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: measure the computing power of a heterogeneous cluster.
+//
+// This example walks the library's core loop: describe an environment
+// (model.Params), describe a cluster (profile.Profile), then ask the
+// X-measure, HECR and work-production questions from §2 of the paper.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func main() {
+	// The environment: Table 1 of the paper — 1 µs transit, 10 µs
+	// packaging per work unit, results as large as inputs (δ = 1).
+	env := model.Table1()
+	if err := env.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The cluster: four computers; C1 is the slowest (ρ = 1 by the paper's
+	// normalization), C4 does a work unit in a quarter of the time.
+	cluster, err := profile.New(1, 0.5, 1.0/3, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cluster %v in environment %v\n\n", cluster, env)
+
+	// How powerful is it? X tracks work production (Theorem 2)…
+	x := core.X(env, cluster)
+	fmt.Printf("X-measure:        %.4f\n", x)
+
+	// …and the HECR makes that comparable across clusters: this cluster is
+	// worth n computers of speed HECR (Proposition 1).
+	fmt.Printf("HECR:             %.4f  (equivalent homogeneous speed; smaller = faster)\n",
+		core.HECR(env, cluster))
+
+	// How much work does it complete in an hour-long lifespan under the
+	// provably optimal FIFO protocol?
+	const hour = 3600
+	fmt.Printf("W(L=1h):          %.0f work units\n", core.W(env, cluster, hour))
+
+	// The dual (Cluster-Rental) question: how long to finish 10⁵ units?
+	fmt.Printf("L(W=100000):      %.1f time units\n\n", core.RentalLifespan(env, cluster, 1e5))
+
+	// Compare against a homogeneous cluster with the same mean speed — the
+	// paper's Corollary 1 in action: heterogeneity lends power.
+	mean := cluster.Mean()
+	homo := profile.Homogeneous(len(cluster), mean)
+	fmt.Printf("same-mean homogeneous cluster %v:\n", homo)
+	fmt.Printf("  X = %.4f vs heterogeneous %.4f\n", core.X(env, homo), x)
+	switch core.Compare(env, cluster, homo) {
+	case 1:
+		fmt.Println("  → the heterogeneous cluster wins (Corollary 1: heterogeneity lends power)")
+	case -1:
+		fmt.Println("  → the homogeneous cluster wins")
+	default:
+		fmt.Println("  → exact tie")
+	}
+}

@@ -1,0 +1,83 @@
+// Upgrade advisor: you can afford to replace ONE computer in your cluster —
+// which one?
+//
+// The paper's §3 answers this twice. For an additive upgrade (shave a fixed
+// φ off one computer's per-unit time) Theorem 3 says: always upgrade the
+// FASTEST computer. For a multiplicative upgrade (halve one computer's
+// time) Theorem 4 says: upgrade the faster of two candidates unless
+// ψρᵢρⱼ < Aτδ/B². This example evaluates both for a concrete cluster and
+// shows the full candidate table, so you can see how much the right choice
+// matters.
+//
+// Run with:
+//
+//	go run ./examples/upgrade-advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+)
+
+func main() {
+	env := model.Table1()
+	cluster := profile.MustNew(1, 0.8, 0.5, 0.3, 0.2, 0.125)
+	fmt.Printf("cluster %v\n", cluster)
+	fmt.Printf("baseline: X = %.4f, HECR = %.4f\n\n", core.X(env, cluster), core.HECR(env, cluster))
+
+	// Scenario 1: additive upgrade — each candidate gets φ = 0.1 shaved off.
+	const phi = 0.1
+	t := render.NewTable(fmt.Sprintf("additive upgrade, φ = %g", phi),
+		"upgrade", "new ρ", "work ratio", "annual surplus*")
+	const yearlyWork = 365 * 24 * 3600 // one year of lifespan, in work-unit time
+	baseline := core.W(env, cluster, yearlyWork)
+	for i := range cluster {
+		// The slowest candidates may not admit the full φ; skip those the
+		// same way a procurement would.
+		cand, err := cluster.SpeedUpAdditive(i, phi)
+		if err != nil {
+			t.Add(fmt.Sprintf("C%d", i+1), "-", "n/a", "-")
+			continue
+		}
+		ratio := core.WorkRatio(env, cand, cluster)
+		t.Add(fmt.Sprintf("C%d", i+1),
+			fmt.Sprintf("%.3f", cand[i]),
+			fmt.Sprintf("%.4f", ratio),
+			fmt.Sprintf("%+.0f units", core.W(env, cand, yearlyWork)-baseline))
+	}
+	fmt.Print(t.String())
+	best, err := core.BestAdditive(env, cluster, phi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("→ advisor: upgrade C%d — the fastest computer, exactly as Theorem 3 predicts\n\n", best.Index+1)
+
+	// Scenario 2: multiplicative upgrade — one machine gets twice as fast.
+	const psi = 0.5
+	mBest, err := core.BestMultiplicative(env, cluster, psi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multiplicative upgrade ψ = %g: upgrade C%d (work ratio %.4f)\n",
+		psi, mBest.Index+1, mBest.WorkRatio)
+
+	// Theorem 4's threshold explains when that flips: compare the fastest
+	// and slowest pair explicitly.
+	k := env.Theorem4Threshold()
+	fmt.Printf("Theorem 4 threshold Aτδ/B² = %.3g\n", k)
+	rhoSlow, rhoFast := cluster.Slowest(), cluster.Fastest()
+	fasterWins, _, err := core.Theorem4Prefers(env, rhoSlow, rhoFast, psi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fasterWins {
+		fmt.Printf("ψρᵢρⱼ = %.3g > threshold → the faster computer is the better upgrade here\n", psi*rhoSlow*rhoFast)
+	} else {
+		fmt.Printf("ψρᵢρⱼ = %.3g < threshold → this cluster is in the 'very fast' regime: upgrade the slower computer\n", psi*rhoSlow*rhoFast)
+	}
+}

@@ -1,0 +1,3 @@
+module hetero
+
+go 1.22

@@ -1,0 +1,98 @@
+// Package repro_test's integration test walks the repository's canonical
+// pipeline end to end across package boundaries: measure a cluster, design
+// its upgrade, build and verify the optimal schedule, execute it — both on
+// the discrete-event simulator and as real verified computation — and
+// finally check the whole paper's claim set via the replication
+// certificate. Each step consumes the previous step's output, so this test
+// fails if any cross-package contract drifts.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/experiments"
+	"hetero/internal/harness"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+	"hetero/internal/sim"
+	"hetero/internal/workload"
+)
+
+func TestCanonicalPipeline(t *testing.T) {
+	env := model.Table1()
+
+	// 1. Measure a cluster.
+	cluster := profile.MustNew(1, 0.5, 1.0/3, 0.25)
+	x := core.X(env, cluster)
+	hecr := core.HECR(env, cluster)
+	if !(x > 0 && hecr > cluster.Fastest() && hecr < cluster.Slowest()) {
+		t.Fatalf("measures inconsistent: X=%v HECR=%v", x, hecr)
+	}
+
+	// 2. Upgrade it per Theorem 3 — the upgrade must raise X.
+	choice, err := core.BestAdditive(env, cluster, 1.0/16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Index != core.Theorem3Index(cluster) {
+		t.Fatalf("upgrade advice %d contradicts Theorem 3", choice.Index)
+	}
+	upgraded := choice.After
+	if !(core.X(env, upgraded) > x) {
+		t.Fatal("upgrade did not raise X")
+	}
+
+	// 3. Build + verify the optimal schedule for the upgraded cluster.
+	const lifespan = 3600.0
+	sched, err := schedule.BuildFIFO(env, upgraded, lifespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Execute it on the simulator; work must match the schedule and
+	// Theorem 2.
+	proto, err := sim.OptimalFIFO(env, upgraded, lifespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sim.RunCEP(env, upgraded, proto, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.W(env, upgraded, lifespan)
+	if math.Abs(run.Completed-want) > 1e-9*want {
+		t.Fatalf("simulated %v, Theorem 2 %v", run.Completed, want)
+	}
+	if math.Abs(run.Completed-sched.TotalWork) > 1e-9*want {
+		t.Fatalf("simulator and schedule disagree: %v vs %v", run.Completed, sched.TotalWork)
+	}
+
+	// 5. Execute REAL work under the same protocol (smaller L so the test
+	// stays fast) and verify the digests sequentially.
+	task := workload.NewMonteCarlo(7, 500)
+	rep, err := harness.RunFIFO(env, upgraded, task, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.VerifySequential(task); err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnitsDone == 0 {
+		t.Fatal("no real work done")
+	}
+
+	// 6. Certify the paper.
+	cert, err := experiments.Replicate(experiments.ReplicationConfig{VarianceTrials: 120, Seed: 20100419})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Failed != 0 {
+		t.Fatalf("replication certificate failed:\n%s", cert.Render())
+	}
+}

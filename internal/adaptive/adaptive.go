@@ -1,0 +1,173 @@
+// Package adaptive closes the loop the paper leaves open for deployments:
+// the optimal FIFO allocations require the heterogeneity profile, but a
+// real server does not know its volunteers' speeds. This package learns
+// them online across repeated CEP rounds:
+//
+//  1. allocate each round's work from the current speed estimates
+//     (round 1 assumes a homogeneous cluster);
+//  2. execute the round on the discrete-event simulator against the TRUE
+//     (optionally fluctuating) speeds;
+//  3. observe each computer's busy time — in the model it is exactly
+//     B·ρ·w, so busy/(B·w) is an unbiased per-round speed sample;
+//  4. fold the sample into the estimate by exponential smoothing and go
+//     again.
+//
+// With stable true speeds one observation suffices (the model is
+// deterministic); with per-round fluctuation the smoothing factor trades
+// tracking speed against noise, and the study quantifies the resulting
+// efficiency loss relative to an oracle that knows each round's speeds.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+	"hetero/internal/sim"
+	"hetero/internal/stats"
+)
+
+// Config parameterizes an adaptive run.
+type Config struct {
+	Params model.Params
+	// True is the cluster's actual heterogeneity profile.
+	True profile.Profile
+	// Rounds is how many CEP rounds to run.
+	Rounds int
+	// RoundLifespan is each round's lifespan L.
+	RoundLifespan float64
+	// Alpha is the exponential smoothing factor in (0,1]: 1 = trust the
+	// newest observation entirely.
+	Alpha float64
+	// Jitter, if positive, fluctuates each round's effective speeds by
+	// ±Jitter around the true profile (fresh draw per round).
+	Jitter float64
+	// InitialGuess seeds every estimate (0 selects 1, the slowest
+	// normalized speed — the conservative prior).
+	InitialGuess float64
+	// Seed drives the per-round jitter draws.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if len(c.True) == 0 {
+		return fmt.Errorf("adaptive: empty true profile")
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("adaptive: rounds = %d must be positive", c.Rounds)
+	}
+	if !(c.RoundLifespan > 0) {
+		return fmt.Errorf("adaptive: round lifespan %v must be positive", c.RoundLifespan)
+	}
+	if !(c.Alpha > 0) || c.Alpha > 1 {
+		return fmt.Errorf("adaptive: smoothing α = %v outside (0,1]", c.Alpha)
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("adaptive: jitter %v outside [0,1)", c.Jitter)
+	}
+	if c.InitialGuess < 0 {
+		return fmt.Errorf("adaptive: initial guess %v must be non-negative", c.InitialGuess)
+	}
+	return nil
+}
+
+// RoundStats summarizes one adaptive round.
+type RoundStats struct {
+	Round int
+	// MaxRelErr and MeanRelErr measure the estimates entering the round
+	// against the true profile.
+	MaxRelErr  float64
+	MeanRelErr float64
+	// Efficiency is work completed by L divided by what the oracle (exact
+	// knowledge of this round's effective speeds) would complete.
+	Efficiency float64
+	// MakespanOverrun is makespan/L − 1: positive when misallocation makes
+	// the round run long.
+	MakespanOverrun float64
+}
+
+// Result is a full adaptive run.
+type Result struct {
+	Config Config
+	Rounds []RoundStats
+	// Estimates are the speed estimates after the final round.
+	Estimates profile.Profile
+}
+
+// Run executes the adaptive worksharing loop.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(cfg.True)
+	guess := cfg.InitialGuess
+	if guess == 0 {
+		guess = 1
+	}
+	est := make(profile.Profile, n)
+	for i := range est {
+		est[i] = guess
+	}
+	res := Result{Config: cfg}
+	b := cfg.Params.B()
+	rng := stats.NewRNG(cfg.Seed)
+
+	for round := 1; round <= cfg.Rounds; round++ {
+		// This round's effective speeds (the world's truth for the round).
+		eff := cfg.True.Clone()
+		if cfg.Jitter > 0 {
+			for i := range eff {
+				eff[i] *= 1 + cfg.Jitter*(2*rng.Float64()-1)
+			}
+		}
+
+		stats := RoundStats{Round: round}
+		var errSum float64
+		for i := range est {
+			rel := math.Abs(est[i]-eff[i]) / eff[i]
+			errSum += rel
+			if rel > stats.MaxRelErr {
+				stats.MaxRelErr = rel
+			}
+		}
+		stats.MeanRelErr = errSum / float64(n)
+
+		// Allocate from the estimates, execute against the effective truth.
+		alloc, err := schedule.Allocations(cfg.Params, est, cfg.RoundLifespan)
+		if err != nil {
+			return res, fmt.Errorf("adaptive: round %d allocation: %w", round, err)
+		}
+		proto := sim.Protocol{Order: identity(n), Alloc: alloc}
+		run, err := sim.RunCEP(cfg.Params, eff, proto, sim.Options{})
+		if err != nil {
+			return res, fmt.Errorf("adaptive: round %d simulation: %w", round, err)
+		}
+
+		oracle := core.W(cfg.Params, eff, cfg.RoundLifespan)
+		stats.Efficiency = run.CompletedBy(cfg.RoundLifespan) / oracle
+		stats.MakespanOverrun = run.Makespan/cfg.RoundLifespan - 1
+		res.Rounds = append(res.Rounds, stats)
+
+		// Observe busy times and update the estimates.
+		for _, tr := range run.Computers {
+			obs := (tr.BusyEnd - tr.RecvEnd) / (b * tr.Work)
+			est[tr.ID] = (1-cfg.Alpha)*est[tr.ID] + cfg.Alpha*obs
+		}
+	}
+	res.Estimates = est
+	return res, nil
+}
+
+func identity(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}

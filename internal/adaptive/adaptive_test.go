@@ -1,0 +1,167 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func baseConfig() Config {
+	return Config{
+		Params:        model.Table1(),
+		True:          profile.MustNew(1, 0.5, 0.25, 0.125),
+		Rounds:        6,
+		RoundLifespan: 500,
+		Alpha:         1,
+		Seed:          42,
+	}
+}
+
+func TestNoiselessConvergesInOneRound(t *testing.T) {
+	// Busy time is exactly B·ρ·w, so with α = 1 the estimates are perfect
+	// after the first round and efficiency is 1 from round 2 on.
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[0].MaxRelErr < 0.5 {
+		t.Fatalf("round 1 should start badly wrong (homogeneous prior): %v", res.Rounds[0].MaxRelErr)
+	}
+	for _, r := range res.Rounds[1:] {
+		if r.MaxRelErr > 1e-9 {
+			t.Fatalf("round %d error %v; should be exact after one observation", r.Round, r.MaxRelErr)
+		}
+		if math.Abs(r.Efficiency-1) > 1e-9 {
+			t.Fatalf("round %d efficiency %v, want 1", r.Round, r.Efficiency)
+		}
+		if math.Abs(r.MakespanOverrun) > 1e-9 {
+			t.Fatalf("round %d overrun %v, want 0", r.Round, r.MakespanOverrun)
+		}
+	}
+	for i, e := range res.Estimates {
+		if math.Abs(e-res.Config.True[i]) > 1e-12 {
+			t.Fatalf("final estimate %d = %v, want %v", i, e, res.Config.True[i])
+		}
+	}
+}
+
+func TestFirstRoundUnderperforms(t *testing.T) {
+	// The homogeneous prior misallocates; round 1 must lose real work
+	// against the oracle on a strongly heterogeneous cluster.
+	res, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[0].Efficiency > 0.999 {
+		t.Fatalf("round 1 efficiency %v suspiciously perfect", res.Rounds[0].Efficiency)
+	}
+	if res.Rounds[0].Efficiency <= 0 {
+		t.Fatalf("round 1 efficiency %v nonsensical", res.Rounds[0].Efficiency)
+	}
+}
+
+func TestJitterCreatesErrorFloor(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Jitter = 0.1
+	cfg.Rounds = 12
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Errors can never settle below the fluctuation scale…
+	late := res.Rounds[len(res.Rounds)-1]
+	if late.MaxRelErr > 0.5 {
+		t.Fatalf("late error %v did not come down", late.MaxRelErr)
+	}
+	if late.MaxRelErr < 1e-6 {
+		t.Fatalf("late error %v below the jitter floor; fluctuations should persist", late.MaxRelErr)
+	}
+	// …and efficiency stays high but imperfect.
+	if late.Efficiency < 0.5 || late.Efficiency > 1+1e-9 {
+		t.Fatalf("late efficiency %v out of band", late.Efficiency)
+	}
+}
+
+func TestSmoothingDampsJitterNoise(t *testing.T) {
+	// With fluctuating speeds, a damped estimator (α = 0.3) should track
+	// the TRUE mean speeds more closely than the trust-everything α = 1
+	// estimator, on average over late rounds.
+	lateErr := func(alpha float64) float64 {
+		cfg := baseConfig()
+		cfg.Jitter = 0.15
+		cfg.Alpha = alpha
+		cfg.Rounds = 20
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		count := 0
+		for _, r := range res.Rounds[10:] {
+			sum += r.MeanRelErr
+			count++
+		}
+		return sum / float64(count)
+	}
+	damped := lateErr(0.3)
+	eager := lateErr(1)
+	if !(damped < eager) {
+		t.Fatalf("smoothing did not help under jitter: α=0.3 err %v vs α=1 err %v", damped, eager)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Jitter = 0.2
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i] != b.Rounds[i] {
+			t.Fatalf("round %d differs across identical runs", i+1)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.True = nil },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.RoundLifespan = 0 },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 1.5 },
+		func(c *Config) { c.Jitter = -0.1 },
+		func(c *Config) { c.Jitter = 1 },
+		func(c *Config) { c.InitialGuess = -1 },
+		func(c *Config) { c.Params = model.Params{} },
+	}
+	for i, mutate := range cases {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestInitialGuessHonored(t *testing.T) {
+	cfg := baseConfig()
+	cfg.True = profile.MustNew(0.3, 0.3)
+	cfg.InitialGuess = 0.3
+	cfg.Rounds = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfect prior means a perfect first round.
+	if res.Rounds[0].MaxRelErr > 1e-12 || math.Abs(res.Rounds[0].Efficiency-1) > 1e-9 {
+		t.Fatalf("perfect prior round: %+v", res.Rounds[0])
+	}
+}

@@ -1,0 +1,355 @@
+// Package api exposes the library over HTTP as a small JSON service — the
+// deployment face of the reproduction: a scheduler node (or a curious
+// colleague with curl) can ask for cluster measures, optimal schedules, and
+// budget designs without linking Go code.
+//
+// Endpoints (all GET unless noted):
+//
+//	GET  /v1/measure?profile=1,0.5,0.25[&tau=..&pi=..&delta=..]
+//	     → X, HECR, work rate, moments
+//	GET  /v1/compare?p1=..&p2=..            → winner + per-cluster measures
+//	POST /v1/schedule {profile, lifespan}   → allocations + timeline
+//	POST /v1/design {catalog, budget}       → knapsack-optimal composition
+//	GET  /v1/speedup?profile=..&phi=|psi=   → which computer to upgrade (§3)
+//	GET  /v1/healthz                        → liveness
+//
+// Parameters default to the paper's Table 1 environment.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hetero/internal/catalog"
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+)
+
+// Server carries the default environment.
+type Server struct {
+	Defaults model.Params
+}
+
+// NewServer returns a server defaulting to Table 1 parameters.
+func NewServer() *Server { return &Server{Defaults: model.Table1()} }
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/measure", s.handleMeasure)
+	mux.HandleFunc("/v1/compare", s.handleCompare)
+	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/v1/design", s.handleDesign)
+	mux.HandleFunc("/v1/speedup", s.handleSpeedup)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// MeasureResponse is the /v1/measure payload.
+type MeasureResponse struct {
+	Profile  profile.Profile `json:"profile"`
+	X        float64         `json:"x"`
+	HECR     float64         `json:"hecr"`
+	WorkRate float64         `json:"work_rate"`
+	Mean     float64         `json:"mean"`
+	Variance float64         `json:"variance"`
+	GeoMean  float64         `json:"geo_mean"`
+}
+
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	m, err := s.paramsFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, err := profileFromString(r.URL.Query().Get("profile"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, MeasureResponse{
+		Profile:  p,
+		X:        core.X(m, p),
+		HECR:     core.HECR(m, p),
+		WorkRate: core.WorkRate(m, p),
+		Mean:     p.Mean(),
+		Variance: p.Variance(),
+		GeoMean:  p.GeoMean(),
+	})
+}
+
+// CompareResponse is the /v1/compare payload.
+type CompareResponse struct {
+	P1     MeasureResponse `json:"p1"`
+	P2     MeasureResponse `json:"p2"`
+	Winner int             `json:"winner"` // 1, 2, or 0 for a tie
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	m, err := s.paramsFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p1, err := profileFromString(r.URL.Query().Get("p1"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "p1: "+err.Error())
+		return
+	}
+	p2, err := profileFromString(r.URL.Query().Get("p2"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "p2: "+err.Error())
+		return
+	}
+	resp := CompareResponse{Winner: 0}
+	switch core.Compare(m, p1, p2) {
+	case 1:
+		resp.Winner = 1
+	case -1:
+		resp.Winner = 2
+	}
+	for _, pair := range []struct {
+		dst *MeasureResponse
+		p   profile.Profile
+	}{{&resp.P1, p1}, {&resp.P2, p2}} {
+		*pair.dst = MeasureResponse{
+			Profile: pair.p, X: core.X(m, pair.p), HECR: core.HECR(m, pair.p),
+			WorkRate: core.WorkRate(m, pair.p), Mean: pair.p.Mean(),
+			Variance: pair.p.Variance(), GeoMean: pair.p.GeoMean(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ScheduleRequest is the /v1/schedule body.
+type ScheduleRequest struct {
+	Profile  []float64     `json:"profile"`
+	Lifespan float64       `json:"lifespan"`
+	Params   *model.Params `json:"params,omitempty"`
+}
+
+// ScheduleResponse is the /v1/schedule payload.
+type ScheduleResponse struct {
+	TotalWork   float64           `json:"total_work"`
+	Allocations []float64         `json:"allocations"`
+	Computers   []ScheduleSegment `json:"computers"`
+}
+
+// ScheduleSegment summarizes one computer's timeline.
+type ScheduleSegment struct {
+	Rho       float64 `json:"rho"`
+	Work      float64 `json:"work"`
+	RecvEnd   float64 `json:"recv_end"`
+	BusyEnd   float64 `json:"busy_end"`
+	ResultsAt float64 `json:"results_at"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ScheduleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	m := s.Defaults
+	if req.Params != nil {
+		m = *req.Params
+	}
+	p, err := profile.New(req.Profile...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sched, err := schedule.BuildFIFO(m, p, req.Lifespan)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := ScheduleResponse{TotalWork: sched.TotalWork}
+	for _, c := range sched.Computers {
+		resp.Allocations = append(resp.Allocations, c.Work)
+		resp.Computers = append(resp.Computers, ScheduleSegment{
+			Rho:       c.Rho,
+			Work:      c.Work,
+			RecvEnd:   c.Segment(schedule.SegReceive).End,
+			BusyEnd:   c.Segment(schedule.SegPack).End,
+			ResultsAt: c.ResultsArrive,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// DesignRequest is the /v1/design body.
+type DesignRequest struct {
+	Catalog []catalog.Tier `json:"catalog"`
+	Budget  int            `json:"budget"`
+	Params  *model.Params  `json:"params,omitempty"`
+}
+
+// DesignResponse is the /v1/design payload.
+type DesignResponse struct {
+	Counts  []int           `json:"counts"`
+	Cost    int             `json:"cost"`
+	Profile profile.Profile `json:"profile"`
+	X       float64         `json:"x"`
+	HECR    float64         `json:"hecr"`
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req DesignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	m := s.Defaults
+	if req.Params != nil {
+		m = *req.Params
+	}
+	design, err := catalog.Optimize(m, catalog.Catalog(req.Catalog), req.Budget)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, DesignResponse{
+		Counts:  design.Counts,
+		Cost:    design.Cost,
+		Profile: design.Profile,
+		X:       design.X,
+		HECR:    core.HECR(m, design.Profile),
+	})
+}
+
+// SpeedupResponse is the /v1/speedup payload: which single computer to
+// upgrade, per §3 of the paper.
+type SpeedupResponse struct {
+	Index     int             `json:"index"` // 0-based computer to upgrade
+	After     profile.Profile `json:"after"`
+	WorkRatio float64         `json:"work_ratio"`
+	Mode      string          `json:"mode"` // "additive" or "multiplicative"
+}
+
+func (s *Server) handleSpeedup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	m, err := s.paramsFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, err := profileFromString(r.URL.Query().Get("profile"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q := r.URL.Query()
+	phiStr, psiStr := q.Get("phi"), q.Get("psi")
+	var (
+		choice core.SpeedupChoice
+		mode   string
+	)
+	switch {
+	case phiStr != "" && psiStr != "":
+		writeError(w, http.StatusBadRequest, "pass exactly one of phi, psi")
+		return
+	case phiStr != "":
+		phi, perr := strconv.ParseFloat(phiStr, 64)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, "bad phi")
+			return
+		}
+		choice, err = core.BestAdditive(m, p, phi)
+		mode = "additive"
+	case psiStr != "":
+		psi, perr := strconv.ParseFloat(psiStr, 64)
+		if perr != nil {
+			writeError(w, http.StatusBadRequest, "bad psi")
+			return
+		}
+		choice, err = core.BestMultiplicative(m, p, psi)
+		mode = "multiplicative"
+	default:
+		writeError(w, http.StatusBadRequest, "pass one of phi, psi")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SpeedupResponse{
+		Index: choice.Index, After: choice.After, WorkRatio: choice.WorkRatio, Mode: mode,
+	})
+}
+
+// paramsFromQuery overlays tau/pi/delta query parameters on the defaults.
+func (s *Server) paramsFromQuery(r *http.Request) (model.Params, error) {
+	m := s.Defaults
+	q := r.URL.Query()
+	for _, f := range []struct {
+		key string
+		dst *float64
+	}{{"tau", &m.Tau}, {"pi", &m.Pi}, {"delta", &m.Delta}} {
+		if v := q.Get(f.key); v != "" {
+			parsed, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return m, fmt.Errorf("bad %s: %v", f.key, err)
+			}
+			*f.dst = parsed
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+func profileFromString(s string) (profile.Profile, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing profile")
+	}
+	parts := strings.Split(s, ",")
+	rhos := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ρ-value %q", part)
+		}
+		rhos = append(rhos, v)
+	}
+	return profile.New(rhos...)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,217 @@
+// Package catalog solves the cluster-design problem: given a machine
+// catalog (speed tiers with prices) and a budget, compose the most powerful
+// cluster money can buy.
+//
+// The telescoped X-measure makes this exactly solvable. Because
+//
+//	X(P) = (1 − Π r(ρᵢ))/(A − τδ),   r(ρ) = (Bρ+τδ)/(Bρ+A) ∈ (0,1),
+//
+// maximizing X is minimizing Σ log r(ρᵢ), and each purchased machine
+// contributes its own additive value −log r(ρ) > 0 independent of the rest
+// of the cluster. Composing a budget-constrained cluster is therefore an
+// UNBOUNDED KNAPSACK: items = catalog tiers, value = −log r(ρ), weight =
+// price. The package solves it exactly by dynamic programming over integer
+// prices and compares the optimum against the folk heuristics ("buy the
+// fastest you can afford", "buy as many as possible").
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// Tier is one catalog entry: a machine model with speed ρ and an integer
+// price (choose your own currency unit; the DP is pseudo-polynomial in the
+// budget).
+type Tier struct {
+	Name  string
+	Rho   float64
+	Price int
+}
+
+// Catalog is a set of purchasable machine tiers.
+type Catalog []Tier
+
+// Validate checks tier sanity.
+func (c Catalog) Validate() error {
+	if len(c) == 0 {
+		return fmt.Errorf("catalog: empty catalog")
+	}
+	for i, t := range c {
+		if !(t.Rho > 0) || t.Rho > 1 {
+			return fmt.Errorf("catalog: tier %d (%s) ρ = %v outside (0,1]", i, t.Name, t.Rho)
+		}
+		if t.Price <= 0 {
+			return fmt.Errorf("catalog: tier %d (%s) price %d must be positive", i, t.Name, t.Price)
+		}
+	}
+	return nil
+}
+
+// Design is a purchased cluster composition.
+type Design struct {
+	// Counts[i] is how many of catalog tier i to buy.
+	Counts []int
+	// Cost is the total price.
+	Cost int
+	// Profile is the resulting cluster profile (tiers repeated by count,
+	// slowest first).
+	Profile profile.Profile
+	// X is the composition's power measure.
+	X float64
+}
+
+// Optimize returns the X-maximal composition affordable within budget,
+// solved exactly by unbounded-knapsack DP. A budget too small for any tier
+// yields an error.
+func Optimize(m model.Params, c Catalog, budget int) (Design, error) {
+	if err := m.Validate(); err != nil {
+		return Design{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return Design{}, err
+	}
+	if budget <= 0 {
+		return Design{}, fmt.Errorf("catalog: budget %d must be positive", budget)
+	}
+	// value[t] = −log r(ρ_t) > 0: the machine's additive contribution to
+	// −Σ log r, the monotone transform of X.
+	values := make([]float64, len(c))
+	for i, t := range c {
+		values[i] = -logRatio(m, t.Rho)
+	}
+	// DP over budgets: best[b] = max total value spendable within b;
+	// choice[b] = tier whose purchase attains best[b], or −1 when best[b]
+	// is inherited from b−1 (one unit of money left unspent).
+	best := make([]float64, budget+1)
+	choice := make([]int, budget+1)
+	for b := 1; b <= budget; b++ {
+		best[b] = best[b-1]
+		choice[b] = -1
+		for t, tier := range c {
+			if tier.Price > b {
+				continue
+			}
+			if v := best[b-tier.Price] + values[t]; v > best[b] {
+				best[b] = v
+				choice[b] = t
+			}
+		}
+	}
+	if best[budget] == 0 {
+		return Design{}, fmt.Errorf("catalog: budget %d cannot afford any tier (cheapest costs %d)", budget, cheapest(c))
+	}
+	// Recover the composition by walking the choices back down.
+	counts := make([]int, len(c))
+	cost := 0
+	for b := budget; b > 0; {
+		t := choice[b]
+		if t == -1 {
+			b--
+			continue
+		}
+		counts[t]++
+		cost += c[t].Price
+		b -= c[t].Price
+	}
+	return assembleDesign(m, c, counts, cost)
+}
+
+// BuyFastest is the folk heuristic "spend everything on the fastest tier
+// you can afford, repeatedly".
+func BuyFastest(m model.Params, c Catalog, budget int) (Design, error) {
+	if err := c.Validate(); err != nil {
+		return Design{}, err
+	}
+	tiers := append(Catalog(nil), c...)
+	sort.SliceStable(tiers, func(i, j int) bool { return tiers[i].Rho < tiers[j].Rho }) // fastest first
+	counts := make([]int, len(c))
+	cost := 0
+	remaining := budget
+	for _, tier := range tiers {
+		for tier.Price <= remaining {
+			counts[indexOf(c, tier)]++
+			cost += tier.Price
+			remaining -= tier.Price
+		}
+	}
+	if cost == 0 {
+		return Design{}, fmt.Errorf("catalog: budget %d cannot afford any tier", budget)
+	}
+	return assembleDesign(m, c, counts, cost)
+}
+
+// BuyMost is the folk heuristic "maximize the machine count": buy the
+// cheapest tier exclusively.
+func BuyMost(m model.Params, c Catalog, budget int) (Design, error) {
+	if err := c.Validate(); err != nil {
+		return Design{}, err
+	}
+	cheapIdx := 0
+	for i, t := range c {
+		if t.Price < c[cheapIdx].Price {
+			cheapIdx = i
+		}
+	}
+	n := budget / c[cheapIdx].Price
+	if n == 0 {
+		return Design{}, fmt.Errorf("catalog: budget %d cannot afford any tier", budget)
+	}
+	counts := make([]int, len(c))
+	counts[cheapIdx] = n
+	return assembleDesign(m, c, counts, n*c[cheapIdx].Price)
+}
+
+func assembleDesign(m model.Params, c Catalog, counts []int, cost int) (Design, error) {
+	var rhos []float64
+	for i, n := range counts {
+		for k := 0; k < n; k++ {
+			rhos = append(rhos, c[i].Rho)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(rhos)))
+	p, err := profile.New(rhos...)
+	if err != nil {
+		return Design{}, err
+	}
+	return Design{
+		Counts:  counts,
+		Cost:    cost,
+		Profile: p,
+		X:       core.X(m, p),
+	}, nil
+}
+
+// String summarizes the composition.
+func (d Design) String() string {
+	return fmt.Sprintf("Design{cost %d, n %d, X %.4f}", d.Cost, len(d.Profile), d.X)
+}
+
+func cheapest(c Catalog) int {
+	min := c[0].Price
+	for _, t := range c[1:] {
+		if t.Price < min {
+			min = t.Price
+		}
+	}
+	return min
+}
+
+func indexOf(c Catalog, tier Tier) int {
+	for i, t := range c {
+		if t == tier {
+			return i
+		}
+	}
+	panic("catalog: tier not in catalog")
+}
+
+// logRatio mirrors core's internal helper; duplicated here in minimal form
+// to keep the value computation next to the knapsack that consumes it.
+func logRatio(m model.Params, rho float64) float64 {
+	return core.LogProductRatios(m, profile.Profile{rho})
+}

@@ -1,0 +1,214 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func sampleCatalog() Catalog {
+	return Catalog{
+		{Name: "econo", Rho: 1, Price: 1},
+		{Name: "mid", Rho: 0.5, Price: 3},
+		{Name: "fast", Rho: 0.25, Price: 5},
+		{Name: "turbo", Rho: 0.1, Price: 14},
+	}
+}
+
+func TestOptimizeBeatsBruteForceNever(t *testing.T) {
+	// Exhaustively enumerate all compositions within small budgets and
+	// confirm the knapsack's X is maximal.
+	m := model.Table1()
+	c := sampleCatalog()
+	for budget := 1; budget <= 18; budget++ {
+		opt, err := Optimize(m, c, budget)
+		if err != nil {
+			if budget < cheapest(c) {
+				continue
+			}
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		bestX := bruteForceBestX(t, m, c, budget)
+		if opt.X < bestX-1e-9*bestX {
+			t.Fatalf("budget %d: knapsack X %v below brute-force optimum %v (design %v)", budget, opt.X, bestX, opt)
+		}
+		if opt.Cost > budget {
+			t.Fatalf("budget %d: design overspends (%d)", budget, opt.Cost)
+		}
+	}
+}
+
+// bruteForceBestX enumerates compositions recursively.
+func bruteForceBestX(t *testing.T, m model.Params, c Catalog, budget int) float64 {
+	t.Helper()
+	best := 0.0
+	var recurse func(tier int, remaining int, rhos []float64)
+	recurse = func(tier, remaining int, rhos []float64) {
+		if tier == len(c) {
+			if len(rhos) == 0 {
+				return
+			}
+			p, err := profile.New(rhos...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x := core.X(m, p); x > best {
+				best = x
+			}
+			return
+		}
+		for n := 0; n*c[tier].Price <= remaining; n++ {
+			next := rhos
+			for k := 0; k < n; k++ {
+				next = append(next, c[tier].Rho)
+			}
+			recurse(tier+1, remaining-n*c[tier].Price, next)
+		}
+	}
+	recurse(0, budget, nil)
+	return best
+}
+
+func TestOptimizeBeatsHeuristics(t *testing.T) {
+	m := model.Table1()
+	c := sampleCatalog()
+	for _, budget := range []int{10, 17, 30, 53} {
+		opt, err := Optimize(m, c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastest, err := BuyFastest(m, c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		most, err := BuyMost(m, c, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.X < fastest.X-1e-12 || opt.X < most.X-1e-12 {
+			t.Fatalf("budget %d: optimum %v lost to a heuristic (%v / %v)", budget, opt.X, fastest.X, most.X)
+		}
+	}
+}
+
+func TestHeuristicsCanBeStrictlySuboptimal(t *testing.T) {
+	// At some budget the knapsack must beat at least one heuristic strictly
+	// for this catalog; otherwise the study is vacuous.
+	m := model.Table1()
+	c := sampleCatalog()
+	strictly := false
+	for budget := 5; budget <= 40 && !strictly; budget++ {
+		opt, err := Optimize(m, c, budget)
+		if err != nil {
+			continue
+		}
+		fastest, err1 := BuyFastest(m, c, budget)
+		most, err2 := BuyMost(m, c, budget)
+		if err1 == nil && opt.X > fastest.X*(1+1e-9) {
+			strictly = true
+		}
+		if err2 == nil && opt.X > most.X*(1+1e-9) {
+			strictly = true
+		}
+	}
+	if !strictly {
+		t.Fatal("knapsack never strictly beat the heuristics on this catalog")
+	}
+}
+
+func TestOptimizeUsesWholeValueStructure(t *testing.T) {
+	// The knapsack objective must equal −Σ log r over the chosen machines.
+	m := model.Table1()
+	c := sampleCatalog()
+	opt, err := Optimize(m, c, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, n := range opt.Counts {
+		sum += float64(n) * -core.LogProductRatios(m, profile.Profile{c[i].Rho})
+	}
+	if got := -core.LogProductRatios(m, opt.Profile); math.Abs(got-sum) > 1e-12*sum {
+		t.Fatalf("additivity broken: %v vs %v", got, sum)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := model.Table1()
+	if _, err := Optimize(m, Catalog{}, 10); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+	if _, err := Optimize(m, Catalog{{Name: "x", Rho: 0, Price: 1}}, 10); err == nil {
+		t.Fatal("ρ=0 accepted")
+	}
+	if _, err := Optimize(m, Catalog{{Name: "x", Rho: 0.5, Price: 0}}, 10); err == nil {
+		t.Fatal("price=0 accepted")
+	}
+	if _, err := Optimize(m, sampleCatalog(), 0); err == nil {
+		t.Fatal("budget=0 accepted")
+	}
+	if _, err := Optimize(m, Catalog{{Name: "x", Rho: 0.5, Price: 100}}, 10); err == nil {
+		t.Fatal("unaffordable budget accepted")
+	}
+	if _, err := BuyFastest(m, Catalog{{Name: "x", Rho: 0.5, Price: 100}}, 10); err == nil {
+		t.Fatal("BuyFastest unaffordable accepted")
+	}
+	if _, err := BuyMost(m, Catalog{{Name: "x", Rho: 0.5, Price: 100}}, 10); err == nil {
+		t.Fatal("BuyMost unaffordable accepted")
+	}
+}
+
+func TestHeuristicShapes(t *testing.T) {
+	m := model.Table1()
+	c := sampleCatalog()
+	fastest, err := BuyFastest(m, c, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 buys two turbos (28) then... remaining 2 buys econos.
+	if fastest.Counts[3] != 2 {
+		t.Fatalf("BuyFastest turbo count = %d, want 2 (counts %v)", fastest.Counts[3], fastest.Counts)
+	}
+	most, err := BuyMost(m, c, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if most.Counts[0] != 30 || len(most.Profile) != 30 {
+		t.Fatalf("BuyMost counts %v", most.Counts)
+	}
+}
+
+func TestDesignProfileSorted(t *testing.T) {
+	m := model.Table1()
+	opt, err := Optimize(m, sampleCatalog(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Profile.IsSortedDesc() {
+		t.Fatalf("design profile not power-indexed: %v", opt.Profile)
+	}
+}
+
+func TestOptimizeScalesToRealisticBudgets(t *testing.T) {
+	m := model.Table1()
+	rng := stats.NewRNG(1)
+	c := make(Catalog, 12)
+	for i := range c {
+		c[i] = Tier{
+			Name:  string(rune('a' + i)),
+			Rho:   rng.InRange(0.02, 1),
+			Price: 1 + rng.Intn(500),
+		}
+	}
+	opt, err := Optimize(m, c, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cost > 10000 || len(opt.Profile) == 0 {
+		t.Fatalf("bad design %v", opt)
+	}
+}

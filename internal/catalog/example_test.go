@@ -1,0 +1,25 @@
+package catalog_test
+
+import (
+	"fmt"
+
+	"hetero/internal/catalog"
+	"hetero/internal/model"
+)
+
+// ExampleOptimize designs the most powerful cluster a budget can buy — an
+// exact unbounded knapsack thanks to the X-measure's per-machine
+// additivity.
+func ExampleOptimize() {
+	env := model.Table1()
+	cat := catalog.Catalog{
+		{Name: "econo", Rho: 1, Price: 7},
+		{Name: "turbo", Rho: 0.1, Price: 55},
+	}
+	d, err := catalog.Optimize(env, cat, 131)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("buy %d econo + %d turbo (cost %d, X %.2f)\n", d.Counts[0], d.Counts[1], d.Cost, d.X)
+	// Output: buy 3 econo + 2 turbo (cost 131, X 23.00)
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// Decomposition is the paper's eq. (3): with a startup order putting
+// computers i and j last (s_n = i, s_{n−1} = j),
+//
+//	X(P) = Lead · Y + Z
+//	Lead = (A + B(ρᵢ+ρⱼ) + τδ) / (A² + AB(ρᵢ+ρⱼ) + B²ρᵢρⱼ)
+//	Y    = Π_{k ≠ i,j} r(ρ_k)         (positive)
+//	Z    = X(P without ρᵢ, ρⱼ)        (positive)
+//
+// Both Theorems 3 and 4 are one-line consequences: a speedup of ρᵢ or ρⱼ
+// changes only Lead, so comparing two candidate speedups reduces to
+// comparing two scalar fractions. This type exposes the pieces so the
+// theorems' proof identity is directly checkable in code.
+type Decomposition struct {
+	I, J int
+	Lead float64
+	Y    float64
+	Z    float64
+}
+
+// X reassembles Lead·Y + Z.
+func (d Decomposition) X() float64 { return d.Lead*d.Y + d.Z }
+
+// Decompose computes eq. (3) for the pair {i, j} of the profile. The
+// profile needs at least two computers and i ≠ j.
+func Decompose(m model.Params, p profile.Profile, i, j int) (Decomposition, error) {
+	n := len(p)
+	if n < 2 {
+		return Decomposition{}, fmt.Errorf("core: eq. (3) needs at least 2 computers, got %d", n)
+	}
+	if i == j || i < 0 || j < 0 || i >= n || j >= n {
+		return Decomposition{}, fmt.Errorf("core: invalid pair (%d, %d) for n = %d", i, j, n)
+	}
+	a, b, td := m.A(), m.B(), m.TauDelta()
+	sum := p[i] + p[j]
+	prod := p[i] * p[j]
+	d := Decomposition{
+		I:    i,
+		J:    j,
+		Lead: (a + b*sum + td) / (a*a + a*b*sum + b*b*prod),
+		Y:    1,
+	}
+	rest := make(profile.Profile, 0, n-2)
+	for k, rho := range p {
+		if k == i || k == j {
+			continue
+		}
+		d.Y *= Ratio(m, rho)
+		rest = append(rest, rho)
+	}
+	if len(rest) > 0 {
+		d.Z = X(m, rest)
+	}
+	return d, nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func TestDecomposeReassemblesX(t *testing.T) {
+	// Eq. (3) must reproduce X for every profile and every pair, because
+	// X is startup-order invariant.
+	r := stats.NewRNG(401)
+	for _, m := range []model.Params{model.Table1(), model.Figs34()} {
+		for trial := 0; trial < 200; trial++ {
+			n := 2 + r.Intn(8)
+			p := profile.RandomNormalized(r, n)
+			i := r.Intn(n)
+			j := r.Intn(n)
+			if i == j {
+				continue
+			}
+			d, err := Decompose(m, p, i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !relClose(d.X(), X(m, p), 1e-10) {
+				t.Fatalf("Lead·Y + Z = %v != X = %v for %v pair (%d,%d)", d.X(), X(m, p), p, i, j)
+			}
+			if !(d.Lead > 0 && d.Y > 0 && d.Z >= 0) {
+				t.Fatalf("eq. (3) pieces must be positive: %+v", d)
+			}
+		}
+	}
+}
+
+func TestDecomposeTheorem3ViaLead(t *testing.T) {
+	// Theorem 3's proof: an additive speedup of the faster computer gives
+	// the larger Lead (Y and Z are untouched). Verify the proof step
+	// directly.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 1.0/3, 0.25)
+	phi := 1.0 / 16
+	// Pair {C1 (slower), C4 (faster)}: speeding C4 must beat speeding C1.
+	spedSlow, err := p.SpeedUpAdditive(0, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spedFast, err := p.SpeedUpAdditive(3, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dSlow, err := Decompose(m, spedSlow, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFast, err := Decompose(m, spedFast, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Y and Z are shared (they never mention ρ₁ or ρ₄).
+	if !relClose(dSlow.Y, dFast.Y, 1e-12) || !relClose(dSlow.Z, dFast.Z, 1e-12) {
+		t.Fatalf("Y/Z should not depend on the pair's speeds: %+v vs %+v", dSlow, dFast)
+	}
+	if !(dFast.Lead > dSlow.Lead) {
+		t.Fatalf("Theorem 3 proof step violated: Lead(fast) %v ≤ Lead(slow) %v", dFast.Lead, dSlow.Lead)
+	}
+}
+
+func TestDecomposeTwoComputerCluster(t *testing.T) {
+	// n = 2: Y = 1, Z = 0, X = Lead exactly.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	d, err := Decompose(m, p, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Y != 1 || d.Z != 0 {
+		t.Fatalf("n=2 pieces: %+v", d)
+	}
+	if !relClose(d.Lead, X(m, p), 1e-12) {
+		t.Fatalf("n=2 Lead %v != X %v", d.Lead, X(m, p))
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	for _, pair := range [][2]int{{0, 0}, {-1, 1}, {0, 2}} {
+		if _, err := Decompose(m, p, pair[0], pair[1]); err == nil {
+			t.Fatalf("pair %v accepted", pair)
+		}
+	}
+	if _, err := Decompose(m, profile.MustNew(1), 0, 0); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}

@@ -1,0 +1,27 @@
+// Package core implements the paper's primary contribution: measuring the
+// computing power of a heterogeneous cluster through its optimal solutions
+// to the Cluster-Exploitation Problem.
+//
+// The central quantities, for a cluster with heterogeneity profile
+// P = ⟨ρ1,…,ρn⟩ in an environment with constants A = π+τ, B = 1+(1+δ)π:
+//
+//   - the X-measure of Theorem 2,
+//     X(P) = Σᵢ [1/(Bρᵢ+A)] Πⱼ<ᵢ (Bρⱼ+τδ)/(Bρⱼ+A),
+//     which this package evaluates through the telescoped closed form
+//     X(P) = (1 − Πᵢ r(ρᵢ)) / (A − τδ) with r(ρ) = (Bρ+τδ)/(Bρ+A);
+//   - the asymptotic work production W(L;P) = L / (τδ + 1/X(P));
+//   - the homogeneous-equivalent computing rate (HECR) of Proposition 1;
+//   - the speedup results of §3 (Theorems 3 and 4) and a greedy iterated
+//     speedup planner reproducing Figures 3 and 4;
+//   - the symmetric-function machinery of §4 (Lemma 1's rational form of X
+//     and Proposition 3's sufficient outperformance test) and the moment
+//     results of Theorem 5.
+//
+// The telescoped form makes the two structural facts the paper leans on
+// self-evident: X is symmetric in the ρᵢ (Theorem 1.2 — work production is
+// independent of the startup order) and strictly decreasing in every ρᵢ
+// (Proposition 2 — faster clusters complete more work). It is also the key
+// to numerical robustness: Π r(ρᵢ) is accumulated as Σ log1p(·) so that
+// clusters as large as n = 2¹⁶ (the paper's §4.3 study) are handled at full
+// float64 precision.
+package core

@@ -1,0 +1,23 @@
+package core
+
+import (
+	"fmt"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// RentalLifespan solves the Cluster-Rental Problem — the CEP's dual
+// (footnote 3 of the paper): the asymptotic lifespan needed for cluster P
+// to complete work units of work, obtained by inverting Theorem 2:
+//
+//	L = W · (τδ + 1/X(P)).
+//
+// The conversion between optimal CEP and CRP solutions is exactly this
+// inversion: the same FIFO schedule, scaled to the requested work volume.
+func RentalLifespan(m model.Params, p profile.Profile, work float64) float64 {
+	if work < 0 {
+		panic(fmt.Sprintf("core: negative work volume %v", work))
+	}
+	return work * (m.TauDelta() + 1/X(m, p))
+}

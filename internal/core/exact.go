@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/big"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// XExact evaluates the X-measure in arbitrary-precision arithmetic
+// (math/big with the given mantissa precision in bits; 0 selects 256).
+// It exists to referee the float64 implementations: the test suite measures
+// X and XDirect against it on adversarial profiles, and the numerical
+// ablation (BenchmarkXForms) uses it to quantify each form's error. There
+// is no float64 range limitation, so it also covers regimes where the
+// Lemma 1 rational form over/underflows.
+func XExact(m model.Params, p profile.Profile, prec uint) *big.Float {
+	if prec == 0 {
+		prec = 256
+	}
+	bf := func(x float64) *big.Float { return new(big.Float).SetPrec(prec).SetFloat64(x) }
+
+	a := bf(m.A())
+	b := bf(m.B())
+	td := bf(m.TauDelta())
+
+	// Π (Bρ + τδ)/(Bρ + A)
+	prod := bf(1)
+	num := new(big.Float).SetPrec(prec)
+	den := new(big.Float).SetPrec(prec)
+	for _, rho := range p {
+		brho := new(big.Float).SetPrec(prec).Mul(b, bf(rho))
+		num.Add(brho, td)
+		den.Add(brho, a)
+		prod.Mul(prod, num)
+		prod.Quo(prod, den)
+	}
+
+	// X = (1 − Π) / (A − τδ)
+	x := bf(1)
+	x.Sub(x, prod)
+	denom := new(big.Float).SetPrec(prec).Sub(a, td)
+	return x.Quo(x, denom)
+}
+
+// XExactFloat64 is XExact rounded back to float64 — the reference value
+// for error measurements.
+func XExactFloat64(m model.Params, p profile.Profile) float64 {
+	v, _ := XExact(m, p, 0).Float64()
+	return v
+}

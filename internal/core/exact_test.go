@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func TestXExactAgreesWithFloat64(t *testing.T) {
+	m := model.Table1()
+	r := stats.NewRNG(271)
+	for trial := 0; trial < 100; trial++ {
+		p := randomProfile(r)
+		exact := XExactFloat64(m, p)
+		if got := X(m, p); !relClose(got, exact, 1e-11) {
+			t.Fatalf("X = %.17g, exact = %.17g for %v", got, exact, p)
+		}
+	}
+}
+
+func TestXExactLargeCluster(t *testing.T) {
+	// At n = 2^14 the float64 telescoped form must still track the
+	// 256-bit reference closely.
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(3), 1<<14)
+	exact := XExactFloat64(m, p)
+	if got := X(m, p); !relClose(got, exact, 1e-9) {
+		t.Fatalf("X = %.17g, exact = %.17g at n=2^14", got, exact)
+	}
+}
+
+func TestXExactRegimeBeyondLemma1(t *testing.T) {
+	// Where the rational form overflows (n = 120), the exact path and the
+	// telescoped float64 path must still agree.
+	m := model.Table1()
+	p := profile.Homogeneous(120, 0.5)
+	if _, err := XRational(m, p); err == nil {
+		t.Skip("rational form unexpectedly survived; regime test moot")
+	}
+	exact := XExactFloat64(m, p)
+	if got := X(m, p); !relClose(got, exact, 1e-10) {
+		t.Fatalf("X = %.17g, exact = %.17g", got, exact)
+	}
+}
+
+func TestXExactPrecisionKnob(t *testing.T) {
+	m := model.Table1()
+	p := profile.Linear(8)
+	lo := XExact(m, p, 64)
+	hi := XExact(m, p, 512)
+	fLo, _ := lo.Float64()
+	fHi, _ := hi.Float64()
+	if !relClose(fLo, fHi, 1e-9) {
+		t.Fatalf("precision levels disagree: %v vs %v", fLo, fHi)
+	}
+}
+
+func TestXGradientMatchesFiniteDifferences(t *testing.T) {
+	m := model.Table1()
+	r := stats.NewRNG(277)
+	for trial := 0; trial < 100; trial++ {
+		p := randomProfile(r)
+		grad := XGradient(m, p)
+		for i := range p {
+			h := p[i] * 1e-6
+			up := p.Clone()
+			up[i] += h
+			down := p.Clone()
+			down[i] -= h
+			fd := (X(m, up) - X(m, down)) / (2 * h)
+			if math.Abs(grad[i]-fd) > 1e-4*math.Abs(fd)+1e-12 {
+				t.Fatalf("∂X/∂ρ[%d] = %v, finite difference %v for %v", i, grad[i], fd, p)
+			}
+		}
+	}
+}
+
+func TestXGradientAllNegative(t *testing.T) {
+	// Proposition 2 in differential form.
+	m := model.Table1()
+	r := stats.NewRNG(281)
+	for trial := 0; trial < 100; trial++ {
+		p := randomProfile(r)
+		for i, g := range XGradient(m, p) {
+			if !(g < 0) {
+				t.Fatalf("∂X/∂ρ[%d] = %v not negative for %v", i, g, p)
+			}
+		}
+	}
+}
+
+func TestMostSensitiveIndexIsTheorem3(t *testing.T) {
+	// The gradient ranking must agree with Theorem 3's discrete statement
+	// and with brute force for small φ.
+	m := model.Table1()
+	r := stats.NewRNG(283)
+	for trial := 0; trial < 200; trial++ {
+		p := profile.RandomNormalized(r, 2+r.Intn(8))
+		if got, want := MostSensitiveIndex(m, p), Theorem3Index(p); got != want {
+			t.Fatalf("gradient picks %d, Theorem 3 says %d for %v", got, want, p)
+		}
+	}
+}
+
+func TestMarginalValueOrdering(t *testing.T) {
+	// Faster computers have strictly larger marginal speedup value.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25, 0.1)
+	v := MarginalSpeedupValue(m, p)
+	for i := 0; i+1 < len(v); i++ {
+		if !(v[i+1] > v[i]) {
+			t.Fatalf("marginal values not increasing toward faster computers: %v", v)
+		}
+	}
+}

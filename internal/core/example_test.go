@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// ExampleX evaluates the paper's power measure for the Table 4 cluster.
+func ExampleX() {
+	env := model.Table1()
+	cluster := profile.MustNew(1, 0.5, 1.0/3, 0.25)
+	fmt.Printf("X = %.4f\n", core.X(env, cluster))
+	// Output: X = 9.9991
+}
+
+// ExampleHECR shows the homogeneous-equivalent rate: this 4-computer
+// cluster is exactly as powerful as four speed-0.4 computers.
+func ExampleHECR() {
+	env := model.Table1()
+	cluster := profile.MustNew(1, 0.5, 1.0/3, 0.25)
+	fmt.Printf("HECR = %.4f\n", core.HECR(env, cluster))
+	// Output: HECR = 0.4000
+}
+
+// ExampleW answers the Cluster-Exploitation Problem: how much work does
+// the cluster complete in an hour under the optimal FIFO protocol?
+func ExampleW() {
+	env := model.Table1()
+	cluster := profile.MustNew(1, 0.5, 1.0/3, 0.25)
+	fmt.Printf("W(1h) = %.0f units\n", core.W(env, cluster, 3600))
+	// Output: W(1h) = 35996 units
+}
+
+// ExampleBestAdditive reproduces Theorem 3: with one upgrade to spend, the
+// fastest computer is always the right target.
+func ExampleBestAdditive() {
+	env := model.Table1()
+	cluster := profile.MustNew(1, 0.5, 1.0/3, 0.25)
+	choice, _ := core.BestAdditive(env, cluster, 1.0/16)
+	fmt.Printf("upgrade C%d (work ratio %.4f)\n", choice.Index+1, choice.WorkRatio)
+	// Output: upgrade C4 (work ratio 1.1333)
+}
+
+// ExampleCompare shows §4's counterexample: the cluster with the WORSE
+// mean speed wins.
+func ExampleCompare() {
+	env := model.Table1()
+	hetero := profile.MustNew(0.99, 0.02)
+	homo := profile.MustNew(0.5, 0.5)
+	if core.Compare(env, hetero, homo) > 0 {
+		fmt.Println("heterogeneous cluster wins")
+	}
+	// Output: heterogeneous cluster wins
+}
+
+// ExampleTheorem4Prefers applies the multiplicative-speedup threshold.
+func ExampleTheorem4Prefers() {
+	env := model.Figs34() // τ raised as in Figures 3-4
+	fasterWins, _, _ := core.Theorem4Prefers(env, 1, 1.0/8, 0.5)
+	fmt.Printf("at ρⱼ=1/8, speed up the faster computer: %v\n", fasterWins)
+	fasterWins, _, _ = core.Theorem4Prefers(env, 1, 1.0/16, 0.5)
+	fmt.Printf("at ρⱼ=1/16, speed up the faster computer: %v\n", fasterWins)
+	// Output:
+	// at ρⱼ=1/8, speed up the faster computer: true
+	// at ρⱼ=1/16, speed up the faster computer: false
+}
+
+// ExampleRentalLifespan solves the CEP's dual: how long to finish a fixed
+// batch.
+func ExampleRentalLifespan() {
+	env := model.Table1()
+	cluster := profile.MustNew(1, 0.5, 1.0/3, 0.25)
+	fmt.Printf("L(100000 units) = %.1f\n", core.RentalLifespan(env, cluster, 1e5))
+	// Output: L(100000 units) = 10001.0
+}

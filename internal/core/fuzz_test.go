@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// FuzzXInvariants drives the X-measure with arbitrary float material and
+// checks the structural invariants that must hold for every valid profile:
+// 0 < X < 1/(A−τδ), permutation invariance, HECR bracketing, and agreement
+// between the independent implementations.
+func FuzzXInvariants(f *testing.F) {
+	f.Add(1.0, 0.5, 0.25, 0.125)
+	f.Add(0.001, 0.001, 1.0, 1.0)
+	f.Add(0.9999, 0.0001, 0.5, 0.51)
+	m := model.Table1()
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		rhos := make([]float64, 0, 4)
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+			r := math.Mod(math.Abs(v), 1)
+			if r == 0 {
+				continue
+			}
+			rhos = append(rhos, r)
+		}
+		if len(rhos) == 0 {
+			return
+		}
+		p, err := profile.New(rhos...)
+		if err != nil {
+			return
+		}
+		x := X(m, p)
+		if !(x > 0) || x >= 1/(m.A()-m.TauDelta()) {
+			t.Fatalf("X = %v out of range for %v", x, p)
+		}
+		if xd := XDirect(m, p); math.Abs(x-xd) > 1e-8*x {
+			t.Fatalf("X forms disagree: %v vs %v for %v", x, xd, p)
+		}
+		// Reverse is a permutation; X must not care.
+		rev := make(profile.Profile, len(p))
+		for i := range p {
+			rev[i] = p[len(p)-1-i]
+		}
+		if xr := X(m, rev); math.Abs(x-xr) > 1e-10*x {
+			t.Fatalf("X not permutation invariant: %v vs %v", x, xr)
+		}
+		h := HECR(m, p)
+		if h < p.Fastest()-1e-9 || h > p.Slowest()+1e-9 {
+			t.Fatalf("HECR %v outside [%v,%v]", h, p.Fastest(), p.Slowest())
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// HECR returns the homogeneous-equivalent computing rate of Proposition 1:
+// the ρ such that n identical speed-ρ computers match the cluster's
+// X-measure. Writing D for the geometric mean of the r(ρᵢ),
+//
+//	HECR = (A·D − τδ) / (B·(1 − D)).
+//
+// Smaller HECR means a more powerful cluster. The value always lies between
+// the cluster's fastest and slowest ρ (r is monotone, D is intermediate),
+// and equals ρ exactly for homogeneous clusters.
+func HECR(m model.Params, p profile.Profile) float64 {
+	logD := LogProductRatios(m, p) / float64(len(p))
+	// Numerator A·D − τδ = (A − τδ) + A·(D − 1); both pieces are computed
+	// without cancellation: expm1 gives D−1 directly.
+	dm1 := math.Expm1(logD) // D − 1 ∈ (−1, 0)
+	num := (m.A() - m.TauDelta()) + m.A()*dm1
+	den := m.B() * -dm1 // B·(1 − D)
+	return num / den
+}
+
+// HECRNumeric inverts X(P⁽ρ⁾) = X(P) by bisection on ρ. It is an
+// independent implementation used to cross-validate the closed form; tol is
+// the absolute tolerance on ρ (use 0 for a tight default).
+func HECRNumeric(m model.Params, p profile.Profile, tol float64) (float64, error) {
+	if tol <= 0 {
+		tol = 1e-14
+	}
+	target := LogProductRatios(m, p) / float64(len(p))
+	// Solve log r(ρ) = target. log r is strictly increasing in ρ; bracket
+	// with the cluster's own extremes, which bound the HECR.
+	lo, hi := p.Fastest(), p.Slowest()
+	if logRatio(m, lo) > target || logRatio(m, hi) < target {
+		return 0, fmt.Errorf("core: HECR target outside bracket [%v, %v]", lo, hi)
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		if mid == lo || mid == hi {
+			break // bracket at float resolution
+		}
+		if logRatio(m, mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// HECRRatio returns HECR(p1)/HECR(p2) — the "work advantage" figure the
+// paper reads off Table 3 (e.g. C1's HECR over C2's grows from ≈1.7 at
+// n = 8 to >4 at n = 32).
+func HECRRatio(m model.Params, p1, p2 profile.Profile) float64 {
+	return HECR(m, p1) / HECR(m, p2)
+}
+
+// EquivalentClusterSize answers the procurement question dual to the HECR:
+// how many homogeneous speed-ρ computers does it take to match cluster P?
+// Inverting eq. (2) for n (allowing fractional "machines"):
+//
+//	n = log(1 − (A−τδ)·X(P)) / log r(ρ).
+//
+// The result is exact in the X sense: XHomogeneous(⌈n⌉, ρ) ≥ X(P) >
+// XHomogeneous(⌊n⌋, ρ) whenever n is not an integer.
+func EquivalentClusterSize(m model.Params, p profile.Profile, rho float64) (float64, error) {
+	if !(rho > 0) || rho > 1 {
+		return 0, fmt.Errorf("core: reference speed ρ = %v outside (0,1]", rho)
+	}
+	return LogProductRatios(m, p) / logRatio(m, rho), nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// Prop3Predicts applies Proposition 3's sufficient condition for cluster P1
+// to outperform cluster P2: for every index pair i < j in {0..n},
+//
+//	Fᵢ(P1)·Fⱼ(P2) ≥ Fᵢ(P2)·Fⱼ(P1),
+//
+// with at least one strict inequality. It returns true only when the whole
+// system holds; false means the test is inconclusive (NOT that P2 wins).
+// The clusters must have the same size.
+func Prop3Predicts(p1, p2 profile.Profile) (bool, error) {
+	if len(p1) != len(p2) {
+		return false, fmt.Errorf("core: Proposition 3 compares equal-size clusters, got %d and %d", len(p1), len(p2))
+	}
+	f1 := p1.ElementarySymmetric()
+	f2 := p2.ElementarySymmetric()
+	strict := false
+	for i := 0; i <= len(p1); i++ {
+		for j := i + 1; j <= len(p1); j++ {
+			lhs := f1[i] * f2[j]
+			rhs := f2[i] * f1[j]
+			if lhs < rhs {
+				return false, nil
+			}
+			if lhs > rhs {
+				strict = true
+			}
+		}
+	}
+	return strict, nil
+}
+
+// VarPredictsPower applies the §4.2/§4.3 heuristic to two equal-mean
+// clusters: predict that the cluster with the larger profile variance is
+// the more powerful one. It returns the predicted winner (1 or 2), or an
+// error if the means differ by more than meanTol (the heuristic is only
+// defined for equal mean speeds) or the variances tie.
+func VarPredictsPower(p1, p2 profile.Profile, meanTol float64) (int, error) {
+	if meanTol <= 0 {
+		meanTol = 1e-9
+	}
+	m1, m2 := p1.Mean(), p2.Mean()
+	if diff := m1 - m2; diff > meanTol || diff < -meanTol {
+		return 0, fmt.Errorf("core: variance heuristic needs equal mean speeds, got %v and %v", m1, m2)
+	}
+	v1, v2 := p1.Variance(), p2.Variance()
+	switch {
+	case v1 > v2:
+		return 1, nil
+	case v2 > v1:
+		return 2, nil
+	default:
+		return 0, fmt.Errorf("core: variances tie at %v", v1)
+	}
+}
+
+// Theorem5Biconditional checks the n = 2 biconditional of Theorem 5(2) for
+// two equal-mean 2-computer clusters: P1 outperforms P2 iff
+// VAR(P1) > VAR(P2). It returns the truth of both sides so callers (and the
+// property tests) can assert they agree.
+func Theorem5Biconditional(m model.Params, p1, p2 profile.Profile) (outperforms, largerVariance bool, err error) {
+	if len(p1) != 2 || len(p2) != 2 {
+		return false, false, fmt.Errorf("core: Theorem 5(2) is stated for 2-computer clusters, got %d and %d", len(p1), len(p2))
+	}
+	return Compare(m, p1, p2) > 0, p1.Variance() > p2.Variance(), nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func TestProp3PredictionIsSound(t *testing.T) {
+	// Whenever Proposition 3's inequality system holds, the predicted
+	// winner must really have the larger X — for every parameter set
+	// satisfying τδ ≤ A ≤ B, since the αᵢ, βᵢ are positive there.
+	r := stats.NewRNG(173)
+	params := []model.Params{model.Table1(), model.Figs34(), {Tau: 0.01, Pi: 0.05, Delta: 0.7}}
+	predicted := 0
+	for trial := 0; trial < 2000; trial++ {
+		n := 2 + r.Intn(6)
+		p1 := profile.RandomNormalized(r, n)
+		p2 := profile.RandomNormalized(r, n)
+		ok, err := Prop3Predicts(p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		predicted++
+		for _, m := range params {
+			if Compare(m, p1, p2) != 1 {
+				t.Fatalf("Prop 3 predicted %v over %v but X disagrees under %v", p1, p2, m)
+			}
+		}
+	}
+	if predicted == 0 {
+		t.Fatal("Proposition 3 never fired; test vacuous")
+	}
+}
+
+func TestProp3FiresOnMinorization(t *testing.T) {
+	// A strictly-minorizing profile dominates every symmetric function, so
+	// Prop 3 must detect it.
+	p1 := profile.MustNew(0.5, 0.25, 0.125)
+	p2 := profile.MustNew(1, 0.5, 0.25)
+	ok, err := Prop3Predicts(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Prop 3 failed on a strictly minorizing pair")
+	}
+	// And must not fire in the opposite direction.
+	ok, err = Prop3Predicts(p2, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Prop 3 fired for the dominated cluster")
+	}
+}
+
+func TestProp3Inconclusive(t *testing.T) {
+	// The §4 example ⟨0.99,0.02⟩ vs ⟨0.5,0.5⟩: F₁ = 1.01 > 1.0 but
+	// F₂ = 0.0198 < 0.25, so the system cannot hold in either direction;
+	// Prop 3 is inconclusive although X decides the winner.
+	p1 := profile.MustNew(0.99, 0.02)
+	p2 := profile.MustNew(0.5, 0.5)
+	ok1, err := Prop3Predicts(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok2, err := Prop3Predicts(p2, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok1 || ok2 {
+		t.Fatalf("Prop 3 fired (%v/%v) on an incomparable pair", ok1, ok2)
+	}
+}
+
+func TestProp3RejectsSizeMismatch(t *testing.T) {
+	if _, err := Prop3Predicts(profile.MustNew(1), profile.MustNew(1, 0.5)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestProp3EqualProfilesNotStrict(t *testing.T) {
+	p := profile.Linear(5)
+	ok, err := Prop3Predicts(p, p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Prop 3 predicted a strict winner for identical profiles")
+	}
+}
+
+func TestTheorem5BiconditionalN2(t *testing.T) {
+	// Theorem 5(2): for equal-mean 2-computer clusters, outperformance is
+	// EQUIVALENT to larger variance. Exercise with exactly-equal means:
+	// ⟨m+d, m−d⟩ pairs share mean m for any offset d.
+	m := model.Table1()
+	r := stats.NewRNG(179)
+	for trial := 0; trial < 500; trial++ {
+		mean := r.InRange(0.1, 0.9)
+		dmax := mean - 0.001
+		if 1-mean < dmax {
+			dmax = 1 - mean
+		}
+		d1 := r.Float64() * dmax
+		d2 := r.Float64() * dmax
+		p1 := profile.MustNew(mean+d1, mean-d1)
+		p2 := profile.MustNew(mean+d2, mean-d2)
+		out, largerVar, err := Theorem5Biconditional(m, p1, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 == d2 {
+			continue
+		}
+		if out != largerVar {
+			t.Fatalf("Theorem 5(2) violated: outperforms=%v largerVariance=%v for %v vs %v", out, largerVar, p1, p2)
+		}
+	}
+}
+
+func TestCorollary1HeterogeneityLendsPower(t *testing.T) {
+	// Corollary 1: an equal-mean heterogeneous 2-cluster beats the
+	// homogeneous one.
+	m := model.Table1()
+	homo := profile.MustNew(0.5, 0.5)
+	for _, d := range []float64{0.05, 0.2, 0.4, 0.49} {
+		het := profile.MustNew(0.5+d, 0.5-d)
+		if Compare(m, het, homo) != 1 {
+			t.Fatalf("heterogeneous ⟨%v,%v⟩ did not beat homogeneous ⟨0.5,0.5⟩", 0.5+d, 0.5-d)
+		}
+	}
+}
+
+func TestTheorem5RejectsWrongSizes(t *testing.T) {
+	m := model.Table1()
+	if _, _, err := Theorem5Biconditional(m, profile.MustNew(1, 0.5, 0.2), profile.MustNew(1, 0.5)); err == nil {
+		t.Fatal("n=3 accepted")
+	}
+}
+
+func TestVarPredictsPower(t *testing.T) {
+	p1 := profile.MustNew(0.9, 0.1) // mean .5, var .16
+	p2 := profile.MustNew(0.6, 0.4) // mean .5, var .01
+	winner, err := VarPredictsPower(p1, p2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner != 1 {
+		t.Fatalf("winner = %d, want 1", winner)
+	}
+	winner, err = VarPredictsPower(p2, p1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner != 2 {
+		t.Fatalf("winner = %d, want 2", winner)
+	}
+}
+
+func TestVarPredictsPowerRejectsUnequalMeans(t *testing.T) {
+	if _, err := VarPredictsPower(profile.MustNew(1, 0.5), profile.MustNew(0.5, 0.5), 0); err == nil {
+		t.Fatal("unequal means accepted")
+	}
+}
+
+func TestVarPredictsPowerRejectsTies(t *testing.T) {
+	p := profile.MustNew(0.7, 0.3)
+	if _, err := VarPredictsPower(p, p.Clone(), 0); err == nil {
+		t.Fatal("tied variances accepted")
+	}
+}
+
+func TestVarianceHeuristicCanFail(t *testing.T) {
+	// §4.3: variance is NOT a perfect predictor for n > 2. Find a "bad"
+	// pair among random equal-mean 4-computer clusters to demonstrate the
+	// phenomenon the paper reports (~23-24% of pairs).
+	m := model.Table1()
+	r := stats.NewRNG(181)
+	bad := 0
+	trials := 0
+	for trial := 0; trial < 2000 && bad == 0; trial++ {
+		p1, p2, err := profile.EqualMeanPair(r, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		winner, err := VarPredictsPower(p1, p2, 1e-9)
+		if err != nil {
+			continue
+		}
+		trials++
+		actual := Compare(m, p1, p2)
+		if (winner == 1 && actual < 0) || (winner == 2 && actual > 0) {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Fatalf("no bad pair found in %d trials; §4.3's phenomenon should appear", trials)
+	}
+}

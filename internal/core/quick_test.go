@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// sanitizeProfile maps arbitrary quick-generated float64s into a valid
+// heterogeneity profile (ρ ∈ (0,1], 1..12 computers); it reports false when
+// the raw material is unusable.
+func sanitizeProfile(raw []float64) (profile.Profile, bool) {
+	rhos := make([]float64, 0, 12)
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		r := math.Mod(math.Abs(v), 1)
+		if r < 1e-3 {
+			r += 1e-3
+		}
+		rhos = append(rhos, r)
+		if len(rhos) == 12 {
+			break
+		}
+	}
+	if len(rhos) == 0 {
+		return nil, false
+	}
+	p, err := profile.New(rhos...)
+	if err != nil {
+		return nil, false
+	}
+	return p, true
+}
+
+func TestQuickXPermutationInvariant(t *testing.T) {
+	m := model.Table1()
+	f := func(raw []float64, seed uint16) bool {
+		p, ok := sanitizeProfile(raw)
+		if !ok {
+			return true
+		}
+		// Rotate by seed — a cheap deterministic permutation.
+		k := int(seed) % len(p)
+		rotated := append(p.Clone()[k:], p[:k]...)
+		return relClose(X(m, p), X(m, rotated), 1e-11)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProposition2(t *testing.T) {
+	// Any speedup of any computer strictly increases X.
+	m := model.Table1()
+	f := func(raw []float64, idx uint8, fracRaw float64) bool {
+		p, ok := sanitizeProfile(raw)
+		if !ok {
+			return true
+		}
+		i := int(idx) % len(p)
+		frac := math.Mod(math.Abs(fracRaw), 0.9) + 0.05
+		q, err := p.SpeedUpAdditive(i, p[i]*frac)
+		if err != nil {
+			return false
+		}
+		return X(m, q) > X(m, p) && WorkRatio(m, q, p) > 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHECRBracketAndRoundtrip(t *testing.T) {
+	m := model.Table1()
+	f := func(raw []float64) bool {
+		p, ok := sanitizeProfile(raw)
+		if !ok {
+			return true
+		}
+		h := HECR(m, p)
+		if h < p.Fastest()-1e-12 || h > p.Slowest()+1e-12 {
+			return false
+		}
+		return relClose(XHomogeneous(m, len(p), h), X(m, p), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTheorem3(t *testing.T) {
+	m := model.Table1()
+	f := func(raw []float64, fracRaw float64) bool {
+		p, ok := sanitizeProfile(raw)
+		if !ok || len(p) < 2 {
+			return true
+		}
+		frac := math.Mod(math.Abs(fracRaw), 0.9) + 0.05
+		choice, err := BestAdditive(m, p, p.Fastest()*frac)
+		if err != nil {
+			return false
+		}
+		return choice.Index == Theorem3Index(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGradientNegativeAndRanked(t *testing.T) {
+	m := model.Table1()
+	f := func(raw []float64) bool {
+		p, ok := sanitizeProfile(raw)
+		if !ok {
+			return true
+		}
+		grad := XGradient(m, p)
+		for i, g := range grad {
+			if !(g < 0) {
+				return false
+			}
+			// Faster computer ⇒ steeper (more negative) gradient.
+			for j := range grad {
+				if p[j] < p[i] && grad[j] > grad[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRentalDuality(t *testing.T) {
+	m := model.Table1()
+	f := func(raw []float64, workRaw float64) bool {
+		p, ok := sanitizeProfile(raw)
+		if !ok {
+			return true
+		}
+		work := math.Mod(math.Abs(workRaw), 1e6) + 1
+		return relClose(W(m, p, RentalLifespan(m, p, work)), work, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// Lemma1Coefficients returns the positive constants α₀..α_{n−1} and
+// β₀..β_n of Lemma 1, which express the X-measure as a ratio of linear
+// combinations of the profile's elementary symmetric functions:
+//
+//	X(P) = (Σᵢ αᵢ Fᵢ⁽ⁿ⁾(P)) / (Σᵢ βᵢ Fᵢ⁽ⁿ⁾(P))
+//	αᵢ = Bⁱ · Σ_{k=0}^{n−1−i} A^{n−1−k−i}·(τδ)^k
+//	βᵢ = Bⁱ · A^{n−i}
+//
+// To keep the coefficients inside float64 range (Aⁿ underflows beyond
+// n ≈ 60 for µs-scale A), both families are rescaled by the common factor
+// A^{−n}; the ratio X is unchanged. The practical validity range is
+// n ≲ 50 for Table 1 parameters — callers wanting larger n should use X
+// directly; this form exists as Lemma 1's independent evaluation path.
+func Lemma1Coefficients(m model.Params, n int) (alpha, beta []float64, err error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("core: cluster size %d must be positive", n)
+	}
+	a, b, td := m.A(), m.B(), m.TauDelta()
+	boa := b / a // B/A, typically huge
+	toa := td / a
+	alpha = make([]float64, n)
+	beta = make([]float64, n+1)
+	// Rescaled: ᾱᵢ = (B/A)ⁱ·(1/A)·Σ_{k=0}^{n−1−i} (τδ/A)^k, β̄ᵢ = (B/A)ⁱ.
+	pow := 1.0
+	for i := 0; i <= n; i++ {
+		beta[i] = pow
+		if i < n {
+			var geo stats.KahanSum
+			t := 1.0
+			for k := 0; k <= n-1-i; k++ {
+				geo.Add(t)
+				t *= toa
+			}
+			alpha[i] = pow / a * geo.Sum()
+		}
+		pow *= boa
+	}
+	if isBad(beta[n]) || isBad(alpha[0]) {
+		return nil, nil, fmt.Errorf("core: Lemma 1 coefficients overflow float64 at n = %d for %v", n, m)
+	}
+	return alpha, beta, nil
+}
+
+// XRational evaluates X(P) through Lemma 1's rational form in the
+// elementary symmetric functions. It is an independent path used for
+// cross-validation; it fails for cluster sizes where the coefficients
+// leave float64 range.
+func XRational(m model.Params, p profile.Profile) (float64, error) {
+	alpha, beta, err := Lemma1Coefficients(m, len(p))
+	if err != nil {
+		return 0, err
+	}
+	f := p.ElementarySymmetric()
+	var num, den stats.KahanSum
+	for i, ai := range alpha {
+		num.Add(ai * f[i])
+	}
+	for i, bi := range beta {
+		den.Add(bi * f[i])
+	}
+	x := num.Sum() / den.Sum()
+	if isBad(x) {
+		return 0, fmt.Errorf("core: rational form lost precision at n = %d", len(p))
+	}
+	return x, nil
+}
+
+// isBad reports overflow, NaN, or a full underflow to zero — all of which
+// signal that the unscaled Lemma 1 evaluation left float64 range.
+func isBad(x float64) bool {
+	return math.IsNaN(x) || math.IsInf(x, 0) || x == 0
+}

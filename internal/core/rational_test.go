@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func TestLemma1CoefficientsPositive(t *testing.T) {
+	// Lemma 1 requires all αᵢ, βᵢ > 0 (that positivity is what powers
+	// Proposition 3's Claim 1).
+	alpha, beta, err := Lemma1Coefficients(model.Table1(), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alpha) != 12 || len(beta) != 13 {
+		t.Fatalf("lengths %d/%d, want 12/13", len(alpha), len(beta))
+	}
+	for i, a := range alpha {
+		if !(a > 0) {
+			t.Fatalf("α[%d] = %v not positive", i, a)
+		}
+	}
+	for i, b := range beta {
+		if !(b > 0) {
+			t.Fatalf("β[%d] = %v not positive", i, b)
+		}
+	}
+}
+
+func TestLemma1Claim1(t *testing.T) {
+	// Claim 1 inside Proposition 3's proof: αᵢβⱼ > αⱼβᵢ for all i < j.
+	for _, m := range []model.Params{model.Table1(), model.Figs34()} {
+		alpha, beta, err := Lemma1Coefficients(m, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < len(alpha); i++ {
+			for j := i + 1; j < len(alpha); j++ {
+				if !(alpha[i]*beta[j] > alpha[j]*beta[i]) {
+					t.Fatalf("Claim 1 fails at (%d,%d) under %v", i, j, m)
+				}
+			}
+		}
+	}
+}
+
+func TestXRationalMatchesTelescoped(t *testing.T) {
+	r := stats.NewRNG(191)
+	for _, m := range []model.Params{model.Table1(), model.Figs34()} {
+		for trial := 0; trial < 100; trial++ {
+			p := profile.RandomNormalized(r, 1+r.Intn(16))
+			xr, err := XRational(m, p)
+			if err != nil {
+				t.Fatalf("n=%d: %v", len(p), err)
+			}
+			if !relClose(xr, X(m, p), 1e-9) {
+				t.Fatalf("rational %v != telescoped %v for %v under %v", xr, X(m, p), p, m)
+			}
+		}
+	}
+}
+
+func TestXRationalDenominatorIsProduct(t *testing.T) {
+	// The Lemma 1 denominator is Πᵢ(Bρᵢ + A); check against the scaled
+	// coefficient expansion: Σ β̄ᵢFᵢ = A⁻ⁿ·Π(Bρᵢ+A).
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	_, beta, err := Lemma1Coefficients(m, len(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.ElementarySymmetric()
+	den := 0.0
+	for i := range beta {
+		den += beta[i] * f[i]
+	}
+	want := 1.0
+	for _, rho := range p {
+		want *= m.B()*rho + m.A()
+	}
+	want /= math.Pow(m.A(), float64(len(p)))
+	if !relClose(den, want, 1e-12) {
+		t.Fatalf("denominator %v != scaled product %v", den, want)
+	}
+}
+
+func TestLemma1RejectsBadN(t *testing.T) {
+	if _, _, err := Lemma1Coefficients(model.Table1(), 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestXRationalFailsGracefullyAtHugeN(t *testing.T) {
+	// (B/A)ⁿ overflows float64 near n ≈ 62 for Table 1 parameters; the
+	// rational path must report the failure instead of returning garbage.
+	m := model.Table1()
+	p := profile.Homogeneous(120, 0.5)
+	if _, err := XRational(m, p); err == nil {
+		t.Fatal("expected overflow error at n=120")
+	}
+	// The primary path is unaffected.
+	if x := X(m, p); math.IsNaN(x) || x <= 0 {
+		t.Fatalf("X(n=120) = %v", x)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// XGradient returns ∂X/∂ρᵢ for every computer. Differentiating the
+// telescoped form X = (1 − Π r(ρⱼ))/(A − τδ) gives the closed form
+//
+//	∂X/∂ρᵢ = −Π · B / ((Bρᵢ + τδ)(Bρᵢ + A)),
+//
+// using r'(ρ)/r(ρ) = B(A−τδ)/((Bρ+τδ)(Bρ+A)). Every component is negative
+// (Proposition 2 in differential form: speeding any computer up — lowering
+// its ρ — raises X), and the component with the smallest ρ has the largest
+// magnitude, which is Theorem 3 in the limit of small additive speedups.
+func XGradient(m model.Params, p profile.Profile) []float64 {
+	prodLog := LogProductRatios(m, p)
+	prod := math.Exp(prodLog)
+	b, a, td := m.B(), m.A(), m.TauDelta()
+	grad := make([]float64, len(p))
+	for i, rho := range p {
+		grad[i] = -prod * b / ((b*rho + td) * (b*rho + a))
+	}
+	return grad
+}
+
+// MarginalSpeedupValue returns −∂X/∂ρᵢ for each computer: the instantaneous
+// work-measure gain per unit of additive speedup. The upgrade-advisor
+// tooling uses it to rank candidates without evaluating X n times.
+func MarginalSpeedupValue(m model.Params, p profile.Profile) []float64 {
+	grad := XGradient(m, p)
+	for i := range grad {
+		grad[i] = -grad[i]
+	}
+	return grad
+}
+
+// MostSensitiveIndex returns the computer whose additive speedup raises X
+// fastest (ties broken toward the larger index, matching the paper's rule).
+// By Theorem 3 this is always the fastest computer.
+func MostSensitiveIndex(m model.Params, p profile.Profile) int {
+	value := MarginalSpeedupValue(m, p)
+	best := 0
+	for i, v := range value {
+		if v >= value[best] {
+			best = i
+		}
+	}
+	return best
+}

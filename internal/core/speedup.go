@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// SpeedupChoice records the outcome of choosing one computer to speed up.
+type SpeedupChoice struct {
+	// Index of the chosen computer within the profile.
+	Index int
+	// Profile after the speedup.
+	After profile.Profile
+	// WorkRatio is W(L;after)/W(L;before) — always > 1 (Proposition 2).
+	WorkRatio float64
+}
+
+// BestAdditive evaluates all single-computer additive speedups by the term
+// phi and returns the most advantageous one (ties broken toward the larger
+// index, the paper's §3.2.2 rule). Theorem 3 guarantees the choice is
+// always the cluster's fastest computer; this function computes it by brute
+// force so that the theorem is checkable rather than assumed.
+func BestAdditive(m model.Params, p profile.Profile, phi float64) (SpeedupChoice, error) {
+	if !(phi > 0) || phi >= p.Fastest() {
+		return SpeedupChoice{}, fmt.Errorf("core: additive term φ = %v must lie in (0, ρ_fastest = %v) so every computer can be sped up", phi, p.Fastest())
+	}
+	return bestByBruteForce(m, p, func(i int) (profile.Profile, error) {
+		return p.SpeedUpAdditive(i, phi)
+	})
+}
+
+// BestMultiplicative evaluates all single-computer multiplicative speedups
+// by the factor psi ∈ (0,1) and returns the most advantageous one (ties
+// broken toward the larger index).
+func BestMultiplicative(m model.Params, p profile.Profile, psi float64) (SpeedupChoice, error) {
+	if !(psi > 0) || psi >= 1 {
+		return SpeedupChoice{}, fmt.Errorf("core: multiplicative factor ψ = %v must lie in (0,1)", psi)
+	}
+	return bestByBruteForce(m, p, func(i int) (profile.Profile, error) {
+		return p.SpeedUpMultiplicative(i, psi)
+	})
+}
+
+func bestByBruteForce(m model.Params, p profile.Profile, speedUp func(int) (profile.Profile, error)) (SpeedupChoice, error) {
+	best := SpeedupChoice{Index: -1}
+	bestLog := 0.0
+	for i := range p {
+		cand, err := speedUp(i)
+		if err != nil {
+			return SpeedupChoice{}, err
+		}
+		// Smaller log Π r means larger X. "<=" implements the larger-index
+		// tie-break.
+		if l := LogProductRatios(m, cand); best.Index < 0 || l <= bestLog {
+			best = SpeedupChoice{Index: i, After: cand}
+			bestLog = l
+		}
+	}
+	best.WorkRatio = WorkRatio(m, best.After, p)
+	return best, nil
+}
+
+// Theorem3Index returns the index Theorem 3 proves optimal for an additive
+// speedup: the cluster's fastest computer (larger index on ties).
+func Theorem3Index(p profile.Profile) int { return p.FastestIndex() }
+
+// Theorem4Prefers applies Theorem 4 to the pair {Cᵢ, Cⱼ} with ρᵢ > ρⱼ
+// (so Cⱼ is the faster computer) under a multiplicative speedup by ψ:
+// it returns j's role ("faster") if ψρᵢρⱼ > Aτδ/B² (condition (1)),
+// "slower" if ψρᵢρⱼ < Aτδ/B² (condition (2)), and "tie" on equality, where
+// the theorem is silent. The returned bool reports whether speeding the
+// FASTER computer wins.
+func Theorem4Prefers(m model.Params, rhoI, rhoJ, psi float64) (fasterWins bool, boundary bool, err error) {
+	if !(rhoI > rhoJ) {
+		return false, false, fmt.Errorf("core: Theorem 4 needs ρᵢ > ρⱼ, got %v and %v", rhoI, rhoJ)
+	}
+	if !(psi > 0) || psi >= 1 {
+		return false, false, fmt.Errorf("core: multiplicative factor ψ = %v must lie in (0,1)", psi)
+	}
+	lhs := psi * rhoI * rhoJ
+	k := m.Theorem4Threshold()
+	if lhs == k {
+		return false, true, nil
+	}
+	return lhs > k, false, nil
+}
+
+// PlanStep is one round of the iterated-speedup experiment of §3.2.2.
+type PlanStep struct {
+	Round   int             // 1-based round number
+	Index   int             // computer chosen this round
+	Before  profile.Profile // profile entering the round
+	After   profile.Profile // profile leaving the round
+	XBefore float64
+	XAfter  float64
+}
+
+// GreedyMultiplicativePlan iterates BestMultiplicative for rounds rounds,
+// starting from p — the experiment behind Figures 3 and 4: at every round
+// all single-computer speedups by ψ are compared via their X-values and the
+// best (largest index on ties) is applied.
+func GreedyMultiplicativePlan(m model.Params, p profile.Profile, psi float64, rounds int) ([]PlanStep, error) {
+	if rounds < 0 {
+		return nil, fmt.Errorf("core: negative round count %d", rounds)
+	}
+	steps := make([]PlanStep, 0, rounds)
+	cur := p.Clone()
+	for round := 1; round <= rounds; round++ {
+		choice, err := BestMultiplicative(m, cur, psi)
+		if err != nil {
+			return steps, err
+		}
+		steps = append(steps, PlanStep{
+			Round:   round,
+			Index:   choice.Index,
+			Before:  cur,
+			After:   choice.After,
+			XBefore: X(m, cur),
+			XAfter:  X(m, choice.After),
+		})
+		cur = choice.After
+	}
+	return steps, nil
+}

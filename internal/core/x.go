@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// Ratio returns r(ρ) = (Bρ + τδ)/(Bρ + A), the per-computer attenuation
+// factor appearing in the X-measure. Because τδ ≤ A, r(ρ) ∈ (0, 1) for all
+// ρ > 0, and r is strictly increasing in ρ (slower computers attenuate the
+// remaining lifespan less than they contribute).
+func Ratio(m model.Params, rho float64) float64 {
+	b := m.B() * rho
+	return (b + m.TauDelta()) / (b + m.A())
+}
+
+// logRatio returns log r(ρ) = log1p((τδ − A)/(Bρ + A)), computed to full
+// precision even when r(ρ) is within ulps of 1 (small A, large ρ).
+func logRatio(m model.Params, rho float64) float64 {
+	return math.Log1p((m.TauDelta() - m.A()) / (m.B()*rho + m.A()))
+}
+
+// LogProductRatios returns log Πᵢ r(ρᵢ) via compensated summation of
+// log r(ρᵢ). This is the numerically primitive quantity from which X and
+// the HECR both derive.
+func LogProductRatios(m model.Params, p profile.Profile) float64 {
+	var acc stats.KahanSum
+	for _, rho := range p {
+		acc.Add(logRatio(m, rho))
+	}
+	return acc.Sum()
+}
+
+// X returns the X-measure X(P) of Theorem 2 using the telescoped closed
+// form X(P) = (1 − Πᵢ r(ρᵢ)) / (A − τδ), evaluated as −expm1(Σ log r(ρᵢ))
+// for stability. X is the package's primary measure of cluster power:
+// X(P1) ≥ X(P2) iff W(L;P1) ≥ W(L;P2) for every lifespan L.
+func X(m model.Params, p profile.Profile) float64 {
+	return -math.Expm1(LogProductRatios(m, p)) / (m.A() - m.TauDelta())
+}
+
+// XDirect returns X(P) by direct evaluation of the sum in Theorem 2's
+// eq. (1). It is mathematically identical to X and exists as an independent
+// implementation path: the test suite cross-validates the two on random
+// inputs, and benchmarks compare their cost and numerical behaviour.
+func XDirect(m model.Params, p profile.Profile) float64 {
+	a, b, td := m.A(), m.B(), m.TauDelta()
+	var acc stats.KahanSum
+	prefix := 1.0 // Πⱼ<ᵢ r(ρⱼ)
+	for _, rho := range p {
+		denom := b*rho + a
+		acc.Add(prefix / denom)
+		prefix *= (b*rho + td) / denom
+	}
+	return acc.Sum()
+}
+
+// XHomogeneous returns X(P⁽ρ⁾) for a homogeneous n-computer cluster via the
+// geometric-series closed form of eq. (2):
+// X = (1 − r(ρ)ⁿ)/(A − τδ).
+func XHomogeneous(m model.Params, n int, rho float64) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("core: cluster size %d must be positive", n))
+	}
+	return -math.Expm1(float64(n)*logRatio(m, rho)) / (m.A() - m.TauDelta())
+}
+
+// WorkRate returns the asymptotic work completed per unit lifespan under
+// the optimal FIFO protocol: W(L;P)/L = 1/(τδ + 1/X(P)) (Theorem 2).
+func WorkRate(m model.Params, p profile.Profile) float64 {
+	return 1 / (m.TauDelta() + 1/X(m, p))
+}
+
+// W returns the asymptotic work production W(L;P) = L/(τδ + 1/X(P)).
+func W(m model.Params, p profile.Profile, lifespan float64) float64 {
+	if lifespan < 0 {
+		panic(fmt.Sprintf("core: negative lifespan %v", lifespan))
+	}
+	return lifespan * WorkRate(m, p)
+}
+
+// WorkRatio returns W(L;P')/W(L;P), the figure of merit the paper uses to
+// compare an upgraded cluster P' against the original P (Table 4). The
+// ratio is independent of L.
+func WorkRatio(m model.Params, pNew, pOld profile.Profile) float64 {
+	return WorkRate(m, pNew) / WorkRate(m, pOld)
+}
+
+// Compare orders two clusters by computing power: it returns +1 if p1
+// outperforms p2 (X(P1) > X(P2)), −1 if p2 outperforms p1, and 0 on exact
+// ties. Comparison is done on log Π r, the primitive quantity, to avoid
+// losing resolution through the final subtraction in X.
+func Compare(m model.Params, p1, p2 profile.Profile) int {
+	l1, l2 := LogProductRatios(m, p1), LogProductRatios(m, p2)
+	// Smaller product ⇒ larger X ⇒ more powerful.
+	switch {
+	case l1 < l2:
+		return 1
+	case l1 > l2:
+		return -1
+	default:
+		return 0
+	}
+}

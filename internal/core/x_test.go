@@ -1,0 +1,277 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func relClose(a, b, rel float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*math.Max(scale, 1e-300)
+}
+
+// randomProfile draws a profile of size 1..12 for property tests.
+func randomProfile(r *stats.RNG) profile.Profile {
+	return profile.RandomNormalized(r, 1+r.Intn(12))
+}
+
+func TestRatioProperties(t *testing.T) {
+	m := model.Table1()
+	for _, rho := range []float64{1e-4, 0.01, 0.25, 0.5, 1} {
+		r := Ratio(m, rho)
+		if !(r > 0 && r < 1) {
+			t.Fatalf("r(%v) = %v outside (0,1)", rho, r)
+		}
+	}
+	// Monotone increasing in ρ.
+	if !(Ratio(m, 0.2) < Ratio(m, 0.7)) {
+		t.Fatal("Ratio not increasing in ρ")
+	}
+}
+
+func TestLogRatioMatchesLog(t *testing.T) {
+	m := model.Table1()
+	for _, rho := range []float64{0.001, 0.1, 1} {
+		// The naive log(Ratio) reference loses ~5 digits to cancellation
+		// (r ≈ 1), so compare at the reference's accuracy, not logRatio's.
+		want := math.Log(Ratio(m, rho))
+		if got := logRatio(m, rho); math.Abs(got-want) > 1e-10*math.Abs(want) {
+			t.Fatalf("logRatio(%v) = %v, want %v", rho, got, want)
+		}
+	}
+}
+
+func TestXFormsAgree(t *testing.T) {
+	// The telescoped closed form, the direct eq. (1) sum, and Lemma 1's
+	// rational form are three independent derivations of the same measure;
+	// they must agree on random profiles.
+	r := stats.NewRNG(101)
+	m := model.Table1()
+	for trial := 0; trial < 300; trial++ {
+		p := randomProfile(r)
+		xt := X(m, p)
+		xd := XDirect(m, p)
+		if !relClose(xt, xd, 1e-10) {
+			t.Fatalf("telescoped %v != direct %v for %v", xt, xd, p)
+		}
+		xr, err := XRational(m, p)
+		if err != nil {
+			t.Fatalf("rational form failed for n=%d: %v", len(p), err)
+		}
+		if !relClose(xt, xr, 1e-9) {
+			t.Fatalf("telescoped %v != rational %v for %v", xt, xr, p)
+		}
+	}
+}
+
+func TestXPermutationInvariance(t *testing.T) {
+	// Theorem 1.2: work production — hence X — is identical under every
+	// startup indexing.
+	r := stats.NewRNG(103)
+	m := model.Table1()
+	for trial := 0; trial < 200; trial++ {
+		p := randomProfile(r)
+		q := p.Permuted(r.Perm(len(p)))
+		if x1, x2 := X(m, p), X(m, q); !relClose(x1, x2, 1e-12) {
+			t.Fatalf("X changed under permutation: %v vs %v", x1, x2)
+		}
+		// The direct sum is where order could sneak in; check it too.
+		if x1, x2 := XDirect(m, p), XDirect(m, q); !relClose(x1, x2, 1e-10) {
+			t.Fatalf("XDirect changed under permutation: %v vs %v", x1, x2)
+		}
+	}
+}
+
+func TestXMonotone(t *testing.T) {
+	// Proposition 2: speeding up any computer strictly increases X.
+	r := stats.NewRNG(107)
+	m := model.Table1()
+	for trial := 0; trial < 200; trial++ {
+		p := randomProfile(r)
+		i := r.Intn(len(p))
+		phi := p[i] * r.InRange(0.05, 0.9)
+		q, err := p.SpeedUpAdditive(i, phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(X(m, q) > X(m, p)) {
+			t.Fatalf("X did not increase: %v -> %v (sped ρ[%d] by %v)", X(m, p), X(m, q), i, phi)
+		}
+		if WorkRatio(m, q, p) <= 1 {
+			t.Fatalf("work ratio %v not > 1", WorkRatio(m, q, p))
+		}
+	}
+}
+
+func TestXHomogeneousMatchesGeneral(t *testing.T) {
+	m := model.Table1()
+	for _, n := range []int{1, 2, 8, 33} {
+		for _, rho := range []float64{0.01, 0.3, 1} {
+			got := XHomogeneous(m, n, rho)
+			want := X(m, profile.Homogeneous(n, rho))
+			if !relClose(got, want, 1e-12) {
+				t.Fatalf("XHomogeneous(n=%d, ρ=%v) = %v, want %v", n, rho, got, want)
+			}
+		}
+	}
+}
+
+func TestXHomogeneousPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=0 accepted")
+		}
+	}()
+	XHomogeneous(model.Table1(), 0, 0.5)
+}
+
+func TestSection4MeanCounterexample(t *testing.T) {
+	// §4: ⟨0.99, 0.02⟩ outperforms ⟨0.5, 0.5⟩ although its mean ρ is larger
+	// — mean speed is not a valid power predictor.
+	m := model.Table1()
+	hetero := profile.MustNew(0.99, 0.02)
+	homo := profile.MustNew(0.5, 0.5)
+	if !(X(m, hetero) > X(m, homo)) {
+		t.Fatalf("X(⟨0.99,0.02⟩) = %v not > X(⟨0.5,0.5⟩) = %v", X(m, hetero), X(m, homo))
+	}
+	if !(hetero.Mean() > homo.Mean()) {
+		t.Fatal("test premise broken: heterogeneous cluster should have the worse mean")
+	}
+	if got := Compare(m, hetero, homo); got != 1 {
+		t.Fatalf("Compare = %d, want 1", got)
+	}
+}
+
+func TestMinorizationImpliesOutperformance(t *testing.T) {
+	r := stats.NewRNG(109)
+	m := model.Table1()
+	for trial := 0; trial < 200; trial++ {
+		p := randomProfile(r)
+		i := r.Intn(len(p))
+		q, err := p.SpeedUpAdditive(i, p[i]*0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !profile.Minorizes(q, p) {
+			t.Fatalf("speedup result does not minorize original: %v vs %v", q, p)
+		}
+		if Compare(m, q, p) != 1 {
+			t.Fatal("minorizing profile did not outperform")
+		}
+	}
+}
+
+func TestWorkProductionRelations(t *testing.T) {
+	m := model.Table1()
+	p := profile.Linear(8)
+	l := 3600.0
+	w := W(m, p, l)
+	if !relClose(w, l*WorkRate(m, p), 1e-12) {
+		t.Fatalf("W = %v, want L·rate = %v", w, l*WorkRate(m, p))
+	}
+	// Doubling the lifespan doubles the (asymptotic) work.
+	if !relClose(W(m, p, 2*l), 2*w, 1e-12) {
+		t.Fatal("W not linear in L")
+	}
+	if W(m, p, 0) != 0 {
+		t.Fatal("W(0) != 0")
+	}
+}
+
+func TestWPanicsOnNegativeLifespan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative lifespan accepted")
+		}
+	}()
+	W(model.Table1(), profile.Linear(4), -1)
+}
+
+func TestRentalLifespanInvertsW(t *testing.T) {
+	// CEP↔CRP duality: the lifespan to do W units is exactly the L at which
+	// the CEP completes W units.
+	m := model.Table1()
+	r := stats.NewRNG(113)
+	for trial := 0; trial < 100; trial++ {
+		p := randomProfile(r)
+		work := r.InRange(1, 1e6)
+		l := RentalLifespan(m, p, work)
+		if !relClose(W(m, p, l), work, 1e-10) {
+			t.Fatalf("roundtrip W(L(work)) = %v, want %v", W(m, p, l), work)
+		}
+	}
+}
+
+func TestRentalLifespanPanicsOnNegativeWork(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative work accepted")
+		}
+	}()
+	RentalLifespan(model.Table1(), profile.Linear(4), -5)
+}
+
+func TestMoreComputersMorePower(t *testing.T) {
+	// Adding a computer (any computer) increases X: the extra term in
+	// eq. (1) is positive.
+	m := model.Table1()
+	p4, p5 := profile.Linear(4), profile.Linear(5)
+	if !(X(m, p5.Normalized()) > 0) {
+		t.Fatal("sanity")
+	}
+	small := profile.MustNew(1, 0.5)
+	big := profile.MustNew(1, 0.5, 1)
+	if !(X(m, big) > X(m, small)) {
+		t.Fatal("extra (slow) computer did not increase X")
+	}
+	_ = p4
+}
+
+func TestXLargeClusterStable(t *testing.T) {
+	// The §4.3 study uses clusters up to n = 2^16; X and Compare must stay
+	// finite and consistent at that scale.
+	m := model.Table1()
+	r := stats.NewRNG(127)
+	p := profile.RandomNormalized(r, 1<<16)
+	x := X(m, p)
+	if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+		t.Fatalf("X(n=2^16) = %v", x)
+	}
+	// X is bounded by its ρ→0 limit 1/(A−τδ)·(1 − (τδ/A)ⁿ) < 1/(A−τδ).
+	if x >= 1/(m.A()-m.TauDelta()) {
+		t.Fatalf("X = %v exceeds theoretical supremum %v", x, 1/(m.A()-m.TauDelta()))
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	m := model.Table1()
+	r := stats.NewRNG(131)
+	for trial := 0; trial < 100; trial++ {
+		p, q := randomProfile(r), randomProfile(r)
+		if Compare(m, p, q) != -Compare(m, q, p) {
+			t.Fatalf("Compare not antisymmetric for %v, %v", p, q)
+		}
+	}
+	p := profile.Linear(6)
+	if Compare(m, p, p.Clone()) != 0 {
+		t.Fatal("Compare(p,p) != 0")
+	}
+}
+
+func TestXUpperBoundTheoreticalSupremum(t *testing.T) {
+	// For any profile, 0 < X < 1/(A−τδ).
+	m := model.Table1()
+	r := stats.NewRNG(137)
+	sup := 1 / (m.A() - m.TauDelta())
+	for trial := 0; trial < 200; trial++ {
+		p := randomProfile(r)
+		x := X(m, p)
+		if !(x > 0 && x < sup) {
+			t.Fatalf("X = %v outside (0, %v) for %v", x, sup, p)
+		}
+	}
+}

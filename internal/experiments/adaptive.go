@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetero/internal/adaptive"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/stats"
+)
+
+// AdaptiveSweepRow is one (α, jitter) cell of the adaptive study.
+type AdaptiveSweepRow struct {
+	Alpha  float64
+	Jitter float64
+	// LateEfficiency averages oracle-relative efficiency over the second
+	// half of the rounds (after the estimator has had time to learn).
+	LateEfficiency float64
+	// LateError averages the mean estimation error over the same window.
+	LateError float64
+}
+
+// AdaptiveSweepResult sweeps the smoothing factor against the speed
+// fluctuation level: the online-estimation tradeoff surface for the
+// adaptive worksharing loop.
+type AdaptiveSweepResult struct {
+	Params  model.Params
+	Profile profile.Profile
+	Rounds  int
+	Rows    []AdaptiveSweepRow
+}
+
+// AdaptiveSweep runs the loop for every (alpha, jitter) combination.
+func AdaptiveSweep(m model.Params, p profile.Profile, rounds int, alphas, jitters []float64, seed uint64) (AdaptiveSweepResult, error) {
+	if len(alphas) == 0 || len(jitters) == 0 {
+		return AdaptiveSweepResult{}, fmt.Errorf("experiments: empty α or jitter sweep")
+	}
+	if rounds < 4 {
+		return AdaptiveSweepResult{}, fmt.Errorf("experiments: need ≥4 rounds for a late window, got %d", rounds)
+	}
+	res := AdaptiveSweepResult{Params: m, Profile: p, Rounds: rounds}
+	for _, jitter := range jitters {
+		for _, alpha := range alphas {
+			run, err := adaptive.Run(adaptive.Config{
+				Params: m, True: p, Rounds: rounds, RoundLifespan: 500,
+				Alpha: alpha, Jitter: jitter, Seed: seed,
+			})
+			if err != nil {
+				return res, fmt.Errorf("experiments: α=%v jitter=%v: %w", alpha, jitter, err)
+			}
+			var eff, errs stats.KahanSum
+			late := run.Rounds[rounds/2:]
+			for _, r := range late {
+				eff.Add(r.Efficiency)
+				errs.Add(r.MeanRelErr)
+			}
+			res.Rows = append(res.Rows, AdaptiveSweepRow{
+				Alpha:          alpha,
+				Jitter:         jitter,
+				LateEfficiency: eff.Sum() / float64(len(late)),
+				LateError:      errs.Sum() / float64(len(late)),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table returns the sweep as a render table.
+func (r AdaptiveSweepResult) Table() *render.Table {
+	t := render.NewTable(
+		fmt.Sprintf("Adaptive worksharing tradeoff surface (n = %d, %d rounds)", len(r.Profile), r.Rounds),
+		"jitter ±", "α", "late efficiency", "late est. error")
+	for _, row := range r.Rows {
+		t.Add(fmt.Sprintf("%.0f%%", 100*row.Jitter),
+			fmt.Sprintf("%.2f", row.Alpha),
+			fmt.Sprintf("%.4f", row.LateEfficiency),
+			fmt.Sprintf("%.4f", row.LateError))
+	}
+	return t
+}
+
+// Render returns the sweep as text.
+func (r AdaptiveSweepResult) Render() string { return r.Table().String() }

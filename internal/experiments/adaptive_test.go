@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestAdaptiveSweep(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25, 0.125)
+	r, err := AdaptiveSweep(m, p, 16, []float64{0.3, 1}, []float64{0, 0.15}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byKey := map[[2]float64]AdaptiveSweepRow{}
+	for _, row := range r.Rows {
+		byKey[[2]float64{row.Jitter, row.Alpha}] = row
+	}
+	// Noiseless: the eager estimator (α = 1) is exact after one round; the
+	// damped one converges geometrically from the homogeneous prior, so it
+	// is close but not exact within 16 rounds.
+	eager := byKey[[2]float64{0, 1}]
+	if eager.LateEfficiency < 1-1e-9 || eager.LateError > 1e-9 {
+		t.Fatalf("noiseless α=1 row: %+v", eager)
+	}
+	damped := byKey[[2]float64{0, 0.3}]
+	if damped.LateEfficiency < 0.85 || damped.LateError > 0.15 {
+		t.Fatalf("noiseless α=0.3 row off the geometric-convergence track: %+v", damped)
+	}
+	if !(damped.LateError > eager.LateError) {
+		t.Fatal("damped estimator cannot beat exact observations without noise")
+	}
+	// Under jitter the damped estimator completes more oracle-relative
+	// work: chasing each round's fluctuation (α = 1) misallocates, while
+	// smoothing toward the true means keeps the schedule near-optimal.
+	if !(byKey[[2]float64{0.15, 0.3}].LateEfficiency > byKey[[2]float64{0.15, 1}].LateEfficiency) {
+		t.Fatalf("smoothing did not improve efficiency under jitter: %+v", r.Rows)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "late efficiency") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAdaptiveSweepValidation(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	if _, err := AdaptiveSweep(m, p, 16, nil, []float64{0}, 1); err == nil {
+		t.Fatal("empty alphas accepted")
+	}
+	if _, err := AdaptiveSweep(m, p, 2, []float64{1}, []float64{0}, 1); err == nil {
+		t.Fatal("too few rounds accepted")
+	}
+	if _, err := AdaptiveSweep(m, p, 16, []float64{2}, []float64{0}, 1); err == nil {
+		t.Fatal("α=2 accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/sim"
+)
+
+// BaselineRow compares protocols on one cluster.
+type BaselineRow struct {
+	Name         string
+	Profile      profile.Profile
+	Optimal      float64 // work completed by L under the optimal FIFO protocol
+	Equal        float64 // … under the equal-allocation baseline
+	Proportional float64 // … under the speed-proportional baseline
+}
+
+// EqualPenalty returns the fraction of work lost by equal allocation.
+func (r BaselineRow) EqualPenalty() float64 { return 1 - r.Equal/r.Optimal }
+
+// ProportionalPenalty returns the fraction lost by proportional allocation.
+func (r BaselineRow) ProportionalPenalty() float64 { return 1 - r.Proportional/r.Optimal }
+
+// BaselineResult is the extension study comparing the optimal FIFO protocol
+// against naive allocations, all executed on the event-driven simulator.
+type BaselineResult struct {
+	Params   model.Params
+	Lifespan float64
+	Rows     []BaselineRow
+}
+
+// BaselineComparison runs the named clusters through all three protocols.
+func BaselineComparison(m model.Params, lifespan float64, clusters map[string]profile.Profile) (BaselineResult, error) {
+	if !(lifespan > 0) {
+		return BaselineResult{}, fmt.Errorf("experiments: lifespan %v must be positive", lifespan)
+	}
+	res := BaselineResult{Params: m, Lifespan: lifespan}
+	// Deterministic iteration order: sorted names.
+	names := make([]string, 0, len(clusters))
+	for name := range clusters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := clusters[name]
+		opt, err := sim.OptimalFIFO(m, p, lifespan)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		optRes, err := sim.RunCEP(m, p, opt, sim.Options{})
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		_, eqRes, err := sim.EqualSplit(m, p, lifespan)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		_, propRes, err := sim.ProportionalSplit(m, p, lifespan)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, BaselineRow{
+			Name:         name,
+			Profile:      p,
+			Optimal:      optRes.CompletedBy(lifespan),
+			Equal:        eqRes.CompletedBy(lifespan),
+			Proportional: propRes.CompletedBy(lifespan),
+		})
+	}
+	return res, nil
+}
+
+// DefaultBaselineClusters returns the cluster menagerie used by the CLI:
+// the paper's two §2.5 families plus geometric and near-homogeneous
+// controls.
+func DefaultBaselineClusters(n int) map[string]profile.Profile {
+	return map[string]profile.Profile{
+		"linear":    profile.Linear(n),
+		"harmonic":  profile.Harmonic(n),
+		"geometric": profile.Geometric(n, 0.7),
+		"uniform":   profile.Homogeneous(n, 0.6),
+	}
+}
+
+// Table returns the comparison as a render table (use .CSV() for
+// machine-readable output).
+func (r BaselineResult) Table() *render.Table {
+	t := render.NewTable(
+		fmt.Sprintf("Optimal FIFO vs naive allocations (simulated, L = %g)", r.Lifespan),
+		"cluster", "n", "optimal work", "equal split", "prop. split", "equal loss", "prop. loss")
+	for _, row := range r.Rows {
+		t.Add(row.Name,
+			fmt.Sprintf("%d", len(row.Profile)),
+			fmt.Sprintf("%.6g", row.Optimal),
+			fmt.Sprintf("%.6g", row.Equal),
+			fmt.Sprintf("%.6g", row.Proportional),
+			fmt.Sprintf("%.2f%%", 100*row.EqualPenalty()),
+			fmt.Sprintf("%.3f%%", 100*row.ProportionalPenalty()))
+	}
+	return t
+}
+
+// Render returns the comparison table as text.
+func (r BaselineResult) Render() string { return r.Table().String() }

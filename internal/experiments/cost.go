@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+)
+
+// CostModel prices a cluster. The paper's abstract asks whether
+// heterogeneity enhances cost effectiveness but never prices machines; we
+// use the standard superlinear convention that a machine of speed s = 1/ρ
+// costs s^Alpha — faster machines cost disproportionately more (Alpha > 1),
+// which is how real price lists behave near the top bin.
+type CostModel struct {
+	// Alpha is the price-of-speed exponent (> 0; 1 = linear pricing).
+	Alpha float64
+}
+
+// Price returns Σ (1/ρᵢ)^α.
+func (c CostModel) Price(p profile.Profile) float64 {
+	total := 0.0
+	for _, rho := range p {
+		total += math.Pow(1/rho, c.Alpha)
+	}
+	return total
+}
+
+// CostRow is one cluster of the cost-effectiveness study.
+type CostRow struct {
+	Name          string
+	Profile       profile.Profile
+	Price         float64
+	WorkPerDay    float64
+	WorkPerDollar float64
+}
+
+// CostResult answers the abstract's cost-effectiveness question for a set
+// of candidate clusters under one pricing exponent: which shape of cluster
+// buys the most CEP work per unit price?
+//
+// The study's finding (exercised by the tests): because CEP work at
+// µs-scale communication tracks total speed Σ1/ρ, the equal-budget
+// comparison is an ℓ_α-ball extremum problem — with superlinear pricing
+// (α > 1) the homogeneous cluster is the most cost-effective, while with
+// sublinear pricing (α < 1, bulk discounts at the top speed bin)
+// heterogeneous shapes win. Heterogeneity enhances cost effectiveness
+// exactly when speed is cheap at the high end.
+type CostResult struct {
+	Params model.Params
+	Cost   CostModel
+	Rows   []CostRow
+}
+
+// CostEffectiveness evaluates the named clusters.
+func CostEffectiveness(m model.Params, cost CostModel, clusters []struct {
+	Name    string
+	Profile profile.Profile
+}) (CostResult, error) {
+	if !(cost.Alpha > 0) {
+		return CostResult{}, fmt.Errorf("experiments: pricing exponent α = %v must be positive", cost.Alpha)
+	}
+	const day = 24 * 3600.0
+	res := CostResult{Params: m, Cost: cost}
+	for _, c := range clusters {
+		price := cost.Price(c.Profile)
+		work := core.W(m, c.Profile, day)
+		res.Rows = append(res.Rows, CostRow{
+			Name:          c.Name,
+			Profile:       c.Profile,
+			Price:         price,
+			WorkPerDay:    work,
+			WorkPerDollar: work / price,
+		})
+	}
+	return res, nil
+}
+
+// EqualBudgetClusters builds a family of n-computer clusters that all cost
+// (almost) exactly the same under the given pricing but differ in shape:
+// homogeneous, mildly heterogeneous, and increasingly barbell-shaped. Each
+// cluster is constructed by picking a shape and then solving (by bisection
+// on a uniform speed scale) for the budget.
+func EqualBudgetClusters(cost CostModel, n int, budget float64) ([]struct {
+	Name    string
+	Profile profile.Profile
+}, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("experiments: need n ≥ 2, got %d", n)
+	}
+	shapes := []struct {
+		Name string
+		Rhos profile.Profile
+	}{
+		{"homogeneous", profile.Homogeneous(n, 0.5)},
+		{"linear", profile.Linear(n)},
+		{"harmonic", profile.Harmonic(n)},
+		{"geometric", profile.Geometric(n, 0.7)},
+	}
+	var out []struct {
+		Name    string
+		Profile profile.Profile
+	}
+	for _, s := range shapes {
+		scaled, err := scaleToBudget(cost, s.Rhos, budget)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", s.Name, err)
+		}
+		out = append(out, struct {
+			Name    string
+			Profile profile.Profile
+		}{s.Name, scaled})
+	}
+	return out, nil
+}
+
+// scaleToBudget multiplies every ρ by a common factor c ≥ 1 (slowing the
+// whole cluster down uniformly) or c ≤ 1 (speeding it up) so the cluster's
+// price hits the budget, then clamps into (0, 1] by construction: scaling
+// is chosen so the fastest machine stays within the valid range.
+func scaleToBudget(cost CostModel, p profile.Profile, budget float64) (profile.Profile, error) {
+	if !(budget > 0) {
+		return nil, fmt.Errorf("budget %v must be positive", budget)
+	}
+	price := func(c float64) float64 {
+		total := 0.0
+		for _, rho := range p {
+			total += math.Pow(1/(rho*c), cost.Alpha)
+		}
+		return total
+	}
+	// price(c) is strictly decreasing in c. Bracket and bisect.
+	lo, hi := 1e-6, 1e6
+	if price(lo) < budget || price(hi) > budget {
+		return nil, fmt.Errorf("budget %v unreachable for this shape", budget)
+	}
+	for i := 0; i < 200 && hi-lo > 1e-14*hi; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection suits the power law
+		if price(mid) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	c := math.Sqrt(lo * hi)
+	q := p.Clone()
+	for i := range q {
+		q[i] *= c
+		if q[i] > 1 {
+			return nil, fmt.Errorf("budget %v forces ρ > 1 (cluster too cheap for normalization)", budget)
+		}
+		if q[i] <= 0 {
+			return nil, fmt.Errorf("scaling produced non-positive ρ")
+		}
+	}
+	return q, nil
+}
+
+// Render lists the clusters by work per unit price.
+func (r CostResult) Render() string {
+	t := render.NewTable(
+		fmt.Sprintf("Cost effectiveness under price(speed) = speed^%.2g", r.Cost.Alpha),
+		"cluster", "n", "price", "W(1 day)", "work per price unit")
+	for _, row := range r.Rows {
+		t.Add(row.Name,
+			fmt.Sprintf("%d", len(row.Profile)),
+			fmt.Sprintf("%.4g", row.Price),
+			fmt.Sprintf("%.4g", row.WorkPerDay),
+			fmt.Sprintf("%.4g", row.WorkPerDollar))
+	}
+	return t.String()
+}

@@ -1,0 +1,23 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation, plus the extension studies called out in DESIGN.md.
+// Each driver returns a structured result with a Render method producing
+// the same rows/series the paper reports, so that CLI tools, tests, and
+// benchmarks all regenerate the published artifacts from a single
+// implementation.
+//
+// Drivers and their paper artifacts:
+//
+//	Table2              derived model constants (Table 2)
+//	Table3              HECRs of the §2.5 sample clusters (Table 3)
+//	Table4              additive-speedup work ratios (Table 4)
+//	Fig1                single-computer action/time diagram (Figure 1)
+//	Fig2                3-computer FIFO schedule (Figure 2)
+//	Fig3, Fig4          iterated multiplicative speedups (Figures 3–4)
+//	MeanCounterexample  §4's ⟨0.99,0.02⟩ vs ⟨0.5,0.5⟩ example
+//	VariancePredictor   §4.3 equal-mean variance study
+//	VarianceThreshold   §4.3 threshold search (θ = 0.167 in the paper)
+//	BaselineComparison  FIFO vs equal/proportional splits (extension)
+//	MomentPredictors    which profile moments rank clusters best (extension)
+//	JitterRobustness    FIFO allocations under speed perturbation (extension)
+//	SimAgreement        event-driven simulation vs Theorem 2 (validation)
+package experiments

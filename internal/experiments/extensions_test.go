@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestBaselineComparison(t *testing.T) {
+	m := model.Table1()
+	r, err := BaselineComparison(m, 2000, DefaultBaselineClusters(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Optimal+1e-9 < row.Equal || row.Optimal+1e-9 < row.Proportional {
+			t.Fatalf("%s: a baseline beat the optimal protocol: %+v", row.Name, row)
+		}
+	}
+	// Equal split loses badly on the harmonic cluster (8x speed spread)
+	// and essentially nothing on the homogeneous control.
+	var harmonic, uniform BaselineRow
+	for _, row := range r.Rows {
+		switch row.Name {
+		case "harmonic":
+			harmonic = row
+		case "uniform":
+			uniform = row
+		}
+	}
+	if harmonic.EqualPenalty() < 0.1 {
+		t.Fatalf("harmonic equal-split penalty %v suspiciously small", harmonic.EqualPenalty())
+	}
+	if uniform.EqualPenalty() > 0.001 {
+		t.Fatalf("uniform equal-split penalty %v should be ~0", uniform.EqualPenalty())
+	}
+	if !(harmonic.EqualPenalty() > harmonic.ProportionalPenalty()) {
+		t.Fatal("proportional split should beat equal split on a heterogeneous cluster")
+	}
+	out := r.Render()
+	for _, frag := range []string{"harmonic", "equal loss", "prop. loss"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestBaselineComparisonValidation(t *testing.T) {
+	if _, err := BaselineComparison(model.Table1(), 0, DefaultBaselineClusters(4)); err == nil {
+		t.Fatal("L=0 accepted")
+	}
+}
+
+func TestMomentPredictors(t *testing.T) {
+	r, err := MomentPredictors(model.Table1(), 6, 400, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accuracy) != len(momentPredictors) {
+		t.Fatalf("predictors = %d", len(r.Accuracy))
+	}
+	// The geometric mean is the closest single-moment proxy for X at these
+	// parameter scales (X is driven by the geometric mean of the r(ρᵢ));
+	// it must beat the arithmetic mean, and total speed must do well too.
+	if !(r.Accuracy["geo-mean"] > r.Accuracy["arith-mean"]) {
+		t.Fatalf("geo-mean %.3f not above arith-mean %.3f", r.Accuracy["geo-mean"], r.Accuracy["arith-mean"])
+	}
+	if r.Accuracy["geo-mean"] < 0.9 {
+		t.Fatalf("geo-mean accuracy %.3f implausibly low", r.Accuracy["geo-mean"])
+	}
+	// Variance alone (without the equal-mean conditioning of §4.3) is a
+	// weak predictor on general pairs.
+	if r.Accuracy["neg-variance"] > r.Accuracy["geo-mean"] {
+		t.Fatal("variance should not beat geo-mean on general pairs")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "geo-mean") || !strings.Contains(out, "%") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestMomentPredictorsValidation(t *testing.T) {
+	if _, err := MomentPredictors(model.Table1(), 1, 10, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := MomentPredictors(model.Table1(), 4, 0, 1); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+}
+
+func TestJitterRobustness(t *testing.T) {
+	m := model.Table1()
+	r, err := JitterRobustness(m, profile.Linear(6), 1000, []float64{0, 0.05, 0.2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Zero jitter: exact completion, everything on time.
+	if r.Rows[0].MaxOverrun > 1+1e-9 || r.Rows[0].MeanOnTimeFraction < 1-1e-9 {
+		t.Fatalf("zero-jitter row: %+v", r.Rows[0])
+	}
+	// More jitter ⇒ (weakly) worse worst-case overrun and on-time fraction.
+	if r.Rows[2].MaxOverrun < r.Rows[1].MaxOverrun-1e-12 {
+		t.Fatalf("max overrun shrank with jitter: %+v", r.Rows)
+	}
+	if r.Rows[2].MeanOnTimeFraction > r.Rows[1].MeanOnTimeFraction+1e-12 {
+		t.Fatalf("on-time fraction grew with jitter: %+v", r.Rows)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "makespan/L") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestJitterRobustnessValidation(t *testing.T) {
+	if _, err := JitterRobustness(model.Table1(), profile.Linear(4), 100, []float64{0.1}, 0); err == nil {
+		t.Fatal("seeds=0 accepted")
+	}
+}
+
+func TestSimAgreement(t *testing.T) {
+	r, err := SimAgreement(model.Table1(), []int{1, 4, 16}, []float64{100, 10000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.MaxRel > 1e-9 {
+		t.Fatalf("simulation deviates from Theorem 2 by %v", r.MaxRel)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Theorem 2") || !strings.Contains(out, "max relative error") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

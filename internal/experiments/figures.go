@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/schedule"
+)
+
+// Fig1 renders the paper's Figure 1 — the action/time diagram of
+// worksharing w units with a single remote computer of speed rho — as a
+// labelled phase table.
+func Fig1(m model.Params, rho, w float64) string {
+	phases := schedule.SingleTimeline(m.Pi, m.Tau, m.Pi, m.Delta, rho, w)
+	t := render.NewTable(
+		fmt.Sprintf("Figure 1: worksharing %g units with one computer (ρ = %g)", w, rho),
+		"phase", "duration")
+	total := 0.0
+	for _, ph := range phases {
+		t.Add(ph.Label, fmt.Sprintf("%.6g", ph.Duration))
+		total += ph.Duration
+	}
+	return t.String() + fmt.Sprintf("end-to-end: %.6g time units\n", total)
+}
+
+// Fig2 builds and renders the 3-computer FIFO schedule of Figure 2 as an
+// ASCII Gantt chart.
+func Fig2(m model.Params, p profile.Profile, lifespan float64, width int) (string, error) {
+	s, err := schedule.BuildFIFO(m, p, lifespan)
+	if err != nil {
+		return "", err
+	}
+	if err := s.Verify(); err != nil {
+		return "", fmt.Errorf("experiments: built schedule failed verification: %w", err)
+	}
+	return "Figure 2: FIFO worksharing protocol\n" + s.Gantt(width) + "\n" + s.Table(), nil
+}
+
+// FigSpeedupResult holds the iterated multiplicative speedup experiment
+// behind Figures 3 and 4.
+type FigSpeedupResult struct {
+	Params model.Params
+	Psi    float64
+	Steps  []core.PlanStep
+}
+
+// Fig3 runs phase 1 of the experiment: 16 rounds from ⟨1,1,1,1⟩, during
+// which condition (1) of Theorem 4 (with the tie-break rule) repeatedly
+// selects the then-fastest computer, ending at ⟨1/16,1/16,1/16,1/16⟩.
+func Fig3() (FigSpeedupResult, error) {
+	m := model.Figs34()
+	steps, err := core.GreedyMultiplicativePlan(m, profile.MustNew(1, 1, 1, 1), 0.5, 16)
+	return FigSpeedupResult{Params: m, Psi: 0.5, Steps: steps}, err
+}
+
+// Fig4 runs phase 2: 4 further rounds from ⟨1/16,…⟩, during which
+// condition (2) selects the then-slowest computer each time, ending at
+// ⟨1/32,…⟩.
+func Fig4() (FigSpeedupResult, error) {
+	m := model.Figs34()
+	start := profile.MustNew(1.0/16, 1.0/16, 1.0/16, 1.0/16)
+	steps, err := core.GreedyMultiplicativePlan(m, start, 0.5, 4)
+	return FigSpeedupResult{Params: m, Psi: 0.5, Steps: steps}, err
+}
+
+// Render draws each round's profile as a bar graph (bar height = ρ-value),
+// mirroring the snapshots of Figures 3–4.
+func (r FigSpeedupResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Iterated multiplicative speedup, ψ = %g, Aτδ/B² = %.4g\n",
+		r.Psi, r.Params.Theorem4Threshold())
+	for _, s := range r.Steps {
+		fmt.Fprintf(&b, "\nround %d: sped up C%d (X %.4g → %.4g)\n", s.Round, s.Index+1, s.XBefore, s.XAfter)
+		labels := make([]string, len(s.After))
+		for i := range s.After {
+			labels[i] = fmt.Sprintf("C%d", i+1)
+		}
+		b.WriteString(render.Bars(labels, s.After, 48))
+	}
+	return b.String()
+}
+
+// SelectionSequence returns, for each round, which computer (1-based) was
+// sped up — the compact fingerprint of Figures 3–4 used by tests and
+// EXPERIMENTS.md.
+func (r FigSpeedupResult) SelectionSequence() []int {
+	seq := make([]int, len(r.Steps))
+	for i, s := range r.Steps {
+		seq[i] = s.Index + 1
+	}
+	return seq
+}

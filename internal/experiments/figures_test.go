@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestFig1Render(t *testing.T) {
+	out := Fig1(model.Table1(), 0.5, 100)
+	for _, frag := range []string{"Figure 1", "server packages work", "computer computes", "end-to-end"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig2RenderAndVerify(t *testing.T) {
+	out, err := Fig2(model.Table1(), profile.MustNew(1, 0.5, 0.25), 3600, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Figure 2", "channel", "C1", "C3", "total work"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFig2PropagatesInfeasibility(t *testing.T) {
+	if _, err := Fig2(model.Table1(), profile.Harmonic(2000), 1e6, 72); err == nil {
+		t.Fatal("infeasible schedule accepted")
+	}
+}
+
+func TestFig3SelectionSequence(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 4, 4, 4, 3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1}
+	got := r.SelectionSequence()
+	if len(got) != len(want) {
+		t.Fatalf("sequence length %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round %d sped C%d, want C%d (full: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	final := r.Steps[len(r.Steps)-1].After
+	for _, rho := range final {
+		if rho != 1.0/16 {
+			t.Fatalf("final profile %v, want all 1/16", final)
+		}
+	}
+}
+
+func TestFig4SelectionSequence(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: slowest each round, tie-break to the largest index.
+	want := []int{4, 3, 2, 1}
+	got := r.SelectionSequence()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("phase-2 round %d sped C%d, want C%d", i+1, got[i], want[i])
+		}
+	}
+	final := r.Steps[len(r.Steps)-1].After
+	for _, rho := range final {
+		if rho != 1.0/32 {
+			t.Fatalf("final profile %v, want all 1/32", final)
+		}
+	}
+}
+
+func TestFigRenderHasBars(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if strings.Count(out, "round") != 4 {
+		t.Fatalf("rounds in render:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bars rendered")
+	}
+	if !strings.Contains(out, "Aτδ/B²") {
+		t.Fatal("threshold not reported")
+	}
+}
+
+func TestMeanCounterexample(t *testing.T) {
+	r := MeanCounterexample()
+	if !(r.XHetero > r.XHomo) {
+		t.Fatalf("X %v vs %v", r.XHetero, r.XHomo)
+	}
+	if !(r.HECRHetero < r.HECRHomo) {
+		t.Fatalf("HECR %v vs %v", r.HECRHetero, r.HECRHomo)
+	}
+	if !(r.Hetero.Mean() > r.Homo.Mean()) {
+		t.Fatal("example premise broken")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "0.99") || !strings.Contains(out, "variance") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

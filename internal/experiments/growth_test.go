@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+)
+
+func TestHECRGrowth(t *testing.T) {
+	r, err := HECRGrowth(model.Table1(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 { // 8,16,…,1024
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		prev, cur := r.Rows[i-1], r.Rows[i]
+		// All HECRs decrease with n (more computers = more power)…
+		if !(cur.HECRLin < prev.HECRLin && cur.HECRHarm < prev.HECRHarm) {
+			t.Fatalf("HECRs not decreasing at n=%d: %+v vs %+v", cur.N, cur, prev)
+		}
+		// …and the harmonic family's advantage keeps compounding, which is
+		// the trend Table 3 shows for 8→16→32.
+		if !(cur.Ratio > prev.Ratio) {
+			t.Fatalf("advantage not growing at n=%d: %v after %v", cur.N, cur.Ratio, prev.Ratio)
+		}
+	}
+	// Table 3 anchors: the first rows must match the paper's values.
+	if r.Rows[0].Ratio < 1.6 || r.Rows[0].Ratio > 1.8 {
+		t.Fatalf("n=8 advantage %v outside paper's ≈1.7", r.Rows[0].Ratio)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "advantage") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestHECRGrowthValidation(t *testing.T) {
+	if _, err := HECRGrowth(model.Table1(), 4); err == nil {
+		t.Fatal("maxN=4 accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetero/internal/hier"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+)
+
+// HierarchyRow compares one organization of the same machines.
+type HierarchyRow struct {
+	Name  string
+	Tree  *hier.Node
+	Depth int
+	X     float64
+	Loss  float64 // vs flat
+}
+
+// HierarchyResult is the cluster-organization study: the same machines
+// arranged flat, as a balanced two-level federation, and as a deep chain,
+// across communication scales. It extends the paper's flat model along its
+// grid/volunteer-computing motivation and quantifies when hierarchy is
+// (nearly) free and when it hurts.
+type HierarchyResult struct {
+	Params model.Params
+	Leaves profile.Profile
+	Rows   []HierarchyRow
+}
+
+// HierarchyStudy evaluates the standard organizations of the given leaves.
+func HierarchyStudy(m model.Params, leaves profile.Profile) (HierarchyResult, error) {
+	if len(leaves) < 4 {
+		return HierarchyResult{}, fmt.Errorf("experiments: hierarchy study needs ≥4 machines, got %d", len(leaves))
+	}
+	res := HierarchyResult{Params: m, Leaves: leaves}
+
+	mkLeaves := func(p profile.Profile) []*hier.Node {
+		nodes := make([]*hier.Node, len(p))
+		for i, rho := range p {
+			nodes[i] = hier.Leaf(rho)
+		}
+		return nodes
+	}
+
+	flat := hier.Cluster(mkLeaves(leaves)...)
+
+	// Balanced two-level: split into two federated halves.
+	half := len(leaves) / 2
+	twoLevel := hier.Cluster(
+		hier.Cluster(mkLeaves(leaves[:half])...),
+		hier.Cluster(mkLeaves(leaves[half:])...),
+	)
+
+	// Quartered two-level.
+	q := len(leaves) / 4
+	quartered := hier.Cluster(
+		hier.Cluster(mkLeaves(leaves[:q])...),
+		hier.Cluster(mkLeaves(leaves[q:2*q])...),
+		hier.Cluster(mkLeaves(leaves[2*q:3*q])...),
+		hier.Cluster(mkLeaves(leaves[3*q:])...),
+	)
+
+	// Chain: each level wraps the previous plus one machine — the worst
+	// reasonable shape.
+	chain := hier.Cluster(mkLeaves(leaves[:2])...)
+	for _, rho := range leaves[2:] {
+		chain = hier.Cluster(chain, hier.Leaf(rho))
+	}
+
+	flatX, err := flat.X(m)
+	if err != nil {
+		return res, err
+	}
+	for _, org := range []struct {
+		name string
+		tree *hier.Node
+	}{
+		{"flat", flat},
+		{"two-level (halves)", twoLevel},
+		{"two-level (quarters)", quartered},
+		{"chain", chain},
+	} {
+		x, err := org.tree.X(m)
+		if err != nil {
+			return res, fmt.Errorf("experiments: %s: %w", org.name, err)
+		}
+		res.Rows = append(res.Rows, HierarchyRow{
+			Name:  org.name,
+			Tree:  org.tree,
+			Depth: org.tree.Depth(),
+			X:     x,
+			Loss:  1 - x/flatX,
+		})
+	}
+	return res, nil
+}
+
+// Render lists the organizations.
+func (r HierarchyResult) Render() string {
+	t := render.NewTable(
+		fmt.Sprintf("Organizing %d machines under %v", len(r.Leaves), r.Params),
+		"organization", "depth", "X", "loss vs flat")
+	for _, row := range r.Rows {
+		t.Add(row.Name,
+			fmt.Sprintf("%d", row.Depth),
+			fmt.Sprintf("%.4f", row.X),
+			fmt.Sprintf("%.4f%%", 100*row.Loss))
+	}
+	return t.String()
+}

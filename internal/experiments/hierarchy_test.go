@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestHierarchyStudyTable1(t *testing.T) {
+	m := model.Table1()
+	r, err := HierarchyStudy(m, profile.Linear(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var flat, chain HierarchyRow
+	for _, row := range r.Rows {
+		if row.Name == "flat" {
+			flat = row
+		}
+		if row.Name == "chain" {
+			chain = row
+		}
+		// No organization beats flat under store-and-forward composition.
+		if row.Loss < -1e-9 {
+			t.Fatalf("%s beat flat: %+v", row.Name, row)
+		}
+	}
+	if flat.Loss != 0 {
+		t.Fatalf("flat loss = %v", flat.Loss)
+	}
+	if chain.Depth != 8 {
+		t.Fatalf("chain depth = %d, want 8", chain.Depth)
+	}
+	// At µs communication the two-level losses are tiny, and the chain is
+	// the worst organization.
+	if chain.Loss < r.Rows[1].Loss {
+		t.Fatalf("chain (%v) should lose at least as much as two-level (%v)", chain.Loss, r.Rows[1].Loss)
+	}
+	out := r.Render()
+	for _, frag := range []string{"flat", "chain", "loss vs flat"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestHierarchyLossGrowsWithCommunicationCost(t *testing.T) {
+	// Hierarchy is ~free at µs links and visibly costly at expensive links:
+	// the study's headline.
+	leaves := profile.Linear(8)
+	lossAt := func(tau float64) float64 {
+		m := model.Params{Tau: tau, Pi: 1e-5, Delta: 1}
+		r, err := HierarchyStudy(m, leaves)
+		if err != nil {
+			t.Fatalf("τ=%v: %v", tau, err)
+		}
+		for _, row := range r.Rows {
+			if row.Name == "two-level (halves)" {
+				return row.Loss
+			}
+		}
+		t.Fatal("row missing")
+		return 0
+	}
+	cheap := lossAt(1e-6)
+	pricey := lossAt(0.05)
+	if !(pricey > cheap) {
+		t.Fatalf("two-level loss did not grow with τ: %v vs %v", pricey, cheap)
+	}
+	if cheap > 1e-3 {
+		t.Fatalf("µs-link two-level loss %v suspiciously large", cheap)
+	}
+}
+
+func TestHierarchyStudyValidation(t *testing.T) {
+	if _, err := HierarchyStudy(model.Table1(), profile.MustNew(1, 0.5)); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+}

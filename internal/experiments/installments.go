@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/sim"
+)
+
+// InstallmentRow is one (τ, k) cell of the multi-installment study.
+type InstallmentRow struct {
+	Tau  float64
+	K    int
+	Work float64
+	// GainVsSingle is Work/Work(k=1) − 1 at the same τ.
+	GainVsSingle float64
+}
+
+// InstallmentResult is the multi-installment extension study: splitting
+// each computer's package into k rounds removes ramp-up idle. The paper's
+// single-round protocol is optimal in its asymptotic regime; this study
+// shows where multiple installments start paying — exactly when
+// communication stops being negligible.
+type InstallmentResult struct {
+	Params   model.Params // base params; Tau varies per row
+	Profile  profile.Profile
+	Lifespan float64
+	Rows     []InstallmentRow
+}
+
+// InstallmentStudy sweeps link costs × installment counts.
+func InstallmentStudy(m model.Params, p profile.Profile, lifespan float64, taus []float64, ks []int) (InstallmentResult, error) {
+	if len(taus) == 0 || len(ks) == 0 {
+		return InstallmentResult{}, fmt.Errorf("experiments: empty τ or k sweep")
+	}
+	res := InstallmentResult{Params: m, Profile: p, Lifespan: lifespan}
+	for _, tau := range taus {
+		env := m
+		env.Tau = tau
+		if err := env.Validate(); err != nil {
+			return res, fmt.Errorf("experiments: τ=%v: %w", tau, err)
+		}
+		var single float64
+		for _, k := range ks {
+			_, run, err := sim.MultiInstallment(env, p, lifespan, k)
+			if err != nil {
+				return res, fmt.Errorf("experiments: τ=%v k=%d: %w", tau, k, err)
+			}
+			row := InstallmentRow{Tau: tau, K: k, Work: run.CompletedBy(lifespan)}
+			if k == 1 {
+				single = row.Work
+			}
+			if single > 0 {
+				row.GainVsSingle = row.Work/single - 1
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Table returns the sweep as a render table.
+func (r InstallmentResult) Table() *render.Table {
+	t := render.NewTable(
+		fmt.Sprintf("Multi-installment worksharing on %v (L = %g)", r.Profile, r.Lifespan),
+		"τ", "installments k", "work by L", "gain vs single round")
+	for _, row := range r.Rows {
+		t.Add(fmt.Sprintf("%g", row.Tau),
+			fmt.Sprintf("%d", row.K),
+			fmt.Sprintf("%.6g", row.Work),
+			fmt.Sprintf("%+.3f%%", 100*row.GainVsSingle))
+	}
+	return t
+}
+
+// Render returns the sweep table as text.
+func (r InstallmentResult) Render() string { return r.Table().String() }

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestInstallmentStudy(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.8, 0.6, 0.4)
+	r, err := InstallmentStudy(m, p, 100, []float64{1e-6, 0.05}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Cheap links: gains ≈ 0. Expensive links: k=4 strictly positive gain.
+	for _, row := range r.Rows {
+		switch {
+		case row.Tau == 1e-6 && (row.GainVsSingle > 1e-3 || row.GainVsSingle < -1e-3):
+			t.Fatalf("µs-link gain %v should be ≈0", row.GainVsSingle)
+		case row.Tau == 0.05 && row.K == 4 && row.GainVsSingle <= 0:
+			t.Fatalf("expensive-link k=4 gain %v should be positive", row.GainVsSingle)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "gain vs single round") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestInstallmentStudyValidation(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	if _, err := InstallmentStudy(m, p, 100, nil, []int{1}); err == nil {
+		t.Fatal("empty τ sweep accepted")
+	}
+	if _, err := InstallmentStudy(m, p, 100, []float64{-1}, []int{1}); err == nil {
+		t.Fatal("negative τ accepted")
+	}
+	if _, err := InstallmentStudy(m, p, 100, []float64{1e-6}, []int{0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

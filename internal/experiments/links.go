@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/schedule"
+)
+
+// LinkOrderRow is one startup order's work production in the link study.
+type LinkOrderRow struct {
+	Order []int // positions into the original (computer, link) pairs
+	Work  float64
+	Err   error
+}
+
+// LinkOrderStudyResult explores startup orders for a link-heterogeneous
+// cluster — the regime the paper's §1 motivates ("layered networks of
+// varying speeds") but its uniform-τ model deliberately excludes. With
+// per-computer links, Theorem 1.2 fails: the startup order changes work
+// production, and choosing it becomes an optimization problem. The study
+// enumerates all orders (n ≤ 8) and reports the spread plus how two natural
+// heuristics fare.
+type LinkOrderStudyResult struct {
+	Params   model.Params
+	Profile  profile.Profile
+	Taus     []float64
+	Lifespan float64
+	Rows     []LinkOrderRow // feasible orders, best first
+	// Infeasible counts orders the gap-free protocol cannot realize.
+	Infeasible int
+	// Heuristic work productions, for comparison with Rows[0].
+	FastLinkFirstWork float64
+	SlowLinkFirstWork float64
+}
+
+// LinkOrderStudy enumerates the startup orders of the (computer, link)
+// pairs given by p and taus.
+func LinkOrderStudy(m model.Params, p profile.Profile, taus []float64, lifespan float64) (LinkOrderStudyResult, error) {
+	n := len(p)
+	if n > 8 {
+		return LinkOrderStudyResult{}, fmt.Errorf("experiments: link study enumerates n! orders; n = %d is too large (max 8)", n)
+	}
+	if len(taus) != n {
+		return LinkOrderStudyResult{}, fmt.Errorf("experiments: %d link rates for %d computers", len(taus), n)
+	}
+	res := LinkOrderStudyResult{Params: m, Profile: p, Taus: taus, Lifespan: lifespan}
+
+	evalOrder := func(order []int) (float64, error) {
+		pp := make(profile.Profile, n)
+		tt := make([]float64, n)
+		for pos, idx := range order {
+			pp[pos] = p[idx]
+			tt[pos] = taus[idx]
+		}
+		return schedule.LinkWork(m, pp, tt, lifespan)
+	}
+
+	forEachPermutation(n, func(order []int) {
+		w, err := evalOrder(order)
+		if err != nil {
+			res.Infeasible++
+			return
+		}
+		res.Rows = append(res.Rows, LinkOrderRow{Order: append([]int(nil), order...), Work: w})
+	})
+	if len(res.Rows) == 0 {
+		return res, fmt.Errorf("experiments: no feasible startup order for this cluster")
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool { return res.Rows[i].Work > res.Rows[j].Work })
+
+	// Heuristics: serve fast links first vs slow links first.
+	byLink := make([]int, n)
+	for i := range byLink {
+		byLink[i] = i
+	}
+	sort.SliceStable(byLink, func(a, b int) bool { return taus[byLink[a]] < taus[byLink[b]] })
+	if w, err := evalOrder(byLink); err == nil {
+		res.FastLinkFirstWork = w
+	}
+	reversed := make([]int, n)
+	for i := range reversed {
+		reversed[i] = byLink[n-1-i]
+	}
+	if w, err := evalOrder(reversed); err == nil {
+		res.SlowLinkFirstWork = w
+	}
+	return res, nil
+}
+
+// Spread returns (best − worst)/best over feasible orders: how much startup
+// ordering matters for this cluster.
+func (r LinkOrderStudyResult) Spread() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	best := r.Rows[0].Work
+	worst := r.Rows[len(r.Rows)-1].Work
+	return (best - worst) / best
+}
+
+// Render shows the best and worst orders and the heuristics.
+func (r LinkOrderStudyResult) Render() string {
+	t := render.NewTable(
+		fmt.Sprintf("Startup orders under heterogeneous links (n = %d, L = %g)", len(r.Profile), r.Lifespan),
+		"startup order Σ", "work", "loss vs best")
+	best := r.Rows[0].Work
+	show := r.Rows
+	const cap = 10
+	truncated := 0
+	if len(show) > cap {
+		truncated = len(show) - cap
+		show = show[:cap]
+	}
+	for _, row := range show {
+		t.Add(fmt.Sprintf("%v", row.Order),
+			fmt.Sprintf("%.6g", row.Work),
+			fmt.Sprintf("%.4f%%", 100*(1-row.Work/best)))
+	}
+	out := t.String()
+	if truncated > 0 {
+		out += fmt.Sprintf("… %d further orders omitted\n", truncated)
+	}
+	out += fmt.Sprintf("order spread (best vs worst): %.4f%%\n", 100*r.Spread())
+	out += fmt.Sprintf("fast-links-first heuristic: %.6g (%.4f%% off best)\n",
+		r.FastLinkFirstWork, 100*(1-r.FastLinkFirstWork/best))
+	out += fmt.Sprintf("slow-links-first heuristic: %.6g (%.4f%% off best)\n",
+		r.SlowLinkFirstWork, 100*(1-r.SlowLinkFirstWork/best))
+	return out
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestLinkOrderStudy(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(0.5, 0.4, 0.3, 0.2)
+	taus := []float64{1e-6, 1e-3, 5e-3, 2e-2}
+	r, err := LinkOrderStudy(m, p, taus, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows)+r.Infeasible != 24 {
+		t.Fatalf("rows %d + infeasible %d != 24", len(r.Rows), r.Infeasible)
+	}
+	// The whole point: ordering matters with heterogeneous links.
+	if r.Spread() <= 0 {
+		t.Fatalf("spread = %v; orders should differ", r.Spread())
+	}
+	// Rows sorted best-first.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Work > r.Rows[i-1].Work {
+			t.Fatal("rows not sorted by work")
+		}
+	}
+	// Heuristics evaluated and bounded by the optimum.
+	best := r.Rows[0].Work
+	if r.FastLinkFirstWork > best+1e-9 || r.SlowLinkFirstWork > best+1e-9 {
+		t.Fatal("a heuristic beat the enumerated optimum")
+	}
+	out := r.Render()
+	for _, frag := range []string{"Startup orders", "order spread", "fast-links-first"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestLinkOrderStudyUniformLinksDegenerate(t *testing.T) {
+	// With uniform links the study must rediscover Theorem 1.2: all orders
+	// tie (spread ≈ 0).
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	taus := []float64{m.Tau, m.Tau, m.Tau}
+	r, err := LinkOrderStudy(m, p, taus, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spread() > 1e-9 {
+		t.Fatalf("uniform links show spread %v; Theorem 1.2 violated", r.Spread())
+	}
+}
+
+func TestLinkOrderStudyValidation(t *testing.T) {
+	m := model.Table1()
+	if _, err := LinkOrderStudy(m, profile.Linear(9), make([]float64, 9), 100); err == nil {
+		t.Fatal("n=9 accepted")
+	}
+	if _, err := LinkOrderStudy(m, profile.Linear(3), []float64{1e-6}, 100); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/stats"
+)
+
+// MomentPredictorResult is the extension study suggested by §4.2/§5 and the
+// companion paper [13]: which single profile statistics rank the relative
+// power of *general* (not equal-mean) cluster pairs best, against the
+// X-measure ground truth?
+type MomentPredictorResult struct {
+	Params model.Params
+	N      int
+	Trials int
+	// Accuracy maps predictor name to the fraction of pairs it ranked the
+	// same way as X.
+	Accuracy map[string]float64
+}
+
+// momentPredictors lists the candidate statistics. Each returns a score for
+// which SMALLER means MORE powerful (like ρ itself).
+var momentPredictors = map[string]func(profile.Profile) float64{
+	"arith-mean": func(p profile.Profile) float64 { return p.Mean() },
+	"geo-mean":   func(p profile.Profile) float64 { return p.GeoMean() },
+	"median":     func(p profile.Profile) float64 { return medianOf(p) },
+	"fastest":    func(p profile.Profile) float64 { return p.Fastest() },
+	"slowest":    func(p profile.Profile) float64 { return p.Slowest() },
+	// Variance with the opposite sign: §4's heuristic says larger variance
+	// is better, so smaller (−variance) is better.
+	"neg-variance": func(p profile.Profile) float64 { return -p.Variance() },
+	// The sum Σ1/ρ is the cluster's aggregate computing speed — the
+	// communication-free predictor.
+	"neg-total-speed": func(p profile.Profile) float64 {
+		total := 0.0
+		for _, r := range p {
+			total += 1 / r
+		}
+		return -total
+	},
+}
+
+func medianOf(p profile.Profile) float64 {
+	return stats.Median(p)
+}
+
+// MomentPredictors measures each predictor's ranking accuracy over random
+// same-size cluster pairs.
+func MomentPredictors(m model.Params, n, trials int, seed uint64) (MomentPredictorResult, error) {
+	if n < 2 {
+		return MomentPredictorResult{}, fmt.Errorf("experiments: cluster size %d must be at least 2", n)
+	}
+	if trials <= 0 {
+		return MomentPredictorResult{}, fmt.Errorf("experiments: trials = %d must be positive", trials)
+	}
+	rng := stats.NewRNG(seed)
+	correct := make(map[string]int, len(momentPredictors))
+	decided := 0
+	for t := 0; t < trials; t++ {
+		p1 := profile.RandomNormalized(rng, n)
+		p2 := profile.RandomNormalized(rng, n)
+		truth := core.Compare(m, p1, p2)
+		if truth == 0 {
+			continue
+		}
+		decided++
+		for name, score := range momentPredictors {
+			s1, s2 := score(p1), score(p2)
+			var guess int
+			switch {
+			case s1 < s2:
+				guess = 1
+			case s1 > s2:
+				guess = -1
+			}
+			if guess == truth {
+				correct[name]++
+			}
+		}
+	}
+	if decided == 0 {
+		return MomentPredictorResult{}, fmt.Errorf("experiments: no decided pairs in %d trials", trials)
+	}
+	res := MomentPredictorResult{Params: m, N: n, Trials: decided, Accuracy: make(map[string]float64)}
+	for name := range momentPredictors {
+		res.Accuracy[name] = float64(correct[name]) / float64(decided)
+	}
+	return res, nil
+}
+
+// Render lists predictors by descending accuracy.
+func (r MomentPredictorResult) Render() string {
+	names := make([]string, 0, len(r.Accuracy))
+	for name := range r.Accuracy {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if r.Accuracy[names[i]] != r.Accuracy[names[j]] {
+			return r.Accuracy[names[i]] > r.Accuracy[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	t := render.NewTable(
+		fmt.Sprintf("Moment predictors vs X ground truth (n = %d, %d decided pairs)", r.N, r.Trials),
+		"predictor", "rank accuracy")
+	for _, name := range names {
+		t.Add(name, fmt.Sprintf("%.1f%%", 100*r.Accuracy[name]))
+	}
+	return t.String()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hetero/internal/model"
+	"hetero/internal/predict"
+)
+
+// PredictorRaceResult is the full statistical-predictor study (the
+// companion-paper direction the paper's §5 points to): every predictor
+// tier evaluated on both the general and the equal-mean pair regimes.
+type PredictorRaceResult struct {
+	Params    model.Params
+	N         int
+	General   predict.Evaluation
+	EqualMean predict.Evaluation
+	// LinearWeights are the trained scorer's weights over
+	// predict.FeatureNames(), for inspection.
+	LinearWeights []float64
+	// RankCorrelation maps each scalar scorer to its Spearman correlation
+	// with the HECR over a random cluster sample — a stricter, non-pairwise
+	// quality lens.
+	RankCorrelation map[string]float64
+}
+
+// PredictorRace trains the linear scorer on general pairs and then races
+// every predictor on fresh general and equal-mean pair streams.
+func PredictorRace(m model.Params, n, trainPairs, evalPairs int, seed uint64) (PredictorRaceResult, error) {
+	lin, err := predict.TrainOnPairs(m, predict.GeneralPairs, n, trainPairs, seed)
+	if err != nil {
+		return PredictorRaceResult{}, err
+	}
+	preds := append(append(predict.SingleMoments(), predict.Composites()...), lin)
+
+	general, err := predict.Evaluate(m, preds, predict.GeneralPairs, n, evalPairs, seed+1)
+	if err != nil {
+		return PredictorRaceResult{}, err
+	}
+	equalMean, err := predict.Evaluate(m, preds, predict.EqualMeanPairs, n, evalPairs, seed+2)
+	if err != nil {
+		return PredictorRaceResult{}, err
+	}
+	ranks, err := predict.RankCorrelations(m, predict.Scorers(), n, evalPairs, seed+3)
+	if err != nil {
+		return PredictorRaceResult{}, err
+	}
+	return PredictorRaceResult{
+		Params:          m,
+		N:               n,
+		General:         general,
+		EqualMean:       equalMean,
+		LinearWeights:   lin.Weights,
+		RankCorrelation: ranks,
+	}, nil
+}
+
+// Render shows both regimes plus the learned weights.
+func (r PredictorRaceResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.General.Render("Predictor race — general pairs"))
+	b.WriteString("\n")
+	b.WriteString(r.EqualMean.Render("Predictor race — equal-mean pairs (§4.3 regime)"))
+	b.WriteString("\nSpearman rank correlation with the HECR (random clusters):\n")
+	for _, s := range predict.Scorers() {
+		fmt.Fprintf(&b, "  %-16s %+.4f\n", s.Name, r.RankCorrelation[s.Name])
+	}
+	b.WriteString("learned linear weights: ")
+	for i, name := range predict.FeatureNames() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%.3g", name, r.LinearWeights[i])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestPredictorRace(t *testing.T) {
+	m := model.Table1()
+	r, err := PredictorRace(m, 8, 400, 400, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// General regime: total speed ≈ perfect, trained linear strong, raw
+	// variance weak.
+	if r.General.Accuracy["neg-total-speed"] < 0.99 {
+		t.Fatalf("total-speed accuracy %.3f", r.General.Accuracy["neg-total-speed"])
+	}
+	if r.General.Accuracy["linear"] < 0.9 {
+		t.Fatalf("trained accuracy %.3f", r.General.Accuracy["linear"])
+	}
+	if !(r.General.Accuracy["neg-variance"] < r.General.Accuracy["geo-mean"]) {
+		t.Fatal("variance should trail geo-mean on general pairs")
+	}
+	// Equal-mean regime: variance climbs to the §4.3 ≈76% band.
+	acc := r.EqualMean.Accuracy["neg-variance"]
+	if acc < 0.55 || acc > 0.95 {
+		t.Fatalf("equal-mean variance accuracy %.3f outside §4.3 band", acc)
+	}
+	// The rank-correlation lens must agree with the pairwise one: total
+	// speed ranks essentially perfectly.
+	if r.RankCorrelation["neg-total-speed"] < 0.999 {
+		t.Fatalf("total-speed Spearman %v", r.RankCorrelation["neg-total-speed"])
+	}
+	out := r.Render()
+	for _, frag := range []string{"general pairs", "§4.3 regime", "learned linear weights", "total-speed", "Spearman"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCostEffectivenessPricingRegimes(t *testing.T) {
+	// The abstract's cost-effectiveness question has a crisp answer in this
+	// model: because CEP work at µs-scale communication tracks total speed
+	// Σ1/ρ, maximizing work under the budget Σ(1/ρ)^α = B is an ℓ_α-ball
+	// problem. For α > 1 (superlinear pricing) the symmetric — homogeneous
+	// — cluster maximizes total speed per unit price; for α < 1 (bulk
+	// discounts at the top bin) the corner — heterogeneous — shapes win.
+	m := model.Table1()
+	winner := func(alpha, budget float64) CostRow {
+		cost := CostModel{Alpha: alpha}
+		clusters, err := EqualBudgetClusters(cost, 8, budget)
+		if err != nil {
+			t.Fatalf("α=%v: %v", alpha, err)
+		}
+		res, err := CostEffectiveness(m, cost, clusters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			t.Fatalf("rows = %d", len(res.Rows))
+		}
+		var best CostRow
+		for _, row := range res.Rows {
+			if math.Abs(row.Price-budget)/budget > 1e-6 {
+				t.Fatalf("%s price %v, want %v", row.Name, row.Price, budget)
+			}
+			if row.WorkPerDollar > best.WorkPerDollar {
+				best = row
+			}
+		}
+		return best
+	}
+	if best := winner(1.5, 150); best.Name != "homogeneous" {
+		t.Fatalf("α=1.5: winner %q, want homogeneous", best.Name)
+	}
+	if best := winner(0.7, 30); best.Name == "homogeneous" {
+		t.Fatalf("α=0.7: homogeneous should lose to a heterogeneous shape")
+	}
+	cost := CostModel{Alpha: 0.7}
+	clusters, err := EqualBudgetClusters(cost, 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CostEffectiveness(m, cost, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "work per price unit") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestCostLinearPricingFavorsNobody(t *testing.T) {
+	// With α = 1 price equals total speed, and total speed ≈ work at these
+	// parameter scales, so work-per-price is nearly shape-independent —
+	// heterogeneity's cost advantage is a consequence of superlinear
+	// pricing, not of the CEP itself.
+	m := model.Table1()
+	cost := CostModel{Alpha: 1}
+	clusters, err := EqualBudgetClusters(cost, 8, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CostEffectiveness(m, cost, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), 0.0
+	for _, row := range res.Rows {
+		if row.WorkPerDollar < lo {
+			lo = row.WorkPerDollar
+		}
+		if row.WorkPerDollar > hi {
+			hi = row.WorkPerDollar
+		}
+	}
+	if (hi-lo)/hi > 0.01 {
+		t.Fatalf("α=1 work-per-price spread %.3f%% should be <1%%", 100*(hi-lo)/hi)
+	}
+}
+
+func TestCostValidation(t *testing.T) {
+	if _, err := CostEffectiveness(model.Table1(), CostModel{Alpha: 0}, nil); err == nil {
+		t.Fatal("α=0 accepted")
+	}
+	if _, err := EqualBudgetClusters(CostModel{Alpha: 1}, 1, 10); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	// A budget so small every machine would need ρ > 1.
+	if _, err := EqualBudgetClusters(CostModel{Alpha: 1}, 8, 1e-9); err == nil {
+		t.Fatal("unreachable budget accepted")
+	}
+}
+
+func TestCostPriceMonotoneInSpeed(t *testing.T) {
+	cost := CostModel{Alpha: 2}
+	slow := profile.MustNew(1, 1)
+	fast := profile.MustNew(0.5, 0.5)
+	if !(cost.Price(fast) > cost.Price(slow)) {
+		t.Fatal("faster cluster should cost more")
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/schedule"
+)
+
+// ProtocolRow is one finishing order's outcome in the protocol study.
+type ProtocolRow struct {
+	Phi        []int
+	Feasible   bool
+	Work       float64
+	LossVsFIFO float64 // fraction of FIFO's work lost (0 for FIFO itself)
+}
+
+// ProtocolStudyResult compares all gap-free (Σ,Φ) protocols on one cluster
+// — the empirical face of Adler–Gong–Rosenberg's Theorem 1, which this
+// paper inherits: FIFO maximizes work production, regardless of order.
+type ProtocolStudyResult struct {
+	Params   model.Params
+	Profile  profile.Profile
+	Lifespan float64
+	FIFOWork float64
+	Rows     []ProtocolRow
+}
+
+// ProtocolStudy enumerates every finishing order for the cluster (so keep
+// n ≤ 8; the count is n!).
+func ProtocolStudy(m model.Params, p profile.Profile, lifespan float64) (ProtocolStudyResult, error) {
+	if len(p) > 8 {
+		return ProtocolStudyResult{}, fmt.Errorf("experiments: protocol study enumerates n! orders; n = %d is too large (max 8)", len(p))
+	}
+	fifo, err := schedule.BuildFIFO(m, p, lifespan)
+	if err != nil {
+		return ProtocolStudyResult{}, err
+	}
+	res := ProtocolStudyResult{Params: m, Profile: p, Lifespan: lifespan, FIFOWork: fifo.TotalWork}
+	forEachPermutation(len(p), func(phi []int) {
+		row := ProtocolRow{Phi: append([]int(nil), phi...)}
+		s, err := schedule.BuildGeneral(m, p, phi, lifespan)
+		if err == nil {
+			row.Feasible = true
+			row.Work = s.TotalWork
+			row.LossVsFIFO = 1 - s.TotalWork/fifo.TotalWork
+			// Sub-rounding losses are exact ties (e.g. near-homogeneous
+			// clusters); clamp so renders do not show "-0.0000%".
+			if math.Abs(row.LossVsFIFO) < 1e-12 {
+				row.LossVsFIFO = 0
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	})
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		if res.Rows[i].Feasible != res.Rows[j].Feasible {
+			return res.Rows[i].Feasible
+		}
+		return res.Rows[i].Work > res.Rows[j].Work
+	})
+	return res, nil
+}
+
+// Best returns the top finishing order; by Theorem 1 it is always the
+// identity (FIFO).
+func (r ProtocolStudyResult) Best() ProtocolRow {
+	if len(r.Rows) == 0 {
+		return ProtocolRow{}
+	}
+	return r.Rows[0]
+}
+
+// Render lists the orders best-first (truncated to the top and bottom few
+// for large n).
+func (r ProtocolStudyResult) Render() string {
+	t := render.NewTable(
+		fmt.Sprintf("All gap-free finishing orders for %v (L = %g); FIFO = identity", r.Profile, r.Lifespan),
+		"finishing order Φ", "work", "loss vs FIFO")
+	show := r.Rows
+	const cap = 12
+	truncated := 0
+	if len(show) > cap {
+		truncated = len(show) - cap
+		show = show[:cap]
+	}
+	for _, row := range show {
+		if !row.Feasible {
+			t.Add(fmt.Sprintf("%v", row.Phi), "infeasible", "-")
+			continue
+		}
+		t.Add(fmt.Sprintf("%v", row.Phi),
+			fmt.Sprintf("%.6g", row.Work),
+			fmt.Sprintf("%.4f%%", 100*row.LossVsFIFO))
+	}
+	out := t.String()
+	if truncated > 0 {
+		out += fmt.Sprintf("… %d further orders omitted\n", truncated)
+	}
+	return out
+}
+
+// forEachPermutation calls fn with every permutation of [0,n) (Heap's
+// algorithm; fn must not retain the slice).
+func forEachPermutation(n int, fn func([]int)) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	c := make([]int, n)
+	fn(perm)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			fn(perm)
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestProtocolStudyFIFOWins(t *testing.T) {
+	m := model.Table1()
+	r, err := ProtocolStudy(m, profile.MustNew(1, 0.6, 0.35, 0.2), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 24 {
+		t.Fatalf("rows = %d, want 4! = 24", len(r.Rows))
+	}
+	best := r.Best()
+	if !best.Feasible {
+		t.Fatal("best order infeasible")
+	}
+	for i, idx := range best.Phi {
+		if idx != i {
+			t.Fatalf("best order %v is not FIFO", best.Phi)
+		}
+	}
+	if best.LossVsFIFO != 0 {
+		t.Fatalf("FIFO loss = %v", best.LossVsFIFO)
+	}
+	// Every other feasible order loses strictly.
+	for _, row := range r.Rows[1:] {
+		if row.Feasible && row.LossVsFIFO <= 0 {
+			t.Fatalf("order %v does not lose to FIFO: %+v", row.Phi, row)
+		}
+	}
+}
+
+func TestProtocolStudyRender(t *testing.T) {
+	m := model.Table1()
+	r, err := ProtocolStudy(m, profile.MustNew(1, 0.9, 0.8), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, frag := range []string{"finishing order", "loss vs FIFO", "0.0000%"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestProtocolStudyRejectsLargeN(t *testing.T) {
+	if _, err := ProtocolStudy(model.Table1(), profile.Linear(9), 100); err == nil {
+		t.Fatal("n=9 accepted (would enumerate 362880 orders)")
+	}
+}
+
+func TestForEachPermutationCountsFactorial(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 2: 2, 3: 6, 4: 24, 5: 120} {
+		count := 0
+		seen := map[string]bool{}
+		forEachPermutation(n, func(p []int) {
+			count++
+			key := ""
+			for _, v := range p {
+				key += string(rune('a' + v))
+			}
+			seen[key] = true
+		})
+		if count != want || len(seen) != want {
+			t.Fatalf("n=%d: %d calls, %d distinct, want %d", n, count, len(seen), want)
+		}
+	}
+}

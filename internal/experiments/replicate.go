@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/sim"
+)
+
+// CheckStatus classifies one replication check.
+type CheckStatus string
+
+const (
+	// StatusPass: the paper's claim reproduces within tolerance.
+	StatusPass CheckStatus = "pass"
+	// StatusDeviation: the qualitative claim reproduces but the published
+	// numbers differ beyond tolerance; the Note documents the analysis.
+	StatusDeviation CheckStatus = "deviation"
+	// StatusFail: the claim did not reproduce. A failing certificate means
+	// the implementation regressed (the shipped library passes all checks).
+	StatusFail CheckStatus = "fail"
+)
+
+// Check is one claim-level verdict.
+type Check struct {
+	ID          string      `json:"id"`
+	Description string      `json:"description"`
+	Status      CheckStatus `json:"status"`
+	Measured    string      `json:"measured"`
+	Expected    string      `json:"expected"`
+	Note        string      `json:"note,omitempty"`
+}
+
+// ReplicationReport is the full paper-replication certificate.
+type ReplicationReport struct {
+	Paper      string  `json:"paper"`
+	Checks     []Check `json:"checks"`
+	Passed     int     `json:"passed"`
+	Deviations int     `json:"deviations"`
+	Failed     int     `json:"failed"`
+}
+
+// ReplicationConfig sizes the randomized studies inside the certificate.
+type ReplicationConfig struct {
+	VarianceTrials int
+	Seed           uint64
+}
+
+// DefaultReplicationConfig keeps the certificate under a few seconds.
+func DefaultReplicationConfig() ReplicationConfig {
+	return ReplicationConfig{VarianceTrials: 300, Seed: 20100419}
+}
+
+// Replicate runs every claim-level check against the paper's published
+// values and returns the certificate.
+func Replicate(cfg ReplicationConfig) (ReplicationReport, error) {
+	if cfg.VarianceTrials <= 0 {
+		return ReplicationReport{}, fmt.Errorf("experiments: VarianceTrials = %d must be positive", cfg.VarianceTrials)
+	}
+	m := model.Table1()
+	rep := ReplicationReport{
+		Paper: "Rosenberg & Chiang, Toward Understanding Heterogeneity in Computing, IPDPS 2010",
+	}
+	add := func(c Check) { rep.Checks = append(rep.Checks, c) }
+
+	// --- Table 2: derived constants.
+	add(checkClose("table2-A", "A = π + τ equals 11 µs", Table2().A, 11e-6, 1e-12))
+
+	// --- Table 3: HECRs within 3% of published, advantage growing.
+	t3 := Table3()
+	worstRel := 0.0
+	growing := true
+	prevRatio := 0.0
+	for _, row := range t3.Rows {
+		for _, pair := range [][2]float64{{row.HECRC1, row.PaperC1}, {row.HECRC2, row.PaperC2}} {
+			if rel := math.Abs(pair[0]-pair[1]) / pair[1]; rel > worstRel {
+				worstRel = rel
+			}
+		}
+		if row.Ratio <= prevRatio {
+			growing = false
+		}
+		prevRatio = row.Ratio
+	}
+	add(statusIf("table3-hecr", "HECRs match the published Table 3 within 3%",
+		worstRel <= 0.03, fmt.Sprintf("worst deviation %.2f%%", 100*worstRel), "≤3%"))
+	add(statusIf("table3-trend", "C2's advantage grows with cluster size (≈1.7 → 2.6 → >4)",
+		growing && t3.Rows[2].Ratio > 4, fmt.Sprintf("ratios %.2f/%.2f/%.2f", t3.Rows[0].Ratio, t3.Rows[1].Ratio, t3.Rows[2].Ratio), "increasing, last >4"))
+
+	// --- Table 4: Theorem 3 ordering; published middle entries deviate.
+	t4, err := Table4()
+	if err != nil {
+		return rep, err
+	}
+	ordered := true
+	for i := 1; i < len(t4.Rows); i++ {
+		if t4.Rows[i].WorkRatio <= t4.Rows[i-1].WorkRatio {
+			ordered = false
+		}
+	}
+	advantage := (t4.Rows[3].WorkRatio - 1) / (t4.Rows[0].WorkRatio - 1)
+	add(statusIf("table4-order", "speedup payoff increases toward the fastest computer; C4 wins",
+		ordered && t4.Best == 3, fmt.Sprintf("ratios %.4f..%.4f, best C%d", t4.Rows[0].WorkRatio, t4.Rows[3].WorkRatio, t4.Best+1), "increasing, best C4"))
+	add(statusIf("table4-advantage", "fastest/slowest payoff ratio ≈20× (paper: 15.9/0.8)",
+		advantage > 15 && advantage < 25, fmt.Sprintf("%.1f×", advantage), "15–25×"))
+	worstT4 := 0.0
+	for _, row := range t4.Rows {
+		if rel := math.Abs(row.WorkRatio-row.PaperRatio) / row.PaperRatio; rel > worstT4 {
+			worstT4 = rel
+		}
+	}
+	t4Exact := Check{
+		ID:          "table4-values",
+		Description: "published Table 4 work ratios reproduce numerically",
+		Measured:    fmt.Sprintf("worst deviation %.1f%%", 100*worstT4),
+		Expected:    "≤1%",
+	}
+	if worstT4 <= 0.01 {
+		t4Exact.Status = StatusPass
+	} else {
+		t4Exact.Status = StatusDeviation
+		t4Exact.Note = "three independent evaluations of the paper's expression (1) agree with each other but not with the published middle entries; see EXPERIMENTS.md"
+	}
+	add(t4Exact)
+
+	// --- Figures 3 & 4: exact selection sequences.
+	f3, err := Fig3()
+	if err != nil {
+		return rep, err
+	}
+	wantF3 := []int{4, 4, 4, 4, 3, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1}
+	add(statusIf("fig3-sequence", "phase 1 speeds the then-fastest computer in blocks of four",
+		intsEqual(f3.SelectionSequence(), wantF3), fmt.Sprintf("%v", f3.SelectionSequence()), fmt.Sprintf("%v", wantF3)))
+	f4, err := Fig4()
+	if err != nil {
+		return rep, err
+	}
+	wantF4 := []int{4, 3, 2, 1}
+	add(statusIf("fig4-sequence", "phase 2 speeds the then-slowest computer each round",
+		intsEqual(f4.SelectionSequence(), wantF4), fmt.Sprintf("%v", f4.SelectionSequence()), fmt.Sprintf("%v", wantF4)))
+
+	// --- §4 counterexample.
+	ce := MeanCounterexample()
+	add(statusIf("s4-counterexample", "⟨0.99,0.02⟩ outperforms ⟨0.5,0.5⟩ despite the worse mean",
+		ce.XHetero > ce.XHomo && ce.Hetero.Mean() > ce.Homo.Mean(),
+		fmt.Sprintf("X %.2f vs %.2f", ce.XHetero, ce.XHomo), "heterogeneous X larger"))
+
+	// --- §4.3 variance study: plateau and threshold.
+	vcfg := VarianceConfig{Params: m, Sizes: []int{16, 64, 256}, TrialsPerSize: cfg.VarianceTrials, Seed: cfg.Seed}
+	vres, err := VariancePredictor(vcfg)
+	if err != nil {
+		return rep, err
+	}
+	plateauOK := true
+	var fractions []string
+	for _, row := range vres.Rows {
+		fractions = append(fractions, fmt.Sprintf("%.1f%%", 100*row.BadFraction))
+		if row.BadFraction < 0.10 || row.BadFraction > 0.35 {
+			plateauOK = false
+		}
+		if row.Bad == 0 || row.MeanHECRGapBad >= row.MeanHECRGapGood {
+			plateauOK = false
+		}
+	}
+	add(statusIf("s43-plateau", "bad-pair fraction plateaus near the paper's ≈23%, with small HECR gaps on bad pairs",
+		plateauOK, strings.Join(fractions, ", "), "each in [10%,35%], bad-pair HECR gaps smaller"))
+	tres, err := VarianceThreshold(vcfg, PaperTheta)
+	if err != nil {
+		return rep, err
+	}
+	add(statusIf("s43-threshold", "variance gaps ≥ θ = 0.167 predict the winner 100% of the time",
+		tres.Perfect(), "0 mispredictions", "0 mispredictions"))
+
+	// --- Foundation: FIFO optimal among all (Σ,Φ) orders for n = 4.
+	ps, err := ProtocolStudy(m, profile.MustNew(1, 0.6, 0.35, 0.2), 1000)
+	if err != nil {
+		return rep, err
+	}
+	fifoBest := true
+	for _, row := range ps.Rows {
+		if row.Feasible && row.LossVsFIFO < 0 {
+			fifoBest = false
+		}
+	}
+	best := ps.Best()
+	isIdentity := intsEqual(best.Phi, []int{0, 1, 2, 3})
+	add(statusIf("agr-theorem1", "FIFO maximizes work among all 24 finishing orders ([1]'s Theorem 1)",
+		fifoBest && isIdentity, fmt.Sprintf("best order %v", best.Phi), "[0 1 2 3]"))
+
+	// --- Theorem 2: simulation equals the closed form.
+	p := profile.Linear(8)
+	proto, err := sim.OptimalFIFO(m, p, 3600)
+	if err != nil {
+		return rep, err
+	}
+	run, err := sim.RunCEP(m, p, proto, sim.Options{})
+	if err != nil {
+		return rep, err
+	}
+	rel := math.Abs(run.Completed-core.W(m, p, 3600)) / core.W(m, p, 3600)
+	add(statusIf("theorem2-sim", "event-driven simulation reproduces W(L;P) to float precision",
+		rel < 1e-9, fmt.Sprintf("rel. error %.1e", rel), "<1e-9"))
+
+	for _, c := range rep.Checks {
+		switch c.Status {
+		case StatusPass:
+			rep.Passed++
+		case StatusDeviation:
+			rep.Deviations++
+		default:
+			rep.Failed++
+		}
+	}
+	return rep, nil
+}
+
+// JSON serializes the certificate.
+func (r ReplicationReport) JSON() (string, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	return string(data), err
+}
+
+// Render returns the human-readable certificate.
+func (r ReplicationReport) Render() string {
+	t := render.NewTable(fmt.Sprintf("Replication certificate — %s", r.Paper),
+		"check", "status", "measured", "expected")
+	for _, c := range r.Checks {
+		t.Add(c.ID, string(c.Status), c.Measured, c.Expected)
+	}
+	out := t.String()
+	out += fmt.Sprintf("%d passed, %d documented deviations, %d failed\n", r.Passed, r.Deviations, r.Failed)
+	for _, c := range r.Checks {
+		if c.Note != "" {
+			out += fmt.Sprintf("note [%s]: %s\n", c.ID, c.Note)
+		}
+	}
+	return out
+}
+
+func checkClose(id, desc string, got, want, tol float64) Check {
+	c := Check{ID: id, Description: desc,
+		Measured: fmt.Sprintf("%g", got), Expected: fmt.Sprintf("%g", want)}
+	if math.Abs(got-want) <= tol {
+		c.Status = StatusPass
+	} else {
+		c.Status = StatusFail
+	}
+	return c
+}
+
+func statusIf(id, desc string, ok bool, measured, expected string) Check {
+	c := Check{ID: id, Description: desc, Measured: measured, Expected: expected}
+	if ok {
+		c.Status = StatusPass
+	} else {
+		c.Status = StatusFail
+	}
+	return c
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestReplicateCertificate(t *testing.T) {
+	cfg := DefaultReplicationConfig()
+	cfg.VarianceTrials = 200
+	rep, err := Replicate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("certificate has failures:\n%s", rep.Render())
+	}
+	if rep.Passed < 10 {
+		t.Fatalf("only %d checks passed; certificate too thin:\n%s", rep.Passed, rep.Render())
+	}
+	// The Table 4 numeric comparison is the one documented deviation.
+	if rep.Deviations != 1 {
+		t.Fatalf("deviations = %d, want exactly 1 (table4-values):\n%s", rep.Deviations, rep.Render())
+	}
+	var t4 *Check
+	for i := range rep.Checks {
+		if rep.Checks[i].ID == "table4-values" {
+			t4 = &rep.Checks[i]
+		}
+	}
+	if t4 == nil || t4.Status != StatusDeviation || t4.Note == "" {
+		t.Fatalf("table4-values check malformed: %+v", t4)
+	}
+}
+
+func TestReplicateJSON(t *testing.T) {
+	cfg := DefaultReplicationConfig()
+	cfg.VarianceTrials = 100
+	rep, err := Replicate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ReplicationReport
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("JSON roundtrip: %v", err)
+	}
+	if decoded.Paper == "" || len(decoded.Checks) != len(rep.Checks) {
+		t.Fatalf("roundtrip lost content: %+v", decoded)
+	}
+}
+
+func TestReplicateRender(t *testing.T) {
+	cfg := DefaultReplicationConfig()
+	cfg.VarianceTrials = 100
+	rep, err := Replicate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, frag := range []string{"Replication certificate", "fig3-sequence", "passed", "note [table4-values]"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	if _, err := Replicate(ReplicationConfig{VarianceTrials: 0}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

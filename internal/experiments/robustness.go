@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/sim"
+	"hetero/internal/stats"
+)
+
+// JitterRow summarizes one jitter level of the robustness study.
+type JitterRow struct {
+	Jitter float64
+	// MeanOverrun is the mean makespan/L across seeds: how late the last
+	// results arrive when the world's speeds deviate from the profile the
+	// allocations were computed for.
+	MeanOverrun float64
+	MaxOverrun  float64
+	// MeanOnTimeFraction is the mean fraction of allocated work whose
+	// results still arrive by L.
+	MeanOnTimeFraction float64
+}
+
+// JitterResult is the extension study probing the optimal FIFO protocol's
+// sensitivity to misestimated computer speeds — a question the paper's
+// deterministic model abstracts away but any deployment faces.
+type JitterResult struct {
+	Params   model.Params
+	Profile  profile.Profile
+	Lifespan float64
+	Seeds    int
+	Rows     []JitterRow
+}
+
+// JitterRobustness simulates the nominal-optimal protocol against worlds
+// whose speeds are perturbed by ±jitter, for each jitter level.
+func JitterRobustness(m model.Params, p profile.Profile, lifespan float64, jitters []float64, seeds int) (JitterResult, error) {
+	if seeds <= 0 {
+		return JitterResult{}, fmt.Errorf("experiments: seeds = %d must be positive", seeds)
+	}
+	proto, err := sim.OptimalFIFO(m, p, lifespan)
+	if err != nil {
+		return JitterResult{}, err
+	}
+	var totalAlloc stats.KahanSum
+	for _, w := range proto.Alloc {
+		totalAlloc.Add(w)
+	}
+	res := JitterResult{Params: m, Profile: p, Lifespan: lifespan, Seeds: seeds}
+	for _, j := range jitters {
+		row := JitterRow{Jitter: j}
+		var overruns, onTime stats.KahanSum
+		for s := 0; s < seeds; s++ {
+			r, err := sim.RunCEP(m, p, proto, sim.Options{RhoJitter: j, Seed: uint64(s) + 1})
+			if err != nil {
+				return res, err
+			}
+			overrun := r.Makespan / lifespan
+			overruns.Add(overrun)
+			if overrun > row.MaxOverrun {
+				row.MaxOverrun = overrun
+			}
+			onTime.Add(r.CompletedBy(lifespan) / totalAlloc.Sum())
+		}
+		row.MeanOverrun = overruns.Sum() / float64(seeds)
+		row.MeanOnTimeFraction = onTime.Sum() / float64(seeds)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render returns the per-jitter summary.
+func (r JitterResult) Render() string {
+	t := render.NewTable(
+		fmt.Sprintf("FIFO robustness to speed misestimation (n = %d, L = %g, %d seeds)", len(r.Profile), r.Lifespan, r.Seeds),
+		"jitter ±", "mean makespan/L", "max makespan/L", "work on time")
+	for _, row := range r.Rows {
+		t.Add(fmt.Sprintf("%.0f%%", 100*row.Jitter),
+			fmt.Sprintf("%.4f", row.MeanOverrun),
+			fmt.Sprintf("%.4f", row.MaxOverrun),
+			fmt.Sprintf("%.1f%%", 100*row.MeanOnTimeFraction))
+	}
+	return t.String()
+}

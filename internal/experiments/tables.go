@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+)
+
+// Table2Result reproduces Table 2: the derived per-work-unit constants for
+// the Table 1 environment at coarse (1 s/task) and fine (0.1 s/task)
+// normalizations.
+type Table2Result struct {
+	A            float64 // π + τ, in seconds per work unit
+	TauDelta     float64
+	BCoarse      float64 // B with 1 s/task work units
+	BFine        float64 // B with 0.1 s/task work units, in seconds
+	ParamsCoarse model.Params
+	ParamsFine   model.Params
+}
+
+// Table2 computes the Table 2 quantities.
+func Table2() Table2Result {
+	coarse := model.Table1()
+	fine := model.Table1Fine()
+	return Table2Result{
+		A:            coarse.A(),
+		TauDelta:     coarse.TauDelta(),
+		BCoarse:      coarse.B(),
+		BFine:        fine.B() * 0.1, // back to seconds: 0.1 s/task × B(work-unit)
+		ParamsCoarse: coarse,
+		ParamsFine:   fine,
+	}
+}
+
+// Render returns the table in the paper's layout.
+func (r Table2Result) Render() string {
+	t := render.NewTable("Table 2: derived environment constants (Table 1 values)",
+		"quantity", "wall-clock time/rate")
+	t.Add("A = π + τ", fmt.Sprintf("%.6g sec per work unit", r.A))
+	t.Add("τδ", fmt.Sprintf("%.6g sec per work unit", r.TauDelta))
+	t.Add("B with coarse (1 sec/task) tasks", fmt.Sprintf("%.6f sec per work unit", r.BCoarse))
+	t.Add("B with finer (0.1 sec/task) tasks", fmt.Sprintf("%.6f sec per work unit", r.BFine))
+	return t.String()
+}
+
+// Table3Row is one cluster-size column of Table 3.
+type Table3Row struct {
+	N       int
+	HECRC1  float64 // linear profile ⟨1-(i-1)/n⟩
+	HECRC2  float64 // harmonic profile ⟨1/i⟩
+	Ratio   float64 // HECR(C1)/HECR(C2): C2's work advantage
+	PaperC1 float64 // published values, for side-by-side comparison
+	PaperC2 float64
+}
+
+// Table3Result reproduces Table 3: HECRs for the §2.5 sample clusters.
+type Table3Result struct {
+	Params model.Params
+	Rows   []Table3Row
+}
+
+// Table3 computes HECRs for the paper's cluster sizes 8, 16, 32.
+func Table3() Table3Result {
+	return Table3For(model.Table1(), []int{8, 16, 32})
+}
+
+// Table3For computes the Table 3 sweep for arbitrary parameters and sizes.
+// Published reference values are attached for the paper's original sizes.
+func Table3For(m model.Params, sizes []int) Table3Result {
+	paper := map[int][2]float64{8: {0.366, 0.216}, 16: {0.298, 0.116}, 32: {0.251, 0.060}}
+	res := Table3Result{Params: m}
+	for _, n := range sizes {
+		row := Table3Row{
+			N:      n,
+			HECRC1: core.HECR(m, profile.Linear(n)),
+			HECRC2: core.HECR(m, profile.Harmonic(n)),
+		}
+		row.Ratio = row.HECRC1 / row.HECRC2
+		if p, ok := paper[n]; ok {
+			row.PaperC1, row.PaperC2 = p[0], p[1]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render returns the table with measured and published values side by side.
+func (r Table3Result) Render() string {
+	t := render.NewTable("Table 3: HECRs for sample heterogeneous clusters",
+		"n", "HECR C1 ⟨1-(i-1)/n⟩", "HECR C2 ⟨1/i⟩", "C1/C2", "paper C1", "paper C2")
+	for _, row := range r.Rows {
+		paperC1, paperC2 := "-", "-"
+		if row.PaperC1 != 0 {
+			paperC1 = fmt.Sprintf("%.3f", row.PaperC1)
+			paperC2 = fmt.Sprintf("%.3f", row.PaperC2)
+		}
+		t.Add(fmt.Sprintf("%d", row.N),
+			fmt.Sprintf("%.3f", row.HECRC1),
+			fmt.Sprintf("%.3f", row.HECRC2),
+			fmt.Sprintf("%.2f", row.Ratio),
+			paperC1, paperC2)
+	}
+	return t.String()
+}
+
+// Table4Row is one speedup candidate of Table 4.
+type Table4Row struct {
+	Computer   int // 1-based power index (C1 slowest)
+	Profile    profile.Profile
+	WorkRatio  float64
+	PaperRatio float64
+}
+
+// Table4Result reproduces Table 4: work ratios from speeding each computer
+// of ⟨1, 1/2, 1/3, 1/4⟩ up by the additive term φ = 1/16.
+type Table4Result struct {
+	Params model.Params
+	Base   profile.Profile
+	Phi    float64
+	Rows   []Table4Row
+	// Best is the 0-based index of the winning speedup; Theorem 3 says it
+	// is always the fastest computer.
+	Best int
+}
+
+// Table4 computes the Table 4 experiment.
+func Table4() (Table4Result, error) {
+	return Table4For(model.Table1(), profile.MustNew(1, 0.5, 1.0/3, 0.25), 1.0/16)
+}
+
+// Table4For runs the additive-speedup comparison for any base profile and
+// term.
+func Table4For(m model.Params, base profile.Profile, phi float64) (Table4Result, error) {
+	paper := map[int]float64{1: 1.008, 2: 1.014, 3: 1.034, 4: 1.159}
+	res := Table4Result{Params: m, Base: base, Phi: phi}
+	choice, err := core.BestAdditive(m, base, phi)
+	if err != nil {
+		return res, err
+	}
+	res.Best = choice.Index
+	for i := range base {
+		sped, err := base.SpeedUpAdditive(i, phi)
+		if err != nil {
+			return res, err
+		}
+		row := Table4Row{
+			Computer:  i + 1,
+			Profile:   sped,
+			WorkRatio: core.WorkRatio(m, sped, base),
+		}
+		if len(base) == 4 {
+			row.PaperRatio = paper[i+1]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render returns the table with measured and published ratios side by side.
+func (r Table4Result) Render() string {
+	t := render.NewTable(
+		fmt.Sprintf("Table 4: additive speedup of %v by φ = %.4g", r.Base, r.Phi),
+		"i", "profile P^(i)", "W(L;P^(i)) ÷ W(L;P)", "paper")
+	for _, row := range r.Rows {
+		paper := "-"
+		if row.PaperRatio != 0 {
+			paper = fmt.Sprintf("%.3f", row.PaperRatio)
+		}
+		t.Add(fmt.Sprintf("%d", row.Computer), row.Profile.String(),
+			fmt.Sprintf("%.4f", row.WorkRatio), paper)
+	}
+	return t.String() + fmt.Sprintf("best single speedup: C%d (Theorem 3: the fastest computer)\n", r.Best+1)
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestTable2Values(t *testing.T) {
+	r := Table2()
+	if math.Abs(r.A-11e-6) > 1e-12 {
+		t.Fatalf("A = %v, want 11µs", r.A)
+	}
+	if math.Abs(r.BCoarse-1.00002) > 1e-9 {
+		t.Fatalf("B coarse = %v", r.BCoarse)
+	}
+	// Fine tasks: 0.1 s per task, so B in seconds ≈ 0.1 + overhead.
+	if r.BFine < 0.1 || r.BFine > 0.1001 {
+		t.Fatalf("B fine = %v, want ≈0.10001 s", r.BFine)
+	}
+	out := r.Render()
+	for _, frag := range []string{"Table 2", "A = π + τ", "coarse", "finer"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable3MatchesPaperShape(t *testing.T) {
+	r := Table3()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	prevRatio := 0.0
+	for _, row := range r.Rows {
+		// C1's HECR exceeds C2's at every size…
+		if !(row.HECRC1 > row.HECRC2) {
+			t.Fatalf("n=%d: HECR(C1)=%v not > HECR(C2)=%v", row.N, row.HECRC1, row.HECRC2)
+		}
+		// …and within 3% of the published values…
+		if math.Abs(row.HECRC1-row.PaperC1)/row.PaperC1 > 0.03 {
+			t.Fatalf("n=%d: C1 HECR %v vs paper %v", row.N, row.HECRC1, row.PaperC1)
+		}
+		if math.Abs(row.HECRC2-row.PaperC2)/row.PaperC2 > 0.03 {
+			t.Fatalf("n=%d: C2 HECR %v vs paper %v", row.N, row.HECRC2, row.PaperC2)
+		}
+		// …and C2's advantage grows with cluster size (1.7 → 2.6 → 4+).
+		if !(row.Ratio > prevRatio) {
+			t.Fatalf("advantage ratio not growing: %v after %v", row.Ratio, prevRatio)
+		}
+		prevRatio = row.Ratio
+	}
+	if r.Rows[2].Ratio < 4 {
+		t.Fatalf("n=32 ratio %v, paper says 'more than 4'", r.Rows[2].Ratio)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "paper C1") || !strings.Contains(out, "0.366") {
+		t.Fatalf("render missing paper reference columns:\n%s", out)
+	}
+}
+
+func TestTable3ForCustomSizes(t *testing.T) {
+	r := Table3For(model.Table1(), []int{4})
+	if len(r.Rows) != 1 || r.Rows[0].N != 4 {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+	if r.Rows[0].PaperC1 != 0 {
+		t.Fatal("paper reference attached to a non-paper size")
+	}
+	if !strings.Contains(r.Render(), "-") {
+		t.Fatal("render should dash out missing paper values")
+	}
+}
+
+func TestTable4ShapeAndTheorem3(t *testing.T) {
+	r, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Ratios increase strictly toward the fastest computer, which wins.
+	for i := 1; i < 4; i++ {
+		if !(r.Rows[i].WorkRatio > r.Rows[i-1].WorkRatio) {
+			t.Fatalf("ratios not increasing: %+v", r.Rows)
+		}
+	}
+	if r.Best != 3 {
+		t.Fatalf("best speedup = C%d, want C4", r.Best+1)
+	}
+	// Every ratio exceeds 1 (Proposition 2) and the winner clears 13%.
+	if r.Rows[0].WorkRatio <= 1 || r.Rows[3].WorkRatio < 1.13 {
+		t.Fatalf("ratio bounds: %+v", r.Rows)
+	}
+	out := r.Render()
+	for _, frag := range []string{"Table 4", "paper", "1.159", "Theorem 3"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTable4ForRejectsBadPhi(t *testing.T) {
+	if _, err := Table4For(model.Table1(), profile.MustNew(1, 0.5), 0.5); err == nil {
+		t.Fatal("φ ≥ ρ_fastest accepted")
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/parallel"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/stats"
+)
+
+// VarianceConfig parameterizes the §4.3 simulation study.
+type VarianceConfig struct {
+	Params        model.Params
+	Sizes         []int // cluster sizes n (paper: 2^k for k = 2..16)
+	TrialsPerSize int
+	Seed          uint64
+	// Workers bounds the parallel trial evaluation; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultVarianceConfig mirrors the paper's setup at a laptop-friendly
+// trial count: sizes 2^2..2^16, Table 1 parameters.
+func DefaultVarianceConfig() VarianceConfig {
+	sizes := make([]int, 0, 15)
+	for k := 2; k <= 16; k++ {
+		sizes = append(sizes, 1<<k)
+	}
+	return VarianceConfig{
+		Params:        model.Table1(),
+		Sizes:         sizes,
+		TrialsPerSize: 400,
+		Seed:          20100419, // IPDPS 2010 week, for flavor
+	}
+}
+
+// VarianceSizeResult aggregates one cluster size of the §4.3 study.
+type VarianceSizeResult struct {
+	N      int
+	Trials int
+	Good   int // larger variance ⇒ smaller HECR (prediction correct)
+	Bad    int
+	// BadFraction = Bad/Trials; the paper reports ≈23% at n = 128,
+	// steady thereafter (i.e. variance is ≈76-77% correct).
+	BadFraction float64
+	CILo, CIHi  float64 // 95% CI on BadFraction
+	// MaxBadGap is the largest variance difference observed among
+	// mispredicted pairs — the per-size empirical threshold θ(n).
+	MaxBadGap float64
+	// MeanHECRGapBad/Good quantify the paper's observation that "the
+	// clusters in the bad pairs had rather small differences in HECR".
+	MeanHECRGapBad  float64
+	MeanHECRGapGood float64
+}
+
+// VariancePredictorResult is the full §4.3 sweep.
+type VariancePredictorResult struct {
+	Config VarianceConfig
+	Rows   []VarianceSizeResult
+	// Theta is the overall empirical threshold: the largest variance gap at
+	// which the heuristic was ever wrong, across all sizes (paper: 0.167).
+	Theta float64
+}
+
+type varianceTrial struct {
+	bad     bool
+	gap     float64 // |VAR(P1) − VAR(P2)|
+	hecrGap float64
+	err     error
+}
+
+// VariancePredictor runs the §4.3 study: draw equal-mean cluster pairs,
+// predict the more powerful one by profile variance, check against the
+// HECR (equivalently X) ground truth.
+func VariancePredictor(cfg VarianceConfig) (VariancePredictorResult, error) {
+	if cfg.TrialsPerSize <= 0 {
+		return VariancePredictorResult{}, fmt.Errorf("experiments: TrialsPerSize = %d must be positive", cfg.TrialsPerSize)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return VariancePredictorResult{}, err
+	}
+	res := VariancePredictorResult{Config: cfg}
+	for _, n := range cfg.Sizes {
+		if n < 2 {
+			return res, fmt.Errorf("experiments: cluster size %d must be at least 2", n)
+		}
+		trials, err := runVarianceTrials(cfg, n)
+		if err != nil {
+			return res, err
+		}
+		row := VarianceSizeResult{N: n, Trials: len(trials)}
+		var hecrBad, hecrGood stats.KahanSum
+		for _, tr := range trials {
+			if tr.bad {
+				row.Bad++
+				hecrBad.Add(tr.hecrGap)
+				if tr.gap > row.MaxBadGap {
+					row.MaxBadGap = tr.gap
+				}
+			} else {
+				row.Good++
+				hecrGood.Add(tr.hecrGap)
+			}
+		}
+		row.BadFraction = float64(row.Bad) / float64(row.Trials)
+		row.CILo, row.CIHi = stats.ProportionCI(row.Bad, row.Trials, 1.96)
+		if row.Bad > 0 {
+			row.MeanHECRGapBad = hecrBad.Sum() / float64(row.Bad)
+		}
+		if row.Good > 0 {
+			row.MeanHECRGapGood = hecrGood.Sum() / float64(row.Good)
+		}
+		if row.MaxBadGap > res.Theta {
+			res.Theta = row.MaxBadGap
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runVarianceTrials(cfg VarianceConfig, n int) ([]varianceTrial, error) {
+	trials := parallel.Map(cfg.Workers, cfg.TrialsPerSize, func(t int) varianceTrial {
+		return runOneVarianceTrial(cfg, n, t)
+	})
+	for _, tr := range trials {
+		if tr.err != nil {
+			return nil, tr.err
+		}
+	}
+	return trials, nil
+}
+
+func runOneVarianceTrial(cfg VarianceConfig, n, t int) varianceTrial {
+	// Deterministic per-trial stream regardless of worker scheduling.
+	rng := stats.NewRNG(cfg.Seed ^ (uint64(n) << 32) ^ uint64(t)*0x9e3779b97f4a7c15)
+	p1, p2, err := profile.EqualMeanPair(rng, n)
+	if err != nil {
+		return varianceTrial{err: err}
+	}
+	v1, v2 := p1.Variance(), p2.Variance()
+	gap := v1 - v2
+	if gap < 0 {
+		gap = -gap
+		p1, p2 = p2, p1 // make p1 the larger-variance cluster
+	}
+	h1 := core.HECR(cfg.Params, p1)
+	h2 := core.HECR(cfg.Params, p2)
+	hecrGap := h1 - h2
+	if hecrGap < 0 {
+		hecrGap = -hecrGap
+	}
+	// Prediction: larger variance ⇒ more powerful ⇒ smaller HECR.
+	return varianceTrial{bad: !(h1 < h2), gap: gap, hecrGap: hecrGap}
+}
+
+// Table returns the per-size results as a render table (use .CSV() for
+// machine-readable output).
+func (r VariancePredictorResult) Table() *render.Table {
+	t := render.NewTable(
+		fmt.Sprintf("§4.3: variance as a power predictor for equal-mean clusters (%d trials/size)", r.Config.TrialsPerSize),
+		"n", "bad pairs", "bad %", "95% CI", "max bad var-gap", "mean HECR gap (bad)", "mean HECR gap (good)")
+	for _, row := range r.Rows {
+		t.Add(fmt.Sprintf("%d", row.N),
+			fmt.Sprintf("%d/%d", row.Bad, row.Trials),
+			fmt.Sprintf("%.1f%%", 100*row.BadFraction),
+			fmt.Sprintf("[%.1f%%, %.1f%%]", 100*row.CILo, 100*row.CIHi),
+			fmt.Sprintf("%.4f", row.MaxBadGap),
+			fmt.Sprintf("%.2e", row.MeanHECRGapBad),
+			fmt.Sprintf("%.2e", row.MeanHECRGapGood))
+	}
+	return t
+}
+
+// Render returns the per-size summary table plus the threshold line.
+func (r VariancePredictorResult) Render() string {
+	return r.Table().String() + fmt.Sprintf("empirical threshold θ = %.4f (paper: 0.167): every misprediction had a variance gap below θ\n", r.Theta)
+}

@@ -1,0 +1,176 @@
+// Package harness executes a worksharing protocol end to end: real work
+// (package workload tasks computed on real goroutines, one per cluster
+// computer) under virtual model time (the §2.1 cost accounting of package
+// sim). The combination gives the best of both worlds — outputs are
+// verifiable computations, while timing stays deterministic and exactly
+// comparable to the analytical schedule, so tests can assert both "the
+// work was really done" and "it finished exactly when Theorem 2 says".
+//
+// Work units are discrete here (the model's w may be fractional; the
+// harness floors allocations to whole tasks and reports the rounding),
+// which is how a deployment would actually cut packages from a bag of
+// equal-size tasks.
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/model"
+	"hetero/internal/parallel"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+	"hetero/internal/workload"
+)
+
+// ComputerReport is one computer's end-to-end outcome.
+type ComputerReport struct {
+	Index     int     // position in the startup order
+	Rho       float64 // the computer's speed
+	Units     int     // whole work units assigned (⌊wᵢ⌋)
+	Digest    uint64  // fold of the task digests — proof of computation
+	RecvEnd   float64 // virtual time the package arrived
+	BusyEnd   float64 // virtual time unpack+compute+pack finished
+	ResultsAt float64 // virtual time results arrived at the server
+}
+
+// Report is the outcome of an end-to-end run.
+type Report struct {
+	Task      string
+	Lifespan  float64
+	Computers []ComputerReport
+	// UnitsDone is the total whole units computed (≤ the model's W(L;P)
+	// because allocations are floored to whole tasks).
+	UnitsDone int
+	// ModelWork is the fractional W(L;P) the continuous model predicts.
+	ModelWork float64
+	// Makespan is the virtual time the last results arrived.
+	Makespan float64
+	// Digest folds every computer's digest — the run's verifiable output.
+	Digest uint64
+}
+
+// RunFIFO executes the optimal FIFO protocol for the cluster over the
+// given lifespan, computing every assigned unit of task for real (in
+// parallel across computers), and returns the verified report.
+func RunFIFO(m model.Params, p profile.Profile, task workload.Task, lifespan float64) (*Report, error) {
+	sched, err := schedule.BuildFIFO(m, p, lifespan)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Task:      task.Name(),
+		Lifespan:  lifespan,
+		ModelWork: sched.TotalWork,
+		Computers: make([]ComputerReport, len(sched.Computers)),
+	}
+
+	// Discretize: computer i gets ⌊wᵢ⌋ whole units; unit indices are
+	// assigned contiguously in startup order so every unit is computed
+	// exactly once.
+	next := 0
+	for i, c := range sched.Computers {
+		units := int(math.Floor(c.Work))
+		rep.Computers[i] = ComputerReport{
+			Index:     i,
+			Rho:       c.Rho,
+			Units:     units,
+			RecvEnd:   c.Segment(schedule.SegReceive).End,
+			BusyEnd:   c.Segment(schedule.SegPack).End,
+			ResultsAt: c.ResultsArrive,
+		}
+		rep.UnitsDone += units
+		next += units
+	}
+
+	// Real computation, one goroutine per computer (the cluster's natural
+	// parallelism); each computer folds its units' digests.
+	starts := make([]int, len(rep.Computers))
+	acc := 0
+	for i, c := range rep.Computers {
+		starts[i] = acc
+		acc += c.Units
+	}
+	digests := parallel.Map(0, len(rep.Computers), func(i int) uint64 {
+		d := uint64(0)
+		for u := starts[i]; u < starts[i]+rep.Computers[i].Units; u++ {
+			d = fold(d, task.Run(u))
+		}
+		return d
+	})
+	var whole uint64
+	for i, d := range digests {
+		rep.Computers[i].Digest = d
+		whole = fold(whole, d)
+		if rep.Computers[i].ResultsAt > rep.Makespan {
+			rep.Makespan = rep.Computers[i].ResultsAt
+		}
+	}
+	rep.Digest = whole
+	return rep, nil
+}
+
+// VerifySequential recomputes every unit on a single goroutine and checks
+// the parallel run's digest — the harness's own integrity check, used by
+// tests and the CLI's -verify flag.
+func (r *Report) VerifySequential(task workload.Task) error {
+	if task.Name() != r.Task {
+		return fmt.Errorf("harness: verifying %q report with %q task", r.Task, task.Name())
+	}
+	var whole uint64
+	unit := 0
+	for _, c := range r.Computers {
+		var d uint64
+		for u := 0; u < c.Units; u++ {
+			d = fold(d, task.Run(unit))
+			unit++
+		}
+		if d != c.Digest {
+			return fmt.Errorf("harness: computer %d digest mismatch: parallel %x vs sequential %x", c.Index, c.Digest, d)
+		}
+		whole = fold(whole, d)
+	}
+	if whole != r.Digest {
+		return fmt.Errorf("harness: whole-run digest mismatch")
+	}
+	return nil
+}
+
+// Throughput returns verified units per virtual time unit.
+func (r *Report) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.UnitsDone) / r.Makespan
+}
+
+// RoundingLoss returns the work fraction lost to whole-task discretization,
+// ModelWork − UnitsDone (always within n units of zero).
+func (r *Report) RoundingLoss() float64 {
+	return r.ModelWork - float64(r.UnitsDone)
+}
+
+// fold combines digests order-dependently (it must distinguish permuted
+// unit assignments).
+func fold(a, b uint64) uint64 {
+	a ^= b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2)
+	a *= 0xff51afd7ed558ccd
+	return a ^ (a >> 33)
+}
+
+// Baseline digests: DigestAll computes the fold of units [0,total) split
+// across the given per-computer counts sequentially — the reference a
+// protocol-independent checker would produce.
+func DigestAll(task workload.Task, counts []int) uint64 {
+	var whole uint64
+	unit := 0
+	for _, n := range counts {
+		var d uint64
+		for u := 0; u < n; u++ {
+			d = fold(d, task.Run(unit))
+			unit++
+		}
+		whole = fold(whole, d)
+	}
+	return whole
+}

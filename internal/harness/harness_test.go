@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/workload"
+)
+
+func testTask(t *testing.T) workload.Task {
+	t.Helper()
+	// Small sizes keep the real computation fast in tests.
+	return workload.NewMonteCarlo(11, 500)
+}
+
+func TestRunFIFOEndToEnd(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	rep, err := RunFIFO(m, p, testTask(t), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Virtual timing matches the analytic schedule exactly.
+	if math.Abs(rep.Makespan-100) > 1e-6 {
+		t.Fatalf("makespan %v != L", rep.Makespan)
+	}
+	// Whole units lose at most n tasks to rounding.
+	if rep.RoundingLoss() < 0 || rep.RoundingLoss() >= float64(len(p)) {
+		t.Fatalf("rounding loss %v outside [0, n)", rep.RoundingLoss())
+	}
+	if math.Abs(rep.ModelWork-core.W(m, p, 100)) > 1e-9*rep.ModelWork {
+		t.Fatalf("model work %v != W(L;P)", rep.ModelWork)
+	}
+	// The parallel execution verifies against a sequential recomputation.
+	if err := rep.VerifySequential(testTask(t)); err != nil {
+		t.Fatal(err)
+	}
+	if rep.UnitsDone == 0 || rep.Digest == 0 {
+		t.Fatalf("suspicious report: %+v", rep)
+	}
+	if rep.Throughput() <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+}
+
+func TestRunFIFOFasterComputersGetMoreUnits(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	rep, err := RunFIFO(m, p, testTask(t), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rep.Computers[2].Units > rep.Computers[1].Units && rep.Computers[1].Units > rep.Computers[0].Units) {
+		t.Fatalf("unit counts not increasing toward faster computers: %d/%d/%d",
+			rep.Computers[0].Units, rep.Computers[1].Units, rep.Computers[2].Units)
+	}
+}
+
+func TestVerifyCatchesTampering(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	rep, err := RunFIFO(m, p, testTask(t), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Computers[0].Digest ^= 1
+	if rep.VerifySequential(testTask(t)) == nil {
+		t.Fatal("tampered digest passed verification")
+	}
+}
+
+func TestVerifyRejectsWrongTask(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	rep, err := RunFIFO(m, p, testTask(t), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := workload.NewSmoothing(1, 64, 2)
+	if rep.VerifySequential(other) == nil {
+		t.Fatal("wrong task accepted")
+	}
+}
+
+func TestRunFIFODeterministicDigest(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25, 0.125)
+	a, err := RunFIFO(m, p, testTask(t), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFIFO(m, p, testTask(t), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || a.UnitsDone != b.UnitsDone {
+		t.Fatal("parallel execution digest not deterministic")
+	}
+	// And equal to the protocol-independent reference digest.
+	counts := make([]int, len(a.Computers))
+	for i, c := range a.Computers {
+		counts[i] = c.Units
+	}
+	if ref := DigestAll(testTask(t), counts); ref != a.Digest {
+		t.Fatalf("digest %x != reference %x", a.Digest, ref)
+	}
+}
+
+func TestRunFIFOPropagatesScheduleErrors(t *testing.T) {
+	m := model.Table1()
+	if _, err := RunFIFO(m, profile.MustNew(1), testTask(t), -1); err == nil {
+		t.Fatal("negative lifespan accepted")
+	}
+}
+
+func TestAllWorkloadFamiliesRunEndToEnd(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	for _, task := range []workload.Task{
+		workload.NewMonteCarlo(3, 200),
+		workload.NewPatternMatch(3, 4096, 8),
+		workload.NewSmoothing(3, 512, 4),
+	} {
+		rep, err := RunFIFO(m, p, task, 30)
+		if err != nil {
+			t.Fatalf("%s: %v", task.Name(), err)
+		}
+		if err := rep.VerifySequential(task); err != nil {
+			t.Fatalf("%s: %v", task.Name(), err)
+		}
+	}
+}

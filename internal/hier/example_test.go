@@ -1,0 +1,21 @@
+package hier_test
+
+import (
+	"fmt"
+
+	"hetero/internal/hier"
+	"hetero/internal/model"
+)
+
+// ExampleCompareWithFlat measures what federating a cluster into two
+// halves costs at grid-scale (expensive) links.
+func ExampleCompareWithFlat() {
+	env := model.Params{Tau: 0.02, Pi: 1e-5, Delta: 1}
+	tree := hier.Cluster(
+		hier.Cluster(hier.Leaf(1), hier.Leaf(0.75)),
+		hier.Cluster(hier.Leaf(0.5), hier.Leaf(0.25)),
+	)
+	cmp, _ := hier.CompareWithFlat(env, tree)
+	fmt.Printf("hierarchy loses %.1f%% of the flat cluster's work\n", 100*cmp.HierarchyLoss)
+	// Output: hierarchy loses 15.5% of the flat cluster's work
+}

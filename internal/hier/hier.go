@@ -1,0 +1,212 @@
+// Package hier composes the Cluster-Exploitation Problem hierarchically:
+// a master server feeds sub-servers, each of which runs the CEP over its
+// own sub-cluster. The paper's model is flat; grids and federated volunteer
+// pools (its §1 motivation) are not. The composition principle:
+//
+// A sub-cluster that solves the CEP at asymptotic work rate R = 1/(τδ+1/X)
+// needs L(w) = w/R time units to complete w units (the Cluster-Rental dual),
+// linearly in w — exactly the signature of a single model computer, whose
+// busy time is Bρw. A subtree is therefore equivalent, from its parent's
+// point of view, to one computer with
+//
+//	ρ_eff = (τδ + 1/X_sub) / B
+//
+// (the parent also charges the standard unpack/pack overhead (B−1)·ρ_eff·w,
+// which for µs-scale π is negligible but kept for exactness). Folding
+// leaves bottom-up yields an equivalent flat profile for any tree, which
+// the ordinary X/HECR machinery then measures.
+//
+// The model deliberately makes one simplification, stated here because it
+// bounds what conclusions the package supports: a sub-server is assumed to
+// store-and-forward its whole package before redistributing (no pipelining
+// between levels), matching the store-and-forward semantics of the flat
+// model's messages. Under that assumption the equivalence above is exact in
+// the asymptotic regime; with cross-level pipelining a hierarchy could only
+// do better.
+package hier
+
+import (
+	"fmt"
+	"strings"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// Node is a cluster tree: either a leaf computer (Rho > 0, no children) or
+// an internal sub-server with children (Rho ignored; the sub-server itself
+// only coordinates, matching the paper's server C0 which computes no work).
+type Node struct {
+	// Rho is the leaf computer's speed; must be 0 for internal nodes.
+	Rho float64
+	// Children are the sub-clusters fed by this node's sub-server.
+	Children []*Node
+}
+
+// Leaf returns a leaf computer node.
+func Leaf(rho float64) *Node { return &Node{Rho: rho} }
+
+// Cluster returns an internal node over the given children.
+func Cluster(children ...*Node) *Node { return &Node{Children: children} }
+
+// Validate checks structural sanity: leaves have ρ ∈ (0,1], internal nodes
+// have ≥1 child and no own speed, and the tree is non-empty.
+func (n *Node) Validate() error {
+	if n == nil {
+		return fmt.Errorf("hier: nil node")
+	}
+	if len(n.Children) == 0 {
+		if !(n.Rho > 0) || n.Rho > 1 {
+			return fmt.Errorf("hier: leaf ρ = %v outside (0,1]", n.Rho)
+		}
+		return nil
+	}
+	if n.Rho != 0 {
+		return fmt.Errorf("hier: internal node has ρ = %v; sub-servers do no work", n.Rho)
+	}
+	for i, c := range n.Children {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("hier: child %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Leaves returns the tree's leaf speeds in left-to-right order.
+func (n *Node) Leaves() profile.Profile {
+	if len(n.Children) == 0 {
+		return profile.Profile{n.Rho}
+	}
+	var out profile.Profile
+	for _, c := range n.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Depth returns the tree height (1 for a single leaf).
+func (n *Node) Depth() int {
+	if len(n.Children) == 0 {
+		return 1
+	}
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// EffectiveRho folds the subtree into its single-computer equivalent speed
+// as seen by the parent: leaves return their own ρ; internal nodes compute
+// the equivalent profile of their children, then ρ_eff = (τδ + 1/X)/B.
+// An error is returned when a fold leaves (0,1] — a subtree faster than a
+// normalized top-level computer, which the caller must renormalize.
+func (n *Node) EffectiveRho(m model.Params) (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	return effectiveRho(m, n)
+}
+
+func effectiveRho(m model.Params, n *Node) (float64, error) {
+	if len(n.Children) == 0 {
+		return n.Rho, nil
+	}
+	equiv := make(profile.Profile, len(n.Children))
+	for i, c := range n.Children {
+		r, err := effectiveRho(m, c)
+		if err != nil {
+			return 0, err
+		}
+		equiv[i] = r
+	}
+	x := core.X(m, equiv)
+	rho := (m.TauDelta() + 1/x) / m.B()
+	if !(rho > 0) {
+		return 0, fmt.Errorf("hier: non-positive effective ρ %v", rho)
+	}
+	return rho, nil
+}
+
+// EquivalentProfile returns the profile the tree's ROOT server sees: one
+// effective computer per child subtree. For a flat tree this is simply the
+// leaf profile.
+//
+// Effective ρ values may exceed 1: a subtree wrapping coordination overhead
+// around a speed-1 machine is slower than the machine itself. The paper's
+// ρ ≤ 1 bound is only a normalization convention (its own footnote 5
+// relaxes it for HECR calibration), and every measure in package core is
+// well-defined for any positive ρ, so the returned profile intentionally
+// skips the convention check.
+func (n *Node) EquivalentProfile(m model.Params) (profile.Profile, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if len(n.Children) == 0 {
+		return profile.Profile{n.Rho}, nil
+	}
+	equiv := make(profile.Profile, len(n.Children))
+	for i, c := range n.Children {
+		r, err := effectiveRho(m, c)
+		if err != nil {
+			return nil, err
+		}
+		equiv[i] = r
+	}
+	return equiv, nil
+}
+
+// X returns the X-measure of the whole tree as seen by the root.
+func (n *Node) X(m model.Params) (float64, error) {
+	p, err := n.EquivalentProfile(m)
+	if err != nil {
+		return 0, err
+	}
+	return core.X(m, p), nil
+}
+
+// String renders the tree in a compact parenthesized form.
+func (n *Node) String() string {
+	if len(n.Children) == 0 {
+		return fmt.Sprintf("%.4g", n.Rho)
+	}
+	parts := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		parts[i] = c.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// FlatComparison quantifies the cost of hierarchy: the X-measure of the
+// tree vs the X-measure of the same leaves organized flat under one server.
+type FlatComparison struct {
+	Tree          *Node
+	XTree         float64
+	XFlat         float64
+	HierarchyLoss float64 // 1 − XTree/XFlat: work lost to the extra level(s)
+}
+
+// CompareWithFlat computes the comparison. The flat organization can only
+// win under this package's store-and-forward composition (the extra level
+// serializes), so HierarchyLoss ≥ 0 up to rounding.
+func CompareWithFlat(m model.Params, tree *Node) (FlatComparison, error) {
+	xTree, err := tree.X(m)
+	if err != nil {
+		return FlatComparison{}, err
+	}
+	leaves := tree.Leaves()
+	flat, err := profile.New(leaves...)
+	if err != nil {
+		return FlatComparison{}, err
+	}
+	xFlat := core.X(m, flat)
+	return FlatComparison{
+		Tree:          tree,
+		XTree:         xTree,
+		XFlat:         xFlat,
+		HierarchyLoss: 1 - xTree/xFlat,
+	}, nil
+}

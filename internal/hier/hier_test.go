@@ -1,0 +1,230 @@
+package hier
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		tree *Node
+		ok   bool
+	}{
+		{"leaf", Leaf(0.5), true},
+		{"flat", Cluster(Leaf(1), Leaf(0.5)), true},
+		{"nested", Cluster(Cluster(Leaf(1), Leaf(0.5)), Leaf(0.25)), true},
+		{"bad leaf", Leaf(0), false},
+		{"leaf above 1", Leaf(1.5), false},
+		{"internal with rho", &Node{Rho: 0.5, Children: []*Node{Leaf(1)}}, false},
+		{"nil", nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.tree.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestLeavesAndDepth(t *testing.T) {
+	tree := Cluster(Cluster(Leaf(1), Leaf(0.5)), Leaf(0.25))
+	leaves := tree.Leaves()
+	want := profile.Profile{1, 0.5, 0.25}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("Leaves = %v", leaves)
+		}
+	}
+	if tree.Depth() != 3 {
+		t.Fatalf("Depth = %d", tree.Depth())
+	}
+	if Leaf(1).Depth() != 1 {
+		t.Fatal("leaf depth != 1")
+	}
+}
+
+func TestLeafEffectiveRhoIsItself(t *testing.T) {
+	m := model.Table1()
+	r, err := Leaf(0.37).EffectiveRho(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0.37 {
+		t.Fatalf("leaf ρ_eff = %v", r)
+	}
+}
+
+func TestSubtreeActsLikeRentalDual(t *testing.T) {
+	// ρ_eff must equal the sub-cluster's per-unit rental time divided by B:
+	// the subtree processes w units in B·ρ_eff·w = w·(τδ + 1/X_sub).
+	m := model.Table1()
+	sub := profile.MustNew(1, 0.5, 0.25)
+	tree := Cluster(Leaf(1), Leaf(0.5), Leaf(0.25))
+	r, err := tree.EffectiveRho(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.RentalLifespan(m, sub, 1) / m.B()
+	if math.Abs(r-want) > 1e-12*want {
+		t.Fatalf("ρ_eff = %v, want rental/B = %v", r, want)
+	}
+}
+
+func TestHierarchyNeverBeatsFlat(t *testing.T) {
+	// Under store-and-forward composition the extra level serializes, so
+	// any tree's X is at most the flat organization's X.
+	m := model.Table1()
+	r := stats.NewRNG(83)
+	for trial := 0; trial < 50; trial++ {
+		// Random 2-level tree over 4-9 leaves.
+		nLeaves := 4 + r.Intn(6)
+		leaves := make([]*Node, nLeaves)
+		for i := range leaves {
+			leaves[i] = Leaf(r.InRange(0.05, 1))
+		}
+		split := 1 + r.Intn(nLeaves-1)
+		tree := Cluster(Cluster(leaves[:split]...), Cluster(leaves[split:]...))
+		cmp, err := CompareWithFlat(m, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.HierarchyLoss < -1e-9 {
+			t.Fatalf("hierarchy beat flat: loss %v for %v", cmp.HierarchyLoss, tree)
+		}
+		if cmp.XTree <= 0 || cmp.XFlat <= 0 {
+			t.Fatalf("bad X values: %+v", cmp)
+		}
+	}
+}
+
+func TestTwoLevelLossIsSmallAtTinyCommunication(t *testing.T) {
+	// With µs-scale communication a two-level hierarchy costs almost
+	// nothing: a subtree aggregates its children's speed nearly perfectly.
+	m := model.Table1()
+	tree := Cluster(
+		Cluster(Leaf(1), Leaf(0.5)),
+		Cluster(Leaf(0.5), Leaf(0.25)),
+	)
+	cmp, err := CompareWithFlat(m, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.HierarchyLoss > 0.01 {
+		t.Fatalf("two-level loss %v suspiciously large at Table 1 scales", cmp.HierarchyLoss)
+	}
+}
+
+func TestDeepTreesDegradeMonotonically(t *testing.T) {
+	// Chaining a computer behind k sub-server levels can only slow it.
+	m := model.Table1()
+	prev := math.Inf(1)
+	node := Leaf(0.5)
+	for depth := 1; depth <= 5; depth++ {
+		x, err := Cluster(node).X(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x > prev+1e-12 {
+			t.Fatalf("depth %d raised X: %v after %v", depth, x, prev)
+		}
+		prev = x
+		node = Cluster(node)
+	}
+}
+
+func TestEquivalentProfileAllowsSlowerThanOneSubtrees(t *testing.T) {
+	// A subtree that wraps coordination overhead around a speed-1 machine
+	// folds to ρ_eff > 1 — slower than any normalized computer. That is
+	// legitimate (the ρ ≤ 1 bound is a convention, per the paper's
+	// footnote 5) and the measures must stay consistent: wrapping strictly
+	// reduces X.
+	m := model.Params{Tau: 0.9, Pi: 0.01, Delta: 1}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tree := Cluster(Cluster(Leaf(1)))
+	p, err := tree.EquivalentProfile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p[0] > 1) {
+		t.Fatalf("wrapped machine ρ_eff = %v, want > 1 at τ = 0.9", p[0])
+	}
+	xWrapped, err := tree.X(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xBare, err := Cluster(Leaf(1)).X(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(xWrapped < xBare) {
+		t.Fatalf("wrapping did not reduce X: %v vs %v", xWrapped, xBare)
+	}
+}
+
+func TestString(t *testing.T) {
+	tree := Cluster(Cluster(Leaf(1), Leaf(0.5)), Leaf(0.25))
+	s := tree.String()
+	if !strings.Contains(s, "(") || !strings.Contains(s, "0.25") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestXMatchesManualFold(t *testing.T) {
+	m := model.Table1()
+	inner := profile.MustNew(0.8, 0.4)
+	rhoEff := (m.TauDelta() + 1/core.X(m, inner)) / m.B()
+	tree := Cluster(Cluster(Leaf(0.8), Leaf(0.4)), Leaf(0.6))
+	xTree, err := tree.X(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := core.X(m, profile.MustNew(rhoEff, 0.6))
+	if math.Abs(xTree-manual) > 1e-12*manual {
+		t.Fatalf("tree X %v != manual fold %v", xTree, manual)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	m := model.Table1()
+	bad := Cluster(Leaf(0)) // invalid leaf inside a cluster
+	if _, err := bad.EffectiveRho(m); err == nil {
+		t.Fatal("EffectiveRho accepted invalid tree")
+	}
+	if _, err := bad.EquivalentProfile(m); err == nil {
+		t.Fatal("EquivalentProfile accepted invalid tree")
+	}
+	if _, err := bad.X(m); err == nil {
+		t.Fatal("X accepted invalid tree")
+	}
+	if _, err := CompareWithFlat(m, bad); err == nil {
+		t.Fatal("CompareWithFlat accepted invalid tree")
+	}
+	// Nested invalidity must surface from deep children too.
+	deep := Cluster(Cluster(Leaf(0.5), Cluster(Leaf(-1))))
+	if err := deep.Validate(); err == nil {
+		t.Fatal("deep invalid leaf accepted")
+	}
+}
+
+func TestEffectiveRhoOfValidTrees(t *testing.T) {
+	m := model.Table1()
+	r, err := Cluster(Leaf(0.5), Leaf(0.5)).EffectiveRho(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two speed-0.5 machines federate into something faster than one.
+	if !(r < 0.5) {
+		t.Fatalf("ρ_eff = %v, want < 0.5", r)
+	}
+}

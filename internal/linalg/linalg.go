@@ -1,0 +1,134 @@
+// Package linalg is a small dense linear-algebra substrate: just enough —
+// partial-pivot LU solving and residual checks — to support the general
+// (Σ,Φ)-protocol solver in package schedule, which turns the gap-free
+// worksharing conditions into an n×n linear system for the allocations.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major n×m matrix.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[m.idx(i, j)] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[m.idx(i, j)] = v }
+
+func (m *Matrix) idx(i, j int) int {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of %dx%d", i, j, m.Rows, m.Cols))
+	}
+	return i*m.Cols + j
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec returns m·x. It panics on dimension mismatch.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %dx%d times %d", m.Rows, m.Cols, len(x)))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		sum := 0.0
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+	return y
+}
+
+// Solve solves the square system a·x = b by Gaussian elimination with
+// partial pivoting, returning x. It errors when the matrix is singular (or
+// numerically so). a and b are not modified.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Solve needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d for %dx%d system", len(b), n, n)
+	}
+	// Work on copies.
+	lu := a.Clone()
+	x := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in this column at or below the
+		// diagonal.
+		pivot := col
+		pivotMag := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if mag := math.Abs(lu.At(r, col)); mag > pivotMag {
+				pivot, pivotMag = r, mag
+			}
+		}
+		if pivotMag == 0 || math.IsNaN(pivotMag) {
+			return nil, fmt.Errorf("linalg: singular system (pivot %d)", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				tmp := lu.At(col, j)
+				lu.Set(col, j, lu.At(pivot, j))
+				lu.Set(pivot, j, tmp)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / lu.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := lu.At(r, col) * inv
+			if factor == 0 {
+				continue
+			}
+			lu.Set(r, col, 0)
+			for j := col + 1; j < n; j++ {
+				lu.Set(r, j, lu.At(r, j)-factor*lu.At(col, j))
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= lu.At(i, j) * x[j]
+		}
+		x[i] = sum / lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Residual returns max_i |a·x − b|_i, the infinity-norm residual of a
+// candidate solution — used by callers to validate conditioning.
+func Residual(a *Matrix, x, b []float64) float64 {
+	ax := a.MulVec(x)
+	worst := 0.0
+	for i := range ax {
+		if r := math.Abs(ax[i] - b[i]); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

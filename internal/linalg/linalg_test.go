@@ -1,0 +1,134 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/stats"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x − y = 1 → x = 2, y = 1.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, -1)
+	x, err := Solve(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal: only solvable with row exchange.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveRandomSystems(t *testing.T) {
+	r := stats.NewRNG(42)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(20)
+		a := NewMatrix(n, n)
+		xTrue := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xTrue[i] = r.InRange(-5, 5)
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.InRange(-1, 1))
+			}
+			// Diagonal dominance keeps the random systems well conditioned.
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := a.MulVec(xTrue)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-9 {
+				t.Fatalf("n=%d: x[%d] = %v, want %v", n, i, x[i], xTrue[i])
+			}
+		}
+		if res := Residual(a, x, b); res > 1e-9 {
+			t.Fatalf("n=%d: residual %v", n, res)
+		}
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	b := []float64{4, 3}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 3 || b[0] != 4 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	sq := NewMatrix(2, 2)
+	if _, err := Solve(sq, []float64{1}); err == nil {
+		t.Fatal("wrong rhs length accepted")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad dims":   func() { NewMatrix(0, 2) },
+		"oob":        func() { NewMatrix(2, 2).At(2, 0) },
+		"mulvec dim": func() { NewMatrix(2, 2).MulVec([]float64{1}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := NewMatrix(1, 1)
+	a.Set(0, 0, 5)
+	c := a.Clone()
+	c.Set(0, 0, 9)
+	if a.At(0, 0) != 5 {
+		t.Fatal("Clone aliased storage")
+	}
+}

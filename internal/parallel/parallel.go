@@ -1,0 +1,96 @@
+// Package parallel provides the repository's worker-pool substrate:
+// deterministic fan-out of independent trials across goroutines. Results
+// land at their own indices, so aggregation order — and therefore every
+// experiment's output — is independent of scheduling; panics in workers are
+// captured and re-raised on the caller's goroutine.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map evaluates fn(0..n-1) on up to workers goroutines (0 means
+// GOMAXPROCS) and returns the results indexed by input. fn must be safe
+// for concurrent invocation on distinct indices.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	results := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		results[i] = fn(i)
+	})
+	return results
+}
+
+// MapErr is Map for fallible work: it returns the results plus the first
+// (lowest-index) error, evaluating everything regardless so that the
+// results slice is fully populated for the indices that succeeded.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) {
+		results[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// ForEach runs fn(0..n-1) on up to workers goroutines and waits for all of
+// them. A panic inside fn is re-raised on the calling goroutine (the first
+// one observed wins).
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		wg         sync.WaitGroup
+		panicOnce  sync.Once
+		panicValue interface{}
+		panicked   bool
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								panicValue = r
+								panicked = true
+							})
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if panicked {
+		panic(fmt.Sprintf("parallel: worker panicked: %v", panicValue))
+	}
+}

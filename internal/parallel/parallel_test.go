@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesIndexing(t *testing.T) {
+	got := Map(4, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapSingleWorkerDeterministicPath(t *testing.T) {
+	got := Map(1, 5, func(i int) int { return i + 1 })
+	if got[4] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMapZeroN(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestForEachRunsEverythingOnce(t *testing.T) {
+	var counts [200]int32
+	ForEach(8, len(counts), func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachDefaultWorkers(t *testing.T) {
+	var total int32
+	ForEach(0, 50, func(i int) { atomic.AddInt32(&total, 1) })
+	if total != 50 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	e7 := errors.New("seven")
+	e3 := errors.New("three")
+	_, err := MapErr(4, 10, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, e3
+		case 7:
+			return 0, e7
+		default:
+			return i, nil
+		}
+	})
+	if err != e3 {
+		t.Fatalf("err = %v, want lowest-index error %v", err, e3)
+	}
+}
+
+func TestMapErrSuccess(t *testing.T) {
+	got, err := MapErr(3, 4, func(i int) (int, error) { return 2 * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[3] != 6 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestForEachPropagatesPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic swallowed")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %v lost the original message", r)
+		}
+	}()
+	ForEach(4, 20, func(i int) {
+		if i == 11 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachMoreWorkersThanWork(t *testing.T) {
+	var total int32
+	ForEach(64, 3, func(i int) { atomic.AddInt32(&total, 1) })
+	if total != 3 {
+		t.Fatalf("total = %d", total)
+	}
+}

@@ -1,0 +1,134 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/stats"
+)
+
+// Evaluation races a set of predictors on one stream of random cluster
+// pairs against the X-measure ground truth.
+type Evaluation struct {
+	Params model.Params
+	N      int
+	Pairs  int
+	// Accuracy per predictor name, over pairs where both the ground truth
+	// and the predictor committed to a side.
+	Accuracy map[string]float64
+	// Abstained counts pairs where the predictor returned 0.
+	Abstained map[string]int
+}
+
+// PairSource draws a cluster pair for one evaluation trial.
+type PairSource func(r *stats.RNG, n int) (profile.Profile, profile.Profile, error)
+
+// GeneralPairs draws two independent normalized random profiles — the
+// unconditioned regime, where mean-like statistics carry most signal.
+func GeneralPairs(r *stats.RNG, n int) (profile.Profile, profile.Profile, error) {
+	return profile.RandomNormalized(r, n), profile.RandomNormalized(r, n), nil
+}
+
+// EqualMeanPairs draws the §4.3 equal-mean pairs — the conditioned regime,
+// where the variance rule earns its keep.
+func EqualMeanPairs(r *stats.RNG, n int) (profile.Profile, profile.Profile, error) {
+	return profile.EqualMeanPair(r, n)
+}
+
+// Evaluate runs every predictor over `pairs` draws from src.
+func Evaluate(m model.Params, predictors []Predictor, src PairSource, n, pairs int, seed uint64) (Evaluation, error) {
+	if n < 2 || pairs <= 0 {
+		return Evaluation{}, fmt.Errorf("predict: need n ≥ 2 and pairs > 0, got %d and %d", n, pairs)
+	}
+	ev := Evaluation{
+		Params:    m,
+		N:         n,
+		Accuracy:  make(map[string]float64, len(predictors)),
+		Abstained: make(map[string]int, len(predictors)),
+	}
+	correct := make(map[string]int, len(predictors))
+	decided := make(map[string]int, len(predictors))
+	rng := stats.NewRNG(seed)
+	for t := 0; t < pairs; t++ {
+		p1, p2, err := src(rng, n)
+		if err != nil {
+			return Evaluation{}, err
+		}
+		truth := core.Compare(m, p1, p2)
+		if truth == 0 {
+			continue
+		}
+		ev.Pairs++
+		for _, pr := range predictors {
+			switch guess := pr.Predict(p1, p2); {
+			case guess == 0:
+				ev.Abstained[pr.Name()]++
+			case guess == truth:
+				correct[pr.Name()]++
+				decided[pr.Name()]++
+			default:
+				decided[pr.Name()]++
+			}
+		}
+	}
+	if ev.Pairs == 0 {
+		return Evaluation{}, fmt.Errorf("predict: no decided pairs in %d draws", pairs)
+	}
+	for _, pr := range predictors {
+		if d := decided[pr.Name()]; d > 0 {
+			ev.Accuracy[pr.Name()] = float64(correct[pr.Name()]) / float64(d)
+		}
+	}
+	return ev, nil
+}
+
+// TrainOnPairs builds a labelled training set from src and fits the linear
+// scorer.
+func TrainOnPairs(m model.Params, src PairSource, n, pairs int, seed uint64) (*Linear, error) {
+	rng := stats.NewRNG(seed)
+	var set []TrainingPair
+	for t := 0; t < pairs; t++ {
+		p1, p2, err := src(rng, n)
+		if err != nil {
+			return nil, err
+		}
+		truth := core.Compare(m, p1, p2)
+		if truth == 0 {
+			continue
+		}
+		f1, f2 := Extract(p1).Vector(), Extract(p2).Vector()
+		diff := make([]float64, len(f1))
+		for i := range diff {
+			diff[i] = f1[i] - f2[i]
+		}
+		set = append(set, TrainingPair{Diff: diff, FirstWins: truth > 0})
+	}
+	return Train(set, 300, 0.5)
+}
+
+// Render lists predictors by descending accuracy.
+func (ev Evaluation) Render(title string) string {
+	names := make([]string, 0, len(ev.Accuracy))
+	for name := range ev.Accuracy {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if ev.Accuracy[names[i]] != ev.Accuracy[names[j]] {
+			return ev.Accuracy[names[i]] > ev.Accuracy[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	t := render.NewTable(
+		fmt.Sprintf("%s (n = %d, %d decided pairs)", title, ev.N, ev.Pairs),
+		"predictor", "accuracy", "abstained")
+	for _, name := range names {
+		t.Add(name,
+			fmt.Sprintf("%.1f%%", 100*ev.Accuracy[name]),
+			fmt.Sprintf("%d", ev.Abstained[name]))
+	}
+	return t.String()
+}

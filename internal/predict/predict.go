@@ -1,0 +1,249 @@
+// Package predict implements the statistical-predictor study the paper
+// points to as ongoing research (§4.2/§5, companion paper [13]): given only
+// cheap statistics of two clusters' heterogeneity profiles, predict which
+// cluster is more powerful, and measure how each predictor fares against
+// the X-measure ground truth.
+//
+// Three predictor tiers are provided:
+//
+//   - single moments (mean, variance, geometric mean, extremes);
+//   - hand-built composites (equal-mean variance rule of §4.3, total-speed
+//     Σ1/ρ, lexicographic mean-then-variance);
+//   - a trained linear scorer over the moment feature vector, fit by
+//     logistic regression on labelled cluster pairs (pure stdlib).
+//
+// All predictors implement the same interface so the experiment harness
+// can race them on identical trial streams.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/profile"
+)
+
+// Features is the moment feature vector extracted from a profile. The
+// fields deliberately mirror §4.2's cast: the arithmetic and geometric
+// means, the variance, plus the extremes and skewness the companion study
+// reaches for.
+type Features struct {
+	Mean     float64
+	Variance float64
+	GeoMean  float64
+	Skewness float64
+	Fastest  float64
+	Slowest  float64
+	// TotalSpeed is Σ 1/ρᵢ — the communication-free aggregate capacity.
+	TotalSpeed float64
+}
+
+// Extract computes the feature vector of a profile.
+func Extract(p profile.Profile) Features {
+	d := p.Describe()
+	total := 0.0
+	for _, rho := range p {
+		total += 1 / rho
+	}
+	return Features{
+		Mean:       d.Mean,
+		Variance:   d.Variance,
+		GeoMean:    p.GeoMean(),
+		Skewness:   d.Skewness,
+		Fastest:    p.Fastest(),
+		Slowest:    d.Max,
+		TotalSpeed: total,
+	}
+}
+
+// Vector returns the features as an ordered slice (the layout the linear
+// scorer trains over); FeatureNames gives the matching labels.
+func (f Features) Vector() []float64 {
+	return []float64{f.Mean, f.Variance, f.GeoMean, f.Skewness, f.Fastest, f.Slowest, f.TotalSpeed}
+}
+
+// FeatureNames labels Vector's layout.
+func FeatureNames() []string {
+	return []string{"mean", "variance", "geomean", "skewness", "fastest", "slowest", "total-speed"}
+}
+
+// Predictor guesses which of two clusters is more powerful from their
+// profiles alone: +1 for the first, −1 for the second, 0 for "cannot say".
+type Predictor interface {
+	Name() string
+	Predict(p1, p2 profile.Profile) int
+}
+
+// scoreFn adapts a scalar score (smaller = more powerful, like ρ itself)
+// into a Predictor.
+type scoreFn struct {
+	name string
+	fn   func(profile.Profile) float64
+}
+
+func (s scoreFn) Name() string { return s.name }
+
+func (s scoreFn) Predict(p1, p2 profile.Profile) int {
+	a, b := s.fn(p1), s.fn(p2)
+	switch {
+	case a < b:
+		return 1
+	case a > b:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// ByScore builds a predictor from a scalar profile score for which smaller
+// means more powerful.
+func ByScore(name string, fn func(profile.Profile) float64) Predictor {
+	return scoreFn{name: name, fn: fn}
+}
+
+// SingleMoments returns the tier-one predictors.
+func SingleMoments() []Predictor {
+	return []Predictor{
+		ByScore("arith-mean", func(p profile.Profile) float64 { return p.Mean() }),
+		ByScore("geo-mean", func(p profile.Profile) float64 { return p.GeoMean() }),
+		ByScore("fastest", func(p profile.Profile) float64 { return p.Fastest() }),
+		ByScore("slowest", func(p profile.Profile) float64 { return p.Slowest() }),
+		ByScore("neg-variance", func(p profile.Profile) float64 { return -p.Variance() }),
+	}
+}
+
+// Composites returns the tier-two predictors.
+func Composites() []Predictor {
+	return []Predictor{
+		ByScore("neg-total-speed", func(p profile.Profile) float64 { return -Extract(p).TotalSpeed }),
+		meanThenVariance{},
+	}
+}
+
+// meanThenVariance applies §4.3's rule lexicographically: rank by mean
+// speed; when means (nearly) tie, prefer the larger variance.
+type meanThenVariance struct{}
+
+func (meanThenVariance) Name() string { return "mean-then-variance" }
+
+func (meanThenVariance) Predict(p1, p2 profile.Profile) int {
+	const meanTol = 1e-9
+	m1, m2 := p1.Mean(), p2.Mean()
+	switch {
+	case m1 < m2-meanTol:
+		return 1
+	case m2 < m1-meanTol:
+		return -1
+	}
+	v1, v2 := p1.Variance(), p2.Variance()
+	switch {
+	case v1 > v2:
+		return 1
+	case v2 > v1:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Linear is a trained linear scorer: score(P) = w·features(P); the cluster
+// with the smaller score is predicted more powerful.
+type Linear struct {
+	Weights []float64
+	Bias    float64
+	name    string
+}
+
+// Name identifies the scorer (defaults to "linear").
+func (l *Linear) Name() string {
+	if l.name == "" {
+		return "linear"
+	}
+	return l.name
+}
+
+// Score returns w·features(P) + bias.
+func (l *Linear) Score(p profile.Profile) float64 {
+	v := Extract(p).Vector()
+	if len(v) != len(l.Weights) {
+		panic(fmt.Sprintf("predict: scorer has %d weights for %d features", len(l.Weights), len(v)))
+	}
+	s := l.Bias
+	for i, w := range l.Weights {
+		s += w * v[i]
+	}
+	return s
+}
+
+// Predict compares the two clusters' scores.
+func (l *Linear) Predict(p1, p2 profile.Profile) int {
+	a, b := l.Score(p1), l.Score(p2)
+	switch {
+	case a < b:
+		return 1
+	case a > b:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// TrainingPair is one labelled example: the feature difference of a cluster
+// pair and whether the first cluster won under the X-measure.
+type TrainingPair struct {
+	// Diff = features(P1) − features(P2).
+	Diff []float64
+	// FirstWins is the X-measure ground truth.
+	FirstWins bool
+}
+
+// Train fits a Linear scorer by logistic regression on pair differences:
+// P(P1 wins) = σ(−w·diff), i.e. a lower score must mean a more powerful
+// cluster. Plain batch gradient descent — the problem is tiny and convex.
+func Train(pairs []TrainingPair, epochs int, rate float64) (*Linear, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("predict: no training pairs")
+	}
+	dim := len(pairs[0].Diff)
+	for i, pr := range pairs {
+		if len(pr.Diff) != dim {
+			return nil, fmt.Errorf("predict: pair %d has %d features, want %d", i, len(pr.Diff), dim)
+		}
+	}
+	if epochs <= 0 || rate <= 0 {
+		return nil, fmt.Errorf("predict: epochs %d and rate %v must be positive", epochs, rate)
+	}
+	w := make([]float64, dim)
+	for epoch := 0; epoch < epochs; epoch++ {
+		grad := make([]float64, dim)
+		for _, pr := range pairs {
+			// z = −w·diff; prediction σ(z) should match FirstWins.
+			z := 0.0
+			for j, d := range pr.Diff {
+				z -= w[j] * d
+			}
+			pred := sigmoid(z)
+			target := 0.0
+			if pr.FirstWins {
+				target = 1
+			}
+			err := pred - target
+			for j, d := range pr.Diff {
+				grad[j] -= err * d // ∂z/∂wⱼ = −diffⱼ
+			}
+		}
+		scale := rate / float64(len(pairs))
+		for j := range w {
+			w[j] -= scale * grad[j]
+		}
+	}
+	return &Linear{Weights: w, name: "linear"}, nil
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}

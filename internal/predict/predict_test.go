@@ -1,0 +1,229 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func TestExtractFeatures(t *testing.T) {
+	p := profile.MustNew(1, 0.5, 0.25)
+	f := Extract(p)
+	if math.Abs(f.Mean-(1.75/3)) > 1e-12 {
+		t.Fatalf("mean = %v", f.Mean)
+	}
+	if f.Fastest != 0.25 || f.Slowest != 1 {
+		t.Fatalf("extremes = %v/%v", f.Fastest, f.Slowest)
+	}
+	if math.Abs(f.TotalSpeed-7) > 1e-12 {
+		t.Fatalf("total speed = %v, want 1+2+4", f.TotalSpeed)
+	}
+	if len(f.Vector()) != len(FeatureNames()) {
+		t.Fatal("Vector/FeatureNames length mismatch")
+	}
+}
+
+func TestByScorePredictor(t *testing.T) {
+	pr := ByScore("mean", func(p profile.Profile) float64 { return p.Mean() })
+	fast := profile.MustNew(0.2, 0.2)
+	slow := profile.MustNew(0.9, 0.9)
+	if pr.Predict(fast, slow) != 1 || pr.Predict(slow, fast) != -1 {
+		t.Fatal("score predictor broken")
+	}
+	if pr.Predict(fast, fast.Clone()) != 0 {
+		t.Fatal("tie not detected")
+	}
+	if pr.Name() != "mean" {
+		t.Fatal("name lost")
+	}
+}
+
+func TestMeanThenVariance(t *testing.T) {
+	pr := meanThenVariance{}
+	// Distinct means: decided by mean.
+	if pr.Predict(profile.MustNew(0.3, 0.3), profile.MustNew(0.8, 0.8)) != 1 {
+		t.Fatal("mean tier failed")
+	}
+	// Equal means: larger variance wins.
+	if pr.Predict(profile.MustNew(0.9, 0.1), profile.MustNew(0.5, 0.5)) != 1 {
+		t.Fatal("variance tier failed")
+	}
+	// Complete tie.
+	if pr.Predict(profile.MustNew(0.5, 0.5), profile.MustNew(0.5, 0.5)) != 0 {
+		t.Fatal("tie not detected")
+	}
+}
+
+func TestTrainSeparatesTotalSpeed(t *testing.T) {
+	// Train on general pairs; the learned scorer must beat the arithmetic
+	// mean, since total speed (a feature) is nearly a sufficient statistic
+	// for X at Table 1 scales.
+	m := model.Table1()
+	lin, err := TrainOnPairs(m, GeneralPairs, 8, 800, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(m, []Predictor{lin, ByScore("arith-mean", func(p profile.Profile) float64 { return p.Mean() })},
+		GeneralPairs, 8, 600, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Accuracy["linear"] < 0.9 {
+		t.Fatalf("trained accuracy %.3f implausibly low", ev.Accuracy["linear"])
+	}
+	if ev.Accuracy["linear"] <= ev.Accuracy["arith-mean"] {
+		t.Fatalf("trained scorer (%.3f) did not beat the mean (%.3f)", ev.Accuracy["linear"], ev.Accuracy["arith-mean"])
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 10, 0.1); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	pairs := []TrainingPair{{Diff: []float64{1}, FirstWins: true}}
+	if _, err := Train(pairs, 0, 0.1); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	if _, err := Train(pairs, 10, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	ragged := []TrainingPair{{Diff: []float64{1}}, {Diff: []float64{1, 2}}}
+	if _, err := Train(ragged, 10, 0.1); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+}
+
+func TestLinearScorePanicsOnDimensionMismatch(t *testing.T) {
+	lin := &Linear{Weights: []float64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	lin.Score(profile.MustNew(1, 0.5))
+}
+
+func TestEvaluateGeneralRanking(t *testing.T) {
+	m := model.Table1()
+	preds := append(SingleMoments(), Composites()...)
+	ev, err := Evaluate(m, preds, GeneralPairs, 8, 800, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural expectations at Table 1 scales: total speed ≈ perfect,
+	// geo-mean strong, raw variance weak without the equal-mean
+	// conditioning.
+	if ev.Accuracy["neg-total-speed"] < 0.99 {
+		t.Fatalf("total speed accuracy %.3f; should be ≈1 at µs-scale A", ev.Accuracy["neg-total-speed"])
+	}
+	if !(ev.Accuracy["geo-mean"] > ev.Accuracy["arith-mean"]) {
+		t.Fatal("geo-mean should beat arith-mean")
+	}
+	if !(ev.Accuracy["neg-variance"] < ev.Accuracy["geo-mean"]) {
+		t.Fatal("raw variance should trail geo-mean on general pairs")
+	}
+}
+
+func TestEvaluateEqualMeanRegime(t *testing.T) {
+	// In the §4.3 regime the variance rule lands near the paper's ≈76-78%.
+	m := model.Table1()
+	ev, err := Evaluate(m, []Predictor{
+		ByScore("neg-variance", func(p profile.Profile) float64 { return -p.Variance() }),
+	}, EqualMeanPairs, 32, 600, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := ev.Accuracy["neg-variance"]
+	if acc < 0.6 || acc > 0.95 {
+		t.Fatalf("equal-mean variance accuracy %.3f outside the §4.3 regime", acc)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	m := model.Table1()
+	if _, err := Evaluate(m, SingleMoments(), GeneralPairs, 1, 10, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Evaluate(m, SingleMoments(), GeneralPairs, 4, 0, 1); err == nil {
+		t.Fatal("pairs=0 accepted")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	m := model.Table1()
+	a, err := Evaluate(m, SingleMoments(), GeneralPairs, 6, 200, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Evaluate(m, SingleMoments(), GeneralPairs, 6, 200, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, acc := range a.Accuracy {
+		if b.Accuracy[name] != acc {
+			t.Fatalf("accuracy for %s not deterministic", name)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	m := model.Table1()
+	ev, err := Evaluate(m, SingleMoments(), GeneralPairs, 4, 100, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ev.Render("demo")
+	for _, frag := range []string{"demo", "accuracy", "geo-mean"} {
+		if !contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSigmoid(t *testing.T) {
+	if math.Abs(sigmoid(0)-0.5) > 1e-15 {
+		t.Fatalf("σ(0) = %v", sigmoid(0))
+	}
+	if sigmoid(50) < 0.999 || sigmoid(-50) > 0.001 {
+		t.Fatal("sigmoid saturation broken")
+	}
+	// Numerically stable for very negative arguments.
+	if v := sigmoid(-1000); v != 0 && (math.IsNaN(v) || v < 0) {
+		t.Fatalf("σ(-1000) = %v", v)
+	}
+}
+
+func TestGroundTruthSanity(t *testing.T) {
+	// The evaluation's ground truth must itself be consistent: Compare
+	// against HECR ordering on the evaluation stream.
+	m := model.Table1()
+	rng := stats.NewRNG(47)
+	for trial := 0; trial < 50; trial++ {
+		p1, p2, err := GeneralPairs(rng, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp := core.Compare(m, p1, p2)
+		h1, h2 := core.HECR(m, p1), core.HECR(m, p2)
+		if cmp == 1 && !(h1 < h2) || cmp == -1 && !(h2 < h1) {
+			t.Fatalf("Compare and HECR disagree for %v vs %v", p1, p2)
+		}
+	}
+}

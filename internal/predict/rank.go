@@ -1,0 +1,62 @@
+package predict
+
+import (
+	"fmt"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// Scorer is a scalar cluster score for which smaller means more powerful
+// (like ρ itself, and like the HECR).
+type Scorer struct {
+	Name string
+	Fn   func(profile.Profile) float64
+}
+
+// Scorers returns the scalar scores behind the single-moment and composite
+// predictors, for rank-correlation analysis.
+func Scorers() []Scorer {
+	return []Scorer{
+		{"arith-mean", func(p profile.Profile) float64 { return p.Mean() }},
+		{"geo-mean", func(p profile.Profile) float64 { return p.GeoMean() }},
+		{"fastest", func(p profile.Profile) float64 { return p.Fastest() }},
+		{"slowest", func(p profile.Profile) float64 { return p.Slowest() }},
+		{"neg-variance", func(p profile.Profile) float64 { return -p.Variance() }},
+		{"neg-total-speed", func(p profile.Profile) float64 { return -Extract(p).TotalSpeed }},
+	}
+}
+
+// RankCorrelations draws `samples` random clusters of size n and returns
+// each scorer's Spearman rank correlation with the HECR ground truth
+// (smaller score should mean smaller HECR, so a perfect ranker scores +1).
+// This is a stricter lens than pairwise accuracy: it integrates over the
+// whole score distribution rather than sign agreements.
+func RankCorrelations(m model.Params, scorers []Scorer, n, samples int, seed uint64) (map[string]float64, error) {
+	if n < 2 || samples < 3 {
+		return nil, fmt.Errorf("predict: need n ≥ 2 and samples ≥ 3, got %d and %d", n, samples)
+	}
+	if len(scorers) == 0 {
+		return nil, fmt.Errorf("predict: no scorers")
+	}
+	rng := stats.NewRNG(seed)
+	hecrs := make([]float64, samples)
+	scores := make(map[string][]float64, len(scorers))
+	for _, s := range scorers {
+		scores[s.Name] = make([]float64, samples)
+	}
+	for t := 0; t < samples; t++ {
+		p := profile.RandomNormalized(rng, n)
+		hecrs[t] = core.HECR(m, p)
+		for _, s := range scorers {
+			scores[s.Name][t] = s.Fn(p)
+		}
+	}
+	out := make(map[string]float64, len(scorers))
+	for _, s := range scorers {
+		out[s.Name] = stats.Spearman(scores[s.Name], hecrs)
+	}
+	return out, nil
+}

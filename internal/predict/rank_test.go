@@ -1,0 +1,62 @@
+package predict
+
+import (
+	"testing"
+
+	"hetero/internal/model"
+)
+
+func TestRankCorrelations(t *testing.T) {
+	m := model.Table1()
+	rc, err := RankCorrelations(m, Scorers(), 8, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total speed is a near-sufficient statistic: Spearman ≈ 1.
+	if rc["neg-total-speed"] < 0.999 {
+		t.Fatalf("total-speed rank correlation %v, want ≈1", rc["neg-total-speed"])
+	}
+	// Geo-mean ranks well, arithmetic mean noticeably worse, and variance
+	// alone worst of the informative scores.
+	if !(rc["geo-mean"] > rc["arith-mean"]) {
+		t.Fatalf("geo-mean (%v) should out-rank arith-mean (%v)", rc["geo-mean"], rc["arith-mean"])
+	}
+	if rc["geo-mean"] < 0.9 {
+		t.Fatalf("geo-mean rank correlation %v implausibly low", rc["geo-mean"])
+	}
+	for name, r := range rc {
+		if r < -1-1e-12 || r > 1+1e-12 {
+			t.Fatalf("%s correlation %v outside [-1,1]", name, r)
+		}
+	}
+}
+
+func TestRankCorrelationsValidation(t *testing.T) {
+	m := model.Table1()
+	if _, err := RankCorrelations(m, Scorers(), 1, 100, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := RankCorrelations(m, Scorers(), 4, 2, 1); err == nil {
+		t.Fatal("samples=2 accepted")
+	}
+	if _, err := RankCorrelations(m, nil, 4, 100, 1); err == nil {
+		t.Fatal("no scorers accepted")
+	}
+}
+
+func TestRankCorrelationsDeterministic(t *testing.T) {
+	m := model.Table1()
+	a, err := RankCorrelations(m, Scorers(), 6, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RankCorrelations(m, Scorers(), 6, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range a {
+		if a[name] != b[name] {
+			t.Fatalf("%s not deterministic", name)
+		}
+	}
+}

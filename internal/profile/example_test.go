@@ -1,0 +1,43 @@
+package profile_test
+
+import (
+	"fmt"
+
+	"hetero/internal/profile"
+)
+
+// ExampleLinear builds the paper's §2.5 sample cluster C1 for n = 8.
+func ExampleLinear() {
+	fmt.Println(profile.Linear(4))
+	// Output: ⟨1, 0.75, 0.5, 0.25⟩
+}
+
+// ExampleHarmonic builds the paper's §2.5 sample cluster C2.
+func ExampleHarmonic() {
+	fmt.Println(profile.Harmonic(4))
+	// Output: ⟨1, 0.5, 0.333333, 0.25⟩
+}
+
+// ExampleProfile_Variance evaluates eq. (7) of the paper.
+func ExampleProfile_Variance() {
+	p := profile.MustNew(0.9, 0.1)
+	fmt.Printf("mean %.2f, VAR %.2f\n", p.Mean(), p.Variance())
+	// Output: mean 0.50, VAR 0.16
+}
+
+// ExampleProfile_ElementarySymmetric lists the symmetric functions of
+// Table 5 for a 3-computer profile.
+func ExampleProfile_ElementarySymmetric() {
+	p := profile.MustNew(1, 0.5, 0.25)
+	e := p.ElementarySymmetric()
+	fmt.Printf("F0=%.3f F1=%.3f F2=%.3f F3=%.3f\n", e[0], e[1], e[2], e[3])
+	// Output: F0=1.000 F1=1.750 F2=0.875 F3=0.125
+}
+
+// ExampleMinorizes checks the §4 sufficient condition for outperformance.
+func ExampleMinorizes() {
+	faster := profile.MustNew(0.5, 0.25)
+	slower := profile.MustNew(1, 0.5)
+	fmt.Println(profile.Minorizes(faster, slower))
+	// Output: true
+}

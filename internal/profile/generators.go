@@ -1,0 +1,310 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/stats"
+)
+
+// rhoFloor keeps generated ρ-values strictly positive and away from the
+// degenerate "infinitely fast computer" corner, where the model's measures
+// lose meaning (and floating point loses digits).
+const rhoFloor = 1e-3
+
+// Linear returns the paper's cluster C1 of §2.5:
+// P1⁽ⁿ⁾ = ⟨1 − (i−1)/n⟩ for i = 1..n — speeds spread evenly over [1/n, 1].
+func Linear(n int) Profile {
+	mustPositive(n)
+	p := make(Profile, n)
+	for i := 1; i <= n; i++ {
+		p[i-1] = 1 - float64(i-1)/float64(n)
+	}
+	return p
+}
+
+// Harmonic returns the paper's cluster C2 of §2.5:
+// P2⁽ⁿ⁾ = ⟨1/i⟩ for i = 1..n — speeds weighted into the fast half of the
+// range.
+func Harmonic(n int) Profile {
+	mustPositive(n)
+	p := make(Profile, n)
+	for i := 1; i <= n; i++ {
+		p[i-1] = 1 / float64(i)
+	}
+	return p
+}
+
+// Homogeneous returns the profile P⁽ρ⁾ = ⟨ρ,…,ρ⟩ of n identical computers
+// (§2.4's calibration clusters).
+func Homogeneous(n int, rho float64) Profile {
+	mustPositive(n)
+	if !(rho > 0) || rho > 1 {
+		panic(fmt.Sprintf("profile: homogeneous ρ = %v outside (0,1]", rho))
+	}
+	p := make(Profile, n)
+	for i := range p {
+		p[i] = rho
+	}
+	return p
+}
+
+// Geometric returns the profile ⟨1, g, g², …, g^{n-1}⟩ with ratio g ∈ (0,1):
+// each computer is a constant factor faster than the previous one. Used by
+// the extension studies as a "multiplicatively heterogeneous" family.
+func Geometric(n int, g float64) Profile {
+	mustPositive(n)
+	if !(g > 0) || g >= 1 {
+		panic(fmt.Sprintf("profile: geometric ratio %v outside (0,1)", g))
+	}
+	p := make(Profile, n)
+	v := 1.0
+	for i := range p {
+		if v < rhoFloor {
+			v = rhoFloor
+		}
+		p[i] = v
+		v *= g
+	}
+	return p
+}
+
+// Zipf returns the profile ⟨1, 2⁻ˢ, 3⁻ˢ, …, n⁻ˢ⟩ (floored at the package's
+// ρ floor): computer i is iˢ× faster than the slowest. Volunteer fleets
+// and device populations are classically Zipf-like in capability; s = 1
+// recovers the paper's harmonic cluster C2, s = 0 a homogeneous one.
+func Zipf(n int, s float64) Profile {
+	mustPositive(n)
+	if s < 0 {
+		panic(fmt.Sprintf("profile: Zipf exponent %v must be non-negative", s))
+	}
+	p := make(Profile, n)
+	for i := 1; i <= n; i++ {
+		v := math.Pow(float64(i), -s)
+		if v < rhoFloor {
+			v = rhoFloor
+		}
+		p[i-1] = v
+	}
+	return p
+}
+
+// RandomNormalized returns n ρ-values drawn i.i.d. uniform on (rhoFloor, 1]
+// and rescaled so the slowest computer has ρ = 1 (the paper's normalizing
+// convention).
+func RandomNormalized(r *stats.RNG, n int) Profile {
+	mustPositive(n)
+	p := make(Profile, n)
+	for i := range p {
+		p[i] = r.InRange(rhoFloor, 1)
+	}
+	return p.Normalized()
+}
+
+// SpreadAround returns an n-computer profile whose arithmetic mean is
+// exactly mean and whose dispersion is controlled by frac ∈ [0,1]: 0 gives
+// a homogeneous profile, 1 the widest mean-preserving uniform spread that
+// keeps every ρ inside [rhoFloor, 1]. This is the "mean-preserving spread"
+// family used to build the equal-mean cluster pairs of the §4.3 study.
+func SpreadAround(r *stats.RNG, n int, mean, frac float64) (Profile, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("profile: cluster size %d must be positive", n)
+	}
+	if !(mean > rhoFloor) || mean > 1 {
+		return nil, fmt.Errorf("profile: mean %v outside (%v, 1]", mean, rhoFloor)
+	}
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("profile: spread fraction %v outside [0,1]", frac)
+	}
+	u := make([]float64, n)
+	var sum stats.KahanSum
+	for i := range u {
+		u[i] = r.Float64()
+		sum.Add(u[i])
+	}
+	ubar := sum.Sum() / float64(n)
+	// Largest scale s keeping mean + s·(uᵢ−ū) within [rhoFloor, 1] for all i.
+	smax := 0.0
+	first := true
+	for _, ui := range u {
+		v := ui - ubar
+		var limit float64
+		switch {
+		case v > 0:
+			limit = (1 - mean) / v
+		case v < 0:
+			limit = (mean - rhoFloor) / -v
+		default:
+			continue
+		}
+		if first || limit < smax {
+			smax = limit
+			first = false
+		}
+	}
+	p := make(Profile, n)
+	s := frac * smax
+	for i := range p {
+		p[i] = mean + s*(u[i]-ubar)
+	}
+	return p, nil
+}
+
+// TwoPoint returns an n-computer profile with mean exactly m: ⌊n/2⌋
+// computers at m+d, ⌊n/2⌋ at m−d, and (odd n) one at m. Bimodal profiles
+// reach variances up to d² ≤ min(m−rhoFloor, 1−m)², which is what makes the
+// large variance gaps of the paper's θ = 0.167 threshold attainable at all
+// (no unimodal family on (0,1] gets past 1/12 ≈ 0.083).
+func TwoPoint(n int, m, d float64) (Profile, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("profile: cluster size %d must be positive", n)
+	}
+	if !(m > rhoFloor) || m > 1 {
+		return nil, fmt.Errorf("profile: mean %v outside (%v, 1]", m, rhoFloor)
+	}
+	if d < 0 || m-d < rhoFloor || m+d > 1 {
+		return nil, fmt.Errorf("profile: two-point offset %v pushes values outside [%v, 1] around mean %v", d, rhoFloor, m)
+	}
+	p := make(Profile, n)
+	for i := 0; i < n/2; i++ {
+		p[i] = m + d
+		p[n-1-i] = m - d
+	}
+	if n%2 == 1 {
+		p[n/2] = m
+	}
+	return p, nil
+}
+
+// MaxTwoPointOffset returns the largest admissible d for TwoPoint at mean m.
+func MaxTwoPointOffset(m float64) float64 {
+	lo := m - rhoFloor
+	hi := 1 - m
+	if lo < hi {
+		return lo
+	}
+	return hi
+}
+
+// SkewedTwoPoint returns an n-computer profile with mean exactly m and
+// variance exactly d², but with an asymmetric split: k computers sit at the
+// high (slow) value m + d·√((n−k)/k) and n−k at the low (fast) value
+// m − d·√(k/(n−k)). Varying k at fixed (m, d) changes the profile's
+// skewness without touching its first two moments — exactly the degree of
+// freedom that makes variance an imperfect power predictor (§4.3): pairs
+// with matching mean and variance but different k can rank either way
+// under the X-measure.
+func SkewedTwoPoint(n int, m, d float64, k int) (Profile, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("profile: skewed two-point needs n ≥ 2, got %d", n)
+	}
+	if k < 1 || k > n-1 {
+		return nil, fmt.Errorf("profile: high-side count k = %d outside [1, %d]", k, n-1)
+	}
+	if !(m > rhoFloor) || m > 1 {
+		return nil, fmt.Errorf("profile: mean %v outside (%v, 1]", m, rhoFloor)
+	}
+	if d < 0 {
+		return nil, fmt.Errorf("profile: offset %v must be non-negative", d)
+	}
+	ratio := float64(n-k) / float64(k)
+	hiVal := m + d*math.Sqrt(ratio)
+	loVal := m - d*math.Sqrt(1/ratio)
+	if hiVal > 1 || loVal < rhoFloor {
+		return nil, fmt.Errorf("profile: skewed two-point values [%v, %v] leave [%v, 1] (m=%v d=%v k=%d/%d)", loVal, hiVal, rhoFloor, m, d, k, n)
+	}
+	p := make(Profile, n)
+	for i := 0; i < k; i++ {
+		p[i] = hiVal
+	}
+	for i := k; i < n; i++ {
+		p[i] = loVal
+	}
+	return p, nil
+}
+
+// MaxSkewedOffset returns the largest admissible d for SkewedTwoPoint at
+// mean m with high-side count k out of n.
+func MaxSkewedOffset(n, k int, m float64) float64 {
+	ratio := float64(n-k) / float64(k)
+	hi := (1 - m) / math.Sqrt(ratio)
+	lo := (m - rhoFloor) * math.Sqrt(ratio)
+	if lo < hi {
+		return lo
+	}
+	return hi
+}
+
+// EqualMeanPair draws a pair of n-computer profiles with identical
+// arithmetic mean speed and (almost surely) different variances — the trial
+// generator for the §4.3 variance-predictor experiment. See DESIGN.md §5
+// for why this substitutes for the companion paper's (unavailable)
+// generator.
+//
+// Half the pairs are "easy": the two members come from independent families
+// (mean-preserving spreads and two-point mixtures) and typically have very
+// different variances, where the variance heuristic is nearly always right.
+// The other half are "hard": both members are skewed two-point profiles
+// with closely matched variances but different skewness — the regime in
+// which §4.3's "bad pairs" live, since the X-measure then turns on moments
+// that variance cannot see.
+func EqualMeanPair(r *stats.RNG, n int) (p1, p2 Profile, err error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("profile: cluster size %d must be positive", n)
+	}
+	const maxAttempts = 100
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		m := r.InRange(0.2, 0.8)
+		if n >= 3 && r.Intn(2) == 0 {
+			p1, p2, err = drawHardPair(r, n, m)
+		} else {
+			p1, err = drawEasyMember(r, n, m)
+			if err == nil {
+				p2, err = drawEasyMember(r, n, m)
+			}
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if p1.Variance() != p2.Variance() {
+			return p1, p2, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("profile: could not draw unequal variances in %d attempts", maxAttempts)
+}
+
+func drawEasyMember(r *stats.RNG, n int, m float64) (Profile, error) {
+	if r.Intn(2) == 0 {
+		return SpreadAround(r, n, m, r.Float64())
+	}
+	return TwoPoint(n, m, r.Float64()*MaxTwoPointOffset(m))
+}
+
+// drawHardPair builds two skewed two-point profiles with the same mean,
+// nearly equal variances (within ±5%), and independently random skews.
+func drawHardPair(r *stats.RNG, n int, m float64) (Profile, Profile, error) {
+	k1 := 1 + r.Intn(n-1)
+	k2 := 1 + r.Intn(n-1)
+	dmax := MaxSkewedOffset(n, k1, m)
+	if d2 := MaxSkewedOffset(n, k2, m); d2 < dmax {
+		dmax = d2
+	}
+	d := r.InRange(0.05, 0.95) * dmax
+	d1 := d * (1 + r.InRange(-0.05, 0.05))
+	d2 := d * (1 + r.InRange(-0.05, 0.05))
+	p1, err := SkewedTwoPoint(n, m, d1, k1)
+	if err != nil {
+		return nil, nil, err
+	}
+	p2, err := SkewedTwoPoint(n, m, d2, k2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p1, p2, nil
+}
+
+func mustPositive(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("profile: cluster size %d must be positive", n))
+	}
+}

@@ -1,0 +1,397 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/stats"
+)
+
+func TestLinearMatchesPaperN8(t *testing.T) {
+	// §2.5: P1⁽⁸⁾ = ⟨1, 7/8, …, 1/8⟩.
+	p := Linear(8)
+	for i := 0; i < 8; i++ {
+		want := float64(8-i) / 8
+		if math.Abs(p[i]-want) > 1e-15 {
+			t.Fatalf("Linear(8)[%d] = %v, want %v", i, p[i], want)
+		}
+	}
+	if !p.IsNormalized() || !p.IsSortedDesc() {
+		t.Fatal("Linear profile not normalized power-indexed")
+	}
+}
+
+func TestHarmonicMatchesPaperN8(t *testing.T) {
+	// §2.5: P2⁽⁸⁾ = ⟨1, 1/2, …, 1/8⟩.
+	p := Harmonic(8)
+	for i := 0; i < 8; i++ {
+		want := 1 / float64(i+1)
+		if math.Abs(p[i]-want) > 1e-15 {
+			t.Fatalf("Harmonic(8)[%d] = %v, want %v", i, p[i], want)
+		}
+	}
+}
+
+func TestHarmonicFasterHalf(t *testing.T) {
+	// The paper's motivation for Table 3: all but one of C2's computers
+	// have ρ ≤ 1/2 while half of C1's have ρ > 1/2.
+	n := 16
+	c1, c2 := Linear(n), Harmonic(n)
+	slow1, slow2 := 0, 0
+	for i := 0; i < n; i++ {
+		if c1[i] > 0.5 {
+			slow1++
+		}
+		if c2[i] > 0.5 {
+			slow2++
+		}
+	}
+	if slow1 != n/2 {
+		t.Fatalf("Linear has %d computers with ρ>1/2, want %d", slow1, n/2)
+	}
+	if slow2 != 1 {
+		t.Fatalf("Harmonic has %d computers with ρ>1/2, want 1", slow2)
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	p := Homogeneous(4, 0.5)
+	for _, r := range p {
+		if r != 0.5 {
+			t.Fatalf("Homogeneous = %v", p)
+		}
+	}
+	if p.Variance() != 0 {
+		t.Fatalf("homogeneous variance = %v", p.Variance())
+	}
+}
+
+func TestHomogeneousPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n   int
+		rho float64
+	}{{0, 0.5}, {3, 0}, {3, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Homogeneous(%d, %v) accepted", tc.n, tc.rho)
+				}
+			}()
+			Homogeneous(tc.n, tc.rho)
+		}()
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	p := Geometric(5, 0.5)
+	want := []float64{1, 0.5, 0.25, 0.125, 0.0625}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-15 {
+			t.Fatalf("Geometric = %v", p)
+		}
+	}
+}
+
+func TestGeometricFloors(t *testing.T) {
+	p := Geometric(100, 0.5)
+	if p.Fastest() < rhoFloor {
+		t.Fatalf("Geometric went below the floor: %v", p.Fastest())
+	}
+	if _, err := New(p...); err != nil {
+		t.Fatalf("Geometric produced invalid profile: %v", err)
+	}
+}
+
+func TestRandomNormalized(t *testing.T) {
+	r := stats.NewRNG(8)
+	for trial := 0; trial < 20; trial++ {
+		p := RandomNormalized(r, 1+r.Intn(30))
+		if !p.IsNormalized() {
+			t.Fatalf("not normalized: %v", p)
+		}
+		if _, err := New(p...); err != nil {
+			t.Fatalf("invalid: %v", err)
+		}
+	}
+}
+
+func TestSpreadAroundExactMean(t *testing.T) {
+	r := stats.NewRNG(12)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(40)
+		mean := r.InRange(0.1, 0.9)
+		frac := r.Float64()
+		p, err := SpreadAround(r, n, mean, frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Mean()-mean) > 1e-12 {
+			t.Fatalf("mean = %v, want %v (n=%d frac=%v)", p.Mean(), mean, n, frac)
+		}
+		for _, x := range p {
+			if x < rhoFloor-1e-12 || x > 1+1e-12 {
+				t.Fatalf("value %v outside [%v,1]", x, rhoFloor)
+			}
+		}
+	}
+}
+
+func TestSpreadAroundZeroFracHomogeneous(t *testing.T) {
+	p, err := SpreadAround(stats.NewRNG(3), 6, 0.4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Variance() > 1e-30 {
+		t.Fatalf("frac=0 variance = %v, want ~0", p.Variance())
+	}
+}
+
+func TestSpreadAroundRejectsBadArgs(t *testing.T) {
+	r := stats.NewRNG(1)
+	if _, err := SpreadAround(r, 0, 0.5, 0.5); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := SpreadAround(r, 3, 0, 0.5); err == nil {
+		t.Fatal("mean=0 accepted")
+	}
+	if _, err := SpreadAround(r, 3, 0.5, 2); err == nil {
+		t.Fatal("frac=2 accepted")
+	}
+}
+
+func TestTwoPointMoments(t *testing.T) {
+	p, err := TwoPoint(10, 0.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean()-0.5) > 1e-15 {
+		t.Fatalf("mean = %v", p.Mean())
+	}
+	if math.Abs(p.Variance()-0.09) > 1e-15 {
+		t.Fatalf("variance = %v, want d² = 0.09", p.Variance())
+	}
+}
+
+func TestTwoPointOddN(t *testing.T) {
+	p, err := TwoPoint(5, 0.4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean()-0.4) > 1e-15 {
+		t.Fatalf("odd-n mean = %v", p.Mean())
+	}
+	// Middle computer sits exactly at the mean.
+	if p[2] != 0.4 {
+		t.Fatalf("middle value = %v", p[2])
+	}
+}
+
+func TestTwoPointRejectsBadArgs(t *testing.T) {
+	if _, err := TwoPoint(4, 0.5, 0.6); err == nil {
+		t.Fatal("offset pushing past 1 accepted")
+	}
+	if _, err := TwoPoint(4, 0.1, 0.2); err == nil {
+		t.Fatal("offset pushing below floor accepted")
+	}
+	if _, err := TwoPoint(0, 0.5, 0.1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestMaxTwoPointOffset(t *testing.T) {
+	if got := MaxTwoPointOffset(0.5); math.Abs(got-(0.5-rhoFloor)) > 1e-15 {
+		t.Fatalf("offset at 0.5 = %v", got)
+	}
+	if got := MaxTwoPointOffset(0.9); math.Abs(got-0.1) > 1e-15 {
+		t.Fatalf("offset at 0.9 = %v", got)
+	}
+}
+
+func TestTwoPointReachesLargeVarianceGaps(t *testing.T) {
+	// The §4.3 threshold θ = 0.167 is only meaningful if the generator can
+	// produce variance gaps that large; the bimodal family must reach
+	// variance > 0.167 on its own.
+	p, err := TwoPoint(8, 0.5, MaxTwoPointOffset(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Variance() < 0.167 {
+		t.Fatalf("max two-point variance = %v, cannot exercise θ = 0.167", p.Variance())
+	}
+}
+
+func TestEqualMeanPair(t *testing.T) {
+	r := stats.NewRNG(2718)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(30)
+		p1, p2, err := EqualMeanPair(r, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p1.Mean()-p2.Mean()) > 1e-12 {
+			t.Fatalf("means differ: %v vs %v", p1.Mean(), p2.Mean())
+		}
+		if p1.Variance() == p2.Variance() {
+			t.Fatal("variances equal")
+		}
+		if len(p1) != n || len(p2) != n {
+			t.Fatalf("lengths %d/%d, want %d", len(p1), len(p2), n)
+		}
+	}
+}
+
+func TestEqualMeanPairRejectsZeroN(t *testing.T) {
+	if _, _, err := EqualMeanPair(stats.NewRNG(1), 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a1, b1, err := EqualMeanPair(stats.NewRNG(5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, err := EqualMeanPair(stats.NewRNG(5), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] || b1[i] != b2[i] {
+			t.Fatal("EqualMeanPair not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestSkewedTwoPointMoments(t *testing.T) {
+	r := stats.NewRNG(31415)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(30)
+		k := 1 + r.Intn(n-1)
+		m := r.InRange(0.2, 0.8)
+		d := r.InRange(0, 0.95) * MaxSkewedOffset(n, k, m)
+		p, err := SkewedTwoPoint(n, m, d, k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d m=%v d=%v: %v", n, k, m, d, err)
+		}
+		if math.Abs(p.Mean()-m) > 1e-12 {
+			t.Fatalf("mean %v, want %v", p.Mean(), m)
+		}
+		if math.Abs(p.Variance()-d*d) > 1e-10 {
+			t.Fatalf("variance %v, want d² = %v", p.Variance(), d*d)
+		}
+		if _, err := New(p...); err != nil {
+			t.Fatalf("invalid profile: %v", err)
+		}
+	}
+}
+
+func TestSkewedTwoPointSkewVariesWithK(t *testing.T) {
+	// Same mean and variance, different k: the third moments must differ —
+	// that is the whole point of the family.
+	left, err := SkewedTwoPoint(10, 0.5, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := SkewedTwoPoint(10, 0.5, 0.1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(left.Mean()-right.Mean()) > 1e-12 || math.Abs(left.Variance()-right.Variance()) > 1e-12 {
+		t.Fatal("first two moments should match")
+	}
+	if left.Describe().Skewness*right.Describe().Skewness >= 0 {
+		t.Fatalf("skewness should flip sign: %v vs %v", left.Describe().Skewness, right.Describe().Skewness)
+	}
+}
+
+func TestSkewedTwoPointRejectsBadArgs(t *testing.T) {
+	cases := []struct {
+		n, k int
+		m, d float64
+	}{
+		{1, 1, 0.5, 0.1},  // n too small
+		{4, 0, 0.5, 0.1},  // k too small
+		{4, 4, 0.5, 0.1},  // k too large
+		{4, 2, 0, 0.1},    // bad mean
+		{4, 2, 0.5, -0.1}, // negative d
+		{4, 1, 0.5, 0.9},  // values escape (0,1]
+	}
+	for _, tc := range cases {
+		if _, err := SkewedTwoPoint(tc.n, tc.m, tc.d, tc.k); err == nil {
+			t.Fatalf("SkewedTwoPoint(%d, %v, %v, %d) accepted", tc.n, tc.m, tc.d, tc.k)
+		}
+	}
+}
+
+func TestMaxSkewedOffsetIsTight(t *testing.T) {
+	// d = MaxSkewedOffset must be admissible; 1.01× must not.
+	for _, k := range []int{1, 3, 7} {
+		n, m := 8, 0.4
+		dmax := MaxSkewedOffset(n, k, m)
+		if _, err := SkewedTwoPoint(n, m, dmax*0.999, k); err != nil {
+			t.Fatalf("k=%d: d just under max rejected: %v", k, err)
+		}
+		if _, err := SkewedTwoPoint(n, m, dmax*1.02, k); err == nil {
+			t.Fatalf("k=%d: d above max accepted", k)
+		}
+	}
+}
+
+func TestEqualMeanPairHardPairsHaveCloseVariances(t *testing.T) {
+	// Roughly half the pairs should have variance within ±15% of each other
+	// (the "hard" mode), which is what drives the §4.3 bad-pair plateau.
+	r := stats.NewRNG(555)
+	close, total := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		p1, p2, err := EqualMeanPair(r, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		v1, v2 := p1.Variance(), p2.Variance()
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		if v2 > 0 && v1/v2 > 0.85 {
+			close++
+		}
+	}
+	frac := float64(close) / float64(total)
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("close-variance fraction %v outside [0.3, 0.7]; hard-pair mode broken", frac)
+	}
+}
+
+func TestZipf(t *testing.T) {
+	// s = 1 is the harmonic cluster; s = 0 homogeneous.
+	z1 := Zipf(8, 1)
+	h := Harmonic(8)
+	for i := range h {
+		if math.Abs(z1[i]-h[i]) > 1e-15 {
+			t.Fatalf("Zipf(8,1) = %v, want harmonic %v", z1, h)
+		}
+	}
+	z0 := Zipf(5, 0)
+	for _, v := range z0 {
+		if v != 1 {
+			t.Fatalf("Zipf(5,0) = %v, want all 1", z0)
+		}
+	}
+	// Steeper exponents give faster (smaller-ρ) tails.
+	if !(Zipf(16, 2).Fastest() < Zipf(16, 1).Fastest()) {
+		t.Fatal("steeper Zipf should have a faster tail")
+	}
+	// The floor keeps huge exponents valid.
+	if _, err := New(Zipf(100, 5)...); err != nil {
+		t.Fatalf("floored Zipf invalid: %v", err)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative exponent accepted")
+		}
+	}()
+	Zipf(4, -1)
+}

@@ -1,0 +1,250 @@
+// Package profile implements heterogeneity profiles P = ⟨ρ1,…,ρn⟩, the
+// object the whole paper revolves around: ρi is the time computer Ci needs
+// to complete one unit of work (smaller is faster).
+//
+// The paper's conventions (§1.1):
+//   - computers are power-indexed so that ρ1 ≥ ρ2 ≥ … ≥ ρn (C1 slowest,
+//     Cn fastest);
+//   - profiles are normalized so the slowest computer has ρ1 = 1 — except
+//     where the HECR calibration of §2.4 deliberately relaxes this and
+//     allows every ρ ≤ 1.
+//
+// The package also provides the profile statistics used in §4 (mean,
+// variance per eq. (7), geometric mean) and the elementary symmetric
+// functions F_k of Table 5, plus the random-profile generators behind the
+// §4.3 simulation study.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Profile is a heterogeneity profile: the i-th entry is ρ_{i+1}, the
+// per-work-unit time of one computer. Order is meaningful to worksharing
+// schedules (it fixes the startup indexing) but, per Theorem 1.2, never
+// affects work production.
+type Profile []float64
+
+// New validates the ρ-values and returns them as a Profile. Every value
+// must be finite and strictly positive; values above 1 are rejected because
+// the paper normalizes the slowest computer to ρ = 1 and every measure in
+// this package assumes ρ ∈ (0, 1].
+func New(rhos ...float64) (Profile, error) {
+	if len(rhos) == 0 {
+		return nil, fmt.Errorf("profile: a cluster needs at least one computer")
+	}
+	for i, r := range rhos {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("profile: ρ[%d] = %v is not finite", i, r)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("profile: ρ[%d] = %v must be positive", i, r)
+		}
+		if r > 1 {
+			return nil, fmt.Errorf("profile: ρ[%d] = %v exceeds 1; normalize so the slowest computer has ρ = 1", i, r)
+		}
+	}
+	p := make(Profile, len(rhos))
+	copy(p, rhos)
+	return p, nil
+}
+
+// MustNew is New for programmatically-correct literals; it panics on error.
+func MustNew(rhos ...float64) Profile {
+	p, err := New(rhos...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the number of computers n.
+func (p Profile) Len() int { return len(p) }
+
+// Clone returns an independent copy.
+func (p Profile) Clone() Profile {
+	q := make(Profile, len(p))
+	copy(q, p)
+	return q
+}
+
+// SortedDesc returns a copy ordered by the paper's power indexing:
+// nonincreasing ρ (slowest first, fastest last).
+func (p Profile) SortedDesc() Profile {
+	q := p.Clone()
+	sort.Sort(sort.Reverse(sort.Float64Slice(q)))
+	return q
+}
+
+// IsSortedDesc reports whether p already follows the power indexing.
+func (p Profile) IsSortedDesc() bool {
+	return sort.IsSorted(sort.Reverse(sort.Float64Slice(p)))
+}
+
+// Normalized returns a copy rescaled so the slowest computer has ρ = 1
+// (divides by the maximum). The relative speeds — all the paper's measures
+// care about, up to the choice of time unit — are unchanged.
+func (p Profile) Normalized() Profile {
+	q := p.Clone()
+	m := q.Slowest()
+	if m == 0 {
+		return q
+	}
+	for i := range q {
+		q[i] /= m
+	}
+	return q
+}
+
+// IsNormalized reports whether the slowest computer has ρ = 1.
+func (p Profile) IsNormalized() bool { return p.Slowest() == 1 }
+
+// Slowest returns max ρ (the ρ-value of the slowest computer), 0 if empty.
+func (p Profile) Slowest() float64 {
+	m := 0.0
+	for _, r := range p {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Fastest returns min ρ (the ρ-value of the fastest computer), 0 if empty.
+func (p Profile) Fastest() float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	m := p[0]
+	for _, r := range p[1:] {
+		if r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// FastestIndex returns the index of the fastest computer (smallest ρ,
+// largest index on ties, matching the paper's tie-breaking rule of §3.2.2).
+func (p Profile) FastestIndex() int {
+	best := 0
+	for i, r := range p {
+		if r <= p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// SlowestIndex returns the index of the slowest computer (largest ρ,
+// largest index on ties).
+func (p Profile) SlowestIndex() int {
+	best := 0
+	for i, r := range p {
+		if r >= p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Permuted returns the profile reordered so entry i is p[perm[i]].
+// It panics if perm is not a permutation of [0,n).
+func (p Profile) Permuted(perm []int) Profile {
+	if len(perm) != len(p) {
+		panic("profile: permutation length mismatch")
+	}
+	seen := make([]bool, len(p))
+	q := make(Profile, len(p))
+	for i, j := range perm {
+		if j < 0 || j >= len(p) || seen[j] {
+			panic("profile: not a permutation")
+		}
+		seen[j] = true
+		q[i] = p[j]
+	}
+	return q
+}
+
+// SpeedUpAdditive returns a copy with computer i sped up by the additive
+// term φ: ρi ← ρi − φ (§3.2.1). It errors if the result would be
+// non-positive, mirroring the paper's requirement φ < ρn.
+func (p Profile) SpeedUpAdditive(i int, phi float64) (Profile, error) {
+	if i < 0 || i >= len(p) {
+		return nil, fmt.Errorf("profile: computer index %d out of range [0,%d)", i, len(p))
+	}
+	if !(phi > 0) {
+		return nil, fmt.Errorf("profile: additive speedup term φ = %v must be positive", phi)
+	}
+	if phi >= p[i] {
+		return nil, fmt.Errorf("profile: additive speedup φ = %v would drive ρ[%d] = %v to zero or below", phi, i, p[i])
+	}
+	q := p.Clone()
+	q[i] -= phi
+	return q, nil
+}
+
+// SpeedUpMultiplicative returns a copy with computer i sped up by the
+// multiplicative factor ψ ∈ (0,1): ρi ← ψρi (§3.2.2).
+func (p Profile) SpeedUpMultiplicative(i int, psi float64) (Profile, error) {
+	if i < 0 || i >= len(p) {
+		return nil, fmt.Errorf("profile: computer index %d out of range [0,%d)", i, len(p))
+	}
+	if !(psi > 0) || psi >= 1 {
+		return nil, fmt.Errorf("profile: multiplicative speedup factor ψ = %v must be in (0,1)", psi)
+	}
+	q := p.Clone()
+	q[i] *= psi
+	return q, nil
+}
+
+// Minorizes reports whether p minorizes q in the sense of §4: same length,
+// p[i] ≤ q[i] for every i and p[i] < q[i] for at least one i, after both
+// are power-indexed. By Proposition 2, minorization implies p's cluster
+// outperforms q's.
+func Minorizes(p, q Profile) bool {
+	if len(p) != len(q) || len(p) == 0 {
+		return false
+	}
+	ps, qs := p.SortedDesc(), q.SortedDesc()
+	strict := false
+	for i := range ps {
+		if ps[i] > qs[i] {
+			return false
+		}
+		if ps[i] < qs[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// String renders the profile in the paper's angle-bracket notation.
+func (p Profile) String() string {
+	parts := make([]string, len(p))
+	for i, r := range p {
+		parts[i] = fmt.Sprintf("%.6g", r)
+	}
+	return "⟨" + strings.Join(parts, ", ") + "⟩"
+}
+
+// MarshalJSON encodes the profile as a plain JSON array.
+func (p Profile) MarshalJSON() ([]byte, error) { return json.Marshal([]float64(p)) }
+
+// UnmarshalJSON decodes and validates a JSON array of ρ-values.
+func (p *Profile) UnmarshalJSON(data []byte) error {
+	var raw []float64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	q, err := New(raw...)
+	if err != nil {
+		return err
+	}
+	*p = q
+	return nil
+}

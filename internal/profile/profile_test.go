@@ -1,0 +1,276 @@
+package profile
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"hetero/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		rhos []float64
+		ok   bool
+	}{
+		{"valid", []float64{1, 0.5, 0.25}, true},
+		{"single", []float64{1}, true},
+		{"empty", nil, false},
+		{"zero", []float64{1, 0}, false},
+		{"negative", []float64{1, -0.5}, false},
+		{"above one", []float64{1.5}, false},
+		{"nan", []float64{math.NaN()}, false},
+		{"inf", []float64{math.Inf(1)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.rhos...)
+			if (err == nil) != tc.ok {
+				t.Fatalf("New(%v) error = %v, want ok=%v", tc.rhos, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	raw := []float64{1, 0.5}
+	p, err := New(raw...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] = 0.1
+	if p[0] != 1 {
+		t.Fatal("New aliased caller's slice")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with invalid input did not panic")
+		}
+	}()
+	MustNew(-1)
+}
+
+func TestSortedDesc(t *testing.T) {
+	p := MustNew(0.25, 1, 0.5)
+	s := p.SortedDesc()
+	want := Profile{1, 0.5, 0.25}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("SortedDesc = %v, want %v", s, want)
+		}
+	}
+	if p[0] != 0.25 {
+		t.Fatal("SortedDesc mutated receiver")
+	}
+	if p.IsSortedDesc() {
+		t.Fatal("unsorted profile reported sorted")
+	}
+	if !s.IsSortedDesc() {
+		t.Fatal("sorted profile reported unsorted")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	p := MustNew(0.5, 0.25, 0.125)
+	q := p.Normalized()
+	if !q.IsNormalized() {
+		t.Fatalf("Normalized() = %v not normalized", q)
+	}
+	if q[0] != 1 || q[1] != 0.5 || q[2] != 0.25 {
+		t.Fatalf("Normalized() = %v, relative speeds changed", q)
+	}
+	if p.IsNormalized() {
+		t.Fatal("original profile misreported as normalized")
+	}
+}
+
+func TestFastestSlowest(t *testing.T) {
+	p := MustNew(0.5, 1, 0.25, 0.25)
+	if p.Slowest() != 1 || p.Fastest() != 0.25 {
+		t.Fatalf("Slowest/Fastest = %v/%v", p.Slowest(), p.Fastest())
+	}
+	if got := p.SlowestIndex(); got != 1 {
+		t.Fatalf("SlowestIndex = %d, want 1", got)
+	}
+	// Ties broken toward the larger index (§3.2.2 tie-breaking rule).
+	if got := p.FastestIndex(); got != 3 {
+		t.Fatalf("FastestIndex = %d, want 3 (larger index on tie)", got)
+	}
+}
+
+func TestPermuted(t *testing.T) {
+	p := MustNew(1, 0.5, 0.25)
+	q := p.Permuted([]int{2, 0, 1})
+	want := Profile{0.25, 1, 0.5}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("Permuted = %v, want %v", q, want)
+		}
+	}
+}
+
+func TestPermutedPanicsOnBadPerm(t *testing.T) {
+	p := MustNew(1, 0.5)
+	for _, perm := range [][]int{{0}, {0, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Permuted(%v) did not panic", perm)
+				}
+			}()
+			p.Permuted(perm)
+		}()
+	}
+}
+
+func TestSpeedUpAdditive(t *testing.T) {
+	p := MustNew(1, 0.5, 1.0/3, 0.25)
+	q, err := p.SpeedUpAdditive(3, 1.0/16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q[3]-3.0/16) > 1e-15 {
+		t.Fatalf("sped-up ρ4 = %v, want 3/16", q[3])
+	}
+	if p[3] != 0.25 {
+		t.Fatal("SpeedUpAdditive mutated receiver")
+	}
+	if _, err := p.SpeedUpAdditive(3, 0.25); err == nil {
+		t.Fatal("φ = ρ accepted; must require φ < ρ")
+	}
+	if _, err := p.SpeedUpAdditive(9, 0.1); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := p.SpeedUpAdditive(0, 0); err == nil {
+		t.Fatal("zero φ accepted")
+	}
+}
+
+func TestSpeedUpMultiplicative(t *testing.T) {
+	p := MustNew(1, 1, 1, 1)
+	q, err := p.SpeedUpMultiplicative(3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[3] != 0.5 {
+		t.Fatalf("sped-up ρ4 = %v, want 0.5", q[3])
+	}
+	for _, psi := range []float64{0, 1, 1.5, -0.5} {
+		if _, err := p.SpeedUpMultiplicative(0, psi); err == nil {
+			t.Fatalf("ψ = %v accepted", psi)
+		}
+	}
+}
+
+func TestMinorizes(t *testing.T) {
+	cases := []struct {
+		name string
+		p, q Profile
+		want bool
+	}{
+		{"strictly faster everywhere", MustNew(0.5, 0.25), MustNew(1, 0.5), true},
+		{"faster in one spot", MustNew(1, 0.25), MustNew(1, 0.5), true},
+		{"equal", MustNew(1, 0.5), MustNew(1, 0.5), false},
+		{"incomparable", MustNew(0.99, 0.02), MustNew(0.5, 0.5), false},
+		{"slower", MustNew(1, 0.5), MustNew(0.5, 0.25), false},
+		{"length mismatch", MustNew(1), MustNew(1, 0.5), false},
+		{"order irrelevant", MustNew(0.25, 0.5), MustNew(1, 0.5), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Minorizes(tc.p, tc.q); got != tc.want {
+				t.Fatalf("Minorizes(%v, %v) = %v, want %v", tc.p, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	s := MustNew(1, 0.5).String()
+	if !strings.HasPrefix(s, "⟨") || !strings.HasSuffix(s, "⟩") || !strings.Contains(s, "0.5") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	p := MustNew(1, 0.5, 0.25)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Profile
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 3 || q[2] != 0.25 {
+		t.Fatalf("roundtrip = %v", q)
+	}
+}
+
+func TestJSONUnmarshalValidates(t *testing.T) {
+	var p Profile
+	if err := json.Unmarshal([]byte(`[1, -0.5]`), &p); err == nil {
+		t.Fatal("invalid profile accepted from JSON")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := MustNew(1, 0.5)
+	q := p.Clone()
+	q[0] = 0.9
+	if p[0] != 1 {
+		t.Fatal("Clone aliased storage")
+	}
+}
+
+func TestDescribeDelegation(t *testing.T) {
+	p := MustNew(1, 0.5)
+	d := p.Describe()
+	if d.N != 2 || math.Abs(d.Mean-0.75) > 1e-15 {
+		t.Fatalf("Describe = %+v", d)
+	}
+}
+
+func TestMeanVarianceAgainstFormulas(t *testing.T) {
+	r := stats.NewRNG(4)
+	for trial := 0; trial < 100; trial++ {
+		p := RandomNormalized(r, 1+r.Intn(12))
+		n := float64(len(p))
+		var s1, s2 float64
+		for _, x := range p {
+			s1 += x
+			s2 += x * x
+		}
+		if math.Abs(p.Mean()-s1/n) > 1e-12 {
+			t.Fatalf("Mean mismatch for %v", p)
+		}
+		if math.Abs(p.Variance()-(s2/n-(s1/n)*(s1/n))) > 1e-12 {
+			t.Fatalf("Variance mismatch for %v", p)
+		}
+	}
+}
+
+func TestPowerSums(t *testing.T) {
+	p := MustNew(1, 0.5)
+	s := p.PowerSums(3)
+	want := []float64{2, 1.5, 1.25, 1.125}
+	for k := range want {
+		if math.Abs(s[k]-want[k]) > 1e-15 {
+			t.Fatalf("S_%d = %v, want %v", k, s[k], want[k])
+		}
+	}
+}
+
+func TestPowerSumsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative order accepted")
+		}
+	}()
+	MustNew(1).PowerSums(-1)
+}

@@ -1,0 +1,139 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sanitize(raw []float64, max int) (Profile, bool) {
+	rhos := make([]float64, 0, max)
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		r := math.Mod(math.Abs(v), 1)
+		if r < 1e-3 {
+			r += 1e-3
+		}
+		rhos = append(rhos, r)
+		if len(rhos) == max {
+			break
+		}
+	}
+	if len(rhos) == 0 {
+		return nil, false
+	}
+	p, err := New(rhos...)
+	return p, err == nil
+}
+
+func TestQuickElementarySymmetricAgainstVieta(t *testing.T) {
+	// Evaluating Π(x + ρᵢ) via the e_k coefficients at a random x must
+	// match the direct product.
+	f := func(raw []float64, xRaw float64) bool {
+		p, ok := sanitize(raw, 8)
+		if !ok {
+			return true
+		}
+		x := math.Mod(math.Abs(xRaw), 2)
+		e := p.ElementarySymmetric()
+		n := len(p)
+		viaCoeffs := 0.0
+		pow := 1.0
+		for k := n; k >= 0; k-- {
+			viaCoeffs += e[k] * pow
+			pow *= x
+		}
+		direct := 1.0
+		for _, rho := range p {
+			direct *= x + rho
+		}
+		return math.Abs(viaCoeffs-direct) <= 1e-9*math.Max(1, direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVarianceNonNegativeAndShiftRule(t *testing.T) {
+	f := func(raw []float64) bool {
+		p, ok := sanitize(raw, 10)
+		if !ok {
+			return true
+		}
+		v := p.Variance()
+		if v < 0 {
+			return false
+		}
+		// Variance of (0,1]-values is at most 1/4.
+		return v <= 0.25+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizedPreservesRatios(t *testing.T) {
+	f := func(raw []float64) bool {
+		p, ok := sanitize(raw, 10)
+		if !ok || len(p) < 2 {
+			return true
+		}
+		q := p.Normalized()
+		if !q.IsNormalized() {
+			return false
+		}
+		want := p[1] / p[0]
+		got := q[1] / q[0]
+		return math.Abs(got-want) <= 1e-12*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinorizationIrreflexiveAndAntisymmetric(t *testing.T) {
+	f := func(raw1, raw2 []float64) bool {
+		p, ok1 := sanitize(raw1, 6)
+		q, ok2 := sanitize(raw2, 6)
+		if !ok1 || !ok2 {
+			return true
+		}
+		if Minorizes(p, p.Clone()) {
+			return false // irreflexive
+		}
+		if len(p) == len(q) && Minorizes(p, q) && Minorizes(q, p) {
+			return false // antisymmetric
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSortedDescIsPermutation(t *testing.T) {
+	f := func(raw []float64) bool {
+		p, ok := sanitize(raw, 10)
+		if !ok {
+			return true
+		}
+		s := p.SortedDesc()
+		if !s.IsSortedDesc() || len(s) != len(p) {
+			return false
+		}
+		// Same multiset: compare sums and products (cheap fingerprints).
+		sumP, sumS, prodP, prodS := 0.0, 0.0, 1.0, 1.0
+		for i := range p {
+			sumP += p[i]
+			sumS += s[i]
+			prodP *= p[i]
+			prodS *= s[i]
+		}
+		return math.Abs(sumP-sumS) < 1e-12 && math.Abs(prodP-prodS) < 1e-12*math.Max(1, prodP)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package profile
+
+import (
+	"hetero/internal/stats"
+)
+
+// Mean returns the arithmetic mean speed of the profile,
+// ARITH-MEAN(P) = F₁⁽ⁿ⁾/n (§4.2).
+func (p Profile) Mean() float64 { return stats.Mean(p) }
+
+// Variance returns the population variance of the ρ-values per the paper's
+// eq. (7): VAR(P) = (1/n)Σρᵢ² − ((1/n)Σρᵢ)².
+func (p Profile) Variance() float64 { return stats.Variance(p) }
+
+// GeoMean returns the geometric mean, GEO-MEAN(P) = (Fₙ⁽ⁿ⁾)^{1/n} (§4.2).
+func (p Profile) GeoMean() float64 { return stats.GeoMean(p) }
+
+// Describe returns the full descriptive statistics of the ρ-values,
+// including the higher standardized moments used by the moment-predictor
+// extension study.
+func (p Profile) Describe() stats.Describe { return stats.DescribeSample(p) }
+
+// PowerSums returns the power sums S_k = Σᵢ ρᵢᵏ for k = 0..kmax.
+// S₂ links variance and F₂ via the paper's eqs. (7)–(8).
+func (p Profile) PowerSums(kmax int) []float64 {
+	if kmax < 0 {
+		panic("profile: negative power-sum order")
+	}
+	sums := make([]float64, kmax+1)
+	sums[0] = float64(len(p))
+	for k := 1; k <= kmax; k++ {
+		var acc stats.KahanSum
+		for _, r := range p {
+			pow := 1.0
+			for j := 0; j < k; j++ {
+				pow *= r
+			}
+			acc.Add(pow)
+		}
+		sums[k] = acc.Sum()
+	}
+	return sums
+}

@@ -1,0 +1,57 @@
+package profile
+
+import "hetero/internal/stats"
+
+// ElementarySymmetric returns the elementary symmetric functions
+// F₀⁽ⁿ⁾ … Fₙ⁽ⁿ⁾ of the profile's ρ-values (Table 5 of the paper), with
+// the paper's convention F₀ ≡ 1. The returned slice has length n+1.
+//
+// The values are built with the standard O(n²) dynamic program over the
+// coefficients of Π(x + ρᵢ): after processing ρ, e_k ← e_k + ρ·e_{k-1}.
+// All ρᵢ are positive, so every addition is of same-signed terms and the
+// recurrence is numerically benign.
+func (p Profile) ElementarySymmetric() []float64 {
+	e := make([]float64, len(p)+1)
+	e[0] = 1
+	for i, r := range p {
+		// Highest degree first so e[k-1] is still the previous row's value.
+		for k := i + 1; k >= 1; k-- {
+			e[k] += r * e[k-1]
+		}
+	}
+	return e
+}
+
+// SymmetricFunction returns F_k⁽ⁿ⁾(P) for a single k ∈ [0, n].
+// For repeated use prefer ElementarySymmetric, which computes all orders in
+// one pass.
+func (p Profile) SymmetricFunction(k int) float64 {
+	if k < 0 || k > len(p) {
+		panic("profile: symmetric function order out of range")
+	}
+	return p.ElementarySymmetric()[k]
+}
+
+// NewtonIdentityResidual returns the residual of the k-th Newton identity
+//
+//	k·e_k − Σ_{i=1..k} (−1)^{i−1} e_{k−i} S_i
+//
+// which is identically zero for exact arithmetic. The test suite uses it to
+// validate ElementarySymmetric against PowerSums on random profiles; it is
+// exported (within the package tree) because the moment-predictor study
+// also reports it as a numeric sanity metric.
+func (p Profile) NewtonIdentityResidual(k int) float64 {
+	if k < 1 || k > len(p) {
+		panic("profile: Newton identity order out of range")
+	}
+	e := p.ElementarySymmetric()
+	s := p.PowerSums(k)
+	var acc stats.KahanSum
+	acc.Add(float64(k) * e[k])
+	sign := 1.0
+	for i := 1; i <= k; i++ {
+		acc.Add(-sign * e[k-i] * s[i])
+		sign = -sign
+	}
+	return acc.Sum()
+}

@@ -1,0 +1,146 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/stats"
+)
+
+func TestElementarySymmetricTable5(t *testing.T) {
+	// Table 5 of the paper, n = 3, with (a,b,c) = (1, 0.5, 0.25).
+	a, b, c := 1.0, 0.5, 0.25
+	p := MustNew(a, b, c)
+	e := p.ElementarySymmetric()
+	want := []float64{
+		1,
+		a + b + c,
+		a*b + a*c + b*c,
+		a * b * c,
+	}
+	for k := range want {
+		if math.Abs(e[k]-want[k]) > 1e-15 {
+			t.Fatalf("F_%d = %v, want %v", k, e[k], want[k])
+		}
+	}
+}
+
+func TestElementarySymmetricTable5N4(t *testing.T) {
+	rho := []float64{0.9, 0.7, 0.4, 0.1}
+	p := MustNew(rho...)
+	e := p.ElementarySymmetric()
+	// Brute-force F_2 and F_3 per Table 5's n = 4 rows.
+	var f2, f3 float64
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			f2 += rho[i] * rho[j]
+			for k := j + 1; k < 4; k++ {
+				f3 += rho[i] * rho[j] * rho[k]
+			}
+		}
+	}
+	if math.Abs(e[2]-f2) > 1e-15 || math.Abs(e[3]-f3) > 1e-15 {
+		t.Fatalf("F2/F3 = %v/%v, want %v/%v", e[2], e[3], f2, f3)
+	}
+	if math.Abs(e[4]-0.9*0.7*0.4*0.1) > 1e-16 {
+		t.Fatalf("F4 = %v", e[4])
+	}
+}
+
+func TestSymmetricFunctionIsSymmetric(t *testing.T) {
+	// F_k must be invariant under any reordering of the profile — the
+	// defining property of §4.1.
+	r := stats.NewRNG(17)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(10)
+		p := RandomNormalized(r, n)
+		q := p.Permuted(r.Perm(n))
+		ep, eq := p.ElementarySymmetric(), q.ElementarySymmetric()
+		for k := range ep {
+			if math.Abs(ep[k]-eq[k]) > 1e-12*math.Max(1, math.Abs(ep[k])) {
+				t.Fatalf("F_%d changed under permutation: %v vs %v", k, ep[k], eq[k])
+			}
+		}
+	}
+}
+
+func TestNewtonIdentities(t *testing.T) {
+	r := stats.NewRNG(23)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(8)
+		p := RandomNormalized(r, n)
+		for k := 1; k <= n; k++ {
+			if res := p.NewtonIdentityResidual(k); math.Abs(res) > 1e-10 {
+				t.Fatalf("Newton identity %d residual %v for %v", k, res, p)
+			}
+		}
+	}
+}
+
+func TestEq8LinksF2AndPowerSums(t *testing.T) {
+	// Paper eq. (8): F₂ = ((F₁)² − Σρ²)/2.
+	r := stats.NewRNG(29)
+	for trial := 0; trial < 50; trial++ {
+		p := RandomNormalized(r, 2+r.Intn(10))
+		e := p.ElementarySymmetric()
+		s := p.PowerSums(2)
+		want := (e[1]*e[1] - s[2]) / 2
+		if math.Abs(e[2]-want) > 1e-12 {
+			t.Fatalf("eq. (8) violated: F2 = %v, want %v for %v", e[2], want, p)
+		}
+	}
+}
+
+func TestSymmetricFunctionSingle(t *testing.T) {
+	p := MustNew(1, 0.5)
+	if p.SymmetricFunction(0) != 1 {
+		t.Fatal("F0 != 1")
+	}
+	if p.SymmetricFunction(2) != 0.5 {
+		t.Fatalf("F2 = %v, want 0.5", p.SymmetricFunction(2))
+	}
+}
+
+func TestSymmetricFunctionPanics(t *testing.T) {
+	p := MustNew(1, 0.5)
+	for _, k := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("order %d accepted", k)
+				}
+			}()
+			p.SymmetricFunction(k)
+		}()
+	}
+}
+
+func TestNewtonIdentityResidualPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("order 0 accepted")
+		}
+	}()
+	MustNew(1).NewtonIdentityResidual(0)
+}
+
+func TestVietaRoundtrip(t *testing.T) {
+	// The e_k are the coefficients of Π(x + ρᵢ); evaluating that polynomial
+	// at x = −ρᵢ must give zero for every root.
+	p := MustNew(0.9, 0.6, 0.3, 0.15)
+	e := p.ElementarySymmetric()
+	n := len(p)
+	for _, root := range p {
+		x := -root
+		// Σ_k e_k x^{n-k}
+		val := 0.0
+		pow := 1.0
+		for k := n; k >= 0; k-- {
+			val += e[k] * pow
+			pow *= x
+		}
+		if math.Abs(val) > 1e-12 {
+			t.Fatalf("Π(x+ρ) at x=-%v is %v, want 0", root, val)
+		}
+	}
+}

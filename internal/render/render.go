@@ -1,0 +1,179 @@
+// Package render provides the plain-text output substrate for the
+// experiment drivers: aligned tables, CSV export, and ASCII bar charts in
+// the style of the paper's Figures 3–4.
+package render
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table with optional title.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row. Short rows are padded with empty cells; long rows
+// panic, since they indicate a programming error in an experiment driver.
+func (t *Table) Add(cells ...string) {
+	if len(cells) > len(t.Headers) {
+		panic(fmt.Sprintf("render: row has %d cells for %d columns", len(cells), len(t.Headers)))
+	}
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row of formatted cells; each argument is rendered with %v
+// unless it is a float64, which is rendered with %.6g.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.6g", v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.Add(row...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if w := len([]rune(cell)); w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(cell))))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes applied only when a
+// cell contains a comma, quote, or newline).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Bars renders one horizontal bar per (label, value) pair, scaled so the
+// largest value spans width characters. Used to render the profile
+// snapshots of Figures 3–4 (bar length ∝ ρ, so shrinking bars = speedups).
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("render: Bars label/value length mismatch")
+	}
+	if width < 1 {
+		width = 40
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := 0
+		if maxVal > 0 {
+			n = int(v / maxVal * float64(width))
+		}
+		if n == 0 && v > 0 {
+			n = 1 // keep nonzero values visible
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.6g\n", maxLabel, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// sparkGlyphs are the eight block heights used by Sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact unicode strip, scaled to the
+// sample's own min..max range (a flat series renders as all-minimum).
+// Experiment renders use it to show per-round series inline.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		out[i] = sparkGlyphs[idx]
+	}
+	return string(out)
+}

@@ -1,0 +1,117 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Add("a", "1")
+	tb.Add("longer", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Header, separator and rows must share the same width.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "a     ") {
+		t.Fatalf("row not padded: %q", lines[3])
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.Add("x")
+	if !strings.Contains(tb.String(), "x") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestTablePanicsOnLongRow(t *testing.T) {
+	tb := NewTable("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("long row accepted")
+		}
+	}()
+	tb.Add("1", "2")
+}
+
+func TestAddfFormats(t *testing.T) {
+	tb := NewTable("", "n", "x", "s")
+	tb.Addf(8, 0.123456789, "lit")
+	row := tb.Rows[0]
+	if row[0] != "8" || row[1] != "0.123457" || row[2] != "lit" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.Add("1", "x,y")
+	tb.Add(`q"q`, "z")
+	csv := tb.CSV()
+	want := "a,b\n1,\"x,y\"\n\"q\"\"q\",z\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"C1", "C2"}, []float64{1, 0.5}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines:\n%s", out)
+	}
+	if n1, n2 := strings.Count(lines[0], "#"), strings.Count(lines[1], "#"); n1 != 10 || n2 != 5 {
+		t.Fatalf("bar lengths %d/%d, want 10/5", n1, n2)
+	}
+}
+
+func TestBarsTinyValueVisible(t *testing.T) {
+	out := Bars([]string{"a", "b"}, []float64{1, 1e-9}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Fatalf("tiny value invisible: %q", lines[1])
+	}
+}
+
+func TestBarsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch accepted")
+		}
+	}()
+	Bars([]string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars([]string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero value rendered bars: %q", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1})
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("length %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("sparkline %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat series %q", flat)
+		}
+	}
+}

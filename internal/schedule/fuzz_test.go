@@ -1,0 +1,57 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// FuzzBuildFIFO exercises the schedule builder with arbitrary material:
+// whenever a schedule is produced it must pass its own invariant checker
+// and match Theorem 2 exactly.
+func FuzzBuildFIFO(f *testing.F) {
+	f.Add(1.0, 0.5, 0.25, 100.0)
+	f.Add(0.001, 1.0, 0.001, 1e6)
+	m := model.Table1()
+	f.Fuzz(func(t *testing.T, a, b, c, lRaw float64) {
+		rhos := make([]float64, 0, 3)
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+			r := math.Mod(math.Abs(v), 1)
+			if r == 0 {
+				continue
+			}
+			rhos = append(rhos, r)
+		}
+		if len(rhos) == 0 {
+			return
+		}
+		p, err := profile.New(rhos...)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(lRaw) || math.IsInf(lRaw, 0) {
+			return
+		}
+		lifespan := math.Mod(math.Abs(lRaw), 1e9)
+		if lifespan == 0 {
+			return
+		}
+		s, err := BuildFIFO(m, p, lifespan)
+		if err != nil {
+			return // infeasible inputs are allowed to fail, not to corrupt
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("built schedule violates invariants: %v (profile %v, L %v)", err, p, lifespan)
+		}
+		want := core.W(m, p, lifespan)
+		if math.Abs(s.TotalWork-want) > 1e-6*want {
+			t.Fatalf("schedule work %v != W(L;P) %v", s.TotalWork, want)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package schedule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ganttGlyphs maps segment kinds to the single-character texture used in
+// the ASCII Gantt chart.
+var ganttGlyphs = map[SegmentKind]byte{
+	SegWait:    '.',
+	SegReceive: 'r',
+	SegUnpack:  'u',
+	SegCompute: 'C',
+	SegPack:    'p',
+	SegReturn:  'T',
+}
+
+// Gantt renders the schedule as an ASCII chart in the style of the paper's
+// Figure 2: one row per computer plus a channel row, width columns wide.
+// Each column covers Lifespan/width time units; a column shows the segment
+// that covers the column's midpoint.
+func (s *Schedule) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "FIFO worksharing schedule: n=%d, L=%g, W=%.6g work units\n", len(s.Computers), s.Lifespan, s.TotalWork)
+	fmt.Fprintf(&b, "legend: r=receive u=unpack C=compute p=pack T=return .=wait\n")
+	scale := s.Lifespan / float64(width)
+
+	// Channel row.
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = '.'
+	}
+	for _, seg := range s.ChannelBusy {
+		fill(row, seg, scale)
+	}
+	fmt.Fprintf(&b, "%-8s |%s|\n", "channel", row)
+
+	for _, c := range s.Computers {
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, seg := range c.Segments {
+			if seg.Kind != SegWait {
+				fill(row, seg, scale)
+			}
+		}
+		fmt.Fprintf(&b, "C%-3d ρ=%-6.3g |%s| w=%.4g\n", c.Index+1, c.Rho, row, c.Work)
+	}
+	return b.String()
+}
+
+func fill(row []byte, seg Segment, scale float64) {
+	glyph := ganttGlyphs[seg.Kind]
+	for col := range row {
+		mid := (float64(col) + 0.5) * scale
+		if mid >= seg.Start && mid < seg.End {
+			row[col] = glyph
+		}
+	}
+}
+
+// Table renders the schedule as a numeric table, one row per computer.
+func (s *Schedule) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %10s %12s %12s %12s %12s %12s\n",
+		"i", "ρ", "w_i", "recv end", "busy end", "ret start", "ret end")
+	for _, c := range s.Computers {
+		fmt.Fprintf(&b, "%4d %10.5g %12.6g %12.6g %12.6g %12.6g %12.6g\n",
+			c.Index+1, c.Rho, c.Work,
+			c.Segment(SegReceive).End,
+			c.Segment(SegPack).End,
+			c.Segment(SegReturn).Start,
+			c.ResultsArrive)
+	}
+	fmt.Fprintf(&b, "total work %.8g over lifespan %g\n", s.TotalWork, s.Lifespan)
+	return b.String()
+}
+
+// SingleTimeline returns the seven-phase action/time breakdown of the
+// paper's Figure 1 — worksharing w units with a single remote computer of
+// speed ρ — as (label, duration) pairs in time order: server pack, transit,
+// unpack, compute, pack results, transit results, server unpack.
+func SingleTimeline(pi0, tau, pi, delta, rho, w float64) []struct {
+	Label    string
+	Duration float64
+} {
+	mk := func(label string, d float64) struct {
+		Label    string
+		Duration float64
+	} {
+		return struct {
+			Label    string
+			Duration float64
+		}{label, d}
+	}
+	return []struct {
+		Label    string
+		Duration float64
+	}{
+		mk("π₀w  server packages work", pi0*w),
+		mk("τw   work in transit", tau*w),
+		mk("πᵢw  computer unpackages", pi*rho*w),
+		mk("ρᵢw  computer computes", rho*w),
+		mk("πᵢδw computer packages results", pi*rho*delta*w),
+		mk("τδw  results in transit", tau*delta*w),
+		mk("π₀δw server unpackages results", pi0*delta*w),
+	}
+}

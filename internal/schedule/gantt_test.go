@@ -1,0 +1,87 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestGanttRendersAllRows(t *testing.T) {
+	m := model.Table1()
+	s, err := BuildFIFO(m, profile.MustNew(1, 0.5, 0.25), 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Gantt(80)
+	if !strings.Contains(out, "channel") {
+		t.Fatal("missing channel row")
+	}
+	for _, frag := range []string{"C1", "C2", "C3", "legend"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("Gantt missing %q:\n%s", frag, out)
+		}
+	}
+	// Compute should dominate the picture at these parameters.
+	if strings.Count(out, "C")-strings.Count(out, "Cha") < 10 {
+		t.Fatalf("Gantt has suspiciously little compute:\n%s", out)
+	}
+}
+
+func TestGanttMinimumWidth(t *testing.T) {
+	m := model.Table1()
+	s, err := BuildFIFO(m, profile.MustNew(1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Gantt(1) // clamps to 10
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	m := model.Table1()
+	s, err := BuildFIFO(m, profile.MustNew(1, 0.5), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Table()
+	if !strings.Contains(out, "total work") {
+		t.Fatalf("Table output:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 { // header + 2 rows + total
+		t.Fatalf("Table has %d lines:\n%s", lines, out)
+	}
+}
+
+func TestSingleTimelineFigure1(t *testing.T) {
+	// Figure 1's seven phases with their durations, for w work units.
+	m := model.Table1()
+	w := 100.0
+	rho := 0.5
+	phases := SingleTimeline(m.Pi, m.Tau, m.Pi, m.Delta, rho, w)
+	if len(phases) != 7 {
+		t.Fatalf("phases = %d, want 7", len(phases))
+	}
+	want := []float64{
+		m.Pi * w,                 // π₀w
+		m.Tau * w,                // τw
+		m.Pi * rho * w,           // πᵢw (balanced: scaled by ρ)
+		rho * w,                  // ρᵢw
+		m.Pi * rho * m.Delta * w, // πᵢδw
+		m.Tau * m.Delta * w,      // τδw
+		m.Pi * m.Delta * w,       // π₀δw
+	}
+	for i, ph := range phases {
+		if math.Abs(ph.Duration-want[i]) > 1e-12*w {
+			t.Fatalf("phase %d (%s) duration %v, want %v", i, ph.Label, ph.Duration, want[i])
+		}
+	}
+	// Compute dominates for coarse tasks.
+	if phases[3].Duration < 1000*phases[1].Duration {
+		t.Fatal("compute should dwarf transit at Table 1 parameters")
+	}
+}

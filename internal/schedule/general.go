@@ -1,0 +1,196 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/linalg"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// BuildGeneral constructs the gap-free worksharing schedule for an
+// arbitrary finishing order Φ — the general (Σ,Φ) protocols of §2.2, of
+// which FIFO (Φ = Σ) is the provably optimal special case.
+//
+// The profile's own order is the startup order Σ; phi[j] gives the position
+// (within that order) of the j-th computer to return results. The gap-free
+// conditions ("computers work continuously, result messages chain without
+// idle channel time, the last return ends at L") form an n×n linear system
+// in the allocations:
+//
+//	F_i = A·Σ_{k: σ-pos(k) ≤ σ-pos(i)} w_k + Bρᵢwᵢ          (finish time)
+//	F_{Φⱼ} = F_{Φⱼ₋₁} + τδ·w_{Φⱼ₋₁}   for j = 1..n−1        (no gaps)
+//	F_{Φₙ₋₁} + τδ·w_{Φₙ₋₁} = L                               (lifespan)
+//
+// Orders whose solution has a non-positive allocation, or whose first
+// return would collide with the outbound phase, are reported as infeasible:
+// the corresponding protocol cannot run gap-free and necessarily completes
+// less work (this is how LIFO-style orders lose to FIFO).
+func BuildGeneral(m model.Params, p profile.Profile, phi []int, lifespan float64) (*Schedule, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p)
+	if n == 0 {
+		return nil, fmt.Errorf("schedule: empty profile")
+	}
+	if !(lifespan > 0) {
+		return nil, fmt.Errorf("schedule: lifespan %v must be positive", lifespan)
+	}
+	if err := checkPermutation(phi, n); err != nil {
+		return nil, err
+	}
+	a, b, td := m.A(), m.B(), m.TauDelta()
+
+	// Row for F_i as coefficients over w: A for every computer at or before
+	// i in startup order, plus Bρᵢ on wᵢ itself.
+	fRow := func(i int) []float64 {
+		row := make([]float64, n)
+		for k := 0; k <= i; k++ {
+			row[k] = a
+		}
+		row[i] += b * p[i]
+		return row
+	}
+
+	sys := linalg.NewMatrix(n, n)
+	rhs := make([]float64, n)
+	for j := 1; j < n; j++ {
+		cur := fRow(phi[j])
+		prev := fRow(phi[j-1])
+		for k := 0; k < n; k++ {
+			sys.Set(j-1, k, cur[k]-prev[k])
+		}
+		sys.Set(j-1, phi[j-1], sys.At(j-1, phi[j-1])-td)
+		rhs[j-1] = 0
+	}
+	last := fRow(phi[n-1])
+	last[phi[n-1]] += td
+	for k := 0; k < n; k++ {
+		sys.Set(n-1, k, last[k])
+	}
+	rhs[n-1] = lifespan
+
+	w, err := linalg.Solve(sys, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: (Σ,Φ) system unsolvable: %w", err)
+	}
+	if res := linalg.Residual(sys, w, rhs); res > 1e-6*lifespan {
+		return nil, fmt.Errorf("schedule: (Σ,Φ) system ill-conditioned (residual %v)", res)
+	}
+	for i, wi := range w {
+		if !(wi > 0) {
+			return nil, fmt.Errorf("schedule: infeasible finishing order %v: allocation w[%d] = %v not positive", phi, i, wi)
+		}
+	}
+	return assembleGeneral(m, p, phi, lifespan, w)
+}
+
+// BuildLIFO builds the schedule whose finishing order is the reverse of the
+// startup order — the natural "last started, first finished" contrast to
+// FIFO used by the protocol-comparison experiments.
+func BuildLIFO(m model.Params, p profile.Profile, lifespan float64) (*Schedule, error) {
+	n := len(p)
+	phi := make([]int, n)
+	for j := range phi {
+		phi[j] = n - 1 - j
+	}
+	return BuildGeneral(m, p, phi, lifespan)
+}
+
+func assembleGeneral(m model.Params, p profile.Profile, phi []int, lifespan float64, w []float64) (*Schedule, error) {
+	a, b, td := m.A(), m.B(), m.TauDelta()
+	n := len(p)
+	s := &Schedule{
+		Params:      m,
+		Profile:     p.Clone(),
+		Lifespan:    lifespan,
+		Computers:   make([]ComputerTimeline, n),
+		FinishOrder: append([]int(nil), phi...),
+	}
+
+	recvEnd := make([]float64, n)
+	tPrev := 0.0
+	for i := 0; i < n; i++ {
+		end := tPrev + a*w[i]
+		s.ChannelBusy = append(s.ChannelBusy, Segment{SegReceive, tPrev, end})
+		recvEnd[i] = end
+		tPrev = end
+	}
+	lastSendEnd := tPrev
+
+	finish := make([]float64, n)
+	for i := 0; i < n; i++ {
+		finish[i] = recvEnd[i] + b*p[i]*w[i]
+	}
+	// Snap the finish times onto the exact gap-free chain (the linear
+	// solve satisfies it up to rounding).
+	for j := 1; j < n; j++ {
+		want := finish[phi[j-1]] + td*w[phi[j-1]]
+		if math.Abs(finish[phi[j]]-want) > 1e-6*lifespan {
+			return nil, fmt.Errorf("schedule: internal error, solved chain has a gap at finisher %d", j)
+		}
+		finish[phi[j]] = want
+	}
+	if finish[phi[0]] < lastSendEnd-1e-9*lifespan {
+		return nil, fmt.Errorf("schedule: infeasible finishing order %v: first results ready at %v before the channel frees at %v", phi, finish[phi[0]], lastSendEnd)
+	}
+
+	var total stats.KahanSum
+	for i := 0; i < n; i++ {
+		wi := w[i]
+		rho := p[i]
+		recvStart := recvEnd[i] - a*wi
+		unpackEnd := recvEnd[i] + m.Pi*rho*wi
+		computeEnd := unpackEnd + rho*wi
+		packEnd := finish[i]
+		retEnd := packEnd + td*wi
+		s.Computers[i] = ComputerTimeline{
+			Index: i,
+			Rho:   rho,
+			Tau:   m.Tau,
+			Work:  wi,
+			Segments: []Segment{
+				{SegWait, 0, recvStart},
+				{SegReceive, recvStart, recvEnd[i]},
+				{SegUnpack, recvEnd[i], unpackEnd},
+				{SegCompute, unpackEnd, computeEnd},
+				{SegPack, computeEnd, packEnd},
+				{SegReturn, packEnd, retEnd},
+			},
+			ResultsArrive: retEnd,
+		}
+		total.Add(wi)
+	}
+	// Channel return intervals in finishing order.
+	for _, idx := range phi {
+		c := s.Computers[idx]
+		s.ChannelBusy = append(s.ChannelBusy, c.Segment(SegReturn))
+	}
+	s.TotalWork = total.Sum()
+	return s, nil
+}
+
+func checkPermutation(perm []int, n int) error {
+	if len(perm) != n {
+		return fmt.Errorf("schedule: finishing order has %d entries for %d computers", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, idx := range perm {
+		if idx < 0 || idx >= n || seen[idx] {
+			return fmt.Errorf("schedule: finishing order %v is not a permutation of [0,%d)", perm, n)
+		}
+		seen[idx] = true
+	}
+	return nil
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}

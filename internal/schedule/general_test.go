@@ -1,0 +1,193 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var recurse func(prefix []int, rest []int)
+	recurse = func(prefix, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), prefix...))
+			return
+		}
+		for i := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			recurse(append(prefix, rest[i]), next)
+		}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	recurse(nil, idx)
+	return out
+}
+
+func TestGeneralIdentityMatchesFIFO(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	fifo, err := BuildFIFO(m, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := BuildGeneral(m, p, []int{0, 1, 2}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fifo.TotalWork-gen.TotalWork) > 1e-6 {
+		t.Fatalf("identity Φ work %v != FIFO %v", gen.TotalWork, fifo.TotalWork)
+	}
+	for i := range fifo.Computers {
+		if math.Abs(fifo.Computers[i].Work-gen.Computers[i].Work) > 1e-6 {
+			t.Fatalf("allocation %d differs: %v vs %v", i, fifo.Computers[i].Work, gen.Computers[i].Work)
+		}
+	}
+	if err := gen.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOIsOptimalAmongAllFinishingOrders(t *testing.T) {
+	// Adler–Gong–Rosenberg's Theorem 1 (the paper's foundation), checked
+	// exhaustively for n = 4: among all gap-free (Σ,Φ) protocols, FIFO
+	// (Φ = identity) completes the most work, and every feasible non-FIFO
+	// order completes strictly less.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.6, 0.35, 0.2)
+	const lifespan = 1000.0
+	fifo, err := BuildFIFO(m, p, lifespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible, infeasible := 0, 0
+	for _, phi := range permutations(4) {
+		s, err := BuildGeneral(m, p, phi, lifespan)
+		if err != nil {
+			infeasible++
+			continue
+		}
+		feasible++
+		if err := s.Verify(); err != nil {
+			t.Fatalf("Φ=%v: %v", phi, err)
+		}
+		if s.TotalWork > fifo.TotalWork+1e-6 {
+			t.Fatalf("Φ=%v beats FIFO: %v > %v", phi, s.TotalWork, fifo.TotalWork)
+		}
+		isIdentity := phi[0] == 0 && phi[1] == 1 && phi[2] == 2 && phi[3] == 3
+		if !isIdentity && s.TotalWork > fifo.TotalWork-1e-9 {
+			t.Fatalf("non-FIFO Φ=%v ties FIFO: %v vs %v", phi, s.TotalWork, fifo.TotalWork)
+		}
+	}
+	if feasible < 2 {
+		t.Fatalf("only %d feasible orders; test vacuous", feasible)
+	}
+	t.Logf("feasible orders: %d, infeasible: %d (of 24)", feasible, infeasible)
+}
+
+func TestGeneralStartupOrderInvarianceOfFIFO(t *testing.T) {
+	// Theorem 1.2 again, through the general solver: identity Φ with any
+	// startup order Σ gives the same work.
+	m := model.Table1()
+	r := stats.NewRNG(99)
+	p := profile.RandomNormalized(r, 5)
+	base, err := BuildGeneral(m, p, identityOrder(5), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		perm := r.Perm(5)
+		s, err := BuildGeneral(m, p.Permuted(perm), identityOrder(5), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.TotalWork-base.TotalWork) > 1e-6 {
+			t.Fatalf("FIFO work depends on Σ: %v vs %v", s.TotalWork, base.TotalWork)
+		}
+	}
+}
+
+func TestLIFOCompletesLessThanFIFO(t *testing.T) {
+	m := model.Table1()
+	// A mildly heterogeneous profile keeps LIFO feasible; strong
+	// heterogeneity tends to make reversed orders infeasible outright.
+	p := profile.MustNew(1, 0.95, 0.9, 0.85)
+	fifo, err := BuildFIFO(m, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifo, err := BuildLIFO(m, p, 1000)
+	if err != nil {
+		t.Skipf("LIFO infeasible for this profile: %v", err)
+	}
+	if err := lifo.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !(lifo.TotalWork < fifo.TotalWork) {
+		t.Fatalf("LIFO %v did not lose to FIFO %v", lifo.TotalWork, fifo.TotalWork)
+	}
+}
+
+func TestGeneralMatchesTheorem2ForFIFO(t *testing.T) {
+	m := model.Table1()
+	r := stats.NewRNG(7)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(7)
+		p := profile.RandomNormalized(r, n)
+		s, err := BuildGeneral(m, p, identityOrder(n), 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.W(m, p, 800)
+		if math.Abs(s.TotalWork-want) > 1e-6*want {
+			t.Fatalf("general FIFO work %v != Theorem 2 %v", s.TotalWork, want)
+		}
+	}
+}
+
+func TestGeneralValidation(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	cases := []struct {
+		name string
+		phi  []int
+		l    float64
+	}{
+		{"short phi", []int{0}, 100},
+		{"dup phi", []int{0, 0}, 100},
+		{"oob phi", []int{0, 2}, 100},
+		{"zero L", []int{0, 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := BuildGeneral(m, p, tc.phi, tc.l); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+	if _, err := BuildGeneral(m, profile.Profile{}, []int{}, 100); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestGeneralGanttRenders(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.95, 0.9)
+	s, err := BuildLIFO(m, p, 500)
+	if err != nil {
+		t.Skipf("LIFO infeasible: %v", err)
+	}
+	if out := s.Gantt(60); len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}

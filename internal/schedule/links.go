@@ -1,0 +1,144 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// BuildFIFOLinks constructs the gap-free FIFO schedule for a
+// link-heterogeneous cluster: computer i communicates over its own link
+// with transit rate taus[i] (per work unit), so Aᵢ = π + τᵢ and its result
+// transit costs τᵢδw. This extends the paper's uniform-τ model along its
+// own §1 motivation ("layered networks of varying speeds", [12]).
+//
+// The allocation recurrence generalizes to
+//
+//	wᵢ₊₁·(Bρᵢ₊₁ + Aᵢ₊₁) = wᵢ·(Bρᵢ + τᵢδ)
+//
+// and the lifespan equation to L = (A₁ + Bρ₁)·w₁ + δ·Σᵢ τᵢwᵢ. Crucially,
+// work production is NO LONGER invariant under the startup order: with
+// non-uniform links, Theorem 1.2 fails and ordering the cluster becomes a
+// real optimization problem (see experiments.LinkOrderStudy).
+func BuildFIFOLinks(m model.Params, p profile.Profile, taus []float64, lifespan float64) (*Schedule, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p)
+	if n == 0 {
+		return nil, fmt.Errorf("schedule: empty profile")
+	}
+	if len(taus) != n {
+		return nil, fmt.Errorf("schedule: %d link rates for %d computers", len(taus), n)
+	}
+	for i, tau := range taus {
+		if !(tau > 0) || math.IsInf(tau, 0) {
+			return nil, fmt.Errorf("schedule: link rate τ[%d] = %v must be positive and finite", i, tau)
+		}
+	}
+	if !(lifespan > 0) {
+		return nil, fmt.Errorf("schedule: lifespan %v must be positive", lifespan)
+	}
+	b, d := m.B(), m.Delta
+	a := func(i int) float64 { return m.Pi + taus[i] }
+
+	// wᵢ = cᵢ·w₁ via the per-link recurrence.
+	c := make([]float64, n)
+	c[0] = 1
+	for i := 1; i < n; i++ {
+		c[i] = c[i-1] * (b*p[i-1] + taus[i-1]*d) / (b*p[i] + a(i))
+		if math.IsInf(c[i], 0) || c[i] == 0 {
+			return nil, fmt.Errorf("schedule: link allocation coefficients left float64 range at computer %d", i)
+		}
+	}
+	var tail stats.KahanSum
+	for i := 0; i < n; i++ {
+		tail.Add(c[i] * taus[i] * d)
+	}
+	w1 := lifespan / (a(0) + b*p[0] + tail.Sum())
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = c[i] * w1
+	}
+	return assembleLinks(m, p, taus, lifespan, w)
+}
+
+// LinkWork returns just the total work of the link-heterogeneous FIFO
+// schedule — the objective for order-search experiments — without
+// materializing timelines.
+func LinkWork(m model.Params, p profile.Profile, taus []float64, lifespan float64) (float64, error) {
+	s, err := BuildFIFOLinks(m, p, taus, lifespan)
+	if err != nil {
+		return 0, err
+	}
+	return s.TotalWork, nil
+}
+
+func assembleLinks(m model.Params, p profile.Profile, taus []float64, lifespan float64, w []float64) (*Schedule, error) {
+	b, d := m.B(), m.Delta
+	n := len(p)
+	s := &Schedule{
+		Params:      m,
+		Profile:     p.Clone(),
+		Lifespan:    lifespan,
+		Computers:   make([]ComputerTimeline, n),
+		FinishOrder: identityOrder(n),
+	}
+	recvEnd := make([]float64, n)
+	tPrev := 0.0
+	for i := 0; i < n; i++ {
+		end := tPrev + (m.Pi+taus[i])*w[i]
+		s.ChannelBusy = append(s.ChannelBusy, Segment{SegReceive, tPrev, end})
+		recvEnd[i] = end
+		tPrev = end
+	}
+	lastSendEnd := tPrev
+
+	finish := make([]float64, n)
+	for i := 0; i < n; i++ {
+		finish[i] = recvEnd[i] + b*p[i]*w[i]
+	}
+	for i := 1; i < n; i++ {
+		want := finish[i-1] + taus[i-1]*d*w[i-1]
+		if math.Abs(finish[i]-want) > 1e-9*lifespan {
+			return nil, fmt.Errorf("schedule: internal error, link chain has a gap at computer %d", i)
+		}
+		finish[i] = want
+	}
+	if finish[0] < lastSendEnd-1e-9*lifespan {
+		return nil, fmt.Errorf("schedule: infeasible for these links: first results ready at %v before the channel frees at %v", finish[0], lastSendEnd)
+	}
+
+	var total stats.KahanSum
+	for i := 0; i < n; i++ {
+		wi := w[i]
+		rho := p[i]
+		recvStart := recvEnd[i] - (m.Pi+taus[i])*wi
+		unpackEnd := recvEnd[i] + m.Pi*rho*wi
+		computeEnd := unpackEnd + rho*wi
+		packEnd := finish[i]
+		retEnd := packEnd + taus[i]*d*wi
+		s.Computers[i] = ComputerTimeline{
+			Index: i,
+			Rho:   rho,
+			Tau:   taus[i],
+			Work:  wi,
+			Segments: []Segment{
+				{SegWait, 0, recvStart},
+				{SegReceive, recvStart, recvEnd[i]},
+				{SegUnpack, recvEnd[i], unpackEnd},
+				{SegCompute, unpackEnd, computeEnd},
+				{SegPack, computeEnd, packEnd},
+				{SegReturn, packEnd, retEnd},
+			},
+			ResultsArrive: retEnd,
+		}
+		s.ChannelBusy = append(s.ChannelBusy, Segment{SegReturn, packEnd, retEnd})
+		total.Add(wi)
+	}
+	s.TotalWork = total.Sum()
+	return s, nil
+}

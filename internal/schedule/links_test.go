@@ -1,0 +1,158 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func uniformTaus(n int, tau float64) []float64 {
+	taus := make([]float64, n)
+	for i := range taus {
+		taus[i] = tau
+	}
+	return taus
+}
+
+func TestLinksUniformReducesToFIFO(t *testing.T) {
+	// With all links at the model's τ, the link builder must reproduce the
+	// uniform FIFO schedule exactly.
+	m := model.Table1()
+	r := stats.NewRNG(61)
+	for trial := 0; trial < 30; trial++ {
+		p := profile.RandomNormalized(r, 1+r.Intn(8))
+		base, err := BuildFIFO(m, p, 700)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links, err := BuildFIFOLinks(m, p, uniformTaus(len(p), m.Tau), 700)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(base.TotalWork-links.TotalWork) > 1e-9*base.TotalWork {
+			t.Fatalf("uniform links work %v != FIFO %v", links.TotalWork, base.TotalWork)
+		}
+		for i := range base.Computers {
+			if math.Abs(base.Computers[i].Work-links.Computers[i].Work) > 1e-9*base.Computers[i].Work {
+				t.Fatalf("allocation %d differs", i)
+			}
+		}
+		if err := links.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLinksVerifyPasses(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	taus := []float64{1e-6, 5e-5, 2e-4}
+	s, err := BuildFIFOLinks(m, p, taus, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-computer Tau recorded for the verifier and renderers.
+	for i, c := range s.Computers {
+		if c.Tau != taus[i] {
+			t.Fatalf("computer %d Tau = %v, want %v", i, c.Tau, taus[i])
+		}
+	}
+}
+
+func TestLinksLifespanEquation(t *testing.T) {
+	// L = (A₁ + Bρ₁)w₁ + δ·Σ τᵢwᵢ.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	taus := []float64{2e-6, 4e-5, 3e-4}
+	l := 500.0
+	s, err := BuildFIFOLinks(m, p, taus, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := (m.Pi + taus[0] + m.B()*p[0]) * s.Computers[0].Work
+	for i, c := range s.Computers {
+		sum += m.Delta * taus[i] * c.Work
+	}
+	if math.Abs(sum-l) > 1e-9*l {
+		t.Fatalf("lifespan equation gives %v, want %v", sum, l)
+	}
+}
+
+func TestLinksBreakOrderInvariance(t *testing.T) {
+	// The headline property: with heterogeneous links, Theorem 1.2 fails —
+	// different startup orders complete different amounts of work.
+	m := model.Table1()
+	p := profile.MustNew(0.5, 0.5, 0.5) // identical computers…
+	taus := []float64{1e-6, 1e-3, 1e-2} // …on very different links
+	l := 1000.0
+	wForward, err := LinkWork(m, p, taus, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reverse both the computers and their links (the link belongs to the
+	// computer, so it moves with it).
+	wReverse, err := LinkWork(m, profile.MustNew(0.5, 0.5, 0.5), []float64{1e-2, 1e-3, 1e-6}, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wForward-wReverse) < 1e-6 {
+		t.Fatalf("order invariance unexpectedly survived heterogeneous links: %v vs %v", wForward, wReverse)
+	}
+}
+
+func TestLinksValidation(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	if _, err := BuildFIFOLinks(m, p, []float64{1e-6}, 100); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := BuildFIFOLinks(m, p, []float64{1e-6, 0}, 100); err == nil {
+		t.Fatal("zero link rate accepted")
+	}
+	if _, err := BuildFIFOLinks(m, p, []float64{1e-6, -1}, 100); err == nil {
+		t.Fatal("negative link rate accepted")
+	}
+	if _, err := BuildFIFOLinks(m, p, uniformTaus(2, 1e-6), 0); err == nil {
+		t.Fatal("L=0 accepted")
+	}
+	if _, err := BuildFIFOLinks(m, profile.Profile{}, nil, 100); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestLinksSlowLinksReduceWork(t *testing.T) {
+	// Degrading every link can only hurt.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	fast, err := LinkWork(m, p, uniformTaus(3, 1e-6), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := LinkWork(m, p, uniformTaus(3, 1e-2), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(slow < fast) {
+		t.Fatalf("slower links did not reduce work: %v vs %v", slow, fast)
+	}
+}
+
+func TestLinksUniformMatchesTheorem2(t *testing.T) {
+	m := model.Table1()
+	p := profile.Linear(6)
+	w, err := LinkWork(m, p, uniformTaus(6, m.Tau), 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.W(m, p, 1234)
+	if math.Abs(w-want) > 1e-9*want {
+		t.Fatalf("uniform-link work %v != W(L;P) %v", w, want)
+	}
+}

@@ -1,0 +1,327 @@
+// Package schedule constructs explicit FIFO worksharing schedules for the
+// Cluster-Exploitation Problem — the protocol of §2.2–2.3 of the paper,
+// realized as a concrete event timeline rather than an asymptotic formula.
+//
+// Timeline model (store-and-forward, one message in transit at a time):
+//
+//	server:   packages+transmits w₁ | packages+transmits w₂ | …   (A·wᵢ each)
+//	Cᵢ:       waits | unpack πρᵢwᵢ | compute ρᵢwᵢ | package πρᵢδwᵢ | …
+//	channel:  … | results of C₁ (τδw₁) | results of C₂ (τδw₂) | …
+//
+// The gap-free FIFO allocation obeys the recurrence
+//
+//	wᵢ₊₁·(Bρ_{sᵢ₊₁} + A) = wᵢ·(Bρ_{sᵢ} + τδ),
+//
+// so each computer finishes packaging its results exactly when the channel
+// frees up, and the lifespan equation L = (A + Bρ_{s₁})·w₁ + τδ·W pins w₁.
+// With this construction, total work equals Theorem 2's W(L;P) exactly —
+// the "asymptotic" formula is exact for the protocol as modelled here (the
+// only end effect outside it is the server's final result unpacking, which
+// the model keeps off the channel's critical path; see package sim).
+//
+// The builder reports infeasibility when the first result would be ready
+// before the last outbound send has released the channel (possible for very
+// large or very fast clusters), since the paper's seriatim protocol cannot
+// interleave result messages between work messages.
+package schedule
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// Segment is one labelled interval of a computer's (or the channel's)
+// timeline.
+type Segment struct {
+	Kind  SegmentKind
+	Start float64
+	End   float64
+}
+
+// Duration returns End − Start.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// SegmentKind labels what a Segment represents.
+type SegmentKind int
+
+const (
+	// SegWait is idle time before the computer's work arrives.
+	SegWait SegmentKind = iota
+	// SegReceive is the inbound work message (server packaging + transit).
+	SegReceive
+	// SegUnpack is the computer unpackaging its work (πρw).
+	SegUnpack
+	// SegCompute is the computation proper (ρw).
+	SegCompute
+	// SegPack is packaging the results (πρδw).
+	SegPack
+	// SegReturn is the result message's transit back to the server (τδw).
+	SegReturn
+)
+
+// String returns the short label used by the Gantt renderer.
+func (k SegmentKind) String() string {
+	switch k {
+	case SegWait:
+		return "wait"
+	case SegReceive:
+		return "recv"
+	case SegUnpack:
+		return "unpack"
+	case SegCompute:
+		return "compute"
+	case SegPack:
+		return "pack"
+	case SegReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("SegmentKind(%d)", int(k))
+	}
+}
+
+// ComputerTimeline is the full schedule of one remote computer.
+type ComputerTimeline struct {
+	// Index within the startup order (0-based): this computer is s_{Index+1}.
+	Index int
+	// Rho is the computer's ρ-value.
+	Rho float64
+	// Tau is the transit rate of this computer's link (equal to the
+	// model's uniform τ except in link-heterogeneous schedules).
+	Tau float64
+	// Work is the allocation wᵢ in work units.
+	Work float64
+	// Segments in time order: receive, unpack, compute, pack, return.
+	Segments []Segment
+	// ResultsArrive is when the server has fully received this computer's
+	// results — the moment its Work units count as complete.
+	ResultsArrive float64
+}
+
+// Segment returns this computer's segment of the given kind.
+func (c *ComputerTimeline) Segment(kind SegmentKind) Segment {
+	for _, s := range c.Segments {
+		if s.Kind == kind {
+			return s
+		}
+	}
+	panic(fmt.Sprintf("schedule: timeline has no %v segment", kind))
+}
+
+// Schedule is a fully-instantiated worksharing schedule.
+type Schedule struct {
+	Params   model.Params
+	Profile  profile.Profile // in startup order
+	Lifespan float64
+	// Computers, in startup order.
+	Computers []ComputerTimeline
+	// FinishOrder[j] is the position (within Computers) of the j-th
+	// computer to return its results — the finishing indexing Φ of §2.2.
+	// For FIFO schedules it is the identity.
+	FinishOrder []int
+	// TotalWork is Σwᵢ; for FIFO it equals Theorem 2's W(L;P) exactly.
+	TotalWork float64
+	// ChannelBusy lists every interval during which the shared channel is
+	// occupied, in time order: n outbound sends then n result returns.
+	ChannelBusy []Segment
+}
+
+// BuildFIFO constructs the gap-free FIFO schedule for lifespan L, using the
+// profile's own order as the startup (and hence finishing) order. By
+// Theorem 1.2 the total work is the same for every order; the timeline
+// itself differs.
+func BuildFIFO(m model.Params, p profile.Profile, lifespan float64) (*Schedule, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("schedule: empty profile")
+	}
+	if !(lifespan > 0) {
+		return nil, fmt.Errorf("schedule: lifespan %v must be positive", lifespan)
+	}
+	w, err := Allocations(m, p, lifespan)
+	if err != nil {
+		return nil, err
+	}
+	return assemble(m, p, lifespan, w)
+}
+
+// Allocations returns the gap-free FIFO work allocations wᵢ (in the
+// profile's order) for lifespan L.
+func Allocations(m model.Params, p profile.Profile, lifespan float64) ([]float64, error) {
+	a, b, td := m.A(), m.B(), m.TauDelta()
+	n := len(p)
+	// Coefficients cᵢ with w_i = cᵢ·w₁.
+	c := make([]float64, n)
+	c[0] = 1
+	var csum stats.KahanSum
+	csum.Add(1)
+	for i := 1; i < n; i++ {
+		c[i] = c[i-1] * (b*p[i-1] + td) / (b*p[i] + a)
+		csum.Add(c[i])
+		if math.IsInf(c[i], 0) || c[i] == 0 {
+			return nil, fmt.Errorf("schedule: allocation coefficients left float64 range at computer %d", i)
+		}
+	}
+	w1 := lifespan / (a + b*p[0] + td*csum.Sum())
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = c[i] * w1
+	}
+	return w, nil
+}
+
+func assemble(m model.Params, p profile.Profile, lifespan float64, w []float64) (*Schedule, error) {
+	a, b, td := m.A(), m.B(), m.TauDelta()
+	n := len(p)
+	s := &Schedule{
+		Params:      m,
+		Profile:     p.Clone(),
+		Lifespan:    lifespan,
+		Computers:   make([]ComputerTimeline, n),
+		FinishOrder: identityOrder(n),
+	}
+	var total stats.KahanSum
+
+	// Outbound sends are seriatim from t = 0.
+	recvEnd := make([]float64, n)
+	tPrev := 0.0
+	for i := 0; i < n; i++ {
+		end := tPrev + a*w[i]
+		s.ChannelBusy = append(s.ChannelBusy, Segment{SegReceive, tPrev, end})
+		recvEnd[i] = end
+		tPrev = end
+	}
+	lastSendEnd := tPrev
+
+	// Busy blocks and the gap-free result chain.
+	finish := make([]float64, n)
+	for i := 0; i < n; i++ {
+		finish[i] = recvEnd[i] + b*p[i]*w[i]
+	}
+	for i := 1; i < n; i++ {
+		// The recurrence should make Fᵢ₊₁ land exactly at Fᵢ + τδwᵢ;
+		// tolerate only float rounding.
+		want := finish[i-1] + td*w[i-1]
+		if math.Abs(finish[i]-want) > 1e-9*lifespan {
+			return nil, fmt.Errorf("schedule: internal error, result chain has a gap at computer %d (%v vs %v)", i, finish[i], want)
+		}
+		finish[i] = want // snap to the exact chain
+	}
+	if finish[0] < lastSendEnd-1e-9*lifespan {
+		return nil, fmt.Errorf("schedule: infeasible for this profile: first results ready at %v before the channel frees at %v; the seriatim FIFO protocol cannot interleave (cluster too large/fast for this L-independent constraint)", finish[0], lastSendEnd)
+	}
+
+	for i := 0; i < n; i++ {
+		wi := w[i]
+		rho := p[i]
+		recvStart := recvEnd[i] - a*wi
+		unpackEnd := recvEnd[i] + m.Pi*rho*wi
+		computeEnd := unpackEnd + rho*wi
+		// The pack segment ends at Bρw after unpack started; snap it to the
+		// gap-free chain value (they agree up to float rounding, which the
+		// chain check above has already bounded).
+		packEnd := finish[i]
+		retEnd := packEnd + td*wi
+		ct := ComputerTimeline{
+			Index: i,
+			Rho:   rho,
+			Tau:   m.Tau,
+			Work:  wi,
+			Segments: []Segment{
+				{SegWait, 0, recvStart},
+				{SegReceive, recvStart, recvEnd[i]},
+				{SegUnpack, recvEnd[i], unpackEnd},
+				{SegCompute, unpackEnd, computeEnd},
+				{SegPack, computeEnd, packEnd},
+				{SegReturn, packEnd, retEnd},
+			},
+			ResultsArrive: retEnd,
+		}
+		s.Computers[i] = ct
+		s.ChannelBusy = append(s.ChannelBusy, Segment{SegReturn, packEnd, retEnd})
+		total.Add(wi)
+	}
+	s.TotalWork = total.Sum()
+	return s, nil
+}
+
+// Makespan returns when the last results arrive at the server — by
+// construction, the lifespan L.
+func (s *Schedule) Makespan() float64 {
+	if len(s.Computers) == 0 {
+		return 0
+	}
+	return s.Computers[s.FinishOrder[len(s.FinishOrder)-1]].ResultsArrive
+}
+
+// Verify checks every structural invariant of a gap-free worksharing
+// schedule and returns the first violation found:
+//
+//   - all allocations positive, FinishOrder a permutation;
+//   - each computer's busy block lasts exactly Bρw and begins when its work
+//     has fully arrived;
+//   - results return in the finishing order Φ with no channel gaps;
+//   - the channel never carries two messages at once;
+//   - the last results arrive at L.
+func (s *Schedule) Verify() error {
+	eps := 1e-9 * math.Max(s.Lifespan, 1)
+	b := s.Params.B()
+	if len(s.FinishOrder) != len(s.Computers) {
+		return fmt.Errorf("schedule: finishing order has %d entries for %d computers", len(s.FinishOrder), len(s.Computers))
+	}
+	seen := make([]bool, len(s.Computers))
+	for _, idx := range s.FinishOrder {
+		if idx < 0 || idx >= len(s.Computers) || seen[idx] {
+			return fmt.Errorf("schedule: finishing order %v is not a permutation", s.FinishOrder)
+		}
+		seen[idx] = true
+	}
+	for i, c := range s.Computers {
+		if !(c.Work > 0) {
+			return fmt.Errorf("schedule: computer %d has non-positive allocation %v", i, c.Work)
+		}
+		busy := c.Segment(SegPack).End - c.Segment(SegUnpack).Start
+		if math.Abs(busy-b*c.Rho*c.Work) > eps {
+			return fmt.Errorf("schedule: computer %d busy %v, want Bρw = %v", i, busy, b*c.Rho*c.Work)
+		}
+		if c.Segment(SegUnpack).Start+eps < c.Segment(SegReceive).End {
+			return fmt.Errorf("schedule: computer %d starts unpacking before its work arrives", i)
+		}
+		for k := 1; k < len(c.Segments); k++ {
+			if math.Abs(c.Segments[k].Start-c.Segments[k-1].End) > eps {
+				return fmt.Errorf("schedule: computer %d has a gap between %v and %v", i, c.Segments[k-1].Kind, c.Segments[k].Kind)
+			}
+		}
+		ctd := c.Tau * s.Params.Delta
+		if math.Abs(c.Segment(SegReturn).Duration()-ctd*c.Work) > eps {
+			return fmt.Errorf("schedule: computer %d return transit %v, want τᵢδw = %v", i, c.Segment(SegReturn).Duration(), ctd*c.Work)
+		}
+	}
+	for j := 1; j < len(s.FinishOrder); j++ {
+		prev := s.Computers[s.FinishOrder[j-1]]
+		cur := s.Computers[s.FinishOrder[j]]
+		gap := cur.Segment(SegReturn).Start - prev.Segment(SegReturn).End
+		if math.Abs(gap) > eps {
+			return fmt.Errorf("schedule: result chain gap of %v between finishers %d and %d", gap, j-1, j)
+		}
+		if cur.ResultsArrive < prev.ResultsArrive {
+			return fmt.Errorf("schedule: results arrive out of finishing order between finishers %d and %d", j-1, j)
+		}
+	}
+	// Channel exclusivity: busy intervals, sorted as constructed
+	// (sends then returns), must not overlap.
+	for k := 1; k < len(s.ChannelBusy); k++ {
+		if s.ChannelBusy[k].Start+eps < s.ChannelBusy[k-1].End {
+			return fmt.Errorf("schedule: channel carries two messages at once around t = %v", s.ChannelBusy[k].Start)
+		}
+	}
+	if math.Abs(s.Makespan()-s.Lifespan) > eps {
+		return fmt.Errorf("schedule: makespan %v != lifespan %v", s.Makespan(), s.Lifespan)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func TestBuildFIFOBasicInvariants(t *testing.T) {
+	m := model.Table1()
+	s, err := BuildFIFO(m, profile.MustNew(1, 0.5, 0.25), 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Computers) != 3 {
+		t.Fatalf("computers = %d", len(s.Computers))
+	}
+}
+
+func TestScheduleWorkMatchesTheorem2Exactly(t *testing.T) {
+	// The gap-free FIFO construction realizes Theorem 2's W(L;P) exactly,
+	// not just asymptotically.
+	m := model.Table1()
+	r := stats.NewRNG(211)
+	for trial := 0; trial < 100; trial++ {
+		p := profile.RandomNormalized(r, 1+r.Intn(10))
+		l := r.InRange(100, 1e5)
+		s, err := BuildFIFO(m, p, l)
+		if err != nil {
+			t.Fatalf("build failed for %v: %v", p, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("invariants violated for %v: %v", p, err)
+		}
+		want := core.W(m, p, l)
+		if math.Abs(s.TotalWork-want) > 1e-9*want {
+			t.Fatalf("schedule work %v != W(L;P) %v for %v", s.TotalWork, want, p)
+		}
+	}
+}
+
+func TestTheorem1OrderInvariance(t *testing.T) {
+	// Theorem 1.2: every startup order yields the same total work (the
+	// timelines differ; the work does not).
+	m := model.Table1()
+	r := stats.NewRNG(223)
+	for trial := 0; trial < 50; trial++ {
+		p := profile.RandomNormalized(r, 2+r.Intn(8))
+		l := 1000.0
+		base, err := BuildFIFO(m, p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := r.Perm(len(p))
+		alt, err := BuildFIFO(m, p.Permuted(perm), l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(base.TotalWork-alt.TotalWork) > 1e-9*base.TotalWork {
+			t.Fatalf("work differs across startup orders: %v vs %v (%v, perm %v)", base.TotalWork, alt.TotalWork, p, perm)
+		}
+	}
+}
+
+func TestAllocationsRecurrence(t *testing.T) {
+	// wᵢ₊₁(Bρᵢ₊₁ + A) = wᵢ(Bρᵢ + τδ).
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 1.0/3, 0.25)
+	w, err := Allocations(m, p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, td := m.A(), m.B(), m.TauDelta()
+	for i := 0; i+1 < len(w); i++ {
+		lhs := w[i+1] * (b*p[i+1] + a)
+		rhs := w[i] * (b*p[i] + td)
+		if math.Abs(lhs-rhs) > 1e-9*rhs {
+			t.Fatalf("recurrence violated at %d: %v != %v", i, lhs, rhs)
+		}
+	}
+}
+
+func TestFasterComputersGetMoreWork(t *testing.T) {
+	// Under FIFO, later/faster computers in a power-indexed profile receive
+	// (weakly) more work: wᵢ₊₁/wᵢ = (Bρᵢ+τδ)/(Bρᵢ₊₁+A) > 1 when
+	// ρᵢ ≥ ρᵢ₊₁ (τδ < A but Bρᵢ ≥ Bρᵢ₊₁ dominates for the paper's
+	// parameter scales).
+	m := model.Table1()
+	p := profile.Linear(8)
+	w, err := Allocations(m, p, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(w); i++ {
+		if w[i+1] <= w[i] {
+			t.Fatalf("allocation not increasing toward faster computers: w[%d]=%v w[%d]=%v", i, w[i], i+1, w[i+1])
+		}
+	}
+}
+
+func TestLifespanEquation(t *testing.T) {
+	// L = (A + Bρ₁)w₁ + τδ·W.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	l := 777.0
+	s, err := BuildFIFO(m, p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := s.Computers[0].Work
+	got := (m.A()+m.B()*p[0])*w1 + m.TauDelta()*s.TotalWork
+	if math.Abs(got-l) > 1e-9*l {
+		t.Fatalf("lifespan equation gives %v, want %v", got, l)
+	}
+}
+
+func TestScheduleScalesLinearly(t *testing.T) {
+	m := model.Table1()
+	p := profile.Linear(5)
+	s1, err := BuildFIFO(m, p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildFIFO(m, p, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s2.TotalWork-2*s1.TotalWork) > 1e-9*s2.TotalWork {
+		t.Fatalf("work not linear in L: %v vs 2×%v", s2.TotalWork, s1.TotalWork)
+	}
+}
+
+func TestBuildFIFORejectsBadInput(t *testing.T) {
+	m := model.Table1()
+	p := profile.Linear(3)
+	if _, err := BuildFIFO(m, p, 0); err == nil {
+		t.Fatal("L=0 accepted")
+	}
+	if _, err := BuildFIFO(m, p, -5); err == nil {
+		t.Fatal("negative L accepted")
+	}
+	if _, err := BuildFIFO(m, profile.Profile{}, 10); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := BuildFIFO(model.Params{}, p, 10); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestInfeasibleLargeClusterDetected(t *testing.T) {
+	// For a large harmonic cluster the seriatim protocol's outbound phase
+	// outlasts the first computer's busy period and the gap-free chain is
+	// impossible; the builder must say so rather than emit an overlapping
+	// schedule.
+	m := model.Table1()
+	p := profile.Harmonic(2000)
+	_, err := BuildFIFO(m, p, 1e6)
+	if err == nil {
+		t.Fatal("expected infeasibility error for n=2000 harmonic cluster")
+	}
+	if !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSingleComputerSchedule(t *testing.T) {
+	// n = 1 reduces to Figure 1's seven-phase pipeline (modulo the server's
+	// trailing unpack, which is off the channel path).
+	m := model.Table1()
+	p := profile.MustNew(0.5)
+	s, err := BuildFIFO(m, p, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Computers[0]
+	w := c.Work
+	if d := c.Segment(SegReceive).Duration(); math.Abs(d-m.A()*w) > 1e-12*w {
+		t.Fatalf("receive duration %v, want Aw=%v", d, m.A()*w)
+	}
+	if d := c.Segment(SegCompute).Duration(); math.Abs(d-0.5*w) > 1e-12*w {
+		t.Fatalf("compute duration %v, want ρw=%v", d, 0.5*w)
+	}
+	if d := c.Segment(SegUnpack).Duration(); math.Abs(d-m.Pi*0.5*w) > 1e-12*w {
+		t.Fatalf("unpack duration %v, want πρw=%v", d, m.Pi*0.5*w)
+	}
+}
+
+func TestMakespanEqualsLifespan(t *testing.T) {
+	m := model.Table1()
+	s, err := BuildFIFO(m, profile.Linear(6), 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan()-1234) > 1e-6 {
+		t.Fatalf("makespan = %v", s.Makespan())
+	}
+}
+
+func TestVerifyCatchesTampering(t *testing.T) {
+	m := model.Table1()
+	build := func() *Schedule {
+		s, err := BuildFIFO(m, profile.MustNew(1, 0.5, 0.25), 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// A clean schedule passes.
+	if err := build().Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Negative allocation.
+	s := build()
+	s.Computers[1].Work = -1
+	if s.Verify() == nil {
+		t.Fatal("negative allocation passed Verify")
+	}
+	// Channel overlap.
+	s = build()
+	s.ChannelBusy[1].Start = s.ChannelBusy[0].Start
+	if s.Verify() == nil {
+		t.Fatal("overlapping channel intervals passed Verify")
+	}
+	// Broken result chain.
+	s = build()
+	for k := range s.Computers[2].Segments {
+		s.Computers[2].Segments[k].Start += 1
+		s.Computers[2].Segments[k].End += 1
+	}
+	if s.Verify() == nil {
+		t.Fatal("shifted timeline passed Verify")
+	}
+}
+
+func TestSegmentLookupPanicsOnMissing(t *testing.T) {
+	c := &ComputerTimeline{Segments: []Segment{{Kind: SegWait}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing segment lookup did not panic")
+		}
+	}()
+	c.Segment(SegCompute)
+}
+
+func TestSegmentKindString(t *testing.T) {
+	for kind, want := range map[SegmentKind]string{
+		SegWait: "wait", SegReceive: "recv", SegUnpack: "unpack",
+		SegCompute: "compute", SegPack: "pack", SegReturn: "return",
+	} {
+		if kind.String() != want {
+			t.Fatalf("kind %d String = %q", int(kind), kind.String())
+		}
+	}
+	if got := SegmentKind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind String = %q", got)
+	}
+}

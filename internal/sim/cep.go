@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// Protocol is a concrete worksharing protocol: the startup order in which
+// the server serves the cluster's computers, and the work allocated to
+// each. Order[k] is the (0-based) computer index served k-th; Alloc[k] is
+// the work, in work units, sent to that computer.
+type Protocol struct {
+	Order []int
+	Alloc []float64
+}
+
+// Validate checks the protocol against an n-computer cluster: Order must be
+// a permutation of [0,n) and every allocation positive.
+func (pr Protocol) Validate(n int) error {
+	if len(pr.Order) != n || len(pr.Alloc) != n {
+		return fmt.Errorf("sim: protocol sized %d/%d for an %d-computer cluster", len(pr.Order), len(pr.Alloc), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range pr.Order {
+		if id < 0 || id >= n || seen[id] {
+			return fmt.Errorf("sim: startup order %v is not a permutation of [0,%d)", pr.Order, n)
+		}
+		seen[id] = true
+	}
+	for k, w := range pr.Alloc {
+		if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+			return fmt.Errorf("sim: allocation %d is %v, must be positive and finite", k, w)
+		}
+	}
+	return nil
+}
+
+// ComputerTrace records one computer's simulated lifecycle.
+type ComputerTrace struct {
+	ID          int     // index into the profile
+	Rho         float64 // nominal ρ
+	EffRho      float64 // ρ actually simulated (≠ Rho under jitter)
+	Work        float64 // allocation in work units
+	RecvStart   float64 // its inbound send begins occupying the channel
+	RecvEnd     float64 // work fully arrived
+	BusyEnd     float64 // unpack+compute+package finished
+	ReturnStart float64 // result message starts transit
+	ResultsAt   float64 // results fully arrived at the server
+}
+
+// Result is the outcome of simulating a protocol to completion.
+type Result struct {
+	Completed float64 // total work whose results reached the server
+	Makespan  float64 // time the last results arrived
+	Events    int     // events processed by the engine
+	Computers []ComputerTrace
+}
+
+// CompletedBy returns the work completed by time t — the CEP's figure of
+// merit for a lifespan L = t. Arrivals within a relative 1e-9 of t count:
+// protocols are constructed to finish exactly at L, and a result landing
+// one rounding error past the deadline is a float artifact, not a miss
+// (under FIFO the last arrival carries the largest allocation, so a strict
+// comparison would turn an ulp into a ~30% work loss).
+func (r Result) CompletedBy(t float64) float64 {
+	cutoff := t * (1 + 1e-9)
+	var acc stats.KahanSum
+	for _, c := range r.Computers {
+		if c.ResultsAt <= cutoff {
+			acc.Add(c.Work)
+		}
+	}
+	return acc.Sum()
+}
+
+// Options tunes a simulation run.
+type Options struct {
+	// RhoJitter, if positive, perturbs each computer's effective speed to
+	// ρ·(1 + RhoJitter·U) with U uniform on [−1,1] — a robustness study
+	// knob: the protocol's allocations are computed from the nominal
+	// profile, the world executes the perturbed one.
+	RhoJitter float64
+	// Seed drives the jitter draw.
+	Seed uint64
+}
+
+// RunCEP simulates protocol pr on cluster p under the architectural model m
+// and returns the full trace. The simulation always runs to completion;
+// use Result.CompletedBy to evaluate a lifespan cutoff.
+func RunCEP(m model.Params, p profile.Profile, pr Protocol, opt Options) (Result, error) {
+	if err := m.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := pr.Validate(len(p)); err != nil {
+		return Result{}, err
+	}
+	if opt.RhoJitter < 0 || opt.RhoJitter >= 1 {
+		return Result{}, fmt.Errorf("sim: jitter %v outside [0,1)", opt.RhoJitter)
+	}
+
+	eff := make([]float64, len(p))
+	copy(eff, p)
+	if opt.RhoJitter > 0 {
+		rng := stats.NewRNG(opt.Seed)
+		for i := range eff {
+			eff[i] *= 1 + opt.RhoJitter*(2*rng.Float64()-1)
+		}
+	}
+
+	eng := NewEngine()
+	ch := NewChannel(eng)
+	a, b, td := m.A(), m.B(), m.TauDelta()
+
+	res := Result{Computers: make([]ComputerTrace, len(pr.Order))}
+	var completed stats.KahanSum
+
+	// Enqueue all outbound sends at t = 0 in startup order; the channel's
+	// FIFO arbitration serializes them back to back, and any result message
+	// becoming ready mid-phase queues behind them — exactly the seriatim
+	// protocol of §2.2.
+	for k, id := range pr.Order {
+		k, id := k, id
+		w := pr.Alloc[k]
+		res.Computers[k] = ComputerTrace{ID: id, Rho: p[id], EffRho: eff[id], Work: w}
+		ch.Acquire(a*w, func(sendStart, recvEnd float64) {
+			tr := &res.Computers[k]
+			tr.RecvStart, tr.RecvEnd = sendStart, recvEnd
+			// The computer is busy unpack+compute+package: B(ρ)·w with the
+			// effective speed.
+			busy := b * eff[id] * w
+			eng.After(busy, func() {
+				tr.BusyEnd = eng.Now()
+				ch.Acquire(td*w, func(retStart, retEnd float64) {
+					tr.ReturnStart, tr.ResultsAt = retStart, retEnd
+					completed.Add(w)
+					if retEnd > res.Makespan {
+						res.Makespan = retEnd
+					}
+				})
+			})
+		})
+	}
+	if err := eng.Run(); err != nil {
+		return Result{}, err
+	}
+	if err := ch.VerifyExclusive(); err != nil {
+		return Result{}, err
+	}
+	res.Completed = completed.Sum()
+	res.Events = eng.Processed()
+	return res, nil
+}
+
+// Utilization summarizes how busy each resource was over the run's
+// makespan: per-computer busy fraction and the channel's duty cycle.
+type Utilization struct {
+	// Computer[i] is the fraction of the makespan computer i (by protocol
+	// position) spent in its busy block.
+	Computer []float64
+	// Channel is the fraction of the makespan the shared channel carried a
+	// message.
+	Channel float64
+	// Mean is the average computer utilization.
+	Mean float64
+}
+
+// Utilization derives resource usage from the trace.
+func (r Result) Utilization() Utilization {
+	u := Utilization{Computer: make([]float64, len(r.Computers))}
+	if r.Makespan <= 0 {
+		return u
+	}
+	var channelBusy, total stats.KahanSum
+	for i, c := range r.Computers {
+		busy := c.BusyEnd - c.RecvEnd
+		u.Computer[i] = busy / r.Makespan
+		total.Add(u.Computer[i])
+		channelBusy.Add(c.RecvEnd - c.RecvStart)
+		channelBusy.Add(c.ResultsAt - c.ReturnStart)
+	}
+	u.Channel = channelBusy.Sum() / r.Makespan
+	u.Mean = total.Sum() / float64(len(r.Computers))
+	return u
+}

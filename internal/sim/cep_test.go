@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+	"hetero/internal/stats"
+)
+
+func TestSimMatchesAnalyticSchedule(t *testing.T) {
+	// Executing the optimal FIFO allocations event by event must reproduce
+	// the analytic schedule: same makespan (= L), same work, same
+	// per-computer timings.
+	m := model.Table1()
+	r := stats.NewRNG(307)
+	for trial := 0; trial < 50; trial++ {
+		p := profile.RandomNormalized(r, 1+r.Intn(8))
+		l := r.InRange(100, 1e4)
+		sched, err := schedule.BuildFIFO(m, p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto, err := OptimalFIFO(m, p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunCEP(m, p, proto, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Makespan-l) > 1e-8*l {
+			t.Fatalf("sim makespan %v != L %v for %v", res.Makespan, l, p)
+		}
+		if math.Abs(res.Completed-sched.TotalWork) > 1e-9*sched.TotalWork {
+			t.Fatalf("sim work %v != schedule work %v", res.Completed, sched.TotalWork)
+		}
+		for k, tr := range res.Computers {
+			ct := sched.Computers[k]
+			if math.Abs(tr.RecvEnd-ct.Segment(schedule.SegReceive).End) > 1e-8*l {
+				t.Fatalf("computer %d recv end %v != %v", k, tr.RecvEnd, ct.Segment(schedule.SegReceive).End)
+			}
+			if math.Abs(tr.ResultsAt-ct.ResultsArrive) > 1e-8*l {
+				t.Fatalf("computer %d results %v != %v", k, tr.ResultsAt, ct.ResultsArrive)
+			}
+		}
+	}
+}
+
+func TestSimMatchesTheorem2(t *testing.T) {
+	// End to end: simulated work under optimal allocations equals Theorem
+	// 2's W(L;P).
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 1.0/3, 0.25)
+	l := 3600.0
+	proto, err := OptimalFIFO(m, p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCEP(m, p, proto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.W(m, p, l)
+	if math.Abs(res.Completed-want) > 1e-9*want {
+		t.Fatalf("simulated %v, Theorem 2 says %v", res.Completed, want)
+	}
+}
+
+func TestSimOrderInvariance(t *testing.T) {
+	// Theorem 1.2, verified in the event-driven world: any startup order
+	// with the matching gap-free allocations completes the same work by L.
+	m := model.Table1()
+	r := stats.NewRNG(311)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(6)
+		p := profile.RandomNormalized(r, n)
+		l := 500.0
+		base, err := OptimalFIFO(m, p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := RunCEP(m, p, base, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allocations for the permuted startup order.
+		perm := r.Perm(n)
+		permuted := p.Permuted(perm)
+		alloc, err := schedule.Allocations(m, permuted, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto := Protocol{Order: perm, Alloc: alloc}
+		ra, err := RunCEP(m, p, proto, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rb.Completed-ra.Completed) > 1e-9*rb.Completed {
+			t.Fatalf("work depends on startup order: %v vs %v (perm %v)", rb.Completed, ra.Completed, perm)
+		}
+		if math.Abs(ra.Makespan-l) > 1e-8*l {
+			t.Fatalf("permuted protocol missed the lifespan: %v vs %v", ra.Makespan, l)
+		}
+	}
+}
+
+func TestCompletedBy(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	proto, err := OptimalFIFO(m, p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCEP(m, p, proto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CompletedBy(res.Makespan + 1); math.Abs(got-res.Completed) > 1e-12 {
+		t.Fatalf("CompletedBy(makespan) = %v, want %v", got, res.Completed)
+	}
+	// Before the first result arrives, nothing is complete.
+	first := res.Computers[0].ResultsAt
+	if got := res.CompletedBy(first * 0.5); got != 0 {
+		t.Fatalf("CompletedBy(early) = %v, want 0", got)
+	}
+	// Between the two arrivals exactly one allocation counts.
+	mid := (res.Computers[0].ResultsAt + res.Computers[1].ResultsAt) / 2
+	if got := res.CompletedBy(mid); math.Abs(got-res.Computers[0].Work) > 1e-12 {
+		t.Fatalf("CompletedBy(mid) = %v, want %v", got, res.Computers[0].Work)
+	}
+}
+
+func TestProtocolValidation(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	bad := []Protocol{
+		{Order: []int{0}, Alloc: []float64{1, 2}},
+		{Order: []int{0, 0}, Alloc: []float64{1, 2}},
+		{Order: []int{0, 2}, Alloc: []float64{1, 2}},
+		{Order: []int{0, 1}, Alloc: []float64{1, -2}},
+		{Order: []int{0, 1}, Alloc: []float64{1, 0}},
+		{Order: []int{0, 1}, Alloc: []float64{1, math.NaN()}},
+	}
+	for i, proto := range bad {
+		if _, err := RunCEP(m, p, proto, Options{}); err == nil {
+			t.Fatalf("bad protocol %d accepted", i)
+		}
+	}
+}
+
+func TestRunCEPRejectsBadJitter(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1)
+	proto := Protocol{Order: []int{0}, Alloc: []float64{1}}
+	for _, j := range []float64{-0.1, 1, 2} {
+		if _, err := RunCEP(m, p, proto, Options{RhoJitter: j}); err == nil {
+			t.Fatalf("jitter %v accepted", j)
+		}
+	}
+}
+
+func TestJitterPerturbsDeterministically(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	proto, err := OptimalFIFO(m, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunCEP(m, p, proto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := RunCEP(m, p, proto, Options{RhoJitter: 0.2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := RunCEP(m, p, proto, Options{RhoJitter: 0.2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.Makespan != j2.Makespan {
+		t.Fatal("jittered runs with the same seed differ")
+	}
+	if j1.Makespan == clean.Makespan {
+		t.Fatal("jitter had no effect")
+	}
+	for i, tr := range j1.Computers {
+		if tr.EffRho == tr.Rho {
+			t.Fatalf("computer %d effective speed unperturbed", i)
+		}
+	}
+}
+
+func TestChannelNeverDoubleBookedUnderContention(t *testing.T) {
+	// Force contention with deliberately unbalanced allocations and verify
+	// the exclusivity invariant still holds.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.001, 0.001, 0.001)
+	proto := Protocol{Order: []int{0, 1, 2, 3}, Alloc: []float64{1, 1000, 1000, 1000}}
+	res, err := RunCEP(m, p, proto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 3001 {
+		t.Fatalf("completed %v, want full 3001", res.Completed)
+	}
+	// Fast computers finish almost together; their returns must serialize:
+	// each later return starts no earlier than the previous ends.
+	for i := 2; i < 4; i++ {
+		prev, cur := res.Computers[i-1], res.Computers[i]
+		if cur.ReturnStart < prev.ResultsAt-1e-12 {
+			t.Fatalf("returns overlap: computer %d starts at %v before %v", i, cur.ReturnStart, prev.ResultsAt)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	proto, err := OptimalFIFO(m, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCEP(m, p, proto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := res.Utilization()
+	if len(u.Computer) != 3 {
+		t.Fatalf("computers = %d", len(u.Computer))
+	}
+	for i, frac := range u.Computer {
+		// Under the gap-free optimal protocol every computer is busy nearly
+		// the whole lifespan (receive + return slices are µs-scale).
+		if frac < 0.99 || frac > 1 {
+			t.Fatalf("computer %d utilization %v, want ≈1", i, frac)
+		}
+	}
+	if u.Mean < 0.99 || u.Mean > 1 {
+		t.Fatalf("mean utilization %v", u.Mean)
+	}
+	// The channel, by contrast, is nearly idle at these parameters.
+	if u.Channel > 0.01 {
+		t.Fatalf("channel duty cycle %v, want ≈0", u.Channel)
+	}
+}
+
+func TestUtilizationEmptyMakespan(t *testing.T) {
+	u := Result{}.Utilization()
+	if u.Channel != 0 || u.Mean != 0 {
+		t.Fatalf("zero-makespan utilization: %+v", u)
+	}
+}
+
+func TestSimScalingHomogeneity(t *testing.T) {
+	// Metamorphic property: scaling every allocation by c scales every
+	// event time by c (the model has no fixed costs).
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	proto, err := OptimalFIFO(m, p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunCEP(m, p, proto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const c = 3.5
+	scaled := Protocol{Order: proto.Order, Alloc: make([]float64, len(proto.Alloc))}
+	for i, w := range proto.Alloc {
+		scaled.Alloc[i] = c * w
+	}
+	big, err := RunCEP(m, p, scaled, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(big.Makespan-c*base.Makespan) > 1e-9*big.Makespan {
+		t.Fatalf("makespan not homogeneous: %v vs %v×%v", big.Makespan, c, base.Makespan)
+	}
+	for k := range base.Computers {
+		if math.Abs(big.Computers[k].ResultsAt-c*base.Computers[k].ResultsAt) > 1e-9*big.Makespan {
+			t.Fatalf("computer %d results time not homogeneous", k)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package sim is a discrete-event simulator for the Cluster-Exploitation
+// Problem. Where package schedule *constructs* the optimal gap-free FIFO
+// timeline analytically, sim *executes* an arbitrary worksharing protocol —
+// any startup order and any work allocation — against the architectural
+// model of §2.1, with the single shared channel arbitrated dynamically.
+//
+// This is the substrate behind the paper's "simulations that illustrate and
+// elucidate the analytical results" (§1.2): it validates Theorem 2 (the
+// event-driven execution of the optimal allocations completes exactly
+// W(L;P) work), Theorem 1.2 (startup order does not matter), and it hosts
+// the baseline protocols (equal and speed-proportional allocations) that
+// quantify how much the optimal FIFO protocol buys.
+//
+// Model semantics, matching package schedule:
+//   - outbound: the server packages and transmits seriatim; each send
+//     occupies the shared server+channel pipeline for A·w time units and is
+//     store-and-forward (the computer starts unpacking only when the whole
+//     message has arrived);
+//   - remote computer: busy for Bρw (unpack, compute, package results);
+//   - return: the result message occupies the channel for τδw; a unit of
+//     work is complete when its results fully arrive at the server. The
+//     server's own result unpacking (π₀δw) is pipelined off the channel's
+//     critical path and therefore not modelled as a resource.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	time float64
+	seq  int64 // tie-break: FIFO among simultaneous events
+	run  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a minimal discrete-event simulation kernel: schedule callbacks
+// at absolute times, then Run drains them in time order.
+type Engine struct {
+	queue     eventHeap
+	now       float64
+	seq       int64
+	processed int
+	running   bool
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns how many events have been executed.
+func (e *Engine) Processed() int { return e.processed }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (before
+// the current simulation time) panics — that is always a model bug.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v, before current time %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: t, seq: e.seq, run: fn})
+}
+
+// After schedules fn to run d time units from now.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events in time order until the queue is empty. It errors if
+// called reentrantly.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.time
+		e.processed++
+		ev.run()
+	}
+	return nil
+}
+
+// Channel is the single shared communication resource: at most one message
+// in transit at any moment, granted in request order (FIFO).
+type Channel struct {
+	eng    *Engine
+	freeAt float64
+	// Busy records every granted interval, for invariant checking.
+	Busy []Interval
+}
+
+// Interval is a closed-open busy period [Start, End).
+type Interval struct{ Start, End float64 }
+
+// NewChannel returns an idle channel bound to eng.
+func NewChannel(eng *Engine) *Channel { return &Channel{eng: eng} }
+
+// Acquire requests the channel for dur time units starting no earlier than
+// now; done runs when the occupation ends and receives the granted
+// [start, end] interval. Requests are served in the order Acquire is called.
+func (c *Channel) Acquire(dur float64, done func(start, end float64)) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative channel occupation %v", dur))
+	}
+	start := c.eng.Now()
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	end := start + dur
+	c.freeAt = end
+	c.Busy = append(c.Busy, Interval{start, end})
+	c.eng.At(end, func() { done(start, end) })
+}
+
+// VerifyExclusive checks that no two granted intervals overlap (they are
+// recorded in grant order, so adjacent comparison suffices).
+func (c *Channel) VerifyExclusive() error {
+	for i := 1; i < len(c.Busy); i++ {
+		if c.Busy[i].Start < c.Busy[i-1].End-1e-12 {
+			return fmt.Errorf("sim: channel intervals overlap: [%v,%v) then [%v,%v)",
+				c.Busy[i-1].Start, c.Busy[i-1].End, c.Busy[i].Start, c.Busy[i].End)
+		}
+	}
+	return nil
+}

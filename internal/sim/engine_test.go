@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	eng.At(3, func() { got = append(got, 3) })
+	eng.At(1, func() { got = append(got, 1) })
+	eng.At(2, func() { got = append(got, 2) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if eng.Processed() != 3 {
+		t.Fatalf("processed = %d", eng.Processed())
+	}
+}
+
+func TestEngineFIFOAmongSimultaneous(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.At(7, func() { got = append(got, i) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineCascadedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var times []float64
+	eng.At(1, func() {
+		times = append(times, eng.Now())
+		eng.After(2, func() { times = append(times, eng.Now()) })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestEnginePanicsOnPastEvent(t *testing.T) {
+	eng := NewEngine()
+	eng.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		eng.At(1, func() {})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestChannelSerializes(t *testing.T) {
+	eng := NewEngine()
+	ch := NewChannel(eng)
+	type grant struct{ start, end float64 }
+	var grants []grant
+	// Three requests issued at t=0 with durations 5, 3, 2: must run
+	// back-to-back.
+	for _, d := range []float64{5, 3, 2} {
+		d := d
+		ch.Acquire(d, func(s, e float64) { grants = append(grants, grant{s, e}) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []grant{{0, 5}, {5, 8}, {8, 10}}
+	for i := range want {
+		if grants[i] != want[i] {
+			t.Fatalf("grants = %v, want %v", grants, want)
+		}
+	}
+	if err := ch.VerifyExclusive(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelGrantsLaterRequestImmediatelyWhenIdle(t *testing.T) {
+	eng := NewEngine()
+	ch := NewChannel(eng)
+	var start float64 = -1
+	eng.At(10, func() {
+		ch.Acquire(4, func(s, e float64) { start = s })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if start != 10 {
+		t.Fatalf("start = %v, want 10", start)
+	}
+}
+
+func TestChannelPanicsOnNegativeDuration(t *testing.T) {
+	eng := NewEngine()
+	ch := NewChannel(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	ch.Acquire(-1, func(s, e float64) {})
+}
+
+func TestVerifyExclusiveCatchesOverlap(t *testing.T) {
+	ch := &Channel{Busy: []Interval{{0, 5}, {4, 6}}}
+	if ch.VerifyExclusive() == nil {
+		t.Fatal("overlap not caught")
+	}
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+func TestRunMessagesSingleRoundMatchesRunCEP(t *testing.T) {
+	// One message per computer must reproduce RunCEP exactly.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	proto, err := OptimalFIFO(m, p, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := RunCEP(m, p, proto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]Message, len(proto.Order))
+	for k, id := range proto.Order {
+		msgs[k] = Message{Computer: id, Work: proto.Alloc[k]}
+	}
+	general, err := RunMessages(m, p, MsgProtocol{Messages: msgs}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(general.Makespan-classic.Makespan) > 1e-9*classic.Makespan {
+		t.Fatalf("makespans differ: %v vs %v", general.Makespan, classic.Makespan)
+	}
+	if math.Abs(general.Completed-classic.Completed) > 1e-9*classic.Completed {
+		t.Fatalf("completed differ: %v vs %v", general.Completed, classic.Completed)
+	}
+	for k := range msgs {
+		if math.Abs(general.Messages[k].ResultsAt-classic.Computers[k].ResultsAt) > 1e-9*classic.Makespan {
+			t.Fatalf("message %d results at %v vs %v", k, general.Messages[k].ResultsAt, classic.Computers[k].ResultsAt)
+		}
+	}
+}
+
+func TestComputerSerializesItsInstallments(t *testing.T) {
+	// Two messages to the same computer must process back to back, never
+	// overlapping.
+	m := model.Table1()
+	p := profile.MustNew(0.5)
+	mp := MsgProtocol{Messages: []Message{{0, 10}, {0, 20}}}
+	r, err := RunMessages(m, p, mp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second := r.Messages[0], r.Messages[1]
+	// Second starts processing no earlier than the first finishes.
+	if second.BusyEnd-m.B()*0.5*20 < first.BusyEnd-1e-12 {
+		t.Fatalf("installments overlapped: first busy end %v, second busy start %v",
+			first.BusyEnd, second.BusyEnd-m.B()*0.5*20)
+	}
+}
+
+func TestMultiInstallmentHitsLifespan(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	for _, k := range []int{1, 2, 5} {
+		_, res, err := MultiInstallment(m, p, 1000, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if math.Abs(res.Makespan-1000) > 1e-8*1000 {
+			t.Fatalf("k=%d makespan %v", k, res.Makespan)
+		}
+	}
+}
+
+func TestMultiInstallmentSingleEqualsOptimal(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25, 0.125)
+	proto, err := OptimalFIFO(m, p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := RunCEP(m, p, proto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := MultiInstallment(m, p, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Completed-classic.Completed) > 1e-6*classic.Completed {
+		t.Fatalf("k=1 completed %v != single-round %v", res.Completed, classic.Completed)
+	}
+}
+
+func TestMultiInstallmentHelpsAtExpensiveLinks(t *testing.T) {
+	// At grid-scale τ the outbound phase is long; smaller first packages
+	// start computers earlier and k > 1 completes strictly more work by L.
+	m := model.Params{Tau: 0.05, Pi: 1e-4, Delta: 1}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := profile.MustNew(1, 0.8, 0.6, 0.4)
+	const l = 100.0
+	_, k1, err := MultiInstallment(m, p, l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k4, err := MultiInstallment(m, p, l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(k4.Completed > k1.Completed*1.0001) {
+		t.Fatalf("4 installments (%v) did not beat 1 (%v) at τ=0.05", k4.Completed, k1.Completed)
+	}
+	// At µs links the difference must be negligible either way.
+	cheap := model.Table1()
+	_, c1, err := MultiInstallment(cheap, p, l, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c4, err := MultiInstallment(cheap, p, l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c4.Completed-c1.Completed)/c1.Completed > 1e-3 {
+		t.Fatalf("installments changed µs-link work by %v", math.Abs(c4.Completed-c1.Completed)/c1.Completed)
+	}
+}
+
+func TestMultiInstallmentDiminishingReturns(t *testing.T) {
+	// Work by L is (weakly) increasing in k at expensive links; the gains
+	// shrink as k grows.
+	m := model.Params{Tau: 0.05, Pi: 1e-4, Delta: 1}
+	p := profile.MustNew(1, 0.8, 0.6, 0.4)
+	prev := 0.0
+	var gains []float64
+	for _, k := range []int{1, 2, 4, 8} {
+		_, res, err := MultiInstallment(m, p, 100, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 {
+			gains = append(gains, res.Completed-prev)
+			if res.Completed < prev-1e-6 {
+				t.Fatalf("k=%d reduced work: %v after %v", k, res.Completed, prev)
+			}
+		}
+		prev = res.Completed
+	}
+	if !(gains[0] > gains[len(gains)-1]) {
+		t.Fatalf("gains did not diminish: %v", gains)
+	}
+}
+
+func TestRunMessagesValidation(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	cases := []MsgProtocol{
+		{},
+		{Messages: []Message{{Computer: 2, Work: 1}}},
+		{Messages: []Message{{Computer: 0, Work: 0}}},
+		{Messages: []Message{{Computer: 0, Work: math.NaN()}}},
+	}
+	for i, mp := range cases {
+		if _, err := RunMessages(m, p, mp, Options{}); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if _, _, err := MultiInstallment(m, p, 100, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestMsgCompletedBy(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1)
+	mp := MsgProtocol{Messages: []Message{{0, 5}, {0, 7}}}
+	r, err := RunMessages(m, p, mp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CompletedBy(r.Makespan); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("CompletedBy(makespan) = %v", got)
+	}
+	mid := (r.Messages[0].ResultsAt + r.Messages[1].ResultsAt) / 2
+	if got := r.CompletedBy(mid); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("CompletedBy(mid) = %v, want 5", got)
+	}
+}

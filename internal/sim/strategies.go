@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+)
+
+// OptimalFIFO returns the provably optimal protocol for lifespan L (Theorem
+// 1): the gap-free FIFO allocations of package schedule, served in the
+// profile's own order.
+func OptimalFIFO(m model.Params, p profile.Profile, lifespan float64) (Protocol, error) {
+	alloc, err := schedule.Allocations(m, p, lifespan)
+	if err != nil {
+		return Protocol{}, err
+	}
+	return Protocol{Order: identity(len(p)), Alloc: alloc}, nil
+}
+
+// EqualSplit returns the naive baseline protocol that hands every computer
+// the same amount of work, scaled so the simulated makespan is exactly L.
+func EqualSplit(m model.Params, p profile.Profile, lifespan float64) (Protocol, Result, error) {
+	weights := make([]float64, len(p))
+	for i := range weights {
+		weights[i] = 1
+	}
+	return ScaleToLifespan(m, p, identity(len(p)), weights, lifespan)
+}
+
+// ProportionalSplit returns the folk-wisdom baseline that allocates work
+// proportionally to computer speed (wᵢ ∝ 1/ρᵢ), scaled so the simulated
+// makespan is exactly L. It ignores communication costs, which is exactly
+// what the optimal FIFO allocations do not do.
+func ProportionalSplit(m model.Params, p profile.Profile, lifespan float64) (Protocol, Result, error) {
+	weights := make([]float64, len(p))
+	for i, rho := range p {
+		weights[i] = 1 / rho
+	}
+	return ScaleToLifespan(m, p, identity(len(p)), weights, lifespan)
+}
+
+// ScaleToLifespan runs the protocol defined by (order, weights) once,
+// exploits the model's positive homogeneity (every event time scales
+// linearly with a uniform scaling of the allocations) to rescale the
+// weights so the makespan lands exactly on L, and returns the scaled
+// protocol with its simulation result.
+func ScaleToLifespan(m model.Params, p profile.Profile, order []int, weights []float64, lifespan float64) (Protocol, Result, error) {
+	if !(lifespan > 0) {
+		return Protocol{}, Result{}, fmt.Errorf("sim: lifespan %v must be positive", lifespan)
+	}
+	probe := Protocol{Order: order, Alloc: weights}
+	r, err := RunCEP(m, p, probe, Options{})
+	if err != nil {
+		return Protocol{}, Result{}, err
+	}
+	if !(r.Makespan > 0) {
+		return Protocol{}, Result{}, fmt.Errorf("sim: probe run produced makespan %v", r.Makespan)
+	}
+	c := lifespan / r.Makespan
+	scaled := Protocol{Order: order, Alloc: make([]float64, len(weights))}
+	for i, w := range weights {
+		scaled.Alloc[i] = c * w
+	}
+	final, err := RunCEP(m, p, scaled, Options{})
+	if err != nil {
+		return Protocol{}, Result{}, err
+	}
+	return scaled, final, nil
+}
+
+func identity(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}

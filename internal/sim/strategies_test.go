@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func TestBaselinesHitTheLifespanExactly(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	l := 1000.0
+	for name, run := range map[string]func() (Protocol, Result, error){
+		"equal":        func() (Protocol, Result, error) { return EqualSplit(m, p, l) },
+		"proportional": func() (Protocol, Result, error) { return ProportionalSplit(m, p, l) },
+	} {
+		_, res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(res.Makespan-l) > 1e-8*l {
+			t.Fatalf("%s: makespan %v != %v", name, res.Makespan, l)
+		}
+	}
+}
+
+func TestOptimalFIFOBeatsBaselines(t *testing.T) {
+	// The whole point of [1]'s FIFO protocol: it completes strictly more
+	// work by L than the naive allocations on heterogeneous clusters.
+	m := model.Table1()
+	r := stats.NewRNG(313)
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(6)
+		p := profile.RandomNormalized(r, n)
+		if p.Variance() < 1e-4 {
+			continue // nearly homogeneous; margins vanish
+		}
+		l := 2000.0
+		opt, err := OptimalFIFO(m, p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optRes, err := RunCEP(m, p, opt, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, eqRes, err := EqualSplit(m, p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, propRes, err := ProportionalSplit(m, p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optRes.Completed < eqRes.Completed-1e-6 {
+			t.Fatalf("equal split (%v) beat optimal (%v) on %v", eqRes.Completed, optRes.Completed, p)
+		}
+		if optRes.Completed < propRes.Completed-1e-6 {
+			t.Fatalf("proportional split (%v) beat optimal (%v) on %v", propRes.Completed, optRes.Completed, p)
+		}
+		// Equal split on a genuinely heterogeneous cluster must lose
+		// strictly: the slowest computer throttles everyone.
+		if p.Slowest()/p.Fastest() > 2 && !(optRes.Completed > eqRes.Completed) {
+			t.Fatalf("optimal did not strictly beat equal split on a 2x-spread cluster %v", p)
+		}
+	}
+}
+
+func TestProportionalCloseToOptimalAtTinyCommunication(t *testing.T) {
+	// With τ, π → 0 the CEP degenerates and speed-proportional allocation
+	// approaches optimality; the gap must be well under 1% at Table 1
+	// scales for a small cluster.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	l := 10000.0
+	opt, err := OptimalFIFO(m, p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := RunCEP(m, p, opt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, propRes, err := ProportionalSplit(m, p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := (optRes.Completed - propRes.Completed) / optRes.Completed
+	if gap < 0 || gap > 0.01 {
+		t.Fatalf("proportional gap %v outside [0, 1%%]", gap)
+	}
+}
+
+func TestEqualSplitPenaltyGrowsWithHeterogeneity(t *testing.T) {
+	m := model.Table1()
+	l := 5000.0
+	penalty := func(p profile.Profile) float64 {
+		opt, err := OptimalFIFO(m, p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optRes, err := RunCEP(m, p, opt, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, eqRes, err := EqualSplit(m, p, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (optRes.Completed - eqRes.Completed) / optRes.Completed
+	}
+	mild := penalty(profile.MustNew(1, 0.9, 0.8, 0.7))
+	severe := penalty(profile.MustNew(1, 0.5, 0.1, 0.05))
+	if !(severe > mild) {
+		t.Fatalf("equal-split penalty did not grow with heterogeneity: mild %v, severe %v", mild, severe)
+	}
+}
+
+func TestScaleToLifespanRejectsBadLifespan(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1)
+	if _, _, err := ScaleToLifespan(m, p, []int{0}, []float64{1}, 0); err == nil {
+		t.Fatal("L=0 accepted")
+	}
+}
+
+func TestOptimalFIFOMatchesWorkRate(t *testing.T) {
+	// Work per unit lifespan from the simulated optimal protocol equals
+	// core.WorkRate.
+	m := model.Table1()
+	p := profile.Linear(6)
+	l := 750.0
+	proto, err := OptimalFIFO(m, p, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCEP(m, p, proto, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := res.Completed / l; math.Abs(rate-core.WorkRate(m, p)) > 1e-9*rate {
+		t.Fatalf("sim rate %v != analytic %v", rate, core.WorkRate(m, p))
+	}
+}

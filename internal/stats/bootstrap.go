@@ -1,0 +1,41 @@
+package stats
+
+import "math"
+
+// BootstrapCI estimates a (1-alpha) confidence interval for statistic fn
+// over sample xs using the percentile bootstrap with rounds resamples.
+// Experiments use it to attach uncertainty to the success percentages
+// reported for the §4.3 variance-predictor study.
+func BootstrapCI(r *RNG, xs []float64, fn func([]float64) float64, rounds int, alpha float64) (lo, hi float64) {
+	if len(xs) == 0 || rounds <= 0 {
+		return 0, 0
+	}
+	estimates := make([]float64, rounds)
+	resample := make([]float64, len(xs))
+	for b := 0; b < rounds; b++ {
+		for i := range resample {
+			resample[i] = xs[r.Intn(len(xs))]
+		}
+		estimates[b] = fn(resample)
+	}
+	return Quantile(estimates, alpha/2), Quantile(estimates, 1-alpha/2)
+}
+
+// ProportionCI returns a normal-approximation (Wald) confidence interval for
+// a success proportion k/n at the given z score (1.96 for 95%). The interval
+// is clamped to [0,1].
+func ProportionCI(k, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 0
+	}
+	p := float64(k) / float64(n)
+	se := z * math.Sqrt(p*(1-p)/float64(n))
+	lo, hi = p-se, p+se
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,51 @@
+package stats
+
+import "testing"
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	r := NewRNG(99)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Norm() + 10
+	}
+	lo, hi := BootstrapCI(r, xs, Mean, 500, 0.05)
+	m := Mean(xs)
+	if !(lo < m && m < hi) {
+		t.Fatalf("95%% bootstrap CI [%v,%v] does not cover the sample mean %v", lo, hi, m)
+	}
+	if hi-lo > 1 {
+		t.Fatalf("CI [%v,%v] implausibly wide for n=500", lo, hi)
+	}
+}
+
+func TestBootstrapCIEmpty(t *testing.T) {
+	lo, hi := BootstrapCI(NewRNG(1), nil, Mean, 100, 0.05)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty sample CI = [%v,%v]", lo, hi)
+	}
+}
+
+func TestProportionCI(t *testing.T) {
+	lo, hi := ProportionCI(76, 100, 1.96)
+	if !(lo < 0.76 && 0.76 < hi) {
+		t.Fatalf("CI [%v,%v] does not cover point estimate", lo, hi)
+	}
+	if lo < 0.6 || hi > 0.9 {
+		t.Fatalf("CI [%v,%v] implausibly wide", lo, hi)
+	}
+}
+
+func TestProportionCIClamps(t *testing.T) {
+	lo, _ := ProportionCI(0, 10, 1.96)
+	_, hi := ProportionCI(10, 10, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("clamping failed: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestProportionCIZeroN(t *testing.T) {
+	lo, hi := ProportionCI(0, 0, 1.96)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("n=0 CI = [%v,%v]", lo, hi)
+	}
+}

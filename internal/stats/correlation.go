@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson correlation coefficient of the paired samples
+// x and y. It panics on length mismatch and returns 0 when either sample
+// has zero variance.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: Pearson length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy KahanSum
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy.Add(dx * dy)
+		sxx.Add(dx * dx)
+		syy.Add(dy * dy)
+	}
+	den := sxx.Sum() * syy.Sum()
+	if den <= 0 {
+		return 0
+	}
+	return sxy.Sum() / math.Sqrt(den)
+}
+
+// Spearman returns the Spearman rank correlation of the paired samples:
+// Pearson correlation of their rank vectors, with average ranks for ties.
+// A predictor whose score has Spearman ≈ ±1 against the X-measure ranks
+// clusters (almost) perfectly even when its absolute calibration is off.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: Spearman length mismatch %d vs %d", len(x), len(y)))
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// Ranks returns the 1-based ranks of xs with ties assigned their average
+// rank (the standard fractional ranking).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}

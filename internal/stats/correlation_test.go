@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPearsonPerfectLinear(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("r = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, neg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("r = %v, want -1", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if r := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); r != 0 {
+		t.Fatalf("constant-x correlation = %v, want 0", r)
+	}
+	if r := Pearson(nil, nil); r != 0 {
+		t.Fatalf("empty correlation = %v", r)
+	}
+}
+
+func TestPearsonIndependentNearZero(t *testing.T) {
+	rng := NewRNG(7)
+	n := 20000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+	}
+	if r := Pearson(x, y); math.Abs(r) > 0.03 {
+		t.Fatalf("independent samples correlate at %v", r)
+	}
+}
+
+func TestPearsonPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform preserves ranks exactly.
+	x := []float64{0.1, 0.7, 0.3, 0.9, 0.5}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(5 * v) // nonlinear but monotone
+	}
+	if r := Spearman(x, y); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want 1", r)
+	}
+	for i, v := range x {
+		y[i] = -math.Exp(5 * v)
+	}
+	if r := Spearman(x, y); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want -1", r)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	ranks := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", ranks, want)
+		}
+	}
+}
+
+func TestRanksEmpty(t *testing.T) {
+	if len(Ranks(nil)) != 0 {
+		t.Fatal("empty ranks")
+	}
+}
+
+func TestSpearmanLessSensitiveToOutliers(t *testing.T) {
+	// A wild outlier wrecks Pearson but barely moves Spearman.
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := []float64{1, 2, 3, 4, 5, 6, 7, 1000}
+	p := Pearson(x, y)
+	s := Spearman(x, y)
+	if !(s > p) || math.Abs(s-1) > 1e-12 {
+		t.Fatalf("Spearman %v should be 1 and above Pearson %v", s, p)
+	}
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Describe summarizes a sample: count, mean, population variance, standard
+// deviation, extremes, and higher standardized moments.
+type Describe struct {
+	N        int
+	Mean     float64
+	Variance float64 // population variance (divide by N), as in the paper's eq. (7)
+	StdDev   float64
+	Min      float64
+	Max      float64
+	Skewness float64 // standardized third moment (0 for symmetric samples)
+	Kurtosis float64 // excess kurtosis (0 for a normal sample)
+}
+
+// DescribeSample computes descriptive statistics over xs. It returns the
+// zero value for an empty sample.
+func DescribeSample(xs []float64) Describe {
+	d := Describe{N: len(xs)}
+	if d.N == 0 {
+		return d
+	}
+	d.Min, d.Max = xs[0], xs[0]
+	var sum KahanSum
+	for _, x := range xs {
+		sum.Add(x)
+		if x < d.Min {
+			d.Min = x
+		}
+		if x > d.Max {
+			d.Max = x
+		}
+	}
+	n := float64(d.N)
+	d.Mean = sum.Sum() / n
+
+	var m2, m3, m4 KahanSum
+	for _, x := range xs {
+		dx := x - d.Mean
+		dx2 := dx * dx
+		m2.Add(dx2)
+		m3.Add(dx2 * dx)
+		m4.Add(dx2 * dx2)
+	}
+	d.Variance = m2.Sum() / n
+	d.StdDev = math.Sqrt(d.Variance)
+	if d.Variance > 0 {
+		d.Skewness = (m3.Sum() / n) / math.Pow(d.Variance, 1.5)
+		d.Kurtosis = (m4.Sum()/n)/(d.Variance*d.Variance) - 3
+	}
+	return d
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty sample).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, matching the paper's
+// eq. (7): (1/n)Σρᵢ² − ((1/n)Σρᵢ)².
+func Variance(xs []float64) float64 {
+	return DescribeSample(xs).Variance
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return math.Exp(LogSumProduct(xs) / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted; it is not
+// modified. It panics for an empty sample or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile fraction out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDescribeKnownSample(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	d := DescribeSample(xs)
+	if d.N != 8 {
+		t.Fatalf("N = %d", d.N)
+	}
+	if !approxEq(d.Mean, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", d.Mean)
+	}
+	if !approxEq(d.Variance, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4 (population)", d.Variance)
+	}
+	if !approxEq(d.StdDev, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", d.StdDev)
+	}
+	if d.Min != 2 || d.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", d.Min, d.Max)
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	d := DescribeSample(nil)
+	if d.N != 0 || d.Mean != 0 || d.Variance != 0 {
+		t.Fatalf("empty sample not zero: %+v", d)
+	}
+}
+
+func TestDescribeConstantSample(t *testing.T) {
+	d := DescribeSample([]float64{3, 3, 3, 3})
+	if d.Variance != 0 || d.Skewness != 0 || d.Kurtosis != 0 {
+		t.Fatalf("constant sample: %+v", d)
+	}
+}
+
+func TestVarianceMatchesPaperFormula(t *testing.T) {
+	// Paper eq. (7): VAR(P) = (1/n)Σρ² − ((1/n)Σρ)².
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Profiles live in (0,1]; clamp quick's wild values there.
+			xs = append(xs, math.Mod(math.Abs(v), 1)+1e-9)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		n := float64(len(xs))
+		var sq, s KahanSum
+		for _, x := range xs {
+			sq.Add(x * x)
+			s.Add(x)
+		}
+		want := sq.Sum()/n - (s.Sum()/n)*(s.Sum()/n)
+		return approxEq(Variance(xs), want, 1e-10)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !approxEq(got, 2, 1e-12) {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestGeoMeanLEArithMean(t *testing.T) {
+	// AM–GM inequality holds for all positive samples.
+	r := NewRNG(2024)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64Open()
+		}
+		if GeoMean(xs) > Mean(xs)+1e-12 {
+			t.Fatalf("AM-GM violated: geo=%v arith=%v xs=%v", GeoMean(xs), Mean(xs), xs)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("Median = %v, want 3", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v, want 5", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q.25 = %v, want 2", got)
+	}
+	// xs must not be reordered.
+	if xs[0] != 5 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"empty", func() { Quantile(nil, 0.5) }},
+		{"range", func() { Quantile([]float64{1}, 1.5) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	right := DescribeSample([]float64{1, 1, 1, 1, 10})
+	if right.Skewness <= 0 {
+		t.Fatalf("right-skewed sample has skewness %v", right.Skewness)
+	}
+	left := DescribeSample([]float64{-10, 1, 1, 1, 1})
+	if left.Skewness >= 0 {
+		t.Fatalf("left-skewed sample has skewness %v", left.Skewness)
+	}
+}

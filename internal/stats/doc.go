@@ -1,0 +1,10 @@
+// Package stats is a small, dependency-free numerics substrate used by the
+// rest of the repository: a deterministic, seedable random number generator,
+// compensated (Kahan) summation, descriptive statistics, histograms, and
+// bootstrap confidence intervals.
+//
+// The paper's experiments (notably §4.3) sample hundreds of thousands of
+// random heterogeneity profiles and reduce them to means, variances and
+// success rates; everything needed for that lives here so experiments are
+// reproducible bit-for-bit from a seed.
+package stats

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi). Values outside
+// the range are clamped into the first/last bucket so that no observation is
+// silently dropped; Underflow/Overflow record how many were clamped.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []uint64
+	Underflow uint64
+	Overflow  uint64
+	total     uint64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+// It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: NewHistogram with non-positive bucket count")
+	}
+	if !(hi > lo) {
+		panic("stats: NewHistogram with empty range")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, n)}
+}
+
+// Observe records x.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	idx := int(math.Floor((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts))))
+	if idx < 0 {
+		h.Underflow++
+		idx = 0
+	} else if idx >= len(h.Counts) {
+		h.Overflow++
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns how many observations were recorded.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// BucketBounds returns the [lo,hi) bounds of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// String renders the histogram as an ASCII bar chart, one bucket per line.
+func (h *Histogram) String() string {
+	var maxCount uint64
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const width = 40
+	var b strings.Builder
+	for i, c := range h.Counts {
+		lo, hi := h.BucketBounds(i)
+		bar := 0
+		if maxCount > 0 {
+			bar = int(float64(c) / float64(maxCount) * width)
+		}
+		fmt.Fprintf(&b, "[%8.4f, %8.4f) %8d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	for _, x := range []float64{0.1, 0.3, 0.6, 0.9, 0.95} {
+		h.Observe(x)
+	}
+	want := []uint64{1, 1, 1, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Observe(-5)
+	h.Observe(7)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Fatalf("clamping failed: %v", h.Counts)
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Fatalf("under/over = %d/%d", h.Underflow, h.Overflow)
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	lo, hi := h.BucketBounds(2)
+	if lo != 4 || hi != 6 {
+		t.Fatalf("bounds = [%v,%v), want [4,6)", lo, hi)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Observe(0.2)
+	h.Observe(0.7)
+	h.Observe(0.8)
+	s := h.String()
+	if !strings.Contains(s, "#") {
+		t.Fatalf("render missing bars:\n%s", s)
+	}
+	if lines := strings.Count(s, "\n"); lines != 2 {
+		t.Fatalf("render has %d lines, want 2:\n%s", lines, s)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"buckets", func() { NewHistogram(0, 1, 0) }},
+		{"range", func() { NewHistogram(1, 1, 3) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

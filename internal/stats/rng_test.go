@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGSeedZeroWellMixed(t *testing.T) {
+	r := NewRNG(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 0 {
+		t.Fatalf("seed 0 produced %d zero outputs in 100 draws", zeros)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64OpenExcludesZero(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64Open(); f <= 0 || f >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := NewRNG(123)
+	const n = 200000
+	var sum KahanSum
+	for i := 0; i < n; i++ {
+		sum.Add(r.Float64())
+	}
+	mean := sum.Sum() / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) = %d out of range", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 6; v++ {
+		if seen[v] < 8000 || seen[v] > 12000 {
+			t.Fatalf("Intn(6) value %d appeared %d times out of 60000, badly non-uniform", v, seen[v])
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestMul64MatchesBigMultiplication(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul64(a, b)
+		// Verify via 32-bit schoolbook multiplication.
+		al, ah := a&0xffffffff, a>>32
+		bl, bh := b&0xffffffff, b>>32
+		t0 := al * bl
+		t1 := ah*bl + t0>>32
+		t2 := al*bh + t1&0xffffffff
+		wantLo := t0&0xffffffff | t2<<32
+		wantHi := ah*bh + t1>>32 + t2>>32
+		return hi == wantHi && lo == wantLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(31)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Norm()
+	}
+	d := DescribeSample(xs)
+	if math.Abs(d.Mean) > 0.01 {
+		t.Fatalf("normal mean = %v, want ~0", d.Mean)
+	}
+	if math.Abs(d.Variance-1) > 0.02 {
+		t.Fatalf("normal variance = %v, want ~1", d.Variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	for n := 0; n < 20; n++ {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) not a permutation: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := NewRNG(11)
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	want := Sum(xs)
+	r.Shuffle(xs)
+	if got := Sum(xs); got != want {
+		t.Fatalf("Shuffle changed sum: %v != %v", got, want)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(77)
+	child := r.Split()
+	if r.Uint64() == child.Uint64() {
+		t.Fatal("Split stream immediately collided with parent")
+	}
+}

@@ -1,0 +1,68 @@
+package stats
+
+import "math"
+
+// KahanSum accumulates float64 values with Neumaier's improved compensated
+// summation, which keeps the error independent of the number of addends.
+// The zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64 // running compensation
+	n   int
+}
+
+// Add accumulates x.
+func (k *KahanSum) Add(x float64) {
+	t := k.sum + x
+	if math.Abs(k.sum) >= math.Abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+	k.n++
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum + k.c }
+
+// N returns how many values were accumulated.
+func (k *KahanSum) N() int { return k.n }
+
+// Reset clears the accumulator.
+func (k *KahanSum) Reset() { *k = KahanSum{} }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Sum()
+}
+
+// Dot returns the compensated dot product of a and b. It panics if the
+// lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Dot length mismatch")
+	}
+	var k KahanSum
+	for i := range a {
+		k.Add(a[i] * b[i])
+	}
+	return k.Sum()
+}
+
+// LogSumProduct returns log(Π xs[i]) computed as Σ log xs[i], for stable
+// products of many factors in (0,1). It panics if any factor is non-positive.
+func LogSumProduct(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: LogSumProduct with non-positive factor")
+		}
+		k.Add(math.Log(x))
+	}
+	return k.Sum()
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKahanSumExactOnSmallInts(t *testing.T) {
+	var k KahanSum
+	for i := 1; i <= 1000; i++ {
+		k.Add(float64(i))
+	}
+	if k.Sum() != 500500 {
+		t.Fatalf("sum = %v, want 500500", k.Sum())
+	}
+	if k.N() != 1000 {
+		t.Fatalf("N = %d, want 1000", k.N())
+	}
+}
+
+func TestKahanSumCompensates(t *testing.T) {
+	// Classic pathological case: naive summation of 1 + 1e-16 * 1e6 loses
+	// every small addend; compensated summation keeps them.
+	var k KahanSum
+	k.Add(1)
+	for i := 0; i < 1000000; i++ {
+		k.Add(1e-16)
+	}
+	got := k.Sum()
+	want := 1 + 1e-10
+	if math.Abs(got-want) > 1e-14 {
+		t.Fatalf("compensated sum = %.17g, want %.17g", got, want)
+	}
+}
+
+func TestKahanNeumaierHandlesLargeThenSmall(t *testing.T) {
+	// Neumaier's variant (unlike plain Kahan) gets [1e100, 1, -1e100] right
+	// up to the representable result.
+	var k KahanSum
+	for _, x := range []float64{1e100, 1, -1e100} {
+		k.Add(x)
+	}
+	if k.Sum() != 1 {
+		t.Fatalf("sum = %v, want 1", k.Sum())
+	}
+}
+
+func TestKahanReset(t *testing.T) {
+	var k KahanSum
+	k.Add(5)
+	k.Reset()
+	if k.Sum() != 0 || k.N() != 0 {
+		t.Fatalf("Reset left state: sum=%v n=%d", k.Sum(), k.N())
+	}
+}
+
+func TestSumEmpty(t *testing.T) {
+	if Sum(nil) != 0 {
+		t.Fatal("Sum(nil) != 0")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestLogSumProduct(t *testing.T) {
+	xs := []float64{0.5, 0.25, 0.125}
+	got := LogSumProduct(xs)
+	want := math.Log(0.5 * 0.25 * 0.125)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LogSumProduct = %v, want %v", got, want)
+	}
+}
+
+func TestLogSumProductPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LogSumProduct with zero factor did not panic")
+		}
+	}()
+	LogSumProduct([]float64{1, 0})
+}

@@ -1,0 +1,135 @@
+// Package trace exports worksharing schedules and simulation runs in the
+// Chrome trace-event JSON format, viewable in chrome://tracing or Perfetto
+// (ui.perfetto.dev). Each cluster computer becomes a "thread", the shared
+// channel a dedicated track, and every model phase (receive, unpack,
+// compute, pack, return) a complete event — turning the paper's Figure 2
+// into an interactive timeline for any cluster.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hetero/internal/schedule"
+	"hetero/internal/sim"
+)
+
+// event is one Chrome trace "complete" (ph=X) event. Times and durations
+// are in microseconds per the format; we map one model time unit to 1 µs
+// scaled by the exporter's Scale.
+type event struct {
+	Name     string            `json:"name"`
+	Category string            `json:"cat"`
+	Phase    string            `json:"ph"`
+	TS       float64           `json:"ts"`
+	Dur      float64           `json:"dur"`
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+// metadata names processes/threads in the viewer.
+type metadata struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args"`
+}
+
+// Exporter writes trace JSON. Scale multiplies model time units into the
+// trace's microsecond timestamps (use 1 for µs-granularity models, 1e6 to
+// view second-granularity schedules comfortably); 0 selects 1e6.
+type Exporter struct {
+	Scale float64
+}
+
+const channelTID = 0 // channel gets thread 0; computer i gets tid i+1
+
+// WriteSchedule exports an analytic schedule.
+func (e Exporter) WriteSchedule(w io.Writer, s *schedule.Schedule) error {
+	scale := e.scale()
+	var events []interface{}
+	events = append(events, metadata{
+		Name: "thread_name", Phase: "M", PID: 1, TID: channelTID,
+		Args: map[string]string{"name": "shared channel"},
+	})
+	for _, seg := range s.ChannelBusy {
+		events = append(events, event{
+			Name: seg.Kind.String(), Category: "channel", Phase: "X",
+			TS: seg.Start * scale, Dur: seg.Duration() * scale,
+			PID: 1, TID: channelTID,
+		})
+	}
+	for i, c := range s.Computers {
+		events = append(events, metadata{
+			Name: "thread_name", Phase: "M", PID: 1, TID: i + 1,
+			Args: map[string]string{"name": fmt.Sprintf("C%d (ρ=%.4g)", i+1, c.Rho)},
+		})
+		for _, seg := range c.Segments {
+			if seg.Kind == schedule.SegWait || seg.Duration() == 0 {
+				continue
+			}
+			events = append(events, event{
+				Name: seg.Kind.String(), Category: "computer", Phase: "X",
+				TS: seg.Start * scale, Dur: seg.Duration() * scale,
+				PID: 1, TID: i + 1,
+				Args: map[string]string{"work": fmt.Sprintf("%.6g", c.Work)},
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(map[string]interface{}{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteSimResult exports a simulated run (coarser than a schedule: one busy
+// block per computer plus the channel occupations implied by the trace).
+func (e Exporter) WriteSimResult(w io.Writer, r sim.Result) error {
+	scale := e.scale()
+	var events []interface{}
+	events = append(events, metadata{
+		Name: "thread_name", Phase: "M", PID: 1, TID: channelTID,
+		Args: map[string]string{"name": "shared channel"},
+	})
+	for k, c := range r.Computers {
+		tid := k + 1
+		events = append(events, metadata{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+			Args: map[string]string{"name": fmt.Sprintf("C%d (ρ=%.4g)", c.ID+1, c.Rho)},
+		})
+		spans := []struct {
+			name       string
+			start, end float64
+			tid        int
+		}{
+			{"recv", c.RecvStart, c.RecvEnd, channelTID},
+			{"busy", c.RecvEnd, c.BusyEnd, tid},
+			{"return", c.ReturnStart, c.ResultsAt, channelTID},
+		}
+		for _, sp := range spans {
+			if sp.end <= sp.start {
+				continue
+			}
+			events = append(events, event{
+				Name: sp.name, Category: "sim", Phase: "X",
+				TS: sp.start * scale, Dur: (sp.end - sp.start) * scale,
+				PID: 1, TID: sp.tid,
+				Args: map[string]string{"work": fmt.Sprintf("%.6g", c.Work)},
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(map[string]interface{}{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+func (e Exporter) scale() float64 {
+	if e.Scale > 0 {
+		return e.Scale
+	}
+	return 1e6
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+	"hetero/internal/sim"
+)
+
+func decodeTrace(t *testing.T, data []byte) []map[string]interface{} {
+	t.Helper()
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteSchedule(t *testing.T) {
+	m := model.Table1()
+	s, err := schedule.BuildFIFO(m, profile.MustNew(1, 0.5, 0.25), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := (Exporter{}).WriteSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	// 4 thread_name metadata (channel + 3 computers), 6 channel busy
+	// segments, and 5 phases × 3 computers.
+	var meta, channel, computer int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			switch ev["cat"] {
+			case "channel":
+				channel++
+			case "computer":
+				computer++
+			}
+		}
+	}
+	if meta != 4 {
+		t.Fatalf("metadata events = %d, want 4", meta)
+	}
+	if channel != 6 {
+		t.Fatalf("channel events = %d, want 6 (3 sends + 3 returns)", channel)
+	}
+	if computer != 15 {
+		t.Fatalf("computer events = %d, want 15 (5 phases × 3)", computer)
+	}
+	if !strings.Contains(buf.String(), "shared channel") {
+		t.Fatal("channel track unnamed")
+	}
+}
+
+func TestWriteScheduleDurationsPositive(t *testing.T) {
+	m := model.Table1()
+	s, err := schedule.BuildFIFO(m, profile.MustNew(1, 0.5), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := (Exporter{Scale: 1}).WriteSchedule(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decodeTrace(t, buf.Bytes()) {
+		if ev["ph"] != "X" {
+			continue
+		}
+		if dur := ev["dur"].(float64); dur <= 0 {
+			t.Fatalf("non-positive duration event: %v", ev)
+		}
+		if ts := ev["ts"].(float64); ts < 0 {
+			t.Fatalf("negative timestamp: %v", ev)
+		}
+	}
+}
+
+func TestWriteSimResult(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	proto, err := sim.OptimalFIFO(m, p, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunCEP(m, p, proto, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := (Exporter{}).WriteSimResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	spans := 0
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			spans++
+		}
+	}
+	if spans != 6 { // recv+busy+return per computer
+		t.Fatalf("spans = %d, want 6", spans)
+	}
+}
+
+func TestExporterScaleDefault(t *testing.T) {
+	if (Exporter{}).scale() != 1e6 {
+		t.Fatal("default scale")
+	}
+	if (Exporter{Scale: 2}).scale() != 2 {
+		t.Fatal("explicit scale")
+	}
+}

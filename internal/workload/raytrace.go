@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/stats"
+)
+
+// RayTrace renders one small tile of a procedurally generated sphere scene
+// per work unit — the paper's "ray tracing on cluster computers" workload
+// [20]. Each unit casts width×height primary rays through its own tile of
+// the image plane against a shared scene and digests the hit geometry, so
+// units are equal-size, equal-complexity, and independently verifiable.
+type RayTrace struct {
+	seed          uint64
+	width, height int
+	spheres       []sphere
+	fingerprint   uint64 // folded scene geometry, mixed into every digest
+}
+
+type sphere struct {
+	cx, cy, cz float64
+	r          float64
+}
+
+// NewRayTrace builds a scene of nSpheres and renders tiles of
+// width×height rays per unit.
+func NewRayTrace(seed uint64, width, height, nSpheres int) *RayTrace {
+	if width <= 0 || height <= 0 || nSpheres <= 0 {
+		panic(fmt.Sprintf("workload: bad ray-trace sizes %dx%d/%d", width, height, nSpheres))
+	}
+	rng := stats.NewRNG(seed)
+	spheres := make([]sphere, nSpheres)
+	fp := seed
+	for i := range spheres {
+		spheres[i] = sphere{
+			cx: rng.InRange(-4, 4),
+			cy: rng.InRange(-4, 4),
+			cz: rng.InRange(4, 14),
+			r:  rng.InRange(0.3, 1.4),
+		}
+		fp = mix(fp, math.Float64bits(spheres[i].cx))
+		fp = mix(fp, math.Float64bits(spheres[i].r))
+	}
+	return &RayTrace{seed: seed, width: width, height: height, spheres: spheres, fingerprint: fp}
+}
+
+// Name implements Task.
+func (rt *RayTrace) Name() string { return "raytrace" }
+
+// Run implements Task: unit u renders one cell of an 8×8 image-plane
+// mosaic covering the scene; units beyond 64 revisit cells at shifted
+// subpixel sample grids (supersampling layers), so every unit index is
+// valid, equal-cost, and distinct.
+func (rt *RayTrace) Run(unit int) uint64 {
+	tileX, tileY, offset := tileOf(unit)
+	digest := mix(uint64(unit), rt.fingerprint)
+	for py := 0; py < rt.height; py++ {
+		for px := 0; px < rt.width; px++ {
+			dx, dy, dz := rt.rayDir(tileX, tileY, offset, px, py)
+			if t, hit := rt.nearestHit(dx, dy, dz); hit {
+				digest = mix(digest, math.Float64bits(math.Floor(t*1e6)))
+			}
+		}
+	}
+	return digest
+}
+
+// tileOf maps a unit index to its mosaic cell and supersampling offset.
+func tileOf(unit int) (tileX, tileY, offset float64) {
+	cell := unit % 64
+	layer := unit / 64
+	tileX = float64(cell%8) - 4
+	tileY = float64(cell/8) - 4
+	offset = float64(layer%16) / 16
+	return tileX, tileY, offset
+}
+
+// rayDir returns the normalized primary ray for a pixel of the tile. The
+// image plane spans directions dx, dy ∈ [−0.5, 0.5), which at the scene's
+// depth (z ≈ 4..14) sweeps across all sphere positions.
+func (rt *RayTrace) rayDir(tileX, tileY, offset float64, px, py int) (dx, dy, dz float64) {
+	dx = (tileX + (float64(px)+offset)/float64(rt.width)) / 8
+	dy = (tileY + (float64(py)+offset)/float64(rt.height)) / 8
+	dz = 1
+	norm := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	return dx / norm, dy / norm, dz / norm
+}
+
+// nearestHit intersects the ray (from the origin, direction d) with every
+// sphere and returns the nearest positive hit distance.
+func (rt *RayTrace) nearestHit(dx, dy, dz float64) (float64, bool) {
+	best := math.Inf(1)
+	for _, s := range rt.spheres {
+		// |o + t·d − c|² = r² with o = 0: t² − 2t(d·c) + |c|² − r² = 0.
+		b := dx*s.cx + dy*s.cy + dz*s.cz
+		c := s.cx*s.cx + s.cy*s.cy + s.cz*s.cz - s.r*s.r
+		disc := b*b - c
+		if disc < 0 {
+			continue
+		}
+		sq := math.Sqrt(disc)
+		for _, t := range [2]float64{b - sq, b + sq} {
+			if t > 1e-9 && t < best {
+				best = t
+			}
+		}
+	}
+	return best, !math.IsInf(best, 1)
+}
+
+// HitFraction re-renders units [0,units) and returns the fraction of rays
+// hitting geometry — a human-checkable scene statistic for examples.
+func (rt *RayTrace) HitFraction(units int) float64 {
+	hits, total := 0, 0
+	for u := 0; u < units; u++ {
+		tileX, tileY, offset := tileOf(u)
+		for py := 0; py < rt.height; py++ {
+			for px := 0; px < rt.width; px++ {
+				dx, dy, dz := rt.rayDir(tileX, tileY, offset, px, py)
+				if _, hit := rt.nearestHit(dx, dy, dz); hit {
+					hits++
+				}
+				total++
+			}
+		}
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,215 @@
+// Package workload provides real, CPU-bound, deterministic workloads of
+// the kind the paper's §1.2 cites as the CEP's motivation: "data smoothing,
+// pattern matching, ray tracing, Monte-Carlo simulations, chromosome
+// mapping". Each workload is a uniform bag of equal-size, equal-complexity,
+// mutually independent tasks — exactly the model's workload — and each task
+// is verifiable: it produces a digest that depends on every intermediate
+// result, so an execution harness can prove the work was really done.
+//
+// Package harness executes these workloads across simulated-speed
+// computers under the paper's worksharing protocols.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/stats"
+)
+
+// Task is a uniform workload: Run executes one unit of work, identified by
+// its index within the workload, and returns a verifiable digest. Run must
+// be deterministic in (seed, unit) and safe for concurrent invocation on
+// distinct units.
+type Task interface {
+	// Name identifies the workload family.
+	Name() string
+	// Run executes work unit `unit` and returns its digest.
+	Run(unit int) uint64
+}
+
+// ByName constructs a workload by family name with the given seed and the
+// family's default size parameters.
+func ByName(name string, seed uint64) (Task, error) {
+	switch name {
+	case "montecarlo":
+		return NewMonteCarlo(seed, 20000), nil
+	case "patternmatch":
+		return NewPatternMatch(seed, 1<<14, 6), nil
+	case "smoothing":
+		return NewSmoothing(seed, 1<<13, 32), nil
+	case "raytrace":
+		return NewRayTrace(seed, 24, 24, 20), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown family %q (have montecarlo, patternmatch, smoothing, raytrace)", name)
+	}
+}
+
+// MonteCarlo estimates π by dart throwing: every unit draws a fixed number
+// of points in the unit square and counts hits inside the quarter circle —
+// the classic embarrassingly-parallel Monte-Carlo workload.
+type MonteCarlo struct {
+	seed    uint64
+	samples int
+}
+
+// NewMonteCarlo returns a Monte-Carlo workload with the given samples per
+// work unit.
+func NewMonteCarlo(seed uint64, samples int) *MonteCarlo {
+	if samples <= 0 {
+		panic(fmt.Sprintf("workload: samples = %d must be positive", samples))
+	}
+	return &MonteCarlo{seed: seed, samples: samples}
+}
+
+// Name implements Task.
+func (m *MonteCarlo) Name() string { return "montecarlo" }
+
+// Run implements Task: the digest folds the unit's hit count.
+func (m *MonteCarlo) Run(unit int) uint64 {
+	rng := stats.NewRNG(m.seed ^ uint64(unit)*0x9e3779b97f4a7c15)
+	hits := 0
+	for i := 0; i < m.samples; i++ {
+		x := rng.Float64()
+		y := rng.Float64()
+		if x*x+y*y < 1 {
+			hits++
+		}
+	}
+	return mix(uint64(unit), uint64(hits))
+}
+
+// PiEstimate combines per-unit digests... it cannot: digests are one-way.
+// Instead it re-runs the units (they are cheap and deterministic) and
+// returns the aggregate π estimate — used by examples to show the workload
+// computes something real.
+func (m *MonteCarlo) PiEstimate(units int) float64 {
+	hits := 0
+	for u := 0; u < units; u++ {
+		rng := stats.NewRNG(m.seed ^ uint64(u)*0x9e3779b97f4a7c15)
+		for i := 0; i < m.samples; i++ {
+			x := rng.Float64()
+			y := rng.Float64()
+			if x*x+y*y < 1 {
+				hits++
+			}
+		}
+	}
+	return 4 * float64(hits) / float64(units*m.samples)
+}
+
+// PatternMatch scans a synthetic genome for a per-unit motif and counts
+// (possibly overlapping) occurrences — the "chromosome mapping / pattern
+// matching" workload. The genome is generated once per workload; each unit
+// derives its own motif, so tasks share size and complexity but not
+// answers.
+type PatternMatch struct {
+	seed   uint64
+	genome []byte
+	motif  int
+}
+
+// NewPatternMatch builds a genome of the given length over {A,C,G,T} and
+// searches motifs of length motif.
+func NewPatternMatch(seed uint64, genomeLen, motif int) *PatternMatch {
+	if genomeLen <= 0 || motif <= 0 || motif > genomeLen {
+		panic(fmt.Sprintf("workload: bad pattern-match sizes %d/%d", genomeLen, motif))
+	}
+	rng := stats.NewRNG(seed)
+	genome := make([]byte, genomeLen)
+	const alphabet = "ACGT"
+	for i := range genome {
+		genome[i] = alphabet[rng.Intn(4)]
+	}
+	return &PatternMatch{seed: seed, genome: genome, motif: motif}
+}
+
+// Name implements Task.
+func (p *PatternMatch) Name() string { return "patternmatch" }
+
+// Run implements Task: derive the unit's motif, scan, digest the count and
+// the match positions.
+func (p *PatternMatch) Run(unit int) uint64 {
+	rng := stats.NewRNG(p.seed ^ 0xfeed ^ uint64(unit)*0x2545f4914f6cdd1d)
+	motif := make([]byte, p.motif)
+	const alphabet = "ACGT"
+	digest := uint64(unit)
+	for i := range motif {
+		motif[i] = alphabet[rng.Intn(4)]
+		// Fold the motif itself so zero-match units still carry a
+		// seed-and-unit-dependent digest.
+		digest = mix(digest, uint64(motif[i]))
+	}
+	count := 0
+	for i := 0; i+len(motif) <= len(p.genome); i++ {
+		match := true
+		for j := range motif {
+			if p.genome[i+j] != motif[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+			digest = mix(digest, uint64(i))
+		}
+	}
+	return mix(digest, uint64(count))
+}
+
+// Smoothing applies repeated moving-average passes to a per-unit synthetic
+// signal — the "data smoothing" workload.
+type Smoothing struct {
+	seed   uint64
+	length int
+	passes int
+}
+
+// NewSmoothing returns a smoothing workload over signals of the given
+// length with the given number of passes.
+func NewSmoothing(seed uint64, length, passes int) *Smoothing {
+	if length < 3 || passes <= 0 {
+		panic(fmt.Sprintf("workload: bad smoothing sizes %d/%d", length, passes))
+	}
+	return &Smoothing{seed: seed, length: length, passes: passes}
+}
+
+// Name implements Task.
+func (s *Smoothing) Name() string { return "smoothing" }
+
+// Run implements Task: generate the unit's noisy signal, smooth it, digest
+// a fingerprint of the result.
+func (s *Smoothing) Run(unit int) uint64 {
+	rng := stats.NewRNG(s.seed ^ 0xbead ^ uint64(unit)*0x9e3779b97f4a7c15)
+	signal := make([]float64, s.length)
+	for i := range signal {
+		signal[i] = math.Sin(float64(i)/17) + 0.3*rng.Norm()
+	}
+	next := make([]float64, s.length)
+	for pass := 0; pass < s.passes; pass++ {
+		for i := range signal {
+			lo, hi := i-1, i+1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= s.length {
+				hi = s.length - 1
+			}
+			next[i] = (signal[lo] + signal[i] + signal[hi]) / 3
+		}
+		signal, next = next, signal
+	}
+	digest := uint64(unit)
+	for i := 0; i < s.length; i += 97 {
+		digest = mix(digest, math.Float64bits(signal[i]))
+	}
+	return digest
+}
+
+// mix is a 64-bit hash combiner (splitmix64 finalizer over xor).
+func mix(a, b uint64) uint64 {
+	z := a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2))
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"montecarlo", "patternmatch", "smoothing", "raytrace"} {
+		task, err := ByName(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if task.Name() != name {
+			t.Fatalf("Name() = %q, want %q", task.Name(), name)
+		}
+	}
+	if _, err := ByName("mandelbrot", 1); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestTasksDeterministic(t *testing.T) {
+	for _, name := range []string{"montecarlo", "patternmatch", "smoothing", "raytrace"} {
+		a, err := ByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for unit := 0; unit < 5; unit++ {
+			if a.Run(unit) != b.Run(unit) {
+				t.Fatalf("%s: unit %d digest not deterministic", name, unit)
+			}
+		}
+	}
+}
+
+func TestTasksVaryByUnitAndSeed(t *testing.T) {
+	for _, name := range []string{"montecarlo", "patternmatch", "smoothing", "raytrace"} {
+		a, err := ByName(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ByName(name, 43)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Run(0) == a.Run(1) {
+			t.Fatalf("%s: units 0 and 1 collided", name)
+		}
+		if a.Run(0) == c.Run(0) {
+			t.Fatalf("%s: seeds 42 and 43 collided", name)
+		}
+	}
+}
+
+func TestTasksConcurrentSafe(t *testing.T) {
+	// Run the same units concurrently and compare against sequential.
+	for _, name := range []string{"montecarlo", "patternmatch", "smoothing", "raytrace"} {
+		task, err := ByName(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]uint64, 16)
+		for u := range want {
+			want[u] = task.Run(u)
+		}
+		got := make([]uint64, 16)
+		done := make(chan struct{})
+		for u := range got {
+			u := u
+			go func() {
+				got[u] = task.Run(u)
+				done <- struct{}{}
+			}()
+		}
+		for range got {
+			<-done
+		}
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("%s: concurrent digest differs at unit %d", name, u)
+			}
+		}
+	}
+}
+
+func TestMonteCarloPiEstimate(t *testing.T) {
+	mc := NewMonteCarlo(9, 20000)
+	pi := mc.PiEstimate(50)
+	if math.Abs(pi-math.Pi) > 0.02 {
+		t.Fatalf("π estimate %v too far from π", pi)
+	}
+}
+
+func TestConstructorsPanicOnBadSizes(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"montecarlo":        func() { NewMonteCarlo(1, 0) },
+		"patternmatch":      func() { NewPatternMatch(1, 0, 4) },
+		"patternmatch long": func() { NewPatternMatch(1, 4, 10) },
+		"smoothing":         func() { NewSmoothing(1, 2, 3) },
+		"smoothing passes":  func() { NewSmoothing(1, 100, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestPatternMatchGenomeAlphabet(t *testing.T) {
+	p := NewPatternMatch(3, 1000, 4)
+	for _, b := range p.genome {
+		switch b {
+		case 'A', 'C', 'G', 'T':
+		default:
+			t.Fatalf("genome contains %q", b)
+		}
+	}
+}
+
+func TestMixAvalanche(t *testing.T) {
+	// Flipping one input bit should change roughly half the output bits.
+	a := mix(0x12345678, 0xdeadbeef)
+	b := mix(0x12345679, 0xdeadbeef)
+	diff := a ^ b
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 16 || bits > 48 {
+		t.Fatalf("avalanche too weak: %d differing bits", bits)
+	}
+}
+
+func TestRayTraceHitsGeometry(t *testing.T) {
+	rt := NewRayTrace(5, 16, 16, 20)
+	frac := rt.HitFraction(8)
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("hit fraction %v; scene should be partially covered", frac)
+	}
+}
+
+func TestRayTracePanicsOnBadSizes(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRayTrace(1, 0, 16, 5) },
+		func() { NewRayTrace(1, 16, 0, 5) },
+		func() { NewRayTrace(1, 16, 16, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRayTraceTilesDiffer(t *testing.T) {
+	rt := NewRayTrace(7, 16, 16, 20)
+	seen := map[uint64]bool{}
+	for u := 0; u < 8; u++ {
+		d := rt.Run(u)
+		if seen[d] {
+			t.Fatalf("tile digests collided at unit %d", u)
+		}
+		seen[d] = true
+	}
+}
