@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt cover replicate artifacts clean
+.PHONY: all build test bench vet fmt cover replicate artifacts clean FORCE
 
 all: build vet test
 
@@ -10,10 +10,19 @@ build:
 	$(GO) build ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/incr ./internal/api
 
-bench:
+bench: BENCH_incr.json
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf certificate for the incremental evaluator + cached serving path
+# (non-zero exit if the ≥10× n=4096 speedup-search threshold is missed).
+BENCH_incr.json: FORCE
+	$(GO) run ./cmd/benchincr > $@
+
+FORCE:
 
 vet:
 	$(GO) vet ./...
@@ -33,4 +42,4 @@ artifacts:
 	$(GO) run ./cmd/hetero all > artifacts.txt
 
 clean:
-	rm -f artifacts.txt test_output.txt bench_output.txt
+	rm -f artifacts.txt test_output.txt bench_output.txt BENCH_incr.json

@@ -20,6 +20,7 @@ import (
 	"hetero/internal/experiments"
 	"hetero/internal/harness"
 	"hetero/internal/hier"
+	"hetero/internal/incr"
 	"hetero/internal/model"
 	"hetero/internal/parallel"
 	"hetero/internal/profile"
@@ -608,8 +609,95 @@ func BenchmarkReplicate(b *testing.B) {
 }
 
 // BenchmarkAPIMeasure measures the HTTP service's hot endpoint end to end
-// (in-process handler, no network).
+// (in-process handler, no network) with the response cache disabled —
+// every request recomputes and re-renders. Compare BenchmarkAPIMeasureCached.
 func BenchmarkAPIMeasure(b *testing.B) {
+	h := api.NewServerCacheSize(0).Handler()
+	req := httptest.NewRequest("GET", "/v1/measure?profile=1,0.5,0.25,0.125", nil)
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkSpeedupSearch compares the retained O(n²) brute-force speedup
+// search against the O(n) incremental rewrite at the issue's two scales.
+// The ≥10× acceptance ratio at n = 4096 is certified by cmd/benchincr.
+func BenchmarkSpeedupSearch(b *testing.B) {
+	m := model.Figs34()
+	for _, n := range []int{256, 4096} {
+		p := profile.RandomNormalized(stats.NewRNG(uint64(n)), n)
+		b.Run(formName("brute", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BestMultiplicativeBruteForce(m, p, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(formName("incremental", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BestMultiplicative(m, p, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrWhatIf measures a single O(1) counterfactual query against
+// the cost of a fresh full scan at the same size.
+func BenchmarkIncrWhatIf(b *testing.B) {
+	m := model.Table1()
+	for _, n := range []int{256, 4096, 1 << 16} {
+		p := profile.RandomNormalized(stats.NewRNG(uint64(n)), n)
+		ev, err := incr.New(m, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(formName("whatif", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.WhatIf(i%n, 0.3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(formName("fresh", n), func(b *testing.B) {
+			q := p.Clone()
+			for i := 0; i < b.N; i++ {
+				q[i%n] = 0.3
+				_ = core.X(m, q)
+				q[i%n] = p[i%n]
+			}
+		})
+	}
+}
+
+// BenchmarkBatchX measures the amortized batch evaluation path that the
+// /v1/batch endpoint and the experiments pipeline ride on.
+func BenchmarkBatchX(b *testing.B) {
+	m := model.Table1()
+	rng := stats.NewRNG(17)
+	profiles := make([]profile.Profile, 512)
+	for i := range profiles {
+		profiles[i] = profile.RandomNormalized(rng, 64)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(formName("workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = incr.BatchX(m, profiles, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkAPIMeasureCached measures the hot endpoint with the response
+// cache warm (every request after the first is a byte-identical hit);
+// BenchmarkAPIMeasure below is the same request against a cache-disabled
+// server, so the pair quantifies the serving-path win.
+func BenchmarkAPIMeasureCached(b *testing.B) {
 	h := api.NewServer().Handler()
 	req := httptest.NewRequest("GET", "/v1/measure?profile=1,0.5,0.25,0.125", nil)
 	for i := 0; i < b.N; i++ {

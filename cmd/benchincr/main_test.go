@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestBuildReportQuick(t *testing.T) {
+	rep, err := buildReport(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Search) != 2 {
+		t.Fatalf("%d search rows, want 2", len(rep.Search))
+	}
+	for _, r := range rep.Search {
+		if r.BruteNsPerOp <= 0 || r.IncrNsPerOp <= 0 {
+			t.Fatalf("non-positive timing at n=%d: %+v", r.N, r)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("non-positive speedup at n=%d", r.N)
+		}
+	}
+	if rep.Serving.UncachedNsPerOp <= 0 || rep.Serving.CachedNsPerOp <= 0 {
+		t.Fatalf("non-positive serving timings: %+v", rep.Serving)
+	}
+}

@@ -3,16 +3,27 @@
 //
 //	heterod -addr :8080
 //	curl 'localhost:8080/v1/measure?profile=1,0.5,0.25'
+//	curl -X POST localhost:8080/v1/batch -d '{"profiles":[[1,0.5],[1,0.25]]}'
 //	curl -X POST localhost:8080/v1/schedule -d '{"profile":[1,0.5],"lifespan":3600}'
+//	curl 'localhost:8080/v1/statz'
+//
+// The server is hardened for unattended operation: header/read/write/idle
+// timeouts bound slow or stuck clients, and SIGINT/SIGTERM trigger a
+// graceful drain before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hetero/internal/api"
 )
@@ -27,6 +38,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("heterod", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache-size", api.DefaultMeasureCacheSize, "bound on the /v1/measure response cache (0 disables)")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown drain deadline after SIGINT/SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -34,6 +51,38 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	srv := &http.Server{
+		Handler:           api.NewServerCacheSize(*cacheSize).Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, ln, srv, *grace)
+}
+
+// serve runs srv on ln until ctx is cancelled (a termination signal in
+// production), then drains in-flight requests for up to grace before
+// forcing connections closed. A nil return means a clean start and a clean
+// stop.
+func serve(ctx context.Context, ln net.Listener, srv *http.Server, grace time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
 	log.Printf("heterod listening on %s", ln.Addr())
-	return http.Serve(ln, api.NewServer().Handler())
+	select {
+	case err := <-errc:
+		// Serve never returns nil; without a shutdown this is a real error.
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("heterod draining (grace %s)", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
 }

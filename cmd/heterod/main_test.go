@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -11,14 +12,20 @@ import (
 )
 
 func TestServeEndToEnd(t *testing.T) {
-	// Bind an ephemeral port and exercise the real TCP path once.
+	// Bind an ephemeral port and exercise the real TCP path once, then shut
+	// down gracefully via context cancellation (the signal path in
+	// production) and assert a clean exit.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: api.NewServer().Handler()}
-	go srv.Serve(ln)
-	defer srv.Close()
+	srv := &http.Server{
+		Handler:           api.NewServer().Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, 5*time.Second) }()
 
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get("http://" + ln.Addr().String() + "/v1/measure?profile=1,0.5")
@@ -36,10 +43,65 @@ func TestServeEndToEnd(t *testing.T) {
 	if out.X <= 0 {
 		t.Fatalf("X = %v", out.X)
 	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after cancellation")
+	}
+}
+
+func TestServeDrainsInFlightRequests(t *testing.T) {
+	// A request in flight when shutdown begins must still complete.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		<-slow
+		w.WriteHeader(200)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, 5*time.Second) }()
+
+	got := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			got <- -1
+			return
+		}
+		resp.Body.Close()
+		got <- resp.StatusCode
+	}()
+	time.Sleep(100 * time.Millisecond) // let the request reach the handler
+	cancel()                           // begin the drain while /slow is blocked
+	time.Sleep(100 * time.Millisecond)
+	close(slow)
+	if code := <-got; code != 200 {
+		t.Fatalf("in-flight request got %d, want 200", code)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown returned %v", err)
+	}
 }
 
 func TestRunRejectsBadAddr(t *testing.T) {
 	if err := run([]string{"-addr", "256.256.256.256:99999"}); err == nil {
 		t.Fatal("bad address accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
 	}
 }

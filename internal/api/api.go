@@ -6,11 +6,15 @@
 // Endpoints (all GET unless noted):
 //
 //	GET  /v1/measure?profile=1,0.5,0.25[&tau=..&pi=..&delta=..]
-//	     → X, HECR, work rate, moments
+//	     → X, HECR, work rate, moments (served through a bounded LRU cache
+//	       keyed on the canonicalized params+profile)
 //	GET  /v1/compare?p1=..&p2=..            → winner + per-cluster measures
+//	POST /v1/batch {profiles, params?}      → measures for many profiles in
+//	     one request, evaluated through internal/incr with parallel fan-out
 //	POST /v1/schedule {profile, lifespan}   → allocations + timeline
 //	POST /v1/design {catalog, budget}       → knapsack-optimal composition
 //	GET  /v1/speedup?profile=..&phi=|psi=   → which computer to upgrade (§3)
+//	GET  /v1/statz                          → cache hit/miss + batch counters
 //	GET  /v1/healthz                        → liveness
 //
 // Parameters default to the paper's Table 1 environment.
@@ -22,31 +26,58 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"hetero/internal/catalog"
 	"hetero/internal/core"
+	"hetero/internal/incr"
 	"hetero/internal/model"
+	"hetero/internal/parallel"
 	"hetero/internal/profile"
 	"hetero/internal/schedule"
 )
 
-// Server carries the default environment.
+// DefaultMeasureCacheSize bounds the /v1/measure LRU when NewServer is used.
+const DefaultMeasureCacheSize = 1024
+
+// MaxBatchProfiles bounds one POST /v1/batch request; larger workloads
+// should shard across requests.
+const MaxBatchProfiles = 4096
+
+// Server carries the default environment plus the serving-path state: the
+// /v1/measure response cache and the /v1/statz counters.
 type Server struct {
 	Defaults model.Params
+
+	cache         *responseCache
+	batchRequests atomic.Uint64
+	batchProfiles atomic.Uint64
 }
 
-// NewServer returns a server defaulting to Table 1 parameters.
-func NewServer() *Server { return &Server{Defaults: model.Table1()} }
+// NewServer returns a server defaulting to Table 1 parameters with the
+// default measure-cache size.
+func NewServer() *Server { return NewServerCacheSize(DefaultMeasureCacheSize) }
+
+// NewServerCacheSize returns a server with an explicit /v1/measure cache
+// bound; cacheSize ≤ 0 disables response caching.
+func NewServerCacheSize(cacheSize int) *Server {
+	return &Server{Defaults: model.Table1(), cache: newResponseCache(cacheSize)}
+}
 
 // Handler returns the HTTP handler with all routes mounted.
 func (s *Server) Handler() http.Handler {
+	if s.cache == nil { // zero-constructed Server literals keep working
+		s.cache = newResponseCache(DefaultMeasureCacheSize)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/measure", s.handleMeasure)
 	mux.HandleFunc("/v1/compare", s.handleCompare)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/v1/design", s.handleDesign)
 	mux.HandleFunc("/v1/speedup", s.handleSpeedup)
+	mux.HandleFunc("/v1/statz", s.handleStatz)
 	return mux
 }
 
@@ -80,7 +111,27 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, MeasureResponse{
+	// The cache stores fully rendered bodies keyed on the exact float64
+	// values, so a hit serves byte-identical JSON to the miss that filled it
+	// — no matter how the query spelled the numbers.
+	key := CanonicalKey(m, p)
+	if body, ok := s.cache.Get(key); ok {
+		writeRawJSON(w, http.StatusOK, body)
+		return
+	}
+	body, err := json.Marshal(measureResponse(m, p))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body = append(body, '\n')
+	s.cache.Put(key, body)
+	writeRawJSON(w, http.StatusOK, body)
+}
+
+// measureResponse builds the /v1/measure payload for one cluster.
+func measureResponse(m model.Params, p profile.Profile) MeasureResponse {
+	return MeasureResponse{
 		Profile:  p,
 		X:        core.X(m, p),
 		HECR:     core.HECR(m, p),
@@ -88,6 +139,117 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		Mean:     p.Mean(),
 		Variance: p.Variance(),
 		GeoMean:  p.GeoMean(),
+	}
+}
+
+// BatchRequest is the POST /v1/batch body: many profiles evaluated against
+// one parameter set.
+type BatchRequest struct {
+	Profiles [][]float64   `json:"profiles"`
+	Params   *model.Params `json:"params,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch payload; Results is indexed like the
+// request's Profiles.
+type BatchResponse struct {
+	Count   int               `json:"count"`
+	Results []MeasureResponse `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Profiles) == 0 {
+		writeError(w, http.StatusBadRequest, "profiles must be non-empty")
+		return
+	}
+	if len(req.Profiles) > MaxBatchProfiles {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d profiles exceeds the limit of %d; shard across requests", len(req.Profiles), MaxBatchProfiles))
+		return
+	}
+	m := s.Defaults
+	if req.Params != nil {
+		m = *req.Params
+	}
+	if err := m.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	profiles := make([]profile.Profile, len(req.Profiles))
+	for i, rhos := range req.Profiles {
+		p, err := profile.New(rhos...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("profiles[%d]: %v", i, err))
+			return
+		}
+		profiles[i] = p
+	}
+	s.batchRequests.Add(1)
+	s.batchProfiles.Add(uint64(len(profiles)))
+	// One amortized constant derivation + parallel fan-out for the measures,
+	// then the per-profile moments on the same worker pool.
+	measures := incr.BatchMeasure(m, profiles, 0)
+	results := make([]MeasureResponse, len(profiles))
+	parallel.ForEach(0, len(profiles), func(i int) {
+		p := profiles[i]
+		results[i] = MeasureResponse{
+			Profile:  p,
+			X:        measures[i].X,
+			HECR:     measures[i].HECR,
+			WorkRate: measures[i].WorkRate,
+			Mean:     p.Mean(),
+			Variance: p.Variance(),
+			GeoMean:  p.GeoMean(),
+		}
+	})
+	writeJSON(w, http.StatusOK, BatchResponse{Count: len(results), Results: results})
+}
+
+// CacheStats is the /v1/statz view of the measure cache.
+type CacheStats struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// BatchStats is the /v1/statz view of the batch endpoint.
+type BatchStats struct {
+	Requests uint64 `json:"requests"`
+	Profiles uint64 `json:"profiles"`
+}
+
+// StatzResponse is the /v1/statz payload.
+type StatzResponse struct {
+	MeasureCache CacheStats `json:"measure_cache"`
+	Batch        BatchStats `json:"batch"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	hits, misses, size, capacity := s.cache.Stats()
+	cs := CacheStats{Hits: hits, Misses: misses, Size: size, Capacity: capacity}
+	if total := hits + misses; total > 0 {
+		cs.HitRate = float64(hits) / float64(total)
+	}
+	writeJSON(w, http.StatusOK, StatzResponse{
+		MeasureCache: cs,
+		Batch: BatchStats{
+			Requests: s.batchRequests.Load(),
+			Profiles: s.batchProfiles.Load(),
+		},
 	})
 }
 
@@ -125,16 +287,8 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	case -1:
 		resp.Winner = 2
 	}
-	for _, pair := range []struct {
-		dst *MeasureResponse
-		p   profile.Profile
-	}{{&resp.P1, p1}, {&resp.P2, p2}} {
-		*pair.dst = MeasureResponse{
-			Profile: pair.p, X: core.X(m, pair.p), HECR: core.HECR(m, pair.p),
-			WorkRate: core.WorkRate(m, pair.p), Mean: pair.p.Mean(),
-			Variance: pair.p.Variance(), GeoMean: pair.p.GeoMean(),
-		}
-	}
+	resp.P1 = measureResponse(m, p1)
+	resp.P2 = measureResponse(m, p2)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -348,6 +502,14 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeRawJSON writes a pre-rendered JSON body (already newline-terminated,
+// matching json.Encoder output).
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {

@@ -1,0 +1,132 @@
+package api
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// CanonicalKey renders a (params, profile) pair as the cache key for
+// /v1/measure. Floats are formatted as hexadecimal ('x', -1), which is
+// exact and round-trippable: two requests share a key iff every parameter
+// and every ρ is the same float64, regardless of how the query spelled them
+// ("0.5", "5e-1" and "0.50" all canonicalize identically).
+func CanonicalKey(m model.Params, p profile.Profile) string {
+	var b strings.Builder
+	b.Grow(24 * (len(p) + 3))
+	b.WriteString(strconv.FormatFloat(m.Tau, 'x', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(m.Pi, 'x', -1, 64))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(m.Delta, 'x', -1, 64))
+	for i, rho := range p {
+		if i == 0 {
+			b.WriteByte('|')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(rho, 'x', -1, 64))
+	}
+	return b.String()
+}
+
+// ParseCanonicalKey inverts CanonicalKey. It exists so the fuzzer can prove
+// the key is lossless: parse(key(m, p)) must reproduce m and p exactly.
+func ParseCanonicalKey(key string) (model.Params, profile.Profile, error) {
+	parts := strings.SplitN(key, "|", 4)
+	if len(parts) < 3 {
+		return model.Params{}, nil, strconv.ErrSyntax
+	}
+	var m model.Params
+	for i, dst := range []*float64{&m.Tau, &m.Pi, &m.Delta} {
+		v, err := strconv.ParseFloat(parts[i], 64)
+		if err != nil {
+			return model.Params{}, nil, err
+		}
+		*dst = v
+	}
+	var p profile.Profile
+	if len(parts) == 4 {
+		for _, field := range strings.Split(parts[3], ",") {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return model.Params{}, nil, err
+			}
+			p = append(p, v)
+		}
+	}
+	return m, p, nil
+}
+
+// responseCache is a bounded, mutex-guarded LRU over fully rendered JSON
+// responses. Storing the bytes (not the structs) guarantees a hit serves
+// exactly what the miss served.
+type responseCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResponseCache returns a cache bounded to capacity entries; capacity
+// ≤ 0 disables caching (every Get is a miss and Put is a no-op).
+func newResponseCache(capacity int) *responseCache {
+	return &responseCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key, counting the hit or miss.
+func (c *responseCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry when
+// over capacity.
+func (c *responseCache) Put(key string, body []byte) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats reports the cache counters and current occupancy.
+func (c *responseCache) Stats() (hits, misses uint64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len(), c.capacity
+}

@@ -1,0 +1,51 @@
+package api
+
+import (
+	"testing"
+
+	"hetero/internal/model"
+)
+
+// FuzzCanonicalKey drives the cache-key canonicalization with arbitrary
+// query-style inputs and checks the two properties the /v1/measure cache
+// depends on:
+//
+//  1. losslessness — ParseCanonicalKey(CanonicalKey(m, p)) reproduces every
+//     float64 exactly, so distinct clusters can never collide on one key;
+//  2. determinism/spelling-independence — re-rendering the parsed values
+//     yields the identical key, so "0.5", "5e-1" and "0.50" share an entry.
+func FuzzCanonicalKey(f *testing.F) {
+	f.Add("1,0.5,0.25", 1e-6, 10e-6, 1.0)
+	f.Add("1", 1e-5, 10e-5, 1.0)
+	f.Add("0.5,5e-1,0.50", 0.2, 10e-6, 1.0)
+	f.Add("0.0000001,1", 1e-6, 0.0, 0.25)
+	f.Fuzz(func(t *testing.T, profileStr string, tau, pi, delta float64) {
+		p, err := profileFromString(profileStr)
+		if err != nil {
+			t.Skip()
+		}
+		m := model.Params{Tau: tau, Pi: pi, Delta: delta}
+		if m.Validate() != nil {
+			t.Skip()
+		}
+		key := CanonicalKey(m, p)
+		m2, p2, err := ParseCanonicalKey(key)
+		if err != nil {
+			t.Fatalf("key %q does not parse back: %v", key, err)
+		}
+		if m2 != m {
+			t.Fatalf("params round-trip: %+v → %q → %+v", m, key, m2)
+		}
+		if len(p2) != len(p) {
+			t.Fatalf("profile length round-trip: %d → %d (key %q)", len(p), len(p2), key)
+		}
+		for i := range p {
+			if p2[i] != p[i] {
+				t.Fatalf("ρ[%d] round-trip: %v → %v (key %q)", i, p[i], p2[i], key)
+			}
+		}
+		if key2 := CanonicalKey(m2, p2); key2 != key {
+			t.Fatalf("key not deterministic: %q vs %q", key, key2)
+		}
+	})
+}

@@ -52,6 +52,20 @@ func (c Catalog) Validate() error {
 	return nil
 }
 
+// Values returns each tier's additive knapsack value −log r(ρ) > 0 — the
+// machine's contribution to −Σ log r, the monotone transform of X. The
+// slice is indexed like the catalog. Callers running the DP repeatedly
+// (budget sweeps, the HTTP /v1/design endpoint under load) compute this
+// once and pass it to OptimizeWithValues, so re-solves never re-derive
+// per-tier values.
+func (c Catalog) Values(m model.Params) []float64 {
+	values := make([]float64, len(c))
+	for i, t := range c {
+		values[i] = -core.LogRatio(m, t.Rho)
+	}
+	return values
+}
+
 // Design is a purchased cluster composition.
 type Design struct {
 	// Counts[i] is how many of catalog tier i to buy.
@@ -69,20 +83,31 @@ type Design struct {
 // solved exactly by unbounded-knapsack DP. A budget too small for any tier
 // yields an error.
 func Optimize(m model.Params, c Catalog, budget int) (Design, error) {
+	if err := c.Validate(); err != nil {
+		return Design{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return Design{}, err
+	}
+	return OptimizeWithValues(m, c, budget, c.Values(m))
+}
+
+// OptimizeWithValues is Optimize with the per-tier knapsack values already
+// derived (see Catalog.Values). values must be indexed like the catalog;
+// passing values computed for different parameters silently optimizes for
+// those parameters instead.
+func OptimizeWithValues(m model.Params, c Catalog, budget int, values []float64) (Design, error) {
 	if err := m.Validate(); err != nil {
 		return Design{}, err
 	}
 	if err := c.Validate(); err != nil {
 		return Design{}, err
 	}
+	if len(values) != len(c) {
+		return Design{}, fmt.Errorf("catalog: %d precomputed values for %d tiers", len(values), len(c))
+	}
 	if budget <= 0 {
 		return Design{}, fmt.Errorf("catalog: budget %d must be positive", budget)
-	}
-	// value[t] = −log r(ρ_t) > 0: the machine's additive contribution to
-	// −Σ log r, the monotone transform of X.
-	values := make([]float64, len(c))
-	for i, t := range c {
-		values[i] = -logRatio(m, t.Rho)
 	}
 	// DP over budgets: best[b] = max total value spendable within b;
 	// choice[b] = tier whose purchase attains best[b], or −1 when best[b]
@@ -208,10 +233,4 @@ func indexOf(c Catalog, tier Tier) int {
 		}
 	}
 	panic("catalog: tier not in catalog")
-}
-
-// logRatio mirrors core's internal helper; duplicated here in minimal form
-// to keep the value computation next to the knapsack that consumes it.
-func logRatio(m model.Params, rho float64) float64 {
-	return core.LogProductRatios(m, profile.Profile{rho})
 }

@@ -212,3 +212,51 @@ func TestOptimizeScalesToRealisticBudgets(t *testing.T) {
 		t.Fatalf("bad design %v", opt)
 	}
 }
+
+func TestOptimizeWithValuesMatchesOptimize(t *testing.T) {
+	// A budget sweep reusing one precomputed value vector must reproduce
+	// Optimize exactly — that reuse is the point of the API.
+	m := model.Table1()
+	c := sampleCatalog()
+	values := c.Values(m)
+	if len(values) != len(c) {
+		t.Fatalf("%d values for %d tiers", len(values), len(c))
+	}
+	for i, v := range values {
+		if !(v > 0) {
+			t.Fatalf("values[%d] = %v not positive", i, v)
+		}
+		if want := -core.LogRatio(m, c[i].Rho); v != want {
+			t.Fatalf("values[%d] = %v, want −log r = %v", i, v, want)
+		}
+	}
+	for budget := 1; budget <= 60; budget++ {
+		want, errWant := Optimize(m, c, budget)
+		got, errGot := OptimizeWithValues(m, c, budget, values)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("budget %d: error mismatch %v vs %v", budget, errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		if got.Cost != want.Cost || got.X != want.X {
+			t.Fatalf("budget %d: %v vs %v", budget, got, want)
+		}
+		for i := range c {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("budget %d: counts %v vs %v", budget, got.Counts, want.Counts)
+			}
+		}
+	}
+}
+
+func TestOptimizeWithValuesValidation(t *testing.T) {
+	m := model.Table1()
+	c := sampleCatalog()
+	if _, err := OptimizeWithValues(m, c, 10, []float64{1}); err == nil {
+		t.Fatal("mismatched value vector accepted")
+	}
+	if _, err := OptimizeWithValues(m, c, 0, c.Values(m)); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}

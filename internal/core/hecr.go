@@ -18,7 +18,15 @@ import (
 // the cluster's fastest and slowest ρ (r is monotone, D is intermediate),
 // and equals ρ exactly for homogeneous clusters.
 func HECR(m model.Params, p profile.Profile) float64 {
-	logD := LogProductRatios(m, p) / float64(len(p))
+	return HECRFromLogProduct(m, LogProductRatios(m, p), len(p))
+}
+
+// HECRFromLogProduct finishes the HECR evaluation from the primitive
+// quantity log Π r(ρᵢ) and the cluster size n. Callers that maintain the
+// log-product incrementally (internal/incr) use this to share one numerical
+// path with HECR.
+func HECRFromLogProduct(m model.Params, logProd float64, n int) float64 {
+	logD := logProd / float64(n)
 	// Numerator A·D − τδ = (A − τδ) + A·(D − 1); both pieces are computed
 	// without cancellation: expm1 gives D−1 directly.
 	dm1 := math.Expm1(logD) // D − 1 ∈ (−1, 0)

@@ -16,6 +16,11 @@ import (
 // (Proposition 2 in differential form: speeding any computer up — lowering
 // its ρ — raises X), and the component with the smallest ρ has the largest
 // magnitude, which is Theorem 3 in the limit of small additive speedups.
+//
+// Beware that the common factor Π = exp(Σ log r) underflows to 0 for
+// clusters large enough that Σ log r < log(min subnormal) ≈ −745, making
+// every component −0. Consumers that only need the *ranking* should use
+// SensitivityScore, which drops the index-independent factor.
 func XGradient(m model.Params, p profile.Profile) []float64 {
 	prodLog := LogProductRatios(m, p)
 	prod := math.Exp(prodLog)
@@ -38,14 +43,32 @@ func MarginalSpeedupValue(m model.Params, p profile.Profile) []float64 {
 	return grad
 }
 
+// SensitivityScore returns the prod-free sensitivity factors
+// 1/((Bρᵢ+τδ)(Bρᵢ+A)). Each equals |∂X/∂ρᵢ| up to the index-independent
+// positive constant Π·B, so their ranking is exactly the gradient's — but
+// unlike the gradient they never underflow: for large n the common factor
+// Π = Πⱼ r(ρⱼ) shrinks below the smallest subnormal and math.Exp flushes it
+// to zero, which once made every gradient component 0 and the argmax
+// degenerate.
+func SensitivityScore(m model.Params, p profile.Profile) []float64 {
+	b, a, td := m.B(), m.A(), m.TauDelta()
+	score := make([]float64, len(p))
+	for i, rho := range p {
+		score[i] = 1 / ((b*rho + td) * (b*rho + a))
+	}
+	return score
+}
+
 // MostSensitiveIndex returns the computer whose additive speedup raises X
 // fastest (ties broken toward the larger index, matching the paper's rule).
-// By Theorem 3 this is always the fastest computer.
+// By Theorem 3 this is always the fastest computer. The ranking uses the
+// prod-free SensitivityScore rather than XGradient, so it stays exact even
+// when exp(Σ log r) underflows to 0 at large n.
 func MostSensitiveIndex(m model.Params, p profile.Profile) int {
-	value := MarginalSpeedupValue(m, p)
+	score := SensitivityScore(m, p)
 	best := 0
-	for i, v := range value {
-		if v >= value[best] {
+	for i, v := range score {
+		if v >= score[best] {
 			best = i
 		}
 	}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// TestMostSensitiveIndexLargeN is the underflow regression test: for
+// clusters large enough that exp(Σ log r) flushes to zero, the old
+// gradient-based ranking saw every component as −0 and degenerated to the
+// last index. The prod-free ranking must keep returning the fastest
+// computer (Theorem 3) regardless of where it sits.
+func TestMostSensitiveIndexLargeN(t *testing.T) {
+	// Expensive-network, tiny-result parameters: log r(1) ≈ −0.095, so the
+	// log-product passes the double-precision underflow point (≈ −745)
+	// before n = 2^13.
+	m := model.Params{Tau: 0.01, Pi: 0.1, Delta: 0.01}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1 << 13, 1 << 16} {
+		p := make(profile.Profile, n)
+		for i := range p {
+			p[i] = 1
+		}
+		fastest := n / 3 // deliberately NOT the last index
+		p[fastest] = 0.25
+		if prod := math.Exp(LogProductRatios(m, p)); prod != 0 {
+			t.Fatalf("n=%d: exp(Σ log r) = %v; test needs the underflow regime", n, prod)
+		}
+		if got := MostSensitiveIndex(m, p); got != fastest {
+			t.Fatalf("n=%d: MostSensitiveIndex = %d, want fastest index %d", n, got, fastest)
+		}
+		if got, want := MostSensitiveIndex(m, p), p.FastestIndex(); got != want {
+			t.Fatalf("n=%d: disagrees with FastestIndex: %d vs %d", n, got, want)
+		}
+	}
+}
+
+// TestSensitivityScoreMatchesGradientRanking checks that in the small-n
+// regime (no underflow) the prod-free score orders computers exactly like
+// the true gradient magnitude.
+func TestSensitivityScoreMatchesGradientRanking(t *testing.T) {
+	m := model.Table1()
+	r := stats.NewRNG(29)
+	for trial := 0; trial < 200; trial++ {
+		p := profile.RandomNormalized(r, 2+r.Intn(12))
+		score := SensitivityScore(m, p)
+		grad := XGradient(m, p)
+		for i := range p {
+			for j := range p {
+				gi, gj := math.Abs(grad[i]), math.Abs(grad[j])
+				if gi == 0 || gj == 0 {
+					t.Fatalf("gradient underflowed at n=%d; enlarge the small-n regime bound", len(p))
+				}
+				// Strict gradient order must be reproduced; ties may go
+				// either way at ulp level.
+				if gi > gj*(1+1e-12) && score[i] <= score[j]*(1-1e-12) {
+					t.Fatalf("score order disagrees with gradient: |g[%d]|=%v > |g[%d]|=%v but score %v ≤ %v",
+						i, gi, j, gj, score[i], score[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBestSpeedupMatchesBruteForce cross-validates the O(n) incremental
+// speedup search against the retained O(n²) reference on random clusters.
+func TestBestSpeedupMatchesBruteForce(t *testing.T) {
+	r := stats.NewRNG(31)
+	for _, m := range []model.Params{model.Table1(), model.Figs34()} {
+		for trial := 0; trial < 150; trial++ {
+			p := profile.RandomNormalized(r, 2+r.Intn(40))
+			phi := p.Fastest() * r.InRange(0.05, 0.95)
+			fast, err := BestAdditive(m, p, phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			brute, err := BestAdditiveBruteForce(m, p, phi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.Index != brute.Index {
+				t.Fatalf("additive: incremental picks %d, brute force %d (profile %v, φ=%v)", fast.Index, brute.Index, p, phi)
+			}
+			if math.Abs(fast.WorkRatio-brute.WorkRatio) > 1e-12*brute.WorkRatio {
+				t.Fatalf("additive: work ratios diverge: %v vs %v", fast.WorkRatio, brute.WorkRatio)
+			}
+
+			psi := r.InRange(0.05, 0.95)
+			fastM, err := BestMultiplicative(m, p, psi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bruteM, err := BestMultiplicativeBruteForce(m, p, psi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fastM.Index != bruteM.Index {
+				t.Fatalf("multiplicative: incremental picks %d, brute force %d (profile %v, ψ=%v)", fastM.Index, bruteM.Index, p, psi)
+			}
+		}
+	}
+}
+
+// TestBruteForceSpeedupTieBreak pins the reference implementations to the
+// same §3.2.2 larger-index tie-break as the fast path.
+func TestBruteForceSpeedupTieBreak(t *testing.T) {
+	m := model.Figs34()
+	p := profile.MustNew(1, 1, 1, 1)
+	brute, err := BestMultiplicativeBruteForce(m, p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := BestMultiplicative(m, p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brute.Index != 3 || fast.Index != 3 {
+		t.Fatalf("tie broken to %d (brute) / %d (fast), want 3", brute.Index, fast.Index)
+	}
+	if _, err := BestAdditiveBruteForce(m, p, 2); err == nil {
+		t.Fatal("brute-force additive accepted φ ≥ ρ_fastest")
+	}
+	if _, err := BestMultiplicativeBruteForce(m, p, 1); err == nil {
+		t.Fatal("brute-force multiplicative accepted ψ = 1")
+	}
+}

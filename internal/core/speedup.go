@@ -5,6 +5,7 @@ import (
 
 	"hetero/internal/model"
 	"hetero/internal/profile"
+	"hetero/internal/stats"
 )
 
 // SpeedupChoice records the outcome of choosing one computer to speed up.
@@ -20,9 +21,33 @@ type SpeedupChoice struct {
 // BestAdditive evaluates all single-computer additive speedups by the term
 // phi and returns the most advantageous one (ties broken toward the larger
 // index, the paper's §3.2.2 rule). Theorem 3 guarantees the choice is
-// always the cluster's fastest computer; this function computes it by brute
-// force so that the theorem is checkable rather than assumed.
+// always the cluster's fastest computer; this function still compares every
+// candidate so the theorem stays checkable, but does so incrementally: the
+// base log-product Σ log r(ρⱼ) is computed once and each candidate costs a
+// single log r swap, making the search O(n) instead of the O(n²) of
+// re-scanning the profile per candidate.
 func BestAdditive(m model.Params, p profile.Profile, phi float64) (SpeedupChoice, error) {
+	if !(phi > 0) || phi >= p.Fastest() {
+		return SpeedupChoice{}, fmt.Errorf("core: additive term φ = %v must lie in (0, ρ_fastest = %v) so every computer can be sped up", phi, p.Fastest())
+	}
+	return bestIncremental(m, p, func(rho float64) float64 { return rho - phi })
+}
+
+// BestMultiplicative evaluates all single-computer multiplicative speedups
+// by the factor psi ∈ (0,1) and returns the most advantageous one (ties
+// broken toward the larger index). Like BestAdditive it runs in O(n) via
+// incremental log-product swaps.
+func BestMultiplicative(m model.Params, p profile.Profile, psi float64) (SpeedupChoice, error) {
+	if !(psi > 0) || psi >= 1 {
+		return SpeedupChoice{}, fmt.Errorf("core: multiplicative factor ψ = %v must lie in (0,1)", psi)
+	}
+	return bestIncremental(m, p, func(rho float64) float64 { return rho * psi })
+}
+
+// BestAdditiveBruteForce is the original O(n²) search kept as an independent
+// reference implementation: the test suite cross-validates bestIncremental
+// against it, and the benchmark harness measures the speedup.
+func BestAdditiveBruteForce(m model.Params, p profile.Profile, phi float64) (SpeedupChoice, error) {
 	if !(phi > 0) || phi >= p.Fastest() {
 		return SpeedupChoice{}, fmt.Errorf("core: additive term φ = %v must lie in (0, ρ_fastest = %v) so every computer can be sped up", phi, p.Fastest())
 	}
@@ -31,16 +56,45 @@ func BestAdditive(m model.Params, p profile.Profile, phi float64) (SpeedupChoice
 	})
 }
 
-// BestMultiplicative evaluates all single-computer multiplicative speedups
-// by the factor psi ∈ (0,1) and returns the most advantageous one (ties
-// broken toward the larger index).
-func BestMultiplicative(m model.Params, p profile.Profile, psi float64) (SpeedupChoice, error) {
+// BestMultiplicativeBruteForce is the original O(n²) search kept as an
+// independent reference implementation (see BestAdditiveBruteForce).
+func BestMultiplicativeBruteForce(m model.Params, p profile.Profile, psi float64) (SpeedupChoice, error) {
 	if !(psi > 0) || psi >= 1 {
 		return SpeedupChoice{}, fmt.Errorf("core: multiplicative factor ψ = %v must lie in (0,1)", psi)
 	}
 	return bestByBruteForce(m, p, func(i int) (profile.Profile, error) {
 		return p.SpeedUpMultiplicative(i, psi)
 	})
+}
+
+// bestIncremental compares the n single-computer speedups ρᵢ → newRho(ρᵢ)
+// in O(n): with T = Σ log r(ρⱼ) precomputed, candidate i scores
+// T − log r(ρᵢ) + log r(newRho(ρᵢ)). Exact ties (equal ρ, hence bit-equal
+// scores) break toward the larger index exactly as the brute-force scan
+// does.
+func bestIncremental(m model.Params, p profile.Profile, newRho func(rho float64) float64) (SpeedupChoice, error) {
+	logr := make([]float64, len(p))
+	var acc stats.KahanSum
+	for i, rho := range p {
+		logr[i] = LogRatio(m, rho)
+		acc.Add(logr[i])
+	}
+	total := acc.Sum()
+	best := SpeedupChoice{Index: -1}
+	bestLog := 0.0
+	for i, rho := range p {
+		// Smaller log Π r means larger X. "<=" implements the larger-index
+		// tie-break.
+		if l := total - logr[i] + LogRatio(m, newRho(rho)); best.Index < 0 || l <= bestLog {
+			best.Index = i
+			bestLog = l
+		}
+	}
+	after := p.Clone()
+	after[best.Index] = newRho(p[best.Index])
+	best.After = after
+	best.WorkRatio = WorkRatio(m, after, p)
+	return best, nil
 }
 
 func bestByBruteForce(m model.Params, p profile.Profile, speedUp func(int) (profile.Profile, error)) (SpeedupChoice, error) {

@@ -18,11 +18,17 @@ func Ratio(m model.Params, rho float64) float64 {
 	return (b + m.TauDelta()) / (b + m.A())
 }
 
-// logRatio returns log r(ρ) = log1p((τδ − A)/(Bρ + A)), computed to full
-// precision even when r(ρ) is within ulps of 1 (small A, large ρ).
-func logRatio(m model.Params, rho float64) float64 {
+// LogRatio returns log r(ρ) = log1p((τδ − A)/(Bρ + A)), computed to full
+// precision even when r(ρ) is within ulps of 1 (small A, large ρ). It is the
+// additive building block of every measure here: consumers that evaluate
+// many related clusters (internal/incr, the catalog knapsack) precompute
+// these terms once and recombine them instead of rescanning profiles.
+func LogRatio(m model.Params, rho float64) float64 {
 	return math.Log1p((m.TauDelta() - m.A()) / (m.B()*rho + m.A()))
 }
+
+// logRatio is the historical internal spelling of LogRatio.
+func logRatio(m model.Params, rho float64) float64 { return LogRatio(m, rho) }
 
 // LogProductRatios returns log Πᵢ r(ρᵢ) via compensated summation of
 // log r(ρᵢ). This is the numerically primitive quantity from which X and
@@ -40,7 +46,14 @@ func LogProductRatios(m model.Params, p profile.Profile) float64 {
 // for stability. X is the package's primary measure of cluster power:
 // X(P1) ≥ X(P2) iff W(L;P1) ≥ W(L;P2) for every lifespan L.
 func X(m model.Params, p profile.Profile) float64 {
-	return -math.Expm1(LogProductRatios(m, p)) / (m.A() - m.TauDelta())
+	return XFromLogProduct(m, LogProductRatios(m, p))
+}
+
+// XFromLogProduct finishes the X evaluation from the primitive quantity
+// log Π r(ρᵢ). Callers that maintain the log-product incrementally
+// (internal/incr) use this to share one numerical path with X.
+func XFromLogProduct(m model.Params, logProd float64) float64 {
+	return -math.Expm1(logProd) / (m.A() - m.TauDelta())
 }
 
 // XDirect returns X(P) by direct evaluation of the sum in Theorem 2's

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 
-	"hetero/internal/core"
+	"hetero/internal/incr"
 	"hetero/internal/profile"
 	"hetero/internal/render"
 	"hetero/internal/stats"
@@ -72,6 +72,10 @@ func VarianceThreshold(cfg VarianceConfig, theta float64) (ThresholdResult, erro
 		if lo >= hi {
 			return res, fmt.Errorf("experiments: θ = %v leaves no admissible mean range at n = %d", theta, n)
 		}
+		// Stage 1: generate every pair sequentially (the per-size RNG stream
+		// is shared across trials, so generation order is part of the
+		// experiment's determinism)...
+		profiles := make([]profile.Profile, 0, 2*cfg.TrialsPerSize)
 		for t := 0; t < cfg.TrialsPerSize; t++ {
 			m := rng.InRange(lo, hi)
 			dmax := profile.MaxTwoPointOffset(m)
@@ -97,8 +101,13 @@ func VarianceThreshold(cfg VarianceConfig, theta float64) (ThresholdResult, erro
 			if gap < row.MinGap {
 				row.MinGap = gap
 			}
-			h1 := core.HECR(cfg.Params, big)
-			h2 := core.HECR(cfg.Params, small)
+			profiles = append(profiles, big, small)
+		}
+		// ...then stage 2: one batched HECR evaluation over all 2·trials
+		// profiles, fanned out over the worker pool.
+		hecrs := incr.BatchHECR(cfg.Params, profiles, cfg.Workers)
+		for t := 0; t < cfg.TrialsPerSize; t++ {
+			h1, h2 := hecrs[2*t], hecrs[2*t+1]
 			hecrGaps.Add(math.Abs(h1 - h2))
 			if !(h1 < h2) { // larger variance must be more powerful
 				row.WrongAbove++

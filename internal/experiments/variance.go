@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"hetero/internal/core"
+	"hetero/internal/incr"
 	"hetero/internal/model"
 	"hetero/internal/parallel"
 	"hetero/internal/profile"
@@ -71,6 +71,14 @@ type varianceTrial struct {
 	err     error
 }
 
+// variancePair is the generation-stage output of one trial: the equal-mean
+// pair ordered so p1 has the larger variance, before any measure is taken.
+type variancePair struct {
+	p1, p2 profile.Profile
+	gap    float64
+	err    error
+}
+
 // VariancePredictor runs the §4.3 study: draw equal-mean cluster pairs,
 // predict the more powerful one by profile variance, check against the
 // HECR (equivalently X) ground truth.
@@ -120,39 +128,49 @@ func VariancePredictor(cfg VarianceConfig) (VariancePredictorResult, error) {
 	return res, nil
 }
 
+// runVarianceTrials is a two-stage batch pipeline: generate every trial's
+// equal-mean pair (parallel, deterministic per-trial RNG), then push all
+// 2·trials profiles through incr.BatchHECR in one shot so the measure
+// evaluation derives the model constants once and fans out over the worker
+// pool.
 func runVarianceTrials(cfg VarianceConfig, n int) ([]varianceTrial, error) {
-	trials := parallel.Map(cfg.Workers, cfg.TrialsPerSize, func(t int) varianceTrial {
-		return runOneVarianceTrial(cfg, n, t)
+	pairs := parallel.Map(cfg.Workers, cfg.TrialsPerSize, func(t int) variancePair {
+		return generateVariancePair(cfg, n, t)
 	})
-	for _, tr := range trials {
-		if tr.err != nil {
-			return nil, tr.err
+	profiles := make([]profile.Profile, 0, 2*len(pairs))
+	for _, pr := range pairs {
+		if pr.err != nil {
+			return nil, pr.err
 		}
+		profiles = append(profiles, pr.p1, pr.p2)
+	}
+	hecrs := incr.BatchHECR(cfg.Params, profiles, cfg.Workers)
+	trials := make([]varianceTrial, len(pairs))
+	for t, pr := range pairs {
+		h1, h2 := hecrs[2*t], hecrs[2*t+1]
+		hecrGap := h1 - h2
+		if hecrGap < 0 {
+			hecrGap = -hecrGap
+		}
+		// Prediction: larger variance ⇒ more powerful ⇒ smaller HECR.
+		trials[t] = varianceTrial{bad: !(h1 < h2), gap: pr.gap, hecrGap: hecrGap}
 	}
 	return trials, nil
 }
 
-func runOneVarianceTrial(cfg VarianceConfig, n, t int) varianceTrial {
+func generateVariancePair(cfg VarianceConfig, n, t int) variancePair {
 	// Deterministic per-trial stream regardless of worker scheduling.
 	rng := stats.NewRNG(cfg.Seed ^ (uint64(n) << 32) ^ uint64(t)*0x9e3779b97f4a7c15)
 	p1, p2, err := profile.EqualMeanPair(rng, n)
 	if err != nil {
-		return varianceTrial{err: err}
+		return variancePair{err: err}
 	}
-	v1, v2 := p1.Variance(), p2.Variance()
-	gap := v1 - v2
+	gap := p1.Variance() - p2.Variance()
 	if gap < 0 {
 		gap = -gap
 		p1, p2 = p2, p1 // make p1 the larger-variance cluster
 	}
-	h1 := core.HECR(cfg.Params, p1)
-	h2 := core.HECR(cfg.Params, p2)
-	hecrGap := h1 - h2
-	if hecrGap < 0 {
-		hecrGap = -hecrGap
-	}
-	// Prediction: larger variance ⇒ more powerful ⇒ smaller HECR.
-	return varianceTrial{bad: !(h1 < h2), gap: gap, hecrGap: hecrGap}
+	return variancePair{p1: p1, p2: p2, gap: gap}
 }
 
 // Table returns the per-size results as a render table (use .CSV() for

@@ -1,0 +1,80 @@
+package incr
+
+import (
+	"math"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/parallel"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// Measure bundles the three headline measures of one profile, as produced
+// by BatchMeasure from a single log-product scan.
+type Measure struct {
+	X        float64
+	HECR     float64
+	WorkRate float64
+}
+
+// batchEnv holds the derived constants once per batch, so the per-ρ inner
+// loop does no repeated A/B/τδ derivation.
+type batchEnv struct {
+	a, b, td float64
+}
+
+func newBatchEnv(m model.Params) batchEnv {
+	return batchEnv{a: m.A(), b: m.B(), td: m.TauDelta()}
+}
+
+func (env batchEnv) logProduct(p profile.Profile) float64 {
+	var acc stats.KahanSum
+	num := env.td - env.a
+	for _, rho := range p {
+		acc.Add(math.Log1p(num / (env.b*rho + env.a)))
+	}
+	return acc.Sum()
+}
+
+// BatchX evaluates X for many profiles against one parameter set, deriving
+// the model constants once and fanning the profiles out over
+// parallel.ForEach (workers ≤ 0 means GOMAXPROCS). Results are indexed like
+// the input.
+func BatchX(m model.Params, profiles []profile.Profile, workers int) []float64 {
+	env := newBatchEnv(m)
+	out := make([]float64, len(profiles))
+	parallel.ForEach(workers, len(profiles), func(i int) {
+		out[i] = core.XFromLogProduct(m, env.logProduct(profiles[i]))
+	})
+	return out
+}
+
+// BatchHECR evaluates the HECR for many profiles against one parameter set
+// (see BatchX for the evaluation strategy).
+func BatchHECR(m model.Params, profiles []profile.Profile, workers int) []float64 {
+	env := newBatchEnv(m)
+	out := make([]float64, len(profiles))
+	parallel.ForEach(workers, len(profiles), func(i int) {
+		out[i] = core.HECRFromLogProduct(m, env.logProduct(profiles[i]), len(profiles[i]))
+	})
+	return out
+}
+
+// BatchMeasure evaluates X, HECR and the work rate for many profiles with
+// one log-product scan per profile — the serving shape behind the HTTP
+// POST /v1/batch endpoint.
+func BatchMeasure(m model.Params, profiles []profile.Profile, workers int) []Measure {
+	env := newBatchEnv(m)
+	out := make([]Measure, len(profiles))
+	parallel.ForEach(workers, len(profiles), func(i int) {
+		l := env.logProduct(profiles[i])
+		x := core.XFromLogProduct(m, l)
+		out[i] = Measure{
+			X:        x,
+			HECR:     core.HECRFromLogProduct(m, l, len(profiles[i])),
+			WorkRate: 1 / (env.td + 1/x),
+		}
+	})
+	return out
+}

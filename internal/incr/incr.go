@@ -1,0 +1,241 @@
+// Package incr is the incremental evaluation engine for the X-measure
+// family. Every measure in this repository — X, the HECR, the asymptotic
+// work rate — derives from one primitive, the log-product Σᵢ log r(ρᵢ), and
+// that sum is additive over computers. The Evaluator exploits this: it pays
+// the O(n) scan once at construction, then answers measure queries and
+// single-computer what-if/apply/undo updates in O(1) by swapping one
+// log r(ρ) term in a compensated running sum.
+//
+// The package is the substrate for the repo's hot paths: speedup search
+// (core.BestAdditive / BestMultiplicative run the same swap trick in O(n)
+// total), the catalog knapsack (per-tier values precomputed once), the §4.3
+// experiment sweeps (BatchHECR), and the HTTP serving path's POST /v1/batch
+// (BatchMeasure with parallel fan-out).
+package incr
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// Evaluator maintains a cluster profile together with the per-computer
+// log r(ρᵢ) terms and their compensated running sum, so that measures and
+// single-ρ updates cost O(1) after the O(n) construction scan.
+//
+// An Evaluator is not safe for concurrent mutation; wrap it in a lock or
+// give each goroutine its own (see Clone).
+type Evaluator struct {
+	m         model.Params
+	a, b, td  float64 // derived constants, computed once
+	rhos      []float64
+	logr      []float64
+	sum, comp float64 // Neumaier running sum of logr + its compensation
+	undoStack []undoRecord
+}
+
+// undoRecord snapshots exactly the state an Apply overwrote, so Undo is an
+// exact inverse (bit-for-bit, no numerical drift).
+type undoRecord struct {
+	index     int
+	rho, logr float64
+	sum, comp float64
+}
+
+// New builds an Evaluator for profile p under parameters m. The profile is
+// copied; later mutations of p do not affect the Evaluator.
+func New(m model.Params, p profile.Profile) (*Evaluator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("incr: a cluster needs at least one computer")
+	}
+	e := &Evaluator{
+		m:    m,
+		a:    m.A(),
+		b:    m.B(),
+		td:   m.TauDelta(),
+		rhos: make([]float64, len(p)),
+		logr: make([]float64, len(p)),
+	}
+	for i, rho := range p {
+		if err := checkRho(rho); err != nil {
+			return nil, fmt.Errorf("incr: ρ[%d]: %w", i, err)
+		}
+		e.rhos[i] = rho
+		e.logr[i] = e.logRatio(rho)
+		e.add(e.logr[i])
+	}
+	return e, nil
+}
+
+// MustNew is New for programmatically-correct inputs; it panics on error.
+func MustNew(m model.Params, p profile.Profile) *Evaluator {
+	e, err := New(m, p)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func checkRho(rho float64) error {
+	switch {
+	case math.IsNaN(rho) || math.IsInf(rho, 0):
+		return fmt.Errorf("ρ = %v is not finite", rho)
+	case rho <= 0:
+		return fmt.Errorf("ρ = %v must be positive", rho)
+	case rho > 1:
+		return fmt.Errorf("ρ = %v exceeds 1; normalize so the slowest computer has ρ = 1", rho)
+	}
+	return nil
+}
+
+// logRatio is core.LogRatio with the derived constants already in hand —
+// the "amortized constant derivation" that makes batch loops cheap.
+func (e *Evaluator) logRatio(rho float64) float64 {
+	return math.Log1p((e.td - e.a) / (e.b*rho + e.a))
+}
+
+// add folds v into the Neumaier-compensated running sum.
+func (e *Evaluator) add(v float64) {
+	t := e.sum + v
+	if math.Abs(e.sum) >= math.Abs(v) {
+		e.comp += (e.sum - t) + v
+	} else {
+		e.comp += (v - t) + e.sum
+	}
+	e.sum = t
+}
+
+// N returns the cluster size.
+func (e *Evaluator) N() int { return len(e.rhos) }
+
+// Params returns the model parameters the Evaluator was built with.
+func (e *Evaluator) Params() model.Params { return e.m }
+
+// Rho returns the current ρ of computer i.
+func (e *Evaluator) Rho(i int) float64 { return e.rhos[i] }
+
+// Profile returns a copy of the current profile.
+func (e *Evaluator) Profile() profile.Profile {
+	p := make(profile.Profile, len(e.rhos))
+	copy(p, e.rhos)
+	return p
+}
+
+// LogProductRatios returns the maintained primitive Σᵢ log r(ρᵢ) in O(1).
+func (e *Evaluator) LogProductRatios() float64 { return e.sum + e.comp }
+
+// X returns the X-measure of the current profile in O(1).
+func (e *Evaluator) X() float64 {
+	return core.XFromLogProduct(e.m, e.LogProductRatios())
+}
+
+// HECR returns the homogeneous-equivalent computing rate in O(1).
+func (e *Evaluator) HECR() float64 {
+	return core.HECRFromLogProduct(e.m, e.LogProductRatios(), len(e.rhos))
+}
+
+// WorkRate returns the asymptotic work per unit lifespan 1/(τδ + 1/X) in
+// O(1).
+func (e *Evaluator) WorkRate() float64 {
+	return 1 / (e.td + 1/e.X())
+}
+
+// WhatIf returns the X-measure the cluster would have with ρᵢ replaced by
+// newRho, in O(1) and without mutating the Evaluator.
+func (e *Evaluator) WhatIf(i int, newRho float64) (float64, error) {
+	l, err := e.whatIfLog(i, newRho)
+	if err != nil {
+		return 0, err
+	}
+	return core.XFromLogProduct(e.m, l), nil
+}
+
+// WhatIfHECR is WhatIf for the HECR.
+func (e *Evaluator) WhatIfHECR(i int, newRho float64) (float64, error) {
+	l, err := e.whatIfLog(i, newRho)
+	if err != nil {
+		return 0, err
+	}
+	return core.HECRFromLogProduct(e.m, l, len(e.rhos)), nil
+}
+
+func (e *Evaluator) whatIfLog(i int, newRho float64) (float64, error) {
+	if i < 0 || i >= len(e.rhos) {
+		return 0, fmt.Errorf("incr: computer index %d out of range [0,%d)", i, len(e.rhos))
+	}
+	if err := checkRho(newRho); err != nil {
+		return 0, fmt.Errorf("incr: %w", err)
+	}
+	return e.LogProductRatios() - e.logr[i] + e.logRatio(newRho), nil
+}
+
+// Apply sets ρᵢ = newRho in O(1), recording an undo entry. The running sum
+// absorbs the swap through compensated addition, so drift over long
+// mutation sequences stays at the ulp level (the property tests pin it to
+// 1e-12 relative against fresh recomputation).
+func (e *Evaluator) Apply(i int, newRho float64) error {
+	if i < 0 || i >= len(e.rhos) {
+		return fmt.Errorf("incr: computer index %d out of range [0,%d)", i, len(e.rhos))
+	}
+	if err := checkRho(newRho); err != nil {
+		return fmt.Errorf("incr: %w", err)
+	}
+	e.undoStack = append(e.undoStack, undoRecord{
+		index: i, rho: e.rhos[i], logr: e.logr[i], sum: e.sum, comp: e.comp,
+	})
+	nl := e.logRatio(newRho)
+	e.add(nl - e.logr[i])
+	e.rhos[i] = newRho
+	e.logr[i] = nl
+	return nil
+}
+
+// Undo reverts the most recent un-undone Apply and reports whether there
+// was one. The restore is exact: the pre-Apply sum and compensation are
+// reinstated bit-for-bit.
+func (e *Evaluator) Undo() bool {
+	if len(e.undoStack) == 0 {
+		return false
+	}
+	rec := e.undoStack[len(e.undoStack)-1]
+	e.undoStack = e.undoStack[:len(e.undoStack)-1]
+	e.rhos[rec.index] = rec.rho
+	e.logr[rec.index] = rec.logr
+	e.sum, e.comp = rec.sum, rec.comp
+	return true
+}
+
+// UndoDepth returns how many Apply calls can currently be undone.
+func (e *Evaluator) UndoDepth() int { return len(e.undoStack) }
+
+// Clone returns an independent copy (shared nothing, including the undo
+// stack), for handing to another goroutine.
+func (e *Evaluator) Clone() *Evaluator {
+	c := *e
+	c.rhos = append([]float64(nil), e.rhos...)
+	c.logr = append([]float64(nil), e.logr...)
+	c.undoStack = append([]undoRecord(nil), e.undoStack...)
+	return &c
+}
+
+// Refresh rebuilds the running sum from the stored log r terms with a full
+// compensated scan, discarding any accumulated drift (and the undo stack,
+// whose snapshots refer to the pre-refresh sum). Long-lived evaluators
+// under adversarial mutation loads can call it periodically; the property
+// tests show ordinary workloads never need to.
+func (e *Evaluator) Refresh() {
+	var acc stats.KahanSum
+	for i, rho := range e.rhos {
+		e.logr[i] = e.logRatio(rho)
+		acc.Add(e.logr[i])
+	}
+	e.sum, e.comp = acc.Sum(), 0
+	e.undoStack = e.undoStack[:0]
+}

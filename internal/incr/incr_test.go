@@ -1,0 +1,302 @@
+package incr
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func relErr(got, want float64) float64 {
+	if got == want {
+		return 0
+	}
+	den := math.Abs(want)
+	if den == 0 {
+		den = 1
+	}
+	return math.Abs(got-want) / den
+}
+
+func testParams() []model.Params {
+	return []model.Params{
+		model.Table1(),
+		model.Table1Fine(),
+		model.Figs34(),
+		{Tau: 0.01, Pi: 0.002, Delta: 0.5},
+	}
+}
+
+func TestEvaluatorMatchesCoreOnConstruction(t *testing.T) {
+	r := stats.NewRNG(11)
+	for _, m := range testParams() {
+		for _, n := range []int{1, 2, 7, 64, 1024} {
+			p := profile.RandomNormalized(r, n)
+			e, err := New(m, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re := relErr(e.X(), core.X(m, p)); re > 1e-13 {
+				t.Fatalf("n=%d: X rel err %v", n, re)
+			}
+			if re := relErr(e.HECR(), core.HECR(m, p)); re > 1e-13 {
+				t.Fatalf("n=%d: HECR rel err %v", n, re)
+			}
+			if re := relErr(e.WorkRate(), core.WorkRate(m, p)); re > 1e-13 {
+				t.Fatalf("n=%d: WorkRate rel err %v", n, re)
+			}
+			if re := relErr(e.LogProductRatios(), core.LogProductRatios(m, p)); re > 1e-13 {
+				t.Fatalf("n=%d: log-product rel err %v", n, re)
+			}
+		}
+	}
+}
+
+// TestEvaluatorPropertyRandomMutations is the acceptance property test:
+// over random apply/undo/what-if sequences the Evaluator must track fresh
+// core.X recomputation within 1e-12 relative error.
+func TestEvaluatorPropertyRandomMutations(t *testing.T) {
+	const tol = 1e-12
+	r := stats.NewRNG(20100419)
+	for trial := 0; trial < 40; trial++ {
+		m := testParams()[trial%4]
+		n := 2 + r.Intn(200)
+		p := profile.RandomNormalized(r, n)
+		e, err := New(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := p.Clone() // ground-truth profile, recomputed fresh each check
+		type snapshot struct {
+			i   int
+			rho float64
+		}
+		var history []snapshot
+		ops := 200 + r.Intn(300)
+		for op := 0; op < ops; op++ {
+			i := r.Intn(n)
+			newRho := r.InRange(1e-6, 1)
+			switch r.Intn(4) {
+			case 0: // WhatIf: no mutation, compare against a fresh scratch copy
+				got, err := e.WhatIf(i, newRho)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scratch := shadow.Clone()
+				scratch[i] = newRho
+				if re := relErr(got, core.X(m, scratch)); re > tol {
+					t.Fatalf("trial %d op %d: WhatIf rel err %v", trial, op, re)
+				}
+			case 1, 2: // Apply
+				history = append(history, snapshot{i, shadow[i]})
+				if err := e.Apply(i, newRho); err != nil {
+					t.Fatal(err)
+				}
+				shadow[i] = newRho
+			case 3: // Undo
+				if e.Undo() {
+					last := history[len(history)-1]
+					history = history[:len(history)-1]
+					shadow[last.i] = last.rho
+				} else if len(history) != 0 {
+					t.Fatalf("trial %d: Undo refused with %d entries outstanding", trial, len(history))
+				}
+			}
+			if re := relErr(e.X(), core.X(m, shadow)); re > tol {
+				t.Fatalf("trial %d op %d: X rel err %v after mutation", trial, op, re)
+			}
+			if re := relErr(e.HECR(), core.HECR(m, shadow)); re > tol {
+				t.Fatalf("trial %d op %d: HECR rel err %v after mutation", trial, op, re)
+			}
+		}
+		// Unwind everything: the evaluator must land exactly on the original.
+		for e.Undo() {
+		}
+		if e.UndoDepth() != 0 {
+			t.Fatalf("trial %d: undo stack not empty", trial)
+		}
+		for i := range p {
+			if e.Rho(i) != p[i] {
+				t.Fatalf("trial %d: full unwind diverged at %d: %v vs %v", trial, i, e.Rho(i), p[i])
+			}
+		}
+		if got, want := e.X(), MustNew(m, p).X(); got != want {
+			t.Fatalf("trial %d: full unwind X %v != fresh %v", trial, got, want)
+		}
+	}
+}
+
+func TestWhatIfDoesNotMutate(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	e := MustNew(m, p)
+	before := e.X()
+	if _, err := e.WhatIf(1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if e.X() != before || e.Rho(1) != 0.5 {
+		t.Fatal("WhatIf mutated the evaluator")
+	}
+	if _, err := e.WhatIfHECR(1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if e.X() != before {
+		t.Fatal("WhatIfHECR mutated the evaluator")
+	}
+}
+
+func TestWhatIfMatchesApply(t *testing.T) {
+	m := model.Figs34()
+	p := profile.MustNew(1, 0.7, 0.3, 0.2)
+	e := MustNew(m, p)
+	want, err := e.WhatIf(2, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Apply(2, 0.15); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.X(); got != want {
+		t.Fatalf("Apply X %v != WhatIf %v", got, want)
+	}
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	m := model.Table1()
+	if _, err := New(m, nil); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	if _, err := New(model.Params{}, profile.MustNew(1)); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	e := MustNew(m, profile.MustNew(1, 0.5))
+	for _, rho := range []float64{0, -1, 1.5, math.NaN(), math.Inf(1)} {
+		if err := e.Apply(0, rho); err == nil {
+			t.Fatalf("Apply accepted ρ = %v", rho)
+		}
+		if _, err := e.WhatIf(0, rho); err == nil {
+			t.Fatalf("WhatIf accepted ρ = %v", rho)
+		}
+	}
+	for _, i := range []int{-1, 2} {
+		if err := e.Apply(i, 0.5); err == nil {
+			t.Fatalf("Apply accepted index %d", i)
+		}
+		if _, err := e.WhatIf(i, 0.5); err == nil {
+			t.Fatalf("WhatIf accepted index %d", i)
+		}
+	}
+	if e.Undo() {
+		t.Fatal("Undo succeeded with empty stack")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := model.Table1()
+	e := MustNew(m, profile.MustNew(1, 0.5, 0.25))
+	c := e.Clone()
+	if err := c.Apply(0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rho(0) != 1 || e.X() == c.X() {
+		t.Fatal("clone shares state with original")
+	}
+	if !c.Undo() {
+		t.Fatal("clone lost the undo stack")
+	}
+	if c.X() != e.X() {
+		t.Fatal("clone undo diverged")
+	}
+}
+
+func TestRefreshPreservesMeasures(t *testing.T) {
+	m := model.Table1()
+	r := stats.NewRNG(3)
+	p := profile.RandomNormalized(r, 256)
+	e := MustNew(m, p)
+	for k := 0; k < 500; k++ {
+		if err := e.Apply(r.Intn(256), r.InRange(1e-3, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := e.X()
+	e.Refresh()
+	if e.UndoDepth() != 0 {
+		t.Fatal("Refresh kept stale undo entries")
+	}
+	if re := relErr(e.X(), before); re > 1e-13 {
+		t.Fatalf("Refresh moved X by rel %v", re)
+	}
+	if re := relErr(e.X(), core.X(m, e.Profile())); re > 1e-13 {
+		t.Fatalf("Refresh diverged from core.X by rel %v", re)
+	}
+}
+
+func TestBatchMatchesCore(t *testing.T) {
+	r := stats.NewRNG(7)
+	m := model.Table1()
+	profiles := make([]profile.Profile, 50)
+	for i := range profiles {
+		profiles[i] = profile.RandomNormalized(r, 1+r.Intn(128))
+	}
+	for _, workers := range []int{0, 1, 4} {
+		xs := BatchX(m, profiles, workers)
+		hecrs := BatchHECR(m, profiles, workers)
+		ms := BatchMeasure(m, profiles, workers)
+		for i, p := range profiles {
+			if re := relErr(xs[i], core.X(m, p)); re > 1e-13 {
+				t.Fatalf("BatchX[%d] rel err %v", i, re)
+			}
+			if re := relErr(hecrs[i], core.HECR(m, p)); re > 1e-13 {
+				t.Fatalf("BatchHECR[%d] rel err %v", i, re)
+			}
+			if re := relErr(ms[i].X, core.X(m, p)); re > 1e-13 {
+				t.Fatalf("BatchMeasure[%d].X rel err %v", i, re)
+			}
+			if re := relErr(ms[i].HECR, core.HECR(m, p)); re > 1e-13 {
+				t.Fatalf("BatchMeasure[%d].HECR rel err %v", i, re)
+			}
+			if re := relErr(ms[i].WorkRate, core.WorkRate(m, p)); re > 1e-13 {
+				t.Fatalf("BatchMeasure[%d].WorkRate rel err %v", i, re)
+			}
+		}
+	}
+	if got := BatchX(m, nil, 0); len(got) != 0 {
+		t.Fatalf("BatchX(nil) = %v", got)
+	}
+}
+
+func TestEvaluatorAgreesWithSpeedupSearch(t *testing.T) {
+	// The O(n) core search and an Evaluator-driven argmin must agree: both
+	// are the same swap trick, so this guards the two code paths against
+	// drifting apart.
+	m := model.Figs34()
+	r := stats.NewRNG(99)
+	for trial := 0; trial < 100; trial++ {
+		p := profile.RandomNormalized(r, 2+r.Intn(30))
+		psi := r.InRange(0.05, 0.95)
+		choice, err := core.BestMultiplicative(m, p, psi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := MustNew(m, p)
+		bestIdx, bestLog := -1, 0.0
+		for i := range p {
+			l, err := e.whatIfLog(i, p[i]*psi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Same ordering and tie-break as the core search: smaller
+			// log-product wins, larger index on exact ties.
+			if bestIdx < 0 || l <= bestLog {
+				bestIdx, bestLog = i, l
+			}
+		}
+		if bestIdx != choice.Index {
+			t.Fatalf("trial %d: evaluator picks %d, core picks %d (profile %v)", trial, bestIdx, choice.Index, p)
+		}
+	}
+}
