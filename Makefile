@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt cover replicate artifacts clean FORCE
+.PHONY: all build test bench chaos vet fmt cover replicate artifacts clean FORCE
 
 all: build vet test
 
@@ -12,9 +12,9 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/incr ./internal/api
+	$(GO) test -race ./internal/incr ./internal/api ./internal/fault ./internal/sim
 
-bench: BENCH_incr.json
+bench: BENCH_incr.json BENCH_fault.json
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf certificate for the incremental evaluator + cached serving path
@@ -22,7 +22,20 @@ bench: BENCH_incr.json
 BENCH_incr.json: FORCE
 	$(GO) run ./cmd/benchincr > $@
 
+# Perf certificate for the fault layer: the fault-aware integrator's
+# empty-plan run must cost ≤2× plain RunCEP at n=1024; replanner timing is
+# reported for scale.
+BENCH_fault.json: FORCE
+	$(GO) run ./cmd/benchfault > $@
+
 FORCE:
+
+# Chaos suite: the fault/replan property tests, repeated under the race
+# detector to shake out both nondeterminism and data races. The fault
+# package's own tests all exercise the fault machinery, so it runs whole.
+chaos:
+	$(GO) test -race -count=3 ./internal/fault
+	$(GO) test -race -count=3 -run 'Chaos|Fault|Replan' ./internal/sim ./internal/api
 
 vet:
 	$(GO) vet ./...
@@ -42,4 +55,4 @@ artifacts:
 	$(GO) run ./cmd/hetero all > artifacts.txt
 
 clean:
-	rm -f artifacts.txt test_output.txt bench_output.txt BENCH_incr.json
+	rm -f artifacts.txt test_output.txt bench_output.txt BENCH_incr.json BENCH_fault.json

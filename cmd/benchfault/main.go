@@ -1,0 +1,149 @@
+// Command benchfault certifies the cost of the fault layer. It times, via
+// testing.Benchmark, at n = 1024:
+//
+//   - RunCEP vs RunCEPFaulty with an empty fault plan (acceptance: the
+//     fault-aware integrator's no-fault path costs ≤ 2× the plain
+//     simulator — it performs the same event sequence plus timeline
+//     lookups), and
+//   - the replanner under a seeded multi-fault plan, reported for scale
+//     (informational; there is no fault-free baseline for replanning).
+//
+// It prints one JSON document to stdout — the content of BENCH_fault.json
+// (see `make bench`):
+//
+//	go run ./cmd/benchfault > BENCH_fault.json
+//
+// The -quick flag caps each measurement at a fixed small iteration count so
+// CI smoke tests finish in well under a second (ratios are then noisy and
+// not certified).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/sim"
+	"hetero/internal/stats"
+)
+
+// OverheadResult reports the empty-plan fault-integrator overhead.
+type OverheadResult struct {
+	N              int     `json:"n"`
+	PlainNsPerOp   float64 `json:"plain_ns_per_op"`
+	FaultyNsPerOp  float64 `json:"faulty_ns_per_op"`
+	Overhead       float64 `json:"overhead"`
+	Threshold      float64 `json:"threshold"`
+	MeetsThreshold bool    `json:"meets_threshold"`
+}
+
+// ReplanResult reports the replanner's cost under a seeded fault plan.
+// Every fault event costs one ride-vs-replan decision (a candidate CEP
+// solve plus an exact rollout), whether or not a new round is adopted, so
+// ns_per_decision is the meaningful unit cost.
+type ReplanResult struct {
+	N             int     `json:"n"`
+	Faults        int     `json:"faults"`
+	Decisions     int     `json:"decisions"`
+	Rounds        int     `json:"rounds"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	NsPerDecision float64 `json:"ns_per_decision"`
+}
+
+// Report is the BENCH_fault.json document.
+type Report struct {
+	Overhead OverheadResult `json:"empty_plan_overhead"`
+	Replan   ReplanResult   `json:"replan"`
+	Pass     bool           `json:"pass"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "single short iteration per benchmark (smoke test; ratios not certified)")
+	flag.Parse()
+	rep, err := buildReport(*quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchfault:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfault:", err)
+		os.Exit(1)
+	}
+	if !rep.Pass && !*quick {
+		fmt.Fprintln(os.Stderr, "benchfault: overhead threshold not met")
+		os.Exit(1)
+	}
+}
+
+// bench returns ns/op for f, mirroring benchincr: certified runs defer to
+// testing.Benchmark's calibration, quick mode times three iterations.
+func bench(quick bool, f func(b *testing.B)) float64 {
+	if quick {
+		var b testing.B
+		b.N = 3
+		start := time.Now()
+		f(&b)
+		return float64(time.Since(start).Nanoseconds()) / float64(b.N)
+	}
+	r := testing.Benchmark(f)
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func buildReport(quick bool) (Report, error) {
+	var rep Report
+	const n = 1024
+	const lifespan = 3600.0
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(n), n)
+	pr, err := sim.OptimalFIFO(m, p, lifespan)
+	if err != nil {
+		return rep, err
+	}
+
+	rep.Overhead = OverheadResult{N: n, Threshold: 2}
+	rep.Overhead.PlainNsPerOp = bench(quick, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunCEP(m, p, pr, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Overhead.FaultyNsPerOp = bench(quick, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunCEPFaulty(m, p, pr, fault.Plan{}, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.Overhead.Overhead = rep.Overhead.FaultyNsPerOp / rep.Overhead.PlainNsPerOp
+	rep.Overhead.MeetsThreshold = rep.Overhead.Overhead <= rep.Overhead.Threshold
+
+	plan := fault.Random(stats.NewRNG(7), n, lifespan, 16)
+	first, err := sim.SimulateFaulty(context.Background(), m, p, lifespan, plan, true, sim.Options{})
+	if err != nil {
+		return rep, err
+	}
+	rep.Replan = ReplanResult{N: n, Faults: len(plan.Faults), Decisions: len(first.Decisions), Rounds: len(first.Rounds)}
+	rep.Replan.NsPerOp = bench(quick, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.SimulateFaulty(context.Background(), m, p, lifespan, plan, true, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if rep.Replan.Decisions > 0 {
+		rep.Replan.NsPerDecision = rep.Replan.NsPerOp / float64(rep.Replan.Decisions)
+	}
+
+	rep.Pass = rep.Overhead.MeetsThreshold
+	return rep, nil
+}

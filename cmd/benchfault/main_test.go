@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestBuildReportQuick(t *testing.T) {
+	rep, err := buildReport(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overhead.PlainNsPerOp <= 0 || rep.Overhead.FaultyNsPerOp <= 0 {
+		t.Fatalf("non-positive overhead timings: %+v", rep.Overhead)
+	}
+	if rep.Overhead.Overhead <= 0 {
+		t.Fatalf("non-positive overhead ratio: %+v", rep.Overhead)
+	}
+	if rep.Replan.NsPerOp <= 0 || rep.Replan.Rounds <= 0 || rep.Replan.Faults <= 0 || rep.Replan.Decisions <= 0 {
+		t.Fatalf("implausible replan row: %+v", rep.Replan)
+	}
+}

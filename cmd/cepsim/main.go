@@ -7,17 +7,29 @@
 //
 //	cepsim -profile "1,0.5,0.25" -L 3600 -strategy optimal
 //	cepsim -profile "1,0.5,0.25" -L 3600 -strategy equal -jitter 0.1 -seed 7
+//
+// With -faults the run goes through the fault-aware integrator and prints a
+// degradation report instead of the trace table; -replan switches on the
+// round-based replanner:
+//
+//	cepsim -profile "1,0.5,0.25" -L 3600 \
+//	    -faults '[{"kind":"crash","computer":2,"at":900}]' -replan
+//	cepsim -profile "1,0.5" -L 3600 -faults @plan.json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"hetero/internal/core"
+	"hetero/internal/fault"
 	"hetero/internal/model"
 	"hetero/internal/profile"
 	"hetero/internal/render"
@@ -44,6 +56,8 @@ func run(args []string, out io.Writer) error {
 	jitter := fs.Float64("jitter", 0, "speed misestimation: simulate with ρ·(1±jitter)")
 	seed := fs.Uint64("seed", 1, "jitter RNG seed")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in chrome://tracing or ui.perfetto.dev)")
+	faultsArg := fs.String("faults", "", "fault plan: inline JSON array of faults, or @file; kinds: crash, outage, slowdown, blackout")
+	replan := fs.Bool("replan", false, "with -faults: re-solve the remaining-lifespan CEP at each fault event")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +67,16 @@ func run(args []string, out io.Writer) error {
 	}
 	if err := m.Validate(); err != nil {
 		return err
+	}
+	if *faultsArg != "" {
+		plan, err := parseFaultPlan(*faultsArg, len(p))
+		if err != nil {
+			return err
+		}
+		if *strategy != "optimal" {
+			return fmt.Errorf("-faults simulates the optimal protocol; drop -strategy %q", *strategy)
+		}
+		return runFaulty(out, m, p, *lifespan, plan, *replan, sim.Options{RhoJitter: *jitter, Seed: *seed})
 	}
 
 	var proto sim.Protocol
@@ -106,6 +130,90 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "trace written:       %s\n", *traceFile)
 	}
 	return nil
+}
+
+// parseFaultPlan reads a fault plan from an inline JSON array or, with a
+// leading @, from a file. Outage/blackout faults with "until" omitted are
+// permanent, matching the HTTP API's shorthand.
+func parseFaultPlan(arg string, n int) (fault.Plan, error) {
+	data := []byte(arg)
+	if strings.HasPrefix(arg, "@") {
+		var err error
+		if data, err = os.ReadFile(arg[1:]); err != nil {
+			return fault.Plan{}, err
+		}
+	}
+	var faults []fault.Fault
+	if err := json.Unmarshal(data, &faults); err != nil {
+		return fault.Plan{}, fmt.Errorf("fault plan: %v", err)
+	}
+	for i := range faults {
+		f := &faults[i]
+		if (f.Kind == fault.Outage || f.Kind == fault.Blackout) && f.Until == 0 {
+			f.Until = math.Inf(1)
+		}
+	}
+	plan := fault.Plan{Faults: faults}
+	return plan, plan.Validate(n)
+}
+
+// runFaulty prints the degradation report for a fault-aware run: the
+// replanner's per-round table when -replan is set, then the salvage/loss
+// summary against Theorem 2's fault-free optimum.
+func runFaulty(out io.Writer, m model.Params, p profile.Profile, lifespan float64, plan fault.Plan, replan bool, opt sim.Options) error {
+	rep, err := sim.SimulateFaulty(context.Background(), m, p, lifespan, plan, replan, opt)
+	if err != nil {
+		return err
+	}
+	mode := "fixed optimal protocol"
+	if replan {
+		mode = "replan at each fault event"
+	}
+	fmt.Fprintf(out, "fault-aware CEP simulation: n=%d, L=%g, %d faults, %s\n",
+		len(p), lifespan, len(plan.Faults), mode)
+	if replan {
+		t := render.NewTable("replanning rounds",
+			"round", "window", "computers", "planned rate", "dispatched", "salvaged")
+		for i, r := range rep.Rounds {
+			t.Add(fmt.Sprintf("%d", i+1),
+				fmt.Sprintf("[%.6g, %.6g)", r.Start, r.End),
+				formatComputers(r.Computers),
+				fmt.Sprintf("%.6g", r.PlannedRate),
+				fmt.Sprintf("%.6g", r.Dispatched),
+				fmt.Sprintf("%.6g", r.Salvaged))
+		}
+		fmt.Fprint(out, t.String())
+		for _, d := range rep.Decisions {
+			for _, dp := range d.DropPrices {
+				fmt.Fprintf(out, "drop C%d at t=%.6g: cluster work rate falls to %.6g\n",
+					dp.Computer+1, d.At, dp.WorkRate)
+			}
+			verdict := "ride out the in-flight round"
+			if d.Replanned {
+				verdict = "abandon and replan"
+			}
+			fmt.Fprintf(out, "event t=%.6g: ride projects %.6g, replan projects %.6g → %s\n",
+				d.At, d.RideValue, math.Max(0, d.ReplanValue), verdict)
+		}
+	}
+	fmt.Fprintf(out, "fault-free W(L;P):   %.8g\n", rep.FaultFree)
+	fmt.Fprintf(out, "work salvaged by L:  %.8g\n", rep.Salvaged)
+	fmt.Fprintf(out, "work dispatched:     %.8g\n", rep.Dispatched)
+	fmt.Fprintf(out, "work lost:           %.8g\n", rep.Lost)
+	fmt.Fprintf(out, "degradation:         %.4f\n", rep.Degradation)
+	fmt.Fprintf(out, "events processed:    %d\n", rep.Events)
+	return nil
+}
+
+func formatComputers(ids []int) string {
+	if len(ids) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprintf("C%d", id+1)
+	}
+	return strings.Join(parts, ",")
 }
 
 func parseProfile(s string) (profile.Profile, error) {

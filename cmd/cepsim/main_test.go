@@ -64,3 +64,46 @@ func TestCepsimTraceExport(t *testing.T) {
 		t.Fatalf("output:\n%s", b.String())
 	}
 }
+
+func TestCepsimFaultPlan(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-profile", "1,0.5,0.25", "-L", "3600",
+		"-faults", `[{"kind":"outage","computer":2,"at":100,"until":600}]`, "-replan"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"replanning rounds", "drop C3", "degradation:", "fault-free W(L;P)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The same plan from a file, without replanning.
+	dir := t.TempDir()
+	path := dir + "/plan.json"
+	if err := os.WriteFile(path, []byte(`[{"kind":"crash","computer":1,"at":900}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := run([]string{"-profile", "1,0.5", "-L", "3600", "-faults", "@" + path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fixed optimal protocol") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
+func TestCepsimFaultPlanRejections(t *testing.T) {
+	cases := [][]string{
+		{"-profile", "1,0.5", "-faults", "not json"},
+		{"-profile", "1,0.5", "-faults", `[{"kind":"crash","computer":7,"at":1}]`},
+		{"-profile", "1,0.5", "-faults", `[{"kind":"crash","computer":0,"at":1}]`, "-strategy", "equal"},
+		{"-profile", "1,0.5", "-faults", "@/no/such/file.json"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}

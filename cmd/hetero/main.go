@@ -41,6 +41,7 @@
 //	replicate      claim-by-claim replication certificate (text or -json)
 //	installments   multi-installment worksharing vs link cost
 //	jitter         robustness to speed misestimation
+//	faults         work degradation under injected faults, fixed vs replan
 //	agreement      simulation vs Theorem 2 validation
 //	all            run every paper artifact with defaults
 package main
@@ -139,6 +140,8 @@ func run(args []string, out io.Writer) error {
 		return cmdInstallments(rest, out)
 	case "jitter":
 		return cmdJitter(rest, out)
+	case "faults":
+		return cmdFaults(rest, out)
 	case "agreement":
 		return cmdAgreement(rest, out)
 	case "all":
@@ -912,6 +915,23 @@ func cmdJitter(args []string, out io.Writer) error {
 	}
 	res, err := experiments.JitterRobustness(*m, profile.Linear(*n), *lifespan,
 		[]float64{0, 0.01, 0.05, 0.1, 0.2}, *seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdFaults(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("faults", flag.ContinueOnError)
+	m := modelFlags(fs)
+	n := fs.Int("n", 8, "cluster size (seeded random profiles)")
+	lifespan := fs.Float64("L", 3600, "lifespan")
+	seeds := fs.Int("seeds", 30, "seeded trials per fault intensity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.FaultTolerance(*m, *n, *lifespan, []int{0, 1, 2, 4, 8}, *seeds)
 	if err != nil {
 		return err
 	}

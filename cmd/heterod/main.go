@@ -8,8 +8,11 @@
 //	curl 'localhost:8080/v1/statz'
 //
 // The server is hardened for unattended operation: header/read/write/idle
-// timeouts bound slow or stuck clients, and SIGINT/SIGTERM trigger a
-// graceful drain before exit.
+// timeouts bound slow or stuck clients; a bounded admission queue
+// (-max-concurrent, -queue-depth) sheds overload with 429 + Retry-After;
+// every request carries a -request-timeout context deadline; handler panics
+// become JSON 500s; and SIGINT/SIGTERM trigger a graceful drain before
+// exit.
 package main
 
 import (
@@ -44,6 +47,9 @@ func run(args []string) error {
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown drain deadline after SIGINT/SIGTERM")
+	maxConcurrent := fs.Int("max-concurrent", api.DefaultMaxConcurrent, "bound on simultaneously executing requests")
+	queueDepth := fs.Int("queue-depth", api.DefaultQueueDepth, "admission queue beyond -max-concurrent; arrivals past it are shed with 429")
+	requestTimeout := fs.Duration("request-timeout", api.DefaultRequestTimeout, "per-request context deadline (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,8 +57,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	apiSrv := api.NewServerCacheSize(*cacheSize)
+	apiSrv.Serving = api.ServingConfig{
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *requestTimeout,
+	}
 	srv := &http.Server{
-		Handler:           api.NewServerCacheSize(*cacheSize).Handler(),
+		Handler:           apiSrv.Handler(),
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,

@@ -3,8 +3,10 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -103,5 +105,74 @@ func TestRunRejectsBadAddr(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-no-such-flag"}); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestDrainCompletesFaultySimWhileShedding(t *testing.T) {
+	// Regression for the shutdown path: an in-flight POST /v1/simulate/faulty
+	// must run to completion inside the SIGTERM grace window, while requests
+	// arriving after the drain begins are turned away.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	inner := api.NewServer().Handler()
+	gate := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/simulate/faulty" {
+			close(entered)
+			<-release
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := &http.Server{Handler: gate, ReadHeaderTimeout: 5 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, 10*time.Second) }()
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		code int
+		body []byte
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/simulate/faulty", "application/json",
+			strings.NewReader(`{"profile":[1,0.5],"lifespan":3600,"replan":true,"faults":[{"kind":"crash","computer":1,"at":900}]}`))
+		if err != nil {
+			got <- result{code: -1}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		got <- result{code: resp.StatusCode, body: body}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("faulty request never reached the handler")
+	}
+	cancel() // SIGTERM equivalent: the drain begins with the request in flight
+	time.Sleep(100 * time.Millisecond)
+
+	// New arrivals during the drain are turned away (the listener is closed).
+	if resp, err := http.Get(base + "/v1/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatalf("new request served during drain: %d", resp.StatusCode)
+	}
+
+	close(release)
+	r := <-got
+	if r.code != 200 {
+		t.Fatalf("in-flight simulation got %d (body %q), want 200", r.code, r.body)
+	}
+	var rep map[string]interface{}
+	if err := json.Unmarshal(r.body, &rep); err != nil || rep["degradation"] == nil {
+		t.Fatalf("drained response not a degradation report: %q", r.body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown returned %v", err)
 	}
 }

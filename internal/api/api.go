@@ -14,10 +14,17 @@
 //	POST /v1/schedule {profile, lifespan}   → allocations + timeline
 //	POST /v1/design {catalog, budget}       → knapsack-optimal composition
 //	GET  /v1/speedup?profile=..&phi=|psi=   → which computer to upgrade (§3)
-//	GET  /v1/statz                          → cache hit/miss + batch counters
+//	POST /v1/simulate/faulty {profile, lifespan, faults, replan?}
+//	     → degraded-work report: salvage, loss, and degradation vs the
+//	       fault-free optimum W(L;P), optionally under the replanner
+//	GET  /v1/statz                          → cache/batch counters + serving
+//	     (shed, panics, deadline) counters
 //	GET  /v1/healthz                        → liveness
 //
-// Parameters default to the paper's Table 1 environment.
+// Parameters default to the paper's Table 1 environment. Every route is
+// wrapped in hardening middleware: panic recovery, a bounded admission
+// queue that sheds 429 + Retry-After at capacity, and per-request context
+// deadlines (see ServingConfig).
 package api
 
 import (
@@ -45,13 +52,25 @@ const DefaultMeasureCacheSize = 1024
 const MaxBatchProfiles = 4096
 
 // Server carries the default environment plus the serving-path state: the
-// /v1/measure response cache and the /v1/statz counters.
+// /v1/measure response cache, the admission-control tokens, and the
+// /v1/statz counters.
 type Server struct {
 	Defaults model.Params
+	// Serving tunes the hardening middleware; set it before the first
+	// Handler call. The zero value uses the package defaults.
+	Serving ServingConfig
 
 	cache         *responseCache
 	batchRequests atomic.Uint64
 	batchProfiles atomic.Uint64
+
+	serving     ServingConfig // Serving with defaults resolved
+	runTokens   chan struct{}
+	queueTokens chan struct{}
+	shed        atomic.Uint64
+	panics      atomic.Uint64
+	deadlines   atomic.Uint64
+	inFlight    atomic.Int64
 }
 
 // NewServer returns a server defaulting to Table 1 parameters with the
@@ -64,11 +83,14 @@ func NewServerCacheSize(cacheSize int) *Server {
 	return &Server{Defaults: model.Table1(), cache: newResponseCache(cacheSize)}
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Handler returns the HTTP handler with all routes mounted, wrapped in the
+// hardening middleware (panic recovery, bounded admission, per-request
+// deadlines — see ServingConfig).
 func (s *Server) Handler() http.Handler {
 	if s.cache == nil { // zero-constructed Server literals keep working
 		s.cache = newResponseCache(DefaultMeasureCacheSize)
 	}
+	s.initServing()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/measure", s.handleMeasure)
@@ -77,8 +99,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/v1/design", s.handleDesign)
 	mux.HandleFunc("/v1/speedup", s.handleSpeedup)
+	mux.HandleFunc("/v1/simulate/faulty", s.handleSimulateFaulty)
 	mux.HandleFunc("/v1/statz", s.handleStatz)
-	return mux
+	mux.HandleFunc("/", handleNotFound) // JSON 404s, matching every error path
+	return s.wrap(mux)
+}
+
+func handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, "no such endpoint: "+r.URL.Path)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -98,7 +126,7 @@ type MeasureResponse struct {
 
 func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	m, err := s.paramsFromQuery(r)
@@ -158,7 +186,7 @@ type BatchResponse struct {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var req BatchRequest
@@ -228,15 +256,26 @@ type BatchStats struct {
 	Profiles uint64 `json:"profiles"`
 }
 
+// ServingStats is the /v1/statz view of the hardening middleware.
+type ServingStats struct {
+	Shed             uint64 `json:"shed"`
+	Panics           uint64 `json:"panics"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	InFlight         int64  `json:"in_flight"`
+	MaxConcurrent    int    `json:"max_concurrent"`
+	QueueDepth       int    `json:"queue_depth"`
+}
+
 // StatzResponse is the /v1/statz payload.
 type StatzResponse struct {
-	MeasureCache CacheStats `json:"measure_cache"`
-	Batch        BatchStats `json:"batch"`
+	MeasureCache CacheStats   `json:"measure_cache"`
+	Batch        BatchStats   `json:"batch"`
+	Serving      ServingStats `json:"serving"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	hits, misses, size, capacity := s.cache.Stats()
@@ -250,6 +289,14 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			Requests: s.batchRequests.Load(),
 			Profiles: s.batchProfiles.Load(),
 		},
+		Serving: ServingStats{
+			Shed:             s.shed.Load(),
+			Panics:           s.panics.Load(),
+			DeadlineExceeded: s.deadlines.Load(),
+			InFlight:         s.inFlight.Load(),
+			MaxConcurrent:    s.serving.MaxConcurrent,
+			QueueDepth:       s.serving.QueueDepth,
+		},
 	})
 }
 
@@ -262,7 +309,7 @@ type CompareResponse struct {
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	m, err := s.paramsFromQuery(r)
@@ -317,7 +364,7 @@ type ScheduleSegment struct {
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var req ScheduleRequest
@@ -371,7 +418,7 @@ type DesignResponse struct {
 
 func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		methodNotAllowed(w, http.MethodPost)
 		return
 	}
 	var req DesignRequest
@@ -408,7 +455,7 @@ type SpeedupResponse struct {
 
 func (s *Server) handleSpeedup(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		methodNotAllowed(w, http.MethodGet)
 		return
 	}
 	m, err := s.paramsFromQuery(r)
@@ -514,4 +561,11 @@ func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// methodNotAllowed writes the structured 405 used by every route, with the
+// Allow header RFC 9110 requires.
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed, allow+" only")
 }

@@ -1,0 +1,116 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/sim"
+)
+
+// Limits on one POST /v1/simulate/faulty request: the simulation is
+// O((n + faults)·log n), so these keep worst-case latency bounded.
+const (
+	MaxFaultyProfile = 4096
+	MaxFaults        = 1024
+	maxFaultyBody    = 1 << 20
+)
+
+// FaultyRequest is the POST /v1/simulate/faulty body. Outage and blackout
+// faults whose "until" is omitted (or zero) are treated as permanent.
+type FaultyRequest struct {
+	Profile  []float64     `json:"profile"`
+	Lifespan float64       `json:"lifespan"`
+	Params   *model.Params `json:"params,omitempty"`
+	Faults   []fault.Fault `json:"faults,omitempty"`
+	Replan   bool          `json:"replan,omitempty"`
+}
+
+// decodeFaultyRequest parses and fully validates a /v1/simulate/faulty body
+// against the given default parameters. It is the exact surface the fuzz
+// harness drives: any body either yields a simulatable input or a
+// descriptive error — never a panic, and never NaN/±Inf smuggled into the
+// simulation (encoding/json already rejects non-finite literals; the
+// validators reject the rest).
+func decodeFaultyRequest(defaults model.Params, body []byte) (m model.Params, p profile.Profile, lifespan float64, plan fault.Plan, replan bool, err error) {
+	var req FaultyRequest
+	if err = json.Unmarshal(body, &req); err != nil {
+		err = fmt.Errorf("invalid JSON: %w", err)
+		return
+	}
+	m = defaults
+	if req.Params != nil {
+		m = *req.Params
+	}
+	if err = m.Validate(); err != nil {
+		return
+	}
+	if len(req.Profile) > MaxFaultyProfile {
+		err = fmt.Errorf("profile of %d computers exceeds the limit of %d", len(req.Profile), MaxFaultyProfile)
+		return
+	}
+	if p, err = profile.New(req.Profile...); err != nil {
+		return
+	}
+	if !(req.Lifespan > 0) || math.IsInf(req.Lifespan, 0) {
+		err = fmt.Errorf("lifespan %v must be positive and finite", req.Lifespan)
+		return
+	}
+	lifespan = req.Lifespan
+	if len(req.Faults) > MaxFaults {
+		err = fmt.Errorf("%d faults exceed the limit of %d", len(req.Faults), MaxFaults)
+		return
+	}
+	plan = fault.Plan{Faults: req.Faults}
+	for i := range plan.Faults {
+		f := &plan.Faults[i]
+		if (f.Kind == fault.Outage || f.Kind == fault.Blackout) && f.Until == 0 {
+			f.Until = math.Inf(1)
+		}
+	}
+	if err = plan.Validate(len(p)); err != nil {
+		return
+	}
+	replan = req.Replan
+	return
+}
+
+func (s *Server) handleSimulateFaulty(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxFaultyBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > maxFaultyBody {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d bytes", maxFaultyBody))
+		return
+	}
+	m, p, lifespan, plan, replan, err := decodeFaultyRequest(s.Defaults, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rep, err := sim.SimulateFaulty(r.Context(), m, p, lifespan, plan, replan, sim.Options{})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.deadlines.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "simulation exceeded the request deadline")
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

@@ -1,0 +1,93 @@
+package api
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/sim"
+)
+
+func TestSimulateFaultyEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Empty plan: the endpoint must report zero degradation.
+	var rep sim.DegradedReport
+	code := postJSON(t, srv.URL+"/v1/simulate/faulty", FaultyRequest{
+		Profile: []float64{1, 0.5, 0.25}, Lifespan: 3600,
+	}, &rep)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep.FaultFree <= 0 || math.Abs(rep.Degradation) > 1e-9 {
+		t.Fatalf("empty plan: %+v", rep)
+	}
+	// A crash degrades; replan mode returns the per-event decision log with
+	// O(1) drop pricing, plus the adopted rounds.
+	req := FaultyRequest{
+		Profile: []float64{1, 0.5, 0.25}, Lifespan: 3600,
+		Faults: []fault.Fault{{Kind: fault.Crash, Computer: 2, At: 900}},
+		Replan: true,
+	}
+	if code := postJSON(t, srv.URL+"/v1/simulate/faulty", req, &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep.Degradation <= 0 || len(rep.Decisions) != 1 || len(rep.Rounds) < 1 {
+		t.Fatalf("crash+replan: %+v", rep)
+	}
+	if len(rep.Decisions[0].DropPrices) != 1 || rep.Decisions[0].DropPrices[0].Computer != 2 {
+		t.Fatalf("drop not priced: %+v", rep.Decisions[0])
+	}
+	// The endpoint serves exactly what the library computes.
+	want, err := sim.SimulateFaulty(nil, model.Table1(), profile.MustNew(1, 0.5, 0.25), 3600,
+		fault.Plan{Faults: req.Faults}, true, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Salvaged != want.Salvaged || rep.Lost != want.Lost {
+		t.Fatalf("endpoint %+v diverges from library %+v", rep, want)
+	}
+}
+
+func TestSimulateFaultyPermanentOutageShorthand(t *testing.T) {
+	// An outage with "until" omitted is permanent — same salvage as a very
+	// long outage, strictly less than fault-free.
+	srv := testServer(t)
+	var rep sim.DegradedReport
+	code := postJSON(t, srv.URL+"/v1/simulate/faulty", FaultyRequest{
+		Profile: []float64{1, 0.5}, Lifespan: 1000,
+		Faults: []fault.Fault{{Kind: fault.Outage, Computer: 1, At: 10}},
+	}, &rep)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep.Degradation <= 0 {
+		t.Fatalf("permanent outage did not degrade: %+v", rep)
+	}
+}
+
+func TestDecodeFaultyRequestRejections(t *testing.T) {
+	defaults := model.Table1()
+	cases := []struct{ name, body string }{
+		{"not json", `nope`},
+		{"empty profile", `{"profile":[],"lifespan":10}`},
+		{"bad rho", `{"profile":[1,2],"lifespan":10}`},
+		{"zero lifespan", `{"profile":[1],"lifespan":0}`},
+		{"negative lifespan", `{"profile":[1],"lifespan":-5}`},
+		{"nan literal", `{"profile":[NaN],"lifespan":10}`},
+		{"inf lifespan", `{"profile":[1],"lifespan":1e999}`},
+		{"negative fault time", `{"profile":[1],"lifespan":10,"faults":[{"kind":"crash","computer":0,"at":-1}]}`},
+		{"fault index range", `{"profile":[1],"lifespan":10,"faults":[{"kind":"crash","computer":3,"at":1}]}`},
+		{"unknown kind", `{"profile":[1],"lifespan":10,"faults":[{"kind":"gremlin","computer":0,"at":1}]}`},
+		{"inverted window", `{"profile":[1],"lifespan":10,"faults":[{"kind":"outage","computer":0,"at":5,"until":2}]}`},
+		{"overlapping outages", `{"profile":[1],"lifespan":10,"faults":[{"kind":"outage","computer":0,"at":1,"until":5},{"kind":"outage","computer":0,"at":3,"until":7}]}`},
+		{"bad factor", `{"profile":[1],"lifespan":10,"faults":[{"kind":"slowdown","computer":0,"at":1,"factor":0}]}`},
+		{"bad params", `{"profile":[1],"lifespan":10,"params":{"tau":-1,"pi":0,"delta":1}}`},
+	}
+	for _, tc := range cases {
+		if _, _, _, _, _, err := decodeFaultyRequest(defaults, []byte(tc.body)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

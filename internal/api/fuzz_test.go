@@ -1,6 +1,7 @@
 package api
 
 import (
+	"math"
 	"testing"
 
 	"hetero/internal/model"
@@ -46,6 +47,55 @@ func FuzzCanonicalKey(f *testing.F) {
 		}
 		if key2 := CanonicalKey(m2, p2); key2 != key {
 			t.Fatalf("key not deterministic: %q vs %q", key, key2)
+		}
+	})
+}
+
+// FuzzFaultPlanParse drives the POST /v1/simulate/faulty decoder with
+// arbitrary bodies. The decoder is the trust boundary for the fault
+// subsystem, so the invariants are absolute:
+//
+//  1. it never panics, whatever the bytes;
+//  2. anything it accepts is fully simulatable — the plan re-validates, the
+//     lifespan is positive and finite, and no NaN/±Inf reached the profile
+//     or the fault times (JSON cannot spell them and the validators refuse
+//     the loopholes, e.g. overlapping windows or inverted intervals).
+func FuzzFaultPlanParse(f *testing.F) {
+	f.Add([]byte(`{"profile":[1,0.5],"lifespan":3600}`))
+	f.Add([]byte(`{"profile":[1,0.5],"lifespan":3600,"replan":true,"faults":[{"kind":"crash","computer":1,"at":100}]}`))
+	f.Add([]byte(`{"profile":[1],"lifespan":10,"faults":[{"kind":"outage","computer":0,"at":1,"until":5},{"kind":"outage","computer":0,"at":3,"until":7}]}`))
+	f.Add([]byte(`{"profile":[1],"lifespan":10,"faults":[{"kind":"blackout","at":2}]}`))
+	f.Add([]byte(`{"profile":[1],"lifespan":10,"faults":[{"kind":"slowdown","computer":0,"at":-3,"factor":2}]}`))
+	f.Add([]byte(`{"profile":[NaN],"lifespan":1e999}`))
+	f.Add([]byte(`{"profile":[1],"lifespan":10,"params":{"tau":1e-6,"pi":1e-5,"delta":1}}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		defaults := model.Table1()
+		m, p, lifespan, plan, _, err := decodeFaultyRequest(defaults, body)
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted params fail validation: %v (body %q)", verr, body)
+		}
+		if len(p) == 0 {
+			t.Fatalf("accepted an empty profile (body %q)", body)
+		}
+		for i, rho := range p {
+			if math.IsNaN(rho) || math.IsInf(rho, 0) || rho <= 0 || rho > 1 {
+				t.Fatalf("accepted ρ[%d] = %v (body %q)", i, rho, body)
+			}
+		}
+		if !(lifespan > 0) || math.IsInf(lifespan, 0) {
+			t.Fatalf("accepted lifespan %v (body %q)", lifespan, body)
+		}
+		if verr := plan.Validate(len(p)); verr != nil {
+			t.Fatalf("accepted plan fails re-validation: %v (body %q)", verr, body)
+		}
+		for _, fa := range plan.Faults {
+			if math.IsNaN(fa.At) || math.IsInf(fa.At, 0) || fa.At < 0 {
+				t.Fatalf("accepted fault time %v (body %q)", fa.At, body)
+			}
 		}
 	})
 }

@@ -1,0 +1,146 @@
+package api
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Serving-path defaults. They bound resource usage under unattended
+// operation: at most MaxConcurrent requests execute at once, at most
+// QueueDepth more wait for a slot, and every admitted request carries a
+// RequestTimeout deadline on its context.
+const (
+	DefaultMaxConcurrent  = 64
+	DefaultQueueDepth     = 128
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultRetryAfter     = time.Second
+)
+
+// ServingConfig tunes the hardening middleware that wraps every route (see
+// Server.Handler). The zero value means "use the defaults"; set
+// RequestTimeout negative to disable per-request deadlines.
+type ServingConfig struct {
+	// MaxConcurrent bounds simultaneously executing requests.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an execution slot beyond
+	// MaxConcurrent; arrivals past the queue are shed with 429.
+	QueueDepth int
+	// RequestTimeout is the deadline attached to each request's context.
+	// Handlers that compute for a long time (POST /v1/simulate/faulty)
+	// observe it and give up with 504.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with shed (429) responses.
+	RetryAfter time.Duration
+}
+
+func (c ServingConfig) withDefaults() ServingConfig {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// initServing materializes the admission-control channels from the
+// configured (or default) ServingConfig. Called once from Handler.
+func (s *Server) initServing() {
+	if s.runTokens != nil {
+		return
+	}
+	s.serving = s.Serving.withDefaults()
+	s.runTokens = make(chan struct{}, s.serving.MaxConcurrent)
+	s.queueTokens = make(chan struct{}, s.serving.MaxConcurrent+s.serving.QueueDepth)
+}
+
+// wrap is the hardening chain applied outside the route mux: panic
+// recovery outermost (so a fault anywhere yields a JSON 500, not a dropped
+// connection), then bounded admission, then the per-request deadline.
+func (s *Server) wrap(next http.Handler) http.Handler {
+	return s.recoverer(s.admission(s.deadline(next)))
+}
+
+// recoverer converts a handler panic into a JSON 500 and counts it, instead
+// of letting net/http kill the connection. http.ErrAbortHandler keeps its
+// documented meaning and is re-raised.
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				s.panics.Add(1)
+				writeError(w, http.StatusInternalServerError, "internal server error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// exemptFromAdmission lists the paths that must answer even when the server
+// is saturated: liveness probes and the stats page an operator needs to
+// diagnose the saturation.
+func exemptFromAdmission(path string) bool {
+	return path == "/v1/healthz" || path == "/v1/statz"
+}
+
+// admission enforces the bounded queue: a request first claims a queue
+// token (shed with 429 + Retry-After when none remain), then waits for one
+// of MaxConcurrent run slots, giving up with 503 if its deadline expires in
+// line.
+func (s *Server) admission(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if exemptFromAdmission(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case s.queueTokens <- struct{}{}:
+		default:
+			s.shed.Add(1)
+			secs := int(s.serving.RetryAfter / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "server at capacity; retry later")
+			return
+		}
+		defer func() { <-s.queueTokens }()
+		select {
+		case s.runTokens <- struct{}{}:
+		case <-r.Context().Done():
+			s.deadlines.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "timed out waiting for an execution slot")
+			return
+		}
+		defer func() { <-s.runTokens }()
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// deadline attaches the per-request timeout to the context. Handlers doing
+// bounded work ignore it cheaply; the simulation endpoints poll it.
+func (s *Server) deadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.serving.RequestTimeout <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.serving.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -1,0 +1,280 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newServingServer returns a server whose middleware chain is initialized
+// with the given config, plus the wrapped handler for a stub route.
+func newServingServer(t *testing.T, cfg ServingConfig, stub http.Handler) (*Server, http.Handler) {
+	t.Helper()
+	s := NewServer()
+	s.Serving = cfg
+	s.initServing()
+	return s, s.wrap(stub)
+}
+
+func TestAdmissionShedsAtCapacity(t *testing.T) {
+	// Fill every run slot and every queue slot with blocked requests; the
+	// next arrival must shed deterministically with 429 + Retry-After, and
+	// after release everything completes and the counters agree.
+	const maxConc, depth = 2, 2
+	entered := make(chan struct{}, maxConc+depth)
+	release := make(chan struct{})
+	stub := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		writeJSON(w, http.StatusOK, map[string]string{"status": "done"})
+	})
+	s, h := newServingServer(t, ServingConfig{MaxConcurrent: maxConc, QueueDepth: depth, RequestTimeout: time.Minute}, stub)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	codes := make(chan int, maxConc+depth)
+	for i := 0; i < maxConc+depth; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/block")
+			if err != nil {
+				codes <- -1
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	// Wait for the run slots to fill, then for the queued requests to claim
+	// their queue tokens.
+	for i := 0; i < maxConc; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("run slots never filled")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queueTokens) < maxConc+depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %d/%d tokens", len(s.queueTokens), maxConc+depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Get(srv.URL + "/block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server returned %d, want 429 (body %q)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	var msg map[string]string
+	if err := json.Unmarshal(body, &msg); err != nil || msg["error"] == "" {
+		t.Fatalf("shed response not a structured error: %q", body)
+	}
+
+	close(release)
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("blocked request finished with %d", code)
+		}
+	}
+	if got := s.shed.Load(); got != 1 {
+		t.Fatalf("shed counter %d, want 1", got)
+	}
+	if got := s.inFlight.Load(); got != 0 {
+		t.Fatalf("in-flight gauge %d after drain, want 0", got)
+	}
+}
+
+func TestAdmissionExemptsObservability(t *testing.T) {
+	// healthz and statz must answer even with zero admission capacity
+	// available (queue tokens all taken).
+	s, h := newServingServer(t, ServingConfig{MaxConcurrent: 1, QueueDepth: 1}, NewServer().Handler())
+	for i := 0; i < cap(s.queueTokens); i++ {
+		s.queueTokens <- struct{}{}
+	}
+	for _, path := range []string{"/v1/healthz", "/v1/statz"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s returned %d under saturation, want 200", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/measure?profile=1", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("measure returned %d under saturation, want 429", rec.Code)
+	}
+}
+
+func TestRecovererTurnsPanicsIntoJSON500(t *testing.T) {
+	s, h := newServingServer(t, ServingConfig{}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	var msg map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &msg); err != nil || msg["error"] == "" {
+		t.Fatalf("panic response not a structured error: %q", rec.Body.String())
+	}
+	if got := s.panics.Load(); got != 1 {
+		t.Fatalf("panic counter %d, want 1", got)
+	}
+	// The server keeps serving after a panic.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError || s.panics.Load() != 2 {
+		t.Fatalf("second panic: status %d, counter %d", rec.Code, s.panics.Load())
+	}
+}
+
+func TestDeadlineAttachedToRequestContext(t *testing.T) {
+	var sawDeadline bool
+	_, h := newServingServer(t, ServingConfig{RequestTimeout: 5 * time.Second}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawDeadline = r.Context().Deadline()
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if !sawDeadline {
+		t.Fatal("handler context carried no deadline")
+	}
+
+	var sawAny bool
+	_, h = newServingServer(t, ServingConfig{RequestTimeout: -1}, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, sawAny = r.Context().Deadline()
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if sawAny {
+		t.Fatal("negative RequestTimeout still attached a deadline")
+	}
+}
+
+func TestStatzReportsServingCounters(t *testing.T) {
+	s := NewServer()
+	s.Serving = ServingConfig{MaxConcurrent: 7, QueueDepth: 9}
+	url := newTestServerFrom(t, s)
+	var statz StatzResponse
+	if code := getJSON(t, url+"/v1/statz", &statz); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if statz.Serving.MaxConcurrent != 7 || statz.Serving.QueueDepth != 9 {
+		t.Fatalf("serving stats %+v, want the configured limits", statz.Serving)
+	}
+	if statz.Serving.Shed != 0 || statz.Serving.Panics != 0 || statz.Serving.InFlight != 0 {
+		t.Fatalf("fresh server has nonzero counters: %+v", statz.Serving)
+	}
+}
+
+// TestEndpointErrorsAreStructuredJSON is the 4xx table test: every route
+// answers wrong methods with a JSON 405 + Allow header, bad inputs with a
+// JSON 4xx, and unknown paths land on a JSON 404 — never a text/plain body.
+func TestEndpointErrorsAreStructuredJSON(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name      string
+		method    string
+		path      string
+		body      string
+		code      int
+		wantAllow string
+	}{
+		{"measure wrong method", http.MethodPost, "/v1/measure", "{}", 405, "GET"},
+		{"measure missing profile", http.MethodGet, "/v1/measure", "", 400, ""},
+		{"measure bad rho", http.MethodGet, "/v1/measure?profile=1,junk", "", 400, ""},
+		{"measure bad param", http.MethodGet, "/v1/measure?profile=1&tau=-3", "", 400, ""},
+		{"compare wrong method", http.MethodPost, "/v1/compare", "{}", 405, "GET"},
+		{"compare missing p2", http.MethodGet, "/v1/compare?p1=1", "", 400, ""},
+		{"batch wrong method", http.MethodGet, "/v1/batch", "", 405, "POST"},
+		{"batch bad json", http.MethodPost, "/v1/batch", "{", 400, ""},
+		{"batch empty", http.MethodPost, "/v1/batch", "{}", 400, ""},
+		{"schedule wrong method", http.MethodGet, "/v1/schedule", "", 405, "POST"},
+		{"schedule bad json", http.MethodPost, "/v1/schedule", "nope", 400, ""},
+		{"schedule bad lifespan", http.MethodPost, "/v1/schedule", `{"profile":[1,0.5],"lifespan":-1}`, 422, ""},
+		{"design wrong method", http.MethodGet, "/v1/design", "", 405, "POST"},
+		{"design bad json", http.MethodPost, "/v1/design", "[", 400, ""},
+		{"speedup wrong method", http.MethodPost, "/v1/speedup", "{}", 405, "GET"},
+		{"speedup no mode", http.MethodGet, "/v1/speedup?profile=1,0.5", "", 400, ""},
+		{"speedup both modes", http.MethodGet, "/v1/speedup?profile=1,0.5&phi=0.1&psi=2", "", 400, ""},
+		{"faulty wrong method", http.MethodGet, "/v1/simulate/faulty", "", 405, "POST"},
+		{"faulty bad json", http.MethodPost, "/v1/simulate/faulty", "{", 400, ""},
+		{"faulty bad plan", http.MethodPost, "/v1/simulate/faulty", `{"profile":[1],"lifespan":10,"faults":[{"kind":"crash","computer":5,"at":1}]}`, 400, ""},
+		{"statz wrong method", http.MethodPost, "/v1/statz", "{}", 405, "GET"},
+		{"unknown path", http.MethodGet, "/v1/nope", "", 404, ""},
+		{"root path", http.MethodGet, "/", "", 404, ""},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (body %q)", tc.name, resp.StatusCode, tc.code, body)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", tc.name, ct)
+		}
+		var msg map[string]string
+		if err := json.Unmarshal(body, &msg); err != nil || msg["error"] == "" {
+			t.Errorf("%s: body %q is not a structured error", tc.name, body)
+		}
+		if tc.wantAllow != "" && resp.Header.Get("Allow") != tc.wantAllow {
+			t.Errorf("%s: Allow %q, want %q", tc.name, resp.Header.Get("Allow"), tc.wantAllow)
+		}
+	}
+}
+
+// TestHandlerHonorsCancelledParent drives the 504 path of the faulty
+// endpoint: a request whose context is already done must map the
+// simulation's context error to a JSON 504 and count it.
+func TestHandlerHonorsCancelledParent(t *testing.T) {
+	s := NewServer()
+	h := s.Handler()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate/faulty",
+		strings.NewReader(`{"profile":[1,0.5],"lifespan":3600,"replan":true}`)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	// The admission middleware may also observe the dead context first; both
+	// rejections are acceptable, but they must be structured and counted.
+	if rec.Code != http.StatusGatewayTimeout && rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 504 or 503", rec.Code)
+	}
+	var msg map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &msg); err != nil || msg["error"] == "" {
+		t.Fatalf("body %q is not a structured error", rec.Body.String())
+	}
+	if s.deadlines.Load() != 1 {
+		t.Fatalf("deadline counter %d, want 1", s.deadlines.Load())
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/sim"
+	"hetero/internal/stats"
+)
+
+// FaultRegime names the distribution faults are drawn from in the
+// fault-tolerance study.
+type FaultRegime string
+
+const (
+	// RegimeMixed draws from fault.Random's even mix of crashes, short
+	// outages, mild slowdowns, and blackouts. Crashes destroy a computer's
+	// unreturned work outright, so abandoning the in-flight round rarely
+	// projects a gain and the replanner mostly rides — its edge over the
+	// fixed protocol is small here.
+	RegimeMixed FaultRegime = "mixed"
+	// RegimeDisruptive draws only long outages and severe slowdowns — faults
+	// that leave computers alive but make the fixed protocol's allocations
+	// return after the lifespan, where they count for nothing. This is the
+	// regime replanning exists for.
+	RegimeDisruptive FaultRegime = "disruptive"
+)
+
+// FaultRow summarizes one (regime, intensity) cell of the study.
+type FaultRow struct {
+	Regime FaultRegime
+	// Faults is the number of random faults injected per seeded trial.
+	Faults int
+	// MeanDegradationFixed is the mean 1 − salvaged/W(L;P) when the optimal
+	// protocol is dispatched once and ridden through the faults.
+	MeanDegradationFixed float64
+	// MeanDegradationReplan is the same under the ride-vs-replan server.
+	MeanDegradationReplan float64
+	// ReplanWins counts the trials where the replanner salvaged strictly
+	// more work than the fixed protocol. (It can never salvage less: the
+	// greedy rule only abandons a round when the exact rollout projects at
+	// least as much.)
+	ReplanWins int
+}
+
+// FaultResult is the extension study probing how gracefully the cluster's
+// work production degrades under injected faults, and how much a replanning
+// server recovers — a question the paper's fault-free model abstracts away
+// but any campaign-length deployment faces.
+type FaultResult struct {
+	Params   model.Params
+	N        int
+	Lifespan float64
+	Seeds    int
+	Rows     []FaultRow
+}
+
+// disruptivePlan draws a plan of long outages (20–60% of the lifespan) and
+// severe slowdowns (2–6×) — no crashes, no blackouts, at most one outage
+// per computer so windows stay disjoint.
+func disruptivePlan(rng *stats.RNG, n int, lifespan float64, count int) fault.Plan {
+	pl := fault.Plan{}
+	outaged := make(map[int]bool)
+	for k := 0; k < count; k++ {
+		c := rng.Intn(n)
+		at := rng.InRange(0, lifespan)
+		if rng.Intn(2) == 0 && !outaged[c] {
+			outaged[c] = true
+			pl.Faults = append(pl.Faults, fault.Fault{
+				Kind: fault.Outage, Computer: c, At: at, Until: at + rng.InRange(0.2, 0.6)*lifespan,
+			})
+		} else {
+			pl.Faults = append(pl.Faults, fault.Fault{
+				Kind: fault.Slowdown, Computer: c, At: at, Factor: rng.InRange(2, 6),
+			})
+		}
+	}
+	return pl
+}
+
+// FaultTolerance sweeps fault intensities under both regimes: for each
+// (regime, count) it draws seeded random fault plans against a seeded random
+// n-computer cluster and compares the fixed optimal protocol with the
+// replanner, trial by trial on identical plans.
+func FaultTolerance(m model.Params, n int, lifespan float64, counts []int, seeds int) (FaultResult, error) {
+	if seeds <= 0 {
+		return FaultResult{}, fmt.Errorf("experiments: seeds = %d must be positive", seeds)
+	}
+	if n <= 0 {
+		return FaultResult{}, fmt.Errorf("experiments: n = %d must be positive", n)
+	}
+	res := FaultResult{Params: m, N: n, Lifespan: lifespan, Seeds: seeds}
+	for _, regime := range []FaultRegime{RegimeMixed, RegimeDisruptive} {
+		for _, count := range counts {
+			row := FaultRow{Regime: regime, Faults: count}
+			var fixedDeg, replanDeg stats.KahanSum
+			for s := 0; s < seeds; s++ {
+				rng := stats.NewRNG(uint64(count)*1000 + uint64(s) + 1)
+				p := profile.RandomNormalized(rng, n)
+				var plan fault.Plan
+				if regime == RegimeMixed {
+					plan = fault.Random(rng, n, lifespan, count)
+				} else {
+					plan = disruptivePlan(rng, n, lifespan, count)
+				}
+				fixed, err := sim.SimulateFaulty(context.Background(), m, p, lifespan, plan, false, sim.Options{})
+				if err != nil {
+					return res, err
+				}
+				replanned, err := sim.SimulateFaulty(context.Background(), m, p, lifespan, plan, true, sim.Options{})
+				if err != nil {
+					return res, err
+				}
+				fixedDeg.Add(fixed.Degradation)
+				replanDeg.Add(replanned.Degradation)
+				if replanned.Salvaged > fixed.Salvaged {
+					row.ReplanWins++
+				}
+			}
+			row.MeanDegradationFixed = fixedDeg.Sum() / float64(seeds)
+			row.MeanDegradationReplan = replanDeg.Sum() / float64(seeds)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render returns the per-cell summary.
+func (r FaultResult) Render() string {
+	t := render.NewTable(
+		fmt.Sprintf("work degradation under injected faults (n = %d, L = %g, %d seeds)", r.N, r.Lifespan, r.Seeds),
+		"regime", "faults", "degradation (fixed)", "degradation (replan)", "replan wins")
+	for _, row := range r.Rows {
+		t.Add(string(row.Regime),
+			fmt.Sprintf("%d", row.Faults),
+			fmt.Sprintf("%.1f%%", 100*row.MeanDegradationFixed),
+			fmt.Sprintf("%.1f%%", 100*row.MeanDegradationReplan),
+			fmt.Sprintf("%d/%d", row.ReplanWins, r.Seeds))
+	}
+	return t.String()
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+)
+
+func TestFaultTolerance(t *testing.T) {
+	m := model.Table1()
+	r, err := FaultTolerance(m, 4, 2000, []int{0, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two regimes × two intensities.
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Zero faults: both modes reproduce the fault-free optimum exactly.
+		if row.Faults == 0 {
+			if math.Abs(row.MeanDegradationFixed) > 1e-9 || math.Abs(row.MeanDegradationReplan) > 1e-9 || row.ReplanWins != 0 {
+				t.Fatalf("zero-fault row degraded: %+v", row)
+			}
+			continue
+		}
+		// Faults degrade, and the replanner's greedy ride-vs-replan rule
+		// guarantees it never salvages less than the fixed protocol, so its
+		// mean degradation cannot exceed fixed's.
+		if !(row.MeanDegradationFixed > 0) {
+			t.Fatalf("faults did not degrade: %+v", row)
+		}
+		if row.MeanDegradationReplan > row.MeanDegradationFixed+1e-9 {
+			t.Fatalf("replan degraded more than fixed: %+v", row)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"work degradation under injected faults", "mixed", "disruptive", "replan wins"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultToleranceValidation(t *testing.T) {
+	if _, err := FaultTolerance(model.Table1(), 4, 100, []int{1}, 0); err == nil {
+		t.Fatal("seeds=0 accepted")
+	}
+	if _, err := FaultTolerance(model.Table1(), 0, 100, []int{1}, 3); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

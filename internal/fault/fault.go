@@ -1,0 +1,232 @@
+// Package fault models the ways a real heterogeneous cluster deviates from
+// the paper's idealized profile P = ⟨ρ1,…,ρn⟩ over a lifespan: machines
+// crash, drop out temporarily, drift slower, and the shared channel blacks
+// out. A Plan is a composable list of such faults; compiling it against an
+// n-computer cluster yields a Timeline — the piecewise-effective profile
+// and channel availability that the fault-aware simulator in internal/sim
+// executes against.
+//
+// Semantics (all times are absolute simulation times, same units as the
+// lifespan L):
+//
+//   - crash at t: the computer stops forever at t. Work it has not fully
+//     returned to the server by t is lost (FIFO semantics: a result counts
+//     only when its message has completely arrived at the server).
+//   - outage [at, until): the computer makes no compute progress inside the
+//     window and resumes where it left off when the window closes.
+//   - slowdown at t with factor f > 0: the computer's effective ρ is
+//     multiplied by f from t onward (f > 1 is a slowdown — ρ is time per
+//     work unit; factors compose multiplicatively).
+//   - blackout [at, until): the shared channel carries no traffic inside
+//     the window; in-flight transfers pause and resume.
+//
+// Until may be +Inf for a permanent outage or blackout. Overlapping windows
+// of the same kind on the same resource are rejected — they make "the"
+// window of an event ambiguous; express composite failures as disjoint
+// windows or a crash.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetero/internal/stats"
+)
+
+// Kind names a fault model.
+type Kind string
+
+// The four composable fault kinds.
+const (
+	Crash    Kind = "crash"
+	Outage   Kind = "outage"
+	Slowdown Kind = "slowdown"
+	Blackout Kind = "blackout"
+)
+
+// Fault is one fault event or window. Computer is the 0-based index into
+// the profile (ignored for blackouts, which affect the shared channel).
+type Fault struct {
+	Kind     Kind    `json:"kind"`
+	Computer int     `json:"computer,omitempty"`
+	At       float64 `json:"at"`
+	Until    float64 `json:"until,omitempty"`  // outage, blackout
+	Factor   float64 `json:"factor,omitempty"` // slowdown
+}
+
+// Plan is a set of faults applied to one simulated lifespan.
+type Plan struct {
+	Faults []Fault `json:"faults"`
+}
+
+// Empty reports whether the plan contains no faults.
+func (pl Plan) Empty() bool { return len(pl.Faults) == 0 }
+
+// FirstOnset returns the earliest fault onset time, or +Inf for an empty
+// plan. Before the first onset a faulty execution is identical to the
+// fault-free one.
+func (pl Plan) FirstOnset() float64 {
+	t := math.Inf(1)
+	for _, f := range pl.Faults {
+		if f.At < t {
+			t = f.At
+		}
+	}
+	return t
+}
+
+// Validate checks the plan against an n-computer cluster: finite
+// non-negative onsets, windows with until > at (until may be +Inf),
+// positive finite slowdown factors, computer indices in range, at most one
+// crash per computer, and pairwise-disjoint windows per computer (outages)
+// and for the channel (blackouts).
+func (pl Plan) Validate(n int) error {
+	crashes := make(map[int]bool)
+	var outages = make(map[int][][2]float64)
+	var blackouts [][2]float64
+	for i, f := range pl.Faults {
+		if math.IsNaN(f.At) || math.IsInf(f.At, 0) || f.At < 0 {
+			return fmt.Errorf("fault: faults[%d] onset %v must be finite and non-negative", i, f.At)
+		}
+		switch f.Kind {
+		case Crash:
+			if f.Computer < 0 || f.Computer >= n {
+				return fmt.Errorf("fault: faults[%d] computer %d out of range [0,%d)", i, f.Computer, n)
+			}
+			if crashes[f.Computer] {
+				return fmt.Errorf("fault: faults[%d] is a second crash for computer %d", i, f.Computer)
+			}
+			crashes[f.Computer] = true
+		case Outage:
+			if f.Computer < 0 || f.Computer >= n {
+				return fmt.Errorf("fault: faults[%d] computer %d out of range [0,%d)", i, f.Computer, n)
+			}
+			if math.IsNaN(f.Until) || f.Until <= f.At {
+				return fmt.Errorf("fault: faults[%d] outage window [%v,%v) is empty or invalid", i, f.At, f.Until)
+			}
+			outages[f.Computer] = append(outages[f.Computer], [2]float64{f.At, f.Until})
+		case Slowdown:
+			if f.Computer < 0 || f.Computer >= n {
+				return fmt.Errorf("fault: faults[%d] computer %d out of range [0,%d)", i, f.Computer, n)
+			}
+			if math.IsNaN(f.Factor) || math.IsInf(f.Factor, 0) || f.Factor <= 0 {
+				return fmt.Errorf("fault: faults[%d] slowdown factor %v must be positive and finite", i, f.Factor)
+			}
+		case Blackout:
+			if math.IsNaN(f.Until) || f.Until <= f.At {
+				return fmt.Errorf("fault: faults[%d] blackout window [%v,%v) is empty or invalid", i, f.At, f.Until)
+			}
+			blackouts = append(blackouts, [2]float64{f.At, f.Until})
+		default:
+			return fmt.Errorf("fault: faults[%d] has unknown kind %q", i, f.Kind)
+		}
+	}
+	for c, ws := range outages {
+		if err := disjoint(ws); err != nil {
+			return fmt.Errorf("fault: computer %d outages %v", c, err)
+		}
+	}
+	if err := disjoint(blackouts); err != nil {
+		return fmt.Errorf("fault: blackouts %v", err)
+	}
+	return nil
+}
+
+func disjoint(ws [][2]float64) error {
+	sort.Slice(ws, func(i, j int) bool { return ws[i][0] < ws[j][0] })
+	for i := 1; i < len(ws); i++ {
+		if ws[i][0] < ws[i-1][1] {
+			return fmt.Errorf("overlap: [%v,%v) and [%v,%v)", ws[i-1][0], ws[i-1][1], ws[i][0], ws[i][1])
+		}
+	}
+	return nil
+}
+
+// EventTimes returns the sorted, de-duplicated times at which the
+// piecewise-effective cluster changes inside (0, horizon): fault onsets,
+// window closings, crashes. These are the replanning points of the Replan
+// strategy in internal/sim.
+func (pl Plan) EventTimes(horizon float64) []float64 {
+	var ts []float64
+	add := func(t float64) {
+		if t > 0 && t < horizon && !math.IsInf(t, 0) {
+			ts = append(ts, t)
+		}
+	}
+	for _, f := range pl.Faults {
+		add(f.At)
+		switch f.Kind {
+		case Outage, Blackout:
+			add(f.Until)
+		}
+	}
+	sort.Float64s(ts)
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// CrashOnlyLowerBound returns the pessimal crash-only extension of the
+// plan: every computer crashes, and the channel blacks out permanently, at
+// the plan's first fault onset t*. Because any faulty execution is
+// identical to the fault-free one before t*, work salvaged under the real
+// plan is always ≥ work salvaged under this bound — the "everything dies at
+// the first sign of trouble" floor the chaos property tests pin. For an
+// empty plan the bound is the empty plan itself.
+func (pl Plan) CrashOnlyLowerBound(n int) Plan {
+	t := pl.FirstOnset()
+	if math.IsInf(t, 1) {
+		return Plan{}
+	}
+	lb := Plan{}
+	for i := 0; i < n; i++ {
+		lb.Faults = append(lb.Faults, Fault{Kind: Crash, Computer: i, At: t})
+	}
+	lb.Faults = append(lb.Faults, Fault{Kind: Blackout, At: t, Until: math.Inf(1)})
+	return lb
+}
+
+// Random draws a seeded, always-valid plan of roughly `count` faults over
+// an n-computer cluster and horizon L — the generator behind the chaos
+// property tests and the fault-tolerance experiments. Kinds are drawn
+// uniformly; windows live inside (0, 1.2L); slowdown factors in [1, 4]. At
+// most one outage per computer and two (disjoint) blackouts are emitted, so
+// validity holds by construction.
+func Random(rng *stats.RNG, n int, L float64, count int) Plan {
+	pl := Plan{}
+	crashed := make(map[int]bool)
+	outaged := make(map[int]bool)
+	blackouts := 0
+	for k := 0; k < count; k++ {
+		c := rng.Intn(n)
+		at := rng.InRange(0, L)
+		switch rng.Intn(4) {
+		case 0:
+			if crashed[c] {
+				continue
+			}
+			crashed[c] = true
+			pl.Faults = append(pl.Faults, Fault{Kind: Crash, Computer: c, At: at})
+		case 1:
+			if outaged[c] {
+				continue
+			}
+			outaged[c] = true
+			pl.Faults = append(pl.Faults, Fault{Kind: Outage, Computer: c, At: at, Until: at + rng.InRange(0.01, 0.2)*L})
+		case 2:
+			pl.Faults = append(pl.Faults, Fault{Kind: Slowdown, Computer: c, At: at, Factor: rng.InRange(1, 4)})
+		case 3:
+			if blackouts >= 1 {
+				continue
+			}
+			blackouts++
+			pl.Faults = append(pl.Faults, Fault{Kind: Blackout, At: at, Until: at + rng.InRange(0.005, 0.1)*L})
+		}
+	}
+	return pl
+}

@@ -1,0 +1,195 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/stats"
+)
+
+func TestValidateAcceptsComposedPlan(t *testing.T) {
+	pl := Plan{Faults: []Fault{
+		{Kind: Crash, Computer: 0, At: 10},
+		{Kind: Outage, Computer: 1, At: 2, Until: 5},
+		{Kind: Outage, Computer: 1, At: 6, Until: 8},
+		{Kind: Slowdown, Computer: 2, At: 1, Factor: 2},
+		{Kind: Slowdown, Computer: 2, At: 3, Factor: 1.5},
+		{Kind: Blackout, At: 4, Until: 4.5},
+		{Kind: Outage, Computer: 0, At: 1, Until: math.Inf(1)},
+	}}
+	if err := pl.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		pl   Plan
+	}{
+		{"nan onset", Plan{[]Fault{{Kind: Crash, Computer: 0, At: math.NaN()}}}},
+		{"inf onset", Plan{[]Fault{{Kind: Crash, Computer: 0, At: math.Inf(1)}}}},
+		{"negative onset", Plan{[]Fault{{Kind: Crash, Computer: 0, At: -1}}}},
+		{"computer out of range", Plan{[]Fault{{Kind: Crash, Computer: 3, At: 1}}}},
+		{"negative computer", Plan{[]Fault{{Kind: Outage, Computer: -1, At: 1, Until: 2}}}},
+		{"double crash", Plan{[]Fault{{Kind: Crash, Computer: 1, At: 1}, {Kind: Crash, Computer: 1, At: 2}}}},
+		{"empty window", Plan{[]Fault{{Kind: Outage, Computer: 0, At: 2, Until: 2}}}},
+		{"inverted window", Plan{[]Fault{{Kind: Blackout, At: 3, Until: 1}}}},
+		{"nan until", Plan{[]Fault{{Kind: Outage, Computer: 0, At: 1, Until: math.NaN()}}}},
+		{"overlapping outages", Plan{[]Fault{
+			{Kind: Outage, Computer: 0, At: 1, Until: 4},
+			{Kind: Outage, Computer: 0, At: 3, Until: 5}}}},
+		{"overlapping blackouts", Plan{[]Fault{
+			{Kind: Blackout, At: 1, Until: 4},
+			{Kind: Blackout, At: 2, Until: 3}}}},
+		{"nan factor", Plan{[]Fault{{Kind: Slowdown, Computer: 0, At: 1, Factor: math.NaN()}}}},
+		{"inf factor", Plan{[]Fault{{Kind: Slowdown, Computer: 0, At: 1, Factor: math.Inf(1)}}}},
+		{"zero factor", Plan{[]Fault{{Kind: Slowdown, Computer: 0, At: 1, Factor: 0}}}},
+		{"unknown kind", Plan{[]Fault{{Kind: "meteor", Computer: 0, At: 1}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.pl.Validate(3); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestBusyFinishIntegratesPiecewise(t *testing.T) {
+	pl := Plan{Faults: []Fault{
+		{Kind: Outage, Computer: 0, At: 10, Until: 20},
+		{Kind: Slowdown, Computer: 1, At: 10, Factor: 2},
+	}}
+	tl, err := Compile(pl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Computer 0: 15 units of work starting at 0 → 10 before the outage,
+	// frozen for 10, the remaining 5 after → finish at 25.
+	if got := tl.BusyFinish(0, 0, 15); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("outage finish %v, want 25", got)
+	}
+	// Computer 1: 15 units starting at 0 → 10 at full speed, remaining 5 at
+	// half speed take 10 → finish at 20.
+	if got := tl.BusyFinish(1, 0, 15); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("slowdown finish %v, want 20", got)
+	}
+	// Computer 2 is untouched: exact arithmetic.
+	if got := tl.BusyFinish(2, 3, 15); got != 18 {
+		t.Fatalf("untouched finish %v, want 18 exactly", got)
+	}
+	// Starting inside the outage defers everything to its end.
+	if got := tl.BusyFinish(0, 12, 1); math.Abs(got-21) > 1e-12 {
+		t.Fatalf("in-outage start finish %v, want 21", got)
+	}
+}
+
+func TestBusyFinishCrashNeverFinishes(t *testing.T) {
+	tl, err := Compile(Plan{[]Fault{{Kind: Crash, Computer: 0, At: 5}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.BusyFinish(0, 0, 4); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("pre-crash work finish %v, want 4", got)
+	}
+	if got := tl.BusyFinish(0, 0, 6); !math.IsInf(got, 1) {
+		t.Fatalf("post-crash work finished at %v, want +Inf", got)
+	}
+	if tl.Alive(0, 5) || !tl.Alive(0, 4.999) {
+		t.Fatal("Alive disagrees with crash time")
+	}
+}
+
+func TestChannelFinishPausesDuringBlackout(t *testing.T) {
+	tl, err := Compile(Plan{[]Fault{{Kind: Blackout, At: 10, Until: 25}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.ChannelFinish(0, 10); got != 10 {
+		t.Fatalf("transfer ending at blackout start finished at %v, want 10", got)
+	}
+	if got := tl.ChannelFinish(0, 12); math.Abs(got-27) > 1e-12 {
+		t.Fatalf("interrupted transfer finished at %v, want 27", got)
+	}
+	if got := tl.ChannelFinish(15, 3); math.Abs(got-28) > 1e-12 {
+		t.Fatalf("transfer started mid-blackout finished at %v, want 28", got)
+	}
+	if !tl.ChannelDown(10) || tl.ChannelDown(25) || tl.ChannelDown(9.99) {
+		t.Fatal("ChannelDown disagrees with the window")
+	}
+	perm, err := Compile(Plan{[]Fault{{Kind: Blackout, At: 3, Until: math.Inf(1)}}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := perm.ChannelFinish(0, 5); !math.IsInf(got, 1) {
+		t.Fatalf("transfer across permanent blackout finished at %v", got)
+	}
+}
+
+func TestDriftMultComposes(t *testing.T) {
+	tl, err := Compile(Plan{[]Fault{
+		{Kind: Slowdown, Computer: 0, At: 5, Factor: 2},
+		{Kind: Slowdown, Computer: 0, At: 10, Factor: 3},
+	}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ t, want float64 }{{0, 1}, {5, 2}, {9, 2}, {10, 6}, {100, 6}} {
+		if got := tl.DriftMult(0, tc.t); got != tc.want {
+			t.Fatalf("DriftMult(0, %v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestEventTimesSortedDeduped(t *testing.T) {
+	pl := Plan{Faults: []Fault{
+		{Kind: Outage, Computer: 0, At: 5, Until: 9},
+		{Kind: Crash, Computer: 1, At: 5},
+		{Kind: Blackout, At: 2, Until: math.Inf(1)},
+		{Kind: Slowdown, Computer: 0, At: 12, Factor: 2},
+	}}
+	got := pl.EventTimes(10)
+	want := []float64{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("EventTimes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EventTimes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCrashOnlyLowerBound(t *testing.T) {
+	pl := Plan{Faults: []Fault{
+		{Kind: Slowdown, Computer: 1, At: 7, Factor: 2},
+		{Kind: Outage, Computer: 0, At: 3, Until: 4},
+	}}
+	lb := pl.CrashOnlyLowerBound(2)
+	if err := lb.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(lb.Faults) != 3 {
+		t.Fatalf("%d faults, want 2 crashes + 1 blackout", len(lb.Faults))
+	}
+	if got := lb.FirstOnset(); got != 3 {
+		t.Fatalf("bound onset %v, want 3", got)
+	}
+	if !(Plan{}).Empty() || !(Plan{}).CrashOnlyLowerBound(4).Empty() {
+		t.Fatal("empty plan's bound must be empty")
+	}
+}
+
+func TestRandomPlansAlwaysValid(t *testing.T) {
+	rng := stats.NewRNG(42)
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		count := rng.Intn(10)
+		pl := Random(rng, n, 100, count)
+		if err := pl.Validate(n); err != nil {
+			t.Fatalf("trial %d (n=%d): %v\nplan: %+v", trial, n, err, pl)
+		}
+		if _, err := Compile(pl, n); err != nil {
+			t.Fatalf("trial %d compile: %v", trial, err)
+		}
+	}
+}

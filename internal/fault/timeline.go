@@ -1,0 +1,221 @@
+package fault
+
+import (
+	"math"
+	"sort"
+)
+
+// segment is one piece of a computer's piecewise-constant degradation: from
+// Start (inclusive) until the next segment's Start, time-per-work-unit is
+// multiplied by Mult. Mult = +Inf means the computer makes no progress
+// (outage or crash).
+type segment struct {
+	Start float64
+	Mult  float64
+}
+
+// window is a half-open interval [Start, End).
+type window struct {
+	Start, End float64
+}
+
+// Timeline is a Plan compiled against an n-computer cluster: per-computer
+// piecewise speed multipliers, crash times, and channel blackout windows,
+// in a form the simulator can integrate over. Compile validates the plan;
+// a Timeline is immutable and safe for concurrent use.
+type Timeline struct {
+	n         int
+	crash     []float64 // +Inf when the computer never crashes
+	segs      [][]segment
+	blackouts []window
+	slowdowns [][]Fault // per computer, sorted by onset (for DriftMult)
+}
+
+// Compile validates pl against an n-computer cluster and builds its
+// Timeline.
+func Compile(pl Plan, n int) (*Timeline, error) {
+	if err := pl.Validate(n); err != nil {
+		return nil, err
+	}
+	tl := &Timeline{
+		n:         n,
+		crash:     make([]float64, n),
+		segs:      make([][]segment, n),
+		slowdowns: make([][]Fault, n),
+	}
+	type change struct {
+		at   float64
+		kind Kind
+		down bool // outage boundary: true = enter, false = leave
+		f    float64
+	}
+	perComp := make([][]change, n)
+	for i := range tl.crash {
+		tl.crash[i] = math.Inf(1)
+	}
+	for _, f := range pl.Faults {
+		switch f.Kind {
+		case Crash:
+			tl.crash[f.Computer] = f.At
+			perComp[f.Computer] = append(perComp[f.Computer], change{at: f.At, kind: Crash})
+		case Outage:
+			perComp[f.Computer] = append(perComp[f.Computer],
+				change{at: f.At, kind: Outage, down: true},
+				change{at: f.Until, kind: Outage, down: false})
+		case Slowdown:
+			perComp[f.Computer] = append(perComp[f.Computer], change{at: f.At, kind: Slowdown, f: f.Factor})
+			tl.slowdowns[f.Computer] = append(tl.slowdowns[f.Computer], f)
+		case Blackout:
+			tl.blackouts = append(tl.blackouts, window{f.At, f.Until})
+		}
+	}
+	sort.Slice(tl.blackouts, func(i, j int) bool { return tl.blackouts[i].Start < tl.blackouts[j].Start })
+	for c := range tl.slowdowns {
+		sort.Slice(tl.slowdowns[c], func(i, j int) bool { return tl.slowdowns[c][i].At < tl.slowdowns[c][j].At })
+	}
+	for c, changes := range perComp {
+		sort.SliceStable(changes, func(i, j int) bool { return changes[i].at < changes[j].at })
+		segs := []segment{{Start: 0, Mult: 1}}
+		drift := 1.0
+		down := 0
+		crashed := false
+		for k := 0; k < len(changes); {
+			at := changes[k].at
+			for k < len(changes) && changes[k].at == at {
+				switch ch := changes[k]; ch.kind {
+				case Crash:
+					crashed = true
+				case Slowdown:
+					drift *= ch.f
+				case Outage:
+					if ch.down {
+						down++
+					} else {
+						down--
+					}
+				}
+				k++
+			}
+			mult := drift
+			if crashed || down > 0 {
+				mult = math.Inf(1)
+			}
+			if last := &segs[len(segs)-1]; last.Start == at {
+				last.Mult = mult
+			} else if last.Mult != mult {
+				segs = append(segs, segment{Start: at, Mult: mult})
+			}
+		}
+		tl.segs[c] = segs
+	}
+	return tl, nil
+}
+
+// N returns the cluster size the timeline was compiled for.
+func (tl *Timeline) N() int { return tl.n }
+
+// CrashTime returns when computer i crashes, or +Inf if it never does.
+func (tl *Timeline) CrashTime(i int) float64 { return tl.crash[i] }
+
+// Alive reports whether computer i has not crashed strictly before or at t.
+func (tl *Timeline) Alive(i int, t float64) bool { return t < tl.crash[i] }
+
+// Down reports whether computer i makes no progress at time t (crashed or
+// inside an outage window).
+func (tl *Timeline) Down(i int, t float64) bool {
+	return math.IsInf(tl.multAt(i, t), 1)
+}
+
+// DriftMult returns the product of all slowdown factors of computer i with
+// onset ≤ t — the multiplier the replanner applies to ρᵢ.
+func (tl *Timeline) DriftMult(i int, t float64) float64 {
+	m := 1.0
+	for _, f := range tl.slowdowns[i] {
+		if f.At > t {
+			break
+		}
+		m *= f.Factor
+	}
+	return m
+}
+
+// ChannelDown reports whether the shared channel is blacked out at time t.
+func (tl *Timeline) ChannelDown(t float64) bool {
+	for _, w := range tl.blackouts {
+		if w.Start > t {
+			return false
+		}
+		if t < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+func (tl *Timeline) multAt(i int, t float64) float64 {
+	segs := tl.segs[i]
+	// Last segment with Start ≤ t.
+	k := sort.Search(len(segs), func(j int) bool { return segs[j].Start > t }) - 1
+	if k < 0 {
+		k = 0
+	}
+	return segs[k].Mult
+}
+
+// BusyFinish returns the time at which computer i, starting a busy block at
+// time start that would take `need` time units at nominal speed, actually
+// finishes under the timeline: the earliest T with ∫ₛᵀ dt/mult(t) = need.
+// Returns +Inf if the computer never finishes (crash, permanent outage).
+// With no faults this is exactly start + need, bit-for-bit.
+func (tl *Timeline) BusyFinish(i int, start, need float64) float64 {
+	segs := tl.segs[i]
+	k := sort.Search(len(segs), func(j int) bool { return segs[j].Start > start }) - 1
+	if k < 0 {
+		k = 0
+	}
+	cur, rem := start, need
+	for ; ; k++ {
+		end := math.Inf(1)
+		if k+1 < len(segs) {
+			end = segs[k+1].Start
+		}
+		mult := segs[k].Mult
+		if math.IsInf(mult, 1) {
+			if math.IsInf(end, 1) {
+				return math.Inf(1) // down forever
+			}
+			cur = end
+			continue
+		}
+		if math.IsInf(end, 1) || rem*mult <= end-cur {
+			return cur + rem*mult
+		}
+		rem -= (end - cur) / mult
+		cur = end
+	}
+}
+
+// ChannelFinish returns when a transfer occupying the channel for dur time
+// units, starting at time start, completes under the blackout windows: the
+// earliest T with the non-blackout measure of [start, T] equal to dur. With
+// no blackouts this is exactly start + dur, bit-for-bit.
+func (tl *Timeline) ChannelFinish(start, dur float64) float64 {
+	cur, rem := start, dur
+	for _, w := range tl.blackouts {
+		if w.End <= cur {
+			continue
+		}
+		if w.Start > cur {
+			avail := w.Start - cur
+			if rem <= avail {
+				return cur + rem
+			}
+			rem -= avail
+		}
+		if math.IsInf(w.End, 1) {
+			return math.Inf(1)
+		}
+		cur = w.End
+	}
+	return cur + rem
+}

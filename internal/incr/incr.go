@@ -166,6 +166,24 @@ func (e *Evaluator) WhatIfHECR(i int, newRho float64) (float64, error) {
 	return core.HECRFromLogProduct(e.m, l, len(e.rhos)), nil
 }
 
+// WhatIfDrop prices removing computer i from the cluster entirely — the
+// X-measure and asymptotic work rate of the remaining (n−1)-computer
+// cluster — in O(1) and without mutating the Evaluator. This is the
+// primitive the fault-aware replanner uses to price a candidate replan at
+// each crash or outage event: the capacity delta of losing Cᵢ is one
+// subtraction on the maintained log-product, not an O(n) rescan. Dropping
+// the last computer yields the empty cluster (X = 0, rate = 0).
+func (e *Evaluator) WhatIfDrop(i int) (x, rate float64, err error) {
+	if i < 0 || i >= len(e.rhos) {
+		return 0, 0, fmt.Errorf("incr: computer index %d out of range [0,%d)", i, len(e.rhos))
+	}
+	x = core.XFromLogProduct(e.m, e.LogProductRatios()-e.logr[i])
+	if x > 0 {
+		rate = 1 / (e.td + 1/x)
+	}
+	return x, rate, nil
+}
+
 func (e *Evaluator) whatIfLog(i int, newRho float64) (float64, error) {
 	if i < 0 || i >= len(e.rhos) {
 		return 0, fmt.Errorf("incr: computer index %d out of range [0,%d)", i, len(e.rhos))

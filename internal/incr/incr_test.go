@@ -300,3 +300,48 @@ func TestEvaluatorAgreesWithSpeedupSearch(t *testing.T) {
 		}
 	}
 }
+
+func TestWhatIfDropMatchesFreshEvaluator(t *testing.T) {
+	r := stats.NewRNG(29)
+	for _, m := range testParams() {
+		for _, n := range []int{2, 3, 17, 256} {
+			p := profile.RandomNormalized(r, n)
+			e := MustNew(m, p)
+			for i := 0; i < n; i++ {
+				x, rate, err := e.WhatIfDrop(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rest := append(append(profile.Profile{}, p[:i]...), p[i+1:]...)
+				want := MustNew(m, rest)
+				if re := relErr(x, want.X()); re > 1e-12 {
+					t.Fatalf("n=%d drop %d: X rel err %v", n, i, re)
+				}
+				if re := relErr(rate, want.WorkRate()); re > 1e-12 {
+					t.Fatalf("n=%d drop %d: rate rel err %v", n, i, re)
+				}
+			}
+			// Pricing must not mutate.
+			if re := relErr(e.X(), core.X(m, p)); re > 1e-13 {
+				t.Fatalf("n=%d: WhatIfDrop mutated the evaluator (X rel err %v)", n, re)
+			}
+		}
+	}
+}
+
+func TestWhatIfDropEdgeCases(t *testing.T) {
+	e := MustNew(model.Table1(), profile.MustNew(1))
+	x, rate, err := e.WhatIfDrop(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 0 || rate != 0 {
+		t.Fatalf("dropping the only computer priced X=%v rate=%v, want 0, 0", x, rate)
+	}
+	if _, _, err := e.WhatIfDrop(1); err == nil {
+		t.Fatal("out-of-range drop accepted")
+	}
+	if _, _, err := e.WhatIfDrop(-1); err == nil {
+		t.Fatal("negative drop accepted")
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// Fate classifies what became of one computer's allocation in a faulty run.
+type Fate string
+
+// Allocation fates. Only FateReturned contributes completed work: per the
+// FIFO semantics of the protocol, a unit of work counts exactly when its
+// result message has fully arrived at the server.
+const (
+	// FateReturned: the results fully reached the server.
+	FateReturned Fate = "returned"
+	// FateNeverFinished: the computer crashed or stalled forever before
+	// finishing its busy block (or the channel died before its work even
+	// arrived), so no results were ever produced.
+	FateNeverFinished Fate = "never-finished"
+	// FateReturnAborted: results were produced but their return transfer
+	// never completed (sender crashed mid-transfer, or a permanent blackout
+	// swallowed the channel).
+	FateReturnAborted Fate = "return-aborted"
+)
+
+// FaultComputerTrace is a ComputerTrace plus the allocation's fate. Fields
+// after the point of failure are +Inf ("never happened").
+type FaultComputerTrace struct {
+	ComputerTrace
+	Fate Fate
+}
+
+// FaultResult is the outcome of simulating a protocol under a fault plan.
+type FaultResult struct {
+	// Completed is the salvaged work: allocations whose results fully
+	// reached the server at any time.
+	Completed float64
+	// Dispatched is the total work sent out (Σ allocations).
+	Dispatched float64
+	// Lost is Dispatched − Completed: work destroyed by faults.
+	Lost float64
+	// Makespan is when the last surviving results arrived.
+	Makespan  float64
+	Events    int
+	Computers []FaultComputerTrace
+}
+
+// CompletedBy returns the salvaged work whose results arrived by time t,
+// with the same relative tolerance as Result.CompletedBy.
+func (r FaultResult) CompletedBy(t float64) float64 {
+	cutoff := t * (1 + 1e-9)
+	var acc stats.KahanSum
+	for _, c := range r.Computers {
+		if c.Fate == FateReturned && c.ResultsAt <= cutoff {
+			acc.Add(c.Work)
+		}
+	}
+	return acc.Sum()
+}
+
+// faultChannel is the shared channel under a fault timeline: FIFO grants
+// like Channel, but transfers pause during blackouts and abort when their
+// sending computer crashes mid-transfer. done receives the granted
+// interval and whether the transfer completed; an aborted transfer
+// releases the channel at the abort instant.
+type faultChannel struct {
+	eng    *Engine
+	tl     *fault.Timeline
+	freeAt float64
+	Busy   []Interval
+}
+
+// Acquire requests the channel for dur full-rate time units on behalf of a
+// sender that dies at crashT (+Inf for the always-alive server). Requests
+// are served in call order.
+func (c *faultChannel) Acquire(dur, crashT float64, done func(start, end float64, ok bool)) {
+	if dur < 0 {
+		panic(fmt.Sprintf("sim: negative channel occupation %v", dur))
+	}
+	start := c.eng.Now()
+	if c.freeAt > start {
+		start = c.freeAt
+	}
+	if start >= crashT {
+		// The sender is dead before the channel frees: the transfer never
+		// begins and the channel is not occupied.
+		done(start, math.Inf(1), false)
+		return
+	}
+	end := c.tl.ChannelFinish(start, dur)
+	if crashT < end {
+		// Crash mid-transfer: the partial message is useless, the channel
+		// frees at the crash instant.
+		c.freeAt = crashT
+		c.Busy = append(c.Busy, Interval{start, crashT})
+		c.eng.At(crashT, func() { done(start, crashT, false) })
+		return
+	}
+	if math.IsInf(end, 1) {
+		// Permanent blackout: the transfer (and the channel) never finish.
+		c.freeAt = end
+		done(start, end, false)
+		return
+	}
+	c.freeAt = end
+	c.Busy = append(c.Busy, Interval{start, end})
+	c.eng.At(end, func() { done(start, end, true) })
+}
+
+// VerifyExclusive checks that no two granted intervals overlap.
+func (c *faultChannel) VerifyExclusive() error {
+	for i := 1; i < len(c.Busy); i++ {
+		if c.Busy[i].Start < c.Busy[i-1].End-1e-12 {
+			return fmt.Errorf("sim: channel intervals overlap: [%v,%v) then [%v,%v)",
+				c.Busy[i-1].Start, c.Busy[i-1].End, c.Busy[i].Start, c.Busy[i].End)
+		}
+	}
+	return nil
+}
+
+// RunCEPFaulty simulates protocol pr on cluster p under fault plan plan:
+// RunCEP's model, with compute progress and channel transfers integrated
+// over the plan's piecewise degradation. Work counts only when its results
+// have fully arrived at the server (FIFO semantics); everything in flight
+// at a crash — unreceived input, unfinished computation, a half-sent result
+// message — is lost. With an empty plan the run reproduces RunCEP's trace
+// bit-for-bit: the integrator's no-fault path performs the identical
+// floating-point operations in the identical event order.
+func RunCEPFaulty(m model.Params, p profile.Profile, pr Protocol, plan fault.Plan, opt Options) (FaultResult, error) {
+	if err := m.Validate(); err != nil {
+		return FaultResult{}, err
+	}
+	if err := pr.Validate(len(p)); err != nil {
+		return FaultResult{}, err
+	}
+	if opt.RhoJitter < 0 || opt.RhoJitter >= 1 {
+		return FaultResult{}, fmt.Errorf("sim: jitter %v outside [0,1)", opt.RhoJitter)
+	}
+	tl, err := fault.Compile(plan, len(p))
+	if err != nil {
+		return FaultResult{}, err
+	}
+
+	eff := make([]float64, len(p))
+	copy(eff, p)
+	if opt.RhoJitter > 0 {
+		rng := stats.NewRNG(opt.Seed)
+		for i := range eff {
+			eff[i] *= 1 + opt.RhoJitter*(2*rng.Float64()-1)
+		}
+	}
+
+	eng := NewEngine()
+	ch := &faultChannel{eng: eng, tl: tl}
+	a, b, td := m.A(), m.B(), m.TauDelta()
+
+	res := FaultResult{Computers: make([]FaultComputerTrace, len(pr.Order))}
+	var completed, dispatched stats.KahanSum
+
+	for k, id := range pr.Order {
+		k, id := k, id
+		w := pr.Alloc[k]
+		dispatched.Add(w)
+		res.Computers[k] = FaultComputerTrace{ComputerTrace: ComputerTrace{ID: id, Rho: p[id], EffRho: eff[id], Work: w}}
+		ch.Acquire(a*w, math.Inf(1), func(sendStart, recvEnd float64, ok bool) {
+			tr := &res.Computers[k]
+			tr.RecvStart, tr.RecvEnd = sendStart, recvEnd
+			if !ok {
+				tr.BusyEnd, tr.ReturnStart, tr.ResultsAt = math.Inf(1), math.Inf(1), math.Inf(1)
+				tr.Fate = FateNeverFinished
+				return
+			}
+			busy := b * eff[id] * w
+			busyEnd := tl.BusyFinish(id, recvEnd, busy)
+			if math.IsInf(busyEnd, 1) {
+				tr.BusyEnd, tr.ReturnStart, tr.ResultsAt = math.Inf(1), math.Inf(1), math.Inf(1)
+				tr.Fate = FateNeverFinished
+				return
+			}
+			eng.At(busyEnd, func() {
+				tr.BusyEnd = eng.Now()
+				ch.Acquire(td*w, tl.CrashTime(id), func(retStart, retEnd float64, ok bool) {
+					tr.ReturnStart = retStart
+					if !ok {
+						tr.ResultsAt = math.Inf(1)
+						tr.Fate = FateReturnAborted
+						return
+					}
+					tr.ReturnStart, tr.ResultsAt = retStart, retEnd
+					tr.Fate = FateReturned
+					completed.Add(w)
+					if retEnd > res.Makespan {
+						res.Makespan = retEnd
+					}
+				})
+			})
+		})
+	}
+	if err := eng.Run(); err != nil {
+		return FaultResult{}, err
+	}
+	if err := ch.VerifyExclusive(); err != nil {
+		return FaultResult{}, err
+	}
+	res.Completed = completed.Sum()
+	res.Dispatched = dispatched.Sum()
+	res.Lost = res.Dispatched - res.Completed
+	res.Events = eng.Processed()
+	return res, nil
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// TestFaultyEmptyPlanBitForBit is the acceptance criterion: with no faults,
+// the fault-aware integrator must reproduce RunCEP exactly — every trace
+// field, the makespan, the work total and the event count, compared with ==.
+func TestFaultyEmptyPlanBitForBit(t *testing.T) {
+	rng := stats.NewRNG(7)
+	m := model.Table1()
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		p := profile.RandomNormalized(rng, n)
+		var pr Protocol
+		var err error
+		switch trial % 3 {
+		case 0:
+			pr, err = OptimalFIFO(m, p, 3600)
+		case 1:
+			pr, _, err = EqualSplit(m, p, 3600)
+		default:
+			alloc := make([]float64, n)
+			for i := range alloc {
+				alloc[i] = rng.InRange(1, 1000)
+			}
+			pr = Protocol{Order: rng.Perm(n), Alloc: alloc}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{RhoJitter: 0.2, Seed: uint64(trial)}
+		if trial%2 == 0 {
+			opt = Options{}
+		}
+		want, err := RunCEP(m, p, pr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunCEPFaulty(m, p, pr, fault.Plan{}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Completed != want.Completed || got.Makespan != want.Makespan || got.Events != want.Events {
+			t.Fatalf("trial %d: summary diverges: got (%v, %v, %d), want (%v, %v, %d)",
+				trial, got.Completed, got.Makespan, got.Events, want.Completed, want.Makespan, want.Events)
+		}
+		for k := range want.Computers {
+			g, w := got.Computers[k].ComputerTrace, want.Computers[k]
+			if g != w {
+				t.Fatalf("trial %d computer %d: trace diverges:\ngot  %+v\nwant %+v", trial, k, g, w)
+			}
+			if got.Computers[k].Fate != FateReturned {
+				t.Fatalf("trial %d computer %d: fate %q under empty plan", trial, k, got.Computers[k].Fate)
+			}
+		}
+		if got.Lost != 0 {
+			t.Fatalf("trial %d: lost %v work under empty plan", trial, got.Lost)
+		}
+	}
+}
+
+func TestFaultyCrashLosesUnreturnedWork(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	pr, err := OptimalFIFO(m, p, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := RunCEP(m, p, pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash computer 1 halfway through its busy block: its allocation is
+	// lost, the other two are untouched (they do not share its channel slots
+	// in a way a missing return could hurt).
+	mid := (free.Computers[1].RecvEnd + free.Computers[1].BusyEnd) / 2
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Crash, Computer: 1, At: mid}}}
+	got, err := RunCEPFaulty(m, p, pr, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Computers[1].Fate != FateNeverFinished {
+		t.Fatalf("crashed computer fate %q", got.Computers[1].Fate)
+	}
+	if !math.IsInf(got.Computers[1].ResultsAt, 1) {
+		t.Fatalf("crashed computer ResultsAt %v", got.Computers[1].ResultsAt)
+	}
+	wantSalvage := free.Computers[0].Work + free.Computers[2].Work
+	if math.Abs(got.Completed-wantSalvage) > 1e-9*wantSalvage {
+		t.Fatalf("salvaged %v, want %v", got.Completed, wantSalvage)
+	}
+	if math.Abs(got.Lost-free.Computers[1].Work) > 1e-9*free.Computers[1].Work {
+		t.Fatalf("lost %v, want %v", got.Lost, free.Computers[1].Work)
+	}
+	// Crash mid-return-transfer: results were computed but never fully
+	// arrived — still lost.
+	midRet := (free.Computers[1].ReturnStart + free.Computers[1].ResultsAt) / 2
+	plan = fault.Plan{Faults: []fault.Fault{{Kind: fault.Crash, Computer: 1, At: midRet}}}
+	got, err = RunCEPFaulty(m, p, pr, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Computers[1].Fate != FateReturnAborted {
+		t.Fatalf("mid-return crash fate %q", got.Computers[1].Fate)
+	}
+	// Crash after the results arrived: nothing is lost.
+	plan = fault.Plan{Faults: []fault.Fault{{Kind: fault.Crash, Computer: 1, At: free.Computers[1].ResultsAt * 1.01}}}
+	got, err = RunCEPFaulty(m, p, pr, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lost != 0 || got.Computers[1].Fate != FateReturned {
+		t.Fatalf("post-return crash lost %v work (fate %q)", got.Lost, got.Computers[1].Fate)
+	}
+}
+
+func TestFaultyOutageDelaysButCompletes(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	pr, err := OptimalFIFO(m, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := RunCEP(m, p, pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze computer 0 for 100 time units in the middle of its busy block.
+	mid := (free.Computers[0].RecvEnd + free.Computers[0].BusyEnd) / 2
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Outage, Computer: 0, At: mid, Until: mid + 100}}}
+	got, err := RunCEPFaulty(m, p, pr, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lost != 0 {
+		t.Fatalf("outage lost %v work; the sim runs to completion", got.Lost)
+	}
+	if d := got.Computers[0].BusyEnd - free.Computers[0].BusyEnd; math.Abs(d-100) > 1e-9 {
+		t.Fatalf("busy end shifted by %v, want 100", d)
+	}
+	// But by the lifespan cutoff, the late results no longer count.
+	if got.CompletedBy(1000) >= free.CompletedBy(1000) {
+		t.Fatalf("outage did not reduce on-time work: %v vs %v", got.CompletedBy(1000), free.CompletedBy(1000))
+	}
+}
+
+func TestFaultySlowdownStretchesBusyBlock(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	pr, err := OptimalFIFO(m, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := RunCEP(m, p, pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halve computer 1's speed from t = 0: its busy block doubles.
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Slowdown, Computer: 1, At: 0, Factor: 2}}}
+	got, err := RunCEPFaulty(m, p, pr, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBusy := free.Computers[1].BusyEnd - free.Computers[1].RecvEnd
+	gotBusy := got.Computers[1].BusyEnd - got.Computers[1].RecvEnd
+	if math.Abs(gotBusy-2*freeBusy) > 1e-9*freeBusy {
+		t.Fatalf("slowed busy block %v, want %v", gotBusy, 2*freeBusy)
+	}
+}
+
+func TestFaultyBlackoutPausesChannel(t *testing.T) {
+	m := model.Figs34() // expensive links make transfers long enough to hit
+	p := profile.MustNew(1, 0.5)
+	pr, err := OptimalFIFO(m, p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := RunCEP(m, p, pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Black out the channel in the middle of the first outbound send.
+	mid := (free.Computers[0].RecvStart + free.Computers[0].RecvEnd) / 2
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Blackout, At: mid, Until: mid + 50}}}
+	got, err := RunCEPFaulty(m, p, pr, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.Computers[0].RecvEnd - free.Computers[0].RecvEnd; math.Abs(d-50) > 1e-9 {
+		t.Fatalf("first receive shifted by %v, want 50", d)
+	}
+	if got.Lost != 0 {
+		t.Fatalf("transient blackout lost %v work", got.Lost)
+	}
+	// A permanent blackout before any return strands everything.
+	plan = fault.Plan{Faults: []fault.Fault{{Kind: fault.Blackout, At: free.Computers[1].RecvEnd, Until: math.Inf(1)}}}
+	got, err = RunCEPFaulty(m, p, pr, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Completed != 0 {
+		t.Fatalf("permanent blackout salvaged %v", got.Completed)
+	}
+}
+
+// TestChaosFaultProperties is the chaos property test of the issue: for any
+// seeded random fault plan, (1) work salvaged by L never exceeds the
+// fault-free optimum W(L;P), and (2) it is at least the salvage of the
+// plan's crash-only lower bound (everything dies at the first onset) —
+// sound because a faulty execution is identical to the fault-free one
+// before the first onset. Accounting must balance throughout.
+func TestChaosFaultProperties(t *testing.T) {
+	rng := stats.NewRNG(2026)
+	m := model.Table1()
+	const L = 3600.0
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(16)
+		p := profile.RandomNormalized(rng, n)
+		pr, err := OptimalFIFO(m, p, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := fault.Random(rng, n, L, rng.Intn(8))
+		res, err := RunCEPFaulty(m, p, pr, plan, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		optimum := core.W(m, p, L)
+		salvaged := res.CompletedBy(L)
+		if salvaged > optimum*(1+1e-9) {
+			t.Fatalf("trial %d: salvaged %v exceeds fault-free optimum %v", trial, salvaged, optimum)
+		}
+		lbPlan := plan.CrashOnlyLowerBound(n)
+		lb, err := RunCEPFaulty(m, p, pr, lbPlan, Options{})
+		if err != nil {
+			t.Fatalf("trial %d lower bound: %v", trial, err)
+		}
+		if floor := lb.CompletedBy(L); salvaged < floor*(1-1e-12) {
+			t.Fatalf("trial %d: salvaged %v below crash-only floor %v\nplan: %+v", trial, salvaged, floor, plan)
+		}
+		if math.Abs(res.Completed+res.Lost-res.Dispatched) > 1e-9*res.Dispatched {
+			t.Fatalf("trial %d: accounting %v + %v ≠ %v", trial, res.Completed, res.Lost, res.Dispatched)
+		}
+		for _, c := range res.Computers {
+			if c.Fate == FateReturned && math.IsInf(c.ResultsAt, 1) {
+				t.Fatalf("trial %d: returned allocation with infinite ResultsAt", trial)
+			}
+			if c.Fate != FateReturned && !math.IsInf(c.ResultsAt, 1) {
+				t.Fatalf("trial %d: lost allocation with finite ResultsAt %v", trial, c.ResultsAt)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"hetero/internal/core"
+	"hetero/internal/fault"
+	"hetero/internal/incr"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+)
+
+// DropPrice is the O(1) incremental pricing of losing one computer: the
+// X-measure and asymptotic work rate of the cluster without it, computed by
+// incr.Evaluator.WhatIfDrop against the evaluator of the round that was
+// running when the fault hit.
+type DropPrice struct {
+	Computer int     `json:"computer"`
+	X        float64 `json:"x"`
+	WorkRate float64 `json:"work_rate"`
+}
+
+// DecisionReport records the replanner's choice at one fault event: who
+// was lost or recovered, the O(1) capacity pricing of each loss, and the
+// projected salvage of riding the in-flight round versus abandoning it for
+// a fresh remaining-lifespan plan on the survivors.
+type DecisionReport struct {
+	At        float64 `json:"at"`
+	Survivors int     `json:"survivors"`
+	// Dropped lists computers that became unavailable since the previous
+	// event (crashed, or entered an outage); Restored lists computers that
+	// came back.
+	Dropped  []int `json:"dropped,omitempty"`
+	Restored []int `json:"restored,omitempty"`
+	// DropPrices prices each drop in O(1) against the running round's
+	// evaluator — the capacity the cluster lost, before any rescan.
+	DropPrices []DropPrice `json:"drop_prices,omitempty"`
+	// RideValue and ReplanValue are the projected total salvage (work
+	// returned by the lifespan) of the two branches; Replanned reports which
+	// one the replanner adopted.
+	RideValue   float64 `json:"ride_value"`
+	ReplanValue float64 `json:"replan_value"`
+	Replanned   bool    `json:"replanned"`
+}
+
+// RoundReport describes one adopted dispatch round: when it started, when
+// it was abandoned (or the lifespan, for the final round), who it ran on,
+// and what it salvaged.
+type RoundReport struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Computers lists the round's members by original index.
+	Computers []int `json:"computers"`
+	// PlannedRate is the asymptotic work rate of the round's planning
+	// profile (members at their degraded speeds, normalized to ρ ≤ 1).
+	PlannedRate float64 `json:"planned_rate"`
+	Dispatched  float64 `json:"dispatched"`
+	Salvaged    float64 `json:"salvaged"`
+}
+
+// DegradedReport is the outcome of a fault-aware simulation: what the
+// cluster salvaged, what the faults destroyed, and how far the result falls
+// short of the fault-free optimum W(L;P).
+type DegradedReport struct {
+	Lifespan float64 `json:"lifespan"`
+	// FaultFree is Theorem 2's W(L;P), the work the intact cluster would
+	// complete by L under the optimal protocol.
+	FaultFree float64 `json:"fault_free_work"`
+	// Salvaged is the work whose results reached the server by L.
+	Salvaged float64 `json:"salvaged_work"`
+	// Dispatched is the work committed to dispatch rounds; Lost counts both
+	// work destroyed by faults and work abandoned by replanning.
+	Dispatched float64 `json:"dispatched_work"`
+	Lost       float64 `json:"lost_work"`
+	// Degradation is 1 − Salvaged/FaultFree.
+	Degradation float64 `json:"degradation"`
+	Replan      bool    `json:"replan"`
+	// Rounds and Decisions are populated in replan mode.
+	Rounds    []RoundReport    `json:"rounds,omitempty"`
+	Decisions []DecisionReport `json:"decisions,omitempty"`
+	Events    int              `json:"events"`
+}
+
+func (r *DegradedReport) finish() {
+	r.Lost = r.Dispatched - r.Salvaged
+	if r.FaultFree > 0 {
+		r.Degradation = 1 - r.Salvaged/r.FaultFree
+	}
+}
+
+// SimulateFaulty runs the full fault-aware pipeline: the optimal protocol
+// for (P, L) is dispatched and executed under the fault plan. With replan
+// set, the server revisits the plan at every fault event: it prices the
+// capacity change in O(1) with the incremental evaluator, projects the
+// salvage of riding out the in-flight round versus abandoning it (its
+// unreturned work lost, per FIFO semantics) for a fresh remaining-lifespan
+// CEP on the surviving degraded profile, and adopts whichever projects
+// more. Because the abandon branch is only taken when it projects at least
+// the ride branch, the replanner never salvages less than the fixed
+// protocol. ctx bounds the computation: the loop aborts with ctx.Err() at
+// the next decision once the deadline passes.
+func SimulateFaulty(ctx context.Context, m model.Params, p profile.Profile, lifespan float64, plan fault.Plan, replan bool, opt Options) (DegradedReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := m.Validate(); err != nil {
+		return DegradedReport{}, err
+	}
+	if !(lifespan > 0) || math.IsInf(lifespan, 0) {
+		return DegradedReport{}, fmt.Errorf("sim: lifespan %v must be positive and finite", lifespan)
+	}
+	if err := plan.Validate(len(p)); err != nil {
+		return DegradedReport{}, err
+	}
+	rep := DegradedReport{Lifespan: lifespan, FaultFree: core.W(m, p, lifespan), Replan: replan}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	if !replan {
+		pr, err := OptimalFIFO(m, p, lifespan)
+		if err != nil {
+			return rep, err
+		}
+		res, err := RunCEPFaulty(m, p, pr, plan, opt)
+		if err != nil {
+			return rep, err
+		}
+		rep.Salvaged = res.CompletedBy(lifespan)
+		rep.Dispatched = res.Dispatched
+		rep.Events = res.Events
+		rep.finish()
+		return rep, nil
+	}
+	return replanSimulate(ctx, m, p, lifespan, plan, rep)
+}
+
+// round is one adopted dispatch round of the replanner, together with its
+// exact rollout: the round's execution under every remaining fault, from
+// which both banked salvage (results returned before an abandonment) and
+// ride projections are read off.
+type round struct {
+	start   float64 // absolute adoption time
+	members []int   // original computer indices
+	rollout FaultResult
+	rate    float64 // planned asymptotic work rate (clamped profile)
+}
+
+// replanSimulate executes the greedy one-step-lookahead replanner: at each
+// fault event it compares the exact rollout of the in-flight round against
+// abandoning it for a fresh optimal round on the current survivors (itself
+// rolled out under the remaining faults), and adopts the better branch.
+func replanSimulate(ctx context.Context, m model.Params, p profile.Profile, lifespan float64, plan fault.Plan, rep DegradedReport) (DegradedReport, error) {
+	tl, err := fault.Compile(plan, len(p))
+	if err != nil {
+		return rep, err
+	}
+
+	launch := func(s float64) (round, *incr.Evaluator, []int, error) {
+		var members []int
+		for i := range p {
+			if !tl.Down(i, s) {
+				members = append(members, i)
+			}
+		}
+		if len(members) == 0 {
+			return round{}, nil, nil, nil
+		}
+		eff := make(profile.Profile, len(members))
+		planRho := make(profile.Profile, len(members))
+		for j, i := range members {
+			eff[j] = p[i] * tl.DriftMult(i, s)
+			// The gap-free allocation recurrence is valid for any positive ρ
+			// and gets the unclamped degraded speeds; the incr evaluator's
+			// normalized domain gets them clamped to ρ ≤ 1.
+			planRho[j] = math.Min(1, eff[j])
+		}
+		eval, err := incr.New(m, planRho)
+		if err != nil {
+			return round{}, nil, nil, err
+		}
+		alloc, err := schedule.Allocations(m, eff, lifespan-s)
+		if err != nil {
+			return round{}, nil, nil, err
+		}
+		pr := Protocol{Order: identity(len(members)), Alloc: alloc}
+		res, err := RunCEPFaulty(m, eff, pr, shiftPlan(plan, s, members, len(p)), Options{})
+		if err != nil {
+			return round{}, nil, nil, err
+		}
+		idx := make([]int, len(p))
+		for i := range idx {
+			idx[i] = -1
+		}
+		for j, i := range members {
+			idx[i] = j
+		}
+		return round{start: s, members: members, rollout: res, rate: eval.WorkRate()}, eval, idx, nil
+	}
+
+	cur, curEval, curIdx, err := launch(0)
+	if err != nil {
+		return rep, err
+	}
+	prevAvail := make([]bool, len(p))
+	for i := range prevAvail {
+		prevAvail[i] = true
+	}
+	var banked, dispatched float64
+	adopt := func(r round) {
+		dispatched += r.rollout.Dispatched
+	}
+	adopt(cur)
+
+	finishRound := func(r round, end float64) RoundReport {
+		salv := r.rollout.CompletedBy(end - r.start)
+		banked += salv
+		rep.Events += r.rollout.Events
+		return RoundReport{
+			Start: r.start, End: end, Computers: r.members,
+			PlannedRate: r.rate, Dispatched: r.rollout.Dispatched, Salvaged: salv,
+		}
+	}
+
+	for _, e := range plan.EventTimes(lifespan) {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		dec := DecisionReport{At: e}
+		avail := make([]bool, len(p))
+		for i := range p {
+			avail[i] = !tl.Down(i, e)
+			if avail[i] {
+				dec.Survivors++
+			}
+			if prevAvail[i] && !avail[i] {
+				dec.Dropped = append(dec.Dropped, i)
+				if curEval != nil && curIdx[i] >= 0 {
+					if x, rate, perr := curEval.WhatIfDrop(curIdx[i]); perr == nil {
+						dec.DropPrices = append(dec.DropPrices, DropPrice{Computer: i, X: x, WorkRate: rate})
+					}
+				}
+			} else if !prevAvail[i] && avail[i] {
+				dec.Restored = append(dec.Restored, i)
+			}
+		}
+		prevAvail = avail
+
+		dec.RideValue = banked + cur.rollout.CompletedBy(lifespan-cur.start)
+		dec.ReplanValue = math.Inf(-1)
+		if dec.Survivors > 0 {
+			cand, candEval, candIdx, cerr := launch(e)
+			if cerr != nil {
+				return rep, cerr
+			}
+			dec.ReplanValue = banked + cur.rollout.CompletedBy(e-cur.start) + cand.rollout.CompletedBy(lifespan-e)
+			if dec.ReplanValue > dec.RideValue {
+				dec.Replanned = true
+				rep.Rounds = append(rep.Rounds, finishRound(cur, e))
+				cur, curEval, curIdx = cand, candEval, candIdx
+				adopt(cur)
+			}
+		}
+		rep.Decisions = append(rep.Decisions, dec)
+	}
+	rep.Rounds = append(rep.Rounds, finishRound(cur, lifespan))
+
+	rep.Salvaged = banked
+	rep.Dispatched = dispatched
+	rep.finish()
+	return rep, nil
+}
+
+// shiftPlan rewrites the fault plan into the local frame of a round that
+// starts at absolute time s on the given members (original indices,
+// relabelled 0..len-1): times shift by −s, faults already folded into the
+// round's profile (slowdowns at or before s) or irrelevant to its members
+// drop out, and windows clip to the round.
+func shiftPlan(plan fault.Plan, s float64, members []int, n int) fault.Plan {
+	local := make([]int, n)
+	for i := range local {
+		local[i] = -1
+	}
+	for j, i := range members {
+		local[i] = j
+	}
+	var out fault.Plan
+	for _, f := range plan.Faults {
+		switch f.Kind {
+		case fault.Blackout:
+			if f.Until <= s {
+				continue
+			}
+			out.Faults = append(out.Faults, fault.Fault{
+				Kind: fault.Blackout, At: math.Max(0, f.At-s), Until: f.Until - s,
+			})
+		case fault.Crash:
+			if j := local[f.Computer]; j >= 0 && f.At > s {
+				out.Faults = append(out.Faults, fault.Fault{Kind: fault.Crash, Computer: j, At: f.At - s})
+			}
+		case fault.Outage:
+			if j := local[f.Computer]; j >= 0 && f.Until > s {
+				out.Faults = append(out.Faults, fault.Fault{
+					Kind: fault.Outage, Computer: j, At: math.Max(0, f.At-s), Until: f.Until - s,
+				})
+			}
+		case fault.Slowdown:
+			// Factors with onset at or before s are already in the round's
+			// effective profile.
+			if j := local[f.Computer]; j >= 0 && f.At > s {
+				out.Faults = append(out.Faults, fault.Fault{
+					Kind: fault.Slowdown, Computer: j, At: f.At - s, Factor: f.Factor,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"hetero/internal/core"
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func TestSimulateFaultyEmptyPlanMatchesOptimum(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.25)
+	const L = 3600.0
+	for _, replan := range []bool{false, true} {
+		rep, err := SimulateFaulty(context.Background(), m, p, L, fault.Plan{}, replan, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if re := math.Abs(rep.Salvaged-rep.FaultFree) / rep.FaultFree; re > 1e-9 {
+			t.Fatalf("replan=%v: salvaged %v vs fault-free %v (rel err %v)", replan, rep.Salvaged, rep.FaultFree, re)
+		}
+		if math.Abs(rep.Degradation) > 1e-9 {
+			t.Fatalf("replan=%v: degradation %v under empty plan", replan, rep.Degradation)
+		}
+		if replan && (len(rep.Rounds) != 1 || len(rep.Decisions) != 0) {
+			t.Fatalf("empty plan: %d rounds, %d decisions, want 1 and 0", len(rep.Rounds), len(rep.Decisions))
+		}
+	}
+}
+
+func TestReplanCrashDropIsPriced(t *testing.T) {
+	// An early crash of the fastest computer. The replanner must record the
+	// casualty at the event and price it in O(1) against the running round's
+	// evaluator, whatever branch it adopts. (On a pure-crash plan the fixed
+	// protocol loses only the crashed allocation while abandoning the round
+	// would forfeit all in-flight work, so the projections typically favor
+	// riding — the wins come from slow/late results, tested below.)
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.1)
+	const L = 3600.0
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Crash, Computer: 2, At: L / 10}}}
+	fixed, err := SimulateFaulty(context.Background(), m, p, L, plan, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateFaulty(context.Background(), m, p, L, plan, true, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Salvaged > rep.FaultFree*(1+1e-9) {
+		t.Fatalf("replan salvaged %v exceeds fault-free optimum %v", rep.Salvaged, rep.FaultFree)
+	}
+	if rep.Salvaged < fixed.Salvaged*(1-1e-9) {
+		t.Fatalf("replan salvaged %v below fixed %v", rep.Salvaged, fixed.Salvaged)
+	}
+	if len(rep.Decisions) != 1 {
+		t.Fatalf("%d decisions, want 1 (the crash)", len(rep.Decisions))
+	}
+	dec := rep.Decisions[0]
+	if dec.At != L/10 || dec.Survivors != 2 || len(dec.Dropped) != 1 || dec.Dropped[0] != 2 {
+		t.Fatalf("crash decision wrong: %+v", dec)
+	}
+	// The drop was priced by the incremental evaluator: losing the fastest
+	// computer must cost capacity.
+	if len(dec.DropPrices) != 1 {
+		t.Fatalf("no drop pricing recorded: %+v", dec)
+	}
+	full := core.WorkRate(m, p)
+	if dp := dec.DropPrices[0]; !(dp.WorkRate < full) || dp.Computer != 2 {
+		t.Fatalf("drop price %+v not below full-cluster rate %v", dp, full)
+	}
+	// Both projections are real salvage totals, bounded by the optimum.
+	if dec.RideValue > rep.FaultFree*(1+1e-9) || dec.ReplanValue > rep.FaultFree*(1+1e-9) {
+		t.Fatalf("projection exceeds optimum: %+v", dec)
+	}
+}
+
+func TestReplanBeatsFixedProtocolOnOutage(t *testing.T) {
+	// The fastest computer freezes for a stretch. Under the fixed protocol its
+	// (dominant) allocation comes back after the lifespan and counts for
+	// nothing. At the onset the replanner projects that abandoning the round
+	// for the two slow survivors would salvage less than riding, so it rides;
+	// at recovery it abandons the crippled round and re-divides the remaining
+	// lifespan across all three computers — salvaging far more than fixed.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5, 0.1)
+	const L = 3600.0
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Outage, Computer: 2, At: 100, Until: 600}}}
+	fixed, err := SimulateFaulty(context.Background(), m, p, L, plan, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateFaulty(context.Background(), m, p, L, plan, true, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Salvaged <= fixed.Salvaged {
+		t.Fatalf("replan salvaged %v, fixed %v — replanning must win here", rep.Salvaged, fixed.Salvaged)
+	}
+	if rep.Salvaged > rep.FaultFree*(1+1e-9) {
+		t.Fatalf("salvaged %v exceeds optimum %v", rep.Salvaged, rep.FaultFree)
+	}
+	if len(rep.Decisions) != 2 {
+		t.Fatalf("%d decisions, want 2 (outage onset and recovery)", len(rep.Decisions))
+	}
+	onset, recovery := rep.Decisions[0], rep.Decisions[1]
+	if onset.Replanned || len(onset.Dropped) != 1 || onset.Dropped[0] != 2 || onset.Survivors != 2 {
+		t.Fatalf("onset decision: %+v (abandoning for 2 slow survivors must project below riding)", onset)
+	}
+	if len(onset.DropPrices) != 1 || onset.DropPrices[0].Computer != 2 {
+		t.Fatalf("outage onset not priced: %+v", onset)
+	}
+	if !recovery.Replanned || len(recovery.Restored) != 1 || recovery.Restored[0] != 2 || recovery.Survivors != 3 {
+		t.Fatalf("recovery decision: %+v", recovery)
+	}
+	if len(rep.Rounds) != 2 {
+		t.Fatalf("%d rounds, want 2 (ride through the outage, replan at recovery)", len(rep.Rounds))
+	}
+	if got := rep.Rounds[1].Computers; len(got) != 3 {
+		t.Fatalf("recovery round ran on %v, want all 3 computers", got)
+	}
+	if rep.Degradation <= 0 || rep.Degradation >= 1 {
+		t.Fatalf("implausible degradation %v (salvaged %v)", rep.Degradation, rep.Salvaged)
+	}
+}
+
+func TestReplanNeverWorseThanFixedOnBlackout(t *testing.T) {
+	// A mid-lifespan channel blackout delays everything in flight. Whatever
+	// branch the replanner projects best, it must not fall below the fixed
+	// protocol, and both decisions (blackout start and end) are recorded.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	const L = 1000.0
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Blackout, At: 400, Until: 600}}}
+	fixed, err := SimulateFaulty(context.Background(), m, p, L, plan, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateFaulty(context.Background(), m, p, L, plan, true, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decisions) != 2 {
+		t.Fatalf("%d decisions, want 2", len(rep.Decisions))
+	}
+	if rep.Salvaged < fixed.Salvaged*(1-1e-9) {
+		t.Fatalf("replan salvaged %v below fixed %v", rep.Salvaged, fixed.Salvaged)
+	}
+	if rep.Salvaged > rep.FaultFree*(1+1e-9) {
+		t.Fatalf("salvaged %v exceeds optimum %v", rep.Salvaged, rep.FaultFree)
+	}
+}
+
+func TestReplanDriftSlowsPlanning(t *testing.T) {
+	// A 3× drift on the fast machine: the fixed protocol's now-oversized
+	// allocation returns too late to count, so the replanner abandons the
+	// round, and its post-drift round plans at a lower rate.
+	m := model.Table1()
+	p := profile.MustNew(1, 0.25)
+	const L = 2000.0
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Slowdown, Computer: 1, At: 500, Factor: 3}}}
+	rep, err := SimulateFaulty(context.Background(), m, p, L, plan, true, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Decisions) != 1 || !rep.Decisions[0].Replanned {
+		t.Fatalf("drift event did not trigger a replan: %+v", rep.Decisions)
+	}
+	if len(rep.Rounds) != 2 {
+		t.Fatalf("%d rounds, want 2", len(rep.Rounds))
+	}
+	if !(rep.Rounds[1].PlannedRate < rep.Rounds[0].PlannedRate) {
+		t.Fatalf("drift did not lower the planned rate: %v → %v", rep.Rounds[0].PlannedRate, rep.Rounds[1].PlannedRate)
+	}
+	if rep.Salvaged > rep.FaultFree*(1+1e-9) {
+		t.Fatalf("salvaged %v exceeds optimum %v", rep.Salvaged, rep.FaultFree)
+	}
+	fixed, err := SimulateFaulty(context.Background(), m, p, L, plan, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Salvaged <= fixed.Salvaged {
+		t.Fatalf("replan salvaged %v, fixed %v — replanning must win under drift", rep.Salvaged, fixed.Salvaged)
+	}
+}
+
+func TestChaosReplanProperties(t *testing.T) {
+	// Replan-mode chaos, for any seeded plan: salvage is bounded above by the
+	// fault-free optimum, bounded below by the fixed protocol on the same
+	// plan (the greedy ride-vs-replan rule only abandons a round when the
+	// exact rollout projects at least as much), and the accounting balances.
+	rng := stats.NewRNG(99)
+	m := model.Table1()
+	const L = 3600.0
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(12)
+		p := profile.RandomNormalized(rng, n)
+		plan := fault.Random(rng, n, L, rng.Intn(8))
+		rep, err := SimulateFaulty(context.Background(), m, p, L, plan, true, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		fixed, err := SimulateFaulty(context.Background(), m, p, L, plan, false, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rep.Salvaged > rep.FaultFree*(1+1e-9) {
+			t.Fatalf("trial %d: salvaged %v exceeds optimum %v\nplan %+v", trial, rep.Salvaged, rep.FaultFree, plan)
+		}
+		if rep.Salvaged < fixed.Salvaged*(1-1e-9)-1e-9 {
+			t.Fatalf("trial %d: replan salvaged %v below fixed %v\nplan %+v", trial, rep.Salvaged, fixed.Salvaged, plan)
+		}
+		if rep.Salvaged < 0 || rep.Dispatched < rep.Salvaged*(1-1e-12) {
+			t.Fatalf("trial %d: accounting salvaged %v dispatched %v", trial, rep.Salvaged, rep.Dispatched)
+		}
+		if math.Abs(rep.Lost-(rep.Dispatched-rep.Salvaged)) > 1e-9*math.Max(1, rep.Dispatched) {
+			t.Fatalf("trial %d: lost %v ≠ dispatched−salvaged", trial, rep.Lost)
+		}
+		events := len(plan.EventTimes(L))
+		if len(rep.Decisions) != events {
+			t.Fatalf("trial %d: %d decisions for %d events", trial, len(rep.Decisions), events)
+		}
+		if len(rep.Rounds) < 1 || len(rep.Rounds) > events+1 {
+			t.Fatalf("trial %d: %d rounds for %d events", trial, len(rep.Rounds), events)
+		}
+	}
+}
+
+func TestSimulateFaultyHonorsContext(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := SimulateFaulty(ctx, m, p, 1000, fault.Plan{}, true, Options{}); err == nil {
+		t.Fatal("expired context accepted")
+	}
+	if _, err := SimulateFaulty(ctx, m, p, 1000, fault.Plan{}, false, Options{}); err == nil {
+		t.Fatal("expired context accepted (fixed protocol)")
+	}
+}
+
+func TestSimulateFaultyRejectsBadInput(t *testing.T) {
+	m := model.Table1()
+	p := profile.MustNew(1, 0.5)
+	if _, err := SimulateFaulty(nil, m, p, 0, fault.Plan{}, false, Options{}); err == nil {
+		t.Fatal("zero lifespan accepted")
+	}
+	if _, err := SimulateFaulty(nil, m, p, math.Inf(1), fault.Plan{}, false, Options{}); err == nil {
+		t.Fatal("infinite lifespan accepted")
+	}
+	bad := fault.Plan{Faults: []fault.Fault{{Kind: fault.Crash, Computer: 9, At: 1}}}
+	if _, err := SimulateFaulty(nil, m, p, 100, bad, true, Options{}); err == nil {
+		t.Fatal("out-of-range fault accepted")
+	}
+}
