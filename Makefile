@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench chaos vet fmt cover replicate artifacts clean FORCE
+.PHONY: all build test bench chaos vet lint check fmt cover replicate artifacts clean FORCE
 
 all: build vet test
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/incr ./internal/api ./internal/fault ./internal/sim
 
-bench: BENCH_incr.json BENCH_fault.json
+bench: BENCH_incr.json BENCH_fault.json BENCH_serve.json
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf certificate for the incremental evaluator + cached serving path
@@ -28,7 +28,22 @@ BENCH_incr.json: FORCE
 BENCH_fault.json: FORCE
 	$(GO) run ./cmd/benchfault > $@
 
+# Perf certificate for the serving hot path: sharded singleflight cache,
+# raw-query front layer, zero-alloc measure path. The mixed (thundering
+# herd) regime must show ≥3× throughput over the single-lock baseline.
+BENCH_serve.json: FORCE
+	$(GO) run ./cmd/benchserve > $@
+
 FORCE:
+
+lint:
+	$(GO) vet ./...
+	gofmt -l cmd internal examples bench_test.go | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+# check = lint + the benchmark certificates parse and meet their
+# thresholds. Run `make bench` first (or on failure) to regenerate them.
+check: lint
+	$(GO) run ./cmd/checkbench
 
 # Chaos suite: the fault/replan property tests, repeated under the race
 # detector to shake out both nondeterminism and data races. The fault
@@ -55,4 +70,4 @@ artifacts:
 	$(GO) run ./cmd/hetero all > artifacts.txt
 
 clean:
-	rm -f artifacts.txt test_output.txt bench_output.txt BENCH_incr.json BENCH_fault.json
+	rm -f artifacts.txt test_output.txt bench_output.txt BENCH_incr.json BENCH_fault.json BENCH_serve.json

@@ -1,0 +1,370 @@
+// Command benchserve certifies the serving hot-path overhaul. It drives the
+// /v1/measure path in-process (through api.Server.MeasureQuery, free of
+// net/http overhead) under four load regimes:
+//
+//	hit      concurrent requests over a warm working set of small profiles
+//	miss     every request a distinct cold small profile
+//	mixed    thundering-herd waves: all workers demand the same fresh
+//	         large profile at once, interleaved with warm hits — the
+//	         regime the singleflight + raw-query layers exist for
+//	large_n  a repeated identical large profile (n ≥ the chunked-kernel
+//	         cutover), measuring the raw-query fast path
+//
+// Each regime runs against two servers built from the same code: the tuned
+// configuration (sharded cache, singleflight coalescing, raw-query front
+// layer) and the historical baseline (single-lock cache, no coalescing, no
+// raw layer — api.NewServerCacheOpts(n, 1, false)). The report records
+// ops/sec for both, the speedup, and tuned-side p50/p99 latency and
+// allocations per operation.
+//
+// The acceptance threshold rides on the mixed regime: tuned throughput must
+// be ≥ 3× baseline at GOMAXPROCS ≥ 8 (forced to 16 when the host gives
+// less). On a single-core host the win is algorithmic, not parallel: the
+// baseline evaluates a herd of identical misses once per worker, the tuned
+// path exactly once per wave.
+//
+// It prints one JSON document to stdout — the content of BENCH_serve.json
+// (see `make bench`):
+//
+//	go run ./cmd/benchserve > BENCH_serve.json
+//
+// The -quick flag shrinks every regime so CI smoke tests finish fast;
+// ratios are then noisy and not certified.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hetero/internal/api"
+	"hetero/internal/core"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// mixedThreshold is the certified floor for tuned/baseline throughput in
+// the mixed regime.
+const mixedThreshold = 3.0
+
+// RegimeResult reports one load regime's baseline-vs-tuned comparison.
+type RegimeResult struct {
+	Name              string  `json:"name"`
+	Requests          int     `json:"requests"`
+	BaselineOpsPerSec float64 `json:"baseline_ops_per_sec"`
+	TunedOpsPerSec    float64 `json:"tuned_ops_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	TunedP50Ms        float64 `json:"tuned_p50_ms"`
+	TunedP99Ms        float64 `json:"tuned_p99_ms"`
+	TunedAllocsPerOp  float64 `json:"tuned_allocs_per_op"`
+	Threshold         float64 `json:"threshold,omitempty"`
+	MeetsThreshold    bool    `json:"meets_threshold"`
+}
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Regimes    []RegimeResult `json:"regimes"`
+	Pass       bool           `json:"pass"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink every regime (smoke test; ratios not certified)")
+	flag.Parse()
+	rep := buildReport(*quick)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+	if !rep.Pass && !*quick {
+		fmt.Fprintln(os.Stderr, "benchserve: mixed-regime speedup threshold not met")
+		os.Exit(1)
+	}
+}
+
+// sizes are the regime dimensions; quick mode shrinks them all.
+type sizes struct {
+	workers     int // concurrent load generators
+	warmKeys    int // hit-regime working set
+	hitIters    int // hit requests per worker
+	missIters   int // distinct cold keys per worker
+	waves       int // mixed-regime herd waves
+	warmPerWave int // warm hits each worker adds per wave
+	largeN      int // profile size for mixed / large_n
+	largeIters  int // large_n repeats per worker
+}
+
+func defaultSizes(quick bool) sizes {
+	if quick {
+		return sizes{workers: 4, warmKeys: 8, hitIters: 50, missIters: 50,
+			waves: 1, warmPerWave: 2, largeN: 2 * core.ParallelCutover, largeIters: 4}
+	}
+	return sizes{workers: 16, warmKeys: 64, hitIters: 2000, missIters: 1000,
+		waves: 6, warmPerWave: 4, largeN: 1 << 16, largeIters: 10}
+}
+
+func buildReport(quick bool) Report {
+	// The certificate is defined at GOMAXPROCS ≥ 8; force 16 so the herd
+	// regimes exercise real scheduler interleaving even on small hosts.
+	if runtime.GOMAXPROCS(0) < 16 {
+		runtime.GOMAXPROCS(16)
+	}
+	sz := defaultSizes(quick)
+	rep := Report{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Pass: true}
+
+	newBaseline := func() *api.Server {
+		return api.NewServerCacheOpts(api.DefaultMeasureCacheSize, 1, false)
+	}
+	newTuned := func() *api.Server { return api.NewServer() }
+
+	warm := warmQueries(sz.warmKeys)
+	largeBase := largeProfileQuery(sz.largeN)
+
+	for _, regime := range []struct {
+		name      string
+		threshold float64
+		run       func(s *api.Server) loadStats
+	}{
+		{"hit", 0, func(s *api.Server) loadStats {
+			warmServer(s, warm)
+			return drive(s, sz.workers, sz.hitIters, func(worker, i int) string {
+				return warm[(worker*13+i)%len(warm)]
+			})
+		}},
+		{"miss", 0, func(s *api.Server) loadStats {
+			return drive(s, sz.workers, sz.missIters, func(worker, i int) string {
+				return fmt.Sprintf("profile=1,0.5,0.%03d&pi=0.00%d%04d", i%999+1, worker+1, i)
+			})
+		}},
+		{"mixed", mixedThreshold, func(s *api.Server) loadStats {
+			warmServer(s, warm)
+			return driveMixed(s, sz.workers, sz.waves, sz.warmPerWave, largeBase, warm)
+		}},
+		{"large_n", 0, func(s *api.Server) loadStats {
+			return drive(s, sz.workers, sz.largeIters, func(worker, i int) string {
+				return largeBase // one shared large key: 1 miss, then fast-path hits
+			})
+		}},
+	} {
+		base := regime.run(newBaseline())
+		tuned := regime.run(newTuned())
+		r := RegimeResult{
+			Name:              regime.name,
+			Requests:          tuned.ops,
+			BaselineOpsPerSec: base.opsPerSec(),
+			TunedOpsPerSec:    tuned.opsPerSec(),
+			TunedP50Ms:        tuned.percentileMs(50),
+			TunedP99Ms:        tuned.percentileMs(99),
+			TunedAllocsPerOp:  tuned.allocsPerOp,
+			Threshold:         regime.threshold,
+		}
+		if r.BaselineOpsPerSec > 0 {
+			r.Speedup = r.TunedOpsPerSec / r.BaselineOpsPerSec
+		}
+		r.MeetsThreshold = regime.threshold == 0 || r.Speedup >= regime.threshold
+		if !r.MeetsThreshold {
+			rep.Pass = false
+		}
+		rep.Regimes = append(rep.Regimes, r)
+	}
+	return rep
+}
+
+// loadStats aggregates one regime run on one server.
+type loadStats struct {
+	ops         int
+	wall        time.Duration
+	latencies   []time.Duration // one per request, unsorted
+	allocsPerOp float64
+}
+
+func (l loadStats) opsPerSec() float64 {
+	if l.wall <= 0 {
+		return 0
+	}
+	return float64(l.ops) / l.wall.Seconds()
+}
+
+func (l loadStats) percentileMs(p int) float64 {
+	if len(l.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := len(sorted) * p / 100
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// drive fans perWorker requests per worker over the server, all workers
+// released together, and returns wall time, per-request latencies, and the
+// heap-allocation delta per operation.
+func drive(s *api.Server, workers, perWorker int, query func(worker, i int) string) loadStats {
+	// Pre-build the query strings and latency buffers so the measured
+	// section allocates only what the serving path allocates.
+	queries := make([][]string, workers)
+	lats := make([][]time.Duration, workers)
+	for w := 0; w < workers; w++ {
+		queries[w] = make([]string, perWorker)
+		for i := 0; i < perWorker; i++ {
+			queries[w][i] = query(w, i)
+		}
+		lats[w] = make([]time.Duration, perWorker)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perWorker; i++ {
+				t0 := time.Now()
+				status, _ := s.MeasureQuery(queries[w][i])
+				lats[w][i] = time.Since(t0)
+				if status != 200 {
+					panic(fmt.Sprintf("benchserve: worker %d query %q: status %d", w, queries[w][i], status))
+				}
+			}
+		}(w)
+	}
+	runtime.GC() // level the GC state so paired runs compare fairly
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	out := loadStats{ops: workers * perWorker, wall: wall}
+	for w := range lats {
+		out.latencies = append(out.latencies, lats[w]...)
+	}
+	if out.ops > 0 {
+		out.allocsPerOp = math.Round(float64(after.Mallocs-before.Mallocs)/float64(out.ops)*1000) / 1000
+	}
+	return out
+}
+
+// driveMixed runs herd waves: per wave, every worker requests the same
+// fresh large-profile key (byte-identical spellings, so the raw-query layer
+// can coalesce) plus warmPerWave warm hits. Waves are separated by a
+// barrier so each herd arrives together, as a cache-expiry or deploy wave
+// does in production.
+func driveMixed(s *api.Server, workers, waves, warmPerWave int, largeBase string, warm []string) loadStats {
+	perWave := 1 + warmPerWave
+	lats := make([][]time.Duration, workers)
+	for w := range lats {
+		lats[w] = make([]time.Duration, 0, waves*perWave)
+	}
+	hot := make([]string, waves)
+	for v := 0; v < waves; v++ {
+		// A distinct tau per wave makes each wave's hot key fresh without
+		// rebuilding the (large) profile string.
+		hot[v] = largeBase + "&tau=0.00" + strconv.Itoa(101+v)
+	}
+	runtime.GC() // level the GC state so paired runs compare fairly
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for v := 0; v < waves; v++ {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				q := hot[v]
+				t1 := time.Now()
+				status, _ := s.MeasureQuery(q)
+				lats[w] = append(lats[w], time.Since(t1))
+				if status != 200 {
+					panic(fmt.Sprintf("benchserve: mixed hot query: status %d", status))
+				}
+				for i := 0; i < warmPerWave; i++ {
+					wq := warm[(w*7+v*3+i)%len(warm)]
+					t2 := time.Now()
+					status, _ := s.MeasureQuery(wq)
+					lats[w] = append(lats[w], time.Since(t2))
+					if status != 200 {
+						panic("benchserve: mixed warm query failed")
+					}
+				}
+			}(w)
+		}
+		close(start)
+		wg.Wait()
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	out := loadStats{ops: workers * waves * perWave, wall: wall}
+	for w := range lats {
+		out.latencies = append(out.latencies, lats[w]...)
+	}
+	if out.ops > 0 {
+		out.allocsPerOp = math.Round(float64(after.Mallocs-before.Mallocs)/float64(out.ops)*1000) / 1000
+	}
+	return out
+}
+
+// warmQueries builds the hit-regime working set: small distinct profiles.
+func warmQueries(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("profile=1,0.75,0.5,0.%03d", i+100)
+	}
+	return out
+}
+
+// warmServer primes every warm key so the measured run is pure hits.
+func warmServer(s *api.Server, warm []string) {
+	for _, q := range warm {
+		if status, _ := s.MeasureQuery(q); status != 200 {
+			panic("benchserve: warmup failed: " + q)
+		}
+	}
+}
+
+// largeProfileQuery renders an n-computer profile with short (3-decimal)
+// spellings — realistic measured utilizations, and a query whose parse cost
+// is dominated by element count rather than digit count.
+func largeProfileQuery(n int) string {
+	rng := stats.NewRNG(uint64(n))
+	p := profile.RandomNormalized(rng, n)
+	var b strings.Builder
+	b.Grow(8 + 6*n)
+	b.WriteString("profile=")
+	for i, rho := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		r := math.Round(rho*1000) / 1000
+		if r < 0.001 {
+			r = 0.001
+		}
+		if r > 1 {
+			r = 1
+		}
+		if i == 0 {
+			r = 1 // keep the profile normalized after rounding
+		}
+		b.WriteString(strconv.FormatFloat(r, 'g', -1, 64))
+	}
+	return b.String()
+}

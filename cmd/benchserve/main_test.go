@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hetero/internal/api"
+)
+
+func TestBuildReportQuick(t *testing.T) {
+	rep := buildReport(true)
+	if len(rep.Regimes) != 4 {
+		t.Fatalf("%d regimes, want 4", len(rep.Regimes))
+	}
+	names := map[string]bool{}
+	for _, r := range rep.Regimes {
+		names[r.Name] = true
+		if r.Requests <= 0 {
+			t.Fatalf("regime %s: no requests", r.Name)
+		}
+		if r.BaselineOpsPerSec <= 0 || r.TunedOpsPerSec <= 0 {
+			t.Fatalf("regime %s: non-positive throughput: %+v", r.Name, r)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("regime %s: non-positive speedup", r.Name)
+		}
+		if r.TunedP99Ms < r.TunedP50Ms {
+			t.Fatalf("regime %s: p99 %v < p50 %v", r.Name, r.TunedP99Ms, r.TunedP50Ms)
+		}
+	}
+	for _, want := range []string{"hit", "miss", "mixed", "large_n"} {
+		if !names[want] {
+			t.Fatalf("missing regime %q", want)
+		}
+	}
+	if rep.GOMAXPROCS < 8 {
+		t.Fatalf("GOMAXPROCS = %d, want ≥ 8 (the certificate's environment)", rep.GOMAXPROCS)
+	}
+	// The document must round-trip as JSON (it becomes BENCH_serve.json).
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeProfileQueryIsValid(t *testing.T) {
+	q := largeProfileQuery(512)
+	if len(q) < 512 {
+		t.Fatalf("suspiciously short query: %d bytes", len(q))
+	}
+	s := api.NewServer()
+	if status, _ := s.MeasureQuery(q); status != 200 {
+		t.Fatalf("large profile query rejected: status %d", status)
+	}
+}

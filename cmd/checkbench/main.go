@@ -1,0 +1,74 @@
+// Command checkbench guards the repository's benchmark certificates. Each
+// BENCH_*.json document is produced by its generator (cmd/benchincr,
+// cmd/benchfault, cmd/benchserve) with a top-level "pass" flag that encodes
+// that generator's acceptance thresholds; checkbench verifies every
+// document exists, parses, and passed, and exits non-zero otherwise — the
+// hook `make check` uses to fail a build whose perf claims regressed.
+//
+//	go run ./cmd/checkbench                  # checks the default three
+//	go run ./cmd/checkbench A.json B.json    # checks an explicit list
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// defaultDocs are the certificates `make bench` regenerates.
+var defaultDocs = []string{"BENCH_incr.json", "BENCH_fault.json", "BENCH_serve.json"}
+
+func main() {
+	docs := os.Args[1:]
+	if len(docs) == 0 {
+		docs = defaultDocs
+	}
+	failures := 0
+	for _, path := range docs {
+		if err := checkDoc(path); err != nil {
+			fmt.Fprintf(os.Stderr, "checkbench: %s: %v\n", path, err)
+			failures++
+			continue
+		}
+		fmt.Printf("checkbench: %s ok\n", path)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "checkbench: %d of %d certificates failed (run `make bench` to regenerate)\n",
+			failures, len(docs))
+		os.Exit(1)
+	}
+}
+
+// checkDoc validates one certificate: it must parse as a JSON object whose
+// "pass" field is boolean true. Documents with per-regime thresholds
+// (BENCH_serve.json) additionally have every "meets_threshold" checked, so
+// a hand-edited pass flag cannot mask a failed regime.
+func checkDoc(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	pass, ok := doc["pass"].(bool)
+	if !ok {
+		return fmt.Errorf(`missing boolean "pass" field`)
+	}
+	if !pass {
+		return fmt.Errorf("certificate reports pass = false")
+	}
+	if regimes, ok := doc["regimes"].([]interface{}); ok {
+		for _, r := range regimes {
+			regime, ok := r.(map[string]interface{})
+			if !ok {
+				return fmt.Errorf("malformed regimes entry")
+			}
+			if met, ok := regime["meets_threshold"].(bool); ok && !met {
+				return fmt.Errorf("regime %v misses its threshold", regime["name"])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeDoc(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckDoc(t *testing.T) {
+	cases := []struct {
+		name    string
+		content string
+		wantErr bool
+	}{
+		{"passing", `{"pass": true}`, false},
+		{"failing", `{"pass": false}`, true},
+		{"missing pass", `{"speedup": 12}`, true},
+		{"pass not boolean", `{"pass": "true"}`, true},
+		{"not json", `{pass: yes}`, true},
+		{"regimes all met", `{"pass": true, "regimes": [{"name": "mixed", "meets_threshold": true}]}`, false},
+		{"regime missed but pass forged", `{"pass": true, "regimes": [{"name": "mixed", "meets_threshold": false}]}`, true},
+	}
+	for _, tc := range cases {
+		path := writeDoc(t, "doc.json", tc.content)
+		err := checkDoc(path)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr = %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestCheckDocMissingFile(t *testing.T) {
+	if err := checkDoc(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -13,6 +13,13 @@
 // every request carries a -request-timeout context deadline; handler panics
 // become JSON 500s; and SIGINT/SIGTERM trigger a graceful drain before
 // exit.
+//
+// For profiling in production, -pprof-addr exposes net/http/pprof on a
+// separate listener (off by default; bind it to localhost or a management
+// network, never the serving address):
+//
+//	heterod -addr :8080 -pprof-addr 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,7 +49,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("heterod", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
+	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof on a separate listener (empty disables; keep it off public interfaces)")
 	cacheSize := fs.Int("cache-size", api.DefaultMeasureCacheSize, "bound on the /v1/measure response cache (0 disables)")
+	cacheShards := fs.Int("cache-shards", 0, "lock shards for the measure cache (0 = automatic, rounded down to a power of two)")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
@@ -57,7 +67,25 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	apiSrv := api.NewServerCacheSize(*cacheSize)
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		pprofSrv := &http.Server{
+			Handler:           pprofHandler(),
+			ReadHeaderTimeout: *readHeaderTimeout,
+		}
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("heterod pprof: %v", err)
+			}
+		}()
+		log.Printf("heterod pprof listening on %s", pln.Addr())
+		defer pprofSrv.Close()
+	}
+	apiSrv := api.NewServerCacheOpts(*cacheSize, *cacheShards, true)
 	apiSrv.Serving = api.ServingConfig{
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queueDepth,
@@ -73,6 +101,20 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return serve(ctx, ln, srv, *grace)
+}
+
+// pprofHandler builds the mux served on -pprof-addr. The handlers are
+// registered explicitly on a dedicated mux — importing net/http/pprof for
+// its DefaultServeMux side effect would silently expose the profiler on
+// the serving address too.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs srv on ln until ctx is cancelled (a termination signal in

@@ -61,6 +61,7 @@ type Server struct {
 	Serving ServingConfig
 
 	cache         *responseCache
+	rawCache      *responseCache // raw-query front layer for large queries
 	batchRequests atomic.Uint64
 	batchProfiles atomic.Uint64
 
@@ -78,9 +79,32 @@ type Server struct {
 func NewServer() *Server { return NewServerCacheSize(DefaultMeasureCacheSize) }
 
 // NewServerCacheSize returns a server with an explicit /v1/measure cache
-// bound; cacheSize ≤ 0 disables response caching.
+// bound; cacheSize ≤ 0 disables response caching. The cache is sharded
+// automatically and coalesces concurrent identical misses.
 func NewServerCacheSize(cacheSize int) *Server {
-	return &Server{Defaults: model.Table1(), cache: newResponseCache(cacheSize)}
+	return &Server{
+		Defaults: model.Table1(),
+		cache:    newResponseCache(cacheSize),
+		rawCache: newResponseCache(cacheSize),
+	}
+}
+
+// NewServerCacheOpts returns a server with full cache control: shards is
+// the lock-domain count (0 means automatic, values round down to a power of
+// two) and coalesce toggles singleflight miss coalescing. shards = 1 with
+// coalesce = false reproduces the historical single-lock cache — the
+// baseline configuration cmd/benchserve measures speedups against; that
+// baseline also runs without the raw-query front layer.
+func NewServerCacheOpts(cacheSize, shards int, coalesce bool) *Server {
+	rawSize := cacheSize
+	if !coalesce {
+		rawSize = 0 // historical baseline: canonical single-lock cache only
+	}
+	return &Server{
+		Defaults: model.Table1(),
+		cache:    newResponseCacheOpts(cacheSize, shards, coalesce),
+		rawCache: newResponseCacheOpts(rawSize, shards, coalesce),
+	}
 }
 
 // Handler returns the HTTP handler with all routes mounted, wrapped in the
@@ -89,6 +113,9 @@ func NewServerCacheSize(cacheSize int) *Server {
 func (s *Server) Handler() http.Handler {
 	if s.cache == nil { // zero-constructed Server literals keep working
 		s.cache = newResponseCache(DefaultMeasureCacheSize)
+	}
+	if s.rawCache == nil {
+		s.rawCache = newResponseCache(s.cache.capacity)
 	}
 	s.initServing()
 	mux := http.NewServeMux()
@@ -129,31 +156,18 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	m, err := s.paramsFromQuery(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	p, err := profileFromString(r.URL.Query().Get("profile"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
 	// The cache stores fully rendered bodies keyed on the exact float64
 	// values, so a hit serves byte-identical JSON to the miss that filled it
-	// — no matter how the query spelled the numbers.
-	key := CanonicalKey(m, p)
-	if body, ok := s.cache.Get(key); ok {
-		writeRawJSON(w, http.StatusOK, body)
+	// — no matter how the query spelled the numbers. The whole path runs on
+	// pooled scratch (see measurepath.go): zero allocations on a hit,
+	// singleflight-coalesced evaluation on a miss.
+	sc := measureScratchPool.Get().(*measureScratch)
+	status, body, msg := s.measure(sc, r.URL.RawQuery)
+	measureScratchPool.Put(sc)
+	if status != http.StatusOK {
+		writeError(w, status, msg)
 		return
 	}
-	body, err := json.Marshal(measureResponse(m, p))
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	body = append(body, '\n')
-	s.cache.Put(key, body)
 	writeRawJSON(w, http.StatusOK, body)
 }
 
@@ -241,13 +255,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Count: len(results), Results: results})
 }
 
-// CacheStats is the /v1/statz view of the measure cache.
+// CacheStats is the /v1/statz view of the measure cache. Misses counts
+// actual evaluations; Coalesced counts requests that piggybacked on another
+// request's in-flight evaluation of the same key (singleflight). Hits and
+// Coalesced include the raw-query front layer (broken out in RawHits and
+// RawCoalesced): a request resolves at exactly one layer, so Hits + Misses
+// + Coalesced equals the measure request count either way.
 type CacheStats struct {
-	Hits     uint64  `json:"hits"`
-	Misses   uint64  `json:"misses"`
-	Size     int     `json:"size"`
-	Capacity int     `json:"capacity"`
-	HitRate  float64 `json:"hit_rate"`
+	Hits         uint64  `json:"hits"`
+	Misses       uint64  `json:"misses"`
+	Coalesced    uint64  `json:"coalesced"`
+	Evicted      uint64  `json:"evicted"`
+	RawHits      uint64  `json:"raw_hits"`
+	RawCoalesced uint64  `json:"raw_coalesced"`
+	Size         int     `json:"size"`
+	Capacity     int     `json:"capacity"`
+	Shards       int     `json:"shards"`
+	HitRate      float64 `json:"hit_rate"`
 }
 
 // BatchStats is the /v1/statz view of the batch endpoint.
@@ -278,10 +302,19 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	hits, misses, size, capacity := s.cache.Stats()
-	cs := CacheStats{Hits: hits, Misses: misses, Size: size, Capacity: capacity}
-	if total := hits + misses; total > 0 {
-		cs.HitRate = float64(hits) / float64(total)
+	hits, misses, size, coalesced, evicted := s.cache.statsFull()
+	cs := CacheStats{
+		Hits: hits, Misses: misses, Coalesced: coalesced, Evicted: evicted,
+		Size: size, Capacity: s.cache.capacity, Shards: s.cache.Shards(),
+	}
+	if s.rawCache != nil {
+		rawHits, _, _, rawCoalesced, _ := s.rawCache.statsFull()
+		cs.RawHits, cs.RawCoalesced = rawHits, rawCoalesced
+		cs.Hits += rawHits
+		cs.Coalesced += rawCoalesced
+	}
+	if total := cs.Hits + cs.Misses + cs.Coalesced; total > 0 {
+		cs.HitRate = float64(cs.Hits+cs.Coalesced) / float64(total)
 	}
 	writeJSON(w, http.StatusOK, StatzResponse{
 		MeasureCache: cs,

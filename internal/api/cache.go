@@ -2,6 +2,7 @@ package api
 
 import (
 	"container/list"
+	"fmt"
 	"strconv"
 	"strings"
 	"sync"
@@ -15,63 +16,127 @@ import (
 // exact and round-trippable: two requests share a key iff every parameter
 // and every ρ is the same float64, regardless of how the query spelled them
 // ("0.5", "5e-1" and "0.50" all canonicalize identically).
+//
+// The serving hot path builds the same bytes allocation-free through
+// appendCanonicalKey; this wrapper exists for callers that want a string.
 func CanonicalKey(m model.Params, p profile.Profile) string {
-	var b strings.Builder
-	b.Grow(24 * (len(p) + 3))
-	b.WriteString(strconv.FormatFloat(m.Tau, 'x', -1, 64))
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatFloat(m.Pi, 'x', -1, 64))
-	b.WriteByte('|')
-	b.WriteString(strconv.FormatFloat(m.Delta, 'x', -1, 64))
-	for i, rho := range p {
-		if i == 0 {
-			b.WriteByte('|')
-		} else {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.FormatFloat(rho, 'x', -1, 64))
-	}
-	return b.String()
+	return string(appendCanonicalKey(make([]byte, 0, 24*(len(p)+3)), m, p))
 }
 
-// ParseCanonicalKey inverts CanonicalKey. It exists so the fuzzer can prove
-// the key is lossless: parse(key(m, p)) must reproduce m and p exactly.
-func ParseCanonicalKey(key string) (model.Params, profile.Profile, error) {
-	parts := strings.SplitN(key, "|", 4)
-	if len(parts) < 3 {
-		return model.Params{}, nil, strconv.ErrSyntax
+// appendCanonicalKey appends the canonical key for (m, p) to dst and returns
+// the extended slice — the zero-allocation spelling of CanonicalKey used by
+// the measure hot path (dst comes from a pooled scratch buffer).
+func appendCanonicalKey(dst []byte, m model.Params, p []float64) []byte {
+	dst = strconv.AppendFloat(dst, m.Tau, 'x', -1, 64)
+	dst = append(dst, '|')
+	dst = strconv.AppendFloat(dst, m.Pi, 'x', -1, 64)
+	dst = append(dst, '|')
+	dst = strconv.AppendFloat(dst, m.Delta, 'x', -1, 64)
+	for i, rho := range p {
+		if i == 0 {
+			dst = append(dst, '|')
+		} else {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendFloat(dst, rho, 'x', -1, 64)
 	}
+	return dst
+}
+
+// ParseCanonicalKey inverts CanonicalKey, strictly: it accepts exactly the
+// image of CanonicalKey on valid inputs and errors on everything else —
+// empty or trailing fields ("...|1," or "a||b"), missing profiles,
+// non-finite or out-of-range values, and non-canonical float spellings. It
+// exists so the fuzzer can prove the key is lossless and unambiguous:
+// parse(key(m, p)) must reproduce m and p exactly, and no malformed key may
+// parse (let alone panic).
+func ParseCanonicalKey(key string) (model.Params, profile.Profile, error) {
 	var m model.Params
+	rest := key
 	for i, dst := range []*float64{&m.Tau, &m.Pi, &m.Delta} {
-		v, err := strconv.ParseFloat(parts[i], 64)
+		field, tail, found := strings.Cut(rest, "|")
+		if !found {
+			return model.Params{}, nil, fmt.Errorf("api: canonical key %q: fewer than 4 |-fields", key)
+		}
+		v, err := parseKeyField(field)
 		if err != nil {
-			return model.Params{}, nil, err
+			return model.Params{}, nil, fmt.Errorf("api: canonical key param %d: %w", i, err)
 		}
 		*dst = v
+		rest = tail
 	}
-	var p profile.Profile
-	if len(parts) == 4 {
-		for _, field := range strings.Split(parts[3], ",") {
-			v, err := strconv.ParseFloat(field, 64)
-			if err != nil {
-				return model.Params{}, nil, err
-			}
-			p = append(p, v)
+	var rhos []float64
+	for {
+		field, tail, found := strings.Cut(rest, ",")
+		v, err := parseKeyField(field)
+		if err != nil {
+			return model.Params{}, nil, fmt.Errorf("api: canonical key ρ[%d]: %w", len(rhos), err)
 		}
+		rhos = append(rhos, v)
+		if !found {
+			break
+		}
+		rest = tail
+	}
+	if err := m.Validate(); err != nil {
+		return model.Params{}, nil, fmt.Errorf("api: canonical key params: %w", err)
+	}
+	p, err := profile.New(rhos...)
+	if err != nil {
+		return model.Params{}, nil, fmt.Errorf("api: canonical key profile: %w", err)
+	}
+	// A decodable key must also be in canonical spelling, or two spellings of
+	// one cluster could masquerade as distinct keys.
+	if CanonicalKey(m, p) != key {
+		return model.Params{}, nil, fmt.Errorf("api: key %q is not in canonical form", key)
 	}
 	return m, p, nil
 }
 
-// responseCache is a bounded, mutex-guarded LRU over fully rendered JSON
-// responses. Storing the bytes (not the structs) guarantees a hit serves
-// exactly what the miss served.
+// parseKeyField parses one |- or ,-delimited canonical-key field, rejecting
+// the empty fields that trailing or doubled separators produce.
+func parseKeyField(field string) (float64, error) {
+	if field == "" {
+		return 0, fmt.Errorf("empty field (trailing or doubled separator)")
+	}
+	return strconv.ParseFloat(field, 64)
+}
+
+// responseCache is a sharded, bounded LRU over fully rendered JSON responses
+// with singleflight miss coalescing. Storing the bytes (not the structs)
+// guarantees a hit serves exactly what the miss served.
+//
+// Keys hash (FNV-1a) to one of a power-of-two number of shards, each with
+// its own lock, LRU list and in-flight table, so concurrent requests for
+// different keys contend only when they collide on a shard. Small caches
+// collapse to one shard, which preserves the exact global-LRU semantics the
+// pre-sharding implementation had (and the tests pin).
 type responseCache struct {
+	shards []cacheShard
+	mask   uint64
+	// capacity is the global entry bound (the sum of per-shard bounds);
+	// ≤ 0 disables caching entirely (every Get is a miss, Put is a no-op,
+	// and misses are never coalesced — matching the uncached baseline).
+	capacity int
+	// coalesce enables singleflight miss coalescing: concurrent fill calls
+	// for one key run the compute closure once and share the result. Off in
+	// the single-lock baseline configuration benchserve compares against.
+	coalesce bool
+}
+
+// cacheShard is one lock domain: an LRU bounded to capacity entries plus
+// the singleflight table for keys currently being computed.
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	order    *list.List // front = most recently used; values are *cacheEntry
 	entries  map[string]*list.Element
-	hits     uint64
-	misses   uint64
+	flight   map[string]*flightCall
+
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	evicted   uint64
 }
 
 type cacheEntry struct {
@@ -79,54 +144,344 @@ type cacheEntry struct {
 	body []byte
 }
 
-// newResponseCache returns a cache bounded to capacity entries; capacity
-// ≤ 0 disables caching (every Get is a miss and Put is a no-op).
-func newResponseCache(capacity int) *responseCache {
-	return &responseCache{
-		capacity: capacity,
-		order:    list.New(),
-		entries:  make(map[string]*list.Element),
-	}
+// flightCall is one in-progress miss evaluation; waiters block on done and
+// then read body/err (written before done is closed).
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
 }
 
-// Get returns the cached body for key, counting the hit or miss.
-func (c *responseCache) Get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
+const (
+	// cacheMinPerShard is the smallest per-shard capacity worth sharding
+	// for; below it the cache stays single-sharded so tiny caches keep
+	// exact global LRU eviction order.
+	cacheMinPerShard = 8
+	// cacheMaxShards bounds the automatic shard count (a power of two).
+	cacheMaxShards = 16
+)
+
+// autoShards picks the shard count for a capacity: the largest power of two
+// ≤ capacity/cacheMinPerShard, clamped to [1, cacheMaxShards].
+func autoShards(capacity int) int {
+	shards := 1
+	for shards*2 <= capacity/cacheMinPerShard && shards*2 <= cacheMaxShards {
+		shards *= 2
+	}
+	return shards
+}
+
+// newResponseCache returns a cache bounded to capacity entries with the
+// automatic shard count and coalescing on; capacity ≤ 0 disables caching.
+func newResponseCache(capacity int) *responseCache {
+	return newResponseCacheOpts(capacity, 0, true)
+}
+
+// newResponseCacheOpts returns a cache with an explicit shard count (0 means
+// automatic; other values round down to a power of two) and coalescing
+// toggle. shards = 1, coalesce = false reproduces the pre-sharding
+// single-lock cache exactly — the baseline configuration for benchserve.
+func newResponseCacheOpts(capacity, shards int, coalesce bool) *responseCache {
+	if capacity <= 0 {
+		// Disabled: one counter-only shard so Stats still works.
+		c := &responseCache{capacity: capacity}
+		c.shards = make([]cacheShard, 1)
+		c.shards[0].init(0)
+		return c
+	}
+	if shards <= 0 {
+		shards = autoShards(capacity)
+	}
+	pow2 := 1
+	for pow2*2 <= shards {
+		pow2 *= 2
+	}
+	shards = pow2
+	c := &responseCache{
+		shards:   make([]cacheShard, shards),
+		mask:     uint64(shards - 1),
+		capacity: capacity,
+		coalesce: coalesce,
+	}
+	// Distribute the global bound across shards, giving the remainder to the
+	// first shards so the per-shard bounds sum exactly to capacity.
+	base, rem := capacity/shards, capacity%shards
+	for i := range c.shards {
+		cap := base
+		if i < rem {
+			cap++
+		}
+		if cap < 1 {
+			cap = 1
+		}
+		c.shards[i].init(cap)
+	}
+	return c
+}
+
+func (sh *cacheShard) init(capacity int) {
+	sh.capacity = capacity
+	sh.order = list.New()
+	sh.entries = make(map[string]*list.Element)
+	sh.flight = make(map[string]*flightCall)
+}
+
+// hashKey is FNV-1a over the key bytes — allocation-free and good enough to
+// spread canonical keys (which differ in their float bits) across shards.
+func hashKey(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// hashString is hashKey over a string — same FNV-1a, no conversion.
+func hashString(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (c *responseCache) shard(h uint64) *cacheShard {
+	return &c.shards[h&c.mask]
+}
+
+// lookup returns the cached body for the key bytes, counting a hit when
+// found. Misses are NOT counted here — the fill that follows counts them —
+// so the lookup+fill hot path counts each evaluation exactly once. The hit
+// path performs no allocation: the map is probed via the compiler's
+// string(bytes) lookup optimization.
+func (c *responseCache) lookup(h uint64, key []byte) ([]byte, bool) {
+	if c.capacity <= 0 {
 		return nil, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	sh := c.shard(h)
+	sh.mu.Lock()
+	el, ok := sh.entries[string(key)]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.hits++
+	sh.order.MoveToFront(el)
+	body := el.Value.(*cacheEntry).body
+	sh.mu.Unlock()
+	return body, true
 }
 
-// Put stores body under key, evicting the least recently used entry when
-// over capacity.
+// lookupStr is lookup for callers that already hold the key as a string —
+// the raw-query front layer, whose key is the unparsed RawQuery itself. The
+// hit path performs no allocation.
+func (c *responseCache) lookupStr(h uint64, key string) ([]byte, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	sh := c.shard(h)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.hits++
+	sh.order.MoveToFront(el)
+	body := el.Value.(*cacheEntry).body
+	sh.mu.Unlock()
+	return body, true
+}
+
+// fillStr is fill for string keys (see lookupStr); identical semantics.
+func (c *responseCache) fillStr(h uint64, key string, compute func() ([]byte, error)) (body []byte, coalesced bool, err error) {
+	if c.capacity <= 0 {
+		sh := &c.shards[0]
+		sh.mu.Lock()
+		sh.misses++
+		sh.mu.Unlock()
+		body, err = compute()
+		return body, false, err
+	}
+	sh := c.shard(h)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.hits++
+		sh.order.MoveToFront(el)
+		body = el.Value.(*cacheEntry).body
+		sh.mu.Unlock()
+		return body, false, nil
+	}
+	if c.coalesce {
+		if fc, ok := sh.flight[key]; ok {
+			sh.coalesced++
+			sh.mu.Unlock()
+			<-fc.done
+			return fc.body, true, fc.err
+		}
+	}
+	sh.misses++
+	var fc *flightCall
+	if c.coalesce {
+		fc = &flightCall{done: make(chan struct{})}
+		sh.flight[key] = fc
+	}
+	sh.mu.Unlock()
+
+	body, err = compute()
+
+	sh.mu.Lock()
+	if fc != nil {
+		delete(sh.flight, key)
+	}
+	if err == nil {
+		sh.insertLocked(key, body)
+	}
+	sh.mu.Unlock()
+	if fc != nil {
+		fc.body, fc.err = body, err
+		close(fc.done)
+	}
+	return body, false, err
+}
+
+// fill completes a miss: it re-checks the entry under the shard lock, joins
+// an in-flight computation for the same key when coalescing is on, or runs
+// compute itself and publishes the result. The returned coalesced flag
+// reports that this call waited on another goroutine's evaluation. Errors
+// are propagated to every waiter and nothing is cached.
+func (c *responseCache) fill(h uint64, key []byte, compute func() ([]byte, error)) (body []byte, coalesced bool, err error) {
+	if c.capacity <= 0 {
+		sh := &c.shards[0]
+		sh.mu.Lock()
+		sh.misses++
+		sh.mu.Unlock()
+		body, err = compute()
+		return body, false, err
+	}
+	sh := c.shard(h)
+	sh.mu.Lock()
+	// Re-check: another goroutine may have published between our lookup miss
+	// and this lock acquisition.
+	if el, ok := sh.entries[string(key)]; ok {
+		sh.hits++
+		sh.order.MoveToFront(el)
+		body = el.Value.(*cacheEntry).body
+		sh.mu.Unlock()
+		return body, false, nil
+	}
+	if c.coalesce {
+		if fc, ok := sh.flight[string(key)]; ok {
+			sh.coalesced++
+			sh.mu.Unlock()
+			<-fc.done
+			return fc.body, true, fc.err
+		}
+	}
+	sh.misses++
+	var fc *flightCall
+	if c.coalesce {
+		fc = &flightCall{done: make(chan struct{})}
+		sh.flight[string(key)] = fc
+	}
+	sh.mu.Unlock()
+
+	body, err = compute()
+
+	sh.mu.Lock()
+	if fc != nil {
+		delete(sh.flight, string(key))
+	}
+	if err == nil {
+		sh.insertLocked(string(key), body)
+	}
+	sh.mu.Unlock()
+	if fc != nil {
+		fc.body, fc.err = body, err
+		close(fc.done)
+	}
+	return body, false, err
+}
+
+// insertLocked stores body under key in the shard's LRU, evicting from the
+// cold end while over the shard bound. Callers hold sh.mu.
+func (sh *cacheShard) insertLocked(key string, body []byte) {
+	if sh.capacity <= 0 {
+		return
+	}
+	if el, ok := sh.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		sh.order.MoveToFront(el)
+		return
+	}
+	sh.entries[key] = sh.order.PushFront(&cacheEntry{key: key, body: body})
+	for sh.order.Len() > sh.capacity {
+		oldest := sh.order.Back()
+		sh.order.Remove(oldest)
+		delete(sh.entries, oldest.Value.(*cacheEntry).key)
+		sh.evicted++
+	}
+}
+
+// Get returns the cached body for key, counting the hit or miss — the
+// string-keyed convenience wrapper the tests and non-hot callers use.
+func (c *responseCache) Get(key string) ([]byte, bool) {
+	kb := []byte(key)
+	h := hashKey(kb)
+	if body, ok := c.lookup(h, kb); ok {
+		return body, true
+	}
+	sh := c.shard(h)
+	sh.mu.Lock()
+	sh.misses++
+	sh.mu.Unlock()
+	return nil, false
+}
+
+// Put stores body under key, evicting least recently used entries of the
+// key's shard when over its bound.
 func (c *responseCache) Put(key string, body []byte) {
 	if c.capacity <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		el.Value.(*cacheEntry).body = body
-		c.order.MoveToFront(el)
-		return
-	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
-	for c.order.Len() > c.capacity {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-	}
+	sh := c.shard(hashKey([]byte(key)))
+	sh.mu.Lock()
+	sh.insertLocked(key, body)
+	sh.mu.Unlock()
 }
 
-// Stats reports the cache counters and current occupancy.
+// Stats reports the cache counters and current occupancy, summed over
+// shards.
 func (c *responseCache) Stats() (hits, misses uint64, size, capacity int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.order.Len(), c.capacity
+	hits, misses, size, _, _ = c.statsFull()
+	return hits, misses, size, c.capacity
 }
+
+// statsFull is Stats plus the sharding-era counters.
+func (c *responseCache) statsFull() (hits, misses uint64, size int, coalesced, evicted uint64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		coalesced += sh.coalesced
+		evicted += sh.evicted
+		size += sh.order.Len()
+		sh.mu.Unlock()
+	}
+	return
+}
+
+// Shards reports how many lock domains the cache has (1 when disabled or
+// small).
+func (c *responseCache) Shards() int { return len(c.shards) }

@@ -99,3 +99,55 @@ func FuzzFaultPlanParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseCanonicalKey drives the strict parser with arbitrary strings —
+// the direction FuzzCanonicalKey cannot cover. The contract:
+//
+//  1. it never panics, whatever the input;
+//  2. malformed keys (trailing or empty fields, missing profile, junk
+//     floats, out-of-range values, non-canonical spellings) always error;
+//  3. anything accepted is a fixed point: re-rendering the parsed values
+//     reproduces the input byte-for-byte, and re-parsing agrees exactly.
+func FuzzParseCanonicalKey(f *testing.F) {
+	// Well-formed keys.
+	f.Add(CanonicalKey(model.Table1(), []float64{1, 0.5, 0.25}))
+	f.Add(CanonicalKey(model.Figs34(), []float64{1}))
+	// Malformed: trailing/empty fields, wrong arity, junk.
+	f.Add("0x1p-20|0x1.4p-17|0x1p+00|0x1p+00,")
+	f.Add("0x1p-20|0x1.4p-17|0x1p+00|,0x1p+00")
+	f.Add("0x1p-20|0x1.4p-17|0x1p+00||0x1p+00")
+	f.Add("0x1p-20|0x1.4p-17|0x1p+00")
+	f.Add("1|2")
+	f.Add("")
+	f.Add("NaN|0x1.4p-17|0x1p+00|0x1p+00")
+	f.Add("+Inf|0x1.4p-17|0x1p+00|0x1p+00")
+	f.Add("1e-6|1e-5|1|1,0.5") // decimal spellings are not canonical
+	f.Fuzz(func(t *testing.T, key string) {
+		m, p, err := ParseCanonicalKey(key)
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted params fail validation: %v (key %q)", verr, key)
+		}
+		if len(p) == 0 {
+			t.Fatalf("accepted an empty profile (key %q)", key)
+		}
+		again := CanonicalKey(m, p)
+		if again != key {
+			t.Fatalf("accepted key is not canonical: %q re-renders as %q", key, again)
+		}
+		m2, p2, err := ParseCanonicalKey(again)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", again, err)
+		}
+		if m2 != m || len(p2) != len(p) {
+			t.Fatalf("re-parse of %q disagrees: %+v vs %+v", again, m2, m)
+		}
+		for i := range p {
+			if p2[i] != p[i] {
+				t.Fatalf("re-parse ρ[%d]: %v vs %v", i, p2[i], p[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,316 @@
+package api
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hetero/internal/incr"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// The /v1/measure hot path. GET /v1/measure is the service's dominant
+// traffic shape, and — FIFO optimality depending only on the profile — the
+// steady state is overwhelmingly cache hits. This file makes that steady
+// state allocation-free: the query is parsed by slicing the raw string (no
+// url.Values map), the canonical key is built into a pooled byte buffer,
+// and the cache is probed with the compiler's string(bytes) map-lookup
+// optimization. The alloc gates in measure_alloc_test.go pin the cached
+// path to 0 allocs/op and bound the miss path.
+//
+// Pool ownership rule: a measureScratch belongs to exactly one request from
+// Get to Put; nothing it holds may outlive the request. Bodies handed to
+// the caller are either cache-owned (stable) or freshly copied, never
+// aliases of scratch memory.
+
+// measureScratch carries the per-request buffers of the measure hot path.
+type measureScratch struct {
+	rhos []float64 // decoded profile
+	key  []byte    // canonical cache key
+	enc  []byte    // JSON encoding buffer (miss path)
+}
+
+var measureScratchPool = sync.Pool{
+	New: func() interface{} {
+		return &measureScratch{
+			rhos: make([]float64, 0, 64),
+			key:  make([]byte, 0, 512),
+			enc:  make([]byte, 0, 1024),
+		}
+	},
+}
+
+// MeasureQuery runs the /v1/measure hot path for a raw query string without
+// the HTTP layer: parse, canonicalize, cache lookup, and on a miss the
+// (possibly chunked-parallel) evaluation plus JSON encoding. It returns the
+// HTTP status and, for status 200, the response body. It exists so the
+// benchmark harness (cmd/benchserve) and the allocation gates can measure
+// the serving path proper, free of net/http and ResponseWriter overhead.
+// The returned body is cache-owned or freshly allocated — never scratch —
+// so it remains valid after the call.
+func (s *Server) MeasureQuery(rawQuery string) (status int, body []byte) {
+	if s.cache == nil {
+		s.cache = newResponseCache(DefaultMeasureCacheSize)
+	}
+	if s.rawCache == nil {
+		s.rawCache = newResponseCache(s.cache.capacity)
+	}
+	sc := measureScratchPool.Get().(*measureScratch)
+	status, body, _ = s.measure(sc, rawQuery)
+	measureScratchPool.Put(sc)
+	return status, body
+}
+
+// rawFastPathMinQuery is the query length at which the raw-query front
+// cache engages. Parsing and canonical-key building cost O(len(query)); for
+// large profiles they rival the evaluation itself, so a herd of identical
+// large requests gains little from coalescing at the canonical layer alone
+// — every member still pays the parse. Above this threshold the raw
+// RawQuery string is itself a cache key checked before any parsing: an
+// exact-spelling hit (or coalesced wait) skips the parse entirely. Below
+// it, parsing costs microseconds and the canonical layer's exact-LRU
+// behavior (which small-cache tests pin) is preserved untouched.
+const rawFastPathMinQuery = 4096
+
+// statusError carries a non-200 outcome through the raw layer's
+// singleflight so every coalesced waiter of a malformed herd receives the
+// same status and message, and nothing is cached.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// measure is the hot path shared by handleMeasure and MeasureQuery. On
+// error it returns (status, nil, message); on success (200, body, "").
+//
+// Large queries go through the raw-query front cache first — exact
+// RawQuery string → body, nginx-style — so repeated identical spellings
+// skip the parse. Different spellings of the same cluster still unify at
+// the canonical layer below. The raw layer never caches errors, and its
+// mapping is deterministic (the response depends only on the query), so a
+// raw entry outliving its canonical twin still serves correct bytes.
+func (s *Server) measure(sc *measureScratch, rawQuery string) (int, []byte, string) {
+	if len(rawQuery) >= rawFastPathMinQuery && s.rawCache != nil && s.rawCache.capacity > 0 {
+		h := hashString(rawQuery)
+		if body, ok := s.rawCache.lookupStr(h, rawQuery); ok {
+			return 200, body, ""
+		}
+		body, _, err := s.rawCache.fillStr(h, rawQuery, func() ([]byte, error) {
+			status, body, msg := s.measureCanonical(sc, rawQuery)
+			if status != 200 {
+				return nil, &statusError{status: status, msg: msg}
+			}
+			return body, nil
+		})
+		if err != nil {
+			if se, ok := err.(*statusError); ok {
+				return se.status, nil, se.msg
+			}
+			return 500, nil, err.Error()
+		}
+		return 200, body, ""
+	}
+	return s.measureCanonical(sc, rawQuery)
+}
+
+// measureCanonical is the canonical-key layer: parse, canonicalize, sharded
+// lookup, singleflight-coalesced evaluation on a miss.
+func (s *Server) measureCanonical(sc *measureScratch, rawQuery string) (int, []byte, string) {
+	m, status, msg := s.parseMeasureQuery(sc, rawQuery)
+	if status != 0 {
+		return status, nil, msg
+	}
+	sc.key = appendCanonicalKey(sc.key[:0], m, sc.rhos)
+	h := hashKey(sc.key)
+	if body, ok := s.cache.lookup(h, sc.key); ok {
+		return 200, body, ""
+	}
+	// Miss: evaluate and encode under singleflight, so a burst of identical
+	// misses costs one evaluation. The closure allocates (it escapes), which
+	// is part of the documented miss-path allocation budget.
+	body, _, err := s.cache.fill(h, sc.key, func() ([]byte, error) {
+		fm := incr.MeasureProfile(m, profile.Profile(sc.rhos), 0)
+		sc.enc = appendMeasureResponse(sc.enc[:0], sc.rhos, fm)
+		out := make([]byte, len(sc.enc))
+		copy(out, sc.enc)
+		return out, nil
+	})
+	if err != nil {
+		return 500, nil, err.Error()
+	}
+	return 200, body, ""
+}
+
+// parseMeasureQuery decodes profile/tau/pi/delta from the raw query by
+// slicing, replicating net/url.ParseQuery semantics for the measure
+// parameters: '&'-separated pairs, first occurrence wins, pairs containing
+// ';' are dropped, keys and values are percent-decoded ('+' means space).
+// The common unescaped spelling never allocates; escaped pairs take a
+// url.QueryUnescape fallback. Parameter errors are reported in the same
+// order as the pre-sharding handler: params first, then the profile.
+func (s *Server) parseMeasureQuery(sc *measureScratch, rawQuery string) (model.Params, int, string) {
+	m := s.Defaults
+	var profileVal, tauVal, piVal, deltaVal string
+	var sawProfile, sawTau, sawPi, sawDelta bool
+	rest := rawQuery
+	for rest != "" {
+		var pair string
+		pair, rest, _ = strings.Cut(rest, "&")
+		if pair == "" || strings.IndexByte(pair, ';') >= 0 {
+			continue // ParseQuery drops empty and semicolon-containing pairs
+		}
+		key, val, _ := strings.Cut(pair, "=")
+		key, ok := unescapeComponent(key)
+		if !ok {
+			continue // ParseQuery drops pairs whose key fails to unescape
+		}
+		switch key {
+		case "profile", "tau", "pi", "delta":
+		default:
+			continue
+		}
+		val, ok = unescapeComponent(val)
+		if !ok {
+			continue
+		}
+		switch key {
+		case "profile":
+			if !sawProfile {
+				profileVal, sawProfile = val, true
+			}
+		case "tau":
+			if !sawTau {
+				tauVal, sawTau = val, true
+			}
+		case "pi":
+			if !sawPi {
+				piVal, sawPi = val, true
+			}
+		case "delta":
+			if !sawDelta {
+				deltaVal, sawDelta = val, true
+			}
+		}
+	}
+	for _, f := range [3]struct {
+		name string
+		val  string
+		dst  *float64
+	}{{"tau", tauVal, &m.Tau}, {"pi", piVal, &m.Pi}, {"delta", deltaVal, &m.Delta}} {
+		if f.val == "" {
+			continue
+		}
+		parsed, err := strconv.ParseFloat(f.val, 64)
+		if err != nil {
+			return m, 400, "bad " + f.name + ": " + err.Error()
+		}
+		*f.dst = parsed
+	}
+	if err := m.Validate(); err != nil {
+		return m, 400, err.Error()
+	}
+	if profileVal == "" {
+		return m, 400, "missing profile"
+	}
+	sc.rhos = sc.rhos[:0]
+	rest = profileVal
+	for {
+		part, tail, found := strings.Cut(rest, ",")
+		part = strings.TrimSpace(part)
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return m, 400, fmt.Sprintf("bad ρ-value %q", part)
+		}
+		if msg := checkRhoValue(len(sc.rhos), v); msg != "" {
+			return m, 400, msg
+		}
+		sc.rhos = append(sc.rhos, v)
+		if !found {
+			break
+		}
+		rest = tail
+	}
+	return m, 0, ""
+}
+
+// checkRhoValue applies profile.New's admission checks to one decoded ρ
+// without building a Profile, returning the same message text.
+func checkRhoValue(i int, r float64) string {
+	switch {
+	case math.IsNaN(r) || math.IsInf(r, 0):
+		return fmt.Sprintf("profile: ρ[%d] = %v is not finite", i, r)
+	case r <= 0:
+		return fmt.Sprintf("profile: ρ[%d] = %v must be positive", i, r)
+	case r > 1:
+		return fmt.Sprintf("profile: ρ[%d] = %v exceeds 1; normalize so the slowest computer has ρ = 1", i, r)
+	}
+	return ""
+}
+
+// unescapeComponent percent-decodes one query component. The fast path —
+// no '%' or '+' — returns the input unchanged without allocating; anything
+// else takes the url.QueryUnescape fallback. ok = false means the component
+// is malformed and its pair must be dropped, as ParseQuery does.
+func unescapeComponent(s string) (string, bool) {
+	if strings.IndexByte(s, '%') < 0 && strings.IndexByte(s, '+') < 0 {
+		return s, true
+	}
+	out, err := url.QueryUnescape(s)
+	if err != nil {
+		return "", false
+	}
+	return out, true
+}
+
+// appendMeasureResponse renders the /v1/measure JSON body into dst,
+// byte-identical to json.Marshal of MeasureResponse (field order follows
+// the struct; floats use appendJSONFloat) plus the trailing newline that
+// json.Encoder emits.
+func appendMeasureResponse(dst []byte, rhos []float64, fm incr.FullMeasure) []byte {
+	dst = append(dst, `{"profile":[`...)
+	for i, rho := range rhos {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendJSONFloat(dst, rho)
+	}
+	dst = append(dst, `],"x":`...)
+	dst = appendJSONFloat(dst, fm.X)
+	dst = append(dst, `,"hecr":`...)
+	dst = appendJSONFloat(dst, fm.HECR)
+	dst = append(dst, `,"work_rate":`...)
+	dst = appendJSONFloat(dst, fm.WorkRate)
+	dst = append(dst, `,"mean":`...)
+	dst = appendJSONFloat(dst, fm.Mean)
+	dst = append(dst, `,"variance":`...)
+	dst = appendJSONFloat(dst, fm.Variance)
+	dst = append(dst, `,"geo_mean":`...)
+	dst = appendJSONFloat(dst, fm.GeoMean)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// appendJSONFloat appends f exactly as encoding/json's floatEncoder renders
+// a float64: shortest round-trip form, 'e' format outside [1e-6, 1e21) with
+// the two-digit exponent collapsed ("e-06" → "e-6").
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
+}

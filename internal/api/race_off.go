@@ -1,0 +1,7 @@
+//go:build !race
+
+package api
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation gates skip under -race because instrumentation allocates.
+const raceEnabled = false

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// kernelTolerance is the documented agreement bound between the chunked and
+// serial folds: the only difference between the two is the reassociation of
+// compensated sums across chunk boundaries, so the relative error stays at
+// the few-ulp level even at n = 2^16. The tests pin 1e-12 relative; observed
+// values are orders of magnitude smaller.
+const kernelTolerance = 1e-12
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) / scale
+}
+
+func TestChunkedMatchesSerialUpTo64K(t *testing.T) {
+	for _, m := range []model.Params{model.Table1(), model.Figs34(), model.Table1Fine()} {
+		for _, n := range []int{1, 100, ParallelCutover - 1, ParallelCutover, 1 << 14, 1 << 16} {
+			p := profile.RandomNormalized(stats.NewRNG(uint64(n)+7), n)
+			serial := LogProductRatios(m, p)
+			chunked := LogProductRatiosChunked(m, p, 0)
+			if d := relDiff(serial, chunked); d > kernelTolerance {
+				t.Fatalf("n=%d %v: log-product rel diff %g (serial %v, chunked %v)", n, m, d, serial, chunked)
+			}
+			if d := relDiff(X(m, p), XChunked(m, p, 0)); d > kernelTolerance {
+				t.Fatalf("n=%d %v: X rel diff %g", n, m, d)
+			}
+			if d := relDiff(HECR(m, p), HECRChunked(m, p, 0)); d > kernelTolerance {
+				t.Fatalf("n=%d %v: HECR rel diff %g", n, m, d)
+			}
+		}
+	}
+}
+
+func TestChunkedBelowCutoverIsBitIdentical(t *testing.T) {
+	// Under the cutover the chunked entry points delegate to the serial fold,
+	// so results are the same bits — existing small-n callers see no change.
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(42), ParallelCutover-1)
+	if LogProductRatiosChunked(m, p, 0) != LogProductRatios(m, p) {
+		t.Fatal("sub-cutover chunked fold diverged from the serial fold")
+	}
+	if XChunked(m, p, 0) != X(m, p) || HECRChunked(m, p, 0) != HECR(m, p) {
+		t.Fatal("sub-cutover chunked measures diverged from the serial measures")
+	}
+}
+
+func TestChunkedIsDeterministic(t *testing.T) {
+	// The combine folds per-chunk partials in chunk order, not completion
+	// order, so repeated parallel runs agree bit-for-bit.
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(3), 1<<15)
+	first := LogProductRatiosChunked(m, p, 0)
+	for i := 0; i < 8; i++ {
+		if again := LogProductRatiosChunked(m, p, 8); again != first {
+			t.Fatalf("chunked kernel nondeterministic: %v vs %v", again, first)
+		}
+	}
+}
+
+func TestChunkedSingleWorkerMatchesParallel(t *testing.T) {
+	m := model.Figs34()
+	p := profile.RandomNormalized(stats.NewRNG(11), 1<<14)
+	if LogProductRatiosChunked(m, p, 1) != LogProductRatiosChunked(m, p, 8) {
+		t.Fatal("worker count changed the chunked result")
+	}
+}
+
+func BenchmarkLogProductSerial64K(b *testing.B) {
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(1), 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = LogProductRatios(m, p)
+	}
+}
+
+func BenchmarkLogProductChunked64K(b *testing.B) {
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(1), 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = LogProductRatiosChunked(m, p, 0)
+	}
+}
+
+var sinkFloat float64

@@ -1,0 +1,94 @@
+package incr
+
+import (
+	"math"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/parallel"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// FullMeasure is everything the /v1/measure response reports about one
+// profile: the three headline measures plus the §4 profile moments.
+type FullMeasure struct {
+	X        float64
+	HECR     float64
+	WorkRate float64
+	Mean     float64
+	Variance float64
+	GeoMean  float64
+}
+
+// MeasureProfile evaluates the full /v1/measure payload for one profile.
+// Profiles shorter than core.ParallelCutover take exactly the serial paths
+// the package has always used (bit-identical results); at or above the
+// cutover the folds — log-product, Σρ, Σlogρ, and the central second moment
+// — run through the chunked parallel kernel (workers ≤ 0 means GOMAXPROCS),
+// two passes in total, with per-chunk compensated sums combined in chunk
+// order so results are deterministic and within the kernel tolerance of the
+// serial fold (see internal/core kernel tests).
+func MeasureProfile(m model.Params, p profile.Profile, workers int) FullMeasure {
+	if len(p) < core.ParallelCutover {
+		x := core.X(m, p)
+		return FullMeasure{
+			X:        x,
+			HECR:     core.HECR(m, p),
+			WorkRate: 1 / (m.TauDelta() + 1/x),
+			Mean:     p.Mean(),
+			Variance: p.Variance(),
+			GeoMean:  p.GeoMean(),
+		}
+	}
+	n := float64(len(p))
+	a, b, td := m.A(), m.B(), m.TauDelta()
+	num := td - a
+
+	// Pass 1: one scan per chunk accumulates the log-product term, Σρ and
+	// Σlogρ together, so the large-n miss path reads the profile twice in
+	// total (the second pass needs the mean).
+	type partial struct{ logProd, sum, sumLog float64 }
+	partials := parallel.MapChunks(workers, len(p), core.ParallelChunk, func(lo, hi int) partial {
+		var lp, s, sl stats.KahanSum
+		for _, rho := range p[lo:hi] {
+			lp.Add(math.Log1p(num / (b*rho + a)))
+			s.Add(rho)
+			sl.Add(math.Log(rho))
+		}
+		return partial{lp.Sum(), s.Sum(), sl.Sum()}
+	})
+	var lp, s, sl stats.KahanSum
+	for _, part := range partials {
+		lp.Add(part.logProd)
+		s.Add(part.sum)
+		sl.Add(part.sumLog)
+	}
+	logProd := lp.Sum()
+	mean := s.Sum() / n
+
+	// Pass 2: central second moment about the pass-1 mean, matching the
+	// serial stats.Variance (population variance, eq. (7)).
+	m2parts := parallel.MapChunks(workers, len(p), core.ParallelChunk, func(lo, hi int) float64 {
+		var m2 stats.KahanSum
+		for _, rho := range p[lo:hi] {
+			d := rho - mean
+			m2.Add(d * d)
+		}
+		return m2.Sum()
+	})
+	var m2 stats.KahanSum
+	for _, part := range m2parts {
+		m2.Add(part)
+	}
+
+	x := core.XFromLogProduct(m, logProd)
+	return FullMeasure{
+		X:        x,
+		HECR:     core.HECRFromLogProduct(m, logProd, len(p)),
+		WorkRate: 1 / (td + 1/x),
+		Mean:     mean,
+		Variance: m2.Sum() / n,
+		GeoMean:  math.Exp(sl.Sum() / n),
+	}
+}

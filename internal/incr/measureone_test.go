@@ -1,0 +1,97 @@
+package incr
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func relErrFull(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestMeasureProfileSmallIsBitIdenticalToSerial(t *testing.T) {
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(5), 512)
+	got := MeasureProfile(m, p, 0)
+	if got.X != core.X(m, p) || got.HECR != core.HECR(m, p) {
+		t.Fatal("sub-cutover MeasureProfile diverged from the serial measures")
+	}
+	if got.Mean != p.Mean() || got.Variance != p.Variance() || got.GeoMean != p.GeoMean() {
+		t.Fatal("sub-cutover MeasureProfile diverged from the serial moments")
+	}
+	if got.WorkRate != core.WorkRate(m, p) {
+		t.Fatalf("WorkRate %v, want %v", got.WorkRate, core.WorkRate(m, p))
+	}
+}
+
+func TestMeasureProfileLargeMatchesSerialWithinTolerance(t *testing.T) {
+	const tol = 1e-12 // the kernel tolerance documented in internal/core
+	for _, n := range []int{core.ParallelCutover, 1 << 14, 1 << 16} {
+		m := model.Table1()
+		p := profile.RandomNormalized(stats.NewRNG(uint64(n)), n)
+		got := MeasureProfile(m, p, 0)
+		checks := []struct {
+			name      string
+			got, want float64
+		}{
+			{"X", got.X, core.X(m, p)},
+			{"HECR", got.HECR, core.HECR(m, p)},
+			{"WorkRate", got.WorkRate, core.WorkRate(m, p)},
+			{"Mean", got.Mean, p.Mean()},
+			{"Variance", got.Variance, p.Variance()},
+			{"GeoMean", got.GeoMean, p.GeoMean()},
+		}
+		for _, c := range checks {
+			if d := relErrFull(c.got, c.want); d > tol {
+				t.Fatalf("n=%d: %s rel err %g (got %v, want %v)", n, c.name, d, c.got, c.want)
+			}
+		}
+	}
+}
+
+func TestMeasureProfileLargeIsDeterministic(t *testing.T) {
+	m := model.Figs34()
+	p := profile.RandomNormalized(stats.NewRNG(9), 1<<15)
+	first := MeasureProfile(m, p, 8)
+	for i := 0; i < 5; i++ {
+		if again := MeasureProfile(m, p, 8); again != first {
+			t.Fatalf("MeasureProfile nondeterministic: %+v vs %+v", again, first)
+		}
+	}
+}
+
+func BenchmarkMeasureProfile64KSerialPath(b *testing.B) {
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(1), 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := FullMeasure{
+			X:        core.X(m, p),
+			HECR:     core.HECR(m, p),
+			WorkRate: core.WorkRate(m, p),
+			Mean:     p.Mean(),
+			Variance: p.Variance(),
+			GeoMean:  p.GeoMean(),
+		}
+		benchSink = r.X
+	}
+}
+
+func BenchmarkMeasureProfile64KChunked(b *testing.B) {
+	m := model.Table1()
+	p := profile.RandomNormalized(stats.NewRNG(1), 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = MeasureProfile(m, p, 0).X
+	}
+}
+
+var benchSink float64

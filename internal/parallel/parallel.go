@@ -39,6 +39,45 @@ func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	return results, nil
 }
 
+// NumChunks returns how many contiguous chunks MapChunks splits n items
+// into when each chunk holds at most chunk items (chunk ≤ 0 means one chunk
+// per item is never produced; the whole range becomes a single chunk).
+func NumChunks(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if chunk <= 0 || chunk >= n {
+		return 1
+	}
+	return (n + chunk - 1) / chunk
+}
+
+// MapChunks evaluates fn over the contiguous ranges [lo, hi) that tile
+// [0, n) in chunks of at most chunk items, fanning the chunks out over up to
+// workers goroutines (0 means GOMAXPROCS), and returns the per-chunk results
+// in range order. It is the substrate for the chunked evaluation kernels:
+// a fold over a large profile becomes per-chunk partial folds (each with its
+// own compensated accumulator) plus a cheap ordered combine on the caller's
+// goroutine, so the combination order — and therefore the float result — is
+// independent of goroutine scheduling.
+func MapChunks[T any](workers, n, chunk int, fn func(lo, hi int) T) []T {
+	nc := NumChunks(n, chunk)
+	if nc == 0 {
+		return nil
+	}
+	if nc == 1 {
+		return []T{fn(0, n)}
+	}
+	return Map(workers, nc, func(ci int) T {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}
+
 // ForEach runs fn(0..n-1) on up to workers goroutines and waits for all of
 // them. A panic inside fn is re-raised on the calling goroutine (the first
 // one observed wins).

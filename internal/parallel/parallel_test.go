@@ -99,3 +99,69 @@ func TestForEachMoreWorkersThanWork(t *testing.T) {
 		t.Fatalf("total = %d", total)
 	}
 }
+
+func TestNumChunks(t *testing.T) {
+	cases := []struct{ n, chunk, want int }{
+		{0, 4, 0}, {-1, 4, 0},
+		{1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 4, 2}, {9, 4, 3},
+		{7, 0, 1}, {7, -3, 1}, {7, 100, 1},
+	}
+	for _, tc := range cases {
+		if got := NumChunks(tc.n, tc.chunk); got != tc.want {
+			t.Fatalf("NumChunks(%d, %d) = %d, want %d", tc.n, tc.chunk, got, tc.want)
+		}
+	}
+}
+
+func TestMapChunksTilesTheRange(t *testing.T) {
+	// Every index must appear in exactly one chunk, chunks must be in range
+	// order, and no chunk may exceed the requested size.
+	for _, n := range []int{1, 3, 16, 17, 1000} {
+		for _, chunk := range []int{1, 7, 16, 0} {
+			type rng struct{ lo, hi int }
+			got := MapChunks(4, n, chunk, func(lo, hi int) rng { return rng{lo, hi} })
+			next := 0
+			for _, r := range got {
+				if r.lo != next || r.hi <= r.lo {
+					t.Fatalf("n=%d chunk=%d: ranges %v not a tiling", n, chunk, got)
+				}
+				if chunk > 0 && r.hi-r.lo > chunk {
+					t.Fatalf("n=%d chunk=%d: oversized range %v", n, chunk, r)
+				}
+				next = r.hi
+			}
+			if next != n {
+				t.Fatalf("n=%d chunk=%d: tiling ends at %d", n, chunk, next)
+			}
+		}
+	}
+}
+
+func TestMapChunksMatchesSerialFold(t *testing.T) {
+	// Summing per-chunk partials in chunk order is scheduling-independent:
+	// repeated runs must agree bit-for-bit with each other.
+	n := 10_000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1 / float64(i+1)
+	}
+	fold := func() float64 {
+		var total float64
+		for _, part := range MapChunks(8, n, 137, func(lo, hi int) float64 {
+			var s float64
+			for _, x := range xs[lo:hi] {
+				s += x
+			}
+			return s
+		}) {
+			total += part
+		}
+		return total
+	}
+	first := fold()
+	for i := 0; i < 10; i++ {
+		if again := fold(); again != first {
+			t.Fatalf("chunked fold is scheduling-dependent: %v vs %v", again, first)
+		}
+	}
+}
