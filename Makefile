@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/incr ./internal/api ./internal/fault ./internal/sim
 
-bench: BENCH_incr.json BENCH_fault.json BENCH_serve.json
+bench: BENCH_incr.json BENCH_fault.json BENCH_serve.json BENCH_batch.json
 	$(GO) test -bench=. -benchmem ./...
 
 # Perf certificate for the incremental evaluator + cached serving path
@@ -33,6 +33,13 @@ BENCH_fault.json: FORCE
 # herd) regime must show ≥3× throughput over the single-lock baseline.
 BENCH_serve.json: FORCE
 	$(GO) run ./cmd/benchserve > $@
+
+# Perf certificate for the memory-aware batch engine: dedupe, raw body-front
+# cache, size-adaptive kernels. Gated benchstat-style (≥5 paired samples,
+# 95% CI low end vs threshold); few_large must certify ≥3× over the PR 3
+# across-profile-only baseline.
+BENCH_batch.json: FORCE
+	$(GO) run ./cmd/benchbatch > $@
 
 FORCE:
 
@@ -70,4 +77,4 @@ artifacts:
 	$(GO) run ./cmd/hetero all > artifacts.txt
 
 clean:
-	rm -f artifacts.txt test_output.txt bench_output.txt BENCH_incr.json BENCH_fault.json BENCH_serve.json
+	rm -f artifacts.txt test_output.txt bench_output.txt BENCH_incr.json BENCH_fault.json BENCH_serve.json BENCH_batch.json

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestBuildReportQuick(t *testing.T) {
+	rep := buildReport(true)
+	if len(rep.Regimes) != 3 {
+		t.Fatalf("%d regimes, want 3", len(rep.Regimes))
+	}
+	names := map[string]bool{}
+	for _, r := range rep.Regimes {
+		names[r.Name] = true
+		if r.RequestsPerSample <= 0 || r.Samples <= 0 {
+			t.Fatalf("regime %s: empty sampling plan: %+v", r.Name, r)
+		}
+		if len(r.Speedups) != r.Samples {
+			t.Fatalf("regime %s: %d speedups for %d samples", r.Name, len(r.Speedups), r.Samples)
+		}
+		if r.BaselineOpsPerSec <= 0 || r.TunedOpsPerSec <= 0 {
+			t.Fatalf("regime %s: non-positive throughput: %+v", r.Name, r)
+		}
+		if r.SpeedupCILow > r.Speedup || r.Speedup > r.SpeedupCIHigh {
+			t.Fatalf("regime %s: mean %v outside its CI [%v, %v]",
+				r.Name, r.Speedup, r.SpeedupCILow, r.SpeedupCIHigh)
+		}
+	}
+	for _, want := range []string{"many_small", "few_large", "dedup_heavy"} {
+		if !names[want] {
+			t.Fatalf("missing regime %q", want)
+		}
+	}
+	// The document must round-trip as JSON (it becomes BENCH_batch.json).
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBaselineAndTunedAgree pins the benchmark's own validity: both engines
+// must serve the same batches successfully and report the same profile
+// count, so the speedup compares equal work. (Float spellings can differ at
+// the last digit for chunked-kernel sizes, so body equality is only
+// asserted below the cutover.)
+func TestBaselineAndTunedAgree(t *testing.T) {
+	body := batchBody(randomProfiles(6, 64, 42), 0)
+	baseStatus, baseResp := baselineBatchServer()(body)
+	tunedStatus, tunedResp := tunedBatchServer()(body)
+	if baseStatus != 200 || tunedStatus != 200 {
+		t.Fatalf("statuses %d / %d", baseStatus, tunedStatus)
+	}
+	if !bytes.Equal(baseResp, tunedResp) {
+		t.Fatalf("small-profile batch responses diverge:\nbaseline %q\ntuned    %q",
+			truncate(baseResp), truncate(tunedResp))
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, lo, hi := meanCI95([]float64{5, 5, 5, 5, 5})
+	if mean != 5 || lo != 5 || hi != 5 {
+		t.Fatalf("constant samples: mean %v ci [%v, %v], want exactly 5", mean, lo, hi)
+	}
+	mean, lo, hi = meanCI95([]float64{4, 5, 6, 5, 5})
+	if mean != 5 || lo >= 5 || hi <= 5 || lo <= 3 || hi >= 7 {
+		t.Fatalf("noisy samples: mean %v ci [%v, %v]", mean, lo, hi)
+	}
+	if _, lo, hi = meanCI95([]float64{3}); lo != 3 || hi != 3 {
+		t.Fatalf("single sample must collapse to the point, got [%v, %v]", lo, hi)
+	}
+}
+
+func truncate(b []byte) []byte {
+	if len(b) > 200 {
+		return b[:200]
+	}
+	return b
+}

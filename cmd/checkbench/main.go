@@ -1,11 +1,19 @@
 // Command checkbench guards the repository's benchmark certificates. Each
 // BENCH_*.json document is produced by its generator (cmd/benchincr,
-// cmd/benchfault, cmd/benchserve) with a top-level "pass" flag that encodes
-// that generator's acceptance thresholds; checkbench verifies every
-// document exists, parses, and passed, and exits non-zero otherwise — the
-// hook `make check` uses to fail a build whose perf claims regressed.
+// cmd/benchfault, cmd/benchserve, cmd/benchbatch) with a top-level "pass"
+// flag that encodes that generator's acceptance thresholds; checkbench
+// verifies every document exists, parses, and passed, and exits non-zero
+// otherwise — the hook `make check` uses to fail a build whose perf claims
+// regressed.
 //
-//	go run ./cmd/checkbench                  # checks the default three
+// Regimes that carry benchstat-style evidence ("samples" and
+// "speedup_ci_low" fields) are held to the stronger gate: at least
+// minSamples samples, and the low end of the 95% confidence interval — not
+// the mean — must clear the threshold. A certificate generated with -quick
+// (too few samples) therefore cannot pass a thresholded regime, and a
+// hand-edited mean cannot mask a noisy run.
+//
+//	go run ./cmd/checkbench                  # checks the default documents
 //	go run ./cmd/checkbench A.json B.json    # checks an explicit list
 package main
 
@@ -16,7 +24,11 @@ import (
 )
 
 // defaultDocs are the certificates `make bench` regenerates.
-var defaultDocs = []string{"BENCH_incr.json", "BENCH_fault.json", "BENCH_serve.json"}
+var defaultDocs = []string{"BENCH_incr.json", "BENCH_fault.json", "BENCH_serve.json", "BENCH_batch.json"}
+
+// minSamples is the benchstat-style floor for confidence-interval regimes,
+// matching cmd/benchbatch.
+const minSamples = 5
 
 func main() {
 	docs := os.Args[1:]
@@ -40,9 +52,8 @@ func main() {
 }
 
 // checkDoc validates one certificate: it must parse as a JSON object whose
-// "pass" field is boolean true. Documents with per-regime thresholds
-// (BENCH_serve.json) additionally have every "meets_threshold" checked, so
-// a hand-edited pass flag cannot mask a failed regime.
+// "pass" field is boolean true, and every regime entry must satisfy
+// checkRegime — so a hand-edited pass flag cannot mask a failed regime.
 func checkDoc(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -65,10 +76,41 @@ func checkDoc(path string) error {
 			if !ok {
 				return fmt.Errorf("malformed regimes entry")
 			}
-			if met, ok := regime["meets_threshold"].(bool); ok && !met {
-				return fmt.Errorf("regime %v misses its threshold", regime["name"])
+			if err := checkRegime(regime); err != nil {
+				return err
 			}
 		}
+	}
+	return nil
+}
+
+// checkRegime validates one regime entry. Every regime must report
+// meets_threshold = true (when present). Regimes carrying
+// confidence-interval evidence are re-derived from the raw fields rather
+// than trusted: samples ≥ minSamples and speedup_ci_low ≥ threshold.
+func checkRegime(regime map[string]interface{}) error {
+	name := regime["name"]
+	if met, ok := regime["meets_threshold"].(bool); ok && !met {
+		return fmt.Errorf("regime %v misses its threshold", name)
+	}
+	threshold, hasThreshold := regime["threshold"].(float64)
+	ciLow, hasCI := regime["speedup_ci_low"].(float64)
+	if !hasCI {
+		return nil // fixed-threshold document (older generators)
+	}
+	samples, ok := regime["samples"].(float64)
+	if !ok {
+		return fmt.Errorf("regime %v has a confidence interval but no sample count", name)
+	}
+	if !hasThreshold || threshold <= 0 {
+		return nil // report-only regime
+	}
+	if int(samples) < minSamples {
+		return fmt.Errorf("regime %v certified from %d samples, need ≥ %d (was it generated with -quick?)",
+			name, int(samples), minSamples)
+	}
+	if ciLow < threshold {
+		return fmt.Errorf("regime %v: speedup CI low %.3f misses threshold %.3f", name, ciLow, threshold)
 	}
 	return nil
 }

@@ -28,6 +28,16 @@ func TestCheckDoc(t *testing.T) {
 		{"not json", `{pass: yes}`, true},
 		{"regimes all met", `{"pass": true, "regimes": [{"name": "mixed", "meets_threshold": true}]}`, false},
 		{"regime missed but pass forged", `{"pass": true, "regimes": [{"name": "mixed", "meets_threshold": false}]}`, true},
+		{"ci gate met", `{"pass": true, "regimes": [{"name": "few_large", "meets_threshold": true,
+			"threshold": 3, "samples": 5, "speedup": 5.1, "speedup_ci_low": 4.2}]}`, false},
+		{"ci low under threshold despite forged flags", `{"pass": true, "regimes": [{"name": "few_large",
+			"meets_threshold": true, "threshold": 3, "samples": 5, "speedup": 5.1, "speedup_ci_low": 2.4}]}`, true},
+		{"quick run cannot certify", `{"pass": true, "regimes": [{"name": "few_large", "meets_threshold": true,
+			"threshold": 3, "samples": 2, "speedup": 9.9, "speedup_ci_low": 9.0}]}`, true},
+		{"ci without samples", `{"pass": true, "regimes": [{"name": "few_large", "meets_threshold": true,
+			"threshold": 3, "speedup_ci_low": 4.0}]}`, true},
+		{"report-only ci regime needs no samples gate", `{"pass": true, "regimes": [{"name": "many_small",
+			"meets_threshold": true, "samples": 2, "speedup_ci_low": 0.9}]}`, false},
 	}
 	for _, tc := range cases {
 		path := writeDoc(t, "doc.json", tc.content)

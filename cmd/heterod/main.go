@@ -52,6 +52,9 @@ func run(args []string) error {
 	pprofAddr := fs.String("pprof-addr", "", "listen address for net/http/pprof on a separate listener (empty disables; keep it off public interfaces)")
 	cacheSize := fs.Int("cache-size", api.DefaultMeasureCacheSize, "bound on the /v1/measure response cache (0 disables)")
 	cacheShards := fs.Int("cache-shards", 0, "lock shards for the measure cache (0 = automatic, rounded down to a power of two)")
+	cacheBytes := fs.Int64("cache-bytes", api.DefaultCacheBytes, "byte budget per response cache, counting key+body per entry (0 = unlimited)")
+	cacheAdaptive := fs.Bool("cache-adaptive", true, "grow cache shard count from observed contention (only with -cache-shards 0)")
+	maxBatchBody := fs.Int("max-batch-body", api.DefaultMaxBatchBody, "byte cap on a POST /v1/batch request body")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
@@ -85,7 +88,18 @@ func run(args []string) error {
 		log.Printf("heterod pprof listening on %s", pln.Addr())
 		defer pprofSrv.Close()
 	}
-	apiSrv := api.NewServerCacheOpts(*cacheSize, *cacheShards, true)
+	budget := *cacheBytes
+	if budget <= 0 {
+		budget = -1 // CacheConfig: negative = unlimited, 0 = default
+	}
+	apiSrv := api.NewServerWithCache(api.CacheConfig{
+		Entries:  *cacheSize,
+		MaxBytes: budget,
+		Shards:   *cacheShards,
+		Coalesce: true,
+		Adaptive: *cacheAdaptive,
+	})
+	apiSrv.MaxBatchBody = *maxBatchBody
 	apiSrv.Serving = api.ServingConfig{
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queueDepth,

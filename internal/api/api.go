@@ -30,6 +30,7 @@ package api
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -37,9 +38,7 @@ import (
 
 	"hetero/internal/catalog"
 	"hetero/internal/core"
-	"hetero/internal/incr"
 	"hetero/internal/model"
-	"hetero/internal/parallel"
 	"hetero/internal/profile"
 	"hetero/internal/schedule"
 )
@@ -59,11 +58,18 @@ type Server struct {
 	// Serving tunes the hardening middleware; set it before the first
 	// Handler call. The zero value uses the package defaults.
 	Serving ServingConfig
+	// MaxBatchBody caps the POST /v1/batch request body in bytes; 0 means
+	// DefaultMaxBatchBody. Set it before serving.
+	MaxBatchBody int
 
-	cache         *responseCache
-	rawCache      *responseCache // raw-query front layer for large queries
-	batchRequests atomic.Uint64
-	batchProfiles atomic.Uint64
+	cache          *responseCache
+	rawCache       *responseCache // raw-query front layer for large queries
+	batchRawCache  *responseCache // raw body-front layer for /v1/batch
+	batchRequests  atomic.Uint64
+	batchProfiles  atomic.Uint64
+	batchDeduped   atomic.Uint64
+	batchCanonHits atomic.Uint64
+	batchRawHits   atomic.Uint64
 
 	serving     ServingConfig // Serving with defaults resolved
 	runTokens   chan struct{}
@@ -80,30 +86,73 @@ func NewServer() *Server { return NewServerCacheSize(DefaultMeasureCacheSize) }
 
 // NewServerCacheSize returns a server with an explicit /v1/measure cache
 // bound; cacheSize ≤ 0 disables response caching. The cache is sharded
-// automatically and coalesces concurrent identical misses.
+// automatically (growing adaptively under contention), coalesces concurrent
+// identical misses, and carries the default byte budget.
 func NewServerCacheSize(cacheSize int) *Server {
-	return &Server{
-		Defaults: model.Table1(),
-		cache:    newResponseCache(cacheSize),
-		rawCache: newResponseCache(cacheSize),
-	}
+	return NewServerWithCache(CacheConfig{Entries: cacheSize, Coalesce: true, Adaptive: true})
 }
 
-// NewServerCacheOpts returns a server with full cache control: shards is
-// the lock-domain count (0 means automatic, values round down to a power of
+// NewServerCacheOpts returns a server with cache control: shards is the
+// lock-domain count (0 means automatic, values round down to a power of
 // two) and coalesce toggles singleflight miss coalescing. shards = 1 with
 // coalesce = false reproduces the historical single-lock cache — the
 // baseline configuration cmd/benchserve measures speedups against; that
-// baseline also runs without the raw-query front layer.
+// baseline also runs without the raw front layers.
 func NewServerCacheOpts(cacheSize, shards int, coalesce bool) *Server {
-	rawSize := cacheSize
-	if !coalesce {
-		rawSize = 0 // historical baseline: canonical single-lock cache only
+	return NewServerWithCache(CacheConfig{
+		Entries: cacheSize, Shards: shards, Coalesce: coalesce, Adaptive: true,
+	})
+}
+
+// CacheConfig configures every response-cache layer of a Server: the
+// canonical /v1/measure cache, its raw-query front, and the /v1/batch raw
+// body-front.
+type CacheConfig struct {
+	// Entries bounds each cache's entry count; ≤ 0 disables caching.
+	Entries int
+	// MaxBytes bounds each cache's resident bytes, counting len(key) +
+	// len(body) per entry. 0 means DefaultCacheBytes; negative means
+	// unlimited (entry count still bounds).
+	MaxBytes int64
+	// Shards fixes the lock-domain count (0 = automatic, values round down
+	// to a power of two). An explicit count disables adaptive resizing so
+	// the geometry stays exactly as configured.
+	Shards int
+	// Coalesce toggles singleflight miss coalescing. When off, the raw
+	// front layers are disabled too (the historical baseline shape).
+	Coalesce bool
+	// Adaptive enables contention-adaptive shard growth; only honored with
+	// automatic sharding.
+	Adaptive bool
+}
+
+// NewServerWithCache returns a server with full cache control; the other
+// constructors are conveniences over this one.
+func NewServerWithCache(cfg CacheConfig) *Server {
+	mk := func(entries int) *responseCache {
+		maxBytes := cfg.MaxBytes
+		if maxBytes == 0 {
+			maxBytes = DefaultCacheBytes
+		} else if maxBytes < 0 {
+			maxBytes = 0 // unlimited
+		}
+		return newCache(cacheOptions{
+			entries:  entries,
+			maxBytes: maxBytes,
+			shards:   cfg.Shards,
+			coalesce: cfg.Coalesce,
+			adaptive: cfg.Adaptive && cfg.Shards == 0,
+		})
+	}
+	rawSize := cfg.Entries
+	if !cfg.Coalesce {
+		rawSize = 0 // historical baseline: canonical cache only
 	}
 	return &Server{
-		Defaults: model.Table1(),
-		cache:    newResponseCacheOpts(cacheSize, shards, coalesce),
-		rawCache: newResponseCacheOpts(rawSize, shards, coalesce),
+		Defaults:      model.Table1(),
+		cache:         mk(cfg.Entries),
+		rawCache:      mk(rawSize),
+		batchRawCache: mk(rawSize),
 	}
 }
 
@@ -116,6 +165,9 @@ func (s *Server) Handler() http.Handler {
 	}
 	if s.rawCache == nil {
 		s.rawCache = newResponseCache(s.cache.capacity)
+	}
+	if s.batchRawCache == nil {
+		s.batchRawCache = newResponseCache(s.cache.capacity)
 	}
 	s.initServing()
 	mux := http.NewServeMux()
@@ -164,6 +216,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	sc := measureScratchPool.Get().(*measureScratch)
 	status, body, msg := s.measure(sc, r.URL.RawQuery)
 	measureScratchPool.Put(sc)
+	s.drainResizes()
 	if status != http.StatusOK {
 		writeError(w, status, msg)
 		return
@@ -203,56 +256,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+	// Byte cap before any decoding: profile *count* is bounded below, but a
+	// hostile body could carry MaxBatchProfiles profiles of unbounded width
+	// (or one endless token) and balloon decode memory.
+	max := s.maxBatchBody()
+	body, err := io.ReadAll(io.LimitReader(r.Body, int64(max)+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
 		return
 	}
-	if len(req.Profiles) == 0 {
-		writeError(w, http.StatusBadRequest, "profiles must be non-empty")
-		return
-	}
-	if len(req.Profiles) > MaxBatchProfiles {
+	if len(body) > max {
 		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch of %d profiles exceeds the limit of %d; shard across requests", len(req.Profiles), MaxBatchProfiles))
+			fmt.Sprintf("body exceeds %d bytes; shard across requests", max))
 		return
 	}
-	m := s.Defaults
-	if req.Params != nil {
-		m = *req.Params
-	}
-	if err := m.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	status, resp, msg := s.BatchBody(body)
+	if status != http.StatusOK {
+		writeError(w, status, msg)
 		return
 	}
-	profiles := make([]profile.Profile, len(req.Profiles))
-	for i, rhos := range req.Profiles {
-		p, err := profile.New(rhos...)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("profiles[%d]: %v", i, err))
-			return
-		}
-		profiles[i] = p
-	}
-	s.batchRequests.Add(1)
-	s.batchProfiles.Add(uint64(len(profiles)))
-	// One amortized constant derivation + parallel fan-out for the measures,
-	// then the per-profile moments on the same worker pool.
-	measures := incr.BatchMeasure(m, profiles, 0)
-	results := make([]MeasureResponse, len(profiles))
-	parallel.ForEach(0, len(profiles), func(i int) {
-		p := profiles[i]
-		results[i] = MeasureResponse{
-			Profile:  p,
-			X:        measures[i].X,
-			HECR:     measures[i].HECR,
-			WorkRate: measures[i].WorkRate,
-			Mean:     p.Mean(),
-			Variance: p.Variance(),
-			GeoMean:  p.GeoMean(),
-		}
-	})
-	writeJSON(w, http.StatusOK, BatchResponse{Count: len(results), Results: results})
+	writeRawJSON(w, http.StatusOK, resp)
 }
 
 // CacheStats is the /v1/statz view of the measure cache. Misses counts
@@ -266,18 +289,31 @@ type CacheStats struct {
 	Misses       uint64  `json:"misses"`
 	Coalesced    uint64  `json:"coalesced"`
 	Evicted      uint64  `json:"evicted"`
+	Rejected     uint64  `json:"rejected"` // entries over a shard's whole byte budget
 	RawHits      uint64  `json:"raw_hits"`
 	RawCoalesced uint64  `json:"raw_coalesced"`
 	Size         int     `json:"size"`
 	Capacity     int     `json:"capacity"`
+	Bytes        int64   `json:"bytes"`     // resident key+body bytes, canonical layer
+	RawBytes     int64   `json:"raw_bytes"` // resident bytes, raw-query front layer
+	MaxBytes     int64   `json:"max_bytes"` // per-cache byte budget (0 = unlimited)
 	Shards       int     `json:"shards"`
+	ShardResizes uint64  `json:"shard_resizes"` // contention-adaptive resizes, canonical layer
 	HitRate      float64 `json:"hit_rate"`
 }
 
-// BatchStats is the /v1/statz view of the batch endpoint.
+// BatchStats is the /v1/statz view of the batch endpoint. Deduped counts
+// within-request profiles that collapsed onto a bit-identical earlier entry;
+// CacheHits counts batch entries served from the canonical measure cache;
+// RawHits counts whole requests served (or coalesced) by the raw body-front
+// cache, whose residency RawBytes reports.
 type BatchStats struct {
-	Requests uint64 `json:"requests"`
-	Profiles uint64 `json:"profiles"`
+	Requests  uint64 `json:"requests"`
+	Profiles  uint64 `json:"profiles"`
+	Deduped   uint64 `json:"deduped"`
+	CacheHits uint64 `json:"cache_hits"`
+	RawHits   uint64 `json:"raw_hits"`
+	RawBytes  int64  `json:"raw_bytes"`
 }
 
 // ServingStats is the /v1/statz view of the hardening middleware.
@@ -302,26 +338,38 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	hits, misses, size, coalesced, evicted := s.cache.statsFull()
+	ct := s.cache.counters()
 	cs := CacheStats{
-		Hits: hits, Misses: misses, Coalesced: coalesced, Evicted: evicted,
-		Size: size, Capacity: s.cache.capacity, Shards: s.cache.Shards(),
+		Hits: ct.hits, Misses: ct.misses, Coalesced: ct.coalesced,
+		Evicted: ct.evicted, Rejected: ct.rejected,
+		Size: ct.size, Capacity: s.cache.capacity,
+		Bytes: ct.bytes, MaxBytes: s.cache.maxBytes,
+		Shards: ct.shards, ShardResizes: ct.resizes,
 	}
 	if s.rawCache != nil {
-		rawHits, _, _, rawCoalesced, _ := s.rawCache.statsFull()
-		cs.RawHits, cs.RawCoalesced = rawHits, rawCoalesced
-		cs.Hits += rawHits
-		cs.Coalesced += rawCoalesced
+		rt := s.rawCache.counters()
+		cs.RawHits, cs.RawCoalesced, cs.RawBytes = rt.hits, rt.coalesced, rt.bytes
+		cs.Evicted += rt.evicted
+		cs.Rejected += rt.rejected
+		cs.Hits += rt.hits
+		cs.Coalesced += rt.coalesced
 	}
 	if total := cs.Hits + cs.Misses + cs.Coalesced; total > 0 {
 		cs.HitRate = float64(cs.Hits+cs.Coalesced) / float64(total)
 	}
+	bs := BatchStats{
+		Requests:  s.batchRequests.Load(),
+		Profiles:  s.batchProfiles.Load(),
+		Deduped:   s.batchDeduped.Load(),
+		CacheHits: s.batchCanonHits.Load(),
+		RawHits:   s.batchRawHits.Load(),
+	}
+	if s.batchRawCache != nil {
+		bs.RawBytes = s.batchRawCache.counters().bytes
+	}
 	writeJSON(w, http.StatusOK, StatzResponse{
 		MeasureCache: cs,
-		Batch: BatchStats{
-			Requests: s.batchRequests.Load(),
-			Profiles: s.batchProfiles.Load(),
-		},
+		Batch:        bs,
 		Serving: ServingStats{
 			Shed:             s.shed.Load(),
 			Panics:           s.panics.Load(),
@@ -345,31 +393,9 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	m, err := s.paramsFromQuery(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	p1, err := profileFromString(r.URL.Query().Get("p1"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "p1: "+err.Error())
-		return
-	}
-	p2, err := profileFromString(r.URL.Query().Get("p2"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "p2: "+err.Error())
-		return
-	}
-	resp := CompareResponse{Winner: 0}
-	switch core.Compare(m, p1, p2) {
-	case 1:
-		resp.Winner = 1
-	case -1:
-		resp.Winner = 2
-	}
-	resp.P1 = measureResponse(m, p1)
-	resp.P2 = measureResponse(m, p2)
-	writeJSON(w, http.StatusOK, resp)
+	// Large queries go through the raw front cache (see rawfront.go); small
+	// ones render directly.
+	s.serveQueryCached(w, compareKeyPrefix, r.URL.RawQuery, s.renderCompare)
 }
 
 // ScheduleRequest is the /v1/schedule body.
@@ -491,75 +517,9 @@ func (s *Server) handleSpeedup(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	m, err := s.paramsFromQuery(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	p, err := profileFromString(r.URL.Query().Get("profile"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	q := r.URL.Query()
-	phiStr, psiStr := q.Get("phi"), q.Get("psi")
-	var (
-		choice core.SpeedupChoice
-		mode   string
-	)
-	switch {
-	case phiStr != "" && psiStr != "":
-		writeError(w, http.StatusBadRequest, "pass exactly one of phi, psi")
-		return
-	case phiStr != "":
-		phi, perr := strconv.ParseFloat(phiStr, 64)
-		if perr != nil {
-			writeError(w, http.StatusBadRequest, "bad phi")
-			return
-		}
-		choice, err = core.BestAdditive(m, p, phi)
-		mode = "additive"
-	case psiStr != "":
-		psi, perr := strconv.ParseFloat(psiStr, 64)
-		if perr != nil {
-			writeError(w, http.StatusBadRequest, "bad psi")
-			return
-		}
-		choice, err = core.BestMultiplicative(m, p, psi)
-		mode = "multiplicative"
-	default:
-		writeError(w, http.StatusBadRequest, "pass one of phi, psi")
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, SpeedupResponse{
-		Index: choice.Index, After: choice.After, WorkRatio: choice.WorkRatio, Mode: mode,
-	})
-}
-
-// paramsFromQuery overlays tau/pi/delta query parameters on the defaults.
-func (s *Server) paramsFromQuery(r *http.Request) (model.Params, error) {
-	m := s.Defaults
-	q := r.URL.Query()
-	for _, f := range []struct {
-		key string
-		dst *float64
-	}{{"tau", &m.Tau}, {"pi", &m.Pi}, {"delta", &m.Delta}} {
-		if v := q.Get(f.key); v != "" {
-			parsed, err := strconv.ParseFloat(v, 64)
-			if err != nil {
-				return m, fmt.Errorf("bad %s: %v", f.key, err)
-			}
-			*f.dst = parsed
-		}
-	}
-	if err := m.Validate(); err != nil {
-		return m, err
-	}
-	return m, nil
+	// Large queries go through the raw front cache (see rawfront.go); small
+	// ones render directly.
+	s.serveQueryCached(w, speedupKeyPrefix, r.URL.RawQuery, s.renderSpeedup)
 }
 
 func profileFromString(s string) (profile.Profile, error) {

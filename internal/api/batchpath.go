@@ -1,0 +1,360 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"hetero/internal/incr"
+	"hetero/internal/model"
+	"hetero/internal/parallel"
+	"hetero/internal/profile"
+)
+
+// The POST /v1/batch hot path. The paper makes cluster power a function of
+// the profile alone, so the production traffic shape is "score a large
+// population of profiles against one parameter set" — repeated sweeps where
+// whole request bodies, individual profiles within a request, and profiles
+// across requests all recur. This file layers three reuse mechanisms over
+// the size-adaptive evaluation kernel (incr.ScheduleBatch):
+//
+//  1. A raw body-front cache: the exact request body is the key, so a
+//     repeated sweep (identical bytes) is served without JSON decoding or
+//     evaluation, singleflight-coalesced like the /v1/measure raw layer.
+//  2. Within-request dedupe: bit-identical profiles in one batch are
+//     grouped by a float-bits hash and evaluated once.
+//  3. The canonical measure cache: unique profiles of at least
+//     batchCacheMinProfile ρ-values consult and populate the same
+//     canonical-key cache /v1/measure uses, so a batch warm-up serves later
+//     GET /v1/measure traffic and vice versa.
+//
+// Responses are assembled from the per-profile rendered fragments
+// (appendMeasureResponse bytes, the same bodies the measure cache stores),
+// byte-identical to json.Encoder on BatchResponse — the golden equivalence
+// tests pin both identities.
+
+// DefaultMaxBatchBody caps the POST /v1/batch request body when the Server
+// does not override it: 16 MiB, sized so a full MaxBatchProfiles batch of
+// moderate profiles fits while a hostile stream cannot balloon decode
+// memory. (The /v1/simulate/faulty cap is 1 MiB; batch bodies are
+// legitimately larger.)
+const DefaultMaxBatchBody = 16 << 20
+
+// batchRawMinBody is the body length at which the raw body-front cache
+// engages — same rationale and value as the measure raw layer's query gate:
+// below it, decoding costs little and caching exact spellings would only
+// dilute the LRU.
+const batchRawMinBody = rawFastPathMinQuery
+
+// batchCacheMinProfile is the smallest profile (in ρ-values) the batch path
+// will read or write through the canonical measure cache. Below it the
+// canonical key build and shard lock cost more than re-evaluating, and tiny
+// batch entries would thrash the LRU that /v1/measure hits depend on.
+const batchCacheMinProfile = 128
+
+// maxBatchBody resolves the Server's batch body cap.
+func (s *Server) maxBatchBody() int {
+	if s.MaxBatchBody > 0 {
+		return s.MaxBatchBody
+	}
+	return DefaultMaxBatchBody
+}
+
+// BatchBody runs the POST /v1/batch hot path for a raw request body without
+// the HTTP layer: raw body-front cache, JSON decode, dedupe, size-adaptive
+// evaluation, byte-exact assembly. It returns the HTTP status and, for
+// status 200, the response body (newline-terminated, matching
+// json.Encoder). It exists so cmd/benchbatch and the equivalence tests can
+// measure the batch engine proper, free of net/http overhead.
+func (s *Server) BatchBody(body []byte) (status int, resp []byte, msg string) {
+	if s.cache == nil {
+		s.cache = newResponseCache(DefaultMeasureCacheSize)
+	}
+	if s.batchRawCache == nil {
+		s.batchRawCache = newResponseCache(s.cache.capacity)
+	}
+	status, resp, msg = s.batchFront(body)
+	s.drainResizes()
+	return status, resp, msg
+}
+
+// batchFront is the raw body-front layer: for large bodies the exact bytes
+// are a cache key checked before any decoding, so a repeated sweep costs one
+// hash instead of a decode + evaluation. Errors carry through the
+// singleflight as statusError and are never cached; the mapping body →
+// response is deterministic, so a stale-looking entry still serves correct
+// bytes.
+func (s *Server) batchFront(body []byte) (int, []byte, string) {
+	if len(body) < batchRawMinBody || s.batchRawCache == nil || s.batchRawCache.capacity <= 0 {
+		return s.batchCompute(body)
+	}
+	key := string(body)
+	h := hashString(key)
+	if resp, ok := s.batchRawCache.lookupStr(h, key); ok {
+		s.batchRawHits.Add(1)
+		s.noteBatch(batchCountFromBody(resp))
+		return 200, resp, ""
+	}
+	resp, coalesced, err := s.batchRawCache.fillStr(h, key, func() ([]byte, error) {
+		st, b, m := s.batchCompute(body)
+		if st != 200 {
+			return nil, &statusError{status: st, msg: m}
+		}
+		return b, nil
+	})
+	if err != nil {
+		if se, ok := err.(*statusError); ok {
+			return se.status, nil, se.msg
+		}
+		return 500, nil, err.Error()
+	}
+	if coalesced {
+		// The computing request counted itself inside batchCompute; a
+		// coalesced waiter is its own request and counts here.
+		s.batchRawHits.Add(1)
+		s.noteBatch(batchCountFromBody(resp))
+	}
+	return 200, resp, ""
+}
+
+// noteBatch bumps the /v1/statz batch counters for one served request of n
+// profiles.
+func (s *Server) noteBatch(n int) {
+	s.batchRequests.Add(1)
+	s.batchProfiles.Add(uint64(n))
+}
+
+// batchCountFromBody recovers the profile count from a rendered batch
+// response, which always starts `{"count":N,...` — so raw-layer hits keep
+// the statz profile counter exact without decoding the body.
+func batchCountFromBody(b []byte) int {
+	const pre = `{"count":`
+	if len(b) < len(pre) || string(b[:len(pre)]) != pre {
+		return 0
+	}
+	n := 0
+	for _, c := range b[len(pre):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// batchCompute decodes, validates, dedupes, evaluates and renders one batch
+// request — everything below the raw body-front layer.
+func (s *Server) batchCompute(body []byte) (int, []byte, string) {
+	var req BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return 400, nil, "invalid JSON: " + err.Error()
+	}
+	if len(req.Profiles) == 0 {
+		return 400, nil, "profiles must be non-empty"
+	}
+	if len(req.Profiles) > MaxBatchProfiles {
+		return 413, nil, fmt.Sprintf("batch of %d profiles exceeds the limit of %d; shard across requests", len(req.Profiles), MaxBatchProfiles)
+	}
+	m := s.Defaults
+	if req.Params != nil {
+		m = *req.Params
+	}
+	if err := m.Validate(); err != nil {
+		return 400, nil, err.Error()
+	}
+	profiles := make([]profile.Profile, len(req.Profiles))
+	for i, rhos := range req.Profiles {
+		p, err := profile.New(rhos...)
+		if err != nil {
+			return 400, nil, fmt.Sprintf("profiles[%d]: %v", i, err)
+		}
+		profiles[i] = p
+	}
+	s.noteBatch(len(profiles))
+
+	// Dedupe bit-identical profiles within the request: repeated sweeps
+	// often carry the same candidate many times, and every duplicate shares
+	// its representative's rendered fragment.
+	uniq, canon, dups := dedupeProfiles(profiles)
+	s.batchDeduped.Add(uint64(dups))
+
+	frags := s.renderUnique(m, profiles, uniq)
+
+	// Assemble `{"count":N,"results":[f1,f2,...]}` + '\n' from the fragments
+	// (each a full measure body whose trailing newline is stripped) —
+	// byte-identical to json.Encoder on BatchResponse.
+	est := 32
+	for _, f := range frags {
+		est += len(f) + 1
+	}
+	out := make([]byte, 0, est)
+	out = append(out, `{"count":`...)
+	out = strconv.AppendInt(out, int64(len(profiles)), 10)
+	out = append(out, `,"results":[`...)
+	for i := range profiles {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		f := frags[canon[i]]
+		out = append(out, f[:len(f)-1]...)
+	}
+	out = append(out, ']', '}', '\n')
+	return 200, out, ""
+}
+
+// renderUnique produces the rendered measure fragment for every unique
+// profile (indices into profiles), consulting the canonical cache for
+// profiles large enough to be worth it and scheduling the remaining
+// evaluations size-adaptively: large profiles run the chunked
+// within-profile kernel sequentially across the pool, the rest fan out
+// largest-first. Fragment values are independent of the schedule —
+// incr.MeasureProfile is worker-count-invariant — so /v1/batch stays
+// bit-identical to /v1/measure in every regime.
+func (s *Server) renderUnique(m model.Params, profiles []profile.Profile, uniq []int) [][]byte {
+	frags := make([][]byte, len(uniq))
+	useCache := s.cache != nil && s.cache.capacity > 0
+
+	// Cache consult pass: resolve what memory already holds, so the
+	// scheduling decision below sees only the profiles that truly need
+	// evaluation.
+	type job struct {
+		u   int    // index into uniq/frags
+		key string // canonical key; "" = bypass the cache
+	}
+	var jobs []job
+	for u, i := range uniq {
+		p := profiles[i]
+		if !useCache || len(p) < batchCacheMinProfile {
+			jobs = append(jobs, job{u: u})
+			continue
+		}
+		key := string(appendCanonicalKey(make([]byte, 0, 26*(len(p)+3)), m, p))
+		if body, ok := s.cache.lookupStr(hashString(key), key); ok {
+			s.batchCanonHits.Add(1)
+			frags[u] = body
+			continue
+		}
+		jobs = append(jobs, job{u: u, key: key})
+	}
+
+	jobProfiles := make([]profile.Profile, len(jobs))
+	for j, jb := range jobs {
+		jobProfiles[j] = profiles[uniq[jb.u]]
+	}
+	render := func(jb job) []byte {
+		p := profiles[uniq[jb.u]]
+		eval := func(workers int) ([]byte, error) {
+			fm := incr.MeasureProfile(m, p, workers)
+			return appendMeasureResponse(make([]byte, 0, 20*(len(p)+6)), p, fm), nil
+		}
+		if jb.key == "" {
+			body, _ := eval(1)
+			return body
+		}
+		// Through the canonical cache: the fill populates the same entry
+		// /v1/measure serves from, and coalesces with any concurrent measure
+		// request for the same cluster.
+		workers := 1
+		if len(p) >= incr.ScheduleLargeCutover {
+			workers = 0
+		}
+		body, _, _ := s.cache.fillStr(hashString(jb.key), jb.key, func() ([]byte, error) {
+			return eval(workers)
+		})
+		return body
+	}
+
+	sched := incr.ScheduleBatch(jobProfiles, 0)
+	for _, j := range sched.Large {
+		frags[jobs[j].u] = render(jobs[j])
+	}
+	weights := make([]int, len(sched.Small))
+	for k, j := range sched.Small {
+		weights[k] = len(jobProfiles[j])
+	}
+	parallel.ForEachLargestFirst(0, weights, func(k int) {
+		j := sched.Small[k]
+		frags[jobs[j].u] = render(jobs[j])
+	})
+	return frags
+}
+
+// dedupeProfiles groups bit-identical profiles: uniq lists one
+// representative index per distinct profile (in first-appearance order),
+// canon[i] is the position in uniq of profile i's representative, and dups
+// counts the entries that collapsed onto an earlier one. Identity is exact
+// float64 equality — profiles are validated finite and positive, so == has
+// no NaN corner — and candidates are pre-grouped by a hash of the raw float
+// bits, with an equality check guarding against hash collisions.
+func dedupeProfiles(profiles []profile.Profile) (uniq []int, canon []int, dups int) {
+	canon = make([]int, len(profiles))
+	reps := make(map[uint64][]int, len(profiles))
+	for i, p := range profiles {
+		h := hashProfileBits(p)
+		found := -1
+		for _, u := range reps[h] {
+			if equalProfile(profiles[uniq[u]], p) {
+				found = u
+				break
+			}
+		}
+		if found < 0 {
+			found = len(uniq)
+			uniq = append(uniq, i)
+			reps[h] = append(reps[h], found)
+		} else {
+			dups++
+		}
+		canon[i] = found
+	}
+	return uniq, canon, dups
+}
+
+// hashProfileBits is FNV-1a over the length and the IEEE-754 bits of every
+// ρ — no canonical-key build, no allocation.
+func hashProfileBits(p profile.Profile) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(len(p)))
+	for _, rho := range p {
+		mix(math.Float64bits(rho))
+	}
+	return h
+}
+
+func equalProfile(a, b profile.Profile) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// drainResizes evaluates any pending contention-adaptive shard resizes.
+// Must run outside every cache operation (maybeResize takes the resize
+// epoch exclusively), which is why the request paths call it last.
+func (s *Server) drainResizes() {
+	if s.cache != nil {
+		s.cache.maybeResize()
+	}
+	if s.rawCache != nil {
+		s.rawCache.maybeResize()
+	}
+	if s.batchRawCache != nil {
+		s.batchRawCache.maybeResize()
+	}
+}

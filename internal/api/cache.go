@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hetero/internal/model"
 	"hetero/internal/profile"
@@ -102,46 +103,105 @@ func parseKeyField(field string) (float64, error) {
 	return strconv.ParseFloat(field, 64)
 }
 
-// responseCache is a sharded, bounded LRU over fully rendered JSON responses
-// with singleflight miss coalescing. Storing the bytes (not the structs)
-// guarantees a hit serves exactly what the miss served.
+// responseCache is a sharded, doubly bounded LRU over fully rendered JSON
+// responses with singleflight miss coalescing. Storing the bytes (not the
+// structs) guarantees a hit serves exactly what the miss served.
+//
+// Two bounds apply simultaneously: an entry-count capacity (the historical
+// bound) and a byte budget over the resident cost of every entry, counted
+// as len(key) + len(body). Large-n profiles carry keys and bodies of
+// hundreds of KB each, so an entry-count bound alone lets a hostile or
+// large-n workload pin gigabytes; the byte budget caps residency no matter
+// the workload shape. Eviction is LRU from the cold end until both bounds
+// hold; a single entry larger than a shard's whole byte budget is rejected
+// outright (and counted) rather than admitted to thrash the shard empty.
 //
 // Keys hash (FNV-1a) to one of a power-of-two number of shards, each with
 // its own lock, LRU list and in-flight table, so concurrent requests for
 // different keys contend only when they collide on a shard. Small caches
 // collapse to one shard, which preserves the exact global-LRU semantics the
 // pre-sharding implementation had (and the tests pin).
+//
+// When adaptive sharding is on, the shard count grows (powers of two, up to
+// adaptiveMaxShards) from observed per-shard traffic: every operation that
+// takes a shard lock bumps that shard's op counter, and a shard absorbing
+// checkEvery operations since the last resize check marks the cache for a
+// resize evaluation. Resizes swap the whole shard set under resizeMu held
+// exclusively; every lookup/fill holds resizeMu shared for its full
+// duration — including the singleflight compute — so a resize can only run
+// when no evaluation is in flight and no flight entry exists. That is what
+// makes resize safe with respect to the exactly-once contract: a flight
+// table can never be orphaned mid-computation, so no key is ever evaluated
+// twice concurrently because of a resize.
 type responseCache struct {
-	shards []cacheShard
-	mask   uint64
 	// capacity is the global entry bound (the sum of per-shard bounds);
 	// ≤ 0 disables caching entirely (every Get is a miss, Put is a no-op,
 	// and misses are never coalesced — matching the uncached baseline).
 	capacity int
+	// maxBytes is the global byte budget over len(key)+len(body) of the
+	// resident entries; ≤ 0 means unlimited (entry count still bounds).
+	maxBytes int64
 	// coalesce enables singleflight miss coalescing: concurrent fill calls
 	// for one key run the compute closure once and share the result. Off in
 	// the single-lock baseline configuration benchserve compares against.
 	coalesce bool
+	// adaptive enables contention-adaptive shard growth; off for caches
+	// constructed with an explicit shard count, whose geometry tests pin.
+	adaptive bool
+	// maxShards bounds adaptive growth; checkEvery is the per-shard op count
+	// between resize evaluations (small values in tests force frequent
+	// resizes).
+	maxShards  int
+	checkEvery uint64
+
+	// resizeMu is the resize epoch: shared by every cache operation for its
+	// full duration, exclusive during a shard-set swap. set is only read
+	// with resizeMu held (either mode) and only written with it exclusive.
+	resizeMu sync.RWMutex
+	set      *shardSet
+	// resizePending is set by a hot shard and drained by maybeResize, which
+	// callers invoke outside any cache operation (never under resizeMu).
+	resizePending atomic.Bool
+	// resizes counts completed shard-set swaps; written under resizeMu
+	// exclusive, read under shared.
+	resizes uint64
 }
 
-// cacheShard is one lock domain: an LRU bounded to capacity entries plus
-// the singleflight table for keys currently being computed.
+// shardSet is one generation of the cache's lock domains; adaptive resizes
+// replace the whole set atomically under resizeMu.
+type shardSet struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// cacheShard is one lock domain: an LRU bounded to capacity entries and
+// byteBudget resident bytes, plus the singleflight table for keys currently
+// being computed.
 type cacheShard struct {
-	mu       sync.Mutex
-	capacity int
-	order    *list.List // front = most recently used; values are *cacheEntry
-	entries  map[string]*list.Element
-	flight   map[string]*flightCall
+	mu         sync.Mutex
+	capacity   int
+	byteBudget int64
+	bytes      int64
+	order      *list.List // front = most recently used; values are *cacheEntry
+	entries    map[string]*list.Element
+	flight     map[string]*flightCall
 
 	hits      uint64
 	misses    uint64
 	coalesced uint64
 	evicted   uint64
+	rejected  uint64 // entries larger than the shard's whole byte budget
+	opsSince  uint64 // ops since the last adaptive resize check
 }
 
 type cacheEntry struct {
 	key  string
 	body []byte
+}
+
+// entryCost is the resident byte cost charged against the byte budget.
+func entryCost(key string, body []byte) int64 {
+	return int64(len(key) + len(body))
 }
 
 // flightCall is one in-progress miss evaluation; waiters block on done and
@@ -152,13 +212,27 @@ type flightCall struct {
 	err  error
 }
 
+// DefaultCacheBytes is the default resident-byte budget for each response
+// cache when no -cache-bytes is configured: 256 MiB. Large-n profiles carry
+// ~25-byte hex floats per ρ in the key and ~18-byte decimals per ρ in the
+// body, so the default 1024-entry bound alone could pin multiple GiB; the
+// byte budget caps it regardless of entry shape.
+const DefaultCacheBytes int64 = 256 << 20
+
 const (
 	// cacheMinPerShard is the smallest per-shard capacity worth sharding
 	// for; below it the cache stays single-sharded so tiny caches keep
 	// exact global LRU eviction order.
 	cacheMinPerShard = 8
-	// cacheMaxShards bounds the automatic shard count (a power of two).
+	// cacheMaxShards bounds the automatic initial shard count (a power of
+	// two); adaptive growth may exceed it up to adaptiveMaxShards.
 	cacheMaxShards = 16
+	// adaptiveMaxShards bounds contention-adaptive shard growth.
+	adaptiveMaxShards = 64
+	// adaptiveCheckOps is the default per-shard operation count between
+	// adaptive resize evaluations: one shard absorbing this much traffic
+	// since the last check is the "sustained contention" signal.
+	adaptiveCheckOps = 1 << 14
 )
 
 // autoShards picks the shard count for a capacity: the largest power of two
@@ -171,56 +245,105 @@ func autoShards(capacity int) int {
 	return shards
 }
 
-// newResponseCache returns a cache bounded to capacity entries with the
-// automatic shard count and coalescing on; capacity ≤ 0 disables caching.
+// cacheOptions configures newCache. The zero value of maxBytes means
+// unlimited; shards 0 means automatic.
+type cacheOptions struct {
+	entries  int
+	maxBytes int64
+	shards   int
+	coalesce bool
+	adaptive bool
+}
+
+// newResponseCache returns a cache bounded to capacity entries and the
+// default byte budget, with the automatic shard count, coalescing on, and
+// adaptive sharding on; capacity ≤ 0 disables caching.
 func newResponseCache(capacity int) *responseCache {
-	return newResponseCacheOpts(capacity, 0, true)
+	return newCache(cacheOptions{
+		entries:  capacity,
+		maxBytes: DefaultCacheBytes,
+		coalesce: true,
+		adaptive: true,
+	})
 }
 
 // newResponseCacheOpts returns a cache with an explicit shard count (0 means
 // automatic; other values round down to a power of two) and coalescing
 // toggle. shards = 1, coalesce = false reproduces the pre-sharding
 // single-lock cache exactly — the baseline configuration for benchserve.
+// Explicit shard counts disable adaptive resizing so the geometry stays
+// pinned.
 func newResponseCacheOpts(capacity, shards int, coalesce bool) *responseCache {
-	if capacity <= 0 {
+	return newCache(cacheOptions{
+		entries:  capacity,
+		maxBytes: DefaultCacheBytes,
+		shards:   shards,
+		coalesce: coalesce,
+		adaptive: shards == 0,
+	})
+}
+
+// newCache builds a responseCache from options.
+func newCache(o cacheOptions) *responseCache {
+	c := &responseCache{
+		capacity:   o.entries,
+		maxBytes:   o.maxBytes,
+		coalesce:   o.coalesce,
+		adaptive:   o.adaptive,
+		maxShards:  adaptiveMaxShards,
+		checkEvery: adaptiveCheckOps,
+	}
+	if o.entries <= 0 {
 		// Disabled: one counter-only shard so Stats still works.
-		c := &responseCache{capacity: capacity}
-		c.shards = make([]cacheShard, 1)
-		c.shards[0].init(0)
+		c.adaptive = false
+		c.set = newShardSet(0, 0, 1)
 		return c
 	}
+	shards := o.shards
 	if shards <= 0 {
-		shards = autoShards(capacity)
+		shards = autoShards(o.entries)
 	}
 	pow2 := 1
 	for pow2*2 <= shards {
 		pow2 *= 2
 	}
-	shards = pow2
-	c := &responseCache{
-		shards:   make([]cacheShard, shards),
-		mask:     uint64(shards - 1),
-		capacity: capacity,
-		coalesce: coalesce,
+	c.set = newShardSet(o.entries, o.maxBytes, pow2)
+	return c
+}
+
+// newShardSet distributes the global entry and byte bounds across shards,
+// giving remainders to the first shards so the per-shard bounds sum exactly
+// to the global ones.
+func newShardSet(capacity int, maxBytes int64, shards int) *shardSet {
+	set := &shardSet{
+		shards: make([]cacheShard, shards),
+		mask:   uint64(shards - 1),
 	}
-	// Distribute the global bound across shards, giving the remainder to the
-	// first shards so the per-shard bounds sum exactly to capacity.
 	base, rem := capacity/shards, capacity%shards
-	for i := range c.shards {
+	var byteBase, byteRem int64
+	if maxBytes > 0 {
+		byteBase, byteRem = maxBytes/int64(shards), maxBytes%int64(shards)
+	}
+	for i := range set.shards {
 		cap := base
 		if i < rem {
 			cap++
 		}
-		if cap < 1 {
+		if cap < 1 && capacity > 0 {
 			cap = 1
 		}
-		c.shards[i].init(cap)
+		budget := byteBase
+		if maxBytes > 0 && int64(i) < byteRem {
+			budget++
+		}
+		set.shards[i].init(cap, budget)
 	}
-	return c
+	return set
 }
 
-func (sh *cacheShard) init(capacity int) {
+func (sh *cacheShard) init(capacity int, byteBudget int64) {
 	sh.capacity = capacity
+	sh.byteBudget = byteBudget
 	sh.order = list.New()
 	sh.entries = make(map[string]*list.Element)
 	sh.flight = make(map[string]*flightCall)
@@ -255,8 +378,81 @@ func hashString(key string) uint64 {
 	return h
 }
 
+// countOpLocked bumps the shard's adaptive-resize op counter; callers hold
+// sh.mu. When the shard has absorbed checkEvery ops it flags the cache for
+// a resize evaluation (performed later, outside the resize epoch, by
+// maybeResize).
+func (c *responseCache) countOpLocked(sh *cacheShard) {
+	if !c.adaptive {
+		return
+	}
+	sh.opsSince++
+	if sh.opsSince >= c.checkEvery {
+		sh.opsSince = 0
+		c.resizePending.Store(true)
+	}
+}
+
+// resizeNeeded reports whether a resize evaluation is pending — one atomic
+// load, cheap enough for the zero-allocation hot path to poll.
+func (c *responseCache) resizeNeeded() bool {
+	return c.adaptive && c.resizePending.Load()
+}
+
+// maybeResize evaluates a pending adaptive resize and performs it. It must
+// be called OUTSIDE any cache operation (never while the caller holds the
+// shared resize epoch), because it takes resizeMu exclusively. Growth
+// doubles the shard count while per-shard entry capacity stays at least
+// cacheMinPerShard and the count stays under maxShards; entries migrate
+// cold-to-hot so per-shard recency survives, and counters carry over.
+// Because every fill holds the epoch shared across its compute, the flight
+// tables are provably empty here — no in-flight evaluation can be orphaned,
+// so a resize can never cause a key to be evaluated twice.
+func (c *responseCache) maybeResize() {
+	// Load before CAS keeps the common no-resize poll read-only.
+	if !c.adaptive || !c.resizePending.Load() || !c.resizePending.CompareAndSwap(true, false) {
+		return
+	}
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	old := c.set
+	n := len(old.shards)
+	if 2*n > c.maxShards || c.capacity/(2*n) < cacheMinPerShard {
+		return
+	}
+	c.set = c.migrate(old, 2*n)
+	c.resizes++
+}
+
+// migrate rebuilds the shard set at a new shard count, rehashing every
+// resident entry (cold-to-hot per source shard, so recency is preserved
+// within each destination) and folding the old counters into the new
+// shards. Callers hold resizeMu exclusively, which guarantees every flight
+// table is empty and no shard lock is held.
+func (c *responseCache) migrate(old *shardSet, shards int) *shardSet {
+	set := newShardSet(c.capacity, c.maxBytes, shards)
+	for i := range old.shards {
+		osh := &old.shards[i]
+		for el := osh.order.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			dst := &set.shards[hashString(e.key)&set.mask]
+			dst.insertLocked(e.key, e.body)
+		}
+		// Counters are reported as sums over shards; folding each source
+		// shard into its index-aligned destination keeps them exact.
+		dst := &set.shards[uint64(i)&set.mask]
+		dst.hits += osh.hits
+		dst.misses += osh.misses
+		dst.coalesced += osh.coalesced
+		dst.evicted += osh.evicted
+		dst.rejected += osh.rejected
+	}
+	return set
+}
+
 func (c *responseCache) shard(h uint64) *cacheShard {
-	return &c.shards[h&c.mask]
+	set := c.set
+	return &set.shards[h&set.mask]
 }
 
 // lookup returns the cached body for the key bytes, counting a hit when
@@ -268,6 +464,8 @@ func (c *responseCache) lookup(h uint64, key []byte) ([]byte, bool) {
 	if c.capacity <= 0 {
 		return nil, false
 	}
+	c.resizeMu.RLock()
+	defer c.resizeMu.RUnlock()
 	sh := c.shard(h)
 	sh.mu.Lock()
 	el, ok := sh.entries[string(key)]
@@ -276,6 +474,7 @@ func (c *responseCache) lookup(h uint64, key []byte) ([]byte, bool) {
 		return nil, false
 	}
 	sh.hits++
+	c.countOpLocked(sh)
 	sh.order.MoveToFront(el)
 	body := el.Value.(*cacheEntry).body
 	sh.mu.Unlock()
@@ -289,6 +488,8 @@ func (c *responseCache) lookupStr(h uint64, key string) ([]byte, bool) {
 	if c.capacity <= 0 {
 		return nil, false
 	}
+	c.resizeMu.RLock()
+	defer c.resizeMu.RUnlock()
 	sh := c.shard(h)
 	sh.mu.Lock()
 	el, ok := sh.entries[key]
@@ -297,6 +498,7 @@ func (c *responseCache) lookupStr(h uint64, key string) ([]byte, bool) {
 		return nil, false
 	}
 	sh.hits++
+	c.countOpLocked(sh)
 	sh.order.MoveToFront(el)
 	body := el.Value.(*cacheEntry).body
 	sh.mu.Unlock()
@@ -306,17 +508,20 @@ func (c *responseCache) lookupStr(h uint64, key string) ([]byte, bool) {
 // fillStr is fill for string keys (see lookupStr); identical semantics.
 func (c *responseCache) fillStr(h uint64, key string, compute func() ([]byte, error)) (body []byte, coalesced bool, err error) {
 	if c.capacity <= 0 {
-		sh := &c.shards[0]
+		sh := &c.set.shards[0]
 		sh.mu.Lock()
 		sh.misses++
 		sh.mu.Unlock()
 		body, err = compute()
 		return body, false, err
 	}
+	c.resizeMu.RLock()
+	defer c.resizeMu.RUnlock()
 	sh := c.shard(h)
 	sh.mu.Lock()
 	if el, ok := sh.entries[key]; ok {
 		sh.hits++
+		c.countOpLocked(sh)
 		sh.order.MoveToFront(el)
 		body = el.Value.(*cacheEntry).body
 		sh.mu.Unlock()
@@ -325,12 +530,14 @@ func (c *responseCache) fillStr(h uint64, key string, compute func() ([]byte, er
 	if c.coalesce {
 		if fc, ok := sh.flight[key]; ok {
 			sh.coalesced++
+			c.countOpLocked(sh)
 			sh.mu.Unlock()
 			<-fc.done
 			return fc.body, true, fc.err
 		}
 	}
 	sh.misses++
+	c.countOpLocked(sh)
 	var fc *flightCall
 	if c.coalesce {
 		fc = &flightCall{done: make(chan struct{})}
@@ -359,22 +566,27 @@ func (c *responseCache) fillStr(h uint64, key string, compute func() ([]byte, er
 // an in-flight computation for the same key when coalescing is on, or runs
 // compute itself and publishes the result. The returned coalesced flag
 // reports that this call waited on another goroutine's evaluation. Errors
-// are propagated to every waiter and nothing is cached.
+// are propagated to every waiter and nothing is cached. The whole call —
+// including compute — runs inside the shared resize epoch, so an adaptive
+// resize can never interleave with an in-flight evaluation.
 func (c *responseCache) fill(h uint64, key []byte, compute func() ([]byte, error)) (body []byte, coalesced bool, err error) {
 	if c.capacity <= 0 {
-		sh := &c.shards[0]
+		sh := &c.set.shards[0]
 		sh.mu.Lock()
 		sh.misses++
 		sh.mu.Unlock()
 		body, err = compute()
 		return body, false, err
 	}
+	c.resizeMu.RLock()
+	defer c.resizeMu.RUnlock()
 	sh := c.shard(h)
 	sh.mu.Lock()
 	// Re-check: another goroutine may have published between our lookup miss
 	// and this lock acquisition.
 	if el, ok := sh.entries[string(key)]; ok {
 		sh.hits++
+		c.countOpLocked(sh)
 		sh.order.MoveToFront(el)
 		body = el.Value.(*cacheEntry).body
 		sh.mu.Unlock()
@@ -383,12 +595,14 @@ func (c *responseCache) fill(h uint64, key []byte, compute func() ([]byte, error
 	if c.coalesce {
 		if fc, ok := sh.flight[string(key)]; ok {
 			sh.coalesced++
+			c.countOpLocked(sh)
 			sh.mu.Unlock()
 			<-fc.done
 			return fc.body, true, fc.err
 		}
 	}
 	sh.misses++
+	c.countOpLocked(sh)
 	var fc *flightCall
 	if c.coalesce {
 		fc = &flightCall{done: make(chan struct{})}
@@ -413,24 +627,50 @@ func (c *responseCache) fill(h uint64, key []byte, compute func() ([]byte, error
 	return body, false, err
 }
 
-// insertLocked stores body under key in the shard's LRU, evicting from the
-// cold end while over the shard bound. Callers hold sh.mu.
+// insertLocked stores body under key in the shard's LRU, maintaining the
+// resident-bytes account and evicting from the cold end while either the
+// entry bound or the byte budget is exceeded. An entry whose own cost
+// exceeds the shard's whole byte budget is rejected (and any stale entry
+// under the key removed) instead of admitted to evict everything else.
+// Callers hold sh.mu.
 func (sh *cacheShard) insertLocked(key string, body []byte) {
 	if sh.capacity <= 0 {
 		return
 	}
-	if el, ok := sh.entries[key]; ok {
-		el.Value.(*cacheEntry).body = body
-		sh.order.MoveToFront(el)
+	cost := entryCost(key, body)
+	if sh.byteBudget > 0 && cost > sh.byteBudget {
+		if el, ok := sh.entries[key]; ok {
+			sh.removeLocked(el)
+		}
+		sh.rejected++
 		return
 	}
-	sh.entries[key] = sh.order.PushFront(&cacheEntry{key: key, body: body})
-	for sh.order.Len() > sh.capacity {
+	if el, ok := sh.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		sh.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		sh.order.MoveToFront(el)
+	} else {
+		sh.entries[key] = sh.order.PushFront(&cacheEntry{key: key, body: body})
+		sh.bytes += cost
+	}
+	for sh.order.Len() > sh.capacity || (sh.byteBudget > 0 && sh.bytes > sh.byteBudget) {
 		oldest := sh.order.Back()
-		sh.order.Remove(oldest)
-		delete(sh.entries, oldest.Value.(*cacheEntry).key)
+		if oldest == nil {
+			break
+		}
+		sh.removeLocked(oldest)
 		sh.evicted++
 	}
+}
+
+// removeLocked drops one entry from the LRU, map and bytes account.
+// Callers hold sh.mu.
+func (sh *cacheShard) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	sh.order.Remove(el)
+	delete(sh.entries, e.key)
+	sh.bytes -= entryCost(e.key, e.body)
 }
 
 // Get returns the cached body for key, counting the hit or miss — the
@@ -441,47 +681,88 @@ func (c *responseCache) Get(key string) ([]byte, bool) {
 	if body, ok := c.lookup(h, kb); ok {
 		return body, true
 	}
+	c.resizeMu.RLock()
 	sh := c.shard(h)
 	sh.mu.Lock()
 	sh.misses++
+	c.countOpLocked(sh)
 	sh.mu.Unlock()
+	c.resizeMu.RUnlock()
+	c.maybeResize()
 	return nil, false
 }
 
 // Put stores body under key, evicting least recently used entries of the
-// key's shard when over its bound.
+// key's shard while over either bound.
 func (c *responseCache) Put(key string, body []byte) {
 	if c.capacity <= 0 {
 		return
 	}
+	c.resizeMu.RLock()
 	sh := c.shard(hashKey([]byte(key)))
 	sh.mu.Lock()
 	sh.insertLocked(key, body)
+	c.countOpLocked(sh)
 	sh.mu.Unlock()
+	c.resizeMu.RUnlock()
+	c.maybeResize()
+}
+
+// cacheCounters is the full statistics snapshot of a cache, summed over
+// shards.
+type cacheCounters struct {
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	evicted   uint64
+	rejected  uint64
+	size      int
+	bytes     int64
+	shards    int
+	resizes   uint64
+}
+
+// counters snapshots every counter, the occupancy (entries and resident
+// bytes), and the sharding geometry.
+func (c *responseCache) counters() cacheCounters {
+	c.resizeMu.RLock()
+	defer c.resizeMu.RUnlock()
+	set := c.set
+	out := cacheCounters{shards: len(set.shards), resizes: c.resizes}
+	for i := range set.shards {
+		sh := &set.shards[i]
+		sh.mu.Lock()
+		out.hits += sh.hits
+		out.misses += sh.misses
+		out.coalesced += sh.coalesced
+		out.evicted += sh.evicted
+		out.rejected += sh.rejected
+		out.size += sh.order.Len()
+		out.bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // Stats reports the cache counters and current occupancy, summed over
 // shards.
 func (c *responseCache) Stats() (hits, misses uint64, size, capacity int) {
-	hits, misses, size, _, _ = c.statsFull()
-	return hits, misses, size, c.capacity
+	ct := c.counters()
+	return ct.hits, ct.misses, ct.size, c.capacity
 }
 
-// statsFull is Stats plus the sharding-era counters.
+// statsFull is Stats plus the sharding-era counters — the historical tuple
+// shape several tests consume.
 func (c *responseCache) statsFull() (hits, misses uint64, size int, coalesced, evicted uint64) {
-	for i := range c.shards {
-		sh := &c.shards[i]
-		sh.mu.Lock()
-		hits += sh.hits
-		misses += sh.misses
-		coalesced += sh.coalesced
-		evicted += sh.evicted
-		size += sh.order.Len()
-		sh.mu.Unlock()
-	}
-	return
+	ct := c.counters()
+	return ct.hits, ct.misses, ct.size, ct.coalesced, ct.evicted
 }
 
 // Shards reports how many lock domains the cache has (1 when disabled or
-// small).
-func (c *responseCache) Shards() int { return len(c.shards) }
+// small); under adaptive sharding the count can grow over the cache's
+// lifetime.
+func (c *responseCache) Shards() int {
+	c.resizeMu.RLock()
+	defer c.resizeMu.RUnlock()
+	return len(c.set.shards)
+}

@@ -165,8 +165,8 @@ func TestShardedCacheConcurrentEvictionBounds(t *testing.T) {
 			hits, misses, coalesced, requests.Load())
 	}
 	// Per-shard bounds, not just the global sum.
-	for i := range c.shards {
-		sh := &c.shards[i]
+	for i := range c.set.shards {
+		sh := &c.set.shards[i]
 		sh.mu.Lock()
 		if sh.order.Len() > sh.capacity {
 			t.Errorf("shard %d over its bound: %d > %d", i, sh.order.Len(), sh.capacity)

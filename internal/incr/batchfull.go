@@ -1,0 +1,93 @@
+package incr
+
+import (
+	"runtime"
+	"sort"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/parallel"
+	"hetero/internal/profile"
+)
+
+// ScheduleLargeCutover is the profile size at which ScheduleBatch classifies
+// a profile as large — the same threshold at which MeasureProfile's chunked
+// kernel engages, so "large" always means "within-profile parallelism is
+// available".
+const ScheduleLargeCutover = core.ParallelCutover
+
+// BatchSchedule is the evaluation plan ScheduleBatch produces for one batch:
+// which profiles to fan out across the worker pool and which to evaluate one
+// at a time with the pool turned inward (the chunked within-profile kernel).
+type BatchSchedule struct {
+	// Small holds the indices evaluated by across-profile fan-out, each on a
+	// single worker.
+	Small []int
+	// Large holds the indices evaluated sequentially with within-profile
+	// parallelism, in decreasing size order (largest first bounds the tail).
+	Large []int
+}
+
+// ScheduleBatch picks the parallelization axis for each profile of a batch
+// using a work-units heuristic. A profile of n ρ-values is n units of work
+// regardless of how it is scheduled, so the only question is where the
+// parallelism comes from:
+//
+//   - Many small profiles → fan out across profiles; per-profile evaluation
+//     is serial and the pool is saturated by profile count.
+//   - Few large profiles (n ≥ core.ParallelCutover) → fanning out uses at
+//     most len(profiles) workers (a 3×500k batch would use 3 cores); instead
+//     evaluate them one at a time with the chunked two-pass kernel spreading
+//     each profile's chunks over the whole pool.
+//   - Enough large profiles to saturate the pool by count alone
+//     (≥ 2×workers) → demote them to the fan-out set: across-profile
+//     parallelism already keeps every core busy and skips the kernel's
+//     per-profile synchronization cost.
+//
+// Both axes produce bit-identical floats — MeasureProfile's chunk-ordered
+// combine makes its result independent of the worker count — so the choice
+// is pure scheduling, never semantics.
+func ScheduleBatch(profiles []profile.Profile, workers int) BatchSchedule {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var sched BatchSchedule
+	for i, p := range profiles {
+		if len(p) >= core.ParallelCutover {
+			sched.Large = append(sched.Large, i)
+		} else {
+			sched.Small = append(sched.Small, i)
+		}
+	}
+	if len(sched.Large) >= 2*workers {
+		sched.Small = append(sched.Small, sched.Large...)
+		sched.Large = nil
+	}
+	sort.SliceStable(sched.Large, func(a, b int) bool {
+		return len(profiles[sched.Large[a]]) > len(profiles[sched.Large[b]])
+	})
+	return sched
+}
+
+// BatchMeasureFull evaluates the full /v1/measure payload (measures plus
+// moments) for every profile of a batch, scheduling per ScheduleBatch:
+// large profiles run the chunked within-profile kernel across the whole
+// pool, the rest fan out across profiles largest-first. Results are indexed
+// like the input and bit-identical to calling MeasureProfile per profile —
+// the property the /v1/batch ≡ /v1/measure golden test pins.
+func BatchMeasureFull(m model.Params, profiles []profile.Profile, workers int) []FullMeasure {
+	out := make([]FullMeasure, len(profiles))
+	sched := ScheduleBatch(profiles, workers)
+	for _, i := range sched.Large {
+		out[i] = MeasureProfile(m, profiles[i], workers)
+	}
+	weights := make([]int, len(sched.Small))
+	for j, i := range sched.Small {
+		weights[j] = len(profiles[i])
+	}
+	parallel.ForEachLargestFirst(workers, weights, func(j int) {
+		i := sched.Small[j]
+		out[i] = MeasureProfile(m, profiles[i], 1)
+	})
+	return out
+}

@@ -1,0 +1,95 @@
+package incr
+
+import (
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+func randProfile(n int, seed uint64) profile.Profile {
+	return profile.RandomNormalized(stats.NewRNG(seed), n)
+}
+
+func TestScheduleBatchClassifiesByCutover(t *testing.T) {
+	profiles := []profile.Profile{
+		randProfile(10, 1),
+		randProfile(core.ParallelCutover, 2),
+		randProfile(20, 3),
+		randProfile(core.ParallelCutover+5, 4),
+	}
+	sched := ScheduleBatch(profiles, 4)
+	if want := []int{0, 2}; len(sched.Small) != 2 || sched.Small[0] != want[0] || sched.Small[1] != want[1] {
+		t.Fatalf("Small = %v, want %v", sched.Small, want)
+	}
+	// Large is ordered by decreasing size, not input order.
+	if want := []int{3, 1}; len(sched.Large) != 2 || sched.Large[0] != want[0] || sched.Large[1] != want[1] {
+		t.Fatalf("Large = %v, want %v (descending by size)", sched.Large, want)
+	}
+}
+
+func TestScheduleBatchDemotesWhenLargeSaturates(t *testing.T) {
+	// Four cutover-size profiles with two workers: across-profile fan-out
+	// already saturates the pool (4 ≥ 2×2), so everything goes Small and the
+	// per-profile kernel synchronization is skipped.
+	var profiles []profile.Profile
+	for i := 0; i < 4; i++ {
+		profiles = append(profiles, randProfile(core.ParallelCutover, uint64(10+i)))
+	}
+	sched := ScheduleBatch(profiles, 2)
+	if len(sched.Large) != 0 || len(sched.Small) != 4 {
+		t.Fatalf("Small %v / Large %v, want all four demoted to Small", sched.Small, sched.Large)
+	}
+	// With a wide pool the same batch keeps the within-profile axis.
+	sched = ScheduleBatch(profiles, 8)
+	if len(sched.Large) != 4 {
+		t.Fatalf("Large %v, want all four on the chunked kernel with 8 workers", sched.Large)
+	}
+}
+
+func TestScheduleBatchTiesKeepInputOrder(t *testing.T) {
+	profiles := []profile.Profile{
+		randProfile(core.ParallelCutover, 20),
+		randProfile(core.ParallelCutover, 21),
+		randProfile(core.ParallelCutover+1, 22),
+	}
+	sched := ScheduleBatch(profiles, 16)
+	if want := []int{2, 0, 1}; sched.Large[0] != want[0] || sched.Large[1] != want[1] || sched.Large[2] != want[2] {
+		t.Fatalf("Large = %v, want %v (stable on equal sizes)", sched.Large, want)
+	}
+}
+
+// TestBatchMeasureFullBitIdentical pins the property the /v1/batch golden
+// test relies on: whatever axis the scheduler picks, every result is
+// bit-identical to a direct per-profile MeasureProfile call — including the
+// chunked-kernel sizes, because MeasureProfile's result is worker-count
+// invariant.
+func TestBatchMeasureFullBitIdentical(t *testing.T) {
+	m := model.Table1()
+	profiles := []profile.Profile{
+		randProfile(7, 31),
+		randProfile(core.ParallelCutover+100, 32), // chunked kernel
+		randProfile(300, 33),
+		randProfile(core.ParallelCutover, 34), // chunked kernel, tie sizes
+		randProfile(3, 35),
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got := BatchMeasureFull(m, profiles, workers)
+		if len(got) != len(profiles) {
+			t.Fatalf("workers=%d: %d results for %d profiles", workers, len(got), len(profiles))
+		}
+		for i, p := range profiles {
+			if want := MeasureProfile(m, p, 1); got[i] != want {
+				t.Fatalf("workers=%d profile %d (n=%d): %+v != %+v", workers, i, len(p), got[i], want)
+			}
+		}
+	}
+}
+
+func TestBatchMeasureFullEmpty(t *testing.T) {
+	if got := BatchMeasureFull(model.Table1(), nil, 4); len(got) != 0 {
+		t.Fatalf("empty batch produced %d results", len(got))
+	}
+}

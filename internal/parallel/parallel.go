@@ -8,6 +8,7 @@ package parallel
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -76,6 +77,24 @@ func MapChunks[T any](workers, n, chunk int, fn func(lo, hi int) T) []T {
 		}
 		return fn(lo, hi)
 	})
+}
+
+// ForEachLargestFirst is ForEach with longest-processing-time-first
+// dispatch: indices are handed to workers in decreasing weight order, the
+// classic LPT heuristic that tightens the makespan when item costs vary
+// widely (a batch mixing n=500k and n=10 profiles, say). Ties keep input
+// order, so the dispatch sequence is deterministic; fn still receives the
+// original indices and results stay index-addressed.
+func ForEachLargestFirst(workers int, weights []int, fn func(i int)) {
+	n := len(weights)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return weights[order[a]] > weights[order[b]]
+	})
+	ForEach(workers, n, func(j int) { fn(order[j]) })
 }
 
 // ForEach runs fn(0..n-1) on up to workers goroutines and waits for all of

@@ -100,6 +100,38 @@ func TestForEachMoreWorkersThanWork(t *testing.T) {
 	}
 }
 
+func TestForEachLargestFirstCoversAllOnce(t *testing.T) {
+	weights := make([]int, 150)
+	for i := range weights {
+		weights[i] = (i * 37) % 19
+	}
+	var counts [150]int32
+	ForEachLargestFirst(8, weights, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachLargestFirstDispatchOrder(t *testing.T) {
+	// Serially (one worker) the dispatch order IS the visit order: strictly
+	// decreasing weight, with ties keeping input order.
+	weights := []int{3, 1, 4, 1, 5, 3}
+	var visited []int
+	ForEachLargestFirst(1, weights, func(i int) { visited = append(visited, i) })
+	want := []int{4, 2, 0, 5, 1, 3}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visit order %v, want %v (LPT with stable ties)", visited, want)
+		}
+	}
+}
+
+func TestForEachLargestFirstEmpty(t *testing.T) {
+	ForEachLargestFirst(4, nil, func(i int) { t.Fatal("fn called for empty weights") })
+}
+
 func TestNumChunks(t *testing.T) {
 	cases := []struct{ n, chunk, want int }{
 		{0, 4, 0}, {-1, 4, 0},
