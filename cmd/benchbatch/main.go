@@ -39,12 +39,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"hetero/internal/api"
@@ -81,6 +86,29 @@ type RegimeResult struct {
 	MeetsThreshold    bool      `json:"meets_threshold"`
 }
 
+// MemoryResult certifies the bounded-peak-memory claim of the streaming
+// render path: the same large batch is served once through the buffered
+// engine (BatchBody) and once through the streaming engine (BatchBodyStream
+// into a discarding writer), on cache-disabled servers so no layer retains
+// bytes, while a sampler tracks peak heap growth over the pre-serve
+// baseline. The gate is the ratio of the two peaks: streaming must hold
+// peak memory at or below RatioThreshold of the buffered baseline. The
+// streamed bytes are hash-checked against the buffered response, so the
+// certificate also witnesses bit-identity at full scale.
+type MemoryResult struct {
+	ProfilesPerBatch  int      `json:"profiles_per_batch"`
+	ProfileN          int      `json:"profile_n"`
+	Samples           int      `json:"samples"`
+	ResponseBytes     int      `json:"response_bytes"`
+	StreamPeaks       []uint64 `json:"stream_peaks"`
+	BufferedPeaks     []uint64 `json:"buffered_peaks"`
+	PeakStreamBytes   uint64   `json:"peak_stream_bytes"`   // mean over samples
+	PeakBufferedBytes uint64   `json:"peak_buffered_bytes"` // mean over samples
+	PeakRatio         float64  `json:"peak_ratio"`          // mean stream / mean buffered
+	RatioThreshold    float64  `json:"ratio_threshold"`
+	MeetsThreshold    bool     `json:"meets_threshold"`
+}
+
 // Report is the BENCH_batch.json document.
 type Report struct {
 	GOMAXPROCS int            `json:"gomaxprocs"`
@@ -88,6 +116,7 @@ type Report struct {
 	Baseline   string         `json:"baseline"`
 	Gate       string         `json:"gate"`
 	Regimes    []RegimeResult `json:"regimes"`
+	Memory     *MemoryResult  `json:"memory,omitempty"`
 	Pass       bool           `json:"pass"`
 }
 
@@ -197,7 +226,180 @@ func buildReport(quick bool) Report {
 		}
 		rep.Regimes = append(rep.Regimes, r)
 	}
+
+	memProfiles, memN := 4096, 1024
+	if quick {
+		memProfiles, memN = 1024, 1024
+	}
+	mem := runMemoryRegime(memProfiles, memN, samples)
+	if !mem.MeetsThreshold {
+		rep.Pass = false
+	}
+	rep.Memory = &mem
 	return rep
+}
+
+// streamMemoryRatio is the bounded-memory gate: the streaming path's peak
+// heap growth must stay at or below this fraction of the buffered path's on
+// the certificate workload.
+const streamMemoryRatio = 0.25
+
+// runMemoryRegime measures peak heap growth for one large batch served
+// buffered vs streamed. Full-precision ρ spellings keep the response (the
+// thing streaming bounds) dominant over the decoded profiles (the floor both
+// paths share); cache-disabled servers keep retained cache bytes out of
+// both peaks.
+func runMemoryRegime(profiles, n, samples int) MemoryResult {
+	r := MemoryResult{
+		ProfilesPerBatch: profiles,
+		ProfileN:         n,
+		Samples:          samples,
+		RatioThreshold:   streamMemoryRatio,
+	}
+	// A tight GC keeps sampled HeapAlloc tracking live memory instead of
+	// accumulated garbage — without it the decode append-growth and
+	// per-fragment render garbage on the streaming side inflates its "peak"
+	// by whole GC cycles. 5% is slow but this regime is untimed.
+	defer debug.SetGCPercent(debug.SetGCPercent(5))
+	body := batchBody(fullPrecisionProfiles(profiles, n, 901), 0)
+
+	// One unmeasured pass per side: the first serve pays one-off heap growth
+	// (allocator arenas, stack growth) that would otherwise inflate sample 0.
+	{
+		s := api.NewServerCacheSize(0)
+		if status, _, err := s.BatchBodyStream(context.Background(), &countingHashWriter{}, body); status != 200 || err != nil {
+			panic("benchbatch: warm-up stream serve failed")
+		}
+		s = api.NewServerCacheSize(0)
+		if status, _, _ := s.BatchBody(body); status != 200 {
+			panic("benchbatch: warm-up buffered serve failed")
+		}
+	}
+
+	for k := 0; k < samples; k++ {
+		var streamed countingHashWriter
+		streamPeak := measurePeak(func() {
+			s := api.NewServerCacheSize(0) // cache-disabled: nothing retained
+			status, msg, err := s.BatchBodyStream(context.Background(), &streamed, body)
+			if status != 200 || err != nil {
+				panic(fmt.Sprintf("benchbatch: stream serve failed: status %d %s err %v", status, msg, err))
+			}
+		})
+		var bufHash uint64
+		bufPeak := measurePeak(func() {
+			s := api.NewServerCacheSize(0)
+			status, resp, msg := s.BatchBody(body)
+			if status != 200 {
+				panic(fmt.Sprintf("benchbatch: buffered serve failed: status %d %s", status, msg))
+			}
+			h := fnv.New64a()
+			h.Write(resp)
+			bufHash = h.Sum64()
+			r.ResponseBytes = len(resp)
+		})
+		if streamed.hash.Sum64() != bufHash || streamed.n != r.ResponseBytes {
+			panic(fmt.Sprintf("benchbatch: streamed bytes diverge from buffered (%d vs %d bytes)",
+				streamed.n, r.ResponseBytes))
+		}
+		r.StreamPeaks = append(r.StreamPeaks, streamPeak)
+		r.BufferedPeaks = append(r.BufferedPeaks, bufPeak)
+	}
+	r.PeakStreamBytes = meanU64(r.StreamPeaks)
+	r.PeakBufferedBytes = meanU64(r.BufferedPeaks)
+	r.PeakRatio = float64(r.PeakStreamBytes) / float64(r.PeakBufferedBytes)
+	r.MeetsThreshold = r.PeakRatio <= r.RatioThreshold
+	return r
+}
+
+// measurePeak runs fn while sampling runtime.MemStats.HeapAlloc and returns
+// the peak growth over the post-GC baseline taken just before fn.
+func measurePeak(fn func()) uint64 {
+	runtime.GC()
+	runtime.GC() // settle finalizer-freed memory so the baseline is stable
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline := ms.HeapAlloc
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var s runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			runtime.ReadMemStats(&s)
+			for {
+				p := peak.Load()
+				if s.HeapAlloc <= p || peak.CompareAndSwap(p, s.HeapAlloc) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	fn()
+	close(stop)
+	<-done
+	if p := peak.Load(); p > baseline {
+		return p - baseline
+	}
+	return 0
+}
+
+// countingHashWriter hashes and counts the stream without retaining it —
+// the memory-honest stand-in for a network socket.
+type countingHashWriter struct {
+	hash maphash64
+	n    int
+}
+
+// maphash64 wraps hash/fnv's 64-bit FNV-1a so the zero value is usable.
+type maphash64 struct{ h hash.Hash64 }
+
+func (m *maphash64) ensure() {
+	if m.h == nil {
+		m.h = fnv.New64a()
+	}
+}
+
+func (m *maphash64) Sum64() uint64 {
+	m.ensure()
+	return m.h.Sum64()
+}
+
+func (w *countingHashWriter) Write(p []byte) (int, error) {
+	w.hash.ensure()
+	w.hash.h.Write(p)
+	w.n += len(p)
+	return len(p), nil
+}
+
+func meanU64(xs []uint64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / uint64(len(xs))
+}
+
+// fullPrecisionProfiles draws count normalized n-computer profiles at full
+// float64 precision (~18-byte spellings): the certificate shape where the
+// rendered response, not the decoded floats, dominates peak memory.
+func fullPrecisionProfiles(count, n int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	out := make([][]float64, count)
+	for c := range out {
+		out[c] = []float64(profile.RandomNormalized(rng, n))
+	}
+	return out
 }
 
 // runRegime collects paired samples for one workload shape and applies the

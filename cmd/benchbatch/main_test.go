@@ -33,6 +33,18 @@ func TestBuildReportQuick(t *testing.T) {
 			t.Fatalf("missing regime %q", want)
 		}
 	}
+	if rep.Memory == nil {
+		t.Fatal("report carries no memory regime")
+	}
+	if rep.Memory.PeakStreamBytes == 0 || rep.Memory.PeakBufferedBytes == 0 {
+		t.Fatalf("memory regime measured nothing: %+v", rep.Memory)
+	}
+	if rep.Memory.PeakRatio <= 0 || rep.Memory.RatioThreshold != streamMemoryRatio {
+		t.Fatalf("memory regime gate malformed: %+v", rep.Memory)
+	}
+	if len(rep.Memory.StreamPeaks) != rep.Memory.Samples || len(rep.Memory.BufferedPeaks) != rep.Memory.Samples {
+		t.Fatalf("memory regime peak samples incomplete: %+v", rep.Memory)
+	}
 	// The document must round-trip as JSON (it becomes BENCH_batch.json).
 	raw, err := json.Marshal(rep)
 	if err != nil {

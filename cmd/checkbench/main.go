@@ -13,14 +13,23 @@
 // (too few samples) therefore cannot pass a thresholded regime, and a
 // hand-edited mean cannot mask a noisy run.
 //
+// Documents carrying a "memory" regime (cmd/benchbatch's bounded-peak-memory
+// certificate) are additionally compared against the committed previous
+// certificate in -history (default bench_history/): the streamed peak may
+// not grow more than 20% over the committed one, so a perf-neutral change
+// that quietly regresses peak memory fails the build even though the ratio
+// gate still passes.
+//
 //	go run ./cmd/checkbench                  # checks the default documents
 //	go run ./cmd/checkbench A.json B.json    # checks an explicit list
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
 // defaultDocs are the certificates `make bench` regenerates.
@@ -30,14 +39,26 @@ var defaultDocs = []string{"BENCH_incr.json", "BENCH_fault.json", "BENCH_serve.j
 // matching cmd/benchbatch.
 const minSamples = 5
 
+// maxPeakGrowth bounds the streamed peak against the committed history:
+// current peak_stream_bytes may be at most 1.2× the committed value.
+const maxPeakGrowth = 1.20
+
 func main() {
-	docs := os.Args[1:]
+	history := flag.String("history", "bench_history",
+		"directory of committed prior certificates for the peak-memory regression gate (empty disables)")
+	flag.Parse()
+	docs := flag.Args()
 	if len(docs) == 0 {
 		docs = defaultDocs
 	}
 	failures := 0
 	for _, path := range docs {
 		if err := checkDoc(path); err != nil {
+			fmt.Fprintf(os.Stderr, "checkbench: %s: %v\n", path, err)
+			failures++
+			continue
+		}
+		if err := checkHistory(path, *history); err != nil {
 			fmt.Fprintf(os.Stderr, "checkbench: %s: %v\n", path, err)
 			failures++
 			continue
@@ -81,7 +102,72 @@ func checkDoc(path string) error {
 			}
 		}
 	}
+	if mem, ok := doc["memory"].(map[string]interface{}); ok {
+		if err := checkMemory(mem); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// checkMemory validates the bounded-peak-memory regime: meets_threshold must
+// be true and the ratio is re-derived from the raw peaks rather than
+// trusted, so a hand-edited flag cannot mask a blown memory budget.
+func checkMemory(mem map[string]interface{}) error {
+	if met, ok := mem["meets_threshold"].(bool); !ok || !met {
+		return fmt.Errorf("memory regime misses its threshold")
+	}
+	streamPeak, okS := mem["peak_stream_bytes"].(float64)
+	bufPeak, okB := mem["peak_buffered_bytes"].(float64)
+	threshold, okT := mem["ratio_threshold"].(float64)
+	if !okS || !okB || !okT || bufPeak <= 0 || threshold <= 0 {
+		return fmt.Errorf("memory regime missing peak or threshold fields")
+	}
+	if ratio := streamPeak / bufPeak; ratio > threshold {
+		return fmt.Errorf("memory regime: peak ratio %.3f exceeds threshold %.3f", ratio, threshold)
+	}
+	return nil
+}
+
+// checkHistory compares a certificate's streamed peak memory against the
+// committed previous certificate of the same name in dir. Absent history (no
+// directory, no prior document, or no memory regime on either side) passes —
+// the gate only ever tightens when both sides carry evidence.
+func checkHistory(path, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	prev, ok := memoryPeakOf(filepath.Join(dir, filepath.Base(path)))
+	if !ok {
+		return nil
+	}
+	cur, ok := memoryPeakOf(path)
+	if !ok {
+		return fmt.Errorf("committed history has a memory regime but the current certificate does not")
+	}
+	if cur > prev*maxPeakGrowth {
+		return fmt.Errorf("peak_stream_bytes %.0f regressed more than %d%% over the committed %.0f (update %s if intended)",
+			cur, int(maxPeakGrowth*100)-100, prev, filepath.Join(dir, filepath.Base(path)))
+	}
+	return nil
+}
+
+// memoryPeakOf reads a certificate's memory.peak_stream_bytes; ok = false
+// when the file is absent or carries no usable memory regime.
+func memoryPeakOf(path string) (float64, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	var doc struct {
+		Memory *struct {
+			PeakStreamBytes float64 `json:"peak_stream_bytes"`
+		} `json:"memory"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil || doc.Memory == nil || doc.Memory.PeakStreamBytes <= 0 {
+		return 0, false
+	}
+	return doc.Memory.PeakStreamBytes, true
 }
 
 // checkRegime validates one regime entry. Every regime must report

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -38,6 +39,13 @@ func TestCheckDoc(t *testing.T) {
 			"threshold": 3, "speedup_ci_low": 4.0}]}`, true},
 		{"report-only ci regime needs no samples gate", `{"pass": true, "regimes": [{"name": "many_small",
 			"meets_threshold": true, "samples": 2, "speedup_ci_low": 0.9}]}`, false},
+		{"memory regime met", `{"pass": true, "memory": {"meets_threshold": true,
+			"peak_stream_bytes": 20, "peak_buffered_bytes": 100, "ratio_threshold": 0.25}}`, false},
+		{"memory regime missed", `{"pass": true, "memory": {"meets_threshold": false,
+			"peak_stream_bytes": 20, "peak_buffered_bytes": 100, "ratio_threshold": 0.25}}`, true},
+		{"memory ratio over threshold despite forged flag", `{"pass": true, "memory": {"meets_threshold": true,
+			"peak_stream_bytes": 30, "peak_buffered_bytes": 100, "ratio_threshold": 0.25}}`, true},
+		{"memory regime missing peaks", `{"pass": true, "memory": {"meets_threshold": true}}`, true},
 	}
 	for _, tc := range cases {
 		path := writeDoc(t, "doc.json", tc.content)
@@ -51,5 +59,48 @@ func TestCheckDoc(t *testing.T) {
 func TestCheckDocMissingFile(t *testing.T) {
 	if err := checkDoc(filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestCheckHistory pins the peak-memory regression gate: within 20% of the
+// committed streamed peak passes, beyond it fails, and absent history on
+// either side never blocks.
+func TestCheckHistory(t *testing.T) {
+	doc := func(peak float64) string {
+		return fmt.Sprintf(`{"pass": true, "memory": {"meets_threshold": true,
+			"peak_stream_bytes": %g, "peak_buffered_bytes": 1000, "ratio_threshold": 0.25}}`, peak)
+	}
+	dir := t.TempDir()
+	histDir := filepath.Join(dir, "bench_history")
+	if err := os.Mkdir(histDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(path, content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := filepath.Join(dir, "BENCH_batch.json")
+	write(filepath.Join(histDir, "BENCH_batch.json"), doc(100))
+
+	write(cur, doc(110)) // +10%: within the budget
+	if err := checkHistory(cur, histDir); err != nil {
+		t.Fatalf("10%% growth rejected: %v", err)
+	}
+	write(cur, doc(150)) // +50%: regression
+	if err := checkHistory(cur, histDir); err == nil {
+		t.Fatal("50% peak growth accepted")
+	}
+	write(cur, `{"pass": true}`) // history has memory, current dropped it
+	if err := checkHistory(cur, histDir); err == nil {
+		t.Fatal("dropped memory regime accepted against committed history")
+	}
+	// No committed history → nothing to compare.
+	if err := checkHistory(cur, filepath.Join(dir, "missing")); err != nil {
+		t.Fatalf("absent history dir blocked: %v", err)
+	}
+	if err := checkHistory(cur, ""); err != nil {
+		t.Fatalf("disabled history blocked: %v", err)
 	}
 }

@@ -54,7 +54,9 @@ func run(args []string) error {
 	cacheShards := fs.Int("cache-shards", 0, "lock shards for the measure cache (0 = automatic, rounded down to a power of two)")
 	cacheBytes := fs.Int64("cache-bytes", api.DefaultCacheBytes, "byte budget per response cache, counting key+body per entry (0 = unlimited)")
 	cacheAdaptive := fs.Bool("cache-adaptive", true, "grow cache shard count from observed contention (only with -cache-shards 0)")
-	maxBatchBody := fs.Int("max-batch-body", api.DefaultMaxBatchBody, "byte cap on a POST /v1/batch request body")
+	maxBody := fs.Int("max-body", api.DefaultMaxBody, "byte cap on any POST request body")
+	maxBatchBody := fs.Int("max-batch-body", 0, "deprecated alias for -max-body (0 = unset)")
+	streamBatchThreshold := fs.Int("stream-batch-threshold", 0, "work-units estimate (total ρ-values per batch) past which /v1/batch responses stream instead of buffering (0 = default, negative disables streaming)")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "http.Server WriteTimeout")
@@ -99,7 +101,15 @@ func run(args []string) error {
 		Coalesce: true,
 		Adaptive: *cacheAdaptive,
 	})
-	apiSrv.MaxBatchBody = *maxBatchBody
+	apiSrv.MaxBody = *maxBody
+	if *maxBatchBody > 0 {
+		// Honor the deprecated flag when the new one was left at its default.
+		if *maxBody == api.DefaultMaxBody {
+			apiSrv.MaxBody = *maxBatchBody
+		}
+		log.Printf("heterod: -max-batch-body is deprecated; use -max-body")
+	}
+	apiSrv.StreamBatchThreshold = *streamBatchThreshold
 	apiSrv.Serving = api.ServingConfig{
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queueDepth,

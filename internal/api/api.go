@@ -58,18 +58,31 @@ type Server struct {
 	// Serving tunes the hardening middleware; set it before the first
 	// Handler call. The zero value uses the package defaults.
 	Serving ServingConfig
-	// MaxBatchBody caps the POST /v1/batch request body in bytes; 0 means
-	// DefaultMaxBatchBody. Set it before serving.
+	// MaxBody caps every POST request body in bytes (batch, simulate,
+	// schedule, design); 0 means DefaultMaxBody. Set it before serving.
+	MaxBody int
+	// MaxBatchBody is the historical per-endpoint spelling of MaxBody; it
+	// applies only when MaxBody is unset.
+	//
+	// Deprecated: set MaxBody — the caps are unified.
 	MaxBatchBody int
+	// StreamBatchThreshold is the work-units estimate (incr.WorkUnits: one
+	// unit per ρ-value in the batch) at or above which a POST /v1/batch
+	// response is streamed with per-fragment flushes instead of buffered.
+	// 0 means DefaultStreamBatchThreshold; negative disables streaming.
+	// Set it before serving.
+	StreamBatchThreshold int
 
-	cache          *responseCache
-	rawCache       *responseCache // raw-query front layer for large queries
-	batchRawCache  *responseCache // raw body-front layer for /v1/batch
-	batchRequests  atomic.Uint64
-	batchProfiles  atomic.Uint64
-	batchDeduped   atomic.Uint64
-	batchCanonHits atomic.Uint64
-	batchRawHits   atomic.Uint64
+	cache                *responseCache
+	rawCache             *responseCache // raw-query front layer for large queries
+	batchRawCache        *responseCache // raw body-front layer for /v1/batch
+	batchRequests        atomic.Uint64
+	batchProfiles        atomic.Uint64
+	batchProfilesUnknown atomic.Uint64
+	batchDeduped         atomic.Uint64
+	batchCanonHits       atomic.Uint64
+	batchRawHits         atomic.Uint64
+	batchStreamed        atomic.Uint64
 
 	serving     ServingConfig // Serving with defaults resolved
 	runTokens   chan struct{}
@@ -251,23 +264,44 @@ type BatchResponse struct {
 	Results []MeasureResponse `json:"results"`
 }
 
+// readPostBody reads one POST request body under the Server's unified byte
+// cap (MaxBody). The cap applies before any decoding: request *shapes* are
+// bounded by the endpoint validators, but a hostile body could carry
+// unbounded tokens and balloon decode memory. Over-cap bodies get the
+// structured 413 every endpoint shares; ok = false means the response has
+// been written.
+func (s *Server) readPostBody(w http.ResponseWriter, r *http.Request) (body []byte, ok bool) {
+	max := s.maxBody()
+	body, err := io.ReadAll(io.LimitReader(r.Body, int64(max)+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return nil, false
+	}
+	if len(body) > max {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d bytes; shard across requests or raise -max-body", max))
+		return nil, false
+	}
+	return body, true
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	// Byte cap before any decoding: profile *count* is bounded below, but a
-	// hostile body could carry MaxBatchProfiles profiles of unbounded width
-	// (or one endless token) and balloon decode memory.
-	max := s.maxBatchBody()
-	body, err := io.ReadAll(io.LimitReader(r.Body, int64(max)+1))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+	body, ok := s.readPostBody(w, r)
+	if !ok {
 		return
 	}
-	if len(body) > max {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("body exceeds %d bytes; shard across requests", max))
+	// drainResizes must run however the request ends — including a client
+	// disconnect mid-stream — or adaptive shard growth stalls.
+	defer s.drainResizes()
+	// A body of B bytes decodes to at most ~B/2 ρ-values, so bodies under
+	// the work-units threshold in bytes can never stream: they take the
+	// buffered engine (raw body-front, dedupe, cacheable assembly) whole.
+	if len(body) >= s.streamBatchThreshold() {
+		s.serveBatchLarge(w, r, body)
 		return
 	}
 	status, resp, msg := s.BatchBody(body)
@@ -306,14 +340,21 @@ type CacheStats struct {
 // within-request profiles that collapsed onto a bit-identical earlier entry;
 // CacheHits counts batch entries served from the canonical measure cache;
 // RawHits counts whole requests served (or coalesced) by the raw body-front
-// cache, whose residency RawBytes reports.
+// cache, whose residency RawBytes reports; Streamed counts responses
+// rendered through the bounded-memory streaming path. ProfilesUnknown
+// counts served requests whose profile count could not be recovered (no
+// admission-time meta and no sniffable count prefix) — those requests are
+// in Requests but contribute nothing to Profiles, reported explicitly
+// instead of silently skewing the ratio.
 type BatchStats struct {
-	Requests  uint64 `json:"requests"`
-	Profiles  uint64 `json:"profiles"`
-	Deduped   uint64 `json:"deduped"`
-	CacheHits uint64 `json:"cache_hits"`
-	RawHits   uint64 `json:"raw_hits"`
-	RawBytes  int64  `json:"raw_bytes"`
+	Requests        uint64 `json:"requests"`
+	Profiles        uint64 `json:"profiles"`
+	ProfilesUnknown uint64 `json:"profiles_unknown"`
+	Deduped         uint64 `json:"deduped"`
+	CacheHits       uint64 `json:"cache_hits"`
+	RawHits         uint64 `json:"raw_hits"`
+	RawBytes        int64  `json:"raw_bytes"`
+	Streamed        uint64 `json:"streamed"`
 }
 
 // ServingStats is the /v1/statz view of the hardening middleware.
@@ -358,11 +399,13 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		cs.HitRate = float64(cs.Hits+cs.Coalesced) / float64(total)
 	}
 	bs := BatchStats{
-		Requests:  s.batchRequests.Load(),
-		Profiles:  s.batchProfiles.Load(),
-		Deduped:   s.batchDeduped.Load(),
-		CacheHits: s.batchCanonHits.Load(),
-		RawHits:   s.batchRawHits.Load(),
+		Requests:        s.batchRequests.Load(),
+		Profiles:        s.batchProfiles.Load(),
+		ProfilesUnknown: s.batchProfilesUnknown.Load(),
+		Deduped:         s.batchDeduped.Load(),
+		CacheHits:       s.batchCanonHits.Load(),
+		RawHits:         s.batchRawHits.Load(),
+		Streamed:        s.batchStreamed.Load(),
 	}
 	if s.batchRawCache != nil {
 		bs.RawBytes = s.batchRawCache.counters().bytes
@@ -426,8 +469,12 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
+	body, ok := s.readPostBody(w, r)
+	if !ok {
+		return
+	}
 	var req ScheduleRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
@@ -480,8 +527,12 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
+	body, ok := s.readPostBody(w, r)
+	if !ok {
+		return
+	}
 	var req DesignRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}

@@ -2,6 +2,7 @@ package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -34,12 +35,19 @@ import (
 // byte-identical to json.Encoder on BatchResponse — the golden equivalence
 // tests pin both identities.
 
-// DefaultMaxBatchBody caps the POST /v1/batch request body when the Server
-// does not override it: 16 MiB, sized so a full MaxBatchProfiles batch of
-// moderate profiles fits while a hostile stream cannot balloon decode
-// memory. (The /v1/simulate/faulty cap is 1 MiB; batch bodies are
-// legitimately larger.)
-const DefaultMaxBatchBody = 16 << 20
+// DefaultMaxBody caps every POST request body when the Server does not
+// override it: 16 MiB, sized so a full MaxBatchProfiles batch of moderate
+// profiles fits while a hostile stream cannot balloon decode memory. One
+// cap covers all POST endpoints (/v1/batch, /v1/simulate/faulty,
+// /v1/schedule, /v1/design) so raising it for batch traffic never leaves a
+// stale per-endpoint cap behind.
+const DefaultMaxBody = 16 << 20
+
+// DefaultMaxBatchBody is the historical name of DefaultMaxBody, kept so
+// existing configuration code keeps compiling.
+//
+// Deprecated: use DefaultMaxBody.
+const DefaultMaxBatchBody = DefaultMaxBody
 
 // batchRawMinBody is the body length at which the raw body-front cache
 // engages — same rationale and value as the measure raw layer's query gate:
@@ -53,69 +61,79 @@ const batchRawMinBody = rawFastPathMinQuery
 // batch entries would thrash the LRU that /v1/measure hits depend on.
 const batchCacheMinProfile = 128
 
-// maxBatchBody resolves the Server's batch body cap.
-func (s *Server) maxBatchBody() int {
+// maxBody resolves the Server's unified POST body cap: MaxBody wins, then
+// the deprecated MaxBatchBody, then the package default.
+func (s *Server) maxBody() int {
+	if s.MaxBody > 0 {
+		return s.MaxBody
+	}
 	if s.MaxBatchBody > 0 {
 		return s.MaxBatchBody
 	}
-	return DefaultMaxBatchBody
+	return DefaultMaxBody
 }
 
 // BatchBody runs the POST /v1/batch hot path for a raw request body without
 // the HTTP layer: raw body-front cache, JSON decode, dedupe, size-adaptive
 // evaluation, byte-exact assembly. It returns the HTTP status and, for
-// status 200, the response body (newline-terminated, matching
-// json.Encoder). It exists so cmd/benchbatch and the equivalence tests can
-// measure the batch engine proper, free of net/http overhead.
+// status 200, the fully buffered response body (newline-terminated,
+// matching json.Encoder). It exists so cmd/benchbatch and the equivalence
+// tests can measure the batch engine proper, free of net/http overhead; the
+// HTTP handler streams oversized responses instead (see batchstream.go) and
+// only takes this buffered path below the streaming threshold.
 func (s *Server) BatchBody(body []byte) (status int, resp []byte, msg string) {
+	s.ensureBatchCaches()
+	defer s.drainResizes()
+
+	// Raw body-front lookup: for large bodies the exact bytes are a cache
+	// key checked before any decoding, so a repeated sweep costs one hash
+	// instead of a decode + evaluation. The profile count rides on the
+	// entry's meta (stored at admission), so a hit never re-parses bytes.
+	front := len(body) >= batchRawMinBody && s.batchRawCache != nil && s.batchRawCache.capacity > 0
+	var key string
+	var h uint64
+	if front {
+		key = string(body)
+		h = hashString(key)
+		if resp, meta, ok := s.batchRawCache.lookupStrMeta(h, key); ok {
+			s.batchRawHits.Add(1)
+			s.noteBatchCached(resp, meta)
+			return 200, resp, ""
+		}
+	}
+	m, profiles, status, msg := s.decodeBatchRequest(body)
+	if status != 0 {
+		return status, nil, msg
+	}
+	s.noteBatch(len(profiles))
+	if !front {
+		return 200, s.renderBatchBuffered(m, profiles), ""
+	}
+	// Errors were rejected above, before the cache layer — the fill can only
+	// publish valid bodies, and a herd of identical misses still evaluates
+	// once (each waiter decoded for itself, which it needed anyway to learn
+	// whether the response should stream).
+	resp, _, coalesced, err := s.batchRawCache.fillStrMeta(h, key, func() ([]byte, int64, error) {
+		return s.renderBatchBuffered(m, profiles), int64(len(profiles)), nil
+	})
+	if err != nil {
+		return 500, nil, err.Error()
+	}
+	if coalesced {
+		s.batchRawHits.Add(1)
+	}
+	return 200, resp, ""
+}
+
+// ensureBatchCaches lazily builds the cache layers for zero-constructed
+// Server literals (Handler does the same once for the HTTP path).
+func (s *Server) ensureBatchCaches() {
 	if s.cache == nil {
 		s.cache = newResponseCache(DefaultMeasureCacheSize)
 	}
 	if s.batchRawCache == nil {
 		s.batchRawCache = newResponseCache(s.cache.capacity)
 	}
-	status, resp, msg = s.batchFront(body)
-	s.drainResizes()
-	return status, resp, msg
-}
-
-// batchFront is the raw body-front layer: for large bodies the exact bytes
-// are a cache key checked before any decoding, so a repeated sweep costs one
-// hash instead of a decode + evaluation. Errors carry through the
-// singleflight as statusError and are never cached; the mapping body →
-// response is deterministic, so a stale-looking entry still serves correct
-// bytes.
-func (s *Server) batchFront(body []byte) (int, []byte, string) {
-	if len(body) < batchRawMinBody || s.batchRawCache == nil || s.batchRawCache.capacity <= 0 {
-		return s.batchCompute(body)
-	}
-	key := string(body)
-	h := hashString(key)
-	if resp, ok := s.batchRawCache.lookupStr(h, key); ok {
-		s.batchRawHits.Add(1)
-		s.noteBatch(batchCountFromBody(resp))
-		return 200, resp, ""
-	}
-	resp, coalesced, err := s.batchRawCache.fillStr(h, key, func() ([]byte, error) {
-		st, b, m := s.batchCompute(body)
-		if st != 200 {
-			return nil, &statusError{status: st, msg: m}
-		}
-		return b, nil
-	})
-	if err != nil {
-		if se, ok := err.(*statusError); ok {
-			return se.status, nil, se.msg
-		}
-		return 500, nil, err.Error()
-	}
-	if coalesced {
-		// The computing request counted itself inside batchCompute; a
-		// coalesced waiter is its own request and counts here.
-		s.batchRawHits.Add(1)
-		s.noteBatch(batchCountFromBody(resp))
-	}
-	return 200, resp, ""
 }
 
 // noteBatch bumps the /v1/statz batch counters for one served request of n
@@ -125,54 +143,181 @@ func (s *Server) noteBatch(n int) {
 	s.batchProfiles.Add(uint64(n))
 }
 
-// batchCountFromBody recovers the profile count from a rendered batch
-// response, which always starts `{"count":N,...` — so raw-layer hits keep
-// the statz profile counter exact without decoding the body.
-func batchCountFromBody(b []byte) int {
-	const pre = `{"count":`
-	if len(b) < len(pre) || string(b[:len(pre)]) != pre {
-		return 0
+// noteBatchCached counts one request served from the raw body-front. The
+// profile count comes from the entry's admission-time meta; entries
+// predating the meta (or hand-inserted) fall back to sniffing the body, and
+// when even that fails the request is counted under the explicit
+// profiles_unknown statz counter instead of silently contributing zero.
+func (s *Server) noteBatchCached(resp []byte, meta int64) {
+	if meta > 0 {
+		s.noteBatch(int(meta))
+		return
 	}
-	n := 0
+	if n, ok := batchCountFromBody(resp); ok {
+		s.noteBatch(n)
+		return
+	}
+	s.batchRequests.Add(1)
+	s.batchProfilesUnknown.Add(1)
+}
+
+// batchCountFromBody recovers the profile count from a rendered batch
+// response, which starts `{"count":N,...` when buffered. ok = false means
+// the body does not carry a leading count (a streamed response terminated
+// by an error trailer, or foreign bytes) — callers must treat the count as
+// unknown rather than zero.
+func batchCountFromBody(b []byte) (int, bool) {
+	const pre = `{"count":`
+	if len(b) < len(pre)+1 || string(b[:len(pre)]) != pre {
+		return 0, false
+	}
+	n, digits := 0, 0
 	for _, c := range b[len(pre):] {
 		if c < '0' || c > '9' {
 			break
 		}
 		n = n*10 + int(c-'0')
+		digits++
 	}
-	return n
+	if digits == 0 {
+		return 0, false
+	}
+	return n, true
 }
 
-// batchCompute decodes, validates, dedupes, evaluates and renders one batch
-// request — everything below the raw body-front layer.
-func (s *Server) batchCompute(body []byte) (int, []byte, string) {
-	var req BatchRequest
+// decodeBatchRequest parses and validates one POST /v1/batch body. A zero
+// status means success; otherwise status/msg describe the rejection. It is
+// shared by the buffered and streaming paths, so validation happens exactly
+// once per request, before any cache admission or byte is written.
+//
+// The profiles array is decoded by profilesField's hand parser over the
+// value's bytes in place, with one reusable ρ scratch buffer, so decode-side
+// peak memory is the validated profiles plus O(largest single profile) —
+// json.Unmarshal into [][]float64 would hold a second full copy (plus
+// append-growth garbage) live at once, which on a MaxBatchProfiles batch
+// dwarfs everything the streaming render path saves. Oversized batches are
+// rejected as soon as the count crosses MaxBatchProfiles, before the
+// remaining profiles are decoded at all.
+func (s *Server) decodeBatchRequest(body []byte) (m model.Params, profiles []profile.Profile, status int, msg string) {
+	m = s.Defaults
+	var req struct {
+		Profiles profilesField `json:"profiles"`
+		Params   *model.Params `json:"params"`
+	}
 	if err := json.Unmarshal(body, &req); err != nil {
-		return 400, nil, "invalid JSON: " + err.Error()
+		if req.Profiles.status != 0 {
+			return m, nil, req.Profiles.status, req.Profiles.msg
+		}
+		return m, nil, 400, "invalid JSON: " + err.Error()
 	}
-	if len(req.Profiles) == 0 {
-		return 400, nil, "profiles must be non-empty"
+	if len(req.Profiles.profiles) == 0 {
+		return m, nil, 400, "profiles must be non-empty"
 	}
-	if len(req.Profiles) > MaxBatchProfiles {
-		return 413, nil, fmt.Sprintf("batch of %d profiles exceeds the limit of %d; shard across requests", len(req.Profiles), MaxBatchProfiles)
-	}
-	m := s.Defaults
 	if req.Params != nil {
 		m = *req.Params
 	}
 	if err := m.Validate(); err != nil {
-		return 400, nil, err.Error()
+		return m, nil, 400, err.Error()
 	}
-	profiles := make([]profile.Profile, len(req.Profiles))
-	for i, rhos := range req.Profiles {
-		p, err := profile.New(rhos...)
-		if err != nil {
-			return 400, nil, fmt.Sprintf("profiles[%d]: %v", i, err)
-		}
-		profiles[i] = p
-	}
-	s.noteBatch(len(profiles))
+	return m, req.Profiles.profiles, 0, ""
+}
 
+// profilesField decodes the "profiles" key of a batch request. Its
+// UnmarshalJSON receives the array's bytes as a subslice of the request body
+// (encoding/json does not copy the value for a custom unmarshaler) and
+// parses them directly — faster than reflection-driven [][]float64 decoding
+// and without its full second copy of every ρ. A rejection is carried in
+// status/msg (413 over-limit, 400 shape/validation) alongside the returned
+// error, so decodeBatchRequest can answer with the precise status.
+type profilesField struct {
+	profiles []profile.Profile
+	status   int
+	msg      string
+}
+
+// errBatchReject aborts json.Unmarshal once profilesField has recorded a
+// rejection; the recorded status/msg carry the real diagnosis.
+var errBatchReject = errors.New("batch request rejected")
+
+func (pf *profilesField) fail(status int, msg string) error {
+	pf.status, pf.msg = status, msg
+	return errBatchReject
+}
+
+// UnmarshalJSON parses `[[ρ,...],...]` in place. json.Unmarshal has already
+// syntax-checked the whole body (checkValid runs before any decoding), so
+// data is well-formed JSON and the parser only decides shape: every element
+// must be an array of numbers that profile.New accepts.
+func (pf *profilesField) UnmarshalJSON(data []byte) error {
+	pf.profiles = nil // duplicate "profiles" keys restart, like encoding/json
+	i := skipJSONSpace(data, 0)
+	if i < len(data) && data[i] == 'n' { // null: same as absent
+		return nil
+	}
+	if i >= len(data) || data[i] != '[' {
+		return pf.fail(400, "profiles must be an array of arrays")
+	}
+	i = skipJSONSpace(data, i+1)
+	if i < len(data) && data[i] == ']' {
+		return nil
+	}
+	var scratch []float64
+	for i < len(data) {
+		if len(pf.profiles) >= MaxBatchProfiles {
+			return pf.fail(413, fmt.Sprintf("batch exceeds the limit of %d profiles; shard across requests", MaxBatchProfiles))
+		}
+		if data[i] != '[' {
+			return pf.fail(400, fmt.Sprintf("profiles[%d] must be an array of numbers", len(pf.profiles)))
+		}
+		i = skipJSONSpace(data, i+1)
+		scratch = scratch[:0]
+		for i < len(data) && data[i] != ']' {
+			start := i
+			for i < len(data) && data[i] != ',' && data[i] != ']' && !isJSONSpace(data[i]) {
+				i++
+			}
+			f, err := strconv.ParseFloat(string(data[start:i]), 64)
+			if err != nil {
+				return pf.fail(400, fmt.Sprintf("profiles[%d]: ρ values must be numbers", len(pf.profiles)))
+			}
+			scratch = append(scratch, f)
+			i = skipJSONSpace(data, i)
+			if i < len(data) && data[i] == ',' {
+				i = skipJSONSpace(data, i+1)
+			}
+		}
+		i++ // past the inner ']'
+		p, err := profile.New(scratch...)
+		if err != nil {
+			return pf.fail(400, fmt.Sprintf("profiles[%d]: %v", len(pf.profiles), err))
+		}
+		pf.profiles = append(pf.profiles, p)
+		i = skipJSONSpace(data, i)
+		if i < len(data) && data[i] == ',' {
+			i = skipJSONSpace(data, i+1)
+			continue
+		}
+		break // the outer ']'
+	}
+	return nil
+}
+
+func isJSONSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func skipJSONSpace(data []byte, i int) int {
+	for i < len(data) && isJSONSpace(data[i]) {
+		i++
+	}
+	return i
+}
+
+// renderBatchBuffered dedupes, evaluates and assembles one decoded batch
+// request into a single body — the cacheable rendering. Peak memory is
+// O(sum of fragment sizes); responses estimated above the streaming
+// threshold take writeBatchStream instead (HTTP path only).
+func (s *Server) renderBatchBuffered(m model.Params, profiles []profile.Profile) []byte {
 	// Dedupe bit-identical profiles within the request: repeated sweeps
 	// often carry the same candidate many times, and every duplicate shares
 	// its representative's rendered fragment.
@@ -200,7 +345,7 @@ func (s *Server) batchCompute(body []byte) (int, []byte, string) {
 		out = append(out, f[:len(f)-1]...)
 	}
 	out = append(out, ']', '}', '\n')
-	return 200, out, ""
+	return out
 }
 
 // renderUnique produces the rendered measure fragment for every unique

@@ -258,3 +258,58 @@ func TestDedupeProfiles(t *testing.T) {
 		t.Fatal("length not mixed into the profile hash")
 	}
 }
+
+// TestBatchDecodeHandParser pins the in-place profiles parser against
+// encoding/json semantics: float spellings decode identically (both sides
+// bottom out in strconv.ParseFloat), whitespace is insignificant, unknown
+// keys are skipped, a duplicate "profiles" key restarts rather than
+// appends, and every malformed shape is rejected with the right status.
+func TestBatchDecodeHandParser(t *testing.T) {
+	s := NewServer()
+	// Exponent/sign spellings plus aggressive whitespace must serve the
+	// exact bytes of the plainly-spelled equivalent batch.
+	spelled := []byte("{ \"unknown\" : {\"nested\": [1, \"x\"]},\n\t\"profiles\" : [ [ 1e0 , 5E-1 ] ,\r\n [0.25, 2.5e-1, 5e-1] ] }")
+	status, resp, msg := s.BatchBody(spelled)
+	if status != 200 {
+		t.Fatalf("spelled batch: status %d: %s", status, msg)
+	}
+	want := expectedBatchBody(t, [][]float64{{1, 0.5}, {0.25, 0.25, 0.5}})
+	if !bytes.Equal(resp, want) {
+		t.Fatalf("spelled batch diverges:\ngot  %.200q\nwant %.200q", resp, want)
+	}
+	// A duplicate "profiles" key takes the last value, like encoding/json.
+	status, resp, msg = s.BatchBody([]byte(`{"profiles":[[1]],"profiles":[[0.5,0.5]]}`))
+	if status != 200 {
+		t.Fatalf("duplicate key: status %d: %s", status, msg)
+	}
+	if want := expectedBatchBody(t, [][]float64{{0.5, 0.5}}); !bytes.Equal(resp, want) {
+		t.Fatalf("duplicate key did not take the last value: %.200q", resp)
+	}
+	bad := []struct {
+		name, body, wantMsg string
+		status              int
+	}{
+		{"profiles_null", `{"profiles":null}`, "profiles must be non-empty", 400},
+		{"profiles_empty", `{"profiles":[ ]}`, "profiles must be non-empty", 400},
+		{"profiles_object", `{"profiles":{"a":1}}`, "profiles must be an array of arrays", 400},
+		{"element_scalar", `{"profiles":[1]}`, "profiles[0] must be an array of numbers", 400},
+		{"element_null", `{"profiles":[[1],null]}`, "profiles[1] must be an array of numbers", 400},
+		{"rho_string", `{"profiles":[["a"]]}`, "profiles[0]: ρ values must be numbers", 400},
+		{"rho_bool", `{"profiles":[[1],[true]]}`, "profiles[1]: ρ values must be numbers", 400},
+		{"rho_nested", `{"profiles":[[[1]]]}`, "profiles[0]: ρ values must be numbers", 400},
+		{"rho_invalid", `{"profiles":[[-1]]}`, "profiles[0]: ", 400},
+		{"trailing_garbage", "{\"profiles\":[[1]]} x", "invalid JSON", 400},
+		{"not_an_object", `[[1]]`, "invalid JSON", 400},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, msg := s.BatchBody([]byte(tc.body))
+			if status != tc.status {
+				t.Fatalf("status %d (%s), want %d", status, msg, tc.status)
+			}
+			if !strings.Contains(msg, tc.wantMsg) {
+				t.Fatalf("msg %q does not contain %q", msg, tc.wantMsg)
+			}
+		})
+	}
+}

@@ -197,6 +197,11 @@ type cacheShard struct {
 type cacheEntry struct {
 	key  string
 	body []byte
+	// meta is an opaque caller-owned value stored with the entry at
+	// admission time (the /v1/batch raw front records the profile count
+	// here, so a hit never re-parses the body to recover it). Zero for
+	// layers that don't use it.
+	meta int64
 }
 
 // entryCost is the resident byte cost charged against the byte budget.
@@ -205,10 +210,11 @@ func entryCost(key string, body []byte) int64 {
 }
 
 // flightCall is one in-progress miss evaluation; waiters block on done and
-// then read body/err (written before done is closed).
+// then read body/meta/err (written before done is closed).
 type flightCall struct {
 	done chan struct{}
 	body []byte
+	meta int64
 	err  error
 }
 
@@ -436,7 +442,7 @@ func (c *responseCache) migrate(old *shardSet, shards int) *shardSet {
 		for el := osh.order.Back(); el != nil; el = el.Prev() {
 			e := el.Value.(*cacheEntry)
 			dst := &set.shards[hashString(e.key)&set.mask]
-			dst.insertLocked(e.key, e.body)
+			dst.insertLocked(e.key, e.body, e.meta)
 		}
 		// Counters are reported as sums over shards; folding each source
 		// shard into its index-aligned destination keeps them exact.
@@ -507,13 +513,49 @@ func (c *responseCache) lookupStr(h uint64, key string) ([]byte, bool) {
 
 // fillStr is fill for string keys (see lookupStr); identical semantics.
 func (c *responseCache) fillStr(h uint64, key string, compute func() ([]byte, error)) (body []byte, coalesced bool, err error) {
+	body, _, coalesced, err = c.fillStrMeta(h, key, func() ([]byte, int64, error) {
+		b, err := compute()
+		return b, 0, err
+	})
+	return body, coalesced, err
+}
+
+// lookupStrMeta is lookupStr returning the admission-time meta value stored
+// with the entry alongside the body.
+func (c *responseCache) lookupStrMeta(h uint64, key string) ([]byte, int64, bool) {
+	if c.capacity <= 0 {
+		return nil, 0, false
+	}
+	c.resizeMu.RLock()
+	defer c.resizeMu.RUnlock()
+	sh := c.shard(h)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, 0, false
+	}
+	sh.hits++
+	c.countOpLocked(sh)
+	sh.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	body, meta := e.body, e.meta
+	sh.mu.Unlock()
+	return body, meta, true
+}
+
+// fillStrMeta is the string-keyed fill core: compute returns the body plus
+// an opaque meta value stored with the entry and handed back to every hit,
+// waiter, and the computing caller — so derived facts (the batch raw front's
+// profile count) survive without re-parsing cached bytes.
+func (c *responseCache) fillStrMeta(h uint64, key string, compute func() ([]byte, int64, error)) (body []byte, meta int64, coalesced bool, err error) {
 	if c.capacity <= 0 {
 		sh := &c.set.shards[0]
 		sh.mu.Lock()
 		sh.misses++
 		sh.mu.Unlock()
-		body, err = compute()
-		return body, false, err
+		body, meta, err = compute()
+		return body, meta, false, err
 	}
 	c.resizeMu.RLock()
 	defer c.resizeMu.RUnlock()
@@ -523,9 +565,10 @@ func (c *responseCache) fillStr(h uint64, key string, compute func() ([]byte, er
 		sh.hits++
 		c.countOpLocked(sh)
 		sh.order.MoveToFront(el)
-		body = el.Value.(*cacheEntry).body
+		e := el.Value.(*cacheEntry)
+		body, meta = e.body, e.meta
 		sh.mu.Unlock()
-		return body, false, nil
+		return body, meta, false, nil
 	}
 	if c.coalesce {
 		if fc, ok := sh.flight[key]; ok {
@@ -533,7 +576,7 @@ func (c *responseCache) fillStr(h uint64, key string, compute func() ([]byte, er
 			c.countOpLocked(sh)
 			sh.mu.Unlock()
 			<-fc.done
-			return fc.body, true, fc.err
+			return fc.body, fc.meta, true, fc.err
 		}
 	}
 	sh.misses++
@@ -545,21 +588,21 @@ func (c *responseCache) fillStr(h uint64, key string, compute func() ([]byte, er
 	}
 	sh.mu.Unlock()
 
-	body, err = compute()
+	body, meta, err = compute()
 
 	sh.mu.Lock()
 	if fc != nil {
 		delete(sh.flight, key)
 	}
 	if err == nil {
-		sh.insertLocked(key, body)
+		sh.insertLocked(key, body, meta)
 	}
 	sh.mu.Unlock()
 	if fc != nil {
-		fc.body, fc.err = body, err
+		fc.body, fc.meta, fc.err = body, meta, err
 		close(fc.done)
 	}
-	return body, false, err
+	return body, meta, false, err
 }
 
 // fill completes a miss: it re-checks the entry under the shard lock, joins
@@ -617,7 +660,7 @@ func (c *responseCache) fill(h uint64, key []byte, compute func() ([]byte, error
 		delete(sh.flight, string(key))
 	}
 	if err == nil {
-		sh.insertLocked(string(key), body)
+		sh.insertLocked(string(key), body, 0)
 	}
 	sh.mu.Unlock()
 	if fc != nil {
@@ -627,13 +670,13 @@ func (c *responseCache) fill(h uint64, key []byte, compute func() ([]byte, error
 	return body, false, err
 }
 
-// insertLocked stores body under key in the shard's LRU, maintaining the
-// resident-bytes account and evicting from the cold end while either the
-// entry bound or the byte budget is exceeded. An entry whose own cost
-// exceeds the shard's whole byte budget is rejected (and any stale entry
-// under the key removed) instead of admitted to evict everything else.
-// Callers hold sh.mu.
-func (sh *cacheShard) insertLocked(key string, body []byte) {
+// insertLocked stores body (and its admission-time meta value) under key in
+// the shard's LRU, maintaining the resident-bytes account and evicting from
+// the cold end while either the entry bound or the byte budget is exceeded.
+// An entry whose own cost exceeds the shard's whole byte budget is rejected
+// (and any stale entry under the key removed) instead of admitted to evict
+// everything else. Callers hold sh.mu.
+func (sh *cacheShard) insertLocked(key string, body []byte, meta int64) {
 	if sh.capacity <= 0 {
 		return
 	}
@@ -649,9 +692,10 @@ func (sh *cacheShard) insertLocked(key string, body []byte) {
 		e := el.Value.(*cacheEntry)
 		sh.bytes += int64(len(body)) - int64(len(e.body))
 		e.body = body
+		e.meta = meta
 		sh.order.MoveToFront(el)
 	} else {
-		sh.entries[key] = sh.order.PushFront(&cacheEntry{key: key, body: body})
+		sh.entries[key] = sh.order.PushFront(&cacheEntry{key: key, body: body, meta: meta})
 		sh.bytes += cost
 	}
 	for sh.order.Len() > sh.capacity || (sh.byteBudget > 0 && sh.bytes > sh.byteBudget) {
@@ -701,7 +745,7 @@ func (c *responseCache) Put(key string, body []byte) {
 	c.resizeMu.RLock()
 	sh := c.shard(hashKey([]byte(key)))
 	sh.mu.Lock()
-	sh.insertLocked(key, body)
+	sh.insertLocked(key, body, 0)
 	c.countOpLocked(sh)
 	sh.mu.Unlock()
 	c.resizeMu.RUnlock()

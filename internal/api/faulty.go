@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"net/http"
 
@@ -16,11 +15,12 @@ import (
 )
 
 // Limits on one POST /v1/simulate/faulty request: the simulation is
-// O((n + faults)·log n), so these keep worst-case latency bounded.
+// O((n + faults)·log n), so these keep worst-case latency bounded. The
+// request body itself is capped by the Server-wide MaxBody limit, like
+// every other POST endpoint.
 const (
 	MaxFaultyProfile = 4096
 	MaxFaults        = 1024
-	maxFaultyBody    = 1 << 20
 )
 
 // FaultyRequest is the POST /v1/simulate/faulty body. Outage and blackout
@@ -87,14 +87,8 @@ func (s *Server) handleSimulateFaulty(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodPost)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxFaultyBody+1))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
-		return
-	}
-	if len(body) > maxFaultyBody {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("body exceeds %d bytes", maxFaultyBody))
+	body, ok := s.readPostBody(w, r)
+	if !ok {
 		return
 	}
 	m, p, lifespan, plan, replan, err := decodeFaultyRequest(s.Defaults, body)

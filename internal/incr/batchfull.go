@@ -28,6 +28,19 @@ type BatchSchedule struct {
 	Large []int
 }
 
+// WorkUnits is the work-units estimate behind ScheduleBatch's heuristic,
+// totaled over a batch: a profile of n ρ-values is n units of work (and, on
+// the serving side, ~n rendered response bytes times a small constant) no
+// matter how it is scheduled. The HTTP layer uses the same number to decide
+// when a /v1/batch response is large enough to stream rather than buffer.
+func WorkUnits(profiles []profile.Profile) int {
+	total := 0
+	for _, p := range profiles {
+		total += len(p)
+	}
+	return total
+}
+
 // ScheduleBatch picks the parallelization axis for each profile of a batch
 // using a work-units heuristic. A profile of n ρ-values is n units of work
 // regardless of how it is scheduled, so the only question is where the

@@ -93,3 +93,15 @@ func TestBatchMeasureFullEmpty(t *testing.T) {
 		t.Fatalf("empty batch produced %d results", len(got))
 	}
 }
+
+// TestWorkUnits pins the estimate shared by ScheduleBatch and the HTTP
+// stream-vs-buffer arbitration: one unit per ρ-value, summed over the batch.
+func TestWorkUnits(t *testing.T) {
+	if got := WorkUnits(nil); got != 0 {
+		t.Fatalf("WorkUnits(nil) = %d", got)
+	}
+	profiles := []profile.Profile{randProfile(7, 41), randProfile(300, 42), randProfile(1, 43)}
+	if got := WorkUnits(profiles); got != 308 {
+		t.Fatalf("WorkUnits = %d, want 308", got)
+	}
+}
