@@ -29,8 +29,12 @@ BENCH_fault.json: FORCE
 	$(GO) run ./cmd/benchfault > $@
 
 # Perf certificate for the serving hot path: sharded singleflight cache,
-# raw-query front layer, zero-alloc measure path. The mixed (thundering
-# herd) regime must show ≥3× throughput over the single-lock baseline.
+# raw-query front layer, zero-alloc measure path, admission batcher. The
+# mixed (thundering herd) regime must show ≥3× throughput over the
+# single-lock baseline; many_clients (distinct-key herd) must certify ≥2×
+# coalesced-over-uncoalesced benchstat-style (≥5 paired samples, 95% CI low
+# end). checkbench also holds thresholded regimes to ≥70% of the committed
+# bench_history/ speedups.
 BENCH_serve.json: FORCE
 	$(GO) run ./cmd/benchserve > $@
 

@@ -1,27 +1,42 @@
 // Command benchserve certifies the serving hot-path overhaul. It drives the
 // /v1/measure path in-process (through api.Server.MeasureQuery, free of
-// net/http overhead) under four load regimes:
+// net/http overhead) under five load regimes:
 //
-//	hit      concurrent requests over a warm working set of small profiles
-//	miss     every request a distinct cold small profile
-//	mixed    thundering-herd waves: all workers demand the same fresh
-//	         large profile at once, interleaved with warm hits — the
-//	         regime the singleflight + raw-query layers exist for
-//	large_n  a repeated identical large profile (n ≥ the chunked-kernel
-//	         cutover), measuring the raw-query fast path
+//	hit           concurrent requests over a warm working set of small
+//	              profiles
+//	miss          every request a distinct cold small profile
+//	mixed         thundering-herd waves: all workers demand the same fresh
+//	              large profile at once, interleaved with warm hits — the
+//	              regime the singleflight + raw-query layers exist for
+//	large_n       a repeated identical large profile (n ≥ the chunked-kernel
+//	              cutover), measuring the raw-query fast path
+//	many_clients  hundreds of concurrent clients sweeping *distinct* small
+//	              keys (one parameter point each) over a shared fresh
+//	              profile per wave — the paper's §4.3 sensitivity-sweep
+//	              shape, which singleflight cannot coalesce. Measures the
+//	              cross-request admission batcher (EnableCoalesce) against
+//	              the same server without it.
 //
-// Each regime runs against two servers built from the same code: the tuned
-// configuration (sharded cache, singleflight coalescing, raw-query front
-// layer) and the historical baseline (single-lock cache, no coalescing, no
-// raw layer — api.NewServerCacheOpts(n, 1, false)). The report records
-// ops/sec for both, the speedup, and tuned-side p50/p99 latency and
-// allocations per operation.
+// The first four regimes run against two servers built from the same code:
+// the tuned configuration (sharded cache, singleflight coalescing,
+// raw-query front layer) and the historical baseline (single-lock cache, no
+// coalescing, no raw layer — api.NewServerCacheOpts(n, 1, false)). The
+// report records ops/sec for both, the speedup, and tuned-side p50/p99
+// latency and allocations per operation.
 //
-// The acceptance threshold rides on the mixed regime: tuned throughput must
-// be ≥ 3× baseline at GOMAXPROCS ≥ 8 (forced to 16 when the host gives
-// less). On a single-core host the win is algorithmic, not parallel: the
-// baseline evaluates a herd of identical misses once per worker, the tuned
-// path exactly once per wave.
+// Two acceptance thresholds:
+//
+//   - mixed: tuned throughput ≥ 3× baseline at GOMAXPROCS ≥ 8 (forced to 16
+//     when the host gives less). On a single-core host the win is
+//     algorithmic, not parallel: the baseline evaluates a herd of identical
+//     misses once per worker, the tuned path exactly once per wave.
+//   - many_clients: certified benchstat-style — ≥ 5 paired samples, and the
+//     LOW end of the 95% confidence interval of the coalesced/uncoalesced
+//     throughput ratio must be ≥ 2×. Per flush the batcher pays the
+//     profile-sized costs (decode, canonical suffix, moments, echo) once
+//     per distinct profile instead of once per request, so a herd of N
+//     distinct small queries collapses from N pool dispatches into
+//     ~N/flush-size coalesced dispatches.
 //
 // It prints one JSON document to stdout — the content of BENCH_serve.json
 // (see `make bench`):
@@ -55,13 +70,28 @@ import (
 // the mixed regime.
 const mixedThreshold = 3.0
 
+// manyClientsThreshold is the certified floor for the 95% CI low end of the
+// coalesced/uncoalesced throughput ratio in the many_clients regime.
+const manyClientsThreshold = 2.0
+
+// manyClientsSamples is the benchstat-style paired-sample count the
+// many_clients certificate carries; cmd/checkbench rejects certificates
+// below its own minSamples floor (5), so a -quick document cannot certify.
+const manyClientsSamples = 5
+
 // RegimeResult reports one load regime's baseline-vs-tuned comparison.
+// Samples and SpeedupCILow are carried only by benchstat-style regimes
+// (many_clients): Speedup is then the mean ratio over the paired samples
+// and SpeedupCILow the low end of its 95% confidence interval — the number
+// the threshold gates on.
 type RegimeResult struct {
 	Name              string  `json:"name"`
 	Requests          int     `json:"requests"`
 	BaselineOpsPerSec float64 `json:"baseline_ops_per_sec"`
 	TunedOpsPerSec    float64 `json:"tuned_ops_per_sec"`
 	Speedup           float64 `json:"speedup"`
+	SpeedupCILow      float64 `json:"speedup_ci_low,omitempty"`
+	Samples           int     `json:"samples,omitempty"`
 	TunedP50Ms        float64 `json:"tuned_p50_ms"`
 	TunedP99Ms        float64 `json:"tuned_p99_ms"`
 	TunedAllocsPerOp  float64 `json:"tuned_allocs_per_op"`
@@ -88,7 +118,7 @@ func main() {
 		os.Exit(1)
 	}
 	if !rep.Pass && !*quick {
-		fmt.Fprintln(os.Stderr, "benchserve: mixed-regime speedup threshold not met")
+		fmt.Fprintln(os.Stderr, "benchserve: a speedup threshold was not met")
 		os.Exit(1)
 	}
 }
@@ -178,7 +208,139 @@ func buildReport(quick bool) Report {
 		}
 		rep.Regimes = append(rep.Regimes, r)
 	}
+
+	mc := runManyClients(quick)
+	if !mc.MeetsThreshold {
+		rep.Pass = false
+	}
+	rep.Regimes = append(rep.Regimes, mc)
 	return rep
+}
+
+// runManyClients certifies the admission batcher: per sample, the same
+// distinct-key sweep traffic is driven against a fresh tuned server without
+// coalescing and a fresh one with it, and the throughput ratio recorded.
+// The pairs are GC-leveled and the gate is the 95% CI low end over ≥ 5
+// samples, so one lucky run cannot certify and one noisy one cannot mask.
+func runManyClients(quick bool) RegimeResult {
+	clients, waves, n, samples := 256, 4, 1000, manyClientsSamples
+	if quick {
+		clients, waves, n, samples = 16, 2, 800, 2
+	}
+	// Per wave a fresh shared fleet profile; per client a distinct tau over
+	// it — distinct cache keys by construction, so neither singleflight
+	// layer can collapse them. The profile is long enough to engage the raw
+	// front (the batcher's raw submission flavor, which shares the decode
+	// itself across a flush) but far below the chunked-kernel cutover: each
+	// request is a small serial evaluation, the worst case for amortizing
+	// per-request overhead anywhere but in the batcher.
+	queries := make([][]string, waves)
+	for v := range queries {
+		base := profileQuery(n, uint64(0xC0A1+v))
+		queries[v] = make([]string, clients)
+		for c := range queries[v] {
+			queries[v][c] = fmt.Sprintf("%s&tau=0.%04d", base, c+101)
+		}
+	}
+
+	ratios := make([]float64, 0, samples)
+	var sumBase, sumTuned float64
+	var lastTuned loadStats
+	for k := 0; k < samples; k++ {
+		base := driveWaves(api.NewServer(), clients, queries)
+		coalSrv := api.NewServer()
+		coalSrv.EnableCoalesce(api.CoalesceConfig{})
+		tuned := driveWaves(coalSrv, clients, queries)
+		coalSrv.CloseCoalesce()
+		if base.opsPerSec() > 0 {
+			ratios = append(ratios, tuned.opsPerSec()/base.opsPerSec())
+		}
+		sumBase += base.opsPerSec()
+		sumTuned += tuned.opsPerSec()
+		lastTuned = tuned
+	}
+	mean, lo, _ := meanCI95(ratios)
+	r := RegimeResult{
+		Name:              "many_clients",
+		Requests:          clients * waves,
+		BaselineOpsPerSec: sumBase / float64(samples),
+		TunedOpsPerSec:    sumTuned / float64(samples),
+		Speedup:           mean,
+		SpeedupCILow:      lo,
+		Samples:           len(ratios),
+		TunedP50Ms:        lastTuned.percentileMs(50),
+		TunedP99Ms:        lastTuned.percentileMs(99),
+		TunedAllocsPerOp:  lastTuned.allocsPerOp,
+		Threshold:         manyClientsThreshold,
+	}
+	r.MeetsThreshold = r.SpeedupCILow >= r.Threshold
+	return r
+}
+
+// driveWaves releases all clients together once per wave, one request each,
+// with a barrier between waves — every key distinct and cold, arriving as a
+// herd the way a sweep dashboard fans out.
+func driveWaves(s *api.Server, clients int, queries [][]string) loadStats {
+	lats := make([]time.Duration, 0, len(queries)*clients)
+	runtime.GC() // level the GC state so paired runs compare fairly
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for v := range queries {
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		waveLats := make([]time.Duration, clients)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				<-start
+				t1 := time.Now()
+				status, _ := s.MeasureQuery(queries[v][c])
+				waveLats[c] = time.Since(t1)
+				if status != 200 {
+					panic(fmt.Sprintf("benchserve: many_clients query %q: status %d", queries[v][c], status))
+				}
+			}(c)
+		}
+		close(start)
+		wg.Wait()
+		lats = append(lats, waveLats...)
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	out := loadStats{ops: len(queries) * clients, wall: wall, latencies: lats}
+	if out.ops > 0 {
+		out.allocsPerOp = math.Round(float64(after.Mallocs-before.Mallocs)/float64(out.ops)*1000) / 1000
+	}
+	return out
+}
+
+// meanCI95 returns the sample mean and its 95% Student-t confidence
+// interval (matching cmd/benchbatch's gate arithmetic).
+func meanCI95(xs []float64) (mean, lo, hi float64) {
+	n := len(xs)
+	mean = stats.Mean(xs)
+	if n < 2 {
+		return mean, mean, mean
+	}
+	sd := math.Sqrt(stats.Variance(xs) * float64(n) / float64(n-1)) // sample sd
+	half := tValue95(n-1) * sd / math.Sqrt(float64(n))
+	return mean, mean - half, mean + half
+}
+
+// tValue95 is the two-sided 95% Student-t critical value for df degrees of
+// freedom (df ≥ 8 rounds down to the asymptotic value).
+func tValue95(df int) float64 {
+	table := []float64{0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306}
+	if df <= 0 {
+		return table[1]
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.960
 }
 
 // loadStats aggregates one regime run on one server.
@@ -344,8 +506,12 @@ func warmServer(s *api.Server, warm []string) {
 // largeProfileQuery renders an n-computer profile with short (3-decimal)
 // spellings — realistic measured utilizations, and a query whose parse cost
 // is dominated by element count rather than digit count.
-func largeProfileQuery(n int) string {
-	rng := stats.NewRNG(uint64(n))
+func largeProfileQuery(n int) string { return profileQuery(n, uint64(n)) }
+
+// profileQuery renders an n-computer profile query from an explicit seed so
+// regimes can draw distinct profiles of the same size.
+func profileQuery(n int, seed uint64) string {
+	rng := stats.NewRNG(seed)
 	p := profile.RandomNormalized(rng, n)
 	var b strings.Builder
 	b.Grow(8 + 6*n)

@@ -13,12 +13,15 @@
 // (too few samples) therefore cannot pass a thresholded regime, and a
 // hand-edited mean cannot mask a noisy run.
 //
-// Documents carrying a "memory" regime (cmd/benchbatch's bounded-peak-memory
-// certificate) are additionally compared against the committed previous
-// certificate in -history (default bench_history/): the streamed peak may
-// not grow more than 20% over the committed one, so a perf-neutral change
-// that quietly regresses peak memory fails the build even though the ratio
-// gate still passes.
+// Certificates are additionally compared against the committed previous
+// certificate of the same name in -history (default bench_history/), when
+// one exists. Two history gates apply: a document carrying a "memory" regime
+// (cmd/benchbatch's bounded-peak-memory certificate) may not grow its
+// streamed peak more than 20% over the committed one, and any thresholded
+// regime (cmd/benchserve's herd regimes, cmd/benchbatch's few_large) may not
+// drop its speedup below 70% of the committed value. Either way a change
+// that quietly regresses — while still clearing the absolute threshold —
+// fails the build until the committed history is deliberately updated.
 //
 //	go run ./cmd/checkbench                  # checks the default documents
 //	go run ./cmd/checkbench A.json B.json    # checks an explicit list
@@ -42,6 +45,13 @@ const minSamples = 5
 // maxPeakGrowth bounds the streamed peak against the committed history:
 // current peak_stream_bytes may be at most 1.2× the committed value.
 const maxPeakGrowth = 1.20
+
+// minSpeedupKeep bounds thresholded regimes against the committed history:
+// a regime's speedup may not fall below this fraction of the committed
+// value. The slack absorbs run-to-run noise (the absolute threshold already
+// guards correctness) while still catching a change that, say, halves the
+// coalescing win without tripping the 2× floor.
+const minSpeedupKeep = 0.70
 
 func main() {
 	history := flag.String("history", "bench_history",
@@ -129,27 +139,71 @@ func checkMemory(mem map[string]interface{}) error {
 	return nil
 }
 
-// checkHistory compares a certificate's streamed peak memory against the
-// committed previous certificate of the same name in dir. Absent history (no
-// directory, no prior document, or no memory regime on either side) passes —
-// the gate only ever tightens when both sides carry evidence.
+// checkHistory compares a certificate against the committed previous
+// certificate of the same name in dir: peak memory may not grow beyond
+// maxPeakGrowth, and no thresholded regime's speedup may fall below
+// minSpeedupKeep of the committed value. Absent history (no directory, no
+// prior document, no comparable regime on the committed side) passes — the
+// gate only ever tightens when the committed side carries evidence.
 func checkHistory(path, dir string) error {
 	if dir == "" {
 		return nil
 	}
-	prev, ok := memoryPeakOf(filepath.Join(dir, filepath.Base(path)))
-	if !ok {
+	committed := filepath.Join(dir, filepath.Base(path))
+	if prev, ok := memoryPeakOf(committed); ok {
+		cur, ok := memoryPeakOf(path)
+		if !ok {
+			return fmt.Errorf("committed history has a memory regime but the current certificate does not")
+		}
+		if cur > prev*maxPeakGrowth {
+			return fmt.Errorf("peak_stream_bytes %.0f regressed more than %d%% over the committed %.0f (update %s if intended)",
+				cur, int(maxPeakGrowth*100)-100, prev, committed)
+		}
+	}
+	prevSpeedups := speedupsOf(committed)
+	if len(prevSpeedups) == 0 {
 		return nil
 	}
-	cur, ok := memoryPeakOf(path)
-	if !ok {
-		return fmt.Errorf("committed history has a memory regime but the current certificate does not")
-	}
-	if cur > prev*maxPeakGrowth {
-		return fmt.Errorf("peak_stream_bytes %.0f regressed more than %d%% over the committed %.0f (update %s if intended)",
-			cur, int(maxPeakGrowth*100)-100, prev, filepath.Join(dir, filepath.Base(path)))
+	curSpeedups := speedupsOf(path)
+	for name, prev := range prevSpeedups {
+		cur, ok := curSpeedups[name]
+		if !ok {
+			return fmt.Errorf("committed history certifies regime %q but the current certificate dropped it", name)
+		}
+		if cur < prev*minSpeedupKeep {
+			return fmt.Errorf("regime %q: speedup %.3f fell below %d%% of the committed %.3f (update %s if intended)",
+				name, cur, int(minSpeedupKeep*100), prev, committed)
+		}
 	}
 	return nil
+}
+
+// speedupsOf reads a certificate's thresholded regimes as name → speedup.
+// Only regimes carrying both a positive threshold and a positive speedup
+// participate in the history gate — report-only regimes (no threshold) may
+// drift freely. An absent or malformed file reads as no regimes.
+func speedupsOf(path string) map[string]float64 {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var doc struct {
+		Regimes []struct {
+			Name      string  `json:"name"`
+			Threshold float64 `json:"threshold"`
+			Speedup   float64 `json:"speedup"`
+		} `json:"regimes"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, r := range doc.Regimes {
+		if r.Threshold > 0 && r.Speedup > 0 {
+			out[r.Name] = r.Speedup
+		}
+	}
+	return out
 }
 
 // memoryPeakOf reads a certificate's memory.peak_stream_bytes; ok = false

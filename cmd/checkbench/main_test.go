@@ -104,3 +104,51 @@ func TestCheckHistory(t *testing.T) {
 		t.Fatalf("disabled history blocked: %v", err)
 	}
 }
+
+// TestCheckHistorySpeedups pins the throughput regression gate: thresholded
+// regimes may not drop below 70% of the committed speedup, report-only
+// regimes drift freely, and a certified regime cannot silently vanish.
+func TestCheckHistorySpeedups(t *testing.T) {
+	doc := func(manyClients, hit float64) string {
+		// many_clients is thresholded (history-gated); hit is report-only.
+		return fmt.Sprintf(`{"pass": true, "regimes": [
+			{"name": "many_clients", "threshold": 2, "speedup": %g, "meets_threshold": true},
+			{"name": "hit", "speedup": %g, "meets_threshold": true}]}`, manyClients, hit)
+	}
+	dir := t.TempDir()
+	histDir := filepath.Join(dir, "bench_history")
+	if err := os.Mkdir(histDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(path, content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := filepath.Join(dir, "BENCH_serve.json")
+	write(filepath.Join(histDir, "BENCH_serve.json"), doc(6.0, 1.2))
+
+	write(cur, doc(5.0, 1.2)) // -17%: inside the 70% keep
+	if err := checkHistory(cur, histDir); err != nil {
+		t.Fatalf("17%% speedup drop rejected: %v", err)
+	}
+	write(cur, doc(3.0, 1.2)) // halved: regression even though 3.0 > threshold 2
+	if err := checkHistory(cur, histDir); err == nil {
+		t.Fatal("halved thresholded speedup accepted against committed history")
+	}
+	write(cur, doc(6.0, 0.1)) // report-only regime collapsed: not gated
+	if err := checkHistory(cur, histDir); err != nil {
+		t.Fatalf("report-only regime drift blocked: %v", err)
+	}
+	write(cur, `{"pass": true, "regimes": [{"name": "hit", "speedup": 1.2, "meets_threshold": true}]}`)
+	if err := checkHistory(cur, histDir); err == nil {
+		t.Fatal("dropped thresholded regime accepted against committed history")
+	}
+	// History without thresholded regimes gates nothing.
+	write(filepath.Join(histDir, "BENCH_serve.json"), `{"pass": true, "regimes": [{"name": "hit", "speedup": 9.9}]}`)
+	write(cur, doc(6.0, 1.2))
+	if err := checkHistory(cur, histDir); err != nil {
+		t.Fatalf("unthresholded history blocked: %v", err)
+	}
+}

@@ -14,6 +14,13 @@
 // become JSON 500s; and SIGINT/SIGTERM trigger a graceful drain before
 // exit.
 //
+// -coalesce enables the cross-request admission batcher for /v1/measure:
+// concurrent cache misses for *distinct* keys are merged into shared flushes
+// (sealed at -coalesce-max items or after -coalesce-wait, whichever first),
+// trading at most -coalesce-wait of added miss latency for a large reduction
+// in per-request work under herd traffic. Off by default; off, the serving
+// path is byte-for-byte the historical one.
+//
 // For profiling in production, -pprof-addr exposes net/http/pprof on a
 // separate listener (off by default; bind it to localhost or a management
 // network, never the serving address):
@@ -65,6 +72,9 @@ func run(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", api.DefaultMaxConcurrent, "bound on simultaneously executing requests")
 	queueDepth := fs.Int("queue-depth", api.DefaultQueueDepth, "admission queue beyond -max-concurrent; arrivals past it are shed with 429")
 	requestTimeout := fs.Duration("request-timeout", api.DefaultRequestTimeout, "per-request context deadline (negative disables)")
+	coalesce := fs.Bool("coalesce", false, "batch concurrent /v1/measure cache misses for distinct keys into shared evaluations (off: byte-for-byte historical behavior)")
+	coalesceMax := fs.Int("coalesce-max", api.DefaultCoalesceMaxBatch, "seal a coalesced flush at this many items (with -coalesce)")
+	coalesceWait := fs.Duration("coalesce-wait", api.DefaultCoalesceMaxWait, "seal a coalesced flush when its oldest item has waited this long (with -coalesce)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -115,6 +125,12 @@ func run(args []string) error {
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *requestTimeout,
 	}
+	if *coalesce {
+		apiSrv.EnableCoalesce(api.CoalesceConfig{
+			MaxBatch: *coalesceMax,
+			MaxWait:  *coalesceWait,
+		})
+	}
 	srv := &http.Server{
 		Handler:           apiSrv.Handler(),
 		ReadHeaderTimeout: *readHeaderTimeout,
@@ -124,7 +140,7 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, ln, srv, *grace)
+	return serve(ctx, ln, srv, *grace, apiSrv.CloseCoalesce)
 }
 
 // pprofHandler builds the mux served on -pprof-addr. The handlers are
@@ -145,7 +161,15 @@ func pprofHandler() http.Handler {
 // production), then drains in-flight requests for up to grace before
 // forcing connections closed. A nil return means a clean start and a clean
 // stop.
-func serve(ctx context.Context, ln net.Listener, srv *http.Server, grace time.Duration) error {
+//
+// drain (the admission batcher's CloseCoalesce; nil when there is nothing
+// to drain) runs strictly AFTER srv.Shutdown returns. Ordering matters: an
+// in-flight /v1/measure request may be blocked inside the batcher waiting
+// for its flush, and Shutdown waits for that request — so the batcher must
+// keep flushing (its max-wait timer fires regardless) until every handler
+// has been answered. Only then is it safe to stop the collector; drain then
+// flushes anything still queued so no accepted item is ever dropped.
+func serve(ctx context.Context, ln net.Listener, srv *http.Server, grace time.Duration, drain func()) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	log.Printf("heterod listening on %s", ln.Addr())
@@ -159,6 +183,12 @@ func serve(ctx context.Context, ln net.Listener, srv *http.Server, grace time.Du
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	err := srv.Shutdown(shutdownCtx)
+	if drain != nil {
+		// Even when Shutdown timed out, drain: connections may be force-closed
+		// but accepted batcher items still get flushed and their handlers
+		// unblocked.
+		drain()
+	}
 	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		return serveErr
 	}

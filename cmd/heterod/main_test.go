@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -30,7 +31,7 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, srv, 5*time.Second) }()
+	go func() { done <- serve(ctx, ln, srv, 5*time.Second, nil) }()
 
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get("http://" + ln.Addr().String() + "/v1/measure?profile=1,0.5")
@@ -75,7 +76,7 @@ func TestServeDrainsInFlightRequests(t *testing.T) {
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, srv, 5*time.Second) }()
+	go func() { done <- serve(ctx, ln, srv, 5*time.Second, nil) }()
 
 	got := make(chan int, 1)
 	go func() {
@@ -96,6 +97,76 @@ func TestServeDrainsInFlightRequests(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatalf("shutdown returned %v", err)
+	}
+}
+
+func TestServeDrainMidFlushAnswersBatchedItems(t *testing.T) {
+	// Regression for the batcher drain ordering: requests queued in the
+	// admission batcher when SIGTERM arrives — the flush timer still pending
+	// — must be flushed and answered before the drain completes. serve()
+	// guarantees this by running CloseCoalesce only after srv.Shutdown
+	// returns, so the collector keeps flushing while handlers drain.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiSrv := api.NewServer()
+	// A long max-wait keeps the herd queued in the collector so the drain
+	// begins mid-flush, before the timer seals the batch.
+	apiSrv.EnableCoalesce(api.CoalesceConfig{MaxBatch: 64, MaxWait: 500 * time.Millisecond})
+	srv := &http.Server{Handler: apiSrv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, 10*time.Second, apiSrv.CloseCoalesce) }()
+	base := "http://" + ln.Addr().String()
+
+	const herd = 4
+	got := make(chan int, herd)
+	for i := 0; i < herd; i++ {
+		go func(i int) {
+			resp, err := http.Get(fmt.Sprintf("%s/v1/measure?profile=1,0.5,0.25&tau=0.1%d", base, i))
+			if err != nil {
+				got <- -1
+				return
+			}
+			io.ReadAll(resp.Body)
+			resp.Body.Close()
+			got <- resp.StatusCode
+		}(i)
+	}
+
+	// Poll /v1/statz until all herd members sit in the batcher, then begin
+	// the drain while they are still queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var statz api.StatzResponse
+		resp, err := http.Get(base + "/v1/statz")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&statz)
+			resp.Body.Close()
+		}
+		if err == nil && statz.Coalesce.Submitted >= herd {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("herd never reached the batcher (submitted = %d)", statz.Coalesce.Submitted)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+
+	for i := 0; i < herd; i++ {
+		if code := <-got; code != 200 {
+			t.Fatalf("batched request answered %d during drain, want 200", code)
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain with items mid-flush")
 	}
 }
 
@@ -134,7 +205,8 @@ func TestRunStartsPprofListener(t *testing.T) {
 	const apiAddr, profAddr = "127.0.0.1:18098", "127.0.0.1:18099"
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-addr", apiAddr, "-pprof-addr", profAddr, "-grace", "2s"})
+		done <- run([]string{"-addr", apiAddr, "-pprof-addr", profAddr, "-grace", "2s",
+			"-coalesce", "-coalesce-max", "8", "-coalesce-wait", "1ms"})
 	}()
 	client := &http.Client{Timeout: 2 * time.Second}
 	var resp *http.Response
@@ -212,7 +284,7 @@ func TestDrainCompletesFaultySimWhileShedding(t *testing.T) {
 	srv := &http.Server{Handler: gate, ReadHeaderTimeout: 5 * time.Second}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, srv, 10*time.Second) }()
+	go func() { done <- serve(ctx, ln, srv, 10*time.Second, nil) }()
 	base := "http://" + ln.Addr().String()
 
 	type result struct {

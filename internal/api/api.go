@@ -74,8 +74,9 @@ type Server struct {
 	StreamBatchThreshold int
 
 	cache                *responseCache
-	rawCache             *responseCache // raw-query front layer for large queries
-	batchRawCache        *responseCache // raw body-front layer for /v1/batch
+	rawCache             *responseCache  // raw-query front layer for large queries
+	batchRawCache        *responseCache  // raw body-front layer for /v1/batch
+	batcher              *measureBatcher // cross-request coalescing admission batcher (nil = off)
 	batchRequests        atomic.Uint64
 	batchProfiles        atomic.Uint64
 	batchProfilesUnknown atomic.Uint64
@@ -166,6 +167,27 @@ func NewServerWithCache(cfg CacheConfig) *Server {
 		cache:         mk(cfg.Entries),
 		rawCache:      mk(rawSize),
 		batchRawCache: mk(rawSize),
+	}
+}
+
+// EnableCoalesce starts the cross-request coalescing admission batcher for
+// /v1/measure misses (see coalesce.go). Call before serving; off, the miss
+// path is byte-for-byte the historical one. Pair with CloseCoalesce on
+// shutdown so pending items are flushed and answered.
+func (s *Server) EnableCoalesce(cfg CoalesceConfig) {
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
+	s.batcher = newMeasureBatcher(s, cfg)
+}
+
+// CloseCoalesce drains the admission batcher: new submissions fall back to
+// inline evaluation, already-accepted items are flushed and answered. Call
+// it after the HTTP server has stopped accepting requests (heterod calls it
+// once Shutdown returns). No-op when coalescing is off.
+func (s *Server) CloseCoalesce() {
+	if s.batcher != nil {
+		s.batcher.Close()
 	}
 }
 
@@ -357,6 +379,28 @@ type BatchStats struct {
 	Streamed        uint64 `json:"streamed"`
 }
 
+// CoalesceStats is the /v1/statz view of the admission batcher: how many
+// misses it accepted (raw-flavor broken out), how they batched (flushes,
+// items, max flush size, distinct profile groups, items that shared a
+// group), how many submissions fell back to the inline path, and the
+// per-item timing breakdown — QueuedNs sums submit→flush-sealed waits,
+// EvalNs sums flush-sealed→answered times, each over Answered items.
+type CoalesceStats struct {
+	Enabled         bool   `json:"enabled"`
+	Submitted       uint64 `json:"submitted"`
+	RawSubmitted    uint64 `json:"raw_submitted"`
+	Answered        uint64 `json:"answered"`
+	Flushes         uint64 `json:"flushes"`
+	FlushItems      uint64 `json:"flush_items"`
+	MaxFlush        uint64 `json:"max_flush"`
+	Groups          uint64 `json:"groups"`
+	SharedItems     uint64 `json:"shared_items"`
+	InlineFallbacks uint64 `json:"inline_fallbacks"`
+	ParseErrors     uint64 `json:"parse_errors"`
+	QueuedNs        uint64 `json:"queued_ns"`
+	EvalNs          uint64 `json:"eval_ns"`
+}
+
 // ServingStats is the /v1/statz view of the hardening middleware.
 type ServingStats struct {
 	Shed             uint64 `json:"shed"`
@@ -369,9 +413,10 @@ type ServingStats struct {
 
 // StatzResponse is the /v1/statz payload.
 type StatzResponse struct {
-	MeasureCache CacheStats   `json:"measure_cache"`
-	Batch        BatchStats   `json:"batch"`
-	Serving      ServingStats `json:"serving"`
+	MeasureCache CacheStats    `json:"measure_cache"`
+	Batch        BatchStats    `json:"batch"`
+	Coalesce     CoalesceStats `json:"coalesce"`
+	Serving      ServingStats  `json:"serving"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -410,9 +455,28 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	if s.batchRawCache != nil {
 		bs.RawBytes = s.batchRawCache.counters().bytes
 	}
+	var co CoalesceStats
+	if b := s.batcher; b != nil {
+		co = CoalesceStats{
+			Enabled:         true,
+			Submitted:       b.submitted.Load(),
+			RawSubmitted:    b.rawSubmits.Load(),
+			Answered:        b.answered.Load(),
+			Flushes:         b.flushes.Load(),
+			FlushItems:      b.flushItems.Load(),
+			MaxFlush:        b.maxFlush.Load(),
+			Groups:          b.groups.Load(),
+			SharedItems:     b.sharedItems.Load(),
+			InlineFallbacks: b.fallbacks.Load(),
+			ParseErrors:     b.parseErrors.Load(),
+			QueuedNs:        b.queuedNs.Load(),
+			EvalNs:          b.evalNs.Load(),
+		}
+	}
 	writeJSON(w, http.StatusOK, StatzResponse{
 		MeasureCache: cs,
 		Batch:        bs,
+		Coalesce:     co,
 		Serving: ServingStats{
 			Shed:             s.shed.Load(),
 			Panics:           s.panics.Load(),

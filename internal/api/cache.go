@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hetero/internal/model"
 	"hetero/internal/profile"
@@ -24,15 +25,23 @@ func CanonicalKey(m model.Params, p profile.Profile) string {
 	return string(appendCanonicalKey(make([]byte, 0, 24*(len(p)+3)), m, p))
 }
 
-// appendCanonicalKey appends the canonical key for (m, p) to dst and returns
-// the extended slice — the zero-allocation spelling of CanonicalKey used by
-// the measure hot path (dst comes from a pooled scratch buffer).
-func appendCanonicalKey(dst []byte, m model.Params, p []float64) []byte {
+// appendCanonicalParams appends the parameter prefix of the canonical key —
+// tau|pi|delta in exact hex spelling, no trailing separator.
+func appendCanonicalParams(dst []byte, m model.Params) []byte {
 	dst = strconv.AppendFloat(dst, m.Tau, 'x', -1, 64)
 	dst = append(dst, '|')
 	dst = strconv.AppendFloat(dst, m.Pi, 'x', -1, 64)
 	dst = append(dst, '|')
 	dst = strconv.AppendFloat(dst, m.Delta, 'x', -1, 64)
+	return dst
+}
+
+// appendCanonicalProfile appends the profile suffix of the canonical key:
+// |ρ,ρ,... in exact hex spelling. It is the profile-dependent (and for large
+// profiles dominant) part of the key; the admission batcher renders it once
+// per distinct profile in a flush and memcpys it behind each item's
+// parameter prefix.
+func appendCanonicalProfile(dst []byte, p []float64) []byte {
 	for i, rho := range p {
 		if i == 0 {
 			dst = append(dst, '|')
@@ -42,6 +51,14 @@ func appendCanonicalKey(dst []byte, m model.Params, p []float64) []byte {
 		dst = strconv.AppendFloat(dst, rho, 'x', -1, 64)
 	}
 	return dst
+}
+
+// appendCanonicalKey appends the canonical key for (m, p) to dst and returns
+// the extended slice — the zero-allocation spelling of CanonicalKey used by
+// the measure hot path (dst comes from a pooled scratch buffer).
+func appendCanonicalKey(dst []byte, m model.Params, p []float64) []byte {
+	dst = appendCanonicalParams(dst, m)
+	return appendCanonicalProfile(dst, p)
 }
 
 // ParseCanonicalKey inverts CanonicalKey, strictly: it accepts exactly the
@@ -122,11 +139,16 @@ func parseKeyField(field string) (float64, error) {
 // collapse to one shard, which preserves the exact global-LRU semantics the
 // pre-sharding implementation had (and the tests pin).
 //
-// When adaptive sharding is on, the shard count grows (powers of two, up to
-// adaptiveMaxShards) from observed per-shard traffic: every operation that
-// takes a shard lock bumps that shard's op counter, and a shard absorbing
-// checkEvery operations since the last resize check marks the cache for a
-// resize evaluation. Resizes swap the whole shard set under resizeMu held
+// When adaptive sharding is on, the shard count tracks observed per-shard
+// traffic in both directions (powers of two, between the initial geometry
+// and adaptiveMaxShards): every operation that takes a shard lock bumps
+// that shard's op counter, and a shard absorbing checkEvery operations
+// since the last resize check marks the cache for a resize evaluation. A
+// window absorbed faster than hotWindow is the contention (grow) signal; a
+// slow window is a cold signal, and once no shard has run hot for
+// shrinkIdle the evaluation halves the shard count back toward the base
+// geometry — so a burst that doubled the lock domains doesn't pin them
+// forever. Resizes swap the whole shard set under resizeMu held
 // exclusively; every lookup/fill holds resizeMu shared for its full
 // duration — including the singleflight compute — so a resize can only run
 // when no evaluation is in flight and no flight entry exists. That is what
@@ -153,6 +175,20 @@ type responseCache struct {
 	// resizes).
 	maxShards  int
 	checkEvery uint64
+	// baseShards is the initial shard count — the floor adaptive shrinking
+	// returns to when contention subsides.
+	baseShards int
+	// hotWindow classifies a checkEvery crossing: absorbed strictly faster
+	// than this is contention (grow), slower is cold. shrinkIdle is how long
+	// the cache must stay cold (no hot crossing anywhere) before a pending
+	// evaluation shrinks. Both are set before traffic flows; tests override
+	// them to force either direction deterministically.
+	hotWindow  time.Duration
+	shrinkIdle time.Duration
+	// lastHot is the UnixNano of the most recent hot crossing on any shard;
+	// written under a shard lock inside the shared resize epoch, read during
+	// the exclusive resize evaluation.
+	lastHot atomic.Int64
 
 	// resizeMu is the resize epoch: shared by every cache operation for its
 	// full duration, exclusive during a shard-set swap. set is only read
@@ -192,6 +228,13 @@ type cacheShard struct {
 	evicted   uint64
 	rejected  uint64 // entries larger than the shard's whole byte budget
 	opsSince  uint64 // ops since the last adaptive resize check
+	// windowStart is the UnixNano at which the current op window opened
+	// (the first counted op after a reset); hot records that the last
+	// window closed faster than hotWindow. Written under sh.mu, read and
+	// cleared under resizeMu held exclusively (no shard lock can be held
+	// there).
+	windowStart int64
+	hot         bool
 }
 
 type cacheEntry struct {
@@ -239,6 +282,14 @@ const (
 	// adaptive resize evaluations: one shard absorbing this much traffic
 	// since the last check is the "sustained contention" signal.
 	adaptiveCheckOps = 1 << 14
+	// adaptiveHotWindow classifies a checkEvery crossing: adaptiveCheckOps
+	// ops absorbed by one shard in under a second (≈16k ops/s on one lock)
+	// is contention worth splitting; anything slower is background traffic.
+	adaptiveHotWindow = time.Second
+	// adaptiveShrinkIdle is how long the cache must go without a hot
+	// crossing before pending evaluations start halving the shard count
+	// back toward the initial geometry.
+	adaptiveShrinkIdle = 30 * time.Second
 )
 
 // autoShards picks the shard count for a capacity: the largest power of two
@@ -298,10 +349,14 @@ func newCache(o cacheOptions) *responseCache {
 		adaptive:   o.adaptive,
 		maxShards:  adaptiveMaxShards,
 		checkEvery: adaptiveCheckOps,
+		hotWindow:  adaptiveHotWindow,
+		shrinkIdle: adaptiveShrinkIdle,
 	}
+	c.lastHot.Store(time.Now().UnixNano())
 	if o.entries <= 0 {
 		// Disabled: one counter-only shard so Stats still works.
 		c.adaptive = false
+		c.baseShards = 1
 		c.set = newShardSet(0, 0, 1)
 		return c
 	}
@@ -313,6 +368,7 @@ func newCache(o cacheOptions) *responseCache {
 	for pow2*2 <= shards {
 		pow2 *= 2
 	}
+	c.baseShards = pow2
 	c.set = newShardSet(o.entries, o.maxBytes, pow2)
 	return c
 }
@@ -355,31 +411,83 @@ func (sh *cacheShard) init(capacity int, byteBudget int64) {
 	sh.flight = make(map[string]*flightCall)
 }
 
-// hashKey is FNV-1a over the key bytes — allocation-free and good enough to
-// spread canonical keys (which differ in their float bits) across shards.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+
+	// hashSampleCutoff is the key length above which the shard hash samples
+	// the key instead of reading every byte. The hash only picks a shard —
+	// entries and flight tables are keyed by the full string, so a collision
+	// costs shard balance, never correctness. Large-n canonical keys and raw
+	// queries run to hundreds of KB; full FNV-1a over them costs as much as
+	// the evaluation they front. The sample covers the head (where canonical
+	// keys differ in their parameter prefix), the tail (where sweep queries
+	// differ in their trailing parameters), a stride through the middle, and
+	// the length.
+	hashSampleCutoff = 1024
+	hashSampleHead   = 512
+	hashSampleTail   = 256
+	hashSampleProbes = 16
+)
+
+// hashKey hashes the key bytes for shard selection: FNV-1a over the whole
+// key up to hashSampleCutoff, a fixed-size head+tail+stride sample beyond
+// it. hashKey and hashString must agree on equal content — adaptive resizes
+// rehash resident entries through hashString while the hot path arrives
+// through hashKey.
 func hashKey(key []byte) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, b := range key {
+	n := len(key)
+	if n <= hashSampleCutoff {
+		h := uint64(fnvOffset64)
+		for _, b := range key {
+			h ^= uint64(b)
+			h *= fnvPrime64
+		}
+		return h
+	}
+	h := uint64(fnvOffset64) ^ uint64(n)
+	h *= fnvPrime64
+	for _, b := range key[:hashSampleHead] {
 		h ^= uint64(b)
-		h *= prime64
+		h *= fnvPrime64
+	}
+	for _, b := range key[n-hashSampleTail:] {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	stride := (n - hashSampleHead - hashSampleTail) / hashSampleProbes
+	for i := 0; i < hashSampleProbes; i++ {
+		h ^= uint64(key[hashSampleHead+i*stride])
+		h *= fnvPrime64
 	}
 	return h
 }
 
-// hashString is hashKey over a string — same FNV-1a, no conversion.
+// hashString is hashKey over a string — identical sampling, no conversion.
 func hashString(key string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(key); i++ {
+	n := len(key)
+	if n <= hashSampleCutoff {
+		h := uint64(fnvOffset64)
+		for i := 0; i < n; i++ {
+			h ^= uint64(key[i])
+			h *= fnvPrime64
+		}
+		return h
+	}
+	h := uint64(fnvOffset64) ^ uint64(n)
+	h *= fnvPrime64
+	for i := 0; i < hashSampleHead; i++ {
 		h ^= uint64(key[i])
-		h *= prime64
+		h *= fnvPrime64
+	}
+	for i := n - hashSampleTail; i < n; i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	stride := (n - hashSampleHead - hashSampleTail) / hashSampleProbes
+	for i := 0; i < hashSampleProbes; i++ {
+		h ^= uint64(key[hashSampleHead+i*stride])
+		h *= fnvPrime64
 	}
 	return h
 }
@@ -387,14 +495,24 @@ func hashString(key string) uint64 {
 // countOpLocked bumps the shard's adaptive-resize op counter; callers hold
 // sh.mu. When the shard has absorbed checkEvery ops it flags the cache for
 // a resize evaluation (performed later, outside the resize epoch, by
-// maybeResize).
+// maybeResize), recording whether the window closed fast enough to count as
+// contention. The clock is read twice per window — once opening it, once
+// closing — which is once per checkEvery/2 ops, invisible on the hot path.
 func (c *responseCache) countOpLocked(sh *cacheShard) {
 	if !c.adaptive {
 		return
 	}
+	if sh.opsSince == 0 {
+		sh.windowStart = time.Now().UnixNano()
+	}
 	sh.opsSince++
 	if sh.opsSince >= c.checkEvery {
 		sh.opsSince = 0
+		now := time.Now().UnixNano()
+		if now-sh.windowStart < int64(c.hotWindow) {
+			sh.hot = true
+			c.lastHot.Store(now)
+		}
 		c.resizePending.Store(true)
 	}
 }
@@ -407,9 +525,12 @@ func (c *responseCache) resizeNeeded() bool {
 
 // maybeResize evaluates a pending adaptive resize and performs it. It must
 // be called OUTSIDE any cache operation (never while the caller holds the
-// shared resize epoch), because it takes resizeMu exclusively. Growth
-// doubles the shard count while per-shard entry capacity stays at least
-// cacheMinPerShard and the count stays under maxShards; entries migrate
+// shared resize epoch), because it takes resizeMu exclusively. A hot shard
+// (a checkEvery window absorbed inside hotWindow) doubles the shard count
+// while per-shard entry capacity stays at least cacheMinPerShard and the
+// count stays under maxShards; an evaluation with no hot shard — traffic
+// still flows, just slowly — halves the count back toward baseShards once
+// the whole cache has been cold for shrinkIdle. Either way entries migrate
 // cold-to-hot so per-shard recency survives, and counters carry over.
 // Because every fill holds the epoch shared across its compute, the flight
 // tables are provably empty here — no in-flight evaluation can be orphaned,
@@ -423,10 +544,28 @@ func (c *responseCache) maybeResize() {
 	defer c.resizeMu.Unlock()
 	old := c.set
 	n := len(old.shards)
-	if 2*n > c.maxShards || c.capacity/(2*n) < cacheMinPerShard {
+	hot := false
+	for i := range old.shards {
+		if old.shards[i].hot {
+			hot = true
+			old.shards[i].hot = false
+		}
+	}
+	if hot {
+		if 2*n > c.maxShards || c.capacity/(2*n) < cacheMinPerShard {
+			return
+		}
+		c.set = c.migrate(old, 2*n)
+		c.resizes++
 		return
 	}
-	c.set = c.migrate(old, 2*n)
+	if n <= c.baseShards {
+		return
+	}
+	if time.Now().UnixNano()-c.lastHot.Load() < int64(c.shrinkIdle) {
+		return
+	}
+	c.set = c.migrate(old, n/2)
 	c.resizes++
 }
 
@@ -803,8 +942,8 @@ func (c *responseCache) statsFull() (hits, misses uint64, size int, coalesced, e
 }
 
 // Shards reports how many lock domains the cache has (1 when disabled or
-// small); under adaptive sharding the count can grow over the cache's
-// lifetime.
+// small); under adaptive sharding the count grows and shrinks with observed
+// contention over the cache's lifetime.
 func (c *responseCache) Shards() int {
 	c.resizeMu.RLock()
 	defer c.resizeMu.RUnlock()

@@ -210,6 +210,112 @@ func TestAdaptiveResizeExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestAdaptiveShardShrink: shard growth driven by a contention burst must
+// reverse once the burst subsides — same traffic volume, but windows now
+// close slowly (hotWindow 0 makes every crossing cold) and the idle
+// threshold is already met, so pending evaluations halve the shard count
+// back to the initial geometry without losing entries.
+func TestAdaptiveShardShrink(t *testing.T) {
+	c := newCache(cacheOptions{entries: 4096, maxBytes: DefaultCacheBytes, coalesce: true, adaptive: true})
+	c.checkEvery = 8
+	base := c.Shards()
+	for i := 0; i < 4096; i++ {
+		c.Put(fmt.Sprintf("burst%d", i), []byte("x"))
+		c.maybeResize()
+	}
+	grown := c.Shards()
+	if grown <= base {
+		t.Fatalf("no growth under hot traffic (%d → %d): the shrink test is vacuous", base, grown)
+	}
+	c.hotWindow = 0  // every window now reads as cold
+	c.shrinkIdle = 0 // and the cache counts as idle immediately
+	for i := 0; i < 4096 && c.Shards() > base; i++ {
+		c.Get(fmt.Sprintf("burst%d", i%64))
+		c.maybeResize()
+	}
+	if got := c.Shards(); got != base {
+		t.Fatalf("shards stuck at %d after contention subsided, want base %d", got, base)
+	}
+	if body, ok := c.Get("burst4095"); !ok || !bytes.Equal(body, []byte("x")) {
+		t.Fatal("entry lost or corrupted by downward migration")
+	}
+	if c.counters().resizes < 2 {
+		t.Fatalf("resizes %d cannot cover growth and shrink", c.counters().resizes)
+	}
+}
+
+// TestAdaptiveShrinkExactlyOnce is the -race contract for downward resizes:
+// with every window forced cold while goroutines lookup/fill a shared
+// keyspace, migrations to fewer shards must interleave with the singleflight
+// protocol without a key ever being evaluated twice, a body corrupted, or a
+// counter lost.
+func TestAdaptiveShrinkExactlyOnce(t *testing.T) {
+	const (
+		keyspace   = 256
+		goroutines = 8
+		iters      = 300
+	)
+	c := newCache(cacheOptions{entries: 4096, maxBytes: DefaultCacheBytes, coalesce: true, adaptive: true})
+	c.checkEvery = 8
+	base := c.Shards()
+	for i := 0; i < 2048; i++ {
+		c.Put(fmt.Sprintf("warm%d", i), []byte("w"))
+		c.maybeResize()
+	}
+	grown := c.Shards()
+	if grown <= base {
+		t.Fatalf("no growth before the shrink stress (%d → %d)", base, grown)
+	}
+	preOps := c.counters()
+	c.hotWindow = 0
+	c.shrinkIdle = 0
+	var evals [keyspace]atomic.Int64
+	bodyFor := func(k int) []byte { return []byte(fmt.Sprintf(`{"cold":%d}`, k)) }
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				k := (g + it*goroutines) % keyspace
+				key := fmt.Sprintf("cold|%04d", k)
+				h := hashString(key)
+				body, ok := c.lookupStr(h, key)
+				if !ok {
+					var err error
+					body, _, err = c.fillStr(h, key, func() ([]byte, error) {
+						evals[k].Add(1)
+						return bodyFor(k), nil
+					})
+					if err != nil {
+						t.Errorf("fill %s: %v", key, err)
+						return
+					}
+				}
+				if !bytes.Equal(body, bodyFor(k)) {
+					t.Errorf("key %s served wrong body %q", key, body)
+					return
+				}
+				c.maybeResize()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for k := range evals {
+		if n := evals[k].Load(); n != 1 {
+			t.Fatalf("key %d evaluated %d times across shrinks, want exactly once", k, n)
+		}
+	}
+	got := c.Shards()
+	if got >= grown || got < base {
+		t.Fatalf("shards %d after cold stress, want in [%d, %d)", got, base, grown)
+	}
+	ct := c.counters()
+	if delta := (ct.hits + ct.misses + ct.coalesced) - (preOps.hits + preOps.misses + preOps.coalesced); delta != goroutines*iters {
+		t.Fatalf("counters lost across downward migration: delta %d, want %d", delta, goroutines*iters)
+	}
+}
+
 // TestAdaptiveResizeRespectsFloors: growth must stop when halving per-shard
 // capacity would drop below cacheMinPerShard, and explicit shard counts must
 // never resize.

@@ -102,6 +102,19 @@ func (s *Server) measure(sc *measureScratch, rawQuery string) (int, []byte, stri
 			return 200, body, ""
 		}
 		body, _, err := s.rawCache.fillStr(h, rawQuery, func() ([]byte, error) {
+			// With coalescing on, hand the raw query to the admission batcher
+			// before any parsing: the flush shares the decode, moments and
+			// render across the herd. We are this spelling's flight leader, so
+			// the raw front still caches whatever comes back. A rejected
+			// submit (queue full, draining) falls through to the inline path.
+			if b := s.batcher; b != nil {
+				if res, ok := b.submitRaw(rawQuery); ok {
+					if res.status != 200 {
+						return nil, &statusError{status: res.status, msg: res.msg}
+					}
+					return res.body, nil
+				}
+			}
 			status, body, msg := s.measureCanonical(sc, rawQuery)
 			if status != 200 {
 				return nil, &statusError{status: status, msg: msg}
@@ -133,8 +146,17 @@ func (s *Server) measureCanonical(sc *measureScratch, rawQuery string) (int, []b
 	}
 	// Miss: evaluate and encode under singleflight, so a burst of identical
 	// misses costs one evaluation. The closure allocates (it escapes), which
-	// is part of the documented miss-path allocation budget.
+	// is part of the documented miss-path allocation budget. With coalescing
+	// on, the evaluation is handed to the admission batcher instead — we are
+	// this key's flight leader, so the body the flush computes is published
+	// here exactly as an inline evaluation would be; a rejected submit falls
+	// through to the inline path.
 	body, _, err := s.cache.fill(h, sc.key, func() ([]byte, error) {
+		if b := s.batcher; b != nil {
+			if out, ok := b.submitParsed(m, sc.rhos); ok {
+				return out, nil
+			}
+		}
 		fm := incr.MeasureProfile(m, profile.Profile(sc.rhos), 0)
 		sc.enc = appendMeasureResponse(sc.enc[:0], sc.rhos, fm)
 		out := make([]byte, len(sc.enc))
@@ -147,16 +169,23 @@ func (s *Server) measureCanonical(sc *measureScratch, rawQuery string) (int, []b
 	return 200, body, ""
 }
 
-// parseMeasureQuery decodes profile/tau/pi/delta from the raw query by
-// slicing, replicating net/url.ParseQuery semantics for the measure
-// parameters: '&'-separated pairs, first occurrence wins, pairs containing
-// ';' are dropped, keys and values are percent-decoded ('+' means space).
-// The common unescaped spelling never allocates; escaped pairs take a
-// url.QueryUnescape fallback. Parameter errors are reported in the same
-// order as the pre-sharding handler: params first, then the profile.
-func (s *Server) parseMeasureQuery(sc *measureScratch, rawQuery string) (model.Params, int, string) {
-	m := s.Defaults
-	var profileVal, tauVal, piVal, deltaVal string
+// measureQueryParts holds the four decoded parameter values of a measure
+// query, still as strings. splitMeasureQuery fills it; parseMeasureParams
+// and parseProfileValue finish the job. The split exists so the admission
+// batcher's flush can decode the (typically huge) profile value once per
+// distinct spelling while still parsing the (tiny) model parameters per
+// item.
+type measureQueryParts struct {
+	profileVal, tauVal, piVal, deltaVal string
+}
+
+// splitMeasureQuery decodes the measure parameters from the raw query by
+// slicing, replicating net/url.ParseQuery semantics: '&'-separated pairs,
+// first occurrence wins, pairs containing ';' are dropped, keys and values
+// are percent-decoded ('+' means space). The common unescaped spelling never
+// allocates; escaped pairs take a url.QueryUnescape fallback.
+func splitMeasureQuery(rawQuery string) measureQueryParts {
+	var q measureQueryParts
 	var sawProfile, sawTau, sawPi, sawDelta bool
 	rest := rawQuery
 	for rest != "" {
@@ -182,27 +211,36 @@ func (s *Server) parseMeasureQuery(sc *measureScratch, rawQuery string) (model.P
 		switch key {
 		case "profile":
 			if !sawProfile {
-				profileVal, sawProfile = val, true
+				q.profileVal, sawProfile = val, true
 			}
 		case "tau":
 			if !sawTau {
-				tauVal, sawTau = val, true
+				q.tauVal, sawTau = val, true
 			}
 		case "pi":
 			if !sawPi {
-				piVal, sawPi = val, true
+				q.piVal, sawPi = val, true
 			}
 		case "delta":
 			if !sawDelta {
-				deltaVal, sawDelta = val, true
+				q.deltaVal, sawDelta = val, true
 			}
 		}
 	}
+	return q
+}
+
+// parseMeasureParams decodes tau/pi/delta on top of the defaults and
+// validates the resulting parameter set. Errors are reported in the same
+// order as the pre-sharding handler: params first, then the profile (which
+// parseProfileValue handles).
+func parseMeasureParams(defaults model.Params, q measureQueryParts) (model.Params, int, string) {
+	m := defaults
 	for _, f := range [3]struct {
 		name string
 		val  string
 		dst  *float64
-	}{{"tau", tauVal, &m.Tau}, {"pi", piVal, &m.Pi}, {"delta", deltaVal, &m.Delta}} {
+	}{{"tau", q.tauVal, &m.Tau}, {"pi", q.piVal, &m.Pi}, {"delta", q.deltaVal, &m.Delta}} {
 		if f.val == "" {
 			continue
 		}
@@ -215,26 +253,49 @@ func (s *Server) parseMeasureQuery(sc *measureScratch, rawQuery string) (model.P
 	if err := m.Validate(); err != nil {
 		return m, 400, err.Error()
 	}
+	return m, 0, ""
+}
+
+// parseProfileValue decodes one profile parameter value into dst (reusing
+// its backing array), applying the same admission checks as profile.New.
+func parseProfileValue(profileVal string, dst []float64) ([]float64, int, string) {
 	if profileVal == "" {
-		return m, 400, "missing profile"
+		return dst, 400, "missing profile"
 	}
-	sc.rhos = sc.rhos[:0]
-	rest = profileVal
+	dst = dst[:0]
+	rest := profileVal
 	for {
 		part, tail, found := strings.Cut(rest, ",")
 		part = strings.TrimSpace(part)
 		v, err := strconv.ParseFloat(part, 64)
 		if err != nil {
-			return m, 400, fmt.Sprintf("bad ρ-value %q", part)
+			return dst, 400, fmt.Sprintf("bad ρ-value %q", part)
 		}
-		if msg := checkRhoValue(len(sc.rhos), v); msg != "" {
-			return m, 400, msg
+		if msg := checkRhoValue(len(dst), v); msg != "" {
+			return dst, 400, msg
 		}
-		sc.rhos = append(sc.rhos, v)
+		dst = append(dst, v)
 		if !found {
 			break
 		}
 		rest = tail
+	}
+	return dst, 0, ""
+}
+
+// parseMeasureQuery decodes profile/tau/pi/delta from the raw query:
+// splitMeasureQuery's pair scan, then parameters, then the profile — the
+// composition the admission batcher unbundles to share the profile decode
+// across a flush.
+func (s *Server) parseMeasureQuery(sc *measureScratch, rawQuery string) (model.Params, int, string) {
+	q := splitMeasureQuery(rawQuery)
+	m, status, msg := parseMeasureParams(s.Defaults, q)
+	if status != 0 {
+		return m, status, msg
+	}
+	sc.rhos, status, msg = parseProfileValue(q.profileVal, sc.rhos)
+	if status != 0 {
+		return m, status, msg
 	}
 	return m, 0, ""
 }
@@ -268,11 +329,12 @@ func unescapeComponent(s string) (string, bool) {
 	return out, true
 }
 
-// appendMeasureResponse renders the /v1/measure JSON body into dst,
-// byte-identical to json.Marshal of MeasureResponse (field order follows
-// the struct; floats use appendJSONFloat) plus the trailing newline that
-// json.Encoder emits.
-func appendMeasureResponse(dst []byte, rhos []float64, fm incr.FullMeasure) []byte {
+// appendProfileEcho renders the profile-echo prefix of the /v1/measure body
+// — everything up to and including the closing bracket of the profile array.
+// It is the profile-dependent (and typically dominant) part of the response;
+// the admission batcher renders it once per distinct profile in a flush and
+// memcpys it into each item's body.
+func appendProfileEcho(dst []byte, rhos []float64) []byte {
 	dst = append(dst, `{"profile":[`...)
 	for i, rho := range rhos {
 		if i > 0 {
@@ -280,7 +342,14 @@ func appendMeasureResponse(dst []byte, rhos []float64, fm incr.FullMeasure) []by
 		}
 		dst = appendJSONFloat(dst, rho)
 	}
-	dst = append(dst, `],"x":`...)
+	dst = append(dst, ']')
+	return dst
+}
+
+// appendMeasureTail renders the measure fields that follow the profile echo,
+// closing the object and appending the trailing newline json.Encoder emits.
+func appendMeasureTail(dst []byte, fm incr.FullMeasure) []byte {
+	dst = append(dst, `,"x":`...)
 	dst = appendJSONFloat(dst, fm.X)
 	dst = append(dst, `,"hecr":`...)
 	dst = appendJSONFloat(dst, fm.HECR)
@@ -294,6 +363,15 @@ func appendMeasureResponse(dst []byte, rhos []float64, fm incr.FullMeasure) []by
 	dst = appendJSONFloat(dst, fm.GeoMean)
 	dst = append(dst, '}', '\n')
 	return dst
+}
+
+// appendMeasureResponse renders the /v1/measure JSON body into dst,
+// byte-identical to json.Marshal of MeasureResponse (field order follows
+// the struct; floats use appendJSONFloat) plus the trailing newline that
+// json.Encoder emits.
+func appendMeasureResponse(dst []byte, rhos []float64, fm incr.FullMeasure) []byte {
+	dst = appendProfileEcho(dst, rhos)
+	return appendMeasureTail(dst, fm)
 }
 
 // appendJSONFloat appends f exactly as encoding/json's floatEncoder renders

@@ -1,0 +1,191 @@
+package incr
+
+import (
+	"math"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/parallel"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// Coalesced evaluation: the admission batcher (internal/api) merges
+// concurrent /v1/measure misses from different clients into one dispatch, and
+// most herd traffic shares profile content while sweeping model parameters —
+// the paper's §4.3 sensitivity analysis issued one parameter point per
+// client. The measures split cleanly along that axis: Mean, Variance and
+// GeoMean depend only on the profile, while X, HECR and WorkRate depend on
+// the profile only through the log-product scan whose integrand mixes in the
+// parameters. So a flush evaluates each distinct profile's moments once and
+// pays exactly one log-product scan per item.
+//
+// Everything here is bit-identical to MeasureProfile: the helpers reuse the
+// same serial paths below core.ParallelCutover and the same chunk geometry
+// (core.ParallelChunk boundaries, per-chunk compensated sums combined in
+// chunk order) at or above it. Splitting MeasureProfile's fused pass-1 scan
+// into separate scans cannot change any bits because each accumulated
+// quantity lives in its own compensated accumulator whose operation sequence
+// is unchanged — only the interleaving with other accumulators differs.
+
+// Moments holds the parameter-independent third of a FullMeasure: the §4
+// profile moments shared by every parameter point measured on one profile.
+type Moments struct {
+	Mean     float64
+	Variance float64
+	GeoMean  float64
+}
+
+// ProfileMoments computes the profile moments exactly as MeasureProfile
+// does: serial stats below the cutover, the two-pass chunked kernel at or
+// above it. MeasureProfile(m, p, w) returns these same bits for any m and w.
+func ProfileMoments(p profile.Profile, workers int) Moments {
+	if len(p) < core.ParallelCutover {
+		return Moments{
+			Mean:     p.Mean(),
+			Variance: p.Variance(),
+			GeoMean:  p.GeoMean(),
+		}
+	}
+	n := float64(len(p))
+	type partial struct{ sum, sumLog float64 }
+	partials := parallel.MapChunks(workers, len(p), core.ParallelChunk, func(lo, hi int) partial {
+		var s, sl stats.KahanSum
+		for _, rho := range p[lo:hi] {
+			s.Add(rho)
+			sl.Add(math.Log(rho))
+		}
+		return partial{s.Sum(), sl.Sum()}
+	})
+	var s, sl stats.KahanSum
+	for _, part := range partials {
+		s.Add(part.sum)
+		sl.Add(part.sumLog)
+	}
+	mean := s.Sum() / n
+
+	m2parts := parallel.MapChunks(workers, len(p), core.ParallelChunk, func(lo, hi int) float64 {
+		var m2 stats.KahanSum
+		for _, rho := range p[lo:hi] {
+			d := rho - mean
+			m2.Add(d * d)
+		}
+		return m2.Sum()
+	})
+	var m2 stats.KahanSum
+	for _, part := range m2parts {
+		m2.Add(part)
+	}
+	return Moments{Mean: mean, Variance: m2.Sum() / n, GeoMean: math.Exp(sl.Sum() / n)}
+}
+
+// MeasureWithMoments evaluates the parameter-dependent measures for (m, p)
+// and combines them with precomputed moments, bit-identical to
+// MeasureProfile(m, p, ·): the serial path runs one core.LogProductRatios
+// scan and finishes through the same XFromLogProduct/HECRFromLogProduct that
+// core.X and core.HECR themselves compose (one scan instead of their two —
+// the scan is deterministic, so the bits cannot differ); the chunked path
+// runs the same log-product scan over the same chunk boundaries with the
+// same ordered combine.
+func MeasureWithMoments(m model.Params, p profile.Profile, mom Moments, workers int) FullMeasure {
+	if len(p) < core.ParallelCutover {
+		lp := core.LogProductRatios(m, p)
+		x := core.XFromLogProduct(m, lp)
+		return FullMeasure{
+			X:        x,
+			HECR:     core.HECRFromLogProduct(m, lp, len(p)),
+			WorkRate: 1 / (m.TauDelta() + 1/x),
+			Mean:     mom.Mean,
+			Variance: mom.Variance,
+			GeoMean:  mom.GeoMean,
+		}
+	}
+	a, b, td := m.A(), m.B(), m.TauDelta()
+	num := td - a
+	partials := parallel.MapChunks(workers, len(p), core.ParallelChunk, func(lo, hi int) float64 {
+		var lp stats.KahanSum
+		for _, rho := range p[lo:hi] {
+			lp.Add(math.Log1p(num / (b*rho + a)))
+		}
+		return lp.Sum()
+	})
+	var lp stats.KahanSum
+	for _, part := range partials {
+		lp.Add(part)
+	}
+	logProd := lp.Sum()
+	x := core.XFromLogProduct(m, logProd)
+	return FullMeasure{
+		X:        x,
+		HECR:     core.HECRFromLogProduct(m, logProd, len(p)),
+		WorkRate: 1 / (td + 1/x),
+		Mean:     mom.Mean,
+		Variance: mom.Variance,
+		GeoMean:  mom.GeoMean,
+	}
+}
+
+// CoalescedItem is one entry of a coalesced flush: the model parameters to
+// measure under and the index (into the flush's unique-profile table) of the
+// profile to measure. Items sharing a Group share that profile's moments.
+type CoalescedItem struct {
+	Params model.Params
+	Group  int
+}
+
+// CoalescedMeasure evaluates a whole admission-batcher flush in one
+// dispatch. profiles holds the distinct profile contents of the flush; each
+// item references one by Group. Per unique profile the moments are computed
+// once; per item only the parameter-dependent log-product scan runs. Results
+// are indexed like items and bit-identical to MeasureProfile per item — the
+// property the coalesced-vs-direct golden test pins.
+//
+// Scheduling mirrors BatchMeasureFull via the same ScheduleBatch heuristic
+// over the unique profiles: large profiles take the chunked within-profile
+// kernel one at a time (their items' scans ride the same kernel), the rest
+// fan out across the pool largest-first. Either axis yields the same bits —
+// chunk geometry depends only on profile length, never on workers.
+func CoalescedMeasure(items []CoalescedItem, profiles []profile.Profile, workers int) []FullMeasure {
+	moments := make([]Moments, len(profiles))
+	sched := ScheduleBatch(profiles, workers)
+	large := make([]bool, len(profiles))
+	for _, g := range sched.Large {
+		large[g] = true
+	}
+
+	// Phase 1: moments per unique profile — large sequentially with the
+	// chunked kernel, small fanned out largest-first.
+	for _, g := range sched.Large {
+		moments[g] = ProfileMoments(profiles[g], workers)
+	}
+	weights := make([]int, len(sched.Small))
+	for j, g := range sched.Small {
+		weights[j] = len(profiles[g])
+	}
+	parallel.ForEachLargestFirst(workers, weights, func(j int) {
+		g := sched.Small[j]
+		moments[g] = ProfileMoments(profiles[g], 1)
+	})
+
+	// Phase 2: one log-product scan per item. Items on large profiles run
+	// sequentially with within-profile parallelism; the rest fan out.
+	out := make([]FullMeasure, len(items))
+	var small []int
+	for i, it := range items {
+		if large[it.Group] {
+			out[i] = MeasureWithMoments(it.Params, profiles[it.Group], moments[it.Group], workers)
+		} else {
+			small = append(small, i)
+		}
+	}
+	itemWeights := make([]int, len(small))
+	for j, i := range small {
+		itemWeights[j] = len(profiles[items[i].Group])
+	}
+	parallel.ForEachLargestFirst(workers, itemWeights, func(j int) {
+		i := small[j]
+		it := items[i]
+		out[i] = MeasureWithMoments(it.Params, profiles[it.Group], moments[it.Group], 1)
+	})
+	return out
+}

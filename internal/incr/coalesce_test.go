@@ -1,0 +1,88 @@
+package incr
+
+import (
+	"testing"
+
+	"hetero/internal/core"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+)
+
+// coalesceSizes crosses the serial/chunked boundary: well below the cutover,
+// one under, exactly at, a partial final chunk, and multiple full chunks.
+var coalesceSizes = []int{1, 7, 100, core.ParallelCutover - 1, core.ParallelCutover,
+	core.ParallelCutover + 123, 3*core.ParallelChunk + 17}
+
+func TestProfileMomentsMatchesMeasureProfileBits(t *testing.T) {
+	m := model.Table1()
+	for _, n := range coalesceSizes {
+		p := randProfile(n, uint64(n))
+		for _, workers := range []int{1, 3, 0} {
+			want := MeasureProfile(m, p, workers)
+			got := ProfileMoments(p, workers)
+			if got.Mean != want.Mean || got.Variance != want.Variance || got.GeoMean != want.GeoMean {
+				t.Fatalf("n=%d workers=%d: moments %+v, MeasureProfile moments {%v %v %v}",
+					n, workers, got, want.Mean, want.Variance, want.GeoMean)
+			}
+		}
+	}
+}
+
+func TestMeasureWithMomentsMatchesMeasureProfileBits(t *testing.T) {
+	for _, n := range coalesceSizes {
+		p := randProfile(n, uint64(100+n))
+		mom := ProfileMoments(p, 0)
+		for _, m := range []model.Params{
+			model.Table1(),
+			{Tau: 0.002, Pi: 0.9, Delta: 0.004},
+			{Tau: 0.00001, Pi: 0.999, Delta: 0.0001},
+		} {
+			for _, workers := range []int{1, 4, 0} {
+				want := MeasureProfile(m, p, workers)
+				got := MeasureWithMoments(m, p, mom, workers)
+				if got != want {
+					t.Fatalf("n=%d workers=%d m=%+v: MeasureWithMoments = %+v, MeasureProfile = %+v",
+						n, workers, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCoalescedMeasureMatchesPerItemBits(t *testing.T) {
+	// A flush mixing profile sizes and parameter sweeps: three items per
+	// profile sharing content (a τ sweep) across serial- and chunked-size
+	// groups.
+	uniq := []struct{ n, seed int }{
+		{10, 1}, {core.ParallelCutover, 2}, {500, 3}, {core.ParallelCutover + 777, 4},
+	}
+	var flushProfiles []profile.Profile
+	for _, u := range uniq {
+		flushProfiles = append(flushProfiles, randProfile(u.n, uint64(u.seed)))
+	}
+	base := model.Table1()
+	var items []CoalescedItem
+	for g := range flushProfiles {
+		for k := 0; k < 3; k++ {
+			m := base
+			m.Tau = base.Tau * float64(1+k)
+			items = append(items, CoalescedItem{Params: m, Group: g})
+		}
+	}
+	for _, workers := range []int{1, 2, 0} {
+		got := CoalescedMeasure(items, flushProfiles, workers)
+		for i, it := range items {
+			want := MeasureProfile(it.Params, flushProfiles[it.Group], 0)
+			if got[i] != want {
+				t.Fatalf("workers=%d item %d (group %d): coalesced %+v, direct %+v",
+					workers, i, it.Group, got[i], want)
+			}
+		}
+	}
+}
+
+func TestCoalescedMeasureEmptyFlush(t *testing.T) {
+	if out := CoalescedMeasure(nil, nil, 0); len(out) != 0 {
+		t.Fatalf("empty flush returned %d results", len(out))
+	}
+}
