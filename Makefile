@@ -24,7 +24,11 @@ BENCH_incr.json: FORCE
 
 # Perf certificate for the fault layer: the fault-aware integrator's
 # empty-plan run must cost ≤2× plain RunCEP at n=1024; replanner timing is
-# reported for scale.
+# reported for scale. The elastic-churn robustness regime rides along:
+# replicated-2@0.15 must out-salvage ride-vs-replan ≥1.2× aggregate useful
+# work over ≥5 jitter seeds of the fixed heavy-churn plan, with fault-free
+# duplication overhead ≤2×. checkbench re-derives the ratio from the raw
+# useful-work sums and history-gates it like any thresholded regime.
 BENCH_fault.json: FORCE
 	$(GO) run ./cmd/benchfault > $@
 
@@ -56,12 +60,15 @@ lint:
 check: lint
 	$(GO) run ./cmd/checkbench
 
-# Chaos suite: the fault/replan property tests, repeated under the race
-# detector to shake out both nondeterminism and data races. The fault
-# package's own tests all exercise the fault machinery, so it runs whole.
+# Chaos suite: the fault/replan/elastic property tests, repeated under the
+# race detector to shake out both nondeterminism and data races. The fault
+# package's own tests all exercise the fault machinery, so it runs whole;
+# the closing sweep drives the full elastic-churn study (both regimes, all
+# four policies) end to end through the CLI.
 chaos:
 	$(GO) test -race -count=3 ./internal/fault
-	$(GO) test -race -count=3 -run 'Chaos|Fault|Replan' ./internal/sim ./internal/api
+	$(GO) test -race -count=3 -run 'Chaos|Fault|Replan|Elastic|Redundant' ./internal/sim ./internal/api
+	$(GO) run ./cmd/hetero churn -n 6 -L 1200 -seeds 5
 
 vet:
 	$(GO) vet ./...

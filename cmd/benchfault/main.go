@@ -8,6 +8,11 @@
 //   - the replanner under a seeded multi-fault plan, reported for scale
 //     (informational; there is no fault-free baseline for replanning).
 //
+// It also certifies the deterministic elastic-churn robustness regime
+// (see ChurnRegimeResult): replicated redundancy must out-salvage the
+// ride-vs-replan server by ≥1.2× aggregate useful work on the fixed
+// heavy-churn plan, while its fault-free duplication overhead stays ≤2×.
+//
 // It prints one JSON document to stdout — the content of BENCH_fault.json
 // (see `make bench`):
 //
@@ -57,11 +62,39 @@ type ReplanResult struct {
 	NsPerDecision float64 `json:"ns_per_decision"`
 }
 
+// ChurnRegimeResult certifies the elastic-churn robustness regime: on a
+// fixed heavy-churn plan (targeted slowdowns, a crash, a long outage, and
+// a join cohort on a homogeneous base cluster) with unpredicted ρ-jitter,
+// the margined replicated scheme must return at least Threshold× the
+// useful work of the clairvoyant ride-vs-replan salvager, aggregated over
+// a fixed seed pool. The gate is deterministic — no timing involved — and
+// checkbench re-derives Speedup from the raw useful-work sums, so a
+// hand-edited ratio cannot pass. EmptyPlanOverhead is the same scheme's
+// dispatched/useful ratio on a fault-free run: deliberate duplication must
+// stay within OverheadThreshold (2× for replicated-2).
+type ChurnRegimeResult struct {
+	Name              string  `json:"name"`
+	BaseN             int     `json:"base_n"`
+	Joins             int     `json:"joins"`
+	Seeds             int     `json:"seeds"`
+	Jitter            float64 `json:"jitter"`
+	Scheme            string  `json:"scheme"`
+	UsefulReplan      float64 `json:"useful_replan"`
+	UsefulRedundant   float64 `json:"useful_redundant"`
+	Speedup           float64 `json:"speedup"`
+	Threshold         float64 `json:"threshold"`
+	MeetsThreshold    bool    `json:"meets_threshold"`
+	EmptyPlanOverhead float64 `json:"empty_plan_overhead"`
+	OverheadThreshold float64 `json:"overhead_threshold"`
+	OverheadOK        bool    `json:"overhead_ok"`
+}
+
 // Report is the BENCH_fault.json document.
 type Report struct {
-	Overhead OverheadResult `json:"empty_plan_overhead"`
-	Replan   ReplanResult   `json:"replan"`
-	Pass     bool           `json:"pass"`
+	Overhead OverheadResult      `json:"empty_plan_overhead"`
+	Replan   ReplanResult        `json:"replan"`
+	Regimes  []ChurnRegimeResult `json:"regimes"`
+	Pass     bool                `json:"pass"`
 }
 
 func main() {
@@ -144,6 +177,74 @@ func buildReport(quick bool) (Report, error) {
 		rep.Replan.NsPerDecision = rep.Replan.NsPerOp / float64(rep.Replan.Decisions)
 	}
 
-	rep.Pass = rep.Overhead.MeetsThreshold
+	churn, err := churnRegime()
+	if err != nil {
+		return rep, err
+	}
+	rep.Regimes = append(rep.Regimes, churn)
+
+	rep.Pass = rep.Overhead.MeetsThreshold && churn.MeetsThreshold && churn.OverheadOK
 	return rep, nil
+}
+
+// heavyChurnPlan is the fixed elastic plan behind the churn regime,
+// mirroring TestSimulateElasticRedundancyBeatsSalvageUnderChurn: every
+// disruption class plus a two-machine join cohort against an 8-machine
+// ρ = 0.5 base cluster over a 3600 lifespan.
+func heavyChurnPlan() fault.Plan {
+	return fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Computer: 0, At: 500, Factor: 7},
+		{Kind: fault.Crash, Computer: 2, At: 1300},
+		{Kind: fault.Outage, Computer: 4, At: 2000, Until: 3200},
+		{Kind: fault.Slowdown, Computer: 6, At: 2600, Factor: 9},
+		{Kind: fault.Join, Computer: 8, At: 600, Rho: 0.5},
+		{Kind: fault.Join, Computer: 9, At: 600, Rho: 0.5},
+	}}
+}
+
+// churnRegime runs the deterministic robustness gate: replicated-2@0.15
+// against the ride-vs-replan salvager over five jitter seeds of the
+// heavy-churn plan, plus the scheme's empty-plan duplication overhead.
+func churnRegime() (ChurnRegimeResult, error) {
+	m := model.Table1()
+	const lifespan = 3600.0
+	const seeds = 5
+	p := make(profile.Profile, 8)
+	for i := range p {
+		p[i] = 0.5
+	}
+	red := sim.Redundancy{Replicas: 2, Margin: 0.15}
+	res := ChurnRegimeResult{
+		Name: "churn", BaseN: len(p), Joins: 2, Seeds: seeds, Jitter: 0.15,
+		Scheme: red.String(), Threshold: 1.2, OverheadThreshold: 2,
+	}
+	plan := heavyChurnPlan()
+	for seed := uint64(1); seed <= seeds; seed++ {
+		opt := sim.Options{RhoJitter: res.Jitter, Seed: seed}
+		rp, err := sim.SimulateElastic(context.Background(), m, p, lifespan, plan,
+			sim.ElasticPolicy{Replan: true}, opt)
+		if err != nil {
+			return res, err
+		}
+		rd, err := sim.SimulateElastic(context.Background(), m, p, lifespan, plan,
+			sim.ElasticPolicy{Redundancy: red}, opt)
+		if err != nil {
+			return res, err
+		}
+		res.UsefulReplan += rp.Useful
+		res.UsefulRedundant += rd.Useful
+	}
+	if res.UsefulReplan > 0 {
+		res.Speedup = res.UsefulRedundant / res.UsefulReplan
+	}
+	res.MeetsThreshold = res.Speedup >= res.Threshold
+
+	calm, err := sim.SimulateElastic(context.Background(), m, p, lifespan, fault.Plan{},
+		sim.ElasticPolicy{Redundancy: red}, sim.Options{})
+	if err != nil {
+		return res, err
+	}
+	res.EmptyPlanOverhead = calm.Overhead
+	res.OverheadOK = res.EmptyPlanOverhead <= res.OverheadThreshold*(1+1e-9)
+	return res, nil
 }

@@ -16,4 +16,29 @@ func TestBuildReportQuick(t *testing.T) {
 	if rep.Replan.NsPerOp <= 0 || rep.Replan.Rounds <= 0 || rep.Replan.Faults <= 0 || rep.Replan.Decisions <= 0 {
 		t.Fatalf("implausible replan row: %+v", rep.Replan)
 	}
+	if len(rep.Regimes) != 1 {
+		t.Fatalf("regimes = %d, want the churn regime", len(rep.Regimes))
+	}
+	churn := rep.Regimes[0]
+	if churn.Name != "churn" || churn.Seeds < 5 || churn.BaseN != 8 || churn.Joins != 2 {
+		t.Fatalf("implausible churn shape: %+v", churn)
+	}
+	// The churn gate is deterministic (no timing), so even a quick run must
+	// certify: raw sums positive, the reported speedup re-derivable from
+	// them, and both thresholds met.
+	if churn.UsefulReplan <= 0 || churn.UsefulRedundant <= 0 {
+		t.Fatalf("non-positive useful-work sums: %+v", churn)
+	}
+	if got := churn.UsefulRedundant / churn.UsefulReplan; got != churn.Speedup {
+		t.Fatalf("speedup %v not derived from raw sums (want %v)", churn.Speedup, got)
+	}
+	if !churn.MeetsThreshold || churn.Speedup < churn.Threshold {
+		t.Fatalf("churn gate not met: %+v", churn)
+	}
+	if !churn.OverheadOK || churn.EmptyPlanOverhead > churn.OverheadThreshold*(1+1e-9) {
+		t.Fatalf("empty-plan overhead gate not met: %+v", churn)
+	}
+	if churn.EmptyPlanOverhead < 1 {
+		t.Fatalf("replicated dispatch cannot duplicate less than 1x: %+v", churn)
+	}
 }

@@ -15,6 +15,15 @@
 //	cepsim -profile "1,0.5,0.25" -L 3600 \
 //	    -faults '[{"kind":"crash","computer":2,"at":900}]' -replan
 //	cepsim -profile "1,0.5" -L 3600 -faults @plan.json
+//
+// With -elastic (implied by -redundancy or by a join event in the plan)
+// the run goes through the elastic-churn pipeline: joins are recruited,
+// and -redundancy switches from reactive salvage to proactive replicated
+// or coded dispatch:
+//
+//	cepsim -profile "0.5,0.5,0.5,0.5" -L 3600 -redundancy 2@0.15 -jitter 0.15 \
+//	    -faults '[{"kind":"join","computer":4,"at":600,"rho":0.5}]'
+//	cepsim -profile "0.5,0.5,0.5" -L 3600 -redundancy coded:2of3 -elastic
 package main
 
 import (
@@ -56,8 +65,10 @@ func run(args []string, out io.Writer) error {
 	jitter := fs.Float64("jitter", 0, "speed misestimation: simulate with ρ·(1±jitter)")
 	seed := fs.Uint64("seed", 1, "jitter RNG seed")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON of the run to this file (view in chrome://tracing or ui.perfetto.dev)")
-	faultsArg := fs.String("faults", "", "fault plan: inline JSON array of faults, or @file; kinds: crash, outage, slowdown, blackout")
+	faultsArg := fs.String("faults", "", "fault plan: inline JSON array of faults, or @file; kinds: crash, outage, slowdown, blackout, join")
 	replan := fs.Bool("replan", false, "with -faults: re-solve the remaining-lifespan CEP at each fault event")
+	elastic := fs.Bool("elastic", false, "run the elastic-churn pipeline (joins recruited; implied by -redundancy or a join in -faults)")
+	redundancyArg := fs.String("redundancy", "", "proactive redundancy scheme: r (replication factor), coded:K[ofN], optional @margin (e.g. 2@0.15)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,15 +79,26 @@ func run(args []string, out io.Writer) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	if *faultsArg != "" {
-		plan, err := parseFaultPlan(*faultsArg, len(p))
-		if err != nil {
-			return err
+	red, err := sim.ParseRedundancy(*redundancyArg)
+	if err != nil {
+		return err
+	}
+	if *faultsArg != "" || *elastic || red.Enabled() {
+		var plan fault.Plan
+		if *faultsArg != "" {
+			if plan, err = parseFaultPlan(*faultsArg, len(p)); err != nil {
+				return err
+			}
 		}
 		if *strategy != "optimal" {
-			return fmt.Errorf("-faults simulates the optimal protocol; drop -strategy %q", *strategy)
+			return fmt.Errorf("-faults/-elastic simulate the optimal protocol; drop -strategy %q", *strategy)
 		}
-		return runFaulty(out, m, p, *lifespan, plan, *replan, sim.Options{RhoJitter: *jitter, Seed: *seed})
+		opt := sim.Options{RhoJitter: *jitter, Seed: *seed}
+		if *elastic || red.Enabled() || plan.NumJoins() > 0 {
+			pol := sim.ElasticPolicy{Replan: *replan, Redundancy: red}
+			return runElastic(out, m, p, *lifespan, plan, pol, opt)
+		}
+		return runFaulty(out, m, p, *lifespan, plan, *replan, opt)
 	}
 
 	var proto sim.Protocol
@@ -200,6 +222,51 @@ func runFaulty(out io.Writer, m model.Params, p profile.Profile, lifespan float6
 	fmt.Fprintf(out, "work salvaged by L:  %.8g\n", rep.Salvaged)
 	fmt.Fprintf(out, "work dispatched:     %.8g\n", rep.Dispatched)
 	fmt.Fprintf(out, "work lost:           %.8g\n", rep.Lost)
+	fmt.Fprintf(out, "degradation:         %.4f\n", rep.Degradation)
+	fmt.Fprintf(out, "events processed:    %d\n", rep.Events)
+	return nil
+}
+
+// runElastic prints the elastic-churn report: the dispatch rounds (replan
+// rounds, or the base and per-join-cohort redundant rounds), the
+// replanner's decision trail when applicable, then the useful-work summary
+// against the base cluster's fault-free optimum.
+func runElastic(out io.Writer, m model.Params, p profile.Profile, lifespan float64, plan fault.Plan, pol sim.ElasticPolicy, opt sim.Options) error {
+	rep, err := sim.SimulateElastic(context.Background(), m, p, lifespan, plan, pol, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "elastic CEP simulation: base n=%d, %d joins, L=%g, %d faults, policy %s\n",
+		rep.BaseN, rep.Joins, lifespan, len(plan.Faults)-rep.Joins, rep.Policy)
+	if len(rep.Rounds) > 0 {
+		t := render.NewTable("dispatch rounds",
+			"round", "window", "computers", "planned rate", "dispatched", "salvaged")
+		for i, r := range rep.Rounds {
+			t.Add(fmt.Sprintf("%d", i+1),
+				fmt.Sprintf("[%.6g, %.6g)", r.Start, r.End),
+				formatComputers(r.Computers),
+				fmt.Sprintf("%.6g", r.PlannedRate),
+				fmt.Sprintf("%.6g", r.Dispatched),
+				fmt.Sprintf("%.6g", r.Salvaged))
+		}
+		fmt.Fprint(out, t.String())
+	}
+	for _, d := range rep.Decisions {
+		verdict := "ride out the in-flight round"
+		if d.Replanned {
+			verdict = "abandon and replan"
+		}
+		fmt.Fprintf(out, "event t=%.6g: ride projects %.6g, replan projects %.6g → %s\n",
+			d.At, d.RideValue, math.Max(0, d.ReplanValue), verdict)
+	}
+	if rep.Units > 0 {
+		fmt.Fprintf(out, "redundant units:     %d dispatched, %d completed\n", rep.Units, rep.UnitsCompleted)
+	}
+	fmt.Fprintf(out, "fault-free W(L;P):   %.8g (base cluster)\n", rep.FaultFree)
+	fmt.Fprintf(out, "useful work by L:    %.8g\n", rep.Useful)
+	fmt.Fprintf(out, "work dispatched:     %.8g\n", rep.Dispatched)
+	fmt.Fprintf(out, "work lost:           %.8g\n", rep.Lost)
+	fmt.Fprintf(out, "overhead:            %.4f\n", rep.Overhead)
 	fmt.Fprintf(out, "degradation:         %.4f\n", rep.Degradation)
 	fmt.Fprintf(out, "events processed:    %d\n", rep.Events)
 	return nil

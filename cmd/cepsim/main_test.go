@@ -93,12 +93,55 @@ func TestCepsimFaultPlan(t *testing.T) {
 	}
 }
 
+func TestCepsimElastic(t *testing.T) {
+	// A join in the plan routes through the elastic pipeline even without
+	// -elastic; -replan recruits the joiner.
+	var b strings.Builder
+	err := run([]string{"-profile", "0.95,0.9", "-L", "3600", "-replan",
+		"-faults", `[{"kind":"join","computer":2,"at":600,"rho":0.5}]`}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"elastic CEP simulation", "policy salvage-replan", "1 joins", "useful work by L"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Redundancy with margin and jitter: the redundant-units summary and the
+	// per-cohort dispatch rounds appear.
+	b.Reset()
+	err = run([]string{"-profile", "0.5,0.5,0.5,0.5", "-L", "3600",
+		"-redundancy", "2@0.15", "-jitter", "0.15",
+		"-faults", `[{"kind":"join","computer":4,"at":600,"rho":0.5}]`}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	for _, want := range []string{"policy replicated-2@0.15", "redundant units:", "dispatch rounds", "overhead:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// -elastic alone (empty plan, coded scheme) works too.
+	b.Reset()
+	if err := run([]string{"-profile", "0.5,0.5,0.5", "-L", "3600", "-elastic", "-redundancy", "coded:2of3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "policy coded-2of3") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+}
+
 func TestCepsimFaultPlanRejections(t *testing.T) {
 	cases := [][]string{
 		{"-profile", "1,0.5", "-faults", "not json"},
 		{"-profile", "1,0.5", "-faults", `[{"kind":"crash","computer":7,"at":1}]`},
 		{"-profile", "1,0.5", "-faults", `[{"kind":"crash","computer":0,"at":1}]`, "-strategy", "equal"},
 		{"-profile", "1,0.5", "-faults", "@/no/such/file.json"},
+		{"-profile", "1,0.5", "-redundancy", "bogus"},
+		{"-profile", "1,0.5", "-redundancy", "2", "-replan", "-elastic"},
+		{"-profile", "1,0.5", "-elastic", "-strategy", "equal"},
 	}
 	for _, args := range cases {
 		var b strings.Builder

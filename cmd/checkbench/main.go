@@ -181,7 +181,10 @@ func checkHistory(path, dir string) error {
 // speedupsOf reads a certificate's thresholded regimes as name → speedup.
 // Only regimes carrying both a positive threshold and a positive speedup
 // participate in the history gate — report-only regimes (no threshold) may
-// drift freely. An absent or malformed file reads as no regimes.
+// drift freely. cmd/benchincr's "speedup_search" entries (keyed by cluster
+// size rather than name) fold in as "speedup_search_n<N>", so BENCH_incr
+// joins the history gate alongside the named regimes. An absent or
+// malformed file reads as no regimes.
 func speedupsOf(path string) map[string]float64 {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -193,6 +196,11 @@ func speedupsOf(path string) map[string]float64 {
 			Threshold float64 `json:"threshold"`
 			Speedup   float64 `json:"speedup"`
 		} `json:"regimes"`
+		Search []struct {
+			N         int     `json:"n"`
+			Threshold float64 `json:"threshold"`
+			Speedup   float64 `json:"speedup"`
+		} `json:"speedup_search"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return nil
@@ -201,6 +209,11 @@ func speedupsOf(path string) map[string]float64 {
 	for _, r := range doc.Regimes {
 		if r.Threshold > 0 && r.Speedup > 0 {
 			out[r.Name] = r.Speedup
+		}
+	}
+	for _, r := range doc.Search {
+		if r.Threshold > 0 && r.Speedup > 0 {
+			out[fmt.Sprintf("speedup_search_n%d", r.N)] = r.Speedup
 		}
 	}
 	return out
@@ -228,10 +241,15 @@ func memoryPeakOf(path string) (float64, bool) {
 // meets_threshold = true (when present). Regimes carrying
 // confidence-interval evidence are re-derived from the raw fields rather
 // than trusted: samples ≥ minSamples and speedup_ci_low ≥ threshold.
+// Elastic-churn regimes (cmd/benchfault) carry raw useful-work sums and
+// are re-derived the same way — see checkChurnRegime.
 func checkRegime(regime map[string]interface{}) error {
 	name := regime["name"]
 	if met, ok := regime["meets_threshold"].(bool); ok && !met {
 		return fmt.Errorf("regime %v misses its threshold", name)
+	}
+	if _, isChurn := regime["useful_replan"]; isChurn {
+		return checkChurnRegime(regime)
 	}
 	threshold, hasThreshold := regime["threshold"].(float64)
 	ciLow, hasCI := regime["speedup_ci_low"].(float64)
@@ -251,6 +269,44 @@ func checkRegime(regime map[string]interface{}) error {
 	}
 	if ciLow < threshold {
 		return fmt.Errorf("regime %v: speedup CI low %.3f misses threshold %.3f", name, ciLow, threshold)
+	}
+	return nil
+}
+
+// checkChurnRegime validates cmd/benchfault's elastic-churn robustness
+// regime. Nothing is trusted: the useful-work ratio is re-derived from the
+// raw sums (so a forged "speedup" cannot pass), the seed pool must be at
+// least minSamples (so a thinned run cannot pass), and the scheme's
+// fault-free duplication overhead must sit within its own threshold.
+func checkChurnRegime(regime map[string]interface{}) error {
+	name := regime["name"]
+	replan, okR := regime["useful_replan"].(float64)
+	redundant, okD := regime["useful_redundant"].(float64)
+	threshold, okT := regime["threshold"].(float64)
+	seeds, okS := regime["seeds"].(float64)
+	if !okR || !okD || !okT || !okS || threshold <= 0 {
+		return fmt.Errorf("regime %v missing raw churn fields", name)
+	}
+	if int(seeds) < minSamples {
+		return fmt.Errorf("regime %v certified from %d seeds, need ≥ %d", name, int(seeds), minSamples)
+	}
+	if replan <= 0 {
+		return fmt.Errorf("regime %v reports no replan salvage to compare against", name)
+	}
+	derived := redundant / replan
+	if reported, ok := regime["speedup"].(float64); ok && !(derived <= reported*1.001 && derived >= reported*0.999) {
+		return fmt.Errorf("regime %v: reported speedup %.3f disagrees with raw ratio %.3f", name, reported, derived)
+	}
+	if derived < threshold {
+		return fmt.Errorf("regime %v: useful-work ratio %.3f misses threshold %.3f", name, derived, threshold)
+	}
+	overhead, okO := regime["empty_plan_overhead"].(float64)
+	overheadMax, okM := regime["overhead_threshold"].(float64)
+	if !okO || !okM || overheadMax <= 0 {
+		return fmt.Errorf("regime %v missing overhead fields", name)
+	}
+	if overhead > overheadMax*(1+1e-9) {
+		return fmt.Errorf("regime %v: empty-plan overhead %.3f exceeds %.3f", name, overhead, overheadMax)
 	}
 	return nil
 }

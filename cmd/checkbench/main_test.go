@@ -46,6 +46,26 @@ func TestCheckDoc(t *testing.T) {
 		{"memory ratio over threshold despite forged flag", `{"pass": true, "memory": {"meets_threshold": true,
 			"peak_stream_bytes": 30, "peak_buffered_bytes": 100, "ratio_threshold": 0.25}}`, true},
 		{"memory regime missing peaks", `{"pass": true, "memory": {"meets_threshold": true}}`, true},
+		{"churn regime met", `{"pass": true, "regimes": [{"name": "churn", "meets_threshold": true,
+			"threshold": 1.2, "seeds": 5, "useful_replan": 100, "useful_redundant": 150, "speedup": 1.5,
+			"empty_plan_overhead": 2.0, "overhead_threshold": 2, "overhead_ok": true}]}`, false},
+		{"churn forged speedup disagrees with raw sums", `{"pass": true, "regimes": [{"name": "churn",
+			"meets_threshold": true, "threshold": 1.2, "seeds": 5, "useful_replan": 100, "useful_redundant": 110,
+			"speedup": 1.5, "empty_plan_overhead": 2.0, "overhead_threshold": 2, "overhead_ok": true}]}`, true},
+		{"churn raw ratio under threshold despite forged flag", `{"pass": true, "regimes": [{"name": "churn",
+			"meets_threshold": true, "threshold": 1.2, "seeds": 5, "useful_replan": 100, "useful_redundant": 110,
+			"speedup": 1.1, "empty_plan_overhead": 2.0, "overhead_threshold": 2, "overhead_ok": true}]}`, true},
+		{"churn thinned seed pool cannot certify", `{"pass": true, "regimes": [{"name": "churn",
+			"meets_threshold": true, "threshold": 1.2, "seeds": 2, "useful_replan": 100, "useful_redundant": 150,
+			"speedup": 1.5, "empty_plan_overhead": 2.0, "overhead_threshold": 2, "overhead_ok": true}]}`, true},
+		{"churn blown duplication overhead", `{"pass": true, "regimes": [{"name": "churn",
+			"meets_threshold": true, "threshold": 1.2, "seeds": 5, "useful_replan": 100, "useful_redundant": 150,
+			"speedup": 1.5, "empty_plan_overhead": 2.6, "overhead_threshold": 2, "overhead_ok": true}]}`, true},
+		{"churn missing raw fields", `{"pass": true, "regimes": [{"name": "churn", "meets_threshold": true,
+			"threshold": 1.2, "useful_replan": 100, "speedup": 1.5}]}`, true},
+		{"churn zero replan salvage", `{"pass": true, "regimes": [{"name": "churn", "meets_threshold": true,
+			"threshold": 1.2, "seeds": 5, "useful_replan": 0, "useful_redundant": 150, "speedup": 1.5,
+			"empty_plan_overhead": 2.0, "overhead_threshold": 2, "overhead_ok": true}]}`, true},
 	}
 	for _, tc := range cases {
 		path := writeDoc(t, "doc.json", tc.content)
@@ -150,5 +170,42 @@ func TestCheckHistorySpeedups(t *testing.T) {
 	write(cur, doc(6.0, 1.2))
 	if err := checkHistory(cur, histDir); err != nil {
 		t.Fatalf("unthresholded history blocked: %v", err)
+	}
+}
+
+// TestCheckHistorySpeedupSearch pins that cmd/benchincr's "speedup_search"
+// entries (keyed by cluster size, not name) participate in the history gate
+// under synthesized speedup_search_n<N> names.
+func TestCheckHistorySpeedupSearch(t *testing.T) {
+	doc := func(n1024 float64) string {
+		return fmt.Sprintf(`{"pass": true, "speedup_search": [
+			{"n": 256, "threshold": 0, "speedup": 3.0},
+			{"n": 1024, "threshold": 2, "speedup": %g, "meets_threshold": true}]}`, n1024)
+	}
+	dir := t.TempDir()
+	histDir := filepath.Join(dir, "bench_history")
+	if err := os.Mkdir(histDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(path, content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := filepath.Join(dir, "BENCH_incr.json")
+	write(filepath.Join(histDir, "BENCH_incr.json"), doc(8.0))
+
+	write(cur, doc(7.0)) // -12.5%: inside the 70% keep
+	if err := checkHistory(cur, histDir); err != nil {
+		t.Fatalf("small speedup_search drop rejected: %v", err)
+	}
+	write(cur, doc(4.0)) // halved: regression even though 4.0 > threshold 2
+	if err := checkHistory(cur, histDir); err == nil {
+		t.Fatal("halved speedup_search entry accepted against committed history")
+	}
+	write(cur, `{"pass": true}`)
+	if err := checkHistory(cur, histDir); err == nil {
+		t.Fatal("dropped speedup_search entry accepted against committed history")
 	}
 }

@@ -42,6 +42,7 @@
 //	installments   multi-installment worksharing vs link cost
 //	jitter         robustness to speed misestimation
 //	faults         work degradation under injected faults, fixed vs replan
+//	churn          elastic churn: reactive salvage vs replicated/coded dispatch
 //	agreement      simulation vs Theorem 2 validation
 //	all            run every paper artifact with defaults
 package main
@@ -142,6 +143,8 @@ func run(args []string, out io.Writer) error {
 		return cmdJitter(rest, out)
 	case "faults":
 		return cmdFaults(rest, out)
+	case "churn":
+		return cmdChurn(rest, out)
 	case "agreement":
 		return cmdAgreement(rest, out)
 	case "all":
@@ -932,6 +935,25 @@ func cmdFaults(args []string, out io.Writer) error {
 		return err
 	}
 	res, err := experiments.FaultTolerance(*m, *n, *lifespan, []int{0, 1, 2, 4, 8}, *seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Render())
+	return nil
+}
+
+func cmdChurn(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("churn", flag.ContinueOnError)
+	m := modelFlags(fs)
+	n := fs.Int("n", 8, "base cluster size (seeded random profiles)")
+	lifespan := fs.Float64("L", 3600, "lifespan")
+	seeds := fs.Int("seeds", 20, "seeded trials per churn intensity")
+	jitter := fs.Float64("jitter", 0.15, "unpredicted straggler jitter: realized ρ·(1±jitter)")
+	margin := fs.Float64("margin", 0.15, "redundancy deadline margin (fraction of L)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := experiments.ElasticChurn(*m, *n, *lifespan, []int{0, 2, 4, 8}, *seeds, *jitter, *margin)
 	if err != nil {
 		return err
 	}

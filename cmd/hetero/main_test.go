@@ -58,6 +58,7 @@ func TestSubcommandsSmoke(t *testing.T) {
 		{[]string{"replicate", "-trials", "100", "-json"}, `"paper"`},
 		{[]string{"hierarchy", "-profile", "1,0.8,0.6,0.4", "-tau", "0.01"}, "chain"},
 		{[]string{"jitter", "-n", "4", "-seeds", "5", "-L", "200"}, "makespan/L"},
+		{[]string{"churn", "-n", "4", "-seeds", "3", "-L", "500"}, "coded>replan"},
 		{[]string{"agreement"}, "max relative error"},
 	}
 	for _, tc := range cases {

@@ -85,6 +85,12 @@ type Server struct {
 	batchRawHits         atomic.Uint64
 	batchStreamed        atomic.Uint64
 
+	faultyRequests    atomic.Uint64
+	elasticRequests   atomic.Uint64
+	redundantRequests atomic.Uint64
+	replanDecisions   atomic.Uint64
+	replansAdopted    atomic.Uint64
+
 	serving     ServingConfig // Serving with defaults resolved
 	runTokens   chan struct{}
 	queueTokens chan struct{}
@@ -214,6 +220,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/design", s.handleDesign)
 	mux.HandleFunc("/v1/speedup", s.handleSpeedup)
 	mux.HandleFunc("/v1/simulate/faulty", s.handleSimulateFaulty)
+	mux.HandleFunc("/v1/simulate/elastic", s.handleSimulateElastic)
 	mux.HandleFunc("/v1/statz", s.handleStatz)
 	mux.HandleFunc("/", handleNotFound) // JSON 404s, matching every error path
 	return s.wrap(mux)
@@ -401,6 +408,20 @@ type CoalesceStats struct {
 	EvalNs          uint64 `json:"eval_ns"`
 }
 
+// SimulateStats is the /v1/statz view of the simulation endpoints.
+// FaultyRequests and ElasticRequests count validated simulations started on
+// each route (RedundantRequests is the elastic subset running a redundancy
+// scheme); ReplanDecisions counts ride-vs-replan decision points across
+// both routes, ReplansAdopted the ones where the replanner abandoned the
+// in-flight round.
+type SimulateStats struct {
+	FaultyRequests    uint64 `json:"faulty_requests"`
+	ElasticRequests   uint64 `json:"elastic_requests"`
+	RedundantRequests uint64 `json:"redundant_requests"`
+	ReplanDecisions   uint64 `json:"replan_decisions"`
+	ReplansAdopted    uint64 `json:"replans_adopted"`
+}
+
 // ServingStats is the /v1/statz view of the hardening middleware.
 type ServingStats struct {
 	Shed             uint64 `json:"shed"`
@@ -416,6 +437,7 @@ type StatzResponse struct {
 	MeasureCache CacheStats    `json:"measure_cache"`
 	Batch        BatchStats    `json:"batch"`
 	Coalesce     CoalesceStats `json:"coalesce"`
+	Simulate     SimulateStats `json:"simulate"`
 	Serving      ServingStats  `json:"serving"`
 }
 
@@ -477,6 +499,13 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		MeasureCache: cs,
 		Batch:        bs,
 		Coalesce:     co,
+		Simulate: SimulateStats{
+			FaultyRequests:    s.faultyRequests.Load(),
+			ElasticRequests:   s.elasticRequests.Load(),
+			RedundantRequests: s.redundantRequests.Load(),
+			ReplanDecisions:   s.replanDecisions.Load(),
+			ReplansAdopted:    s.replansAdopted.Load(),
+		},
 		Serving: ServingStats{
 			Shed:             s.shed.Load(),
 			Panics:           s.panics.Load(),

@@ -1,0 +1,136 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/sim"
+)
+
+// ElasticRequest is the POST /v1/simulate/elastic body. It extends the
+// faulty request with join events (in faults, kind "join") and a policy
+// choice: replan salvage, or a redundancy scheme spelled like the cepsim
+// -redundancy flag ("2", "replicated-3", "coded:2of4", with an optional
+// "@margin" suffix such as "2@0.15"). Replan and redundancy are mutually
+// exclusive; both absent means ride salvage.
+type ElasticRequest struct {
+	Profile    []float64     `json:"profile"`
+	Lifespan   float64       `json:"lifespan"`
+	Params     *model.Params `json:"params,omitempty"`
+	Faults     []fault.Fault `json:"faults,omitempty"`
+	Replan     bool          `json:"replan,omitempty"`
+	Redundancy string        `json:"redundancy,omitempty"`
+	// RhoJitter perturbs each machine's realized ρ by up to the given
+	// fraction (deterministically, from Seed) — the unpredicted-straggler
+	// regime where redundancy earns its overhead.
+	RhoJitter float64 `json:"rho_jitter,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+}
+
+// decodeElasticRequest parses and fully validates a /v1/simulate/elastic
+// body against the given default parameters, under the same profile and
+// fault-count limits as /v1/simulate/faulty. Like decodeFaultyRequest it
+// is a fuzz surface: any body either yields a simulatable input or a
+// descriptive error — never a panic, never NaN/±Inf smuggled through.
+func decodeElasticRequest(defaults model.Params, body []byte) (m model.Params, p profile.Profile, lifespan float64, plan fault.Plan, pol sim.ElasticPolicy, opt sim.Options, err error) {
+	var req ElasticRequest
+	if err = json.Unmarshal(body, &req); err != nil {
+		err = fmt.Errorf("invalid JSON: %w", err)
+		return
+	}
+	m = defaults
+	if req.Params != nil {
+		m = *req.Params
+	}
+	if err = m.Validate(); err != nil {
+		return
+	}
+	if len(req.Profile) > MaxFaultyProfile {
+		err = fmt.Errorf("profile of %d computers exceeds the limit of %d", len(req.Profile), MaxFaultyProfile)
+		return
+	}
+	if p, err = profile.New(req.Profile...); err != nil {
+		return
+	}
+	if !(req.Lifespan > 0) || math.IsInf(req.Lifespan, 0) {
+		err = fmt.Errorf("lifespan %v must be positive and finite", req.Lifespan)
+		return
+	}
+	lifespan = req.Lifespan
+	if len(req.Faults) > MaxFaults {
+		err = fmt.Errorf("%d faults exceed the limit of %d", len(req.Faults), MaxFaults)
+		return
+	}
+	plan = fault.Plan{Faults: req.Faults}
+	for i := range plan.Faults {
+		f := &plan.Faults[i]
+		if (f.Kind == fault.Outage || f.Kind == fault.Blackout) && f.Until == 0 {
+			f.Until = math.Inf(1)
+		}
+	}
+	if err = plan.Validate(len(p)); err != nil {
+		return
+	}
+	pol.Replan = req.Replan
+	if pol.Redundancy, err = sim.ParseRedundancy(req.Redundancy); err != nil {
+		return
+	}
+	if err = pol.Validate(); err != nil {
+		return
+	}
+	opt = sim.Options{RhoJitter: req.RhoJitter, Seed: req.Seed}
+	if err = opt.Validate(); err != nil {
+		return
+	}
+	return
+}
+
+func (s *Server) handleSimulateElastic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	body, ok := s.readPostBody(w, r)
+	if !ok {
+		return
+	}
+	m, p, lifespan, plan, pol, opt, err := decodeElasticRequest(s.Defaults, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.elasticRequests.Add(1)
+	if pol.Redundancy.Enabled() {
+		s.redundantRequests.Add(1)
+	}
+	rep, err := sim.SimulateElastic(r.Context(), m, p, lifespan, plan, pol, opt)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.deadlines.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "simulation exceeded the request deadline")
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.countDecisions(rep.Decisions)
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// countDecisions folds one simulation's ride-vs-replan decision trail into
+// the /v1/statz simulate counters.
+func (s *Server) countDecisions(ds []sim.DecisionReport) {
+	s.replanDecisions.Add(uint64(len(ds)))
+	for _, d := range ds {
+		if d.Replanned {
+			s.replansAdopted.Add(1)
+		}
+	}
+}

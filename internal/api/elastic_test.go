@@ -1,0 +1,142 @@
+package api
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/sim"
+)
+
+func TestSimulateElasticEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Empty plan, no policy: ride salvage of an intact cluster — zero
+	// degradation, policy echoed.
+	var rep sim.ElasticReport
+	code := postJSON(t, srv.URL+"/v1/simulate/elastic", ElasticRequest{
+		Profile: []float64{1, 0.5, 0.25}, Lifespan: 3600,
+	}, &rep)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep.FaultFree <= 0 || math.Abs(rep.Degradation) > 1e-9 || rep.Policy != "salvage-ride" {
+		t.Fatalf("empty plan: %+v", rep)
+	}
+	// Joins + replan: the replanner recruits the cohort and beats the base
+	// cluster's fault-free yardstick (negative degradation).
+	req := ElasticRequest{
+		Profile: []float64{0.95, 0.9}, Lifespan: 3600,
+		Faults: []fault.Fault{
+			{Kind: fault.Join, Computer: 2, At: 200, Rho: 0.3},
+			{Kind: fault.Join, Computer: 3, At: 200, Rho: 0.35},
+		},
+		Replan: true,
+	}
+	if code := postJSON(t, srv.URL+"/v1/simulate/elastic", req, &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep.Joins != 2 || rep.Degradation >= 0 || rep.Policy != "salvage-replan" {
+		t.Fatalf("joins+replan: %+v", rep)
+	}
+	// The endpoint serves exactly what the library computes.
+	want, err := sim.SimulateElastic(nil, model.Table1(), profile.MustNew(0.95, 0.9), 3600,
+		fault.Plan{Faults: req.Faults}, sim.ElasticPolicy{Replan: true}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Useful != want.Useful || rep.Dispatched != want.Dispatched {
+		t.Fatalf("endpoint %+v diverges from library %+v", rep, want)
+	}
+	// Redundancy string parses like the cepsim flag; units are reported.
+	if code := postJSON(t, srv.URL+"/v1/simulate/elastic", ElasticRequest{
+		Profile: []float64{0.5, 0.5, 0.5, 0.5}, Lifespan: 3600,
+		Redundancy: "replicated-2@0.1",
+	}, &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if rep.Policy != "replicated-2@0.1" || rep.Units == 0 || rep.UnitsCompleted != rep.Units {
+		t.Fatalf("redundant: %+v", rep)
+	}
+	if rep.Overhead < 2-1e-9 || rep.Overhead > 2+1e-9 {
+		t.Fatalf("replicated-2 empty-plan overhead %v ≠ 2", rep.Overhead)
+	}
+}
+
+func TestSimulateElasticEndpointRejections(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct{ name, body string }{
+		{"both policies", `{"profile":[0.5,0.5],"lifespan":10,"replan":true,"redundancy":"2"}`},
+		{"bad redundancy", `{"profile":[0.5],"lifespan":10,"redundancy":"coded:2of1"}`},
+		{"replication of one", `{"profile":[0.5],"lifespan":10,"redundancy":"1"}`},
+		{"join rho", `{"profile":[0.5],"lifespan":10,"faults":[{"kind":"join","computer":1,"at":1,"rho":2}]}`},
+		{"join index", `{"profile":[0.5],"lifespan":10,"faults":[{"kind":"join","computer":0,"at":1,"rho":0.5}]}`},
+		{"jitter range", `{"profile":[0.5],"lifespan":10,"rho_jitter":1.5}`},
+		{"margin without scheme", `{"profile":[0.5],"lifespan":10,"redundancy":"off@0.1"}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/v1/simulate/elastic", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatzSimulateCounters drives both simulate routes and checks the
+// /v1/statz simulate block: request counts per route, the redundant
+// subset, and the ride-vs-replan decision tally.
+func TestStatzSimulateCounters(t *testing.T) {
+	srv := testServer(t)
+	var rep sim.ElasticReport
+	if code := postJSON(t, srv.URL+"/v1/simulate/elastic", ElasticRequest{
+		Profile: []float64{1, 0.5, 0.25}, Lifespan: 3600,
+		Faults: []fault.Fault{{Kind: fault.Crash, Computer: 2, At: 900}},
+		Replan: true,
+	}, &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(rep.Decisions) == 0 {
+		t.Fatalf("no decisions: %+v", rep)
+	}
+	elasticDecisions := len(rep.Decisions)
+	if code := postJSON(t, srv.URL+"/v1/simulate/elastic", ElasticRequest{
+		Profile: []float64{0.5, 0.5}, Lifespan: 3600, Redundancy: "2",
+	}, &rep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var drep sim.DegradedReport
+	if code := postJSON(t, srv.URL+"/v1/simulate/faulty", FaultyRequest{
+		Profile: []float64{1, 0.5}, Lifespan: 3600, Replan: true,
+		Faults: []fault.Fault{{Kind: fault.Crash, Computer: 1, At: 900}},
+	}, &drep); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var statz StatzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&statz); err != nil {
+		t.Fatal(err)
+	}
+	st := statz.Simulate
+	if st.FaultyRequests != 1 || st.ElasticRequests != 2 || st.RedundantRequests != 1 {
+		t.Fatalf("request counters: %+v", st)
+	}
+	if want := uint64(elasticDecisions + len(drep.Decisions)); st.ReplanDecisions != want {
+		t.Fatalf("decisions %d, want %d: %+v", st.ReplanDecisions, want, st)
+	}
+	if st.ReplansAdopted > st.ReplanDecisions {
+		t.Fatalf("adopted %d > decisions %d", st.ReplansAdopted, st.ReplanDecisions)
+	}
+}

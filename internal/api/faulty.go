@@ -96,6 +96,7 @@ func (s *Server) handleSimulateFaulty(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.faultyRequests.Add(1)
 	rep, err := sim.SimulateFaulty(r.Context(), m, p, lifespan, plan, replan, sim.Options{})
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -106,5 +107,6 @@ func (s *Server) handleSimulateFaulty(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	s.countDecisions(rep.Decisions)
 	writeJSON(w, http.StatusOK, rep)
 }

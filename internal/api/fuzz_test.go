@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"hetero/internal/fault"
 	"hetero/internal/model"
 )
 
@@ -96,6 +97,68 @@ func FuzzFaultPlanParse(f *testing.F) {
 			if math.IsNaN(fa.At) || math.IsInf(fa.At, 0) || fa.At < 0 {
 				t.Fatalf("accepted fault time %v (body %q)", fa.At, body)
 			}
+		}
+	})
+}
+
+// FuzzElasticPlanParse drives the POST /v1/simulate/elastic decoder with
+// arbitrary bodies — the join-aware sibling of FuzzFaultPlanParse, plus
+// the policy surface. The invariants:
+//
+//  1. it never panics, whatever the bytes;
+//  2. anything accepted is fully simulatable — the plan re-validates with
+//     joins interleaved among outages and blackouts, join ρ-values are in
+//     (0,1], the policy is coherent (never replan AND redundancy, margin
+//     only with an enabled scheme), and the jitter options re-validate.
+func FuzzElasticPlanParse(f *testing.F) {
+	f.Add([]byte(`{"profile":[1,0.5],"lifespan":3600}`))
+	f.Add([]byte(`{"profile":[1,0.5],"lifespan":3600,"replan":true,"faults":[{"kind":"join","computer":2,"at":100,"rho":0.5}]}`))
+	f.Add([]byte(`{"profile":[0.5,0.5],"lifespan":3600,"redundancy":"2@0.15","rho_jitter":0.15,"seed":7}`))
+	f.Add([]byte(`{"profile":[0.5,0.5,0.5],"lifespan":3600,"redundancy":"coded:2of3"}`))
+	f.Add([]byte(`{"profile":[1],"lifespan":10,"faults":[{"kind":"join","computer":1,"at":2,"rho":0.5},{"kind":"blackout","at":3,"until":4},{"kind":"outage","computer":1,"at":5,"until":7}]}`))
+	f.Add([]byte(`{"profile":[1],"lifespan":10,"replan":true,"redundancy":"3"}`))
+	f.Add([]byte(`{"profile":[1],"lifespan":10,"redundancy":"off@0.1"}`))
+	f.Add([]byte(`{"profile":[1],"lifespan":10,"faults":[{"kind":"join","computer":0,"at":1,"rho":0.5}]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		defaults := model.Table1()
+		m, p, lifespan, plan, pol, opt, err := decodeElasticRequest(defaults, body)
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted params fail validation: %v (body %q)", verr, body)
+		}
+		if len(p) == 0 {
+			t.Fatalf("accepted an empty profile (body %q)", body)
+		}
+		for i, rho := range p {
+			if math.IsNaN(rho) || math.IsInf(rho, 0) || rho <= 0 || rho > 1 {
+				t.Fatalf("accepted ρ[%d] = %v (body %q)", i, rho, body)
+			}
+		}
+		if !(lifespan > 0) || math.IsInf(lifespan, 0) {
+			t.Fatalf("accepted lifespan %v (body %q)", lifespan, body)
+		}
+		if verr := plan.Validate(len(p)); verr != nil {
+			t.Fatalf("accepted plan fails re-validation: %v (body %q)", verr, body)
+		}
+		for _, fa := range plan.Faults {
+			if math.IsNaN(fa.At) || math.IsInf(fa.At, 0) || fa.At < 0 {
+				t.Fatalf("accepted fault time %v (body %q)", fa.At, body)
+			}
+			if fa.Kind == fault.Join && (math.IsNaN(fa.Rho) || fa.Rho <= 0 || fa.Rho > 1) {
+				t.Fatalf("accepted join ρ %v (body %q)", fa.Rho, body)
+			}
+		}
+		if verr := pol.Validate(); verr != nil {
+			t.Fatalf("accepted policy fails re-validation: %v (body %q)", verr, body)
+		}
+		if pol.Replan && pol.Redundancy.Enabled() {
+			t.Fatalf("accepted contradictory policy (body %q)", body)
+		}
+		if verr := opt.Validate(); verr != nil {
+			t.Fatalf("accepted options fail re-validation: %v (body %q)", verr, body)
 		}
 	})
 }

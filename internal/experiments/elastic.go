@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/render"
+	"hetero/internal/sim"
+	"hetero/internal/stats"
+)
+
+// ChurnRegime names the distribution elastic events are drawn from.
+type ChurnRegime string
+
+const (
+	// RegimeRandom draws fault.RandomElastic's even mix (crashes, outages,
+	// slowdowns, blackouts, joins) against seeded random clusters. Churn is
+	// diffuse here, so reactive salvage keeps most of its capacity and the
+	// 2× duplication of redundancy rarely pays.
+	RegimeRandom ChurnRegime = "random"
+	// RegimeAdversarial staggers severe targeted disruptions across a
+	// homogeneous cluster — every salvage round gets wounded mid-flight
+	// while each replica pair keeps one healthy member — and recruits a
+	// small join cohort. This is the regime proactive redundancy exists
+	// for; cmd/benchfault certifies a fixed instance of it.
+	RegimeAdversarial ChurnRegime = "adversarial"
+)
+
+// ElasticRow summarizes one (regime, intensity) cell of the elastic study:
+// total useful work per policy, summed over the seeded trials, normalized
+// by the summed fault-free optimum of the base clusters.
+type ElasticRow struct {
+	Regime ChurnRegime
+	// Events is the number of random elastic events (faults and joins)
+	// injected per seeded trial.
+	Events int
+	// Yield* is Σ useful / Σ W(L;P) over the trials for each policy.
+	YieldRide   float64
+	YieldReplan float64
+	YieldRep2   float64
+	YieldCoded  float64
+	// CodedWins counts trials where the coded scheme returned strictly
+	// more useful work than the replanner.
+	CodedWins int
+}
+
+// ElasticResult is the extension study pitting proactive redundancy
+// against reactive salvage under elastic churn — machines crash, stall,
+// and join mid-lifespan while realized speeds jitter around the profile
+// the planner sees. Salvage policies replan on exact rollouts but still
+// aim every round at the deadline, so an unpredicted straggler forfeits
+// its whole allocation; redundancy pays a known duplication overhead and
+// needs only the fastest replica (or any k of n shards) to land inside
+// the deadline margin.
+type ElasticResult struct {
+	Params    model.Params
+	N         int
+	Lifespan  float64
+	Seeds     int
+	Jitter    float64
+	Margin    float64
+	Rows      []ElasticRow
+	Redundant sim.Redundancy
+	Coded     sim.Redundancy
+}
+
+// adversarialChurnPlan staggers count severe disruptions — ×5–9 slowdowns,
+// crashes, and long outages, cycling — across distinct machines at spread
+// instants in [0.1L, 0.8L], and recruits a two-machine join cohort early.
+func adversarialChurnPlan(rng *stats.RNG, n int, lifespan float64, count int) fault.Plan {
+	pl := fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Join, Computer: n, At: lifespan / 6, Rho: 0.5},
+		{Kind: fault.Join, Computer: n + 1, At: lifespan / 6, Rho: 0.5},
+	}}
+	crashed := make(map[int]bool)
+	outaged := make(map[int]bool)
+	for k := 0; k < count; k++ {
+		c := k % n
+		at := (0.1 + 0.7*float64(k)/float64(count)) * lifespan
+		kind := k % 3
+		// A second crash or overlapping outage on one machine is invalid;
+		// downgrade repeats to slowdowns, which stack freely.
+		if (kind == 1 && crashed[c]) || (kind == 2 && outaged[c]) {
+			kind = 0
+		}
+		switch kind {
+		case 0:
+			pl.Faults = append(pl.Faults, fault.Fault{
+				Kind: fault.Slowdown, Computer: c, At: at, Factor: rng.InRange(5, 9),
+			})
+		case 1:
+			crashed[c] = true
+			pl.Faults = append(pl.Faults, fault.Fault{Kind: fault.Crash, Computer: c, At: at})
+		default:
+			outaged[c] = true
+			pl.Faults = append(pl.Faults, fault.Fault{
+				Kind: fault.Outage, Computer: c, At: at,
+				Until: at + rng.InRange(0.3, 0.5)*lifespan,
+			})
+		}
+	}
+	return pl
+}
+
+// ElasticChurn sweeps churn intensities under both regimes: for each
+// (regime, count) it draws seeded elastic plans against n-computer base
+// clusters and runs all four policies on identical plans and identical
+// jitter draws.
+func ElasticChurn(m model.Params, n int, lifespan float64, counts []int, seeds int, jitter, margin float64) (ElasticResult, error) {
+	if seeds <= 0 {
+		return ElasticResult{}, fmt.Errorf("experiments: seeds = %d must be positive", seeds)
+	}
+	if n <= 1 {
+		return ElasticResult{}, fmt.Errorf("experiments: n = %d must exceed 1 for redundancy", n)
+	}
+	res := ElasticResult{
+		Params: m, N: n, Lifespan: lifespan, Seeds: seeds, Jitter: jitter, Margin: margin,
+		Redundant: sim.Redundancy{Replicas: 2, Margin: margin},
+		Coded:     sim.Redundancy{CodedK: 2, CodedN: 3, Margin: margin},
+	}
+	pols := []sim.ElasticPolicy{
+		{},
+		{Replan: true},
+		{Redundancy: res.Redundant},
+		{Redundancy: res.Coded},
+	}
+	uniform := make(profile.Profile, n)
+	for i := range uniform {
+		uniform[i] = 0.5
+	}
+	for _, regime := range []ChurnRegime{RegimeRandom, RegimeAdversarial} {
+		for _, count := range counts {
+			row := ElasticRow{Regime: regime, Events: count}
+			var free stats.KahanSum
+			var useful [4]stats.KahanSum
+			for s := 0; s < seeds; s++ {
+				rng := stats.NewRNG(uint64(count)*1000 + uint64(s) + 1)
+				p := uniform
+				var plan fault.Plan
+				if regime == RegimeRandom {
+					p = profile.RandomNormalized(rng, n)
+					plan = fault.RandomElastic(rng, n, lifespan, count)
+				} else {
+					plan = adversarialChurnPlan(rng, n, lifespan, count)
+				}
+				opt := sim.Options{RhoJitter: jitter, Seed: uint64(count)*1000 + uint64(s) + 1}
+				var trial [4]float64
+				for pi, pol := range pols {
+					rep, err := sim.SimulateElastic(context.Background(), m, p, lifespan, plan, pol, opt)
+					if err != nil {
+						return res, err
+					}
+					if pi == 0 {
+						free.Add(rep.FaultFree)
+					}
+					useful[pi].Add(rep.Useful)
+					trial[pi] = rep.Useful
+				}
+				if trial[3] > trial[1] {
+					row.CodedWins++
+				}
+			}
+			f := free.Sum()
+			if f > 0 {
+				row.YieldRide = useful[0].Sum() / f
+				row.YieldReplan = useful[1].Sum() / f
+				row.YieldRep2 = useful[2].Sum() / f
+				row.YieldCoded = useful[3].Sum() / f
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render returns the per-cell summary.
+func (r ElasticResult) Render() string {
+	t := render.NewTable(
+		fmt.Sprintf("useful-work yield under elastic churn (n = %d, L = %g, %d seeds, jitter %g, margin %g)",
+			r.N, r.Lifespan, r.Seeds, r.Jitter, r.Margin),
+		"regime", "events", "ride", "replan", r.Redundant.String(), r.Coded.String(), "coded>replan")
+	for _, row := range r.Rows {
+		t.Add(string(row.Regime),
+			fmt.Sprintf("%d", row.Events),
+			fmt.Sprintf("%.1f%%", 100*row.YieldRide),
+			fmt.Sprintf("%.1f%%", 100*row.YieldReplan),
+			fmt.Sprintf("%.1f%%", 100*row.YieldRep2),
+			fmt.Sprintf("%.1f%%", 100*row.YieldCoded),
+			fmt.Sprintf("%d/%d", row.CodedWins, r.Seeds))
+	}
+	return t.String()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetero/internal/model"
+)
+
+func TestElasticChurn(t *testing.T) {
+	m := model.Table1()
+	r, err := ElasticChurn(m, 6, 2000, []int{0, 3}, 4, 0.15, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two regimes × two intensities.
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Yields are fractions of the fault-free optimum; joins can push a
+		// policy above 1 but never to absurd values, and never below 0.
+		for _, y := range []float64{row.YieldRide, row.YieldReplan, row.YieldRep2, row.YieldCoded} {
+			if y < 0 || y > 3 {
+				t.Fatalf("yield out of range: %+v", row)
+			}
+		}
+		// The greedy ride-vs-replan rule guarantees replan never salvages
+		// less than ride on identical plans and draws.
+		if row.YieldReplan < row.YieldRide-1e-9 {
+			t.Fatalf("replan below ride: %+v", row)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"useful-work yield under elastic churn", "random", "adversarial",
+		"replicated-2@0.15", "coded-2of3@0.15", "coded>replan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestElasticChurnAdversarialFavorsRedundancy(t *testing.T) {
+	// The adversarial regime is the one redundancy exists for: with
+	// unpredicted jitter and targeted churn, the coded scheme out-yields
+	// the replanner in the zero-extra-events cell (joins + jitter only).
+	m := model.Table1()
+	r, err := ElasticChurn(m, 8, 3600, []int{0}, 8, 0.15, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Regime != RegimeAdversarial {
+			continue
+		}
+		if row.YieldCoded <= row.YieldReplan {
+			t.Fatalf("coded %.3f did not beat replan %.3f in the adversarial regime", row.YieldCoded, row.YieldReplan)
+		}
+	}
+}
+
+func TestElasticChurnValidation(t *testing.T) {
+	if _, err := ElasticChurn(model.Table1(), 6, 100, []int{1}, 0, 0.1, 0.1); err == nil {
+		t.Fatal("seeds=0 accepted")
+	}
+	if _, err := ElasticChurn(model.Table1(), 1, 100, []int{1}, 3, 0.1, 0.1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"hetero/internal/stats"
+)
+
+// TestValidateJoinTable drives Plan.Validate over join events interleaved
+// with the degradation kinds: the accept/reject matrix for elastic plans.
+func TestValidateJoinTable(t *testing.T) {
+	cases := []struct {
+		name string
+		pl   Plan
+		n    int
+		ok   bool
+	}{
+		{"single join", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5}}}, 2, true},
+		{"join at zero", Plan{[]Fault{
+			{Kind: Join, Computer: 1, At: 0, Rho: 1}}}, 1, true},
+		{"two joins out of order in the list", Plan{[]Fault{
+			{Kind: Join, Computer: 3, At: 9, Rho: 0.25},
+			{Kind: Join, Computer: 2, At: 4, Rho: 0.75}}}, 2, true},
+		{"join then crash of the joined machine", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5},
+			{Kind: Crash, Computer: 2, At: 8}}}, 2, true},
+		{"join then outage and slowdown on the joined machine", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5},
+			{Kind: Outage, Computer: 2, At: 6, Until: 7},
+			{Kind: Slowdown, Computer: 2, At: 7, Factor: 2}}}, 2, true},
+		{"fault exactly at the join instant", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5},
+			{Kind: Slowdown, Computer: 2, At: 5, Factor: 2}}}, 2, true},
+		{"join interleaved with base outages and blackouts", Plan{[]Fault{
+			{Kind: Outage, Computer: 0, At: 1, Until: 4},
+			{Kind: Join, Computer: 2, At: 3, Rho: 0.5},
+			{Kind: Blackout, At: 2, Until: 6},
+			{Kind: Outage, Computer: 0, At: 5, Until: math.Inf(1)}}}, 2, true},
+
+		{"crash before join", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5},
+			{Kind: Crash, Computer: 2, At: 4}}}, 2, false},
+		{"outage starting before join", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5},
+			{Kind: Outage, Computer: 2, At: 4, Until: 9}}}, 2, false},
+		{"slowdown before join", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5},
+			{Kind: Slowdown, Computer: 2, At: 1, Factor: 2}}}, 2, false},
+		{"join colliding with the base cluster", Plan{[]Fault{
+			{Kind: Join, Computer: 1, At: 5, Rho: 0.5}}}, 2, false},
+		{"join index gap", Plan{[]Fault{
+			{Kind: Join, Computer: 3, At: 5, Rho: 0.5}}}, 2, false},
+		{"duplicate join", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5},
+			{Kind: Join, Computer: 2, At: 7, Rho: 0.25}}}, 2, false},
+		{"join rho zero", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5}}}, 2, false},
+		{"join rho above one", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: 1.5}}}, 2, false},
+		{"join rho NaN", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 5, Rho: math.NaN()}}}, 2, false},
+		{"join onset NaN", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: math.NaN(), Rho: 0.5}}}, 2, false},
+		{"join onset infinite", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: math.Inf(1), Rho: 0.5}}}, 2, false},
+		{"join onset negative", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: -1, Rho: 0.5}}}, 2, false},
+		{"overlapping outages on a joined machine", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 1, Rho: 0.5},
+			{Kind: Outage, Computer: 2, At: 2, Until: 5},
+			{Kind: Outage, Computer: 2, At: 4, Until: 6}}}, 2, false},
+		{"zero-duration outage on a joined machine", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 1, Rho: 0.5},
+			{Kind: Outage, Computer: 2, At: 3, Until: 3}}}, 2, false},
+		{"second crash of a joined machine", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 1, Rho: 0.5},
+			{Kind: Crash, Computer: 2, At: 2},
+			{Kind: Crash, Computer: 2, At: 3}}}, 2, false},
+	}
+	for _, tc := range cases {
+		err := tc.pl.Validate(tc.n)
+		if tc.ok && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestEventTimesWithJoins pins the replanning points of elastic plans:
+// joins count like any other membership change, window closings still
+// register, and events at 0 or at/after the horizon drop out.
+func TestEventTimesWithJoins(t *testing.T) {
+	cases := []struct {
+		name    string
+		pl      Plan
+		horizon float64
+		want    []float64
+	}{
+		{"join between outage edges", Plan{[]Fault{
+			{Kind: Outage, Computer: 0, At: 2, Until: 8},
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5}}}, 100,
+			[]float64{2, 5, 8}},
+		{"join at zero is not an event", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 0, Rho: 0.5},
+			{Kind: Crash, Computer: 0, At: 3}}}, 100,
+			[]float64{3}},
+		{"join at the horizon drops out", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 100, Rho: 0.5},
+			{Kind: Join, Computer: 3, At: 99, Rho: 0.5}}}, 100,
+			[]float64{99}},
+		{"join after the lifespan drops out", Plan{[]Fault{
+			{Kind: Join, Computer: 2, At: 250, Rho: 0.5},
+			{Kind: Blackout, At: 10, Until: 20}}}, 100,
+			[]float64{10, 20}},
+		{"coincident join and outage close dedupe", Plan{[]Fault{
+			{Kind: Outage, Computer: 0, At: 2, Until: 5},
+			{Kind: Join, Computer: 2, At: 5, Rho: 0.5}}}, 100,
+			[]float64{2, 5}},
+		{"permanent outage keeps only its onset", Plan{[]Fault{
+			{Kind: Outage, Computer: 0, At: 2, Until: math.Inf(1)},
+			{Kind: Join, Computer: 2, At: 7, Rho: 0.5}}}, 100,
+			[]float64{2, 7}},
+	}
+	for _, tc := range cases {
+		if err := tc.pl.Validate(2); err != nil {
+			t.Fatalf("%s: plan invalid: %v", tc.name, err)
+		}
+		got := tc.pl.EventTimes(tc.horizon)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: EventTimes = %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: EventTimes = %v, want %v", tc.name, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+// TestCompileJoinTimeline pins the compiled shape of a join: no progress
+// before the instant, full speed after, composed with later faults.
+func TestCompileJoinTimeline(t *testing.T) {
+	pl := Plan{[]Fault{
+		{Kind: Join, Computer: 2, At: 10, Rho: 0.5},
+		{Kind: Slowdown, Computer: 2, At: 20, Factor: 2},
+		{Kind: Join, Computer: 3, At: 0, Rho: 0.25},
+	}}
+	tl, err := Compile(pl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.N() != 4 || tl.BaseN() != 2 {
+		t.Fatalf("timeline sized %d (base %d), want 4 (base 2)", tl.N(), tl.BaseN())
+	}
+	if tl.JoinTime(0) != 0 || tl.JoinTime(1) != 0 {
+		t.Fatal("base machines must report join time 0")
+	}
+	if tl.JoinTime(2) != 10 || tl.JoinTime(3) != 0 {
+		t.Fatalf("join times %v/%v, want 10/0", tl.JoinTime(2), tl.JoinTime(3))
+	}
+	if !tl.Down(2, 5) || tl.Down(2, 10) {
+		t.Fatal("joined machine must be down strictly before its join instant")
+	}
+	if tl.Joined(2, 9.99) || !tl.Joined(2, 10) {
+		t.Fatal("Joined disagrees with the join instant")
+	}
+	if tl.Down(3, 0) {
+		t.Fatal("a join at 0 must be up from the start")
+	}
+	// 12 units of work started at the join: 10 at full speed, the remaining
+	// 2 at half speed → finish at 10 + 10 + 4 = 24.
+	if got := tl.BusyFinish(2, 10, 12); math.Abs(got-24) > 1e-12 {
+		t.Fatalf("joined BusyFinish %v, want 24", got)
+	}
+	// Work handed to the machine before it joins waits for the join.
+	if got := tl.BusyFinish(2, 0, 5); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("pre-join BusyFinish %v, want 15", got)
+	}
+}
+
+// TestJoinHelpers pins NumJoins, JoinRhos, and the recruit ordering of
+// Joins.
+func TestJoinHelpers(t *testing.T) {
+	pl := Plan{[]Fault{
+		{Kind: Crash, Computer: 0, At: 3},
+		{Kind: Join, Computer: 3, At: 7, Rho: 0.25},
+		{Kind: Join, Computer: 2, At: 7, Rho: 0.5},
+		{Kind: Join, Computer: 4, At: 1, Rho: 0.75},
+	}}
+	if err := pl.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumJoins() != 3 {
+		t.Fatalf("NumJoins = %d, want 3", pl.NumJoins())
+	}
+	rhos := pl.JoinRhos(2)
+	want := []float64{0.5, 0.25, 0.75}
+	for i := range want {
+		if rhos[i] != want[i] {
+			t.Fatalf("JoinRhos = %v, want %v", rhos, want)
+		}
+	}
+	joins := pl.Joins()
+	order := []int{4, 2, 3}
+	for i, f := range joins {
+		if f.Computer != order[i] {
+			t.Fatalf("Joins order %v, want computers %v", joins, order)
+		}
+	}
+}
+
+// TestRandomElasticAlwaysValid is the chaos generator's contract: every
+// seeded draw validates against its base cluster and actually exercises
+// joins at realistic intensities.
+func TestRandomElasticAlwaysValid(t *testing.T) {
+	joins := 0
+	for seed := uint64(1); seed <= 200; seed++ {
+		rng := stats.NewRNG(seed)
+		pl := RandomElastic(rng, 8, 1000, 12)
+		if err := pl.Validate(8); err != nil {
+			t.Fatalf("seed %d: invalid elastic plan: %v", seed, err)
+		}
+		joins += pl.NumJoins()
+		if _, err := Compile(pl, 8); err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+	}
+	if joins == 0 {
+		t.Fatal("200 seeded draws produced no joins")
+	}
+}

@@ -19,6 +19,13 @@
 //     work unit; factors compose multiplicatively).
 //   - blackout [at, until): the shared channel carries no traffic inside
 //     the window; in-flight transfers pause and resume.
+//   - join at t with speed rho: a machine not in the base profile enters
+//     the cluster at t and is available from then on. Joined machines are
+//     indexed past the base cluster: with a base of n computers and J joins,
+//     the elastic cluster has computers 0..n+J−1, and the join carrying
+//     Computer = n+k is the (k+1)-th joined machine. Joined machines can
+//     themselves crash, stall, or drift — any fault may reference them, as
+//     long as its onset is not before the join.
 //
 // Until may be +Inf for a permanent outage or blackout. Overlapping windows
 // of the same kind on the same resource are rejected — they make "the"
@@ -37,22 +44,27 @@ import (
 // Kind names a fault model.
 type Kind string
 
-// The four composable fault kinds.
+// The five composable fault kinds. The first four degrade the cluster; Join
+// is the elastic kind — membership growth mid-lifespan.
 const (
 	Crash    Kind = "crash"
 	Outage   Kind = "outage"
 	Slowdown Kind = "slowdown"
 	Blackout Kind = "blackout"
+	Join     Kind = "join"
 )
 
 // Fault is one fault event or window. Computer is the 0-based index into
-// the profile (ignored for blackouts, which affect the shared channel).
+// the elastic cluster (ignored for blackouts, which affect the shared
+// channel); for a Join it names the joined machine itself and must sit past
+// the base cluster (see the package comment).
 type Fault struct {
 	Kind     Kind    `json:"kind"`
 	Computer int     `json:"computer,omitempty"`
 	At       float64 `json:"at"`
 	Until    float64 `json:"until,omitempty"`  // outage, blackout
 	Factor   float64 `json:"factor,omitempty"` // slowdown
+	Rho      float64 `json:"rho,omitempty"`    // join: the machine's speed, in (0,1]
 }
 
 // Plan is a set of faults applied to one simulated lifespan.
@@ -76,12 +88,31 @@ func (pl Plan) FirstOnset() float64 {
 	return t
 }
 
-// Validate checks the plan against an n-computer cluster: finite
+// Validate checks the plan against an n-computer base cluster: finite
 // non-negative onsets, windows with until > at (until may be +Inf),
 // positive finite slowdown factors, computer indices in range, at most one
 // crash per computer, and pairwise-disjoint windows per computer (outages)
 // and for the channel (blackouts).
+//
+// Join events extend the cluster: with J joins, indices up to n+J−1 are in
+// range for every per-computer fault, the joins themselves must carry the
+// indices n..n+J−1 (each exactly once — no gaps, no duplicates), a join ρ
+// must be a valid normalized speed in (0,1], and no crash, outage, or
+// slowdown may have an onset (window start) before its machine joins.
 func (pl Plan) Validate(n int) error {
+	joinAt, err := pl.joinTimes(n)
+	if err != nil {
+		return err
+	}
+	ext := n + len(joinAt)
+	// onset returns when computer c becomes part of the cluster (0 for base
+	// machines; the join time for joined ones).
+	onset := func(c int) float64 {
+		if c < n {
+			return 0
+		}
+		return joinAt[c-n]
+	}
 	crashes := make(map[int]bool)
 	var outages = make(map[int][][2]float64)
 	var blackouts [][2]float64
@@ -91,24 +122,33 @@ func (pl Plan) Validate(n int) error {
 		}
 		switch f.Kind {
 		case Crash:
-			if f.Computer < 0 || f.Computer >= n {
-				return fmt.Errorf("fault: faults[%d] computer %d out of range [0,%d)", i, f.Computer, n)
+			if f.Computer < 0 || f.Computer >= ext {
+				return fmt.Errorf("fault: faults[%d] computer %d out of range [0,%d)", i, f.Computer, ext)
+			}
+			if f.At < onset(f.Computer) {
+				return fmt.Errorf("fault: faults[%d] crashes computer %d at %v, before it joins at %v", i, f.Computer, f.At, onset(f.Computer))
 			}
 			if crashes[f.Computer] {
 				return fmt.Errorf("fault: faults[%d] is a second crash for computer %d", i, f.Computer)
 			}
 			crashes[f.Computer] = true
 		case Outage:
-			if f.Computer < 0 || f.Computer >= n {
-				return fmt.Errorf("fault: faults[%d] computer %d out of range [0,%d)", i, f.Computer, n)
+			if f.Computer < 0 || f.Computer >= ext {
+				return fmt.Errorf("fault: faults[%d] computer %d out of range [0,%d)", i, f.Computer, ext)
+			}
+			if f.At < onset(f.Computer) {
+				return fmt.Errorf("fault: faults[%d] outages computer %d at %v, before it joins at %v", i, f.Computer, f.At, onset(f.Computer))
 			}
 			if math.IsNaN(f.Until) || f.Until <= f.At {
 				return fmt.Errorf("fault: faults[%d] outage window [%v,%v) is empty or invalid", i, f.At, f.Until)
 			}
 			outages[f.Computer] = append(outages[f.Computer], [2]float64{f.At, f.Until})
 		case Slowdown:
-			if f.Computer < 0 || f.Computer >= n {
-				return fmt.Errorf("fault: faults[%d] computer %d out of range [0,%d)", i, f.Computer, n)
+			if f.Computer < 0 || f.Computer >= ext {
+				return fmt.Errorf("fault: faults[%d] computer %d out of range [0,%d)", i, f.Computer, ext)
+			}
+			if f.At < onset(f.Computer) {
+				return fmt.Errorf("fault: faults[%d] slows computer %d at %v, before it joins at %v", i, f.Computer, f.At, onset(f.Computer))
 			}
 			if math.IsNaN(f.Factor) || math.IsInf(f.Factor, 0) || f.Factor <= 0 {
 				return fmt.Errorf("fault: faults[%d] slowdown factor %v must be positive and finite", i, f.Factor)
@@ -118,6 +158,8 @@ func (pl Plan) Validate(n int) error {
 				return fmt.Errorf("fault: faults[%d] blackout window [%v,%v) is empty or invalid", i, f.At, f.Until)
 			}
 			blackouts = append(blackouts, [2]float64{f.At, f.Until})
+		case Join:
+			// Fully validated by joinTimes.
 		default:
 			return fmt.Errorf("fault: faults[%d] has unknown kind %q", i, f.Kind)
 		}
@@ -133,6 +175,85 @@ func (pl Plan) Validate(n int) error {
 	return nil
 }
 
+// joinTimes collects the plan's join events against an n-computer base
+// cluster: joinTimes[k] is when machine n+k joins. It enforces the join
+// invariants — finite non-negative onsets, ρ in (0,1], and Computer indices
+// covering exactly n..n+J−1 with no duplicates or gaps.
+func (pl Plan) joinTimes(n int) ([]float64, error) {
+	var joins []Fault
+	for i, f := range pl.Faults {
+		if f.Kind != Join {
+			continue
+		}
+		if math.IsNaN(f.At) || math.IsInf(f.At, 0) || f.At < 0 {
+			return nil, fmt.Errorf("fault: faults[%d] join onset %v must be finite and non-negative", i, f.At)
+		}
+		if math.IsNaN(f.Rho) || f.Rho <= 0 || f.Rho > 1 {
+			return nil, fmt.Errorf("fault: faults[%d] join ρ = %v must be in (0,1]", i, f.Rho)
+		}
+		if f.Computer < n {
+			return nil, fmt.Errorf("fault: faults[%d] join computer %d collides with the base cluster [0,%d); joined machines start at %d", i, f.Computer, n, n)
+		}
+		joins = append(joins, f)
+	}
+	at := make([]float64, len(joins))
+	seen := make([]bool, len(joins))
+	for _, f := range joins {
+		k := f.Computer - n
+		if k >= len(joins) {
+			return nil, fmt.Errorf("fault: join computer %d leaves a gap; %d joins must cover exactly [%d,%d)", f.Computer, len(joins), n, n+len(joins))
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("fault: duplicate join for computer %d", f.Computer)
+		}
+		seen[k] = true
+		at[k] = f.At
+	}
+	return at, nil
+}
+
+// NumJoins returns the number of join events in the plan.
+func (pl Plan) NumJoins() int {
+	j := 0
+	for _, f := range pl.Faults {
+		if f.Kind == Join {
+			j++
+		}
+	}
+	return j
+}
+
+// JoinRhos returns the speeds of the joined machines in joined-index order
+// (machine n+k of a plan validated against an n-computer base cluster has
+// speed JoinRhos(n)[k]). The plan must already have passed Validate.
+func (pl Plan) JoinRhos(n int) []float64 {
+	rhos := make([]float64, pl.NumJoins())
+	for _, f := range pl.Faults {
+		if f.Kind == Join {
+			rhos[f.Computer-n] = f.Rho
+		}
+	}
+	return rhos
+}
+
+// Joins returns the plan's join events sorted by onset (ties by joined
+// index), the order an elastic server recruits them in.
+func (pl Plan) Joins() []Fault {
+	var joins []Fault
+	for _, f := range pl.Faults {
+		if f.Kind == Join {
+			joins = append(joins, f)
+		}
+	}
+	sort.SliceStable(joins, func(i, j int) bool {
+		if joins[i].At != joins[j].At {
+			return joins[i].At < joins[j].At
+		}
+		return joins[i].Computer < joins[j].Computer
+	})
+	return joins
+}
+
 func disjoint(ws [][2]float64) error {
 	sort.Slice(ws, func(i, j int) bool { return ws[i][0] < ws[j][0] })
 	for i := 1; i < len(ws); i++ {
@@ -145,8 +266,9 @@ func disjoint(ws [][2]float64) error {
 
 // EventTimes returns the sorted, de-duplicated times at which the
 // piecewise-effective cluster changes inside (0, horizon): fault onsets,
-// window closings, crashes. These are the replanning points of the Replan
-// strategy in internal/sim.
+// window closings, crashes, and joins (membership growth is a change like
+// any other). These are the replanning points of the Replan strategy in
+// internal/sim.
 func (pl Plan) EventTimes(horizon float64) []float64 {
 	var ts []float64
 	add := func(t float64) {
@@ -197,6 +319,58 @@ func (pl Plan) CrashOnlyLowerBound(n int) Plan {
 // uniformly; windows live inside (0, 1.2L); slowdown factors in [1, 4]. At
 // most one outage per computer and two (disjoint) blackouts are emitted, so
 // validity holds by construction.
+// RandomElastic draws a seeded, always-valid elastic plan of roughly
+// `count` events over an n-computer base cluster and horizon L: Random's
+// mix of crashes, outages, slowdowns, and blackouts, plus joins — machines
+// entering mid-lifespan with ρ drawn from [0.05, 1]. About a quarter of the
+// events are joins; joined machines may later straggle (a slowdown can land
+// on them), so churn composes both ways.
+func RandomElastic(rng *stats.RNG, n int, L float64, count int) Plan {
+	pl := Plan{}
+	crashed := make(map[int]bool)
+	outaged := make(map[int]bool)
+	blackouts := 0
+	joined := 0
+	joinAt := make(map[int]float64)
+	// onset returns the earliest valid fault time for computer c.
+	onset := func(c int) float64 { return joinAt[c] }
+	for k := 0; k < count; k++ {
+		c := rng.Intn(n + joined)
+		at := rng.InRange(0, L)
+		switch rng.Intn(5) {
+		case 0:
+			if crashed[c] || at < onset(c) {
+				continue
+			}
+			crashed[c] = true
+			pl.Faults = append(pl.Faults, Fault{Kind: Crash, Computer: c, At: at})
+		case 1:
+			if outaged[c] || at < onset(c) {
+				continue
+			}
+			outaged[c] = true
+			pl.Faults = append(pl.Faults, Fault{Kind: Outage, Computer: c, At: at, Until: at + rng.InRange(0.01, 0.2)*L})
+		case 2:
+			if at < onset(c) {
+				continue
+			}
+			pl.Faults = append(pl.Faults, Fault{Kind: Slowdown, Computer: c, At: at, Factor: rng.InRange(1, 4)})
+		case 3:
+			if blackouts >= 1 {
+				continue
+			}
+			blackouts++
+			pl.Faults = append(pl.Faults, Fault{Kind: Blackout, At: at, Until: at + rng.InRange(0.005, 0.1)*L})
+		case 4:
+			id := n + joined
+			joined++
+			joinAt[id] = at
+			pl.Faults = append(pl.Faults, Fault{Kind: Join, Computer: id, At: at, Rho: rng.InRange(0.05, 1)})
+		}
+	}
+	return pl
+}
+
 func Random(rng *stats.RNG, n int, L float64, count int) Plan {
 	pl := Plan{}
 	crashed := make(map[int]bool)

@@ -19,29 +19,37 @@ type window struct {
 	Start, End float64
 }
 
-// Timeline is a Plan compiled against an n-computer cluster: per-computer
-// piecewise speed multipliers, crash times, and channel blackout windows,
-// in a form the simulator can integrate over. Compile validates the plan;
-// a Timeline is immutable and safe for concurrent use.
+// Timeline is a Plan compiled against an n-computer base cluster:
+// per-computer piecewise speed multipliers, crash times, join times, and
+// channel blackout windows, in a form the simulator can integrate over. A
+// plan with J join events compiles to a timeline over n+J computers —
+// joined machines make no progress (Mult = +Inf) before their join instant.
+// Compile validates the plan; a Timeline is immutable and safe for
+// concurrent use.
 type Timeline struct {
 	n         int
+	base      int
 	crash     []float64 // +Inf when the computer never crashes
+	join      []float64 // 0 for base machines, the join instant for joined ones
 	segs      [][]segment
 	blackouts []window
 	slowdowns [][]Fault // per computer, sorted by onset (for DriftMult)
 }
 
-// Compile validates pl against an n-computer cluster and builds its
-// Timeline.
+// Compile validates pl against an n-computer base cluster and builds its
+// Timeline, sized n plus the plan's join events.
 func Compile(pl Plan, n int) (*Timeline, error) {
 	if err := pl.Validate(n); err != nil {
 		return nil, err
 	}
+	ext := n + pl.NumJoins()
 	tl := &Timeline{
-		n:         n,
-		crash:     make([]float64, n),
-		segs:      make([][]segment, n),
-		slowdowns: make([][]Fault, n),
+		n:         ext,
+		base:      n,
+		crash:     make([]float64, ext),
+		join:      make([]float64, ext),
+		segs:      make([][]segment, ext),
+		slowdowns: make([][]Fault, ext),
 	}
 	type change struct {
 		at   float64
@@ -49,7 +57,7 @@ func Compile(pl Plan, n int) (*Timeline, error) {
 		down bool // outage boundary: true = enter, false = leave
 		f    float64
 	}
-	perComp := make([][]change, n)
+	perComp := make([][]change, ext)
 	for i := range tl.crash {
 		tl.crash[i] = math.Inf(1)
 	}
@@ -67,6 +75,15 @@ func Compile(pl Plan, n int) (*Timeline, error) {
 			tl.slowdowns[f.Computer] = append(tl.slowdowns[f.Computer], f)
 		case Blackout:
 			tl.blackouts = append(tl.blackouts, window{f.At, f.Until})
+		case Join:
+			// Before its join instant the machine is part of the timeline but
+			// makes no progress — exactly an outage covering [0, At).
+			tl.join[f.Computer] = f.At
+			if f.At > 0 {
+				perComp[f.Computer] = append(perComp[f.Computer],
+					change{at: 0, kind: Outage, down: true},
+					change{at: f.At, kind: Outage, down: false})
+			}
 		}
 	}
 	sort.Slice(tl.blackouts, func(i, j int) bool { return tl.blackouts[i].Start < tl.blackouts[j].Start })
@@ -111,8 +128,19 @@ func Compile(pl Plan, n int) (*Timeline, error) {
 	return tl, nil
 }
 
-// N returns the cluster size the timeline was compiled for.
+// N returns the cluster size the timeline was compiled for, including
+// joined machines.
 func (tl *Timeline) N() int { return tl.n }
+
+// BaseN returns the base cluster size (machines present from time 0).
+func (tl *Timeline) BaseN() int { return tl.base }
+
+// JoinTime returns when computer i joins the cluster: 0 for base machines,
+// the join instant for joined ones.
+func (tl *Timeline) JoinTime(i int) float64 { return tl.join[i] }
+
+// Joined reports whether computer i is part of the cluster at time t.
+func (tl *Timeline) Joined(i int, t float64) bool { return t >= tl.join[i] }
 
 // CrashTime returns when computer i crashes, or +Inf if it never does.
 func (tl *Timeline) CrashTime(i int) float64 { return tl.crash[i] }

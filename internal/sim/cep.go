@@ -88,6 +88,15 @@ type Options struct {
 	Seed uint64
 }
 
+// Validate checks the options; the Run* entry points apply the same check
+// inline.
+func (opt Options) Validate() error {
+	if opt.RhoJitter < 0 || opt.RhoJitter >= 1 {
+		return fmt.Errorf("sim: jitter %v outside [0,1)", opt.RhoJitter)
+	}
+	return nil
+}
+
 // RunCEP simulates protocol pr on cluster p under the architectural model m
 // and returns the full trace. The simulation always runs to completion;
 // use Result.CompletedBy to evaluate a lifespan cutoff.

@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"hetero/internal/core"
+	"hetero/internal/fault"
+	"hetero/internal/incr"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// ElasticPolicy selects how the server confronts churn: reactive salvage
+// (ride the dispatched protocol, or replan at every fault event — the
+// SimulateFaulty policies, here join-aware) or proactive redundancy
+// (replicated or coded dispatch, stragglers outrun rather than repriced).
+// Replan and an enabled Redundancy are mutually exclusive: the point of
+// SimulateElastic is to pit one against the other.
+type ElasticPolicy struct {
+	Replan     bool       `json:"replan,omitempty"`
+	Redundancy Redundancy `json:"redundancy,omitempty"`
+}
+
+// Validate checks the policy's coherence.
+func (pol ElasticPolicy) Validate() error {
+	if err := pol.Redundancy.Validate(); err != nil {
+		return err
+	}
+	if pol.Replan && pol.Redundancy.Enabled() {
+		return fmt.Errorf("sim: elastic policy must pick replan salvage or redundancy, not both")
+	}
+	return nil
+}
+
+// String names the policy: "salvage-ride", "salvage-replan", or the
+// redundancy scheme ("replicated-3", "coded-2of4").
+func (pol ElasticPolicy) String() string {
+	switch {
+	case pol.Redundancy.Enabled():
+		return pol.Redundancy.String()
+	case pol.Replan:
+		return "salvage-replan"
+	default:
+		return "salvage-ride"
+	}
+}
+
+// ElasticReport is the outcome of an elastic-churn simulation: useful
+// work returned by the lifespan under the chosen policy, measured against
+// the fault-free optimum of the base cluster.
+type ElasticReport struct {
+	Lifespan float64 `json:"lifespan"`
+	// BaseN is the cluster size at time 0; Joins counts machines that
+	// entered mid-lifespan.
+	BaseN  int    `json:"base_n"`
+	Joins  int    `json:"joins"`
+	Policy string `json:"policy"`
+	// FaultFree is Theorem 2's W(L;P) for the intact base cluster — joins
+	// can push Useful above it, making Degradation negative.
+	FaultFree float64 `json:"fault_free_work"`
+	// Useful is the decodable work returned by the lifespan: each unit
+	// credited exactly once at its completing return.
+	Useful float64 `json:"useful_work"`
+	// Dispatched counts every send, so Lost and Overhead fold in both
+	// fault damage and deliberate redundant duplication.
+	Dispatched float64 `json:"dispatched_work"`
+	Lost       float64 `json:"lost_work"`
+	// Overhead is Dispatched/Useful (0 when nothing useful returned).
+	Overhead float64 `json:"overhead"`
+	// Degradation is 1 − Useful/FaultFree.
+	Degradation float64 `json:"degradation"`
+	// Units and UnitsCompleted count redundant work units (0 in salvage
+	// modes, whose accounting is per send).
+	Units          int `json:"units,omitempty"`
+	UnitsCompleted int `json:"units_completed,omitempty"`
+	// Rounds covers every dispatch round: replan rounds, or the base and
+	// per-join-cohort recruit rounds of a redundant run. Decisions are the
+	// replanner's ride-vs-replan choices (replan mode only).
+	Rounds    []RoundReport    `json:"rounds,omitempty"`
+	Decisions []DecisionReport `json:"decisions,omitempty"`
+	Events    int              `json:"events"`
+}
+
+func (r *ElasticReport) finish() {
+	r.Lost = r.Dispatched - r.Useful
+	if r.Useful > 0 {
+		r.Overhead = r.Dispatched / r.Useful
+	}
+	if r.FaultFree > 0 {
+		r.Degradation = 1 - r.Useful/r.FaultFree
+	}
+}
+
+// SimulateElastic runs the elastic-churn pipeline: plan may contain join
+// events alongside crashes, outages, slowdowns, and blackouts, and pol
+// decides what meets the churn.
+//
+// Salvage policies reuse the SimulateFaulty machinery: ride dispatches
+// the base cluster's optimal protocol and lets it degrade (joins are
+// never recruited); replan revisits the plan at every fault event — join
+// instants included — and folds joined machines into fresh
+// remaining-lifespan rounds whenever abandoning the in-flight round
+// projects more salvage.
+//
+// Redundancy dispatches PlanRedundant's replicated or coded assignment on
+// the base cluster at time 0 and recruits each join cohort with its own
+// redundant round over the remaining lifespan; no reactive decisions are
+// made — stragglers and losses are absorbed by the scheme, and only a
+// unit's Need-th return counts.
+//
+// ctx bounds the computation as in SimulateFaulty.
+func SimulateElastic(ctx context.Context, m model.Params, p profile.Profile, lifespan float64, plan fault.Plan, pol ElasticPolicy, opt Options) (ElasticReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := m.Validate(); err != nil {
+		return ElasticReport{}, err
+	}
+	if !(lifespan > 0) || math.IsInf(lifespan, 0) {
+		return ElasticReport{}, fmt.Errorf("sim: lifespan %v must be positive and finite", lifespan)
+	}
+	if err := plan.Validate(len(p)); err != nil {
+		return ElasticReport{}, err
+	}
+	if err := pol.Validate(); err != nil {
+		return ElasticReport{}, err
+	}
+	rep := ElasticReport{
+		Lifespan: lifespan, BaseN: len(p), Joins: plan.NumJoins(),
+		Policy: pol.String(), FaultFree: core.W(m, p, lifespan),
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+
+	if !pol.Redundancy.Enabled() {
+		if !pol.Replan {
+			pr, err := OptimalFIFO(m, p, lifespan)
+			if err != nil {
+				return rep, err
+			}
+			res, err := RunCEPFaulty(m, p, pr, plan, opt)
+			if err != nil {
+				return rep, err
+			}
+			rep.Useful = res.CompletedBy(lifespan)
+			rep.Dispatched = res.Dispatched
+			rep.Events = res.Events
+			rep.finish()
+			return rep, nil
+		}
+		d, err := replanSimulate(ctx, m, p, lifespan, plan,
+			DegradedReport{Lifespan: lifespan, FaultFree: rep.FaultFree, Replan: true}, opt)
+		if err != nil {
+			return rep, err
+		}
+		rep.Useful, rep.Dispatched = d.Salvaged, d.Dispatched
+		rep.Rounds, rep.Decisions, rep.Events = d.Rounds, d.Decisions, d.Events
+		rep.finish()
+		return rep, nil
+	}
+
+	// Redundant policy: one combined dispatch over one shared channel. The
+	// base cohort is planned proactively on the nominal base profile (no
+	// knowledge of the plan); each join cohort — joiners sharing an
+	// instant — is planned over its remaining lifespan and released into
+	// the same FIFO queue at the join instant, competing with whatever is
+	// still in flight.
+	type cohort struct {
+		at      float64
+		members []int
+		rho     profile.Profile
+	}
+	base := cohort{members: make([]int, len(p)), rho: p}
+	for i := range base.members {
+		base.members[i] = i
+	}
+	cohorts := []cohort{base}
+	joins := plan.Joins()
+	for lo := 0; lo < len(joins); {
+		hi := lo
+		for hi < len(joins) && joins[hi].At == joins[lo].At {
+			hi++
+		}
+		c := cohort{at: joins[lo].At}
+		for _, f := range joins[lo:hi] {
+			c.members = append(c.members, f.Computer)
+			c.rho = append(c.rho, f.Rho)
+		}
+		lo = hi
+		if c.at < lifespan {
+			cohorts = append(cohorts, c) // a later joiner is never dispatched
+		}
+	}
+
+	var pr Protocol
+	var asn Assignment
+	type span struct{ lo, hi int }
+	spans := make([]span, len(cohorts))
+	rates := make([]float64, len(cohorts))
+	for ci, c := range cohorts {
+		cpr, casn, err := PlanRedundant(m, c.rho, lifespan-c.at, pol.Redundancy)
+		if err != nil {
+			return rep, err
+		}
+		posBase := len(pr.Order)
+		spans[ci].lo = len(asn.Units)
+		for k, local := range cpr.Order {
+			pr.Order = append(pr.Order, c.members[local])
+			pr.Alloc = append(pr.Alloc, cpr.Alloc[k])
+		}
+		for j := range casn.Units {
+			unit := make([]int, len(casn.Units[j]))
+			for x, pos := range casn.Units[j] {
+				unit[x] = posBase + pos
+			}
+			asn.Units = append(asn.Units, unit)
+			asn.Need = append(asn.Need, casn.Need[j])
+			asn.Unit = append(asn.Unit, casn.Unit[j])
+			asn.Start = append(asn.Start, c.at)
+		}
+		spans[ci].hi = len(asn.Units)
+		clamped := make(profile.Profile, len(c.rho))
+		for j, rho := range c.rho {
+			clamped[j] = math.Min(1, rho)
+		}
+		eval, err := incr.New(m, clamped)
+		if err != nil {
+			return rep, err
+		}
+		rates[ci] = eval.WorkRate()
+	}
+
+	res, err := RunCEPRedundant(m, p, pr, asn, plan, opt)
+	if err != nil {
+		return rep, err
+	}
+	rep.Useful = res.UsefulBy(lifespan)
+	rep.Dispatched = res.Dispatched
+	rep.Events = res.Events
+	rep.Units = len(res.Units)
+	cutoff := lifespan * (1 + 1e-9)
+	for _, u := range res.Units {
+		if u.Returns >= u.Need && u.CompletedAt <= cutoff {
+			rep.UnitsCompleted++
+		}
+	}
+	for ci, c := range cohorts {
+		var disp, salv stats.KahanSum
+		for j := spans[ci].lo; j < spans[ci].hi; j++ {
+			u := res.Units[j]
+			for _, k := range u.Members {
+				disp.Add(pr.Alloc[k])
+			}
+			if u.Returns >= u.Need && u.CompletedAt <= cutoff {
+				salv.Add(u.Work)
+			}
+		}
+		rep.Rounds = append(rep.Rounds, RoundReport{
+			Start: c.at, End: lifespan, Computers: c.members,
+			PlannedRate: rates[ci], Dispatched: disp.Sum(), Salvaged: salv.Sum(),
+		})
+	}
+	rep.finish()
+	return rep, nil
+}

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// TestSimulateElasticMatchesFaultyOnJoinFreePlans: on plans without joins
+// the salvage policies are SimulateFaulty, exactly.
+func TestSimulateElasticMatchesFaultyOnJoinFreePlans(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.4, 0.8, 0.55}
+	const L = 1200.0
+	plan := fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Outage, Computer: 1, At: 100, Until: 500},
+		{Kind: fault.Slowdown, Computer: 0, At: 300, Factor: 4},
+		{Kind: fault.Crash, Computer: 2, At: 800},
+	}}
+	for _, replan := range []bool{false, true} {
+		want, err := SimulateFaulty(context.Background(), m, p, L, plan, replan, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SimulateElastic(context.Background(), m, p, L, plan, ElasticPolicy{Replan: replan}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Useful != want.Salvaged || got.Dispatched != want.Dispatched || got.Events != want.Events {
+			t.Fatalf("replan=%v: elastic (%v, %v, %d) ≠ faulty (%v, %v, %d)", replan,
+				got.Useful, got.Dispatched, got.Events, want.Salvaged, want.Dispatched, want.Events)
+		}
+		if got.FaultFree != want.FaultFree {
+			t.Fatalf("replan=%v: fault-free %v ≠ %v", replan, got.FaultFree, want.FaultFree)
+		}
+	}
+}
+
+// TestSimulateFaultyRejectsJoins: elastic plans must go through
+// SimulateElastic; the crash-only pipeline refuses them.
+func TestSimulateFaultyRejectsJoins(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.5, 0.5}
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Join, Computer: 2, At: 10, Rho: 0.5}}}
+	if _, err := SimulateFaulty(context.Background(), m, p, 100, plan, true, Options{}); err == nil {
+		t.Fatal("SimulateFaulty accepted a join plan")
+	}
+}
+
+// TestElasticPolicyValidate pins the policy algebra: replan and
+// redundancy are exclusive, and String names every mode.
+func TestElasticPolicyValidate(t *testing.T) {
+	if err := (ElasticPolicy{Replan: true, Redundancy: Redundancy{Replicas: 2}}).Validate(); err == nil {
+		t.Fatal("replan+redundancy accepted")
+	}
+	if err := (ElasticPolicy{Replan: true}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for want, pol := range map[string]ElasticPolicy{
+		"salvage-ride":   {},
+		"salvage-replan": {Replan: true},
+		"replicated-2":   {Redundancy: Redundancy{Replicas: 2}},
+		"coded-2of3":     {Redundancy: Redundancy{CodedK: 2, CodedN: 3}},
+	} {
+		if got := pol.String(); got != want {
+			t.Errorf("policy %+v → %q, want %q", pol, got, want)
+		}
+	}
+}
+
+// TestSimulateElasticReplanRecruitsJoins: a fast machine joining
+// mid-lifespan shows up as a Joined decision, gets folded into a fresh
+// round, and lifts salvage above the ride policy that ignores it.
+func TestSimulateElasticReplanRecruitsJoins(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.95, 0.9}
+	const L = 2000.0
+	plan := fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Join, Computer: 2, At: 200, Rho: 0.3},
+		{Kind: fault.Join, Computer: 3, At: 200, Rho: 0.35},
+	}}
+	ride, err := SimulateElastic(context.Background(), m, p, L, plan, ElasticPolicy{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateElastic(context.Background(), m, p, L, plan, ElasticPolicy{Replan: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Useful <= ride.Useful {
+		t.Fatalf("replan %v did not beat ride %v despite fast joiners", rep.Useful, ride.Useful)
+	}
+	if len(rep.Decisions) != 1 {
+		t.Fatalf("%d decisions, want 1", len(rep.Decisions))
+	}
+	dec := rep.Decisions[0]
+	if dec.At != 200 || len(dec.Joined) != 2 || dec.Joined[0] != 2 || dec.Joined[1] != 3 {
+		t.Fatalf("decision %+v, want both machines joined at 200", dec)
+	}
+	if len(dec.Restored) != 0 || len(dec.Dropped) != 0 {
+		t.Fatalf("joiners misclassified: %+v", dec)
+	}
+	if !dec.Replanned {
+		t.Fatal("replanner ignored two fast joiners")
+	}
+	// Joins can push useful work past the base cluster's optimum.
+	if rep.Useful <= rep.FaultFree || rep.Degradation >= 0 {
+		t.Fatalf("useful %v / degradation %v should beat base optimum %v",
+			rep.Useful, rep.Degradation, rep.FaultFree)
+	}
+	last := rep.Rounds[len(rep.Rounds)-1]
+	found := false
+	for _, c := range last.Computers {
+		if c >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("final round %+v never used the joined machines", last)
+	}
+}
+
+// TestSimulateElasticRedundantRecruitsJoins: the redundant policy spawns
+// a recruit round per join cohort and credits its completed units.
+func TestSimulateElasticRedundantRecruitsJoins(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.5, 0.6, 0.7, 0.8}
+	const L = 2000.0
+	plan := fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Join, Computer: 4, At: 500, Rho: 0.4},
+		{Kind: fault.Join, Computer: 5, At: 500, Rho: 0.45},
+		{Kind: fault.Join, Computer: 6, At: 900, Rho: 0.3},
+		{Kind: fault.Join, Computer: 7, At: 900, Rho: 0.5},
+	}}
+	pol := ElasticPolicy{Redundancy: Redundancy{Replicas: 2}}
+	rep, err := SimulateElastic(context.Background(), m, p, L, plan, pol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 3 {
+		t.Fatalf("%d rounds, want base + 2 recruit cohorts", len(rep.Rounds))
+	}
+	if rep.Rounds[1].Start != 500 || rep.Rounds[2].Start != 900 {
+		t.Fatalf("recruit rounds at %v/%v, want 500/900", rep.Rounds[1].Start, rep.Rounds[2].Start)
+	}
+	empty, err := SimulateElastic(context.Background(), m, p, L, fault.Plan{}, pol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Useful <= empty.Useful {
+		t.Fatalf("joins added no useful work: %v vs %v without them", rep.Useful, empty.Useful)
+	}
+	if rep.UnitsCompleted <= 0 || rep.UnitsCompleted > rep.Units {
+		t.Fatalf("units %d/%d incoherent", rep.UnitsCompleted, rep.Units)
+	}
+}
+
+// TestSimulateElasticRedundantEmptyPlanOverhead pins the golden bound:
+// with no churn at all, replicated-2's dispatch overhead is exactly its
+// factor and never more than 2×, while still completing real work.
+func TestSimulateElasticRedundantEmptyPlanOverhead(t *testing.T) {
+	m := model.Table1()
+	rng := stats.NewRNG(7)
+	p := profile.RandomNormalized(rng, 8)
+	const L = 3600.0
+	rep, err := SimulateElastic(context.Background(), m, p, L, fault.Plan{},
+		ElasticPolicy{Redundancy: Redundancy{Replicas: 2}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Useful <= 0 {
+		t.Fatal("no useful work on an empty plan")
+	}
+	if rep.Overhead > 2+1e-9 {
+		t.Fatalf("empty-plan overhead %v exceeds the replication factor", rep.Overhead)
+	}
+	if rep.UnitsCompleted != rep.Units {
+		t.Fatalf("%d of %d units completed on an empty plan", rep.UnitsCompleted, rep.Units)
+	}
+}
+
+// TestSimulateElasticRedundancyBeatsSalvageUnderChurn is the headline
+// trade. Under deterministic churn alone the replanner ties redundancy —
+// its exact rollouts are clairvoyant, and the survivors' capacity equals
+// the redundant pairs' effective capacity. The schemes part ways once
+// unpredicted stragglers enter: with ρ-jitter every salvage round is
+// planned to finish exactly at the deadline, so one bad draw forfeits
+// that machine's whole allocation, while a margined replicated pair
+// loses a unit only when BOTH replicas draw badly. Aggregated over a
+// seed pool, redundancy must beat the reactive replanner decisively.
+// cmd/benchfault certifies the same regime.
+func TestSimulateElasticRedundancyBeatsSalvageUnderChurn(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5}
+	const L = 3600.0
+	plan := heavyChurnPlan()
+	var replan, rep2, coded float64
+	for seed := uint64(1); seed <= 5; seed++ {
+		opt := Options{RhoJitter: 0.15, Seed: seed}
+		rp, err := SimulateElastic(context.Background(), m, p, L, plan,
+			ElasticPolicy{Replan: true}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := SimulateElastic(context.Background(), m, p, L, plan,
+			ElasticPolicy{Redundancy: Redundancy{Replicas: 2, Margin: 0.15}}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd, err := SimulateElastic(context.Background(), m, p, L, plan,
+			ElasticPolicy{Redundancy: Redundancy{CodedK: 2, CodedN: 3, Margin: 0.15}}, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replan += rp.Useful
+		rep2 += r2.Useful
+		coded += cd.Useful
+	}
+	if rep2 <= 1.2*replan {
+		t.Errorf("replicated-2@0.15 useful %v ≤ 1.2× replan salvage %v under heavy churn", rep2, replan)
+	}
+	if coded <= 1.1*replan {
+		t.Errorf("coded-2of3@0.15 useful %v ≤ 1.1× replan salvage %v under heavy churn", coded, replan)
+	}
+}
+
+// heavyChurnPlan mixes every disruption class with a join cohort on an
+// 8-machine ρ=0.5 cluster over a 3600 lifespan: a slowdown and a crash
+// wound the early rounds, an outage swallows the middle of the lifespan,
+// a late slowdown strands the tail, and two recruits arrive at t=600.
+// cmd/benchfault certifies the same regime.
+func heavyChurnPlan() fault.Plan {
+	return fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Slowdown, Computer: 0, At: 500, Factor: 7},
+		{Kind: fault.Crash, Computer: 2, At: 1300},
+		{Kind: fault.Outage, Computer: 4, At: 2000, Until: 3200},
+		{Kind: fault.Slowdown, Computer: 6, At: 2600, Factor: 9},
+		{Kind: fault.Join, Computer: 8, At: 600, Rho: 0.5},
+		{Kind: fault.Join, Computer: 9, At: 600, Rho: 0.5},
+	}}
+}
+
+// TestChaosElasticProperties drives SimulateElastic across seeded
+// elastic plans: accounting balances under every policy, replan never
+// salvages less than ride, and the policies agree on the fault-free
+// yardstick.
+func TestChaosElasticProperties(t *testing.T) {
+	rng := stats.NewRNG(123)
+	m := model.Table1()
+	const L = 3600.0
+	pols := []ElasticPolicy{
+		{},
+		{Replan: true},
+		{Redundancy: Redundancy{Replicas: 2}},
+		{Redundancy: Redundancy{CodedK: 2, CodedN: 3}},
+	}
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(10)
+		p := profile.RandomNormalized(rng, n)
+		plan := fault.RandomElastic(rng, n, L, rng.Intn(10))
+		var useful [4]float64
+		for pi, pol := range pols {
+			rep, err := SimulateElastic(context.Background(), m, p, L, plan, pol, Options{})
+			if err != nil {
+				t.Fatalf("trial %d policy %s: %v", trial, pol, err)
+			}
+			if rep.Useful < 0 || rep.Dispatched < rep.Useful*(1-1e-12) {
+				t.Fatalf("trial %d policy %s: useful %v dispatched %v", trial, pol, rep.Useful, rep.Dispatched)
+			}
+			if math.Abs(rep.Lost-(rep.Dispatched-rep.Useful)) > 1e-9*math.Max(1, rep.Dispatched) {
+				t.Fatalf("trial %d policy %s: lost %v ≠ dispatched−useful", trial, pol, rep.Lost)
+			}
+			if rep.BaseN != n || rep.Joins != plan.NumJoins() {
+				t.Fatalf("trial %d policy %s: base %d joins %d", trial, pol, rep.BaseN, rep.Joins)
+			}
+			useful[pi] = rep.Useful
+		}
+		if useful[1] < useful[0]*(1-1e-9)-1e-9 {
+			t.Fatalf("trial %d: replan %v below ride %v\nplan %+v", trial, useful[1], useful[0], plan)
+		}
+	}
+}
+
+// TestSimulateElasticHonorsContext: a cancelled context aborts the run.
+func TestSimulateElasticHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := model.Table1()
+	p := profile.Profile{0.5, 0.5}
+	_, err := SimulateElastic(ctx, m, p, 100, fault.Plan{}, ElasticPolicy{Replan: true}, Options{})
+	if err == nil {
+		t.Fatal("cancelled context not honored")
+	}
+}
+
+// TestSimulateElasticRejectsBadInput covers the validation surface.
+func TestSimulateElasticRejectsBadInput(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.5}
+	bad := []struct {
+		name string
+		run  func() error
+	}{
+		{"zero lifespan", func() error {
+			_, err := SimulateElastic(nil, m, p, 0, fault.Plan{}, ElasticPolicy{}, Options{})
+			return err
+		}},
+		{"invalid plan", func() error {
+			plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Join, Computer: 5, At: 1, Rho: 0.5}}}
+			_, err := SimulateElastic(nil, m, p, 100, plan, ElasticPolicy{}, Options{})
+			return err
+		}},
+		{"conflicting policy", func() error {
+			_, err := SimulateElastic(nil, m, p, 100, fault.Plan{},
+				ElasticPolicy{Replan: true, Redundancy: Redundancy{Replicas: 2}}, Options{})
+			return err
+		}},
+		{"bad redundancy", func() error {
+			_, err := SimulateElastic(nil, m, p, 100, fault.Plan{},
+				ElasticPolicy{Redundancy: Redundancy{Replicas: 1}}, Options{})
+			return err
+		}},
+	}
+	for _, tc := range bad {
+		if tc.run() == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}

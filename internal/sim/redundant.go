@@ -1,0 +1,537 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/schedule"
+	"hetero/internal/stats"
+)
+
+// MaxRedundancyGroup caps replication factors and coded group widths. The
+// bound keeps per-unit fan-out (and thus channel occupancy per unit)
+// commensurate with realistic coded-computation deployments.
+const MaxRedundancyGroup = 64
+
+// Redundancy selects a proactive redundant-dispatch scheme, the
+// alternative to reactive ride-vs-replan salvage. Exactly one of the two
+// families may be set:
+//
+//   - Replicated-r (Replicas ≥ 2): every work unit is sent whole to r
+//     machines; the first fully-returned copy completes the unit and the
+//     other r−1 copies are pure overhead.
+//   - MDS-style k-of-n coding (CodedK ≥ 1, CodedN > CodedK): every unit is
+//     split into k shards, encoded into n, and one shard sent to each of n
+//     machines; the unit completes when the k-th shard returns, so up to
+//     n−k stragglers per group are tolerated at an n/k work overhead.
+//
+// Margin is the deadline headroom: the fraction of the lifespan the plan
+// reserves so that units complete early and stragglers — unpredicted
+// drift, jittered speeds — land inside the band instead of past the
+// deadline cliff. This is the deterministic analog of provisioning coded
+// shards to finish before the deadline with high probability: a unit is
+// lost only when every hedge replica overshoots the band, not when a
+// single machine does.
+//
+// The zero value means redundancy off.
+type Redundancy struct {
+	Replicas int     `json:"replicas,omitempty"`
+	CodedK   int     `json:"coded_k,omitempty"`
+	CodedN   int     `json:"coded_n,omitempty"`
+	Margin   float64 `json:"margin,omitempty"`
+}
+
+// Enabled reports whether any redundant scheme is selected.
+func (r Redundancy) Enabled() bool { return r.Replicas != 0 || r.CodedK != 0 || r.CodedN != 0 }
+
+// Validate checks the scheme's parameters. The zero value is valid.
+func (r Redundancy) Validate() error {
+	if !r.Enabled() {
+		if r.Margin != 0 {
+			return fmt.Errorf("sim: straggler margin %v requires an enabled redundancy scheme", r.Margin)
+		}
+		return nil
+	}
+	if math.IsNaN(r.Margin) || r.Margin < 0 || r.Margin > 0.5 {
+		return fmt.Errorf("sim: straggler margin %v outside [0,0.5]", r.Margin)
+	}
+	if r.Replicas != 0 {
+		if r.CodedK != 0 || r.CodedN != 0 {
+			return fmt.Errorf("sim: redundancy must pick replication or coding, not both")
+		}
+		if r.Replicas < 2 || r.Replicas > MaxRedundancyGroup {
+			return fmt.Errorf("sim: replication factor %d outside [2,%d]", r.Replicas, MaxRedundancyGroup)
+		}
+		return nil
+	}
+	if r.CodedK < 1 {
+		return fmt.Errorf("sim: coded k=%d must be at least 1", r.CodedK)
+	}
+	if r.CodedN <= r.CodedK || r.CodedN > MaxRedundancyGroup {
+		return fmt.Errorf("sim: coded n=%d must exceed k=%d and stay within %d", r.CodedN, r.CodedK, MaxRedundancyGroup)
+	}
+	return nil
+}
+
+// GroupSize is how many machines serve one work unit: r for replication,
+// n for k-of-n coding, 1 when redundancy is off.
+func (r Redundancy) GroupSize() int {
+	switch {
+	case r.Replicas >= 2:
+		return r.Replicas
+	case r.CodedK >= 1:
+		return r.CodedN
+	default:
+		return 1
+	}
+}
+
+// need is how many member returns complete a unit served by a group of
+// the given size (a trailing group may be narrower than GroupSize).
+func (r Redundancy) need(size int) int {
+	if r.CodedK >= 1 && r.CodedK < size {
+		return r.CodedK
+	}
+	if r.CodedK >= 1 {
+		return size
+	}
+	return 1
+}
+
+// String renders the scheme in the CLI flag's vocabulary: "off",
+// "replicated-3", "coded-2of4", with a "@M" suffix for a nonzero
+// straggler margin ("replicated-2@0.15").
+func (r Redundancy) String() string {
+	var s string
+	switch {
+	case r.Replicas >= 2:
+		s = fmt.Sprintf("replicated-%d", r.Replicas)
+	case r.CodedK >= 1:
+		s = fmt.Sprintf("coded-%dof%d", r.CodedK, r.CodedN)
+	default:
+		return "off"
+	}
+	if r.Margin > 0 {
+		s += fmt.Sprintf("@%g", r.Margin)
+	}
+	return s
+}
+
+// ParseRedundancy parses the -redundancy flag: "off"/"none"/"" disable,
+// a bare integer r ≥ 2 selects replicated-r, "coded:k" selects k-of-(k+1)
+// coding, and "coded:KofN" selects k-of-n explicitly. A "@M" suffix sets
+// the straggler margin ("2@0.15", "coded:2of4@0.1").
+func ParseRedundancy(s string) (Redundancy, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "", "off", "none":
+		return Redundancy{}, nil
+	}
+	margin := 0.0
+	if i := strings.LastIndex(s, "@"); i >= 0 {
+		m, err := strconv.ParseFloat(s[i+1:], 64)
+		if err != nil {
+			return Redundancy{}, fmt.Errorf("sim: malformed straggler margin in %q", s)
+		}
+		margin = m
+		s = s[:i]
+	}
+	// Accept the String() spellings too, so reports round-trip.
+	if spec, ok := strings.CutPrefix(s, "replicated-"); ok {
+		s = spec
+	} else if spec, ok := strings.CutPrefix(s, "coded-"); ok {
+		s = "coded:" + spec
+	}
+	if spec, ok := strings.CutPrefix(s, "coded:"); ok {
+		var red Redundancy
+		if i := strings.Index(spec, "of"); i >= 0 {
+			k, kerr := strconv.Atoi(spec[:i])
+			n, nerr := strconv.Atoi(spec[i+2:])
+			if kerr != nil || nerr != nil {
+				return Redundancy{}, fmt.Errorf("sim: malformed coded redundancy %q (want coded:KofN)", s)
+			}
+			red = Redundancy{CodedK: k, CodedN: n, Margin: margin}
+		} else {
+			k, err := strconv.Atoi(spec)
+			if err != nil {
+				return Redundancy{}, fmt.Errorf("sim: malformed coded redundancy %q (want coded:K)", s)
+			}
+			red = Redundancy{CodedK: k, CodedN: k + 1, Margin: margin}
+		}
+		return red, red.Validate()
+	}
+	r, err := strconv.Atoi(s)
+	if err != nil || r == 0 {
+		return Redundancy{}, fmt.Errorf("sim: unknown redundancy %q (want off, an integer replication factor, or coded:K[ofN])", s)
+	}
+	red := Redundancy{Replicas: r, Margin: margin}
+	return red, red.Validate()
+}
+
+// Assignment groups a protocol's sends into redundant work units. Every
+// send position (index into Protocol.Order/Protocol.Alloc) belongs to
+// exactly one unit; a unit's results are decodable — its Unit work counts
+// — once Need of its sends have fully returned.
+type Assignment struct {
+	// Units lists, per unit, the positions of the sends carrying it, in
+	// dispatch order.
+	Units [][]int
+	// Need is how many returns decode the unit: 1 for replication, k for
+	// k-of-n coding, always 1 for a trivial (redundancy-off) assignment.
+	Need []int
+	// Unit is the useful work credited when the unit completes.
+	Unit []float64
+	// Start, when non-nil, holds each unit's release time: its sends
+	// enter the shared FIFO channel's queue at that instant instead of
+	// time 0. Recruit rounds for machines joining mid-lifespan release at
+	// the join instant and compete with in-flight transfers — there is
+	// only one channel. Nil means every unit releases at 0.
+	Start []float64
+}
+
+// TrivialAssignment wraps each send of pr as its own unit: redundancy
+// off, every return counts in full.
+func TrivialAssignment(pr Protocol) Assignment {
+	asn := Assignment{
+		Units: make([][]int, len(pr.Order)),
+		Need:  make([]int, len(pr.Order)),
+		Unit:  make([]float64, len(pr.Order)),
+	}
+	for k := range pr.Order {
+		asn.Units[k] = []int{k}
+		asn.Need[k] = 1
+		asn.Unit[k] = pr.Alloc[k]
+	}
+	return asn
+}
+
+// Validate checks that the assignment partitions pr's send positions and
+// that every unit's need and size are coherent.
+func (a Assignment) Validate(pr Protocol) error {
+	if len(a.Units) != len(a.Need) || len(a.Units) != len(a.Unit) {
+		return fmt.Errorf("sim: assignment arrays disagree: %d units, %d needs, %d sizes",
+			len(a.Units), len(a.Need), len(a.Unit))
+	}
+	if a.Start != nil && len(a.Start) != len(a.Units) {
+		return fmt.Errorf("sim: %d release times for %d units", len(a.Start), len(a.Units))
+	}
+	for j, s := range a.Start {
+		if !(s >= 0) || math.IsInf(s, 0) {
+			return fmt.Errorf("sim: unit %d release time %v must be finite and non-negative", j, s)
+		}
+	}
+	seen := make([]bool, len(pr.Order))
+	covered := 0
+	for j, unit := range a.Units {
+		if len(unit) == 0 {
+			return fmt.Errorf("sim: unit %d has no members", j)
+		}
+		if a.Need[j] < 1 || a.Need[j] > len(unit) {
+			return fmt.Errorf("sim: unit %d needs %d of %d returns", j, a.Need[j], len(unit))
+		}
+		if !(a.Unit[j] > 0) || math.IsInf(a.Unit[j], 0) {
+			return fmt.Errorf("sim: unit %d work %v must be positive and finite", j, a.Unit[j])
+		}
+		for _, k := range unit {
+			if k < 0 || k >= len(seen) {
+				return fmt.Errorf("sim: unit %d references send %d of %d", j, k, len(seen))
+			}
+			if seen[k] {
+				return fmt.Errorf("sim: send %d assigned to two units", k)
+			}
+			seen[k] = true
+			covered++
+		}
+	}
+	if covered != len(pr.Order) {
+		return fmt.Errorf("sim: assignment covers %d of %d sends", covered, len(pr.Order))
+	}
+	return nil
+}
+
+// UnitTrace records one redundant unit's outcome.
+type UnitTrace struct {
+	Members     []int   // send positions carrying the unit, in dispatch order
+	Need        int     // returns required to decode
+	Work        float64 // useful credit on completion
+	Returns     int     // member returns that fully arrived (incl. past Need)
+	CompletedAt float64 // arrival of the Need-th return; +Inf if never reached
+}
+
+// RedundantResult is the outcome of executing a redundant assignment
+// under a fault plan. Dispatched counts every send; Useful counts each
+// unit exactly once, at its Need-th completed return — duplicate and
+// late returns are deliberate overhead, never double credit.
+type RedundantResult struct {
+	Useful     float64
+	Dispatched float64
+	// Overhead is Dispatched/Useful (0 when nothing useful returned).
+	Overhead  float64
+	Makespan  float64
+	Events    int
+	Units     []UnitTrace
+	Computers []FaultComputerTrace
+}
+
+// UsefulBy returns the decodable work whose completing return arrived by
+// time t, with the same relative tolerance as FaultResult.CompletedBy.
+func (r RedundantResult) UsefulBy(t float64) float64 {
+	cutoff := t * (1 + 1e-9)
+	var acc stats.KahanSum
+	for _, u := range r.Units {
+		if u.Returns >= u.Need && u.CompletedAt <= cutoff {
+			acc.Add(u.Work)
+		}
+	}
+	return acc.Sum()
+}
+
+// validateRedundantOrder is Protocol.Validate relaxed for redundant and
+// elastic dispatch: every served id must be a distinct machine of the
+// n-cluster with a positive allocation, but machines may go unserved (a
+// joiner arriving past the lifespan is never dispatched).
+func validateRedundantOrder(pr Protocol, n int) error {
+	if len(pr.Order) != len(pr.Alloc) {
+		return fmt.Errorf("sim: protocol order/alloc sized %d/%d", len(pr.Order), len(pr.Alloc))
+	}
+	seen := make([]bool, n)
+	for k, id := range pr.Order {
+		if id < 0 || id >= n || seen[id] {
+			return fmt.Errorf("sim: startup order %v reuses or exceeds the %d-computer cluster", pr.Order, n)
+		}
+		seen[id] = true
+		if w := pr.Alloc[k]; !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("sim: allocation %d is %v, must be positive and finite", k, w)
+		}
+	}
+	return nil
+}
+
+// RunCEPRedundant simulates protocol pr under fault plan plan with the
+// sends grouped into redundant units by asn: RunCEPFaulty's engine and
+// FIFO channel semantics, with completion accounted per unit — a unit's
+// work is credited exactly once, when its Need-th member return fully
+// arrives. p is the base cluster; join events in the plan extend it, and
+// pr may address joined machines past the base indices. Units with a
+// release time enter the single shared channel's queue at that instant.
+// An empty asn defaults to the trivial assignment, under which the run
+// reproduces RunCEPFaulty (and, on an empty plan, RunCEP) bit-for-bit:
+// identical floating-point operations in identical event order.
+func RunCEPRedundant(m model.Params, p profile.Profile, pr Protocol, asn Assignment, plan fault.Plan, opt Options) (RedundantResult, error) {
+	if err := m.Validate(); err != nil {
+		return RedundantResult{}, err
+	}
+	if opt.RhoJitter < 0 || opt.RhoJitter >= 1 {
+		return RedundantResult{}, fmt.Errorf("sim: jitter %v outside [0,1)", opt.RhoJitter)
+	}
+	tl, err := fault.Compile(plan, len(p))
+	if err != nil {
+		return RedundantResult{}, err
+	}
+	pExt := p
+	if j := plan.NumJoins(); j > 0 {
+		pExt = make(profile.Profile, 0, len(p)+j)
+		pExt = append(append(pExt, p...), plan.JoinRhos(len(p))...)
+	}
+	if err := validateRedundantOrder(pr, len(pExt)); err != nil {
+		return RedundantResult{}, err
+	}
+	if len(asn.Units) == 0 {
+		asn = TrivialAssignment(pr)
+	}
+	if err := asn.Validate(pr); err != nil {
+		return RedundantResult{}, err
+	}
+
+	eff := make([]float64, len(pExt))
+	copy(eff, pExt)
+	if opt.RhoJitter > 0 {
+		rng := stats.NewRNG(opt.Seed)
+		for i := range eff {
+			eff[i] *= 1 + opt.RhoJitter*(2*rng.Float64()-1)
+		}
+	}
+
+	eng := NewEngine()
+	ch := &faultChannel{eng: eng, tl: tl}
+	a, b, td := m.A(), m.B(), m.TauDelta()
+
+	res := RedundantResult{
+		Computers: make([]FaultComputerTrace, len(pr.Order)),
+		Units:     make([]UnitTrace, len(asn.Units)),
+	}
+	var useful, dispatched stats.KahanSum
+
+	for j, unit := range asn.Units {
+		j := j
+		release := 0.0
+		if asn.Start != nil {
+			release = asn.Start[j]
+		}
+		res.Units[j] = UnitTrace{Members: unit, Need: asn.Need[j], Work: asn.Unit[j], CompletedAt: math.Inf(1)}
+		for _, k := range unit {
+			k, id := k, pr.Order[k]
+			w := pr.Alloc[k]
+			dispatched.Add(w)
+			res.Computers[k] = FaultComputerTrace{ComputerTrace: ComputerTrace{ID: id, Rho: pExt[id], EffRho: eff[id], Work: w}}
+			send := func(sendStart, recvEnd float64, ok bool) {
+				tr := &res.Computers[k]
+				tr.RecvStart, tr.RecvEnd = sendStart, recvEnd
+				if !ok {
+					tr.BusyEnd, tr.ReturnStart, tr.ResultsAt = math.Inf(1), math.Inf(1), math.Inf(1)
+					tr.Fate = FateNeverFinished
+					return
+				}
+				busy := b * eff[id] * w
+				busyEnd := tl.BusyFinish(id, recvEnd, busy)
+				if math.IsInf(busyEnd, 1) {
+					tr.BusyEnd, tr.ReturnStart, tr.ResultsAt = math.Inf(1), math.Inf(1), math.Inf(1)
+					tr.Fate = FateNeverFinished
+					return
+				}
+				eng.At(busyEnd, func() {
+					tr.BusyEnd = eng.Now()
+					ch.Acquire(td*w, tl.CrashTime(id), func(retStart, retEnd float64, ok bool) {
+						tr.ReturnStart = retStart
+						if !ok {
+							tr.ResultsAt = math.Inf(1)
+							tr.Fate = FateReturnAborted
+							return
+						}
+						tr.ReturnStart, tr.ResultsAt = retStart, retEnd
+						tr.Fate = FateReturned
+						ut := &res.Units[j]
+						ut.Returns++
+						if ut.Returns == ut.Need {
+							ut.CompletedAt = retEnd
+							useful.Add(ut.Work)
+						}
+						if retEnd > res.Makespan {
+							res.Makespan = retEnd
+						}
+					})
+				})
+			}
+			if release > 0 {
+				eng.At(release, func() { ch.Acquire(a*w, math.Inf(1), send) })
+			} else {
+				ch.Acquire(a*w, math.Inf(1), send)
+			}
+		}
+	}
+	if err := eng.Run(); err != nil {
+		return RedundantResult{}, err
+	}
+	if err := ch.VerifyExclusive(); err != nil {
+		return RedundantResult{}, err
+	}
+	res.Useful = useful.Sum()
+	res.Dispatched = dispatched.Sum()
+	if res.Useful > 0 {
+		res.Overhead = res.Dispatched / res.Useful
+	}
+	res.Events = eng.Processed()
+	return res, nil
+}
+
+// PlanRedundant builds a redundant dispatch plan for cluster p over the
+// lifespan. Machines are sorted by speed and chunked into groups of the
+// scheme's width, so replicas (or coded shards) of a unit land on
+// like-speed machines — the load-balanced heterogeneous assignment of
+// Reisizadeh et al., which never yokes a fast machine to a straggler's
+// unit. Each group plans at the speed of its completion-determining
+// member (the fastest for replication, the need-th fastest for coding);
+// unit sizes come from the gap-free allocation recurrence on that virtual
+// group profile and are then rescaled so the probe makespan lands exactly
+// on the lifespan, by positive homogeneity of the pipeline. With
+// redundancy off this is exactly OptimalFIFO with the trivial assignment.
+func PlanRedundant(m model.Params, p profile.Profile, lifespan float64, red Redundancy) (Protocol, Assignment, error) {
+	if err := red.Validate(); err != nil {
+		return Protocol{}, Assignment{}, err
+	}
+	if !red.Enabled() {
+		pr, err := OptimalFIFO(m, p, lifespan)
+		if err != nil {
+			return Protocol{}, Assignment{}, err
+		}
+		return pr, TrivialAssignment(pr), nil
+	}
+	if len(p) == 0 {
+		return Protocol{}, Assignment{}, fmt.Errorf("sim: empty profile")
+	}
+	if !(lifespan > 0) || math.IsInf(lifespan, 0) {
+		return Protocol{}, Assignment{}, fmt.Errorf("sim: lifespan %v must be positive and finite", lifespan)
+	}
+	for i, rho := range p {
+		if !(rho > 0) || math.IsInf(rho, 0) {
+			return Protocol{}, Assignment{}, fmt.Errorf("sim: computer %d speed %v must be positive and finite", i, rho)
+		}
+	}
+
+	bySpeed := make([]int, len(p))
+	for i := range bySpeed {
+		bySpeed[i] = i
+	}
+	sort.SliceStable(bySpeed, func(a, b int) bool { return p[bySpeed[a]] < p[bySpeed[b]] })
+	g := red.GroupSize()
+	var groups [][]int
+	for lo := 0; lo < len(bySpeed); lo += g {
+		groups = append(groups, bySpeed[lo:min(lo+g, len(bySpeed))])
+	}
+
+	// The straggler margin shrinks the planning horizon: units are sized
+	// and scaled to finish by (1−Margin)·L, so a replica overshooting by
+	// up to the band still lands before the deadline cliff.
+	horizon := lifespan * (1 - red.Margin)
+	vp := make(profile.Profile, len(groups))
+	need := make([]int, len(groups))
+	for j, grp := range groups {
+		need[j] = red.need(len(grp))
+		vp[j] = p[grp[need[j]-1]]
+	}
+	units, err := schedule.Allocations(m, vp, horizon)
+	if err != nil {
+		return Protocol{}, Assignment{}, err
+	}
+
+	pr := Protocol{}
+	asn := Assignment{Units: make([][]int, len(groups)), Need: need, Unit: units}
+	pos := 0
+	for j, grp := range groups {
+		// Replication sends the whole unit to every member; coding sends one
+		// of need equal shards (the n−need parity shards carry the same
+		// volume each).
+		share := units[j]
+		if red.CodedK >= 1 {
+			share = units[j] / float64(need[j])
+		}
+		for _, id := range grp {
+			pr.Order = append(pr.Order, id)
+			pr.Alloc = append(pr.Alloc, share)
+			asn.Units[j] = append(asn.Units[j], pos)
+			pos++
+		}
+	}
+
+	probe, err := RunCEPRedundant(m, p, pr, asn, fault.Plan{}, Options{})
+	if err != nil {
+		return Protocol{}, Assignment{}, err
+	}
+	if !(probe.Makespan > 0) || math.IsInf(probe.Makespan, 0) {
+		return Protocol{}, Assignment{}, fmt.Errorf("sim: redundant probe produced makespan %v", probe.Makespan)
+	}
+	c := horizon / probe.Makespan
+	for k := range pr.Alloc {
+		pr.Alloc[k] *= c
+	}
+	for j := range asn.Unit {
+		asn.Unit[j] *= c
+	}
+	return pr, asn, nil
+}

@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"hetero/internal/fault"
+	"hetero/internal/model"
+	"hetero/internal/profile"
+	"hetero/internal/stats"
+)
+
+// TestRunCEPRedundantBitIdenticalOff is the golden invariant: with the
+// trivial assignment (redundancy off), RunCEPRedundant performs the exact
+// floating-point operations of RunCEPFaulty — and, on an empty plan, of
+// RunCEP — in the same event order. Every field must match bit-for-bit.
+func TestRunCEPRedundantBitIdenticalOff(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.35, 1, 0.6, 0.82, 0.5}
+	pr, err := OptimalFIFO(m, p, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := map[string]fault.Plan{
+		"empty": {},
+		"churn": {Faults: []fault.Fault{
+			{Kind: fault.Slowdown, Computer: 1, At: 200, Factor: 3},
+			{Kind: fault.Crash, Computer: 3, At: 900},
+			{Kind: fault.Outage, Computer: 0, At: 100, Until: 400},
+			{Kind: fault.Blackout, At: 50, Until: 80},
+		}},
+	}
+	for name, plan := range plans {
+		faulty, err := RunCEPFaulty(m, p, pr, plan, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := RunCEPRedundant(m, p, pr, Assignment{}, plan, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.Useful != faulty.Completed || red.Dispatched != faulty.Dispatched ||
+			red.Makespan != faulty.Makespan || red.Events != faulty.Events {
+			t.Fatalf("%s: redundant (%v, %v, %v, %d) ≠ faulty (%v, %v, %v, %d)", name,
+				red.Useful, red.Dispatched, red.Makespan, red.Events,
+				faulty.Completed, faulty.Dispatched, faulty.Makespan, faulty.Events)
+		}
+		for k := range red.Computers {
+			if red.Computers[k] != faulty.Computers[k] {
+				t.Fatalf("%s: computer %d trace diverged:\n%+v\n%+v", name, k,
+					red.Computers[k], faulty.Computers[k])
+			}
+		}
+		if got, want := red.UsefulBy(1800), faulty.CompletedBy(1800); got != want {
+			t.Fatalf("%s: UsefulBy %v ≠ CompletedBy %v", name, got, want)
+		}
+	}
+	// And against the no-fault simulator on the empty plan.
+	clean, err := RunCEP(m, p, pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := RunCEPRedundant(m, p, pr, TrivialAssignment(pr), fault.Plan{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Useful != clean.Completed || red.Makespan != clean.Makespan {
+		t.Fatalf("empty plan: redundant (%v, %v) ≠ clean (%v, %v)",
+			red.Useful, red.Makespan, clean.Completed, clean.Makespan)
+	}
+	for k := range red.Computers {
+		if red.Computers[k].ComputerTrace != clean.Computers[k] {
+			t.Fatalf("computer %d trace diverged from RunCEP", k)
+		}
+	}
+}
+
+func TestParseRedundancy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Redundancy
+		ok   bool
+	}{
+		{"", Redundancy{}, true},
+		{"off", Redundancy{}, true},
+		{"none", Redundancy{}, true},
+		{"2", Redundancy{Replicas: 2}, true},
+		{" 3 ", Redundancy{Replicas: 3}, true},
+		{"coded:2", Redundancy{CodedK: 2, CodedN: 3}, true},
+		{"coded:2of4", Redundancy{CodedK: 2, CodedN: 4}, true},
+		{"CODED:3of5", Redundancy{CodedK: 3, CodedN: 5}, true},
+		{"replicated-3", Redundancy{Replicas: 3}, true},
+		{"coded-2of4", Redundancy{CodedK: 2, CodedN: 4}, true},
+		{"2@0.15", Redundancy{Replicas: 2, Margin: 0.15}, true},
+		{"replicated-2@0.1", Redundancy{Replicas: 2, Margin: 0.1}, true},
+		{"coded:2of4@0.2", Redundancy{CodedK: 2, CodedN: 4, Margin: 0.2}, true},
+		{"2@0.6", Redundancy{}, false},
+		{"2@-0.1", Redundancy{}, false},
+		{"2@x", Redundancy{}, false},
+		{"off@0.1", Redundancy{}, false},
+		{"1", Redundancy{}, false},
+		{"0", Redundancy{}, false},
+		{"-2", Redundancy{}, false},
+		{"65", Redundancy{}, false},
+		{"coded:0", Redundancy{}, false},
+		{"coded:4of2", Redundancy{}, false},
+		{"coded:4of4", Redundancy{}, false},
+		{"coded:xof2", Redundancy{}, false},
+		{"coded:", Redundancy{}, false},
+		{"replicated", Redundancy{}, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseRedundancy(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseRedundancy(%q) = %+v, %v; want %+v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseRedundancy(%q) accepted as %+v", tc.in, got)
+		}
+	}
+	if s := (Redundancy{Replicas: 3}).String(); s != "replicated-3" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Redundancy{CodedK: 2, CodedN: 4}).String(); s != "coded-2of4" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Redundancy{}).String(); s != "off" {
+		t.Errorf("String = %q", s)
+	}
+	if err := (Redundancy{Replicas: 2, CodedK: 1, CodedN: 2}).Validate(); err == nil {
+		t.Error("mixed scheme accepted")
+	}
+}
+
+// TestPlanRedundantReplicated pins the replicated plan's shape: like-speed
+// pairs, whole units on every replica, exact 2× dispatch overhead, and a
+// probe-scaled makespan landing on the lifespan.
+func TestPlanRedundantReplicated(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.9, 0.3, 0.5, 0.31, 0.52, 0.88}
+	const L = 1200.0
+	pr, asn, err := PlanRedundant(m, p, L, Redundancy{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speed-sorted pairs: (1,3), (2,4), (5,0).
+	wantPairs := [][2]int{{1, 3}, {2, 4}, {5, 0}}
+	if len(asn.Units) != 3 {
+		t.Fatalf("%d units, want 3", len(asn.Units))
+	}
+	for j, unit := range asn.Units {
+		if len(unit) != 2 || asn.Need[j] != 1 {
+			t.Fatalf("unit %d: members %v need %d", j, unit, asn.Need[j])
+		}
+		if pr.Order[unit[0]] != wantPairs[j][0] || pr.Order[unit[1]] != wantPairs[j][1] {
+			t.Fatalf("unit %d on machines %d,%d; want %v", j,
+				pr.Order[unit[0]], pr.Order[unit[1]], wantPairs[j])
+		}
+		if pr.Alloc[unit[0]] != asn.Unit[j] || pr.Alloc[unit[1]] != asn.Unit[j] {
+			t.Fatalf("unit %d: replica shares %v,%v ≠ unit %v", j,
+				pr.Alloc[unit[0]], pr.Alloc[unit[1]], asn.Unit[j])
+		}
+	}
+	res, err := RunCEPRedundant(m, p, pr, asn, fault.Plan{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.UsefulBy(L); got != res.Useful || got <= 0 {
+		t.Fatalf("useful by L %v vs total %v", got, res.Useful)
+	}
+	if math.Abs(res.Overhead-2) > 1e-9 {
+		t.Fatalf("replicated-2 empty-plan overhead %v, want 2", res.Overhead)
+	}
+	if math.Abs(res.Makespan-L) > 1e-6*L {
+		t.Fatalf("makespan %v not scaled to lifespan %v", res.Makespan, L)
+	}
+}
+
+// TestPlanRedundantCoded pins the coded plan: n-wide groups, unit split
+// into need equal shards, completion at the k-th return.
+func TestPlanRedundantCoded(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.5, 0.6, 0.7, 0.8, 0.9, 1, 0.4, 0.3}
+	const L = 2000.0
+	red := Redundancy{CodedK: 2, CodedN: 4}
+	pr, asn, err := PlanRedundant(m, p, L, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn.Units) != 2 {
+		t.Fatalf("%d units, want 2", len(asn.Units))
+	}
+	for j, unit := range asn.Units {
+		if len(unit) != 4 || asn.Need[j] != 2 {
+			t.Fatalf("unit %d: %d members need %d", j, len(unit), asn.Need[j])
+		}
+		for _, k := range unit {
+			if want := asn.Unit[j] / 2; pr.Alloc[k] != want {
+				t.Fatalf("unit %d shard %v, want %v", j, pr.Alloc[k], want)
+			}
+		}
+	}
+	res, err := RunCEPRedundant(m, p, pr, asn, fault.Plan{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty plan: all 4 shards return; the unit completed at the 2nd.
+	for j, u := range res.Units {
+		if u.Returns != 4 {
+			t.Fatalf("unit %d: %d returns, want 4", j, u.Returns)
+		}
+		var arrivals []float64
+		for _, k := range u.Members {
+			arrivals = append(arrivals, res.Computers[k].ResultsAt)
+		}
+		sort.Float64s(arrivals)
+		if u.CompletedAt != arrivals[1] {
+			t.Fatalf("unit %d completed at %v, want 2nd arrival %v", j, u.CompletedAt, arrivals[1])
+		}
+	}
+	if math.Abs(res.Overhead-2) > 1e-9 { // n/k = 4/2
+		t.Fatalf("coded-2of4 overhead %v, want 2", res.Overhead)
+	}
+}
+
+// TestRedundantSurvivesReplicaCrash: a crashed replica costs nothing —
+// the unit completes through its partner, work credited exactly once.
+func TestRedundantSurvivesReplicaCrash(t *testing.T) {
+	m := model.Table1()
+	p := profile.Profile{0.5, 0.5}
+	const L = 600.0
+	pr, asn, err := PlanRedundant(m, p, L, Redundancy{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.Plan{Faults: []fault.Fault{{Kind: fault.Crash, Computer: 1, At: L / 10}}}
+	res, err := RunCEPRedundant(m, p, pr, asn, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) != 1 || res.Units[0].Returns != 1 {
+		t.Fatalf("unit returns %+v, want exactly the surviving replica", res.Units)
+	}
+	if res.Useful != asn.Unit[0] {
+		t.Fatalf("useful %v, want the full unit %v", res.Useful, asn.Unit[0])
+	}
+	// The same plan with no redundancy loses machine 1's whole allocation.
+	prOff, err := OptimalFIFO(m, p, L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunCEPFaulty(m, p, prOff, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Lost <= 0 {
+		t.Fatalf("unredundant run lost %v, expected a real loss", off.Lost)
+	}
+}
+
+// TestRunCEPRedundantExactlyOnceRace is the -race stress of the exactly-
+// once invariant: concurrent simulations over shared inputs must each
+// credit every unit exactly at its Need-th completed return — never
+// zero, never twice — and the Kahan total must equal the per-unit sum.
+func TestRunCEPRedundantExactlyOnceRace(t *testing.T) {
+	m := model.Table1()
+	rng := stats.NewRNG(42)
+	p := profile.RandomNormalized(rng, 12)
+	const L = 1800.0
+	pr, asn, err := PlanRedundant(m, p, L, Redundancy{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.Plan{Faults: []fault.Fault{
+		{Kind: fault.Crash, Computer: 2, At: 300},
+		{Kind: fault.Slowdown, Computer: 5, At: 100, Factor: 40},
+		{Kind: fault.Outage, Computer: 7, At: 50, Until: 1200},
+		{Kind: fault.Blackout, At: 400, Until: 450},
+	}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := RunCEPRedundant(m, p, pr, asn, plan, Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var sum stats.KahanSum
+			for j, u := range res.Units {
+				completed := 0
+				var arrivals []float64
+				for _, k := range u.Members {
+					if res.Computers[k].Fate == FateReturned {
+						completed++
+						arrivals = append(arrivals, res.Computers[k].ResultsAt)
+					}
+				}
+				if completed != u.Returns {
+					t.Errorf("unit %d: %d returned traces vs %d counted", j, completed, u.Returns)
+				}
+				if u.Returns >= u.Need {
+					sort.Float64s(arrivals)
+					if u.CompletedAt != arrivals[u.Need-1] {
+						t.Errorf("unit %d completed at %v, want the need-th arrival %v",
+							j, u.CompletedAt, arrivals[u.Need-1])
+					}
+					sum.Add(u.Work)
+				} else if !math.IsInf(u.CompletedAt, 1) {
+					t.Errorf("unit %d short of need but completed at %v", j, u.CompletedAt)
+				}
+			}
+			if res.Useful != sum.Sum() {
+				t.Errorf("useful %v ≠ per-unit sum %v: a unit credited twice or dropped",
+					res.Useful, sum.Sum())
+			}
+		}()
+	}
+	wg.Wait()
+}

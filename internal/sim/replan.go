@@ -32,9 +32,11 @@ type DecisionReport struct {
 	Survivors int     `json:"survivors"`
 	// Dropped lists computers that became unavailable since the previous
 	// event (crashed, or entered an outage); Restored lists computers that
-	// came back.
+	// came back; Joined lists machines that entered the cluster for the
+	// first time at this event (elastic plans only).
 	Dropped  []int `json:"dropped,omitempty"`
 	Restored []int `json:"restored,omitempty"`
+	Joined   []int `json:"joined,omitempty"`
 	// DropPrices prices each drop in O(1) against the running round's
 	// evaluator — the capacity the cluster lost, before any rescan.
 	DropPrices []DropPrice `json:"drop_prices,omitempty"`
@@ -115,6 +117,9 @@ func SimulateFaulty(ctx context.Context, m model.Params, p profile.Profile, life
 	if err := plan.Validate(len(p)); err != nil {
 		return DegradedReport{}, err
 	}
+	if plan.NumJoins() > 0 {
+		return DegradedReport{}, fmt.Errorf("sim: plan contains join events; use SimulateElastic")
+	}
 	rep := DegradedReport{Lifespan: lifespan, FaultFree: core.W(m, p, lifespan), Replan: replan}
 	if err := ctx.Err(); err != nil {
 		return rep, err
@@ -134,7 +139,7 @@ func SimulateFaulty(ctx context.Context, m model.Params, p profile.Profile, life
 		rep.finish()
 		return rep, nil
 	}
-	return replanSimulate(ctx, m, p, lifespan, plan, rep)
+	return replanSimulate(ctx, m, p, lifespan, plan, rep, opt)
 }
 
 // round is one adopted dispatch round of the replanner, together with its
@@ -152,15 +157,25 @@ type round struct {
 // fault event it compares the exact rollout of the in-flight round against
 // abandoning it for a fresh optimal round on the current survivors (itself
 // rolled out under the remaining faults), and adopts the better branch.
-func replanSimulate(ctx context.Context, m model.Params, p profile.Profile, lifespan float64, plan fault.Plan, rep DegradedReport) (DegradedReport, error) {
+// opt's jitter perturbs each round's execution (the planner allocates from
+// nominal speeds, the world runs the perturbed ones).
+func replanSimulate(ctx context.Context, m model.Params, p profile.Profile, lifespan float64, plan fault.Plan, rep DegradedReport, opt Options) (DegradedReport, error) {
 	tl, err := fault.Compile(plan, len(p))
 	if err != nil {
 		return rep, err
 	}
+	// Elastic plans extend the cluster: joined machines carry their own ρ
+	// and sit past the base indices. The compiled timeline keeps them down
+	// until their join instant, so membership below needs no special cases.
+	pExt := p
+	if j := plan.NumJoins(); j > 0 {
+		pExt = make(profile.Profile, 0, len(p)+j)
+		pExt = append(append(pExt, p...), plan.JoinRhos(len(p))...)
+	}
 
 	launch := func(s float64) (round, *incr.Evaluator, []int, error) {
 		var members []int
-		for i := range p {
+		for i := range pExt {
 			if !tl.Down(i, s) {
 				members = append(members, i)
 			}
@@ -171,7 +186,7 @@ func replanSimulate(ctx context.Context, m model.Params, p profile.Profile, life
 		eff := make(profile.Profile, len(members))
 		planRho := make(profile.Profile, len(members))
 		for j, i := range members {
-			eff[j] = p[i] * tl.DriftMult(i, s)
+			eff[j] = pExt[i] * tl.DriftMult(i, s)
 			// The gap-free allocation recurrence is valid for any positive ρ
 			// and gets the unclamped degraded speeds; the incr evaluator's
 			// normalized domain gets them clamped to ρ ≤ 1.
@@ -186,11 +201,11 @@ func replanSimulate(ctx context.Context, m model.Params, p profile.Profile, life
 			return round{}, nil, nil, err
 		}
 		pr := Protocol{Order: identity(len(members)), Alloc: alloc}
-		res, err := RunCEPFaulty(m, eff, pr, shiftPlan(plan, s, members, len(p)), Options{})
+		res, err := RunCEPFaulty(m, eff, pr, shiftPlan(plan, s, members, len(pExt)), opt)
 		if err != nil {
 			return round{}, nil, nil, err
 		}
-		idx := make([]int, len(p))
+		idx := make([]int, len(pExt))
 		for i := range idx {
 			idx[i] = -1
 		}
@@ -204,9 +219,13 @@ func replanSimulate(ctx context.Context, m model.Params, p profile.Profile, life
 	if err != nil {
 		return rep, err
 	}
-	prevAvail := make([]bool, len(p))
+	// everUp distinguishes a join (first time up) from a restoration when a
+	// machine turns available at an event.
+	prevAvail := make([]bool, len(pExt))
+	everUp := make([]bool, len(pExt))
 	for i := range prevAvail {
-		prevAvail[i] = true
+		prevAvail[i] = !tl.Down(i, 0)
+		everUp[i] = prevAvail[i]
 	}
 	var banked, dispatched float64
 	adopt := func(r round) {
@@ -229,8 +248,8 @@ func replanSimulate(ctx context.Context, m model.Params, p profile.Profile, life
 			return rep, err
 		}
 		dec := DecisionReport{At: e}
-		avail := make([]bool, len(p))
-		for i := range p {
+		avail := make([]bool, len(pExt))
+		for i := range pExt {
 			avail[i] = !tl.Down(i, e)
 			if avail[i] {
 				dec.Survivors++
@@ -243,7 +262,14 @@ func replanSimulate(ctx context.Context, m model.Params, p profile.Profile, life
 					}
 				}
 			} else if !prevAvail[i] && avail[i] {
-				dec.Restored = append(dec.Restored, i)
+				if everUp[i] {
+					dec.Restored = append(dec.Restored, i)
+				} else {
+					dec.Joined = append(dec.Joined, i)
+				}
+			}
+			if avail[i] {
+				everUp[i] = true
 			}
 		}
 		prevAvail = avail
@@ -314,6 +340,11 @@ func shiftPlan(plan fault.Plan, s float64, members []int, n int) fault.Plan {
 					Kind: fault.Slowdown, Computer: j, At: f.At - s, Factor: f.Factor,
 				})
 			}
+		case fault.Join:
+			// Joins are membership, not degradation: a round's members are
+			// already joined (their speeds are in its profile), and a
+			// non-member's future join triggers its own event, never a fault
+			// inside this round.
 		}
 	}
 	return out
