@@ -12,7 +12,7 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/incr ./internal/api ./internal/fault ./internal/sim
+	$(GO) test -race ./internal/incr ./internal/api ./internal/cluster ./internal/fault ./internal/sim
 
 bench: BENCH_incr.json BENCH_fault.json BENCH_serve.json BENCH_batch.json
 	$(GO) test -bench=. -benchmem ./...
@@ -33,12 +33,15 @@ BENCH_fault.json: FORCE
 	$(GO) run ./cmd/benchfault > $@
 
 # Perf certificate for the serving hot path: sharded singleflight cache,
-# raw-query front layer, zero-alloc measure path, admission batcher. The
-# mixed (thundering herd) regime must show ≥3× throughput over the
-# single-lock baseline; many_clients (distinct-key herd) must certify ≥2×
-# coalesced-over-uncoalesced benchstat-style (≥5 paired samples, 95% CI low
-# end). checkbench also holds thresholded regimes to ≥70% of the committed
-# bench_history/ speedups.
+# raw-query front layer, zero-alloc measure path, admission batcher,
+# distributed cache tier. The mixed (thundering herd) regime must show ≥3×
+# throughput over the single-lock baseline; many_clients (distinct-key herd)
+# must certify ≥2× coalesced-over-uncoalesced benchstat-style (≥5 paired
+# samples, 95% CI low end); fleet (4 peer replicas vs the same fleet with no
+# tier) must certify ≥2× wall clock the same way AND ≤1.25 evaluations per
+# distinct key fleet-wide, re-derived by checkbench from the raw eval
+# counters. checkbench also holds thresholded regimes to ≥70% of the
+# committed bench_history/ speedups.
 BENCH_serve.json: FORCE
 	$(GO) run ./cmd/benchserve > $@
 
@@ -63,12 +66,15 @@ check: lint
 # Chaos suite: the fault/replan/elastic property tests, repeated under the
 # race detector to shake out both nondeterminism and data races. The fault
 # package's own tests all exercise the fault machinery, so it runs whole;
-# the closing sweep drives the full elastic-churn study (both regimes, all
-# four policies) end to end through the CLI.
+# the churn sweep drives the full elastic-churn study (both regimes, all
+# four policies) end to end through the CLI; the closing benchserve drill
+# kills one replica of a live peer-cache fleet mid-run and requires every
+# request to survive byte-identically through hedges and local fallback.
 chaos:
-	$(GO) test -race -count=3 ./internal/fault
-	$(GO) test -race -count=3 -run 'Chaos|Fault|Replan|Elastic|Redundant' ./internal/sim ./internal/api
+	$(GO) test -race -count=3 ./internal/fault ./internal/cluster
+	$(GO) test -race -count=3 -run 'Chaos|Fault|Replan|Elastic|Redundant|Peer' ./internal/sim ./internal/api
 	$(GO) run ./cmd/hetero churn -n 6 -L 1200 -seeds 5
+	$(GO) run ./cmd/benchserve -fleet-chaos > /dev/null
 
 vet:
 	$(GO) vet ./...

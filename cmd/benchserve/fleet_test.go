@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFleetConvergesToOneEvalPerKey is the fleet-harness smoke: a 2-replica
+// peer fleet driven with the rotating round-robin client must evaluate each
+// distinct key exactly once fleet-wide (first toucher evaluates and pushes
+// to the owner; every later touch is a local or peer hit), with every body
+// byte-identical to a solo server's evaluation — driveFleet panics on any
+// divergence. Hedging is disabled so the request count is deterministic.
+func TestFleetConvergesToOneEvalPerKey(t *testing.T) {
+	queries := fleetQueries(3, 6000)
+	want := goldenBodies(queries)
+	f := startFleet(2, true, -1, 2*time.Second)
+	defer f.close()
+	driveFleet(f, queries, 2, 2, want, func(p, i int) int { return (i + p) % 2 }, nil)
+	if got := f.evals(); got != uint64(len(queries)) {
+		t.Fatalf("fleet evaluated %d times for %d distinct keys, want exactly one each", got, len(queries))
+	}
+}
+
+// TestFleetBaselineReEvaluatesEverywhere pins the other side of the pairing:
+// without the tier the same drive pays one evaluation per (key, replica)
+// visit, the amplification the certificate's baseline counters must show.
+func TestFleetBaselineReEvaluatesEverywhere(t *testing.T) {
+	queries := fleetQueries(3, 6000)
+	want := goldenBodies(queries)
+	f := startFleet(2, false, 0, 0)
+	defer f.close()
+	driveFleet(f, queries, 2, 2, want, func(p, i int) int { return (i + p) % 2 }, nil)
+	if got, wantN := f.evals(), uint64(2*len(queries)); got != wantN {
+		t.Fatalf("no-peer fleet evaluated %d times, want %d (one per key per replica)", got, wantN)
+	}
+}

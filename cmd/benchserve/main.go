@@ -1,6 +1,6 @@
 // Command benchserve certifies the serving hot-path overhaul. It drives the
 // /v1/measure path in-process (through api.Server.MeasureQuery, free of
-// net/http overhead) under five load regimes:
+// net/http overhead) under six load regimes:
 //
 //	hit           concurrent requests over a warm working set of small
 //	              profiles
@@ -16,6 +16,14 @@
 //	              shape, which singleflight cannot coalesce. Measures the
 //	              cross-request admission batcher (EnableCoalesce) against
 //	              the same server without it.
+//	fleet         a round-robin client over four in-process replicas with
+//	              the distributed cache tier on vs. the same fleet without
+//	              it (see fleet.go): certifies both cross-replica hit
+//	              amplification (≈ 1 evaluation per distinct key fleet-wide
+//	              instead of ≈ one per replica) and the wall-clock speedup,
+//	              benchstat-style. -fleet-chaos runs the availability drill
+//	              instead: one replica dies mid-run and every request must
+//	              still be served byte-identically (`make chaos`).
 //
 // The first four regimes run against two servers built from the same code:
 // the tuned configuration (sharded cache, singleflight coalescing,
@@ -97,6 +105,20 @@ type RegimeResult struct {
 	TunedAllocsPerOp  float64 `json:"tuned_allocs_per_op"`
 	Threshold         float64 `json:"threshold,omitempty"`
 	MeetsThreshold    bool    `json:"meets_threshold"`
+
+	// Fleet-regime extras (see fleet.go): raw evaluation counters summed
+	// over all samples, and the per-distinct-key amplification they derive
+	// to — FleetEvals / (DistinctKeys × Samples) — gated at AmpThreshold.
+	// cmd/checkbench re-derives the division and rejects a certificate whose
+	// recorded amplification disagrees with its own counters.
+	Replicas              int     `json:"replicas,omitempty"`
+	DistinctKeys          int     `json:"distinct_keys,omitempty"`
+	Passes                int     `json:"passes,omitempty"`
+	FleetEvals            uint64  `json:"fleet_evals,omitempty"`
+	BaselineEvals         uint64  `json:"baseline_evals,omitempty"`
+	Amplification         float64 `json:"amplification,omitempty"`
+	BaselineAmplification float64 `json:"baseline_amplification,omitempty"`
+	AmpThreshold          float64 `json:"amp_threshold,omitempty"`
 }
 
 // Report is the BENCH_serve.json document.
@@ -109,7 +131,22 @@ type Report struct {
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink every regime (smoke test; ratios not certified)")
+	fleetChaos := flag.Bool("fleet-chaos", false, "run only the fleet chaos drill: kill one replica mid-run and require every request to survive byte-identically (see `make chaos`)")
 	flag.Parse()
+	if *fleetChaos {
+		if runtime.GOMAXPROCS(0) < 16 {
+			runtime.GOMAXPROCS(16)
+		}
+		rep := Report{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Pass: true}
+		rep.Regimes = append(rep.Regimes, runFleetChaos())
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	rep := buildReport(*quick)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -214,6 +251,12 @@ func buildReport(quick bool) Report {
 		rep.Pass = false
 	}
 	rep.Regimes = append(rep.Regimes, mc)
+
+	fl := runFleet(quick)
+	if !fl.MeetsThreshold {
+		rep.Pass = false
+	}
+	rep.Regimes = append(rep.Regimes, fl)
 	return rep
 }
 

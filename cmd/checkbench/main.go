@@ -251,6 +251,13 @@ func checkRegime(regime map[string]interface{}) error {
 	if _, isChurn := regime["useful_replan"]; isChurn {
 		return checkChurnRegime(regime)
 	}
+	if _, isFleet := regime["fleet_evals"]; isFleet {
+		// The amplification gate is extra; the fleet regime then falls
+		// through to the ordinary CI gate below for its wall-clock claim.
+		if err := checkFleetRegime(regime); err != nil {
+			return err
+		}
+	}
 	threshold, hasThreshold := regime["threshold"].(float64)
 	ciLow, hasCI := regime["speedup_ci_low"].(float64)
 	if !hasCI {
@@ -269,6 +276,45 @@ func checkRegime(regime map[string]interface{}) error {
 	}
 	if ciLow < threshold {
 		return fmt.Errorf("regime %v: speedup CI low %.3f misses threshold %.3f", name, ciLow, threshold)
+	}
+	return nil
+}
+
+// checkFleetRegime validates cmd/benchserve's distributed-cache-tier regime.
+// The hit-amplification claim is re-derived from the raw evaluation counters
+// rather than trusted: amplification must equal fleet_evals /
+// (distinct_keys × samples) and sit within amp_threshold, and the no-peer
+// baseline must actually have paid near one cold evaluation per replica per
+// key (≥ 75% of replicas) — otherwise the wall-clock ratio was measured
+// against a baseline that wasn't doing the work the certificate claims.
+func checkFleetRegime(regime map[string]interface{}) error {
+	name := regime["name"]
+	evals, okE := regime["fleet_evals"].(float64)
+	baseEvals, okB := regime["baseline_evals"].(float64)
+	keys, okK := regime["distinct_keys"].(float64)
+	samples, okS := regime["samples"].(float64)
+	ampMax, okT := regime["amp_threshold"].(float64)
+	replicas, okR := regime["replicas"].(float64)
+	if !okE || !okB || !okK || !okS || !okT || !okR ||
+		keys <= 0 || samples <= 0 || ampMax <= 0 || replicas < 2 {
+		return fmt.Errorf("regime %v missing raw fleet fields", name)
+	}
+	if int(samples) < minSamples {
+		return fmt.Errorf("regime %v certified from %d samples, need ≥ %d (was it generated with -quick?)",
+			name, int(samples), minSamples)
+	}
+	derived := evals / (keys * samples)
+	if reported, ok := regime["amplification"].(float64); ok &&
+		!(derived <= reported*1.001+1e-9 && derived >= reported*0.999-1e-9) {
+		return fmt.Errorf("regime %v: reported amplification %.3f disagrees with raw counters (%.3f)",
+			name, reported, derived)
+	}
+	if derived > ampMax {
+		return fmt.Errorf("regime %v: hit amplification %.3f exceeds threshold %.3f", name, derived, ampMax)
+	}
+	if baseAmp := baseEvals / (keys * samples); baseAmp < 0.75*replicas {
+		return fmt.Errorf("regime %v: baseline amplification %.3f is below 0.75× replicas (%.0f) — the no-peer baseline did not pay its cold misses",
+			name, baseAmp, replicas)
 	}
 	return nil
 }

@@ -66,6 +66,33 @@ func TestCheckDoc(t *testing.T) {
 		{"churn zero replan salvage", `{"pass": true, "regimes": [{"name": "churn", "meets_threshold": true,
 			"threshold": 1.2, "seeds": 5, "useful_replan": 0, "useful_redundant": 150, "speedup": 1.5,
 			"empty_plan_overhead": 2.0, "overhead_threshold": 2, "overhead_ok": true}]}`, true},
+		{"fleet regime met", `{"pass": true, "regimes": [{"name": "fleet", "meets_threshold": true,
+			"threshold": 2, "samples": 5, "speedup": 2.3, "speedup_ci_low": 2.1, "replicas": 4,
+			"distinct_keys": 20, "passes": 4, "fleet_evals": 100, "baseline_evals": 400,
+			"amplification": 1.0, "baseline_amplification": 4.0, "amp_threshold": 1.25}]}`, false},
+		{"fleet forged amplification disagrees with raw counters", `{"pass": true, "regimes": [{"name": "fleet",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 2.3, "speedup_ci_low": 2.1,
+			"replicas": 4, "distinct_keys": 20, "passes": 4, "fleet_evals": 180, "baseline_evals": 400,
+			"amplification": 1.0, "baseline_amplification": 4.0, "amp_threshold": 1.25}]}`, true},
+		{"fleet amplification over threshold despite forged flag", `{"pass": true, "regimes": [{"name": "fleet",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 2.3, "speedup_ci_low": 2.1,
+			"replicas": 4, "distinct_keys": 20, "passes": 4, "fleet_evals": 180, "baseline_evals": 400,
+			"amplification": 1.8, "baseline_amplification": 4.0, "amp_threshold": 1.25}]}`, true},
+		{"fleet lazy baseline cannot certify", `{"pass": true, "regimes": [{"name": "fleet",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 2.3, "speedup_ci_low": 2.1,
+			"replicas": 4, "distinct_keys": 20, "passes": 4, "fleet_evals": 100, "baseline_evals": 120,
+			"amplification": 1.0, "baseline_amplification": 1.2, "amp_threshold": 1.25}]}`, true},
+		{"fleet quick run cannot certify", `{"pass": true, "regimes": [{"name": "fleet",
+			"meets_threshold": true, "threshold": 2, "samples": 2, "speedup": 2.3, "speedup_ci_low": 2.1,
+			"replicas": 2, "distinct_keys": 4, "passes": 2, "fleet_evals": 8, "baseline_evals": 16,
+			"amplification": 1.0, "baseline_amplification": 2.0, "amp_threshold": 1.25}]}`, true},
+		{"fleet ci low under wall-clock threshold despite clean counters", `{"pass": true, "regimes": [{"name": "fleet",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 2.3, "speedup_ci_low": 1.7,
+			"replicas": 4, "distinct_keys": 20, "passes": 4, "fleet_evals": 100, "baseline_evals": 400,
+			"amplification": 1.0, "baseline_amplification": 4.0, "amp_threshold": 1.25}]}`, true},
+		{"fleet missing raw counters", `{"pass": true, "regimes": [{"name": "fleet",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 2.3, "speedup_ci_low": 2.1,
+			"fleet_evals": 100, "amplification": 1.0}]}`, true},
 	}
 	for _, tc := range cases {
 		path := writeDoc(t, "doc.json", tc.content)

@@ -34,16 +34,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hetero/internal/api"
+	"hetero/internal/cluster"
 )
 
 func main() {
@@ -75,7 +78,21 @@ func run(args []string) error {
 	coalesce := fs.Bool("coalesce", false, "batch concurrent /v1/measure cache misses for distinct keys into shared evaluations (off: byte-for-byte historical behavior)")
 	coalesceMax := fs.Int("coalesce-max", api.DefaultCoalesceMaxBatch, "seal a coalesced flush at this many items (with -coalesce)")
 	coalesceWait := fs.Duration("coalesce-wait", api.DefaultCoalesceMaxWait, "seal a coalesced flush when its oldest item has waited this long (with -coalesce)")
+	peers := fs.String("peers", "", "comma-separated fleet membership, host:port per replica (every replica gets the identical list); empty disables the peer cache tier")
+	self := fs.String("self", "", "this replica's own address within -peers (required with -peers)")
+	peerHedgeDelay := fs.Duration("peer-hedge-delay", cluster.DefaultHedgeDelay, "delay before the hedged second peer request (0 = default, negative disables hedging)")
+	peerTimeout := fs.Duration("peer-timeout", cluster.DefaultTimeout, "bound on one whole peer fetch or push; expiry falls back to local evaluation")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	maxBodySet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "max-body" {
+			maxBodySet = true
+		}
+	})
+	tier, err := buildClusterTier(*peers, *self, *peerHedgeDelay, *peerTimeout)
+	if err != nil {
 		return err
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -111,15 +128,13 @@ func run(args []string) error {
 		Coalesce: true,
 		Adaptive: *cacheAdaptive,
 	})
-	apiSrv.MaxBody = *maxBody
-	if *maxBatchBody > 0 {
-		// Honor the deprecated flag when the new one was left at its default.
-		if *maxBody == api.DefaultMaxBody {
-			apiSrv.MaxBody = *maxBatchBody
-		}
-		log.Printf("heterod: -max-batch-body is deprecated; use -max-body")
-	}
+	apiSrv.MaxBody = resolveMaxBody(*maxBody, maxBodySet, *maxBatchBody, os.Stderr)
 	apiSrv.StreamBatchThreshold = *streamBatchThreshold
+	if tier != nil {
+		apiSrv.EnableCluster(tier)
+		log.Printf("heterod fleet tier: self=%s replicas=%d hedge=%s timeout=%s",
+			tier.Self(), tier.Ring().Size(), tier.HedgeDelay(), tier.Timeout())
+	}
 	apiSrv.Serving = api.ServingConfig{
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queueDepth,
@@ -141,6 +156,44 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return serve(ctx, ln, srv, *grace, apiSrv.CloseCoalesce)
+}
+
+// resolveMaxBody unifies -max-body with its deprecated -max-batch-body
+// alias: an explicitly set -max-body always wins (maxBodySet reports whether
+// the flag appeared on the command line), otherwise a set alias applies.
+// Using the alias at all earns a one-line deprecation warning on warn.
+func resolveMaxBody(maxBody int, maxBodySet bool, maxBatchBody int, warn io.Writer) int {
+	if maxBatchBody > 0 {
+		fmt.Fprintln(warn, "heterod: -max-batch-body is deprecated; use -max-body")
+		if !maxBodySet {
+			return maxBatchBody
+		}
+	}
+	return maxBody
+}
+
+// buildClusterTier validates and builds the peer cache tier from the fleet
+// flags; (nil, nil) when clustering is off.
+func buildClusterTier(peers, self string, hedge, timeout time.Duration) (*cluster.Peers, error) {
+	if peers == "" {
+		if self != "" {
+			return nil, errors.New("-self requires -peers")
+		}
+		return nil, nil
+	}
+	if self == "" {
+		return nil, errors.New("-peers requires -self")
+	}
+	list := strings.Split(peers, ",")
+	for i := range list {
+		list[i] = strings.TrimSpace(list[i])
+	}
+	return cluster.New(cluster.Config{
+		Self:       strings.TrimSpace(self),
+		Peers:      list,
+		HedgeDelay: hedge,
+		Timeout:    timeout,
+	})
 }
 
 // pprofHandler builds the mux served on -pprof-addr. The handlers are

@@ -34,9 +34,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"hetero/internal/catalog"
+	"hetero/internal/cluster"
 	"hetero/internal/core"
 	"hetero/internal/model"
 	"hetero/internal/profile"
@@ -77,6 +80,12 @@ type Server struct {
 	rawCache             *responseCache  // raw-query front layer for large queries
 	batchRawCache        *responseCache  // raw body-front layer for /v1/batch
 	batcher              *measureBatcher // cross-request coalescing admission batcher (nil = off)
+	cluster              *cluster.Peers  // fleet cache tier (nil = single-replica)
+	measureEvals         atomic.Uint64   // measure-path profile evaluations (inline + flush)
+	servedGets           atomic.Uint64   // peer gets answered with cached bytes
+	servedGetMisses      atomic.Uint64   // peer gets answered 404 (cold)
+	acceptedPuts         atomic.Uint64   // peer puts admitted to a cache layer
+	rejectedPuts         atomic.Uint64   // peer puts refused (ownership, framing, key)
 	batchRequests        atomic.Uint64
 	batchProfiles        atomic.Uint64
 	batchProfilesUnknown atomic.Uint64
@@ -98,6 +107,9 @@ type Server struct {
 	panics      atomic.Uint64
 	deadlines   atomic.Uint64
 	inFlight    atomic.Int64
+
+	startOnce sync.Once // pins started on first Handler/uptime call
+	started   time.Time
 }
 
 // NewServer returns a server defaulting to Table 1 parameters with the
@@ -211,6 +223,7 @@ func (s *Server) Handler() http.Handler {
 		s.batchRawCache = newResponseCache(s.cache.capacity)
 	}
 	s.initServing()
+	s.markStarted()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/measure", s.handleMeasure)
@@ -222,6 +235,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/simulate/faulty", s.handleSimulateFaulty)
 	mux.HandleFunc("/v1/simulate/elastic", s.handleSimulateElastic)
 	mux.HandleFunc("/v1/statz", s.handleStatz)
+	mux.HandleFunc(cluster.PeerGetPath, s.handlePeerGet)
+	mux.HandleFunc(cluster.PeerPutPath, s.handlePeerPut)
 	mux.HandleFunc("/", handleNotFound) // JSON 404s, matching every error path
 	return s.wrap(mux)
 }
@@ -432,13 +447,17 @@ type ServingStats struct {
 	QueueDepth       int    `json:"queue_depth"`
 }
 
-// StatzResponse is the /v1/statz payload.
+// StatzResponse is the /v1/statz payload. UptimeSeconds and Build identify
+// and age one replica of a fleet; Cluster reports the peer cache tier.
 type StatzResponse struct {
-	MeasureCache CacheStats    `json:"measure_cache"`
-	Batch        BatchStats    `json:"batch"`
-	Coalesce     CoalesceStats `json:"coalesce"`
-	Simulate     SimulateStats `json:"simulate"`
-	Serving      ServingStats  `json:"serving"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Build         BuildInfo     `json:"build"`
+	MeasureCache  CacheStats    `json:"measure_cache"`
+	Batch         BatchStats    `json:"batch"`
+	Coalesce      CoalesceStats `json:"coalesce"`
+	Simulate      SimulateStats `json:"simulate"`
+	Cluster       ClusterStats  `json:"cluster"`
+	Serving       ServingStats  `json:"serving"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -496,9 +515,12 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, StatzResponse{
-		MeasureCache: cs,
-		Batch:        bs,
-		Coalesce:     co,
+		UptimeSeconds: s.uptime().Seconds(),
+		Build:         buildInfo(),
+		MeasureCache:  cs,
+		Batch:         bs,
+		Coalesce:      co,
+		Cluster:       s.clusterStats(),
 		Simulate: SimulateStats{
 			FaultyRequests:    s.faultyRequests.Load(),
 			ElasticRequests:   s.elasticRequests.Load(),

@@ -1,0 +1,53 @@
+package api
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// BuildInfo is the /v1/statz build block: enough to tell the replicas of a
+// heterogeneous fleet apart when diagnosing skew (a hedge-win imbalance is
+// read very differently when the slow replica runs last week's build).
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	VCS       string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+// buildInfo reads the binary's embedded build metadata once; the values are
+// process-constant.
+var buildInfo = sync.OnceValue(func() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	bi.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.VCS = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+})
+
+// markStarted pins the uptime epoch to the first Handler construction (the
+// moment the replica starts serving); uptime falls back to the first statz
+// read for servers driven without Handler.
+func (s *Server) markStarted() {
+	s.startOnce.Do(func() { s.started = time.Now() })
+}
+
+// uptime reports how long this replica has been serving.
+func (s *Server) uptime() time.Duration {
+	s.markStarted()
+	return time.Since(s.started)
+}

@@ -1,0 +1,168 @@
+package api
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// bodyForBudgetKey derives a ~300-byte body from its key so any entry found
+// in the cache can be verified against its key alone, no matter how many
+// resizes and evictions it survived.
+func bodyForBudgetKey(key string) []byte {
+	return []byte(fmt.Sprintf(`{"key":%q,"pad":%q}`, key, strings.Repeat(key, 280/len(key))))
+}
+
+// auditShardBudgets walks every shard under the resize epoch and checks the
+// byte-budget invariants an entry surviving a resize must respect: the
+// shard's resident bytes never exceed its per-shard budget, and the bytes
+// account reconciles exactly with the sum of its entries' costs. It returns
+// the audited totals.
+func auditShardBudgets(t *testing.T, c *responseCache) (entries int, bytesTotal int64) {
+	t.Helper()
+	c.resizeMu.RLock()
+	defer c.resizeMu.RUnlock()
+	for i := range c.set.shards {
+		sh := &c.set.shards[i]
+		sh.mu.Lock()
+		if sh.byteBudget > 0 && sh.bytes > sh.byteBudget {
+			sh.mu.Unlock()
+			t.Fatalf("shard %d holds %d bytes over its budget %d", i, sh.bytes, sh.byteBudget)
+		}
+		var sum int64
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			sum += entryCost(e.key, e.body)
+			if !bytes.Equal(e.body, bodyForBudgetKey(e.key)) {
+				sh.mu.Unlock()
+				t.Fatalf("shard %d entry %q corrupted", i, e.key)
+			}
+		}
+		if sum != sh.bytes {
+			sh.mu.Unlock()
+			t.Fatalf("shard %d bytes account drifted: recorded %d, recomputed %d", i, sh.bytes, sum)
+		}
+		entries += sh.order.Len()
+		bytesTotal += sh.bytes
+		sh.mu.Unlock()
+	}
+	return entries, bytesTotal
+}
+
+// TestResizeRoundTripUnderByteBudget is the -race contract for the full
+// grow-then-shrink round trip with the byte budget ACTIVE (small enough that
+// evictions run throughout): entries surviving each migration must respect
+// the per-shard budgets with an exactly-reconciling bytes account, bodies
+// must stay key-consistent, and a concurrent herd on a fresh key must still
+// evaluate exactly once per key even while migrations and budget evictions
+// interleave with the flights.
+func TestResizeRoundTripUnderByteBudget(t *testing.T) {
+	const (
+		keyspace   = 1024
+		goroutines = 8
+		iters      = 300
+		budget     = 64 << 10 // holds ~200 of the ~330-byte entries: evictions guaranteed
+	)
+	c := newCache(cacheOptions{entries: 4096, maxBytes: budget, coalesce: true, adaptive: true})
+	c.checkEvery = 8
+	base := c.Shards()
+
+	// Phase 1 — grow under contention while the budget evicts. Keys may be
+	// legitimately re-evaluated here (the budget evicts them between visits),
+	// so correctness is body-vs-key, not eval counts.
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				k := (g + it*goroutines) % keyspace
+				key := fmt.Sprintf("budget|%04d", k)
+				h := hashString(key)
+				body, ok := c.lookupStr(h, key)
+				if !ok {
+					var err error
+					body, _, err = c.fillStr(h, key, func() ([]byte, error) {
+						return bodyForBudgetKey(key), nil
+					})
+					if err != nil {
+						t.Errorf("fill %s: %v", key, err)
+						return
+					}
+				}
+				if !bytes.Equal(body, bodyForBudgetKey(key)) {
+					t.Errorf("key %s served wrong body", key)
+					return
+				}
+				c.maybeResize()
+			}
+		}(g)
+	}
+	wg.Wait()
+	grown := c.Shards()
+	if grown <= base {
+		t.Fatalf("no adaptive growth (%d → %d): the round trip is vacuous", base, grown)
+	}
+	ct := c.counters()
+	if ct.evicted == 0 {
+		t.Fatalf("no evictions with a %d-byte budget: the budget was never active", budget)
+	}
+	if _, total := auditShardBudgets(t, c); total > budget {
+		t.Fatalf("resident bytes %d exceed the cache budget %d after growth", total, budget)
+	}
+
+	// Phase 2 — shrink: same traffic, windows now classified cold. Herd
+	// rounds ride along: all goroutines fill one fresh key concurrently and
+	// it must evaluate exactly once, flights interleaving with downward
+	// migrations and evictions.
+	c.hotWindow = 0
+	c.shrinkIdle = 0
+	const herdRounds = 64
+	var herdEvals [herdRounds]atomic.Int64
+	for round := 0; round < herdRounds; round++ {
+		key := fmt.Sprintf("budget|herd-%04d", round)
+		h := hashString(key)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body, _, err := c.fillStr(h, key, func() ([]byte, error) {
+					herdEvals[round].Add(1)
+					return bodyForBudgetKey(key), nil
+				})
+				if err != nil {
+					t.Errorf("herd fill %s: %v", key, err)
+					return
+				}
+				if !bytes.Equal(body, bodyForBudgetKey(key)) {
+					t.Errorf("herd key %s served wrong body", key)
+				}
+				c.maybeResize()
+			}()
+		}
+		wg.Wait()
+		// Background gets keep cold windows crossing so shrink evaluations
+		// actually trigger between herds.
+		for i := 0; i < 32; i++ {
+			c.Get(fmt.Sprintf("budget|%04d", i))
+			c.maybeResize()
+		}
+	}
+	for round := range herdEvals {
+		if n := herdEvals[round].Load(); n != 1 {
+			t.Fatalf("herd round %d evaluated %d times, want exactly once", round, n)
+		}
+	}
+	if got := c.Shards(); got >= grown {
+		t.Fatalf("no shrink after contention subsided (still %d shards, grew to %d)", got, grown)
+	}
+	if _, total := auditShardBudgets(t, c); total > budget {
+		t.Fatalf("resident bytes %d exceed the cache budget %d after shrink", total, budget)
+	}
+	if after := c.counters(); after.resizes < 2 {
+		t.Fatalf("resizes %d cannot cover a grow-then-shrink round trip", after.resizes)
+	}
+}

@@ -407,6 +407,7 @@ func (b *measureBatcher) flush(batch []coalesceItem) {
 			b.sharedItems.Add(uint64(groupItems[g]))
 		}
 	}
+	b.srv.measureEvals.Add(uint64(len(evalItems)))
 	measures := incr.CoalescedMeasure(evalItems, uniques, 0)
 
 	// Phase 3: render — echo fragment once per group, tail per item.

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"hetero/internal/cluster"
 	"hetero/internal/incr"
 	"hetero/internal/model"
 	"hetero/internal/profile"
@@ -76,6 +77,13 @@ func (s *Server) MeasureQuery(rawQuery string) (status int, body []byte) {
 // behavior (which small-cache tests pin) is preserved untouched.
 const rawFastPathMinQuery = 4096
 
+// rawFrontEngages reports whether rawQuery is served through the raw-query
+// front cache. The fleet tier keys off this too: a request does its peer
+// fetch/push at the layer it will be cached at, and only there.
+func (s *Server) rawFrontEngages(rawQuery string) bool {
+	return len(rawQuery) >= rawFastPathMinQuery && s.rawCache != nil && s.rawCache.capacity > 0
+}
+
 // statusError carries a non-200 outcome through the raw layer's
 // singleflight so every coalesced waiter of a malformed herd receives the
 // same status and message, and nothing is cached.
@@ -96,12 +104,25 @@ func (e *statusError) Error() string { return e.msg }
 // mapping is deterministic (the response depends only on the query), so a
 // raw entry outliving its canonical twin still serves correct bytes.
 func (s *Server) measure(sc *measureScratch, rawQuery string) (int, []byte, string) {
-	if len(rawQuery) >= rawFastPathMinQuery && s.rawCache != nil && s.rawCache.capacity > 0 {
+	if s.rawFrontEngages(rawQuery) {
 		h := hashString(rawQuery)
 		if body, ok := s.rawCache.lookupStr(h, rawQuery); ok {
 			return 200, body, ""
 		}
 		body, _, err := s.rawCache.fillStr(h, rawQuery, func() ([]byte, error) {
+			// Fleet tier: this exact spelling may already be warm on its
+			// owning replica. A raw-layer peer hit skips the parse entirely —
+			// the whole point of peering this layer — and a fallback remembers
+			// the owner so the locally computed body is offered back to it.
+			var pushOwner string
+			if cl := s.cluster; cl != nil {
+				if owner, self := cl.Owner(h); !self {
+					if b, ok := cl.Fetch(owner, cluster.LayerRaw, []byte(rawQuery)); ok {
+						return b, nil
+					}
+					pushOwner = owner
+				}
+			}
 			// With coalescing on, hand the raw query to the admission batcher
 			// before any parsing: the flush shares the decode, moments and
 			// render across the herd. We are this spelling's flight leader, so
@@ -112,12 +133,18 @@ func (s *Server) measure(sc *measureScratch, rawQuery string) (int, []byte, stri
 					if res.status != 200 {
 						return nil, &statusError{status: res.status, msg: res.msg}
 					}
+					if pushOwner != "" {
+						s.cluster.Push(pushOwner, cluster.LayerRaw, []byte(rawQuery), res.body)
+					}
 					return res.body, nil
 				}
 			}
 			status, body, msg := s.measureCanonical(sc, rawQuery)
 			if status != 200 {
 				return nil, &statusError{status: status, msg: msg}
+			}
+			if pushOwner != "" {
+				s.cluster.Push(pushOwner, cluster.LayerRaw, []byte(rawQuery), body)
 			}
 			return body, nil
 		})
@@ -152,15 +179,42 @@ func (s *Server) measureCanonical(sc *measureScratch, rawQuery string) (int, []b
 	// here exactly as an inline evaluation would be; a rejected submit falls
 	// through to the inline path.
 	body, _, err := s.cache.fill(h, sc.key, func() ([]byte, error) {
+		// Fleet tier: on a miss of a peer-owned key, ask the owner for the
+		// cached bytes before evaluating (hedged; never triggers evaluation
+		// on the owner). Timeout or error falls through to the local paths
+		// below — a degraded fleet serves exactly as a single replica would —
+		// and the locally computed body is then offered back to the owner so
+		// the fleet still converges on one evaluation per key. Each request
+		// consults at most ONE peer layer — the one it will be cached at: a
+		// large query already did its peer work at the raw front above, and
+		// repeating it here would double the (key-sized) upload and the tail
+		// for a fetch that can only hit when the same cluster was warmed
+		// under a different spelling.
+		var pushOwner string
+		if cl := s.cluster; cl != nil && !s.rawFrontEngages(rawQuery) {
+			if owner, self := cl.Owner(h); !self {
+				if b, ok := cl.Fetch(owner, cluster.LayerCanonical, sc.key); ok {
+					return b, nil
+				}
+				pushOwner = owner
+			}
+		}
 		if b := s.batcher; b != nil {
 			if out, ok := b.submitParsed(m, sc.rhos); ok {
+				if pushOwner != "" {
+					s.cluster.Push(pushOwner, cluster.LayerCanonical, sc.key, out)
+				}
 				return out, nil
 			}
 		}
+		s.measureEvals.Add(1)
 		fm := incr.MeasureProfile(m, profile.Profile(sc.rhos), 0)
 		sc.enc = appendMeasureResponse(sc.enc[:0], sc.rhos, fm)
 		out := make([]byte, len(sc.enc))
 		copy(out, sc.enc)
+		if pushOwner != "" {
+			s.cluster.Push(pushOwner, cluster.LayerCanonical, sc.key, out)
+		}
 		return out, nil
 	})
 	if err != nil {

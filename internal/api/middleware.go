@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -88,10 +89,14 @@ func (s *Server) recoverer(next http.Handler) http.Handler {
 }
 
 // exemptFromAdmission lists the paths that must answer even when the server
-// is saturated: liveness probes and the stats page an operator needs to
-// diagnose the saturation.
+// is saturated: liveness probes, the stats page an operator needs to
+// diagnose the saturation, and the peer cache protocol — a saturated
+// replica still answers peer gets cheaply (cache probe, no evaluation), and
+// shedding them would convert fleet-wide hits into fleet-wide evaluations
+// exactly when the fleet is busiest.
 func exemptFromAdmission(path string) bool {
-	return path == "/v1/healthz" || path == "/v1/statz"
+	return path == "/v1/healthz" || path == "/v1/statz" ||
+		strings.HasPrefix(path, "/internal/peer/")
 }
 
 // admission enforces the bounded queue: a request first claims a queue

@@ -1,0 +1,132 @@
+// Package cluster is the distributed cache tier for a heterod fleet: a
+// static-membership consistent-hash ring that assigns every cache key an
+// owner replica, plus an HTTP peer client that fetches cached bytes from the
+// owner with a hedged second request (Dean's tail-at-scale pattern) and
+// pushes locally computed bodies back to the owner.
+//
+// The tier exists so a fleet of R replicas warms each canonical key once
+// instead of R times: a replica that misses locally on a key it does not own
+// asks the owner for the cached bytes before evaluating, and a replica that
+// had to evaluate anyway (the owner was cold or unreachable) offers the
+// result to the owner so the next asker hits. The protocol never triggers
+// evaluation on the owner — /internal/peer/get serves cached bytes only — so
+// a fleet-wide miss can never amplify into a fan-out of evaluations.
+//
+// Membership is static: every replica is started with the same -peers list
+// and its own -self identity, so all rings agree without a coordination
+// service. The ring hashes keys with the same sampled FNV-1a the cache
+// shards use (the caller passes the hash), and hashes members onto the ring
+// through virtual nodes so ownership stays balanced for small fleets.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count. 64 points per
+// member keeps the ownership imbalance of a handful of replicas within a few
+// percent while the ring stays small enough to search in a few cache lines.
+const DefaultVirtualNodes = 64
+
+// Ring is a static-membership consistent-hash ring. Immutable after New, so
+// every method is safe for concurrent use without locks.
+type Ring struct {
+	members []string // sorted, deduplicated replica addresses
+	self    int      // index of this replica in members
+	points  []point  // virtual nodes, sorted by hash
+}
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	hash   uint64
+	member int32
+}
+
+// NewRing builds the ring for a fleet. members is the full replica list
+// (every replica must be started with an identical list for the rings to
+// agree); self must appear in it. vnodes ≤ 0 means DefaultVirtualNodes.
+// Member order does not matter: the list is sorted and deduplicated, so any
+// permutation yields the identical ring.
+func NewRing(self string, members []string, vnodes int) (*Ring, error) {
+	if self == "" {
+		return nil, fmt.Errorf("cluster: self address is empty")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members)+1)
+	list := make([]string, 0, len(members)+1)
+	for _, m := range append(append([]string(nil), members...), self) {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member address in peer list")
+		}
+		if !seen[m] {
+			seen[m] = true
+			list = append(list, m)
+		}
+	}
+	sort.Strings(list)
+	r := &Ring{members: list, self: sort.SearchStrings(list, self)}
+	r.points = make([]point, 0, len(list)*vnodes)
+	for i, m := range list {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: vnodeHash(m, v), member: int32(i)})
+		}
+	}
+	// Ties broken by member index keeps the sort — and therefore ownership —
+	// deterministic even in the (astronomically unlikely) event of a hash
+	// collision between two members' virtual nodes.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return r, nil
+}
+
+// vnodeHash places one virtual node: FNV-1a over "addr#v". It depends only
+// on the member address strings, so identically configured replicas build
+// identical rings.
+func vnodeHash(addr string, v int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime64
+	}
+	h ^= uint64('#')
+	h *= prime64
+	for _, b := range strconv.Itoa(v) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// Owner maps a key hash to its owning replica: the first virtual node at or
+// after the hash, wrapping at the top of the ring. self reports whether this
+// replica is the owner (the caller then skips the peer fetch and evaluates
+// locally, exactly as a non-clustered server would).
+func (r *Ring) Owner(h uint64) (addr string, self bool) {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	m := int(r.points[i].member)
+	return r.members[m], m == r.self
+}
+
+// Members returns the sorted fleet membership (self included).
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Self returns this replica's own address.
+func (r *Ring) Self() string { return r.members[r.self] }
+
+// Size returns the number of replicas in the fleet.
+func (r *Ring) Size() int { return len(r.members) }

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing("", []string{"a:1"}, 0); err == nil {
+		t.Fatal("empty self accepted")
+	}
+	if _, err := NewRing("a:1", []string{"a:1", ""}, 0); err == nil {
+		t.Fatal("empty member accepted")
+	}
+	r, err := NewRing("a:1", nil, 0)
+	if err != nil {
+		t.Fatalf("self-only ring: %v", err)
+	}
+	if r.Size() != 1 || r.Self() != "a:1" {
+		t.Fatalf("self-only ring: size=%d self=%q", r.Size(), r.Self())
+	}
+}
+
+func TestRingPermutationInvariant(t *testing.T) {
+	a, err := NewRing("b:2", []string{"a:1", "b:2", "c:3", "d:4"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing("d:4", []string{"d:4", "c:3", "b:2", "a:1", "d:4"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a.Members()) != fmt.Sprint(b.Members()) {
+		t.Fatalf("memberships differ: %v vs %v", a.Members(), b.Members())
+	}
+	for h := uint64(0); h < 1<<16; h += 97 {
+		oa, _ := a.Owner(h * 0x9e3779b97f4a7c15)
+		ob, _ := b.Owner(h * 0x9e3779b97f4a7c15)
+		if oa != ob {
+			t.Fatalf("owners diverge at h=%d: %q vs %q", h, oa, ob)
+		}
+	}
+}
+
+func TestRingSelfFlag(t *testing.T) {
+	members := []string{"a:1", "b:2", "c:3"}
+	rings := make(map[string]*Ring, len(members))
+	for _, m := range members {
+		r, err := NewRing(m, members, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rings[m] = r
+	}
+	for i := 0; i < 5000; i++ {
+		h := uint64(i) * 0x9e3779b97f4a7c15
+		owner, _ := rings["a:1"].Owner(h)
+		for m, r := range rings {
+			got, self := r.Owner(h)
+			if got != owner {
+				t.Fatalf("ring of %q disagrees on owner of %d: %q vs %q", m, h, got, owner)
+			}
+			if self != (m == owner) {
+				t.Fatalf("ring of %q: self=%v but owner=%q", m, self, owner)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"a:1", "b:2", "c:3", "d:4"}
+	r, err := NewRing("a:1", members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		owner, _ := r.Owner(uint64(i) * 0x9e3779b97f4a7c15)
+		counts[owner]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / n
+		// With 64 vnodes/member over 4 members, shares should sit near 25%;
+		// allow a generous band so the test pins balance, not exact placement.
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("member %q owns %.1f%% of keys (counts=%v)", m, 100*frac, counts)
+		}
+	}
+	if len(counts) != len(members) {
+		t.Fatalf("only %d of %d members own keys: %v", len(counts), len(members), counts)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r, err := NewRing("a:1", []string{"a:1", "b:2"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := r.points[len(r.points)-1].hash
+	if top == ^uint64(0) {
+		t.Skip("top point at max hash; wraparound untestable with this seed")
+	}
+	// Any hash past the last point wraps to the first point's owner.
+	wantOwner := r.members[r.points[0].member]
+	got, _ := r.Owner(top + 1)
+	if got != wantOwner {
+		t.Fatalf("wraparound owner = %q, want %q", got, wantOwner)
+	}
+}
