@@ -12,7 +12,7 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/incr ./internal/api ./internal/cluster ./internal/fault ./internal/sim
+	$(GO) test -race ./internal/incr ./internal/api ./internal/cluster ./internal/fault ./internal/sim ./internal/spill
 
 bench: BENCH_incr.json BENCH_fault.json BENCH_serve.json BENCH_batch.json
 	$(GO) test -bench=. -benchmem ./...
@@ -40,8 +40,12 @@ BENCH_fault.json: FORCE
 # samples, 95% CI low end); fleet (4 peer replicas vs the same fleet with no
 # tier) must certify ≥2× wall clock the same way AND ≤1.25 evaluations per
 # distinct key fleet-wide, re-derived by checkbench from the raw eval
-# counters. checkbench also holds thresholded regimes to ≥70% of the
-# committed bench_history/ speedups.
+# counters. The sweep regime (repeated large streamed batch sweeps, working
+# set past the memory budget) must certify ≥2× spill-on over spill-off wall
+# clock benchstat-style with byte-identical responses, plus a bounded heap
+# peak (≤0.5× the response) while serving a spill hit — both re-derived by
+# checkbench from the raw per-sample fields. checkbench also holds
+# thresholded regimes to ≥70% of the committed bench_history/ speedups.
 BENCH_serve.json: FORCE
 	$(GO) run ./cmd/benchserve > $@
 
@@ -67,14 +71,18 @@ check: lint
 # race detector to shake out both nondeterminism and data races. The fault
 # package's own tests all exercise the fault machinery, so it runs whole;
 # the churn sweep drives the full elastic-churn study (both regimes, all
-# four policies) end to end through the CLI; the closing benchserve drill
-# kills one replica of a live peer-cache fleet mid-run and requires every
-# request to survive byte-identically through hedges and local fallback.
+# four policies) end to end through the CLI; the benchserve -fleet-chaos
+# drill kills one replica of a live peer-cache fleet mid-run and requires
+# every request to survive byte-identically through hedges and local
+# fallback; the -spill-chaos drill bit-flips every on-disk spill segment
+# under a warm tier and requires byte-identical fallback to evaluation
+# (CRC pre-verification turns corruption into a miss, never a bad byte).
 chaos:
-	$(GO) test -race -count=3 ./internal/fault ./internal/cluster
-	$(GO) test -race -count=3 -run 'Chaos|Fault|Replan|Elastic|Redundant|Peer' ./internal/sim ./internal/api
+	$(GO) test -race -count=3 ./internal/fault ./internal/cluster ./internal/spill
+	$(GO) test -race -count=3 -run 'Chaos|Fault|Replan|Elastic|Redundant|Peer|Spill' ./internal/sim ./internal/api
 	$(GO) run ./cmd/hetero churn -n 6 -L 1200 -seeds 5
 	$(GO) run ./cmd/benchserve -fleet-chaos > /dev/null
+	$(GO) run ./cmd/benchserve -spill-chaos > /dev/null
 
 vet:
 	$(GO) vet ./...

@@ -119,6 +119,22 @@ type RegimeResult struct {
 	Amplification         float64 `json:"amplification,omitempty"`
 	BaselineAmplification float64 `json:"baseline_amplification,omitempty"`
 	AmpThreshold          float64 `json:"amp_threshold,omitempty"`
+
+	// Sweep-regime extras (see sweep.go): per-sample paired wall clocks
+	// for the identical streamed sweep against fresh spill-off and
+	// spill-on servers — cmd/checkbench re-derives the speedup and its CI
+	// from these raws rather than trusting the summary — plus the
+	// spill-hit count over every timed pass and the sampled heap peak of
+	// serving one spill hit, gated at PeakBytes ≤ PeakThreshold ×
+	// ResponseBytes (a buffered serve would sit at ≥ 1×).
+	SweepBodies    int     `json:"sweep_bodies,omitempty"`
+	SweepProfiles  int     `json:"sweep_profiles,omitempty"`
+	WallNsSpillOff []int64 `json:"wall_ns_spill_off,omitempty"`
+	WallNsSpillOn  []int64 `json:"wall_ns_spill_on,omitempty"`
+	SpillHits      uint64  `json:"spill_hits,omitempty"`
+	ResponseBytes  int64   `json:"response_bytes,omitempty"`
+	PeakBytes      int64   `json:"peak_bytes,omitempty"`
+	PeakThreshold  float64 `json:"peak_threshold,omitempty"`
 }
 
 // Report is the BENCH_serve.json document.
@@ -132,7 +148,19 @@ type Report struct {
 func main() {
 	quick := flag.Bool("quick", false, "shrink every regime (smoke test; ratios not certified)")
 	fleetChaos := flag.Bool("fleet-chaos", false, "run only the fleet chaos drill: kill one replica mid-run and require every request to survive byte-identically (see `make chaos`)")
+	spillChaos := flag.Bool("spill-chaos", false, "run only the spill chaos drill: bit-flip every on-disk segment under a warm spill tier and require byte-identical fallback to evaluation (see `make chaos`)")
 	flag.Parse()
+	if *spillChaos {
+		rep := Report{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Pass: true}
+		rep.Regimes = append(rep.Regimes, runSpillChaos())
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *fleetChaos {
 		if runtime.GOMAXPROCS(0) < 16 {
 			runtime.GOMAXPROCS(16)
@@ -257,6 +285,12 @@ func buildReport(quick bool) Report {
 		rep.Pass = false
 	}
 	rep.Regimes = append(rep.Regimes, fl)
+
+	sw := runSweep(quick)
+	if !sw.MeetsThreshold {
+		rep.Pass = false
+	}
+	rep.Regimes = append(rep.Regimes, sw)
 	return rep
 }
 

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 )
@@ -258,6 +259,14 @@ func checkRegime(regime map[string]interface{}) error {
 			return err
 		}
 	}
+	if _, isSweep := regime["wall_ns_spill_on"]; isSweep {
+		// The raw wall-clock re-derivation and the peak-memory gate are
+		// extra; the sweep regime then falls through to the ordinary CI
+		// gate below.
+		if err := checkSweepRegime(regime); err != nil {
+			return err
+		}
+	}
 	threshold, hasThreshold := regime["threshold"].(float64)
 	ciLow, hasCI := regime["speedup_ci_low"].(float64)
 	if !hasCI {
@@ -317,6 +326,117 @@ func checkFleetRegime(regime map[string]interface{}) error {
 			name, baseAmp, replicas)
 	}
 	return nil
+}
+
+// checkSweepRegime validates cmd/benchserve's on-disk spill-tier regime.
+// Nothing is trusted: the per-sample off/on wall-time ratios are re-derived
+// from the raw nanosecond arrays and their mean and 95% CI low end must
+// agree with the reported speedup and speedup_ci_low within 0.1% (so a
+// forged summary cannot pass), the sample count is the array length itself
+// (so a -quick run cannot certify), the served-from-disk claim is checked
+// against the raw spill-hit counter, and the bounded-memory claim is
+// re-derived as peak_bytes ≤ peak_threshold × response_bytes.
+func checkSweepRegime(regime map[string]interface{}) error {
+	name := regime["name"]
+	off, okO := floatsOf(regime["wall_ns_spill_off"])
+	on, okN := floatsOf(regime["wall_ns_spill_on"])
+	if !okO || !okN || len(off) == 0 || len(off) != len(on) {
+		return fmt.Errorf("regime %v: malformed raw wall-clock arrays", name)
+	}
+	if len(on) < minSamples {
+		return fmt.Errorf("regime %v certified from %d samples, need ≥ %d (was it generated with -quick?)",
+			name, len(on), minSamples)
+	}
+	ratios := make([]float64, len(on))
+	for i := range on {
+		if on[i] <= 0 || off[i] <= 0 {
+			return fmt.Errorf("regime %v: non-positive wall clock in sample %d", name, i)
+		}
+		ratios[i] = off[i] / on[i]
+	}
+	mean, lo := meanCI95Low(ratios)
+	if reported, ok := regime["speedup"].(float64); ok &&
+		!(mean <= reported*1.001 && mean >= reported*0.999) {
+		return fmt.Errorf("regime %v: reported speedup %.3f disagrees with raw wall clocks (%.3f)",
+			name, reported, mean)
+	}
+	if reported, ok := regime["speedup_ci_low"].(float64); ok &&
+		!(lo <= reported*1.001+1e-9 && lo >= reported*0.999-1e-9) {
+		return fmt.Errorf("regime %v: reported speedup_ci_low %.3f disagrees with raw wall clocks (%.3f)",
+			name, reported, lo)
+	}
+	bodies, okB := regime["sweep_bodies"].(float64)
+	hits, okH := regime["spill_hits"].(float64)
+	if !okB || !okH || bodies <= 0 {
+		return fmt.Errorf("regime %v missing raw spill-hit fields", name)
+	}
+	if hits < bodies*float64(len(on)) {
+		return fmt.Errorf("regime %v: %0.f spill hits cannot cover %0.f bodies × %d samples — the timed passes were not served from disk",
+			name, hits, bodies, len(on))
+	}
+	peak, okP := regime["peak_bytes"].(float64)
+	resp, okR := regime["response_bytes"].(float64)
+	ratioMax, okT := regime["peak_threshold"].(float64)
+	if !okP || !okR || !okT || resp <= 0 || ratioMax <= 0 {
+		return fmt.Errorf("regime %v missing peak-memory fields", name)
+	}
+	if peak > ratioMax*resp {
+		return fmt.Errorf("regime %v: spill-hit heap peak %.0f exceeds %.2f× the %.0f-byte response — the streamed serve is not bounded",
+			name, peak, ratioMax, resp)
+	}
+	return nil
+}
+
+// floatsOf reads a JSON array field as float64s.
+func floatsOf(v interface{}) ([]float64, bool) {
+	arr, ok := v.([]interface{})
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, len(arr))
+	for i, e := range arr {
+		f, ok := e.(float64)
+		if !ok {
+			return nil, false
+		}
+		out[i] = f
+	}
+	return out, true
+}
+
+// meanCI95Low re-derives the sample mean and the low end of its 95%
+// Student-t confidence interval, matching the generators' arithmetic
+// (cmd/benchserve, cmd/benchbatch).
+func meanCI95Low(xs []float64) (mean, lo float64) {
+	n := len(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, mean
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return mean, mean - tValue95(n-1)*sd/math.Sqrt(float64(n))
+}
+
+// tValue95 is the two-sided 95% Student-t critical value for df degrees
+// of freedom (df ≥ 8 rounds down to the asymptotic value), matching
+// cmd/benchserve.
+func tValue95(df int) float64 {
+	table := []float64{0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306}
+	if df <= 0 {
+		return table[1]
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.960
 }
 
 // checkChurnRegime validates cmd/benchfault's elastic-churn robustness

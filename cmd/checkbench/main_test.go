@@ -93,6 +93,45 @@ func TestCheckDoc(t *testing.T) {
 		{"fleet missing raw counters", `{"pass": true, "regimes": [{"name": "fleet",
 			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 2.3, "speedup_ci_low": 2.1,
 			"fleet_evals": 100, "amplification": 1.0}]}`, true},
+		{"sweep regime met", `{"pass": true, "regimes": [{"name": "sweep", "meets_threshold": true,
+			"threshold": 2, "samples": 5, "speedup": 3.0, "speedup_ci_low": 3.0,
+			"wall_ns_spill_off": [3000, 3000, 3000, 3000, 3000], "wall_ns_spill_on": [1000, 1000, 1000, 1000, 1000],
+			"sweep_bodies": 4, "spill_hits": 20, "peak_bytes": 100000, "response_bytes": 800000,
+			"peak_threshold": 0.5}]}`, false},
+		{"sweep forged speedup disagrees with raw wall clocks", `{"pass": true, "regimes": [{"name": "sweep",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 4.5, "speedup_ci_low": 3.0,
+			"wall_ns_spill_off": [3000, 3000, 3000, 3000, 3000], "wall_ns_spill_on": [1000, 1000, 1000, 1000, 1000],
+			"sweep_bodies": 4, "spill_hits": 20, "peak_bytes": 100000, "response_bytes": 800000,
+			"peak_threshold": 0.5}]}`, true},
+		{"sweep forged ci low disagrees with raw wall clocks", `{"pass": true, "regimes": [{"name": "sweep",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 3.0, "speedup_ci_low": 2.9,
+			"wall_ns_spill_off": [3000, 3000, 3000, 3000, 3000], "wall_ns_spill_on": [1000, 1000, 1000, 1000, 1000],
+			"sweep_bodies": 4, "spill_hits": 20, "peak_bytes": 100000, "response_bytes": 800000,
+			"peak_threshold": 0.5}]}`, true},
+		{"sweep quick run cannot certify", `{"pass": true, "regimes": [{"name": "sweep",
+			"meets_threshold": true, "threshold": 2, "samples": 2, "speedup": 3.0, "speedup_ci_low": 3.0,
+			"wall_ns_spill_off": [3000, 3000], "wall_ns_spill_on": [1000, 1000],
+			"sweep_bodies": 4, "spill_hits": 8, "peak_bytes": 100000, "response_bytes": 800000,
+			"peak_threshold": 0.5}]}`, true},
+		{"sweep peak over threshold despite forged flag", `{"pass": true, "regimes": [{"name": "sweep",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 3.0, "speedup_ci_low": 3.0,
+			"wall_ns_spill_off": [3000, 3000, 3000, 3000, 3000], "wall_ns_spill_on": [1000, 1000, 1000, 1000, 1000],
+			"sweep_bodies": 4, "spill_hits": 20, "peak_bytes": 500000, "response_bytes": 800000,
+			"peak_threshold": 0.5}]}`, true},
+		{"sweep timed passes not served from disk", `{"pass": true, "regimes": [{"name": "sweep",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 3.0, "speedup_ci_low": 3.0,
+			"wall_ns_spill_off": [3000, 3000, 3000, 3000, 3000], "wall_ns_spill_on": [1000, 1000, 1000, 1000, 1000],
+			"sweep_bodies": 4, "spill_hits": 7, "peak_bytes": 100000, "response_bytes": 800000,
+			"peak_threshold": 0.5}]}`, true},
+		{"sweep missing peak fields", `{"pass": true, "regimes": [{"name": "sweep",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 3.0, "speedup_ci_low": 3.0,
+			"wall_ns_spill_off": [3000, 3000, 3000, 3000, 3000], "wall_ns_spill_on": [1000, 1000, 1000, 1000, 1000],
+			"sweep_bodies": 4, "spill_hits": 20}]}`, true},
+		{"sweep mismatched raw arrays", `{"pass": true, "regimes": [{"name": "sweep",
+			"meets_threshold": true, "threshold": 2, "samples": 5, "speedup": 3.0, "speedup_ci_low": 3.0,
+			"wall_ns_spill_off": [3000, 3000, 3000, 3000], "wall_ns_spill_on": [1000, 1000, 1000, 1000, 1000],
+			"sweep_bodies": 4, "spill_hits": 20, "peak_bytes": 100000, "response_bytes": 800000,
+			"peak_threshold": 0.5}]}`, true},
 	}
 	for _, tc := range cases {
 		path := writeDoc(t, "doc.json", tc.content)

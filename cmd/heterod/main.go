@@ -21,6 +21,15 @@
 // in per-request work under herd traffic. Off by default; off, the serving
 // path is byte-for-byte the historical one.
 //
+// -spill-dir enables the bounded on-disk spill tier: entries evicted from
+// the in-memory response caches are written to append-only segment files
+// and consulted on later misses before peer fetch or re-evaluation, with
+// -spill-bytes bounding total disk use (whole segments retire oldest-first)
+// and -spill-index-bytes bounding the in-memory index. Streamed /v1/batch
+// responses are served straight from the segment reader in O(fragment)
+// memory. Off by default; off, the read path is byte-for-byte the
+// historical one.
+//
 // For profiling in production, -pprof-addr exposes net/http/pprof on a
 // separate listener (off by default; bind it to localhost or a management
 // network, never the serving address):
@@ -47,6 +56,7 @@ import (
 
 	"hetero/internal/api"
 	"hetero/internal/cluster"
+	"hetero/internal/spill"
 )
 
 func main() {
@@ -78,6 +88,9 @@ func run(args []string) error {
 	coalesce := fs.Bool("coalesce", false, "batch concurrent /v1/measure cache misses for distinct keys into shared evaluations (off: byte-for-byte historical behavior)")
 	coalesceMax := fs.Int("coalesce-max", api.DefaultCoalesceMaxBatch, "seal a coalesced flush at this many items (with -coalesce)")
 	coalesceWait := fs.Duration("coalesce-wait", api.DefaultCoalesceMaxWait, "seal a coalesced flush when its oldest item has waited this long (with -coalesce)")
+	spillDir := fs.String("spill-dir", "", "directory for the on-disk spill tier under the response caches (empty disables)")
+	spillBytes := fs.Int64("spill-bytes", spill.DefaultMaxBytes, "byte budget for spill segment files on disk; whole segments retire oldest-first past it (with -spill-dir)")
+	spillIndexBytes := fs.Int64("spill-index-bytes", spill.DefaultMaxIndexBytes, "byte budget for the in-memory spill index (with -spill-dir)")
 	peers := fs.String("peers", "", "comma-separated fleet membership, host:port per replica (every replica gets the identical list); empty disables the peer cache tier")
 	self := fs.String("self", "", "this replica's own address within -peers (required with -peers)")
 	peerHedgeDelay := fs.Duration("peer-hedge-delay", cluster.DefaultHedgeDelay, "delay before the hedged second peer request (0 = default, negative disables hedging)")
@@ -130,6 +143,20 @@ func run(args []string) error {
 	})
 	apiSrv.MaxBody = resolveMaxBody(*maxBody, maxBodySet, *maxBatchBody, os.Stderr)
 	apiSrv.StreamBatchThreshold = *streamBatchThreshold
+	if *spillDir != "" {
+		st, err := spill.Open(spill.Config{
+			Dir:           *spillDir,
+			MaxBytes:      *spillBytes,
+			MaxIndexBytes: *spillIndexBytes,
+		})
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("opening spill tier: %w", err)
+		}
+		apiSrv.EnableSpill(st)
+		log.Printf("heterod spill tier: dir=%s bytes=%d index-bytes=%d",
+			*spillDir, *spillBytes, *spillIndexBytes)
+	}
 	if tier != nil {
 		apiSrv.EnableCluster(tier)
 		log.Printf("heterod fleet tier: self=%s replicas=%d hedge=%s timeout=%s",
@@ -155,7 +182,13 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, ln, srv, *grace, apiSrv.CloseCoalesce)
+	// Drain order: the batcher first (in-flight handlers may be waiting on
+	// its flushes), then the spill tier (its evict writer drains the queued
+	// entries and closes the store once nothing can evict anymore).
+	return serve(ctx, ln, srv, *grace, func() {
+		apiSrv.CloseCoalesce()
+		apiSrv.CloseSpill()
+	})
 }
 
 // resolveMaxBody unifies -max-body with its deprecated -max-batch-body

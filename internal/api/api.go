@@ -81,6 +81,7 @@ type Server struct {
 	batchRawCache        *responseCache  // raw body-front layer for /v1/batch
 	batcher              *measureBatcher // cross-request coalescing admission batcher (nil = off)
 	cluster              *cluster.Peers  // fleet cache tier (nil = single-replica)
+	spill                *spillTier      // on-disk second-level cache (nil = off)
 	measureEvals         atomic.Uint64   // measure-path profile evaluations (inline + flush)
 	servedGets           atomic.Uint64   // peer gets answered with cached bytes
 	servedGetMisses      atomic.Uint64   // peer gets answered 404 (cold)
@@ -363,21 +364,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // RawCoalesced): a request resolves at exactly one layer, so Hits + Misses
 // + Coalesced equals the measure request count either way.
 type CacheStats struct {
-	Hits         uint64  `json:"hits"`
-	Misses       uint64  `json:"misses"`
-	Coalesced    uint64  `json:"coalesced"`
-	Evicted      uint64  `json:"evicted"`
-	Rejected     uint64  `json:"rejected"` // entries over a shard's whole byte budget
-	RawHits      uint64  `json:"raw_hits"`
-	RawCoalesced uint64  `json:"raw_coalesced"`
-	Size         int     `json:"size"`
-	Capacity     int     `json:"capacity"`
-	Bytes        int64   `json:"bytes"`     // resident key+body bytes, canonical layer
-	RawBytes     int64   `json:"raw_bytes"` // resident bytes, raw-query front layer
-	MaxBytes     int64   `json:"max_bytes"` // per-cache byte budget (0 = unlimited)
-	Shards       int     `json:"shards"`
-	ShardResizes uint64  `json:"shard_resizes"` // contention-adaptive resizes, canonical layer
-	HitRate      float64 `json:"hit_rate"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Coalesced    uint64 `json:"coalesced"`
+	Evicted      uint64 `json:"evicted"`
+	Rejected     uint64 `json:"rejected"` // entries over a shard's whole byte budget
+	RawHits      uint64 `json:"raw_hits"`
+	RawCoalesced uint64 `json:"raw_coalesced"`
+	Size         int    `json:"size"`
+	Capacity     int    `json:"capacity"`
+	Bytes        int64  `json:"bytes"`     // resident key+body bytes, canonical layer
+	RawBytes     int64  `json:"raw_bytes"` // resident bytes, raw-query front layer
+	MaxBytes     int64  `json:"max_bytes"` // per-cache byte budget (0 = unlimited)
+	Shards       int    `json:"shards"`
+	ShardResizes uint64 `json:"shard_resizes"` // contention-adaptive resizes, canonical layer
+	// Raw-front layer geometry: adaptive grow/shrink is observable per
+	// layer, not just on the canonical cache.
+	RawShards       int     `json:"raw_shards"`
+	RawShardResizes uint64  `json:"raw_shard_resizes"`
+	HitRate         float64 `json:"hit_rate"`
 }
 
 // BatchStats is the /v1/statz view of the batch endpoint. Deduped counts
@@ -399,6 +404,9 @@ type BatchStats struct {
 	RawHits         uint64 `json:"raw_hits"`
 	RawBytes        int64  `json:"raw_bytes"`
 	Streamed        uint64 `json:"streamed"`
+	// Body-front layer geometry (shards gauge + resize epoch counter).
+	RawShards       int    `json:"raw_shards"`
+	RawShardResizes uint64 `json:"raw_shard_resizes"`
 }
 
 // CoalesceStats is the /v1/statz view of the admission batcher: how many
@@ -457,6 +465,7 @@ type StatzResponse struct {
 	Coalesce      CoalesceStats `json:"coalesce"`
 	Simulate      SimulateStats `json:"simulate"`
 	Cluster       ClusterStats  `json:"cluster"`
+	Spill         SpillStats    `json:"spill"`
 	Serving       ServingStats  `json:"serving"`
 }
 
@@ -476,6 +485,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	if s.rawCache != nil {
 		rt := s.rawCache.counters()
 		cs.RawHits, cs.RawCoalesced, cs.RawBytes = rt.hits, rt.coalesced, rt.bytes
+		cs.RawShards, cs.RawShardResizes = rt.shards, rt.resizes
 		cs.Evicted += rt.evicted
 		cs.Rejected += rt.rejected
 		cs.Hits += rt.hits
@@ -494,7 +504,9 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Streamed:        s.batchStreamed.Load(),
 	}
 	if s.batchRawCache != nil {
-		bs.RawBytes = s.batchRawCache.counters().bytes
+		bt := s.batchRawCache.counters()
+		bs.RawBytes = bt.bytes
+		bs.RawShards, bs.RawShardResizes = bt.shards, bt.resizes
 	}
 	var co CoalesceStats
 	if b := s.batcher; b != nil {
@@ -521,6 +533,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Batch:         bs,
 		Coalesce:      co,
 		Cluster:       s.clusterStats(),
+		Spill:         s.spillStats(),
 		Simulate: SimulateStats{
 			FaultyRequests:    s.faultyRequests.Load(),
 			ElasticRequests:   s.elasticRequests.Load(),

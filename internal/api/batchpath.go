@@ -101,6 +101,25 @@ func (s *Server) BatchBody(body []byte) (status int, resp []byte, msg string) {
 			return 200, resp, ""
 		}
 	}
+	// Spill tier: an evicted (or stream-teed) response for these exact
+	// body bytes may be on disk — consulted after the memory front,
+	// before any decoding or evaluation. A hit is promoted back into the
+	// memory front (with its sniffed profile count as meta) by the fill.
+	if front {
+		if sb, ok := s.spillGet(spillLayerBatch, key); ok {
+			resp, meta, _, err := s.batchRawCache.fillStrMeta(h, key, func() ([]byte, int64, error) {
+				var count int64
+				if n, ok := batchCountFromBody(sb); ok {
+					count = int64(n)
+				}
+				return sb, count, nil
+			})
+			if err == nil {
+				s.noteBatchCached(resp, meta)
+				return 200, resp, ""
+			}
+		}
+	}
 	m, profiles, status, msg := s.decodeBatchRequest(body)
 	if status != 0 {
 		return status, nil, msg

@@ -11,6 +11,7 @@ import (
 	"hetero/internal/incr"
 	"hetero/internal/model"
 	"hetero/internal/profile"
+	"hetero/internal/spill"
 )
 
 // The streaming render path for POST /v1/batch. The buffered path
@@ -85,6 +86,14 @@ func (s *Server) serveBatchLarge(w http.ResponseWriter, r *http.Request, body []
 			return
 		}
 	}
+	// Spill tier: a response for these exact body bytes — evicted from
+	// the memory front or teed off an earlier stream — serves straight
+	// from the segment reader, fragment-by-fragment, before any decode.
+	// Peak memory stays O(chunk); the entry is NOT promoted to memory
+	// (promotion would re-materialize an O(response) body).
+	if front && s.serveSpillStream(w, key) {
+		return
+	}
 	m, profiles, status, msg := s.decodeBatchRequest(body)
 	if status != 0 {
 		writeError(w, status, msg)
@@ -92,7 +101,11 @@ func (s *Server) serveBatchLarge(w http.ResponseWriter, r *http.Request, body []
 	}
 	s.noteBatch(len(profiles))
 	if s.shouldStreamBatch(profiles) {
-		s.streamBatch(r.Context(), w, m, profiles)
+		teeKey := ""
+		if front {
+			teeKey = key
+		}
+		s.streamBatch(r.Context(), w, m, profiles, teeKey)
 		return
 	}
 	if !front {
@@ -114,8 +127,12 @@ func (s *Server) serveBatchLarge(w http.ResponseWriter, r *http.Request, body []
 
 // streamBatch writes one decoded batch response incrementally to an HTTP
 // response, flushing after every fragment so the peak buffered state —
-// ours and net/http's — stays O(one fragment).
-func (s *Server) streamBatch(ctx context.Context, w http.ResponseWriter, m model.Params, profiles []profile.Profile) {
+// ours and net/http's — stays O(one fragment). A non-empty teeKey also
+// copies the streamed bytes into a spill appender (its private segment
+// file), committed only when the stream completes cleanly — an error
+// trailer or snapped connection aborts the tee so no truncated response
+// can ever be served later.
+func (s *Server) streamBatch(ctx context.Context, w http.ResponseWriter, m model.Params, profiles []profile.Profile, teeKey string) {
 	if err := ctx.Err(); err != nil {
 		// Nothing written yet: a plain error status is still possible.
 		writeError(w, http.StatusServiceUnavailable, "request cancelled before streaming began")
@@ -128,9 +145,83 @@ func (s *Server) streamBatch(ctx context.Context, w http.ResponseWriter, m model
 	if f, ok := w.(http.Flusher); ok {
 		flush = f.Flush
 	}
+	dst := io.Writer(w)
+	var ap *spill.Appender
+	if teeKey != "" {
+		if ap = s.spillBegin(teeKey); ap != nil {
+			// Appender writes never fail the client stream: errors are
+			// remembered inside and surface as a failed Commit.
+			dst = io.MultiWriter(w, ap)
+		}
+	}
 	// A write error means the client is gone; there is no one to deliver a
 	// trailer to, so the error is dropped after the stream is abandoned.
-	_ = s.writeBatchStream(ctx, w, flush, m, profiles)
+	err := s.writeBatchStream(ctx, dst, flush, m, profiles)
+	if ap != nil {
+		if err == nil {
+			ap.Commit()
+		} else {
+			ap.Abort()
+		}
+	}
+}
+
+// spillStreamChunk is the read-copy granularity for serving a spilled
+// batch response; it bounds the serve path's peak memory per request.
+const spillStreamChunk = 64 << 10
+
+// serveSpillStream serves a spilled response for the exact body key over
+// HTTP, chunk by chunk with per-chunk flushes. The record's CRC and key
+// were fully verified by OpenVerified before the first byte goes out, so
+// corruption can never reach a client — it reads as a miss and the
+// caller falls through to evaluation.
+func (s *Server) serveSpillStream(w http.ResponseWriter, key string) bool {
+	ent, ok := s.spillOpenStream(key)
+	if !ok {
+		return false
+	}
+	defer ent.Close()
+	s.batchStreamed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	flush := func() {}
+	if f, ok := w.(http.Flusher); ok {
+		flush = f.Flush
+	}
+	_ = s.copySpillStream(w, flush, ent)
+	return true
+}
+
+// copySpillStream copies a verified spill entry to w in fixed-size
+// chunks, sniffing the profile count off the first chunk for the batch
+// statz counters. A mid-copy read error (the segment was pre-verified,
+// so only hardware faults remain) abandons the stream like a snapped
+// client connection.
+func (s *Server) copySpillStream(w io.Writer, flush func(), ent *spill.Entry) error {
+	buf := make([]byte, spillStreamChunk)
+	var off int64
+	for off < ent.BodyLen() {
+		n, err := ent.ReadBodyAt(buf, off)
+		if n > 0 {
+			if off == 0 {
+				if c, ok := batchCountFromBody(buf[:n]); ok {
+					s.noteBatch(c)
+				} else {
+					s.batchRequests.Add(1)
+					s.batchProfilesUnknown.Add(1)
+				}
+			}
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return werr
+			}
+			flush()
+			off += int64(n)
+		}
+		if err != nil && off < ent.BodyLen() {
+			return err
+		}
+	}
+	return nil
 }
 
 // BatchBodyStream runs the POST /v1/batch hot path for a raw request body
@@ -148,13 +239,42 @@ func (s *Server) BatchBodyStream(ctx context.Context, w io.Writer, body []byte) 
 	}
 	s.ensureBatchCaches()
 	defer s.drainResizes()
+	// Spill tier (only when enabled — with spill off this path is
+	// byte-for-byte the historical one): serve a stored response for
+	// these exact body bytes fragment-by-fragment from the segment
+	// reader, or tee the freshly rendered stream into the spill store.
+	storeKey := ""
+	if s.spill != nil && len(body) >= batchRawMinBody {
+		storeKey = spillBatchKey(body)
+		if ent, ok := s.spillOpenStreamKey(storeKey); ok {
+			s.batchStreamed.Add(1)
+			err := s.copySpillStream(w, func() {}, ent)
+			ent.Close()
+			return http.StatusOK, "", err
+		}
+	}
 	m, profiles, status, msg := s.decodeBatchRequest(body)
 	if status != 0 {
 		return status, msg, nil
 	}
 	s.noteBatch(len(profiles))
 	s.batchStreamed.Add(1)
-	return http.StatusOK, "", s.writeBatchStream(ctx, w, func() {}, m, profiles)
+	dst := w
+	var ap *spill.Appender
+	if storeKey != "" {
+		if ap = s.spillBeginKey(storeKey); ap != nil {
+			dst = io.MultiWriter(w, ap)
+		}
+	}
+	err = s.writeBatchStream(ctx, dst, func() {}, m, profiles)
+	if ap != nil {
+		if err == nil {
+			ap.Commit()
+		} else {
+			ap.Abort()
+		}
+	}
+	return http.StatusOK, "", err
 }
 
 // writeBatchStream is the incremental renderer: envelope, then one

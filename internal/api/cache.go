@@ -201,6 +201,11 @@ type responseCache struct {
 	// resizes counts completed shard-set swaps; written under resizeMu
 	// exclusive, read under shared.
 	resizes uint64
+	// sink, when set, receives every entry evicted by the byte/entry
+	// bounds (the spill tier's evict-to-disk hook). It runs under the
+	// shard lock so it must be non-blocking and cheap; written once via
+	// setEvictSink before traffic flows, re-applied across resizes.
+	sink func(key string, body []byte)
 }
 
 // shardSet is one generation of the cache's lock domains; adaptive resizes
@@ -221,6 +226,9 @@ type cacheShard struct {
 	order      *list.List // front = most recently used; values are *cacheEntry
 	entries    map[string]*list.Element
 	flight     map[string]*flightCall
+	// sink mirrors responseCache.sink into the lock domain so the
+	// eviction loop can offer entries without reaching for the cache.
+	sink func(key string, body []byte)
 
 	hits      uint64
 	misses    uint64
@@ -576,6 +584,9 @@ func (c *responseCache) maybeResize() {
 // table is empty and no shard lock is held.
 func (c *responseCache) migrate(old *shardSet, shards int) *shardSet {
 	set := newShardSet(c.capacity, c.maxBytes, shards)
+	for i := range set.shards {
+		set.shards[i].sink = c.sink
+	}
 	for i := range old.shards {
 		osh := &old.shards[i]
 		for el := osh.order.Back(); el != nil; el = el.Prev() {
@@ -842,6 +853,10 @@ func (sh *cacheShard) insertLocked(key string, body []byte, meta int64) {
 		if oldest == nil {
 			break
 		}
+		if sh.sink != nil {
+			e := oldest.Value.(*cacheEntry)
+			sh.sink(e.key, e.body)
+		}
 		sh.removeLocked(oldest)
 		sh.evicted++
 	}
@@ -939,6 +954,19 @@ func (c *responseCache) Stats() (hits, misses uint64, size, capacity int) {
 func (c *responseCache) statsFull() (hits, misses uint64, size int, coalesced, evicted uint64) {
 	ct := c.counters()
 	return ct.hits, ct.misses, ct.size, ct.coalesced, ct.evicted
+}
+
+// setEvictSink installs fn as the eviction sink on every current shard
+// and records it for future resizes. fn runs under a shard lock: it must
+// be non-blocking (the spill tier hands off to a bounded queue). Install
+// before traffic flows.
+func (c *responseCache) setEvictSink(fn func(key string, body []byte)) {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	c.sink = fn
+	for i := range c.set.shards {
+		c.set.shards[i].sink = fn
+	}
 }
 
 // Shards reports how many lock domains the cache has (1 when disabled or

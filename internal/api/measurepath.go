@@ -110,6 +110,14 @@ func (s *Server) measure(sc *measureScratch, rawQuery string) (int, []byte, stri
 			return 200, body, ""
 		}
 		body, _, err := s.rawCache.fillStr(h, rawQuery, func() ([]byte, error) {
+			// Spill tier: a raw entry this layer evicted may still be on
+			// disk. Consulted after the memory layers (we are the flight
+			// leader of a miss) and before any peer fetch or evaluation; a
+			// hit is promoted back into memory by the fill insert and
+			// skips the parse exactly as a raw-layer peer hit would.
+			if b, ok := s.spillGet(spillLayerRaw, rawQuery); ok {
+				return b, nil
+			}
 			// Fleet tier: this exact spelling may already be warm on its
 			// owning replica. A raw-layer peer hit skips the parse entirely —
 			// the whole point of peering this layer — and a fallback remembers
@@ -179,6 +187,12 @@ func (s *Server) measureCanonical(sc *measureScratch, rawQuery string) (int, []b
 	// here exactly as an inline evaluation would be; a rejected submit falls
 	// through to the inline path.
 	body, _, err := s.cache.fill(h, sc.key, func() ([]byte, error) {
+		// Spill tier: disk before peers, peers before evaluation. A hit
+		// returns the evicted bytes verbatim (CRC-checked); the fill
+		// insert promotes them back into the memory tier.
+		if b, ok := s.spillGet(spillLayerCanonical, string(sc.key)); ok {
+			return b, nil
+		}
 		// Fleet tier: on a miss of a peer-owned key, ask the owner for the
 		// cached bytes before evaluating (hedged; never triggers evaluation
 		// on the owner). Timeout or error falls through to the local paths

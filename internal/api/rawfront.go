@@ -52,6 +52,12 @@ func (s *Server) serveQueryCached(w http.ResponseWriter, prefix, rawQuery string
 		return
 	}
 	body, _, err := s.rawCache.fillStr(h, key, func() ([]byte, error) {
+		// Spill tier: the prefixed key is namespaced inside the raw
+		// layer, so an evicted compare/speedup entry round-trips through
+		// disk under the same spelling. Hit → promoted by the fill insert.
+		if b, ok := s.spillGet(spillLayerRaw, key); ok {
+			return b, nil
+		}
 		status, body, msg := render(rawQuery)
 		if status != http.StatusOK {
 			return nil, &statusError{status: status, msg: msg}

@@ -1,0 +1,233 @@
+package api
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hetero/internal/spill"
+)
+
+// Spill-tier wiring: internal/spill is the bounded on-disk second-level
+// cache under the in-memory response caches. Each memory layer gets an
+// eviction sink that offers the evicted (key, body) to a bounded queue;
+// one background writer drains it into the store. Reads consult the
+// store inside the singleflight fill closures — after every in-memory
+// layer, before peer fetch and before local evaluation — so a spill hit
+// is promoted back into memory by the normal fill insert and pushed to
+// no peer. Keys are namespaced with one layer byte so the three memory
+// layers can never alias each other on disk.
+const (
+	spillLayerCanonical byte = 'c' // canonical measure cache keys
+	spillLayerRaw       byte = 'r' // raw-query front keys (incl. compare/speedup prefixes)
+	spillLayerBatch     byte = 'b' // /v1/batch raw body-front keys
+
+	// spillQueueEntries and spillQueueMaxBytes bound the evict hand-off
+	// queue; beyond either, evictions are dropped (counted) rather than
+	// ever blocking a shard lock.
+	spillQueueEntries  = 256
+	spillQueueMaxBytes = 64 << 20
+)
+
+type spillItem struct {
+	layer byte
+	key   string
+	body  []byte
+}
+
+// spillTier owns the background evict writer in front of a spill.Store.
+type spillTier struct {
+	store       *spill.Store
+	queue       chan spillItem
+	queuedBytes atomic.Int64
+	drops       atomic.Uint64
+	closeOnce   sync.Once
+	done        chan struct{}
+	// closeMu orders late evictions against queue close: offer holds it
+	// shared around the send, CloseSpill exclusively around the close.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// EnableSpill attaches store as the evict-to-disk tier under every
+// response-cache layer. Call before serving traffic; pair with
+// CloseSpill on shutdown (after the HTTP server has drained). The
+// server takes ownership: CloseSpill closes the store.
+func (s *Server) EnableSpill(store *spill.Store) {
+	if s.cache == nil {
+		s.cache = newResponseCache(DefaultMeasureCacheSize)
+	}
+	if s.rawCache == nil {
+		s.rawCache = newResponseCache(s.cache.capacity)
+	}
+	if s.batchRawCache == nil {
+		s.batchRawCache = newResponseCache(s.cache.capacity)
+	}
+	t := &spillTier{
+		store: store,
+		queue: make(chan spillItem, spillQueueEntries),
+		done:  make(chan struct{}),
+	}
+	go t.writeLoop()
+	s.spill = t
+	s.cache.setEvictSink(func(key string, body []byte) { t.offer(spillLayerCanonical, key, body) })
+	s.rawCache.setEvictSink(func(key string, body []byte) { t.offer(spillLayerRaw, key, body) })
+	s.batchRawCache.setEvictSink(func(key string, body []byte) { t.offer(spillLayerBatch, key, body) })
+}
+
+// CloseSpill stops the evict writer (draining queued entries) and
+// closes the store. Call after the HTTP server has stopped accepting
+// requests. No-op when spill is off.
+func (s *Server) CloseSpill() {
+	t := s.spill
+	if t == nil {
+		return
+	}
+	t.closeOnce.Do(func() {
+		t.closeMu.Lock()
+		t.closed = true
+		close(t.queue)
+		t.closeMu.Unlock()
+		<-t.done
+		t.store.Close()
+	})
+}
+
+// offer hands an evicted entry to the writer without ever blocking:
+// it runs under a cache shard lock. Over-full queues drop (counted).
+func (t *spillTier) offer(layer byte, key string, body []byte) {
+	cost := int64(len(key) + len(body))
+	if t.queuedBytes.Load()+cost > spillQueueMaxBytes {
+		t.drops.Add(1)
+		return
+	}
+	t.closeMu.RLock()
+	defer t.closeMu.RUnlock()
+	if t.closed {
+		t.drops.Add(1)
+		return
+	}
+	select {
+	case t.queue <- spillItem{layer: layer, key: key, body: body}:
+		t.queuedBytes.Add(cost)
+	default:
+		t.drops.Add(1)
+	}
+}
+
+func (t *spillTier) writeLoop() {
+	defer close(t.done)
+	for it := range t.queue {
+		t.store.Put(spillKey(it.layer, it.key), it.body)
+		t.queuedBytes.Add(-int64(len(it.key) + len(it.body)))
+	}
+}
+
+func spillKey(layer byte, key string) string {
+	return string(layer) + key
+}
+
+// spillBatchKey builds the batch-layer store key straight from the raw
+// body bytes in a single allocation — the only O(body) allocation on the
+// streamed spill-hit path (the peak-memory bound benchserve certifies).
+func spillBatchKey(body []byte) string {
+	var b strings.Builder
+	b.Grow(1 + len(body))
+	b.WriteByte(spillLayerBatch)
+	b.Write(body)
+	return b.String()
+}
+
+// spillGet consults the disk tier for a memory-layer key. Callers sit
+// inside a singleflight fill closure, so a hit is promoted back into
+// the memory tier by the insert that follows the closure's return.
+func (s *Server) spillGet(layer byte, key string) ([]byte, bool) {
+	t := s.spill
+	if t == nil {
+		return nil, false
+	}
+	return t.store.Get(spillKey(layer, key))
+}
+
+// spillOpenStream pins a CRC-verified streaming handle for a batch-layer
+// key so the streamed render path can serve the body fragment-by-
+// fragment in O(chunk) memory. nil when spill is off or the key misses.
+func (s *Server) spillOpenStream(key string) (*spill.Entry, bool) {
+	return s.spillOpenStreamKey(spillKey(spillLayerBatch, key))
+}
+
+// spillOpenStreamKey is spillOpenStream for a pre-built store key
+// (spillBatchKey), sparing the hit path a second O(body) copy.
+func (s *Server) spillOpenStreamKey(storeKey string) (*spill.Entry, bool) {
+	t := s.spill
+	if t == nil {
+		return nil, false
+	}
+	return t.store.OpenVerified(storeKey)
+}
+
+// spillBegin starts a streamed tee of a batch response into the spill
+// tier; nil when spill is off (callers must tolerate nil).
+func (s *Server) spillBegin(key string) *spill.Appender {
+	return s.spillBeginKey(spillKey(spillLayerBatch, key))
+}
+
+// spillBeginKey is spillBegin for a pre-built store key (spillBatchKey).
+func (s *Server) spillBeginKey(storeKey string) *spill.Appender {
+	t := s.spill
+	if t == nil {
+		return nil
+	}
+	return t.store.Begin(storeKey)
+}
+
+// SpillStats is the /v1/statz view of the on-disk spill tier.
+type SpillStats struct {
+	Enabled         bool   `json:"enabled"`
+	Hits            uint64 `json:"hits"`
+	Misses          uint64 `json:"misses"`
+	Writes          uint64 `json:"writes"`
+	DroppedWrites   uint64 `json:"dropped_writes"` // evictions dropped at the hand-off queue
+	Rejected        uint64 `json:"rejected"`       // entries over the whole disk budget
+	Corrupt         uint64 `json:"corrupt"`        // CRC failures read as misses
+	RetiredSegments uint64 `json:"retired_segments"`
+	Compactions     uint64 `json:"compactions"`
+	Segments        int    `json:"segments"`
+	Entries         int    `json:"entries"`
+	Bytes           int64  `json:"bytes"`
+	DeadBytes       int64  `json:"dead_bytes"`
+	MaxBytes        int64  `json:"max_bytes"`
+	IndexBytes      int64  `json:"index_bytes"`
+	MaxIndexBytes   int64  `json:"max_index_bytes"`
+}
+
+// SpillStatsNow snapshots the spill tier's statz block (zero value when
+// the tier is off) — the handle cmd/benchserve's sweep regime asserts hit
+// and corruption counters through, like Cluster().Stats() for the fleet.
+func (s *Server) SpillStatsNow() SpillStats { return s.spillStats() }
+
+func (s *Server) spillStats() SpillStats {
+	t := s.spill
+	if t == nil {
+		return SpillStats{}
+	}
+	st := t.store.Stats()
+	return SpillStats{
+		Enabled:         true,
+		Hits:            st.Hits,
+		Misses:          st.Misses,
+		Writes:          st.Writes,
+		DroppedWrites:   t.drops.Load(),
+		Rejected:        st.Rejected,
+		Corrupt:         st.Corrupt,
+		RetiredSegments: st.RetiredSegments,
+		Compactions:     st.Compactions,
+		Segments:        st.Segments,
+		Entries:         st.Entries,
+		Bytes:           st.DiskBytes,
+		DeadBytes:       st.DeadBytes,
+		MaxBytes:        st.MaxBytes,
+		IndexBytes:      st.IndexBytes,
+		MaxIndexBytes:   st.MaxIndexBytes,
+	}
+}

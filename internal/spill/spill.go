@@ -1,0 +1,949 @@
+// Package spill is a bounded on-disk second-level cache: an append-only
+// segment-file store with a compact in-memory index. It sits below the
+// byte-budgeted in-memory response caches (internal/api) as an
+// evict-to-disk sink and above peer fetch / local evaluation as a read
+// tier, trading one sequential disk read for a full re-evaluation of a
+// large sweep.
+//
+// Layout and invariants (DESIGN.md S32):
+//
+//   - Data lives in numbered segment files (seg-%016x.seg) under Dir.
+//     Segments are append-only; records are never modified in place.
+//   - Each record is framed as
+//     crc32 | keyLen | bodyLen | key | body
+//     (all fixed-width fields uint32 little-endian). The CRC (IEEE) is
+//     computed over key ++ body ++ keyLen ++ bodyLen — key/body first so
+//     a streaming writer can accumulate it before the lengths are known.
+//   - The in-memory index maps a sampled 64-bit key hash to
+//     (segment, offset, lengths). Hash collisions are resolved on read:
+//     every record stores its full key and a lookup compares it byte
+//     for byte, so a collision is at worst a miss, never a wrong body.
+//     (The serving tiers above already rely on key→body determinism.)
+//   - Both budgets — MaxBytes of disk and MaxIndexBytes of index — are
+//     enforced by retiring whole segments, oldest-registered first.
+//     Retirement drops the segment's live index entries; readers that
+//     hold a segment open pin it (refcount) and the file is unlinked
+//     once the last reader closes.
+//   - Overwrites and retired readers leave dead bytes behind; a
+//     background goroutine compacts any sealed segment whose dead
+//     fraction reaches CompactFraction by re-appending its live records
+//     to the active segment and retiring it.
+//   - Open scans existing segments record by record, truncates at the
+//     first torn or CRC-invalid record (crash mid-append), and rebuilds
+//     the index with later records winning.
+package spill
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	recordHeaderSize = 12
+
+	// DefaultSegmentBytes seals the shared append segment once it
+	// crosses this size, making it eligible for retirement/compaction.
+	DefaultSegmentBytes = 4 << 20
+
+	// DefaultMaxBytes bounds total segment bytes on disk.
+	DefaultMaxBytes = 1 << 30
+
+	// DefaultMaxIndexBytes bounds the in-memory index footprint.
+	DefaultMaxIndexBytes = 16 << 20
+
+	// DefaultCompactFraction is the dead-byte fraction at which a
+	// sealed segment is compacted.
+	DefaultCompactFraction = 0.5
+
+	// indexEntryCost is the accounted in-memory cost of one index
+	// entry (map bucket share + entryLoc + per-segment hash slot).
+	indexEntryCost = 64
+
+	// maxFieldLen bounds keyLen/bodyLen during scans so a corrupt
+	// header cannot drive a giant allocation.
+	maxFieldLen = 1 << 30
+)
+
+// Config configures a Store. Zero fields take the defaults above.
+type Config struct {
+	// Dir is the directory holding segment files. Required; created
+	// if missing.
+	Dir string
+	// MaxBytes bounds total on-disk segment bytes.
+	MaxBytes int64
+	// MaxIndexBytes bounds the accounted in-memory index bytes.
+	MaxIndexBytes int64
+	// SegmentBytes is the roll size for the shared append segment.
+	SegmentBytes int64
+	// CompactFraction is the dead fraction that triggers compaction
+	// of a sealed segment.
+	CompactFraction float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxBytes <= 0 {
+		out.MaxBytes = DefaultMaxBytes
+	}
+	if out.MaxIndexBytes <= 0 {
+		out.MaxIndexBytes = DefaultMaxIndexBytes
+	}
+	if out.SegmentBytes <= 0 {
+		out.SegmentBytes = DefaultSegmentBytes
+	}
+	if out.CompactFraction <= 0 || out.CompactFraction > 1 {
+		out.CompactFraction = DefaultCompactFraction
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of store counters.
+type Stats struct {
+	Hits            uint64
+	Misses          uint64
+	Writes          uint64
+	Rejected        uint64
+	Corrupt         uint64
+	RetiredSegments uint64
+	Compactions     uint64
+	Segments        int
+	Entries         int
+	DiskBytes       int64
+	DeadBytes       int64
+	IndexBytes      int64
+	MaxBytes        int64
+	MaxIndexBytes   int64
+}
+
+type entryLoc struct {
+	seq     uint64
+	off     int64
+	keyLen  uint32
+	bodyLen uint32
+}
+
+func (l entryLoc) recordLen() int64 {
+	return recordHeaderSize + int64(l.keyLen) + int64(l.bodyLen)
+}
+
+type segment struct {
+	seq    uint64
+	path   string
+	f      *os.File
+	size   int64
+	dead   int64
+	live   int
+	sealed bool
+	// hashes remembers which index slots this segment ever owned so
+	// retirement can drop them without a full index sweep.
+	hashes []uint64
+	refs   int
+	doomed bool
+}
+
+// Store is a bounded append-only segment store. All methods are safe
+// for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu        sync.RWMutex
+	segs      map[uint64]*segment
+	order     []uint64 // registration order; retirement pops the front
+	active    *segment
+	index     map[uint64]entryLoc
+	nextSeq   uint64
+	diskBytes int64
+	closed    bool
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	writes      atomic.Uint64
+	rejected    atomic.Uint64
+	corrupt     atomic.Uint64
+	retired     atomic.Uint64
+	compactions atomic.Uint64
+
+	compactReq  chan struct{}
+	compactDone chan struct{}
+}
+
+// Open opens (or creates) a store rooted at cfg.Dir, recovering any
+// existing segments: each is scanned record by record, truncated at the
+// first torn or CRC-invalid record, and its surviving records are
+// indexed in sequence order (later records win).
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("spill: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	st := &Store{
+		cfg:         cfg,
+		segs:        make(map[uint64]*segment),
+		index:       make(map[uint64]entryLoc),
+		compactReq:  make(chan struct{}, 1),
+		compactDone: make(chan struct{}),
+	}
+	if err := st.recover(); err != nil {
+		st.closeFiles()
+		return nil, err
+	}
+	go st.compactLoop()
+	return st, nil
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("seg-%016x.seg", seq) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".seg"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+func (st *Store) recover() error {
+	names, err := os.ReadDir(st.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	var seqs []uint64
+	for _, de := range names {
+		if seq, ok := parseSegName(de.Name()); ok && !de.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		path := filepath.Join(st.cfg.Dir, segName(seq))
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("spill: %w", err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("spill: %w", err)
+		}
+		seg := &segment{seq: seq, path: path, f: f, sealed: true}
+		validEnd, torn := ScanRecords(f, fi.Size(), func(off int64, keyLen, bodyLen uint32, key []byte) {
+			h := hashBytes(key)
+			loc := entryLoc{seq: seq, off: off, keyLen: keyLen, bodyLen: bodyLen}
+			if old, ok := st.index[h]; ok {
+				st.markDeadLocked(old)
+			}
+			st.index[h] = loc
+			seg.hashes = append(seg.hashes, h)
+			seg.live++
+		})
+		if torn {
+			st.corrupt.Add(1)
+		}
+		if validEnd < fi.Size() {
+			if err := f.Truncate(validEnd); err != nil {
+				f.Close()
+				return fmt.Errorf("spill: truncating torn tail of %s: %w", path, err)
+			}
+		}
+		seg.size = validEnd
+		if seg.size == 0 && seg.live == 0 {
+			// Empty or fully torn segment: drop it.
+			f.Close()
+			os.Remove(path)
+			continue
+		}
+		st.segs[seq] = seg
+		st.order = append(st.order, seq)
+		st.diskBytes += seg.size
+		if seq >= st.nextSeq {
+			st.nextSeq = seq + 1
+		}
+	}
+	// Recompute dead bytes: anything not live is dead.
+	for _, seg := range st.segs {
+		var liveBytes int64
+		for _, h := range seg.hashes {
+			if loc, ok := st.index[h]; ok && loc.seq == seg.seq {
+				liveBytes += loc.recordLen()
+			}
+		}
+		seg.dead = seg.size - liveBytes
+	}
+	st.enforceBudgetsLocked()
+	return nil
+}
+
+// ScanRecords walks the record framing over r, invoking fn for every
+// intact record, and returns the offset of the first torn, oversized,
+// or CRC-invalid record (the valid prefix length) plus whether the scan
+// stopped early for that reason. The key slice passed to fn is only
+// valid for the duration of the call. Exported for the framing fuzzer.
+func ScanRecords(r io.ReaderAt, size int64, fn func(off int64, keyLen, bodyLen uint32, key []byte)) (validEnd int64, torn bool) {
+	var hdr [recordHeaderSize]byte
+	var off int64
+	for off < size {
+		if size-off < recordHeaderSize {
+			return off, true
+		}
+		if _, err := r.ReadAt(hdr[:], off); err != nil {
+			return off, true
+		}
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+		keyLen := binary.LittleEndian.Uint32(hdr[4:8])
+		bodyLen := binary.LittleEndian.Uint32(hdr[8:12])
+		if keyLen == 0 || keyLen > maxFieldLen || bodyLen > maxFieldLen {
+			return off, true
+		}
+		recLen := recordHeaderSize + int64(keyLen) + int64(bodyLen)
+		if off+recLen > size {
+			return off, true
+		}
+		buf := make([]byte, keyLen+bodyLen)
+		if _, err := r.ReadAt(buf, off+recordHeaderSize); err != nil {
+			return off, true
+		}
+		crc := crc32.ChecksumIEEE(buf)
+		crc = crc32.Update(crc, crc32.IEEETable, hdr[4:12])
+		if crc != wantCRC {
+			return off, true
+		}
+		fn(off, keyLen, bodyLen, buf[:keyLen])
+		off += recLen
+	}
+	return off, false
+}
+
+func (st *Store) markDeadLocked(loc entryLoc) {
+	if seg, ok := st.segs[loc.seq]; ok {
+		seg.dead += loc.recordLen()
+		seg.live--
+	}
+}
+
+func (st *Store) indexBytesLocked() int64 {
+	return int64(len(st.index)) * indexEntryCost
+}
+
+// Put stores body under key, overwriting any previous entry. Entries
+// larger than the whole disk budget are rejected. Put never blocks on
+// readers of other segments; it appends to the shared active segment.
+func (st *Store) Put(key string, body []byte) {
+	h := hashString(key)
+	rec := recordHeaderSize + int64(len(key)) + int64(len(body))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	if rec > st.cfg.MaxBytes || len(key) == 0 || int64(len(key)) > maxFieldLen || int64(len(body)) > maxFieldLen {
+		st.rejected.Add(1)
+		return
+	}
+	// Deterministic keys mean an identical-length live entry is the
+	// same body; skip the rewrite.
+	if old, ok := st.index[h]; ok && old.keyLen == uint32(len(key)) && old.bodyLen == uint32(len(body)) {
+		return
+	}
+	st.putLocked(h, key, body)
+	st.enforceBudgetsLocked()
+	st.kickCompactLocked()
+}
+
+func (st *Store) putLocked(h uint64, key string, body []byte) {
+	seg, err := st.activeLocked()
+	if err != nil {
+		st.rejected.Add(1)
+		return
+	}
+	off := seg.size
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	crc := crc32.ChecksumIEEE([]byte(key))
+	crc = crc32.Update(crc, crc32.IEEETable, body)
+	crc = crc32.Update(crc, crc32.IEEETable, hdr[4:12])
+	binary.LittleEndian.PutUint32(hdr[0:4], crc)
+	if _, err := seg.f.WriteAt(hdr[:], off); err != nil {
+		st.rejected.Add(1)
+		return
+	}
+	if _, err := seg.f.WriteAt([]byte(key), off+recordHeaderSize); err != nil {
+		st.rejected.Add(1)
+		return
+	}
+	if _, err := seg.f.WriteAt(body, off+recordHeaderSize+int64(len(key))); err != nil {
+		st.rejected.Add(1)
+		return
+	}
+	rec := recordHeaderSize + int64(len(key)) + int64(len(body))
+	seg.size += rec
+	st.diskBytes += rec
+	if old, ok := st.index[h]; ok {
+		st.markDeadLocked(old)
+	}
+	st.index[h] = entryLoc{seq: seg.seq, off: off, keyLen: uint32(len(key)), bodyLen: uint32(len(body))}
+	seg.hashes = append(seg.hashes, h)
+	seg.live++
+	st.writes.Add(1)
+	if seg.size >= st.cfg.SegmentBytes {
+		seg.sealed = true
+		st.active = nil
+	}
+}
+
+func (st *Store) activeLocked() (*segment, error) {
+	if st.active != nil {
+		return st.active, nil
+	}
+	seq := st.nextSeq
+	st.nextSeq++
+	path := filepath.Join(st.cfg.Dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	seg := &segment{seq: seq, path: path, f: f}
+	st.segs[seq] = seg
+	st.order = append(st.order, seq)
+	st.active = seg
+	return seg, nil
+}
+
+func (st *Store) enforceBudgetsLocked() {
+	for (st.diskBytes > st.cfg.MaxBytes || st.indexBytesLocked() > st.cfg.MaxIndexBytes) && len(st.order) > 0 {
+		st.retireLocked(st.order[0])
+	}
+}
+
+// retireLocked removes the segment from the store accounting and index.
+// The file is unlinked immediately unless a reader holds it pinned, in
+// which case the last Close unlinks it.
+func (st *Store) retireLocked(seq uint64) {
+	seg, ok := st.segs[seq]
+	if !ok {
+		return
+	}
+	for i, s := range st.order {
+		if s == seq {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+	for _, h := range seg.hashes {
+		if loc, ok := st.index[h]; ok && loc.seq == seq {
+			delete(st.index, h)
+		}
+	}
+	delete(st.segs, seq)
+	st.diskBytes -= seg.size
+	if st.active == seg {
+		st.active = nil
+	}
+	st.retired.Add(1)
+	if seg.refs > 0 {
+		seg.doomed = true
+		return
+	}
+	seg.f.Close()
+	os.Remove(seg.path)
+}
+
+// Get returns a copy of the body stored under key. A CRC failure or a
+// hash-collision key mismatch reads as a miss; corruption additionally
+// drops the index entry so the slot can be refilled.
+func (st *Store) Get(key string) ([]byte, bool) {
+	h := hashString(key)
+	st.mu.RLock()
+	loc, ok := st.index[h]
+	if !ok || st.closed {
+		st.mu.RUnlock()
+		st.misses.Add(1)
+		return nil, false
+	}
+	seg := st.segs[loc.seq]
+	buf := make([]byte, loc.recordLen())
+	_, err := seg.f.ReadAt(buf, loc.off)
+	st.mu.RUnlock()
+	if err != nil || !verifyRecordBuf(buf) {
+		st.dropCorrupt(h, loc)
+		st.misses.Add(1)
+		return nil, false
+	}
+	if string(buf[recordHeaderSize:recordHeaderSize+int(loc.keyLen)]) != key {
+		// Sampled-hash collision: treat as a miss, keep the entry.
+		st.misses.Add(1)
+		return nil, false
+	}
+	st.hits.Add(1)
+	return buf[recordHeaderSize+int(loc.keyLen):], true
+}
+
+// verifyRecordBuf checks header lengths and CRC of a full record buffer.
+// Key equality is checked separately so a collision is not "corrupt".
+func verifyRecordBuf(buf []byte) bool {
+	if len(buf) < recordHeaderSize {
+		return false
+	}
+	keyLen := binary.LittleEndian.Uint32(buf[4:8])
+	bodyLen := binary.LittleEndian.Uint32(buf[8:12])
+	if recordHeaderSize+int64(keyLen)+int64(bodyLen) != int64(len(buf)) {
+		return false
+	}
+	crc := crc32.ChecksumIEEE(buf[recordHeaderSize:])
+	crc = crc32.Update(crc, crc32.IEEETable, buf[4:12])
+	return crc == binary.LittleEndian.Uint32(buf[0:4])
+}
+
+func (st *Store) dropCorrupt(h uint64, loc entryLoc) {
+	st.corrupt.Add(1)
+	st.mu.Lock()
+	if cur, ok := st.index[h]; ok && cur == loc {
+		delete(st.index, h)
+		st.markDeadLocked(loc)
+	}
+	st.mu.Unlock()
+}
+
+// Entry is a pinned, CRC-verified handle onto one stored record,
+// suitable for streaming the body in O(chunk) memory. Close releases
+// the pin; a retired segment's file is unlinked on last Close.
+type Entry struct {
+	st   *Store
+	seg  *segment
+	loc  entryLoc
+	once sync.Once
+}
+
+// BodyLen reports the stored body length.
+func (e *Entry) BodyLen() int64 { return int64(e.loc.bodyLen) }
+
+// ReadBodyAt reads into p from the body at offset off.
+func (e *Entry) ReadBodyAt(p []byte, off int64) (int, error) {
+	if off < 0 || off >= int64(e.loc.bodyLen) {
+		return 0, io.EOF
+	}
+	if rem := int64(e.loc.bodyLen) - off; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	return e.seg.f.ReadAt(p, e.loc.off+recordHeaderSize+int64(e.loc.keyLen)+off)
+}
+
+// Close releases the segment pin.
+func (e *Entry) Close() {
+	e.once.Do(func() {
+		st := e.st
+		st.mu.Lock()
+		e.seg.refs--
+		if e.seg.doomed && e.seg.refs == 0 {
+			e.seg.f.Close()
+			os.Remove(e.seg.path)
+		}
+		st.mu.Unlock()
+	})
+}
+
+// OpenVerified pins the record stored under key and fully verifies its
+// CRC and key bytes in fixed-size chunks before returning, so no
+// corrupt byte can reach a streaming consumer. It returns false on
+// miss, collision, or corruption.
+func (st *Store) OpenVerified(key string) (*Entry, bool) {
+	h := hashString(key)
+	st.mu.Lock()
+	loc, ok := st.index[h]
+	if !ok || st.closed {
+		st.mu.Unlock()
+		st.misses.Add(1)
+		return nil, false
+	}
+	seg := st.segs[loc.seq]
+	seg.refs++
+	st.mu.Unlock()
+	ent := &Entry{st: st, seg: seg, loc: loc}
+	ok, corrupt := verifyEntryChunked(seg.f, loc, key)
+	if !ok {
+		ent.Close()
+		if corrupt {
+			st.dropCorrupt(h, loc)
+		}
+		st.misses.Add(1)
+		return nil, false
+	}
+	st.hits.Add(1)
+	return ent, true
+}
+
+// verifyEntryChunked re-derives the record CRC with a bounded buffer and
+// compares the stored key against key. corrupt reports whether the
+// failure was CRC/framing (as opposed to a benign hash collision).
+func verifyEntryChunked(f *os.File, loc entryLoc, key string) (ok, corrupt bool) {
+	var hdr [recordHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], loc.off); err != nil {
+		return false, true
+	}
+	if binary.LittleEndian.Uint32(hdr[4:8]) != loc.keyLen ||
+		binary.LittleEndian.Uint32(hdr[8:12]) != loc.bodyLen {
+		return false, true
+	}
+	const chunk = 64 << 10
+	buf := make([]byte, chunk)
+	var crc uint32
+	keyMatches := uint32(len(key)) == loc.keyLen
+	total := int64(loc.keyLen) + int64(loc.bodyLen)
+	for done := int64(0); done < total; {
+		n := total - done
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := f.ReadAt(buf[:n], loc.off+recordHeaderSize+done); err != nil {
+			return false, true
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, buf[:n])
+		if keyMatches && done < int64(loc.keyLen) {
+			kn := int64(loc.keyLen) - done
+			if kn > n {
+				kn = n
+			}
+			if string(buf[:kn]) != key[done:done+kn] {
+				keyMatches = false
+			}
+		}
+		done += n
+	}
+	crc = crc32.Update(crc, crc32.IEEETable, hdr[4:12])
+	if crc != binary.LittleEndian.Uint32(hdr[0:4]) {
+		return false, true
+	}
+	return keyMatches, false
+}
+
+// Appender streams one record into its own private segment, committing
+// it atomically into the index at Commit. No store lock is held while
+// the caller writes, so a client-paced stream never blocks the store.
+type Appender struct {
+	st     *Store
+	f      *os.File
+	path   string
+	seq    uint64
+	h      uint64
+	keyLen uint32
+	size   int64
+	crc    uint32
+	err    error
+	done   bool
+}
+
+// Begin starts a streamed append for key. Returns nil if the store is
+// closed, the key is invalid, or the segment file cannot be created.
+func (st *Store) Begin(key string) *Appender {
+	if len(key) == 0 || int64(len(key)) > maxFieldLen {
+		return nil
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	seq := st.nextSeq
+	st.nextSeq++
+	st.mu.Unlock()
+	path := filepath.Join(st.cfg.Dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil
+	}
+	ap := &Appender{st: st, f: f, path: path, seq: seq, h: hashString(key), keyLen: uint32(len(key))}
+	// Placeholder header; CRC and bodyLen are patched at Commit. A
+	// crash before Commit leaves an invalid record that recovery
+	// truncates away.
+	var hdr [recordHeaderSize]byte
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		ap.err = err
+	}
+	if _, err := f.WriteAt([]byte(key), recordHeaderSize); err != nil {
+		ap.err = err
+	}
+	ap.size = recordHeaderSize + int64(len(key))
+	ap.crc = crc32.ChecksumIEEE([]byte(key))
+	return ap
+}
+
+// Write appends body bytes. It never fails the caller's stream: errors
+// are remembered and surface as a failed Commit.
+func (ap *Appender) Write(p []byte) (int, error) {
+	if ap.err == nil {
+		if ap.size+int64(len(p))-recordHeaderSize-int64(ap.keyLen) > maxFieldLen {
+			ap.err = errors.New("spill: body too large")
+		} else if _, err := ap.f.WriteAt(p, ap.size); err != nil {
+			ap.err = err
+		} else {
+			ap.size += int64(len(p))
+			ap.crc = crc32.Update(ap.crc, crc32.IEEETable, p)
+		}
+	}
+	return len(p), nil
+}
+
+// Commit patches the header and registers the record in the index. The
+// record becomes visible atomically; on any prior write error the
+// appender aborts instead.
+func (ap *Appender) Commit() bool {
+	if ap.done {
+		return false
+	}
+	bodyLen := ap.size - recordHeaderSize - int64(ap.keyLen)
+	if ap.err != nil || bodyLen < 0 {
+		ap.Abort()
+		return false
+	}
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[4:8], ap.keyLen)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(bodyLen))
+	crc := crc32.Update(ap.crc, crc32.IEEETable, hdr[4:12])
+	binary.LittleEndian.PutUint32(hdr[0:4], crc)
+	if _, err := ap.f.WriteAt(hdr[:], 0); err != nil {
+		ap.Abort()
+		return false
+	}
+	ap.done = true
+	st := ap.st
+	rec := ap.size
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed || rec > st.cfg.MaxBytes {
+		ap.f.Close()
+		os.Remove(ap.path)
+		if !st.closed {
+			st.rejected.Add(1)
+		}
+		return false
+	}
+	seg := &segment{
+		seq: ap.seq, path: ap.path, f: ap.f,
+		size: rec, live: 1, sealed: true,
+		hashes: []uint64{ap.h},
+	}
+	st.segs[ap.seq] = seg
+	st.order = append(st.order, ap.seq)
+	st.diskBytes += rec
+	if old, ok := st.index[ap.h]; ok {
+		st.markDeadLocked(old)
+	}
+	st.index[ap.h] = entryLoc{seq: ap.seq, off: 0, keyLen: ap.keyLen, bodyLen: uint32(bodyLen)}
+	st.writes.Add(1)
+	st.enforceBudgetsLocked()
+	st.kickCompactLocked()
+	return true
+}
+
+// Abort discards the in-progress record and its private segment file.
+func (ap *Appender) Abort() {
+	if ap.done {
+		return
+	}
+	ap.done = true
+	ap.f.Close()
+	os.Remove(ap.path)
+}
+
+func (st *Store) kickCompactLocked() {
+	if st.closed {
+		return
+	}
+	select {
+	case st.compactReq <- struct{}{}:
+	default:
+	}
+}
+
+func (st *Store) compactLoop() {
+	defer close(st.compactDone)
+	for range st.compactReq {
+		st.compactOnce()
+	}
+}
+
+// compactOnce rewrites the live records of the worst sealed segment
+// whose dead fraction reaches CompactFraction, then retires it. It runs
+// under the store lock: at most SegmentBytes of sequential I/O.
+func (st *Store) compactOnce() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	var victim *segment
+	for _, seq := range st.order {
+		seg := st.segs[seq]
+		if seg == st.active || !seg.sealed || seg.size == 0 {
+			continue
+		}
+		if float64(seg.dead)/float64(seg.size) < st.cfg.CompactFraction {
+			continue
+		}
+		if victim == nil || seg.dead > victim.dead {
+			victim = seg
+		}
+	}
+	if victim == nil {
+		return
+	}
+	for _, h := range victim.hashes {
+		loc, ok := st.index[h]
+		if !ok || loc.seq != victim.seq {
+			continue
+		}
+		buf := make([]byte, loc.recordLen())
+		if _, err := victim.f.ReadAt(buf, loc.off); err != nil || !verifyRecordBuf(buf) {
+			st.corrupt.Add(1)
+			delete(st.index, h)
+			st.markDeadLocked(loc)
+			continue
+		}
+		key := string(buf[recordHeaderSize : recordHeaderSize+int(loc.keyLen)])
+		body := buf[recordHeaderSize+int(loc.keyLen):]
+		st.putLocked(h, key, body)
+	}
+	st.retireLocked(victim.seq)
+	st.compactions.Add(1)
+	st.enforceBudgetsLocked()
+}
+
+// CompactNow synchronously runs one compaction pass (test hook).
+func (st *Store) CompactNow() { st.compactOnce() }
+
+// Stats returns a snapshot of counters and sizes.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	var dead int64
+	for _, seg := range st.segs {
+		dead += seg.dead
+	}
+	s := Stats{
+		Segments:      len(st.segs),
+		Entries:       len(st.index),
+		DiskBytes:     st.diskBytes,
+		DeadBytes:     dead,
+		IndexBytes:    st.indexBytesLocked(),
+		MaxBytes:      st.cfg.MaxBytes,
+		MaxIndexBytes: st.cfg.MaxIndexBytes,
+	}
+	st.mu.RUnlock()
+	s.Hits = st.hits.Load()
+	s.Misses = st.misses.Load()
+	s.Writes = st.writes.Load()
+	s.Rejected = st.rejected.Load()
+	s.Corrupt = st.corrupt.Load()
+	s.RetiredSegments = st.retired.Load()
+	s.Compactions = st.compactions.Load()
+	return s
+}
+
+func (st *Store) closeFiles() {
+	for _, seg := range st.segs {
+		seg.f.Close()
+	}
+}
+
+// Close stops compaction and closes all segment files. Data on disk
+// remains valid for a later Open.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	st.mu.Unlock()
+	close(st.compactReq)
+	<-st.compactDone
+	st.mu.Lock()
+	st.closeFiles()
+	st.mu.Unlock()
+	return nil
+}
+
+// hashString mirrors the serving tier's sampled FNV-1a: full hash for
+// short keys, head/tail plus strided middle samples for long ones.
+// Collisions are safe — reads compare the stored key byte for byte.
+const (
+	fnvOffset64     = 14695981039346656037
+	fnvPrime64      = 1099511628211
+	hashSampleLimit = 1024
+)
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	n := len(s)
+	if n <= hashSampleLimit {
+		for i := 0; i < n; i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime64
+		}
+		return h
+	}
+	for i := 0; i < 256; i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	stride := (n - 512) / 512
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 256; i < n-256; i += stride {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	for i := n - 256; i < n; i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= uint64(n)
+	h *= fnvPrime64
+	return h
+}
+
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	n := len(b)
+	if n <= hashSampleLimit {
+		for i := 0; i < n; i++ {
+			h ^= uint64(b[i])
+			h *= fnvPrime64
+		}
+		return h
+	}
+	for i := 0; i < 256; i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	stride := (n - 512) / 512
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 256; i < n-256; i += stride {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	for i := n - 256; i < n; i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	h ^= uint64(n)
+	h *= fnvPrime64
+	return h
+}

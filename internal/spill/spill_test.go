@@ -1,0 +1,427 @@
+package spill
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTest(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	st := openTest(t, Config{})
+	for i := 0; i < 100; i++ {
+		st.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("body-%d-%s", i, strings.Repeat("x", i))))
+	}
+	for i := 0; i < 100; i++ {
+		got, ok := st.Get(fmt.Sprintf("key-%d", i))
+		if !ok {
+			t.Fatalf("key-%d: miss", i)
+		}
+		want := fmt.Sprintf("body-%d-%s", i, strings.Repeat("x", i))
+		if string(got) != want {
+			t.Fatalf("key-%d: got %q want %q", i, got, want)
+		}
+	}
+	if _, ok := st.Get("absent"); ok {
+		t.Fatal("absent key hit")
+	}
+	s := st.Stats()
+	if s.Hits != 100 || s.Misses != 1 || s.Writes != 100 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestOverwriteWins(t *testing.T) {
+	st := openTest(t, Config{})
+	st.Put("k", []byte("one"))
+	st.Put("k", []byte("three")) // different length → rewritten
+	got, ok := st.Get("k")
+	if !ok || string(got) != "three" {
+		t.Fatalf("got %q ok=%v", got, ok)
+	}
+	// Same-length overwrite is skipped (deterministic bodies).
+	st.Put("k", []byte("THREE"))
+	got, _ = st.Get("k")
+	if string(got) != "three" {
+		t.Fatalf("same-length overwrite should be a no-op, got %q", got)
+	}
+}
+
+func TestDiskBudgetRetiresWholeSegments(t *testing.T) {
+	st := openTest(t, Config{SegmentBytes: 4 << 10, MaxBytes: 16 << 10})
+	body := bytes.Repeat([]byte("b"), 1024)
+	for i := 0; i < 64; i++ {
+		st.Put(fmt.Sprintf("key-%04d", i), body)
+	}
+	s := st.Stats()
+	if s.DiskBytes > 16<<10 {
+		t.Fatalf("disk bytes %d over budget", s.DiskBytes)
+	}
+	if s.RetiredSegments == 0 {
+		t.Fatal("expected whole-segment retirement")
+	}
+	// Newest keys must survive, oldest must be gone.
+	if _, ok := st.Get("key-0063"); !ok {
+		t.Fatal("newest key evicted")
+	}
+	if _, ok := st.Get("key-0000"); ok {
+		t.Fatal("oldest key survived a full-budget sweep")
+	}
+}
+
+func TestIndexBudgetRetires(t *testing.T) {
+	// Index budget of 10 entries worth; write 100 tiny keys.
+	st := openTest(t, Config{SegmentBytes: 1 << 10, MaxIndexBytes: 10 * indexEntryCost})
+	for i := 0; i < 100; i++ {
+		st.Put(fmt.Sprintf("key-%04d", i), []byte("v"))
+	}
+	s := st.Stats()
+	if s.IndexBytes > 10*indexEntryCost {
+		t.Fatalf("index bytes %d over budget %d", s.IndexBytes, 10*indexEntryCost)
+	}
+	if s.RetiredSegments == 0 {
+		t.Fatal("expected retirement under index pressure")
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	st := openTest(t, Config{MaxBytes: 1 << 10})
+	st.Put("big", bytes.Repeat([]byte("x"), 2<<10))
+	if _, ok := st.Get("big"); ok {
+		t.Fatal("over-budget entry stored")
+	}
+	if st.Stats().Rejected != 1 {
+		t.Fatalf("rejected = %d", st.Stats().Rejected)
+	}
+}
+
+func TestReopenRecoversIndex(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, Config{Dir: dir})
+	for i := 0; i < 20; i++ {
+		st.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	st.Put("key-3", []byte("replacement")) // later record must win
+	st.Close()
+
+	st2 := openTest(t, Config{Dir: dir})
+	for i := 0; i < 20; i++ {
+		want := fmt.Sprintf("val-%d", i)
+		if i == 3 {
+			want = "replacement"
+		}
+		got, ok := st2.Get(fmt.Sprintf("key-%d", i))
+		if !ok || string(got) != want {
+			t.Fatalf("key-%d after reopen: got %q ok=%v want %q", i, got, ok, want)
+		}
+	}
+}
+
+// TestCrashRecoveryTruncatesTornTail simulates a crash mid-append: a
+// trailing partial record (and a CRC-corrupted one) must be truncated
+// on reopen, with every earlier record recovered intact.
+func TestCrashRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, Config{Dir: dir})
+	for i := 0; i < 10; i++ {
+		st.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	st.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if len(segs) == 0 {
+		t.Fatal("no segment files")
+	}
+	// Append a torn record: a header promising more bytes than exist.
+	f, err := os.OpenFile(segs[0], os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[4:8], 100)
+	binary.LittleEndian.PutUint32(hdr[8:12], 100000)
+	if _, err := f.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2 := openTest(t, Config{Dir: dir})
+	for i := 0; i < 10; i++ {
+		got, ok := st2.Get(fmt.Sprintf("key-%d", i))
+		if !ok || string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key-%d lost after torn-tail recovery (got %q ok=%v)", i, got, ok)
+		}
+	}
+	if st2.Stats().Corrupt == 0 {
+		t.Fatal("torn tail not counted")
+	}
+	// The torn bytes must be gone from disk so a fresh append is clean.
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Put("after-crash", []byte("ok"))
+	if got, ok := st2.Get("after-crash"); !ok || string(got) != "ok" {
+		t.Fatal("append after recovery failed")
+	}
+	_ = fi
+}
+
+func TestBitFlipReadsAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, Config{Dir: dir})
+	body := bytes.Repeat([]byte("payload-"), 512)
+	st.Put("victim", body)
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("victim"); ok {
+		t.Fatal("corrupt record served")
+	}
+	if st.Stats().Corrupt == 0 {
+		t.Fatal("corruption not counted")
+	}
+	// The slot must be refillable after the drop.
+	st.Put("victim", body)
+	if got, ok := st.Get("victim"); !ok || !bytes.Equal(got, body) {
+		t.Fatal("refill after corruption failed")
+	}
+}
+
+func TestCompactionReclaimsDeadBytes(t *testing.T) {
+	st := openTest(t, Config{SegmentBytes: 1 << 20, CompactFraction: 0.3})
+	big := bytes.Repeat([]byte("x"), 4096)
+	for i := 0; i < 32; i++ {
+		st.Put(fmt.Sprintf("key-%d", i), big)
+	}
+	// Overwrite most keys with different-length bodies → dead bytes.
+	small := bytes.Repeat([]byte("y"), 128)
+	for i := 0; i < 28; i++ {
+		st.Put(fmt.Sprintf("key-%d", i), small)
+	}
+	// Seal the active segment so it is compactable.
+	st.mu.Lock()
+	if st.active != nil {
+		st.active.sealed = true
+		st.active = nil
+	}
+	st.mu.Unlock()
+	st.CompactNow()
+	s := st.Stats()
+	if s.Compactions == 0 {
+		t.Fatalf("no compaction ran: %+v", s)
+	}
+	for i := 0; i < 32; i++ {
+		want := big
+		if i < 28 {
+			want = small
+		}
+		got, ok := st.Get(fmt.Sprintf("key-%d", i))
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("key-%d wrong after compaction (ok=%v len=%d)", i, ok, len(got))
+		}
+	}
+	if s.DeadBytes >= st.Stats().DiskBytes {
+		t.Fatalf("dead bytes not reclaimed: %+v", s)
+	}
+}
+
+func TestAppenderCommitAndAbort(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, Config{Dir: dir})
+	ap := st.Begin("streamed")
+	if ap == nil {
+		t.Fatal("Begin returned nil")
+	}
+	ap.Write([]byte("hello "))
+	ap.Write([]byte("world"))
+	if !ap.Commit() {
+		t.Fatal("Commit failed")
+	}
+	got, ok := st.Get("streamed")
+	if !ok || string(got) != "hello world" {
+		t.Fatalf("got %q ok=%v", got, ok)
+	}
+
+	ap2 := st.Begin("aborted")
+	ap2.Write([]byte("junk"))
+	ap2.Abort()
+	if _, ok := st.Get("aborted"); ok {
+		t.Fatal("aborted record visible")
+	}
+	// Aborted private segment file must be unlinked.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	for _, p := range segs {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("zero-byte leftover segment %s", p)
+		}
+	}
+}
+
+func TestAppenderSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, Config{Dir: dir})
+	ap := st.Begin("k")
+	ap.Write(bytes.Repeat([]byte("z"), 10000))
+	ap.Commit()
+	st.Close()
+	st2 := openTest(t, Config{Dir: dir})
+	got, ok := st2.Get("k")
+	if !ok || len(got) != 10000 {
+		t.Fatalf("streamed record lost on reopen (ok=%v len=%d)", ok, len(got))
+	}
+}
+
+// An uncommitted appender file left by a crash must be dropped at Open.
+func TestUncommittedAppenderTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, Config{Dir: dir})
+	st.Put("good", []byte("v"))
+	ap := st.Begin("half")
+	ap.Write([]byte("body bytes"))
+	// Simulate crash: no Commit, no Abort. Close store underneath.
+	st.Close()
+
+	st2 := openTest(t, Config{Dir: dir})
+	if _, ok := st2.Get("half"); ok {
+		t.Fatal("uncommitted record visible after reopen")
+	}
+	if got, ok := st2.Get("good"); !ok || string(got) != "v" {
+		t.Fatal("committed record lost")
+	}
+}
+
+func TestOpenVerifiedStreamsBody(t *testing.T) {
+	st := openTest(t, Config{})
+	body := bytes.Repeat([]byte("0123456789abcdef"), 64<<10/16*3) // ~192 KiB, > chunk
+	st.Put("k", body)
+	ent, ok := st.OpenVerified("k")
+	if !ok {
+		t.Fatal("OpenVerified miss")
+	}
+	defer ent.Close()
+	if ent.BodyLen() != int64(len(body)) {
+		t.Fatalf("BodyLen = %d want %d", ent.BodyLen(), len(body))
+	}
+	out := make([]byte, 0, len(body))
+	buf := make([]byte, 4096)
+	var off int64
+	for off < ent.BodyLen() {
+		n, err := ent.ReadBodyAt(buf, off)
+		if n == 0 {
+			t.Fatalf("ReadBodyAt stalled at %d: %v", off, err)
+		}
+		out = append(out, buf[:n]...)
+		off += int64(n)
+	}
+	if !bytes.Equal(out, body) {
+		t.Fatal("streamed body differs")
+	}
+}
+
+func TestOpenVerifiedRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, Config{Dir: dir})
+	st.Put("k", bytes.Repeat([]byte("x"), 100000))
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	raw, _ := os.ReadFile(segs[0])
+	raw[len(raw)-5] ^= 0x01
+	os.WriteFile(segs[0], raw, 0o644)
+	if _, ok := st.OpenVerified("k"); ok {
+		t.Fatal("corrupt record passed chunked verification")
+	}
+}
+
+// A reader pin must keep a retired segment readable until Close.
+func TestRetiredSegmentPinnedByReader(t *testing.T) {
+	dir := t.TempDir()
+	st := openTest(t, Config{Dir: dir, SegmentBytes: 1 << 10, MaxBytes: 1 << 20})
+	body := bytes.Repeat([]byte("p"), 2048)
+	st.Put("pinned", body)
+	ent, ok := st.OpenVerified("pinned")
+	if !ok {
+		t.Fatal("miss")
+	}
+	// Force retirement of everything.
+	st.mu.Lock()
+	for len(st.order) > 0 {
+		st.retireLocked(st.order[0])
+	}
+	st.mu.Unlock()
+	buf := make([]byte, 64)
+	if _, err := ent.ReadBodyAt(buf, 0); err != nil {
+		t.Fatalf("pinned read failed after retirement: %v", err)
+	}
+	ent.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if len(segs) != 0 {
+		t.Fatalf("doomed segment not unlinked after last Close: %v", segs)
+	}
+}
+
+func TestScanRecordsRejectsGarbage(t *testing.T) {
+	// Arbitrary garbage must scan to a zero-length valid prefix.
+	garbage := []byte("this is not a segment file at all, definitely not")
+	end, torn := ScanRecords(bytes.NewReader(garbage), int64(len(garbage)), func(int64, uint32, uint32, []byte) {
+		t.Fatal("callback on garbage")
+	})
+	if end != 0 || !torn {
+		t.Fatalf("end=%d torn=%v", end, torn)
+	}
+}
+
+func TestScanRecordsRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	type kv struct{ k, v string }
+	recs := []kv{{"a", "1"}, {"bb", ""}, {"ccc", strings.Repeat("v", 3000)}}
+	for _, r := range recs {
+		var hdr [recordHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(r.k)))
+		binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(r.v)))
+		crc := crc32.ChecksumIEEE([]byte(r.k))
+		crc = crc32.Update(crc, crc32.IEEETable, []byte(r.v))
+		crc = crc32.Update(crc, crc32.IEEETable, hdr[4:12])
+		binary.LittleEndian.PutUint32(hdr[0:4], crc)
+		buf.Write(hdr[:])
+		buf.WriteString(r.k)
+		buf.WriteString(r.v)
+	}
+	var got []kv
+	end, torn := ScanRecords(bytes.NewReader(buf.Bytes()), int64(buf.Len()), func(off int64, kl, bl uint32, key []byte) {
+		got = append(got, kv{string(key), ""})
+	})
+	if torn || end != int64(buf.Len()) || len(got) != len(recs) {
+		t.Fatalf("end=%d torn=%v n=%d", end, torn, len(got))
+	}
+}
