@@ -135,6 +135,17 @@ type RegimeResult struct {
 	ResponseBytes  int64   `json:"response_bytes,omitempty"`
 	PeakBytes      int64   `json:"peak_bytes,omitempty"`
 	PeakThreshold  float64 `json:"peak_threshold,omitempty"`
+
+	// Restart-regime extras (see restart.go): per-sample raw counters from
+	// the reopened server — re-evaluations over the RestartKeys replayed
+	// point queries and the spill-hit count that must cover the keys it did
+	// not re-evaluate. Speedup for this regime is the certified hit rate
+	// 1 − ΣRestartReevals/(RestartKeys × Samples), gated at
+	// RestartHitThreshold; cmd/checkbench re-derives it from the arrays.
+	RestartKeys         int     `json:"restart_keys,omitempty"`
+	RestartReevals      []int64 `json:"restart_reevals,omitempty"`
+	RestartSpillHits    []int64 `json:"restart_spill_hits,omitempty"`
+	RestartHitThreshold float64 `json:"restart_hit_threshold,omitempty"`
 }
 
 // Report is the BENCH_serve.json document.
@@ -291,6 +302,12 @@ func buildReport(quick bool) Report {
 		rep.Pass = false
 	}
 	rep.Regimes = append(rep.Regimes, sw)
+
+	rs := runRestart(quick)
+	if !rs.MeetsThreshold {
+		rep.Pass = false
+	}
+	rep.Regimes = append(rep.Regimes, rs)
 	return rep
 }
 

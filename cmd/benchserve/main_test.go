@@ -9,8 +9,8 @@ import (
 
 func TestBuildReportQuick(t *testing.T) {
 	rep := buildReport(true)
-	if len(rep.Regimes) != 7 {
-		t.Fatalf("%d regimes, want 7", len(rep.Regimes))
+	if len(rep.Regimes) != 8 {
+		t.Fatalf("%d regimes, want 8", len(rep.Regimes))
 	}
 	names := map[string]bool{}
 	for _, r := range rep.Regimes {
@@ -28,7 +28,7 @@ func TestBuildReportQuick(t *testing.T) {
 			t.Fatalf("regime %s: p99 %v < p50 %v", r.Name, r.TunedP99Ms, r.TunedP50Ms)
 		}
 	}
-	for _, want := range []string{"hit", "miss", "mixed", "large_n", "many_clients", "fleet", "sweep"} {
+	for _, want := range []string{"hit", "miss", "mixed", "large_n", "many_clients", "fleet", "sweep", "restart"} {
 		if !names[want] {
 			t.Fatalf("missing regime %q", want)
 		}

@@ -1,0 +1,184 @@
+package main
+
+// The restart regime certifies the spill tier's write-through durability
+// mode (internal/api EnableSpillOptions + the shutdown flush): a server
+// that served a working set, drained, and restarted over the same spill
+// directory must re-serve that working set from disk — byte-identically
+// and without re-evaluating it.
+//
+// Per sample: a fresh write-through server over a fresh spill dir is
+// populated with K distinct point queries (recording every body) plus one
+// large streamed /v1/batch body, then shut down via CloseSpill (draining
+// the write-through queue and flushing still-resident entries). A second
+// server with an empty memory tier reopens the same directory and replays
+// the identical traffic. The certificate gates:
+//
+//   - re-evaluations: the reopened server's MeasureEvals over the K keys,
+//     recorded per sample; the certified hit rate is
+//     1 − Σreevals/(K × samples), gated at restartHitThreshold.
+//     cmd/checkbench re-derives the rate from the raw per-sample counter
+//     arrays and rejects a certificate whose summary disagrees;
+//   - byte identity: every replayed response — point and streamed batch —
+//     must equal the populate-time bytes exactly (divergence panics, so a
+//     certificate cannot exist for a byte-unfaithful restart);
+//   - provenance: per sample, the reopened server's spill-hit counter must
+//     cover every key it did not re-evaluate (the answers came from the
+//     reopened segments, not from some other warm path).
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hetero/internal/api"
+	"hetero/internal/spill"
+)
+
+// restartHitThreshold is the certified floor for the fraction of
+// previously served keys a restarted server answers without re-evaluation.
+const restartHitThreshold = 0.9
+
+// restartSamples sits above cmd/checkbench's minSamples floor, like
+// sweepSamples and fleetSamples.
+const restartSamples = 7
+
+type restartSizes struct {
+	keys    int // distinct point queries K per sample
+	samples int
+}
+
+func restartDefaultSizes(quick bool) restartSizes {
+	if quick {
+		return restartSizes{keys: 16, samples: 2}
+	}
+	return restartSizes{keys: 64, samples: restartSamples}
+}
+
+// newRestartServer opens (or reopens) the spill store under dir in
+// write-through mode on a fresh server. The memory byte budget is modest
+// on purpose: part of the working set evicts (reaching disk the PR-9 way)
+// and part stays resident (reaching disk only via write-through and the
+// shutdown flush), so a certificate covers both durability routes.
+func newRestartServer(dir string) *api.Server {
+	st, err := spill.Open(spill.Config{Dir: dir})
+	if err != nil {
+		panic(fmt.Sprintf("benchserve: restart spill store: %v", err))
+	}
+	s := api.NewServerWithCache(api.CacheConfig{Entries: 256, MaxBytes: 256 << 10, Coalesce: true})
+	s.EnableSpillOptions(st, api.SpillOptions{WriteThrough: true})
+	return s
+}
+
+func restartQuery(i int) string {
+	return fmt.Sprintf("profile=1,0.5,0.%03d&pi=0.0%03d", i%899+101, i)
+}
+
+// runRestart runs the paired populate → drain → reopen → replay samples
+// and builds the certificate.
+func runRestart(quick bool) RegimeResult {
+	sz := restartDefaultSizes(quick)
+	tmp, err := os.MkdirTemp("", "benchserve-restart-")
+	if err != nil {
+		panic(fmt.Sprintf("benchserve: restart tempdir: %v", err))
+	}
+	defer os.RemoveAll(tmp)
+
+	streamBody := sweepBodies(1, 1024)[0]
+	reevals := make([]int64, 0, sz.samples)
+	spillHits := make([]int64, 0, sz.samples)
+	var populateNs, replayNs int64
+	var lastLats []time.Duration
+	for k := 0; k < sz.samples; k++ {
+		dir := filepath.Join(tmp, fmt.Sprintf("s%d", k))
+
+		// Populate: every key evaluates once; write-through carries the
+		// bodies to disk as they are admitted.
+		s1 := newRestartServer(dir)
+		want := make([][]byte, sz.keys)
+		t0 := time.Now()
+		for i := range want {
+			status, body := s1.MeasureQuery(restartQuery(i))
+			if status != 200 {
+				panic(fmt.Sprintf("benchserve: restart populate key %d: status %d", i, status))
+			}
+			want[i] = body
+		}
+		populateNs += time.Since(t0).Nanoseconds()
+		if evals := s1.MeasureEvals(); evals != uint64(sz.keys) {
+			panic(fmt.Sprintf("benchserve: restart populate ran %d evals for %d keys", evals, sz.keys))
+		}
+		golden := &sweepHashWriter{}
+		if status, msg, err := s1.BatchBodyStream(context.Background(), golden, streamBody); status != 200 || err != nil {
+			panic(fmt.Sprintf("benchserve: restart populate stream: status %d msg %q err %v", status, msg, err))
+		}
+		s1.CloseSpill() // drain the queue, flush residents, fsync the segments closed
+
+		// Replay against an empty memory tier over the reopened segments.
+		s2 := newRestartServer(dir)
+		lats := make([]time.Duration, 0, sz.keys)
+		t1 := time.Now()
+		for i := range want {
+			lt := time.Now()
+			status, body := s2.MeasureQuery(restartQuery(i))
+			lats = append(lats, time.Since(lt))
+			if status != 200 {
+				panic(fmt.Sprintf("benchserve: restart replay key %d: status %d", i, status))
+			}
+			if !bytes.Equal(body, want[i]) {
+				panic(fmt.Sprintf("benchserve: restart replay key %d diverged from the populate-time bytes", i))
+			}
+		}
+		replayNs += time.Since(t1).Nanoseconds()
+		replayed := &sweepHashWriter{}
+		if status, msg, err := s2.BatchBodyStream(context.Background(), replayed, streamBody); status != 200 || err != nil {
+			panic(fmt.Sprintf("benchserve: restart replay stream: status %d msg %q err %v", status, msg, err))
+		}
+		if replayed.h != golden.h || replayed.n != golden.n {
+			panic("benchserve: restart replay streamed batch diverged from the populate-time bytes")
+		}
+
+		re := int64(s2.MeasureEvals())
+		st := s2.SpillStatsNow()
+		if !st.WriteThrough {
+			panic("benchserve: restart server does not report write-through")
+		}
+		if int64(st.Hits) < int64(sz.keys)-re {
+			panic(fmt.Sprintf("benchserve: restart sample %d: %d spill hits cannot cover %d served keys (%d re-evals)",
+				k, st.Hits, sz.keys, re))
+		}
+		reevals = append(reevals, re)
+		spillHits = append(spillHits, int64(st.Hits))
+		s2.CloseSpill()
+		lastLats = lats
+		fmt.Fprintf(os.Stderr, "benchserve: restart sample %d/%d: keys=%d reevals=%d spill_hits=%d\n",
+			k+1, sz.samples, sz.keys, re, st.Hits)
+	}
+
+	var totalReevals int64
+	for _, re := range reevals {
+		totalReevals += re
+	}
+	totalKeys := int64(sz.keys) * int64(len(reevals))
+	hitRate := 1 - float64(totalReevals)/float64(totalKeys)
+	tuned := loadStats{ops: sz.keys, latencies: lastLats}
+	r := RegimeResult{
+		Name:                "restart",
+		Requests:            2 * (sz.keys + 1) * sz.samples,
+		BaselineOpsPerSec:   float64(totalKeys) * float64(time.Second) / float64(populateNs),
+		TunedOpsPerSec:      float64(totalKeys) * float64(time.Second) / float64(replayNs),
+		Speedup:             hitRate,
+		Samples:             len(reevals),
+		TunedP50Ms:          tuned.percentileMs(50),
+		TunedP99Ms:          tuned.percentileMs(99),
+		Threshold:           restartHitThreshold,
+		RestartKeys:         sz.keys,
+		RestartReevals:      reevals,
+		RestartSpillHits:    spillHits,
+		RestartHitThreshold: restartHitThreshold,
+	}
+	r.MeetsThreshold = hitRate >= restartHitThreshold
+	return r
+}

@@ -252,6 +252,12 @@ func checkRegime(regime map[string]interface{}) error {
 	if _, isChurn := regime["useful_replan"]; isChurn {
 		return checkChurnRegime(regime)
 	}
+	if _, isRestart := regime["restart_reevals"]; isRestart {
+		// Restart regime: no CI gate (the metric is a hit rate, not a
+		// ratio distribution), so the re-derivation below is the whole
+		// gate.
+		return checkRestartRegime(regime)
+	}
 	if _, isFleet := regime["fleet_evals"]; isFleet {
 		// The amplification gate is extra; the fleet regime then falls
 		// through to the ordinary CI gate below for its wall-clock claim.
@@ -383,6 +389,55 @@ func checkSweepRegime(regime map[string]interface{}) error {
 	if peak > ratioMax*resp {
 		return fmt.Errorf("regime %v: spill-hit heap peak %.0f exceeds %.2f× the %.0f-byte response — the streamed serve is not bounded",
 			name, peak, ratioMax, resp)
+	}
+	return nil
+}
+
+// checkRestartRegime validates cmd/benchserve's warm-restart durability
+// regime. Nothing is trusted: the hit rate is re-derived from the raw
+// per-sample re-evaluation counters as 1 − Σreevals/(keys × samples) and
+// must agree with the reported speedup within 0.1% (so a forged summary
+// cannot pass), the sample count is the array length itself (so a -quick
+// run cannot certify), and every sample's spill-hit counter must cover the
+// keys it did not re-evaluate (so the answers provably came from the
+// reopened segments rather than some other warm path).
+func checkRestartRegime(regime map[string]interface{}) error {
+	name := regime["name"]
+	reevals, okR := floatsOf(regime["restart_reevals"])
+	hits, okH := floatsOf(regime["restart_spill_hits"])
+	keys, okK := regime["restart_keys"].(float64)
+	threshold, okT := regime["restart_hit_threshold"].(float64)
+	if !okR || !okH || !okK || !okT || keys <= 0 || threshold <= 0 ||
+		len(reevals) == 0 || len(reevals) != len(hits) {
+		return fmt.Errorf("regime %v missing raw restart fields", name)
+	}
+	if len(reevals) < minSamples {
+		return fmt.Errorf("regime %v certified from %d samples, need ≥ %d (was it generated with -quick?)",
+			name, len(reevals), minSamples)
+	}
+	if samples, ok := regime["samples"].(float64); ok && int(samples) != len(reevals) {
+		return fmt.Errorf("regime %v: reported %d samples but carries %d raw samples",
+			name, int(samples), len(reevals))
+	}
+	var total float64
+	for i, re := range reevals {
+		if re < 0 || re > keys {
+			return fmt.Errorf("regime %v: sample %d re-evaluations %.0f outside [0, %.0f]", name, i, re, keys)
+		}
+		if hits[i] < keys-re {
+			return fmt.Errorf("regime %v: sample %d spill hits %.0f cannot cover %.0f keys at %.0f re-evals — the replay was not served from the reopened segments",
+				name, i, hits[i], keys, re)
+		}
+		total += re
+	}
+	derived := 1 - total/(keys*float64(len(reevals)))
+	if reported, ok := regime["speedup"].(float64); ok &&
+		!(derived <= reported*1.001+1e-9 && derived >= reported*0.999-1e-9) {
+		return fmt.Errorf("regime %v: reported hit rate %.3f disagrees with raw counters (%.3f)",
+			name, reported, derived)
+	}
+	if derived < threshold {
+		return fmt.Errorf("regime %v: restart hit rate %.3f misses threshold %.3f", name, derived, threshold)
 	}
 	return nil
 }

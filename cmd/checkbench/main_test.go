@@ -132,6 +132,37 @@ func TestCheckDoc(t *testing.T) {
 			"wall_ns_spill_off": [3000, 3000, 3000, 3000], "wall_ns_spill_on": [1000, 1000, 1000, 1000, 1000],
 			"sweep_bodies": 4, "spill_hits": 20, "peak_bytes": 100000, "response_bytes": 800000,
 			"peak_threshold": 0.5}]}`, true},
+		{"restart regime met", `{"pass": true, "regimes": [{"name": "restart", "meets_threshold": true,
+			"threshold": 0.9, "samples": 5, "speedup": 1.0, "restart_keys": 64,
+			"restart_reevals": [0, 0, 0, 0, 0], "restart_spill_hits": [65, 65, 65, 65, 65],
+			"restart_hit_threshold": 0.9}]}`, false},
+		{"restart tolerates re-evals above the floor", `{"pass": true, "regimes": [{"name": "restart",
+			"meets_threshold": true, "threshold": 0.9, "samples": 5, "speedup": 0.9875, "restart_keys": 64,
+			"restart_reevals": [0, 0, 4, 0, 0], "restart_spill_hits": [65, 65, 61, 65, 65],
+			"restart_hit_threshold": 0.9}]}`, false},
+		{"restart forged hit rate disagrees with raw counters", `{"pass": true, "regimes": [{"name": "restart",
+			"meets_threshold": true, "threshold": 0.9, "samples": 5, "speedup": 1.0, "restart_keys": 64,
+			"restart_reevals": [8, 8, 8, 8, 8], "restart_spill_hits": [65, 65, 65, 65, 65],
+			"restart_hit_threshold": 0.9}]}`, true},
+		{"restart raw hit rate under threshold despite forged flag", `{"pass": true, "regimes": [{"name": "restart",
+			"meets_threshold": true, "threshold": 0.9, "samples": 5, "speedup": 0.75, "restart_keys": 64,
+			"restart_reevals": [16, 16, 16, 16, 16], "restart_spill_hits": [65, 65, 65, 65, 65],
+			"restart_hit_threshold": 0.9}]}`, true},
+		{"restart quick run cannot certify", `{"pass": true, "regimes": [{"name": "restart",
+			"meets_threshold": true, "threshold": 0.9, "samples": 2, "speedup": 1.0, "restart_keys": 16,
+			"restart_reevals": [0, 0], "restart_spill_hits": [17, 17],
+			"restart_hit_threshold": 0.9}]}`, true},
+		{"restart forged sample count disagrees with raw arrays", `{"pass": true, "regimes": [{"name": "restart",
+			"meets_threshold": true, "threshold": 0.9, "samples": 7, "speedup": 1.0, "restart_keys": 64,
+			"restart_reevals": [0, 0, 0, 0, 0], "restart_spill_hits": [65, 65, 65, 65, 65],
+			"restart_hit_threshold": 0.9}]}`, true},
+		{"restart spill hits cannot cover served keys", `{"pass": true, "regimes": [{"name": "restart",
+			"meets_threshold": true, "threshold": 0.9, "samples": 5, "speedup": 1.0, "restart_keys": 64,
+			"restart_reevals": [0, 0, 0, 0, 0], "restart_spill_hits": [65, 65, 10, 65, 65],
+			"restart_hit_threshold": 0.9}]}`, true},
+		{"restart missing raw fields", `{"pass": true, "regimes": [{"name": "restart",
+			"meets_threshold": true, "threshold": 0.9, "samples": 5, "speedup": 1.0,
+			"restart_reevals": [0, 0, 0, 0, 0], "restart_hit_threshold": 0.9}]}`, true},
 	}
 	for _, tc := range cases {
 		path := writeDoc(t, "doc.json", tc.content)

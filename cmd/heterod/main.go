@@ -30,6 +30,16 @@
 // memory. Off by default; off, the read path is byte-for-byte the
 // historical one.
 //
+// -spill-write-through (with -spill-dir) turns the spill tier into a
+// durability layer for restarts: memory-tier inserts are offered to the
+// spill queue at admission time, not only on eviction, and shutdown adds a
+// bounded best-effort flush of still-resident entries — so a warm restart
+// re-serves the working set from segment recovery with zero
+// re-evaluations. -spill-compact-rate caps compaction rewrite bandwidth in
+// bytes/sec (0 = default 32 MiB/s, negative = unlimited) so the
+// write-through firehose can't make background compaction starve the
+// foreground writer.
+//
 // For profiling in production, -pprof-addr exposes net/http/pprof on a
 // separate listener (off by default; bind it to localhost or a management
 // network, never the serving address):
@@ -91,6 +101,8 @@ func run(args []string) error {
 	spillDir := fs.String("spill-dir", "", "directory for the on-disk spill tier under the response caches (empty disables)")
 	spillBytes := fs.Int64("spill-bytes", spill.DefaultMaxBytes, "byte budget for spill segment files on disk; whole segments retire oldest-first past it (with -spill-dir)")
 	spillIndexBytes := fs.Int64("spill-index-bytes", spill.DefaultMaxIndexBytes, "byte budget for the in-memory spill index (with -spill-dir)")
+	spillWriteThrough := fs.Bool("spill-write-through", false, "offer memory-tier inserts to the spill tier at admission time and flush resident entries on shutdown, so a warm restart serves the working set without re-evaluation (with -spill-dir)")
+	spillCompactRate := fs.Int64("spill-compact-rate", 0, "spill compaction rewrite budget in bytes/sec; 0 = default, negative = unlimited (with -spill-dir)")
 	peers := fs.String("peers", "", "comma-separated fleet membership, host:port per replica (every replica gets the identical list); empty disables the peer cache tier")
 	self := fs.String("self", "", "this replica's own address within -peers (required with -peers)")
 	peerHedgeDelay := fs.Duration("peer-hedge-delay", cluster.DefaultHedgeDelay, "delay before the hedged second peer request (0 = default, negative disables hedging)")
@@ -145,17 +157,18 @@ func run(args []string) error {
 	apiSrv.StreamBatchThreshold = *streamBatchThreshold
 	if *spillDir != "" {
 		st, err := spill.Open(spill.Config{
-			Dir:           *spillDir,
-			MaxBytes:      *spillBytes,
-			MaxIndexBytes: *spillIndexBytes,
+			Dir:                *spillDir,
+			MaxBytes:           *spillBytes,
+			MaxIndexBytes:      *spillIndexBytes,
+			CompactBytesPerSec: *spillCompactRate,
 		})
 		if err != nil {
 			ln.Close()
 			return fmt.Errorf("opening spill tier: %w", err)
 		}
-		apiSrv.EnableSpill(st)
-		log.Printf("heterod spill tier: dir=%s bytes=%d index-bytes=%d",
-			*spillDir, *spillBytes, *spillIndexBytes)
+		apiSrv.EnableSpillOptions(st, api.SpillOptions{WriteThrough: *spillWriteThrough})
+		log.Printf("heterod spill tier: dir=%s bytes=%d index-bytes=%d write-through=%v compact-rate=%d",
+			*spillDir, *spillBytes, *spillIndexBytes, *spillWriteThrough, *spillCompactRate)
 	}
 	if tier != nil {
 		apiSrv.EnableCluster(tier)

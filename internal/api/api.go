@@ -84,6 +84,7 @@ type Server struct {
 	spill                *spillTier      // on-disk second-level cache (nil = off)
 	measureEvals         atomic.Uint64   // measure-path profile evaluations (inline + flush)
 	servedGets           atomic.Uint64   // peer gets answered with cached bytes
+	servedGetsSpill      atomic.Uint64   // peer gets answered from the spill tier
 	servedGetMisses      atomic.Uint64   // peer gets answered 404 (cold)
 	acceptedPuts         atomic.Uint64   // peer puts admitted to a cache layer
 	rejectedPuts         atomic.Uint64   // peer puts refused (ownership, framing, key)

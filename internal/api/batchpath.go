@@ -101,10 +101,12 @@ func (s *Server) BatchBody(body []byte) (status int, resp []byte, msg string) {
 			return 200, resp, ""
 		}
 	}
-	// Spill tier: an evicted (or stream-teed) response for these exact
-	// body bytes may be on disk — consulted after the memory front,
-	// before any decoding or evaluation. A hit is promoted back into the
-	// memory front (with its sniffed profile count as meta) by the fill.
+	// Spill tier: a response for these exact body bytes may be on disk —
+	// evicted, stream-teed, or (in write-through mode) persisted at
+	// admission and surviving a restart — consulted after the memory
+	// front, before any decoding or evaluation. A hit is promoted back
+	// into the memory front (with its sniffed profile count as meta) by
+	// the fill.
 	if front {
 		if sb, ok := s.spillGet(spillLayerBatch, key); ok {
 			resp, meta, _, err := s.batchRawCache.fillStrMeta(h, key, func() ([]byte, int64, error) {

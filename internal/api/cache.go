@@ -206,6 +206,13 @@ type responseCache struct {
 	// shard lock so it must be non-blocking and cheap; written once via
 	// setEvictSink before traffic flows, re-applied across resizes.
 	sink func(key string, body []byte)
+	// wsink, when set, receives every entry at admission time (the spill
+	// tier's write-through hook). Same contract as sink: runs under the
+	// shard lock, must be non-blocking and cheap; written once via
+	// setInsertSink before traffic flows, re-applied across resizes —
+	// but only after a migration's re-inserts, so a resize never
+	// re-offers the whole resident set to the spill queue.
+	wsink func(key string, body []byte)
 }
 
 // shardSet is one generation of the cache's lock domains; adaptive resizes
@@ -229,6 +236,9 @@ type cacheShard struct {
 	// sink mirrors responseCache.sink into the lock domain so the
 	// eviction loop can offer entries without reaching for the cache.
 	sink func(key string, body []byte)
+	// wsink mirrors responseCache.wsink (the write-through admission
+	// hook) into the lock domain for the same reason.
+	wsink func(key string, body []byte)
 
 	hits      uint64
 	misses    uint64
@@ -603,6 +613,12 @@ func (c *responseCache) migrate(old *shardSet, shards int) *shardSet {
 		dst.evicted += osh.evicted
 		dst.rejected += osh.rejected
 	}
+	// Install the write-through sink only after the re-inserts above so a
+	// shard-count change doesn't replay the whole resident set into the
+	// spill queue (it is already on disk or on its way there).
+	for i := range set.shards {
+		set.shards[i].wsink = c.wsink
+	}
 	return set
 }
 
@@ -848,6 +864,9 @@ func (sh *cacheShard) insertLocked(key string, body []byte, meta int64) {
 		sh.entries[key] = sh.order.PushFront(&cacheEntry{key: key, body: body, meta: meta})
 		sh.bytes += cost
 	}
+	if sh.wsink != nil {
+		sh.wsink(key, body)
+	}
 	for sh.order.Len() > sh.capacity || (sh.byteBudget > 0 && sh.bytes > sh.byteBudget) {
 		oldest := sh.order.Back()
 		if oldest == nil {
@@ -966,6 +985,42 @@ func (c *responseCache) setEvictSink(fn func(key string, body []byte)) {
 	c.sink = fn
 	for i := range c.set.shards {
 		c.set.shards[i].sink = fn
+	}
+}
+
+// setInsertSink installs fn as the write-through admission sink on every
+// current shard and records it for future resizes. Same contract as
+// setEvictSink: fn runs under a shard lock and must be non-blocking (the
+// spill tier hands off to a bounded queue). Install before traffic flows.
+func (c *responseCache) setInsertSink(fn func(key string, body []byte)) {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	c.wsink = fn
+	for i := range c.set.shards {
+		c.set.shards[i].wsink = fn
+	}
+}
+
+// forEachEntry visits every resident entry, hot-to-cold within each shard,
+// until fn returns false. fn runs under the visited shard's lock: it must
+// not call back into the cache and must not block — callers that need to do
+// real work (the shutdown flush) snapshot references inside fn and process
+// them after forEachEntry returns. Bodies are immutable once admitted, so
+// holding the references afterwards is safe.
+func (c *responseCache) forEachEntry(fn func(key string, body []byte) bool) {
+	c.resizeMu.RLock()
+	defer c.resizeMu.RUnlock()
+	for i := range c.set.shards {
+		sh := &c.set.shards[i]
+		sh.mu.Lock()
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			if !fn(e.key, e.body) {
+				sh.mu.Unlock()
+				return
+			}
+		}
+		sh.mu.Unlock()
 	}
 }
 

@@ -3,6 +3,7 @@ package api
 import (
 	"bytes"
 	"net/http"
+	"strconv"
 
 	"hetero/internal/cluster"
 )
@@ -81,6 +82,9 @@ func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "peer get: unknown layer")
 			return
 		}
+		if !found && s.servePeerGetFromSpill(w, layer, key) {
+			return
+		}
 	}
 	if !found {
 		s.servedGetMisses.Add(1)
@@ -90,6 +94,55 @@ func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
 	s.servedGets.Add(1)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(body)
+}
+
+// servePeerGetFromSpill answers a peer get from the on-disk tier after the
+// memory layers miss: an owner that has evicted a key it owns — or was
+// restarted since serving it, in write-through mode — still serves the
+// cached bytes without an evaluation, which is what keeps the fleet's
+// ≤1.25-evals-per-key bound intact across restarts. The handle is fully
+// CRC-verified before the first byte is written, so corruption degrades to
+// a plain miss (never a bad byte), and the body streams in fixed-size
+// chunks (raw-front bodies can be large). The entry is deliberately not
+// promoted back into memory: a key only peers are asking for should not
+// displace this replica's own working set. Reports whether it wrote a
+// response.
+func (s *Server) servePeerGetFromSpill(w http.ResponseWriter, layer byte, key []byte) bool {
+	var slayer byte
+	switch layer {
+	case cluster.LayerCanonical:
+		slayer = spillLayerCanonical
+	case cluster.LayerRaw:
+		slayer = spillLayerRaw
+	default:
+		return false
+	}
+	ent, ok := s.spillOpenStreamKey(spillKey(slayer, string(key)))
+	if !ok {
+		return false
+	}
+	defer ent.Close()
+	s.servedGetsSpill.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(ent.BodyLen(), 10))
+	buf := make([]byte, spillStreamChunk)
+	for off := int64(0); off < ent.BodyLen(); {
+		n, err := ent.ReadBodyAt(buf, off)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return true
+			}
+			off += int64(n)
+		}
+		if err != nil {
+			// The record was verified before the 200; a mid-stream read
+			// failure truncates the response short of Content-Length, which
+			// the peer's HTTP client surfaces as an error (and treats as a
+			// miss) — still never a bad byte.
+			return true
+		}
+	}
+	return true
 }
 
 // handlePeerPut accepts a response body a peer computed for a key this
@@ -173,6 +226,7 @@ type ClusterStats struct {
 	Pushes          uint64             `json:"pushes"`
 	PushErrors      uint64             `json:"push_errors"`
 	ServedGets      uint64             `json:"served_gets"`
+	ServedGetsSpill uint64             `json:"served_gets_spill"`
 	ServedGetMisses uint64             `json:"served_get_misses"`
 	AcceptedPuts    uint64             `json:"accepted_puts"`
 	RejectedPuts    uint64             `json:"rejected_puts"`
@@ -184,6 +238,7 @@ func (s *Server) clusterStats() ClusterStats {
 	cs := ClusterStats{
 		LocalEvals:      s.measureEvals.Load(),
 		ServedGets:      s.servedGets.Load(),
+		ServedGetsSpill: s.servedGetsSpill.Load(),
 		ServedGetMisses: s.servedGetMisses.Load(),
 		AcceptedPuts:    s.acceptedPuts.Load(),
 		RejectedPuts:    s.rejectedPuts.Load(),

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hetero/internal/cluster"
+	"hetero/internal/spill"
 )
 
 // testFleet is a fleet of in-process replicas behind real listeners.
@@ -391,5 +392,100 @@ func TestPeerGetDoesNotEvaluate(t *testing.T) {
 	}
 	if cs := clusterStatzOf(t, f.servers[0]); cs.ServedGetMisses != 1 {
 		t.Fatalf("served_get_misses = %d, want 1", cs.ServedGetMisses)
+	}
+}
+
+// TestPeerGetServesFromSpill: an owner that holds a key only on disk must
+// still answer /internal/peer/get with the cached bytes — CRC-verified,
+// with zero evaluations — instead of forcing the asking replica into a
+// redundant local evaluation. This is what keeps the fleet's
+// evals-per-key bound intact after the owner's memory tier turns over.
+func TestPeerGetServesFromSpill(t *testing.T) {
+	dir := t.TempDir()
+	st, err := spill.Open(spill.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The owner's memory tier holds ~2 entries, so filler traffic evicts
+	// the key under test; write-through makes it durable at admission.
+	s0 := NewServerWithCache(CacheConfig{Entries: 256, MaxBytes: 700, Shards: 1, Coalesce: true})
+	s0.EnableSpillOptions(st, SpillOptions{WriteThrough: true})
+	t.Cleanup(s0.CloseSpill)
+	s1 := NewServerCacheSize(256)
+	f := &testFleet{servers: []*Server{s0, s1}}
+	for _, s := range f.servers {
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		f.http = append(f.http, ts)
+		f.addrs = append(f.addrs, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	for i, s := range f.servers {
+		p, err := cluster.New(cluster.Config{Self: f.addrs[i], Peers: f.addrs, HedgeDelay: -1, Timeout: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.EnableCluster(p)
+	}
+
+	// Collect owner-owned queries: the first is the key under test, the
+	// rest are the filler that evicts it from the owner's memory tier.
+	// All are self-owned on s0, so warming them never touches the peer.
+	var owned []string
+	for seed := 0; seed < 2000 && len(owned) < 13; seed++ {
+		q := fmt.Sprintf("profile=1,0.5,0.%03d", seed+100)
+		if f.ownerIndex(t, q) == 0 {
+			owned = append(owned, q)
+		}
+	}
+	if len(owned) < 13 {
+		t.Fatalf("found only %d owner-owned queries", len(owned))
+	}
+	q := owned[0]
+	status, want := s0.MeasureQuery(q)
+	if status != 200 {
+		t.Fatalf("owner warm status %d", status)
+	}
+	sc := &measureScratch{}
+	m, pstatus, msg := s0.parseMeasureQuery(sc, q)
+	if pstatus != 0 {
+		t.Fatalf("parse: %d %s", pstatus, msg)
+	}
+	key := appendCanonicalKey(nil, m, sc.rhos)
+	waitSpill(t, "write-through offer to land", func() bool {
+		_, ok := s0.spillGet(spillLayerCanonical, string(key))
+		return ok
+	})
+	for _, fq := range owned[1:] {
+		if status, _ := s0.MeasureQuery(fq); status != 200 {
+			t.Fatalf("filler %q status %d", fq, status)
+		}
+	}
+	if _, ok := s0.cache.Get(string(key)); ok {
+		t.Fatal("key still memory-resident on the owner; test needs it disk-only")
+	}
+	ownerEvals := s0.MeasureEvals()
+
+	// The non-owner's miss goes to the owner, whose memory misses but
+	// whose spill tier serves the verified bytes — no evaluation anywhere.
+	status, got := s1.MeasureQuery(q)
+	if status != 200 {
+		t.Fatalf("peer fetch status %d", status)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("spill-served peer body differs:\n got %q\nwant %q", got, want)
+	}
+	if evals := s1.MeasureEvals(); evals != 0 {
+		t.Fatalf("non-owner ran %d evaluations, want 0", evals)
+	}
+	if evals := s0.MeasureEvals(); evals != ownerEvals {
+		t.Fatalf("owner re-evaluated (%d -> %d) serving a disk-resident key", ownerEvals, evals)
+	}
+	cs := clusterStatzOf(t, s0)
+	if cs.ServedGetsSpill != 1 {
+		t.Fatalf("served_gets_spill = %d, want 1 (stats %+v)", cs.ServedGetsSpill, cs)
+	}
+	fcs := clusterStatzOf(t, s1)
+	if fcs.PeerHits != 1 {
+		t.Fatalf("fetcher peer_hits = %d, want 1", fcs.PeerHits)
 	}
 }

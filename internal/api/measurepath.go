@@ -110,11 +110,13 @@ func (s *Server) measure(sc *measureScratch, rawQuery string) (int, []byte, stri
 			return 200, body, ""
 		}
 		body, _, err := s.rawCache.fillStr(h, rawQuery, func() ([]byte, error) {
-			// Spill tier: a raw entry this layer evicted may still be on
-			// disk. Consulted after the memory layers (we are the flight
-			// leader of a miss) and before any peer fetch or evaluation; a
-			// hit is promoted back into memory by the fill insert and
-			// skips the parse exactly as a raw-layer peer hit would.
+			// Spill tier: a raw entry this layer evicted — or, in
+			// write-through mode, one persisted at admission time and
+			// surviving a restart — may still be on disk. Consulted after
+			// the memory layers (we are the flight leader of a miss) and
+			// before any peer fetch or evaluation; a hit is promoted back
+			// into memory by the fill insert and skips the parse exactly
+			// as a raw-layer peer hit would.
 			if b, ok := s.spillGet(spillLayerRaw, rawQuery); ok {
 				return b, nil
 			}
@@ -188,8 +190,11 @@ func (s *Server) measureCanonical(sc *measureScratch, rawQuery string) (int, []b
 	// through to the inline path.
 	body, _, err := s.cache.fill(h, sc.key, func() ([]byte, error) {
 		// Spill tier: disk before peers, peers before evaluation. A hit
-		// returns the evicted bytes verbatim (CRC-checked); the fill
-		// insert promotes them back into the memory tier.
+		// returns the stored bytes verbatim (CRC-checked); the fill
+		// insert promotes them back into the memory tier. In
+		// write-through mode this is also the warm-restart path: the key
+		// was persisted at admission (or by the shutdown flush), so a
+		// reopened store answers here with zero re-evaluations.
 		if b, ok := s.spillGet(spillLayerCanonical, string(sc.key)); ok {
 			return b, nil
 		}

@@ -53,8 +53,10 @@ func (s *Server) serveQueryCached(w http.ResponseWriter, prefix, rawQuery string
 	}
 	body, _, err := s.rawCache.fillStr(h, key, func() ([]byte, error) {
 		// Spill tier: the prefixed key is namespaced inside the raw
-		// layer, so an evicted compare/speedup entry round-trips through
-		// disk under the same spelling. Hit → promoted by the fill insert.
+		// layer, so a compare/speedup entry — evicted, or persisted at
+		// admission in write-through mode — round-trips through disk (and
+		// restarts) under the same spelling. Hit → promoted by the fill
+		// insert.
 		if b, ok := s.spillGet(spillLayerRaw, key); ok {
 			return b, nil
 		}

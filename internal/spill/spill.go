@@ -46,6 +46,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -64,6 +65,15 @@ const (
 	// DefaultCompactFraction is the dead-byte fraction at which a
 	// sealed segment is compacted.
 	DefaultCompactFraction = 0.5
+
+	// DefaultCompactBytesPerSec caps how fast background compaction may
+	// rewrite live bytes. Write-through mode turns every cache insert
+	// into a store write, so dead bytes accrue as fast as the serving
+	// path overwrites entries; without a budget the 50%-dead trigger
+	// makes the compactor contend with the write firehose for the store
+	// lock. 32 MiB/s clears a default segment in ~125 ms while leaving
+	// the lock mostly free for foreground puts.
+	DefaultCompactBytesPerSec = 32 << 20
 
 	// indexEntryCost is the accounted in-memory cost of one index
 	// entry (map bucket share + entryLoc + per-segment hash slot).
@@ -88,6 +98,10 @@ type Config struct {
 	// CompactFraction is the dead fraction that triggers compaction
 	// of a sealed segment.
 	CompactFraction float64
+	// CompactBytesPerSec caps how many live bytes per second background
+	// compaction may rewrite (a token bucket with one segment of burst).
+	// 0 takes DefaultCompactBytesPerSec; negative disables the cap.
+	CompactBytesPerSec int64
 }
 
 func (c *Config) withDefaults() Config {
@@ -104,6 +118,9 @@ func (c *Config) withDefaults() Config {
 	if out.CompactFraction <= 0 || out.CompactFraction > 1 {
 		out.CompactFraction = DefaultCompactFraction
 	}
+	if out.CompactBytesPerSec == 0 {
+		out.CompactBytesPerSec = DefaultCompactBytesPerSec
+	}
 	return out
 }
 
@@ -116,13 +133,23 @@ type Stats struct {
 	Corrupt         uint64
 	RetiredSegments uint64
 	Compactions     uint64
-	Segments        int
-	Entries         int
-	DiskBytes       int64
-	DeadBytes       int64
-	IndexBytes      int64
-	MaxBytes        int64
-	MaxIndexBytes   int64
+	// CompactDeferred counts compaction kicks that arrived while one was
+	// already pending or running — the in-progress backpressure signal a
+	// sustained write-through load produces.
+	CompactDeferred uint64
+	// CompactThrottles counts rate-limit sleeps the compactor took to
+	// stay under CompactBytesPerSec.
+	CompactThrottles uint64
+	// CompactedBytes is the total live bytes compaction has rewritten.
+	CompactedBytes     uint64
+	CompactBytesPerSec int64
+	Segments           int
+	Entries            int
+	DiskBytes          int64
+	DeadBytes          int64
+	IndexBytes         int64
+	MaxBytes           int64
+	MaxIndexBytes      int64
 }
 
 type entryLoc struct {
@@ -165,13 +192,16 @@ type Store struct {
 	diskBytes int64
 	closed    bool
 
-	hits        atomic.Uint64
-	misses      atomic.Uint64
-	writes      atomic.Uint64
-	rejected    atomic.Uint64
-	corrupt     atomic.Uint64
-	retired     atomic.Uint64
-	compactions atomic.Uint64
+	hits             atomic.Uint64
+	misses           atomic.Uint64
+	writes           atomic.Uint64
+	rejected         atomic.Uint64
+	corrupt          atomic.Uint64
+	retired          atomic.Uint64
+	compactions      atomic.Uint64
+	compactDeferred  atomic.Uint64
+	compactThrottles atomic.Uint64
+	compactedBytes   atomic.Uint64
 
 	compactReq  chan struct{}
 	compactDone chan struct{}
@@ -342,33 +372,41 @@ func (st *Store) indexBytesLocked() int64 {
 // Put stores body under key, overwriting any previous entry. Entries
 // larger than the whole disk budget are rejected. Put never blocks on
 // readers of other segments; it appends to the shared active segment.
-func (st *Store) Put(key string, body []byte) {
+// The return value reports whether the entry is durably stored (an
+// identical-length live entry counts: deterministic keys make it the
+// same body); false means a rejection or an I/O failure, so callers
+// that promise durability — the evict writer, the shutdown flush — can
+// count what the store actually dropped.
+func (st *Store) Put(key string, body []byte) bool {
 	h := hashString(key)
 	rec := recordHeaderSize + int64(len(key)) + int64(len(body))
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return
+		return false
 	}
 	if rec > st.cfg.MaxBytes || len(key) == 0 || int64(len(key)) > maxFieldLen || int64(len(body)) > maxFieldLen {
 		st.rejected.Add(1)
-		return
+		return false
 	}
 	// Deterministic keys mean an identical-length live entry is the
 	// same body; skip the rewrite.
 	if old, ok := st.index[h]; ok && old.keyLen == uint32(len(key)) && old.bodyLen == uint32(len(body)) {
-		return
+		return true
 	}
-	st.putLocked(h, key, body)
+	n := st.putLocked(h, key, body)
 	st.enforceBudgetsLocked()
 	st.kickCompactLocked()
+	return n > 0
 }
 
-func (st *Store) putLocked(h uint64, key string, body []byte) {
+// putLocked appends one record and returns its on-disk length, 0 when
+// the write was rejected or failed.
+func (st *Store) putLocked(h uint64, key string, body []byte) int64 {
 	seg, err := st.activeLocked()
 	if err != nil {
 		st.rejected.Add(1)
-		return
+		return 0
 	}
 	off := seg.size
 	var hdr [recordHeaderSize]byte
@@ -380,15 +418,15 @@ func (st *Store) putLocked(h uint64, key string, body []byte) {
 	binary.LittleEndian.PutUint32(hdr[0:4], crc)
 	if _, err := seg.f.WriteAt(hdr[:], off); err != nil {
 		st.rejected.Add(1)
-		return
+		return 0
 	}
 	if _, err := seg.f.WriteAt([]byte(key), off+recordHeaderSize); err != nil {
 		st.rejected.Add(1)
-		return
+		return 0
 	}
 	if _, err := seg.f.WriteAt(body, off+recordHeaderSize+int64(len(key))); err != nil {
 		st.rejected.Add(1)
-		return
+		return 0
 	}
 	rec := recordHeaderSize + int64(len(key)) + int64(len(body))
 	seg.size += rec
@@ -404,6 +442,7 @@ func (st *Store) putLocked(h uint64, key string, body []byte) {
 		seg.sealed = true
 		st.active = nil
 	}
+	return rec
 }
 
 func (st *Store) activeLocked() (*segment, error) {
@@ -767,24 +806,91 @@ func (st *Store) kickCompactLocked() {
 	select {
 	case st.compactReq <- struct{}{}:
 	default:
+		// A kick while one is already pending or running: the compactor
+		// is behind the write load. Counted as backpressure, not queued
+		// — the pending pass re-evaluates every victim anyway.
+		st.compactDeferred.Add(1)
 	}
+}
+
+// compactBudget is the compactor's token bucket over rewritten live
+// bytes: rate bytes/second of sustained rewrite with one segment of
+// burst. Pure arithmetic (the caller supplies the clock and does the
+// sleeping) so the policy is unit-testable without timers.
+type compactBudget struct {
+	rate   int64 // bytes/sec; <= 0 disables the cap
+	burst  int64
+	tokens int64
+	last   time.Time
+}
+
+// grant credits tokens for the time elapsed since the previous call and
+// returns how long the compactor must wait before the next rewrite may
+// start (0 = go now). The first call starts with a full burst.
+func (b *compactBudget) grant(now time.Time) time.Duration {
+	if b.rate <= 0 {
+		return 0
+	}
+	if b.last.IsZero() {
+		b.tokens = b.burst
+	} else {
+		b.tokens += int64(now.Sub(b.last).Seconds() * float64(b.rate))
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens > 0 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) * int64(time.Second) / b.rate)
+}
+
+// charge debits the bytes one compaction pass actually rewrote.
+func (b *compactBudget) charge(n int64) {
+	if b.rate > 0 {
+		b.tokens -= n
+	}
+}
+
+func (st *Store) isClosed() bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.closed
 }
 
 func (st *Store) compactLoop() {
 	defer close(st.compactDone)
+	budget := &compactBudget{rate: st.cfg.CompactBytesPerSec, burst: st.cfg.SegmentBytes}
 	for range st.compactReq {
-		st.compactOnce()
+		for {
+			wait := budget.grant(time.Now())
+			if wait <= 0 {
+				break
+			}
+			st.compactThrottles.Add(1)
+			if wait > time.Second {
+				wait = time.Second
+			}
+			time.Sleep(wait)
+			if st.isClosed() {
+				break // compactOnce is a no-op now; don't stall Close
+			}
+		}
+		budget.charge(st.compactOnce())
 	}
 }
 
 // compactOnce rewrites the live records of the worst sealed segment
-// whose dead fraction reaches CompactFraction, then retires it. It runs
-// under the store lock: at most SegmentBytes of sequential I/O.
-func (st *Store) compactOnce() {
+// whose dead fraction reaches CompactFraction, then retires it,
+// returning the live bytes rewritten (the quantity the rate budget
+// meters). It runs under the store lock: at most SegmentBytes of
+// sequential I/O.
+func (st *Store) compactOnce() int64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return
+		return 0
 	}
 	var victim *segment
 	for _, seq := range st.order {
@@ -800,8 +906,9 @@ func (st *Store) compactOnce() {
 		}
 	}
 	if victim == nil {
-		return
+		return 0
 	}
+	var rewritten int64
 	for _, h := range victim.hashes {
 		loc, ok := st.index[h]
 		if !ok || loc.seq != victim.seq {
@@ -816,14 +923,17 @@ func (st *Store) compactOnce() {
 		}
 		key := string(buf[recordHeaderSize : recordHeaderSize+int(loc.keyLen)])
 		body := buf[recordHeaderSize+int(loc.keyLen):]
-		st.putLocked(h, key, body)
+		rewritten += st.putLocked(h, key, body)
 	}
 	st.retireLocked(victim.seq)
 	st.compactions.Add(1)
+	st.compactedBytes.Add(uint64(rewritten))
 	st.enforceBudgetsLocked()
+	return rewritten
 }
 
-// CompactNow synchronously runs one compaction pass (test hook).
+// CompactNow synchronously runs one compaction pass, bypassing the rate
+// budget (test hook).
 func (st *Store) CompactNow() { st.compactOnce() }
 
 // Stats returns a snapshot of counters and sizes.
@@ -834,13 +944,14 @@ func (st *Store) Stats() Stats {
 		dead += seg.dead
 	}
 	s := Stats{
-		Segments:      len(st.segs),
-		Entries:       len(st.index),
-		DiskBytes:     st.diskBytes,
-		DeadBytes:     dead,
-		IndexBytes:    st.indexBytesLocked(),
-		MaxBytes:      st.cfg.MaxBytes,
-		MaxIndexBytes: st.cfg.MaxIndexBytes,
+		Segments:           len(st.segs),
+		Entries:            len(st.index),
+		DiskBytes:          st.diskBytes,
+		DeadBytes:          dead,
+		IndexBytes:         st.indexBytesLocked(),
+		MaxBytes:           st.cfg.MaxBytes,
+		MaxIndexBytes:      st.cfg.MaxIndexBytes,
+		CompactBytesPerSec: st.cfg.CompactBytesPerSec,
 	}
 	st.mu.RUnlock()
 	s.Hits = st.hits.Load()
@@ -850,6 +961,9 @@ func (st *Store) Stats() Stats {
 	s.Corrupt = st.corrupt.Load()
 	s.RetiredSegments = st.retired.Load()
 	s.Compactions = st.compactions.Load()
+	s.CompactDeferred = st.compactDeferred.Load()
+	s.CompactThrottles = st.compactThrottles.Load()
+	s.CompactedBytes = st.compactedBytes.Load()
 	return s
 }
 
